@@ -1,0 +1,156 @@
+// Interaction-graph ablation (context: §2 allows an arbitrary interaction
+// graph; [DV12] bounds the four-state protocol's time by the spectral gap of
+// the interaction-rate matrix and relies on *swap* rules that let tokens
+// random-walk). We run the four-state protocol and a small AVC — both under
+// the Mobile<> wrapper that supplies the DV12-style swaps (see
+// protocols/mobile.hpp; without it, strong tokens are pinned to nodes and
+// sparse graphs deadlock) — on several graph families at the same n and
+// margin. Well-connected graphs (clique, random-regular, ER) converge far
+// faster than the poorly-mixing ring.
+#include <cmath>
+#include <functional>
+#include <iostream>
+
+#include "analysis/spectral.hpp"
+#include "bench_common.hpp"
+#include "core/avc.hpp"
+#include "graph/interaction_graph.hpp"
+#include "harness/report.hpp"
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/mobile.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace popbean {
+namespace {
+
+struct GraphResult {
+  Summary summary;
+  std::size_t converged = 0;
+  std::size_t replicates = 0;
+};
+
+template <ProtocolLike P>
+GraphResult measure(ThreadPool& pool, const P& protocol, const Counts& counts,
+                    const std::function<InteractionGraph(Xoshiro256ss&)>& make_graph,
+                    std::size_t replicates, std::uint64_t seed,
+                    std::uint64_t max_interactions) {
+  std::vector<double> times(replicates);
+  parallel_for_index(pool, replicates, [&](std::size_t rep) {
+    Xoshiro256ss rng(seed, rep);
+    AgentEngine<P> engine(protocol, counts, make_graph(rng));
+    engine.shuffle_placement(rng);
+    const RunResult result = run_to_convergence(engine, rng, max_interactions);
+    times[rep] = result.converged() ? result.parallel_time
+                                    : -1.0;  // sentinel: budget exhausted
+  });
+  GraphResult out;
+  out.replicates = replicates;
+  std::vector<double> converged;
+  for (double t : times) {
+    if (t >= 0) converged.push_back(t);
+  }
+  out.converged = converged.size();
+  if (!converged.empty()) out.summary = summarize(converged);
+  return out;
+}
+
+std::string cell(const GraphResult& r) {
+  if (r.converged == 0) return "no-conv";
+  std::string text = format_value(r.summary.mean);
+  if (r.converged < r.replicates) {
+    text += " (" + std::to_string(r.converged) + "/" +
+            std::to_string(r.replicates) + ")";
+  }
+  return text;
+}
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "ablation_graphs.csv");
+  bench::print_mode(options);
+
+  const NodeId n = options.full ? 1024 : 144;  // perfect squares (torus)
+  const std::size_t replicates = options.full ? 30 : 10;
+  const std::uint64_t margin = n / 4;
+  const std::uint64_t max_interactions =
+      static_cast<std::uint64_t>(n) * n * 1000;
+
+  using GraphFactory = std::function<InteractionGraph(Xoshiro256ss&)>;
+  const std::vector<std::pair<std::string, GraphFactory>> graphs = {
+      {"complete", [&](Xoshiro256ss&) { return InteractionGraph::complete(n); }},
+      {"random-4-regular",
+       [&](Xoshiro256ss& rng) {
+         return InteractionGraph::random_regular(n, 4, rng);
+       }},
+      {"erdos-renyi(p=8/n)",
+       [&](Xoshiro256ss& rng) {
+         return InteractionGraph::erdos_renyi(
+             n, 8.0 / static_cast<double>(n), rng);
+       }},
+      {"torus",
+       [&](Xoshiro256ss&) {
+         const auto side = static_cast<NodeId>(std::lround(std::sqrt(double(n))));
+         return InteractionGraph::grid(side, side, /*wrap=*/true);
+       }},
+      {"star", [&](Xoshiro256ss&) { return InteractionGraph::star(n); }},
+      {"ring", [&](Xoshiro256ss&) { return InteractionGraph::ring(n); }},
+  };
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"graph", "protocol", "n", "mean_parallel_time", "median",
+                 "converged_runs", "replicates"});
+
+  print_banner(std::cout, "Interaction-graph ablation (n = " +
+                              std::to_string(n) +
+                              ", margin = n/4, DV12-style token mobility)");
+  TablePrinter table({"graph", "spectral_gap", "4-state", "AVC(m=7)"}, 20);
+  table.header(std::cout);
+
+  const Mobile<FourStateProtocol> four{FourStateProtocol{}};
+  const Mobile<avc::AvcProtocol> avc_protocol{avc::AvcProtocol{7, 1}};
+  const Counts four_counts = majority_instance_with_margin(four, n, margin);
+  const Counts avc_counts =
+      majority_instance_with_margin(avc_protocol, n, margin);
+
+  for (const auto& [name, factory] : graphs) {
+    // Gap of one sampled instance ([DV12]: time ~ (log n + 1)/δ(G, ε)).
+    Xoshiro256ss gap_rng(options.seed + 300);
+    const double gap = spectral_gap(factory(gap_rng));
+    const GraphResult four_result =
+        measure(pool, four, four_counts, factory, replicates,
+                options.seed + 100, max_interactions);
+    const GraphResult avc_result =
+        measure(pool, avc_protocol, avc_counts, factory, replicates,
+                options.seed + 200, max_interactions);
+    table.row(std::cout,
+              {name, format_value(gap), cell(four_result), cell(avc_result)});
+    csv.row({name, "4-state", std::to_string(n),
+             format_value(four_result.summary.mean),
+             format_value(four_result.summary.median),
+             std::to_string(four_result.converged),
+             std::to_string(replicates)});
+    csv.row({name, "AVC(m=7)", std::to_string(n),
+             format_value(avc_result.summary.mean),
+             format_value(avc_result.summary.median),
+             std::to_string(avc_result.converged),
+             std::to_string(replicates)});
+    std::cerr << "done " << name << "\n";
+  }
+  std::cout << "\n(The clique and expander-like graphs converge fast; the "
+               "ring pays its poor spectral gap, cf. the [DV12] bound "
+               "(log n + 1)/delta(G, eps). The paper's analysis of AVC is "
+               "for the clique.)\n";
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

@@ -1,0 +1,52 @@
+// Shared plumbing for the reproduction bench binaries.
+//
+// Every bench accepts:
+//   --full        paper-scale parameters (default is a quick mode with the
+//                 same shape at reduced n / replicates)
+//   --seed=S      base RNG seed (default 20150721, the PODC'15 date)
+//   --csv=PATH    override the CSV dump location
+//   --threads=T   worker threads (default: hardware concurrency)
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace popbean::bench {
+
+struct BenchOptions {
+  bool full = false;
+  std::uint64_t seed = 20150721;
+  std::string csv_path;
+  std::size_t threads = 0;
+};
+
+inline BenchOptions parse_options(int argc, char** argv,
+                                  const std::string& default_csv,
+                                  std::vector<std::string> extra_flags = {}) {
+  CliArgs args(argc, argv);
+  std::vector<std::string> known = {"full", "seed", "csv", "threads"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  args.check_known(known);
+  BenchOptions options;
+  options.full = args.get_bool("full");
+  options.seed = static_cast<std::uint64_t>(args.get_int(
+      "seed", static_cast<std::int64_t>(options.seed)));
+  options.csv_path = args.get_string("csv", default_csv);
+  options.threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  return options;
+}
+
+inline void print_mode(const BenchOptions& options) {
+  std::cout << (options.full ? "mode: full (paper scale)"
+                             : "mode: quick (reduced scale; pass --full for "
+                               "paper-scale parameters)")
+            << ", seed: " << options.seed << "\n";
+}
+
+}  // namespace popbean::bench

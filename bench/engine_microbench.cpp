@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the three simulation engines:
+// raw interactions/second (agent, count) and productive reactions/second
+// (skip), across protocols and state-space sizes. These justify the engine
+// choices documented in DESIGN.md: agent for graphs, count for huge s,
+// skip for small s at tiny ε.
+#include <benchmark/benchmark.h>
+
+#include "core/avc.hpp"
+#include "harness/experiment.hpp"
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/skip_engine.hpp"
+#include "protocols/four_state.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+constexpr std::uint64_t kN = 100000;
+
+template <template <typename> class Engine, typename P>
+void run_steps(benchmark::State& state, const P& protocol) {
+  const Counts counts = majority_instance_with_margin(protocol, kN, 2);
+  Engine<P> engine(protocol, counts);
+  Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    engine.step(rng);
+    benchmark::DoNotOptimize(engine.steps());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_AgentEngine_FourState(benchmark::State& state) {
+  run_steps<AgentEngine>(state, FourStateProtocol{});
+}
+BENCHMARK(BM_AgentEngine_FourState);
+
+void BM_CountEngine_FourState(benchmark::State& state) {
+  run_steps<CountEngine>(state, FourStateProtocol{});
+}
+BENCHMARK(BM_CountEngine_FourState);
+
+void BM_AgentEngine_Avc63(benchmark::State& state) {
+  run_steps<AgentEngine>(state, avc::AvcProtocol{63, 1});
+}
+BENCHMARK(BM_AgentEngine_Avc63);
+
+void BM_CountEngine_Avc63(benchmark::State& state) {
+  run_steps<CountEngine>(state, avc::AvcProtocol{63, 1});
+}
+BENCHMARK(BM_CountEngine_Avc63);
+
+void BM_CountEngine_Avc4095(benchmark::State& state) {
+  run_steps<CountEngine>(state, avc::AvcProtocol{4095, 1});
+}
+BENCHMARK(BM_CountEngine_Avc4095);
+
+// Skip engine: each step is one *productive* reaction; it may advance the
+// interaction clock by millions. Report both rates.
+template <typename P>
+void run_skip(benchmark::State& state, const P& protocol) {
+  const Counts counts = majority_instance_with_margin(protocol, kN, 2);
+  SkipEngine<P> engine(protocol, counts);
+  Xoshiro256ss rng(2);
+  std::uint64_t productive = 0;
+  for (auto _ : state) {
+    if (engine.absorbing() || engine.all_same_output()) {
+      state.PauseTiming();
+      engine = SkipEngine<P>(protocol, counts);
+      state.ResumeTiming();
+    }
+    engine.step(rng);
+    ++productive;
+    benchmark::DoNotOptimize(engine.steps());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(productive));
+  state.counters["interactions_per_reaction"] =
+      productive == 0 ? 0.0
+                      : static_cast<double>(engine.steps()) /
+                            static_cast<double>(productive);
+}
+
+void BM_SkipEngine_FourState(benchmark::State& state) {
+  run_skip(state, FourStateProtocol{});
+}
+BENCHMARK(BM_SkipEngine_FourState);
+
+void BM_SkipEngine_Avc63(benchmark::State& state) {
+  run_skip(state, avc::AvcProtocol{63, 1});
+}
+BENCHMARK(BM_SkipEngine_Avc63);
+
+// Transition-function cost in isolation.
+void BM_AvcApply(benchmark::State& state) {
+  avc::AvcProtocol protocol(static_cast<int>(state.range(0)), 1);
+  Xoshiro256ss rng(3);
+  const auto s = static_cast<std::uint64_t>(protocol.num_states());
+  for (auto _ : state) {
+    const auto a = static_cast<State>(rng.below(s));
+    const auto b = static_cast<State>(rng.below(s));
+    benchmark::DoNotOptimize(protocol.apply(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AvcApply)->Arg(9)->Arg(63)->Arg(1023)->Arg(16337);
+
+}  // namespace
+}  // namespace popbean
+
+BENCHMARK_MAIN();

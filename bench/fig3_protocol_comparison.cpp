@@ -1,0 +1,129 @@
+// Reproduces Figure 3 of the paper (both panels).
+//
+// Setup (Appendix D): populations of n nodes with the initial majority
+// decided by a single node (ε = 1/n); compare the 3-state approximate
+// protocol [AAE08, PVV09], the 4-state exact protocol [DV12, MNRS14], and
+// the n-state AVC (state budget ≈ n, d = 1). The paper reports means over
+// 101 runs for n in {11, 101, 1001, 10001, 100001}.
+//
+//   Left panel:  mean parallel convergence time per protocol and n.
+//   Right panel: fraction of runs converging to the error final state.
+//
+// Expected shape: the 4-state protocol's time explodes (Θ(n log n) at
+// ε = 1/n) while AVC stays within a small factor of the 3-state protocol;
+// the 3-state protocol errs in a sizable fraction of runs, the exact
+// protocols never.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "util/csv.hpp"
+
+namespace popbean {
+namespace {
+
+struct Row {
+  std::uint64_t n;
+  std::string protocol;
+  ReplicationSummary summary;
+};
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "fig3_protocol_comparison.csv");
+  bench::print_mode(options);
+
+  const std::vector<std::uint64_t> sizes =
+      options.full ? std::vector<std::uint64_t>{11, 101, 1001, 10001, 100001}
+                   : std::vector<std::uint64_t>{11, 101, 1001, 10001};
+  const std::size_t replicates = options.full ? 101 : 25;
+  constexpr std::uint64_t kMaxInteractions = 400'000'000'000'000ULL;
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"n", "protocol", "mean_parallel_time", "median", "stddev",
+                 "error_fraction", "replicates"});
+
+  std::vector<Row> rows;
+  for (const std::uint64_t n : sizes) {
+    const MajorityInstance instance{n, 1, Opinion::A};  // ε = 1/n
+
+    ThreeStateProtocol three;
+    rows.push_back({n, "3-state",
+                    run_replicates(pool, three, instance, EngineKind::kSkip,
+                                   replicates, options.seed,
+                                   kMaxInteractions)});
+
+    FourStateProtocol four;
+    rows.push_back({n, "4-state",
+                    run_replicates(pool, four, instance, EngineKind::kSkip,
+                                   replicates, options.seed + 1,
+                                   kMaxInteractions)});
+
+    const avc::AvcParams params = avc::n_state(n);
+    avc::AvcProtocol avc_protocol(params.m, params.d);
+    rows.push_back({n, "AVC(n-state)",
+                    run_replicates(pool, avc_protocol, instance,
+                                   EngineKind::kAuto, replicates,
+                                   options.seed + 2, kMaxInteractions)});
+    std::cerr << "done n=" << n << "\n";
+  }
+
+  print_banner(std::cout, "Figure 3 (left): mean parallel convergence time, eps = 1/n");
+  TablePrinter left({"n", "3-state", "4-state", "AVC(n-state)"});
+  left.header(std::cout);
+  for (std::size_t i = 0; i < rows.size(); i += 3) {
+    left.row(std::cout, {std::to_string(rows[i].n),
+                         format_value(rows[i].summary.parallel_time.mean),
+                         format_value(rows[i + 1].summary.parallel_time.mean),
+                         format_value(rows[i + 2].summary.parallel_time.mean)});
+  }
+
+  print_banner(std::cout,
+               "Figure 3 (right): fraction of runs converging to the error state");
+  TablePrinter right({"n", "3-state", "4-state", "AVC(n-state)"});
+  right.header(std::cout);
+  for (std::size_t i = 0; i < rows.size(); i += 3) {
+    right.row(std::cout,
+              {std::to_string(rows[i].n),
+               format_value(rows[i].summary.error_fraction()),
+               format_value(rows[i + 1].summary.error_fraction()),
+               format_value(rows[i + 2].summary.error_fraction())});
+  }
+
+  for (const Row& row : rows) {
+    csv.row({std::to_string(row.n), row.protocol,
+             format_value(row.summary.parallel_time.mean),
+             format_value(row.summary.parallel_time.median),
+             format_value(row.summary.parallel_time.stddev),
+             format_value(row.summary.error_fraction()),
+             std::to_string(row.summary.replicates)});
+  }
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+
+  // Paper-shape self-check printed for EXPERIMENTS.md.
+  const Row& four_last = rows[rows.size() - 2];
+  const Row& avc_last = rows.back();
+  const Row& three_last = rows[rows.size() - 3];
+  std::cout << "shape check @ n=" << avc_last.n << ": 4-state/AVC time ratio = "
+            << format_value(four_last.summary.parallel_time.mean /
+                            avc_last.summary.parallel_time.mean)
+            << " (paper: orders of magnitude), AVC/3-state ratio = "
+            << format_value(avc_last.summary.parallel_time.mean /
+                            three_last.summary.parallel_time.mean)
+            << " (paper: comparable)\n";
+  std::cout << "errors: 3-state=" << three_last.summary.wrong
+            << ", 4-state=" << four_last.summary.wrong
+            << ", AVC=" << avc_last.summary.wrong << " (exact protocols: 0)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

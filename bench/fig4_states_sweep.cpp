@@ -1,0 +1,94 @@
+// Reproduces Figure 4 of the paper (both panels).
+//
+// Setup (Appendix D): AVC with d = 1 and state budgets
+// s ∈ {4, 6, 12, 24, 34, 66, 130, 258, 514, 1026, 2050, 4098, 16340},
+// sweeping the margin ε from 1/n upward at fixed n. The paper plots the
+// mean parallel convergence time (left) against ε per s-curve, and (right)
+// against the product s·ε, onto which the curves collapse — supporting the
+// Θ̃(1/(sε)) leading term of Theorem 4.1.
+//
+// The paper does not state the n used; we use n = 100001 in --full mode and
+// n = 10001 in quick mode (documented in EXPERIMENTS.md).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+#include "util/csv.hpp"
+
+namespace popbean {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "fig4_states_sweep.csv");
+  bench::print_mode(options);
+
+  const std::uint64_t n = options.full ? 100001 : 10001;
+  const std::vector<std::int64_t> budgets =
+      options.full
+          ? std::vector<std::int64_t>{4, 6, 12, 24, 34, 66, 130, 258, 514,
+                                      1026, 2050, 4098, 16340}
+          : std::vector<std::int64_t>{4, 6, 12, 24, 66, 258, 1026, 4098};
+  const std::size_t replicates = options.full ? 15 : 5;
+  constexpr std::uint64_t kMaxInteractions = 400'000'000'000'000ULL;
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"s", "n", "eps", "s_times_eps", "mean_parallel_time",
+                 "median", "replicates"});
+
+  print_banner(std::cout,
+               "Figure 4 (left): AVC convergence time vs eps, one row block per s "
+               "(n = " + std::to_string(n) + ", d = 1)");
+  TablePrinter table({"s", "eps", "s*eps", "mean_time", "median"});
+  table.header(std::cout);
+
+  // Collected for the right panel: (s*eps, time) across all curves.
+  std::vector<std::pair<double, double>> collapse;
+
+  for (const std::int64_t budget : budgets) {
+    const avc::AvcParams params = avc::from_state_budget(budget, /*d=*/1);
+    avc::AvcProtocol protocol(params.m, params.d);
+    const auto s = static_cast<double>(params.num_states());
+    for (const double eps : figure4_epsilons(n)) {
+      const MajorityInstance instance = make_instance(n, eps);
+      const ReplicationSummary summary = run_replicates(
+          pool, protocol, instance, EngineKind::kAuto, replicates,
+          options.seed + static_cast<std::uint64_t>(budget), kMaxInteractions);
+      const double actual_eps = instance.epsilon();
+      table.row(std::cout,
+                {std::to_string(budget), format_value(actual_eps),
+                 format_value(s * actual_eps),
+                 format_value(summary.parallel_time.mean),
+                 format_value(summary.parallel_time.median)});
+      csv.row({std::to_string(budget), std::to_string(n),
+               format_value(actual_eps), format_value(s * actual_eps),
+               format_value(summary.parallel_time.mean),
+               format_value(summary.parallel_time.median),
+               std::to_string(summary.replicates)});
+      collapse.emplace_back(s * actual_eps, summary.parallel_time.mean);
+    }
+    std::cerr << "done s=" << budget << "\n";
+  }
+
+  print_banner(std::cout,
+               "Figure 4 (right): the same data keyed by s*eps (collapse onto "
+               "one curve supports the ~1/(s*eps) term)");
+  std::sort(collapse.begin(), collapse.end());
+  TablePrinter right({"s*eps", "mean_time"});
+  right.header(std::cout);
+  for (const auto& [se, time] : collapse) {
+    right.row(std::cout, {format_value(se), format_value(time)});
+  }
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

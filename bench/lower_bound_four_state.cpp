@@ -1,0 +1,68 @@
+// Empirical counterpart of Theorem B.1: any four-state exact-majority
+// protocol needs Ω(1/ε) expected parallel time. We measure the [DV12]
+// four-state protocol (which Claim B.8 covers: #A − #B is invariant) at
+// fixed n across a geometric ε sweep and fit time against 1/ε — the fit
+// should be strongly linear with positive slope.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "protocols/four_state.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "lower_bound_four_state.csv");
+  bench::print_mode(options);
+
+  const std::uint64_t n = options.full ? 100000 : 10000;
+  const std::size_t replicates = options.full ? 40 : 15;
+  FourStateProtocol protocol;
+
+  std::vector<std::uint64_t> margins;
+  for (std::uint64_t margin = 2; margin * 64 <= n; margin *= 4) {
+    margins.push_back(margin);
+  }
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"n", "eps", "inv_eps", "mean_parallel_time", "replicates"});
+
+  print_banner(std::cout, "Theorem B.1: four-state protocol time vs 1/eps "
+                          "(n = " + std::to_string(n) + ")");
+  TablePrinter table({"eps", "1/eps", "mean_time", "time*eps"});
+  table.header(std::cout);
+
+  std::vector<double> inv_eps, times;
+  for (const std::uint64_t margin : margins) {
+    const MajorityInstance instance{n, margin, Opinion::A};
+    const ReplicationSummary summary =
+        run_replicates(pool, protocol, instance, EngineKind::kSkip, replicates,
+                       options.seed + margin, 400'000'000'000'000ULL);
+    const double eps = instance.epsilon();
+    const double t = summary.parallel_time.mean;
+    table.row(std::cout, {format_value(eps), format_value(1.0 / eps),
+                          format_value(t), format_value(t * eps)});
+    csv.row({std::to_string(n), format_value(eps), format_value(1.0 / eps),
+             format_value(t), std::to_string(summary.replicates)});
+    inv_eps.push_back(1.0 / eps);
+    times.push_back(t);
+  }
+
+  const LinearFit fit = linear_fit(inv_eps, times);
+  std::cout << "\nfit time ~ a/eps + b: a = " << format_value(fit.slope)
+            << ", R^2 = " << format_value(fit.r_squared)
+            << " (paper: time = Omega(1/eps), so expect a > 0 and R^2 ~ 1)\n";
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

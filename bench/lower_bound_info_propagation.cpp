@@ -1,0 +1,82 @@
+// Empirical counterpart of Theorem C.1 (Ω(log n) for any number of states):
+// the knowledge-set process K_t of §5.2 — information spreading from the
+// |T| = 3 decisive seed nodes — needs Θ(log n) parallel time to reach all n
+// nodes, and no exact-majority protocol can converge before it does. We
+// measure the completion time across n and overlay the closed-form
+// expectation E[Y] = Σ 1/p_i from Claim C.2.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/knowledge.hpp"
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace popbean {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "lower_bound_info_propagation.csv");
+  bench::print_mode(options);
+
+  const std::vector<std::uint64_t> sizes =
+      options.full ? std::vector<std::uint64_t>{100, 1000, 10000, 100000,
+                                                1000000}
+                   : std::vector<std::uint64_t>{100, 1000, 10000, 100000};
+  const std::size_t replicates = options.full ? 200 : 50;
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path, {"n", "mean_parallel_time",
+                                   "expected_parallel_time", "log_n",
+                                   "time_over_logn", "replicates"});
+
+  print_banner(std::cout,
+               "Theorem C.1: knowledge-set completion time (|T| = 3 seeds)");
+  TablePrinter table(
+      {"n", "measured", "closed-form", "log(n)", "measured/log(n)"});
+  table.header(std::cout);
+
+  std::vector<double> log_ns, times;
+  for (const std::uint64_t n : sizes) {
+    std::vector<double> samples(replicates);
+    parallel_for_index(pool, replicates, [&](std::size_t rep) {
+      KnowledgeTracker tracker(n, 3);
+      Xoshiro256ss rng(options.seed + n, rep);
+      samples[rep] = tracker.run_to_completion(rng);
+    });
+    const Summary summary = summarize(samples);
+    const double expected =
+        KnowledgeTracker::expected_interactions(n, 3) /
+        static_cast<double>(n);
+    const double log_n = std::log(static_cast<double>(n));
+    table.row(std::cout,
+              {std::to_string(n), format_value(summary.mean),
+               format_value(expected), format_value(log_n),
+               format_value(summary.mean / log_n)});
+    csv.row({std::to_string(n), format_value(summary.mean),
+             format_value(expected), format_value(log_n),
+             format_value(summary.mean / log_n),
+             std::to_string(replicates)});
+    log_ns.push_back(log_n);
+    times.push_back(summary.mean);
+  }
+
+  const LinearFit fit = linear_fit(log_ns, times);
+  std::cout << "\nfit time ~ a*log(n) + b: a = " << format_value(fit.slope)
+            << ", R^2 = " << format_value(fit.r_squared)
+            << " (theory: a ~ 1, two-sided epidemic on the clique)\n";
+  std::cout << "Interpretation: no exact-majority protocol, with any number "
+               "of states, converges faster than this propagation time "
+               "(paper Theorem C.1).\n";
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

@@ -1,0 +1,82 @@
+// Empirical check of Theorem 4.1 / Corollary 4.2: with a state budget
+// s ≈ 1/ε, AVC's expected parallel convergence time is poly-logarithmic in
+// n — O(log(1/ε)·log n) in expectation. We fix ε and s = 1/ε and sweep n
+// over two orders of magnitude; the time column should track log n (ratio
+// column ~constant), nowhere near linear growth.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "theorem41_scaling.csv");
+  bench::print_mode(options);
+
+  constexpr double kEpsilon = 0.01;
+  const avc::AvcParams params = avc::for_epsilon(kEpsilon);  // s ≈ 100
+  avc::AvcProtocol protocol(params.m, params.d);
+
+  const std::vector<std::uint64_t> sizes =
+      options.full
+          ? std::vector<std::uint64_t>{1000, 3000, 10000, 30000, 100000,
+                                       300000}
+          : std::vector<std::uint64_t>{1000, 3000, 10000, 30000, 100000};
+  const std::size_t replicates = options.full ? 25 : 10;
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"n", "eps", "s", "mean_parallel_time", "time_over_logn",
+                 "replicates"});
+
+  print_banner(std::cout, "Theorem 4.1 scaling: AVC with s = 1/eps (= " +
+                              std::to_string(params.num_states()) +
+                              " states), eps = 0.01");
+  TablePrinter table({"n", "mean_time", "log(n)", "time/log(n)"});
+  table.header(std::cout);
+
+  std::vector<double> log_ns, times;
+  for (const std::uint64_t n : sizes) {
+    const MajorityInstance instance = make_instance(n, kEpsilon);
+    const ReplicationSummary summary =
+        run_replicates(pool, protocol, instance, EngineKind::kAuto, replicates,
+                       options.seed + n, 400'000'000'000ULL);
+    const double log_n = std::log(static_cast<double>(n));
+    const double t = summary.parallel_time.mean;
+    table.row(std::cout, {std::to_string(n), format_value(t),
+                          format_value(log_n), format_value(t / log_n)});
+    csv.row({std::to_string(n), format_value(instance.epsilon()),
+             std::to_string(params.num_states()), format_value(t),
+             format_value(t / log_n), std::to_string(summary.replicates)});
+    log_ns.push_back(log_n);
+    times.push_back(t);
+  }
+
+  const LinearFit fit = linear_fit(log_ns, times);
+  std::cout << "\nfit time ~ a*log(n) + b: a = " << format_value(fit.slope)
+            << ", b = " << format_value(fit.intercept)
+            << ", R^2 = " << format_value(fit.r_squared) << "\n";
+  const double growth = times.back() / times.front();
+  const double n_growth = static_cast<double>(sizes.back()) /
+                          static_cast<double>(sizes.front());
+  std::cout << "n grew " << format_value(n_growth) << "x; time grew "
+            << format_value(growth)
+            << "x (poly-log: expected ~log ratio "
+            << format_value(log_ns.back() / log_ns.front()) << "x)\n";
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

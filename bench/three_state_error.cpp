@@ -1,0 +1,76 @@
+// Error probability of the three-state approximate-majority protocol.
+//
+// [PVV09] (cited in §1 and Related Work): the probability of converging to
+// the wrong state is exp(−D((1+ε)/2 || 1/2)·n) ≈ exp(−ε²n/2) for small ε —
+// constant for ε ~ 1/√n, negligible for ε ≫ √(log n / n). This bench sweeps
+// ε at fixed n, reports the measured error fraction with Wilson 95% bounds,
+// and overlays the exponential reference. This is the "price of speed" that
+// motivates AVC (Fig. 3 right).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "protocols/three_state.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+// Kullback–Leibler divergence D(p || 1/2) in nats.
+double kl_to_half(double p) {
+  return p * std::log(2.0 * p) + (1.0 - p) * std::log(2.0 * (1.0 - p));
+}
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "three_state_error.csv");
+  bench::print_mode(options);
+
+  const std::uint64_t n = options.full ? 1001 : 501;
+  const std::size_t replicates = options.full ? 2000 : 600;
+  ThreeStateProtocol protocol;
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"n", "eps", "error_fraction", "wilson_low", "wilson_high",
+                 "pvv09_reference", "replicates"});
+
+  print_banner(std::cout, "Three-state error probability vs eps (n = " +
+                              std::to_string(n) + ")");
+  TablePrinter table(
+      {"eps", "measured", "95% low", "95% high", "exp(-n*D)"});
+  table.header(std::cout);
+
+  for (double eps = 1.0 / static_cast<double>(n); eps * 8.0 <= 1.0;
+       eps *= 2.0) {
+    const MajorityInstance instance = make_instance(n, eps, Opinion::A);
+    const ReplicationSummary summary =
+        run_replicates(pool, protocol, instance, EngineKind::kSkip, replicates,
+                       options.seed + instance.margin, 1'000'000'000'000ULL);
+    const double realized_eps = instance.epsilon();
+    const auto interval = wilson_interval(summary.wrong, summary.replicates);
+    const double reference = std::exp(-kl_to_half((1.0 + realized_eps) / 2.0) *
+                                      static_cast<double>(n));
+    table.row(std::cout,
+              {format_value(realized_eps), format_value(interval.estimate),
+               format_value(interval.low), format_value(interval.high),
+               format_value(reference)});
+    csv.row({std::to_string(n), format_value(realized_eps),
+             format_value(interval.estimate), format_value(interval.low),
+             format_value(interval.high), format_value(reference),
+             std::to_string(summary.replicates)});
+  }
+  std::cout << "\n(The [PVV09] bound exp(-n*D((1+eps)/2 || 1/2)) upper-bounds "
+               "the asymptotic error; measured values should sit at or below "
+               "the same exponential decay.)\n";
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) { return popbean::run(argc, argv); }

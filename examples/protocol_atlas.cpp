@@ -1,0 +1,82 @@
+// Protocol atlas: renders any protocol in this library as a reaction table
+// and a Graphviz DOT diagram — the same kind of picture as the paper's
+// Figure 2 ("Structure of the states, and some reaction examples").
+//
+//   ./protocol_atlas --protocol=avc --m=5 --d=2 --dot=avc.dot
+//   ./protocol_atlas --protocol=three_state
+//   dot -Tpng avc.dot -o avc.png     # if graphviz is installed
+#include <fstream>
+#include <iostream>
+
+#include "core/avc.hpp"
+#include "population/protocol_io.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace popbean;
+
+template <ProtocolLike P>
+int render(const P& protocol, const std::string& title,
+           const std::string& dot_path) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "states: " << protocol.num_states() << ", productive ordered "
+            << "reactions: " << count_reactions(protocol) << "\n";
+  std::cout << "inputs: A -> "
+            << protocol.state_name(protocol.initial_state(Opinion::A))
+            << ", B -> "
+            << protocol.state_name(protocol.initial_state(Opinion::B))
+            << "\n\nreactions:\n"
+            << describe_reactions(protocol);
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    if (!out) {
+      std::cerr << "cannot write " << dot_path << "\n";
+      return 1;
+    }
+    out << to_dot(protocol, "protocol");
+    std::cout << "\nDOT graph written to " << dot_path
+              << " (render with: dot -Tpng " << dot_path << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  args.check_known({"protocol", "m", "d", "dot"});
+  const std::string which = args.get_string("protocol", "avc");
+  const std::string dot_path = args.get_string("dot", "");
+
+  if (which == "avc") {
+    const auto m = static_cast<int>(args.get_int("m", 5));
+    const auto d = static_cast<int>(args.get_int("d", 1));
+    return render(avc::AvcProtocol(m, d),
+                  "AVC (m=" + std::to_string(m) + ", d=" + std::to_string(d) +
+                      ") — cf. paper Figure 2",
+                  dot_path);
+  }
+  if (which == "four_state") {
+    return render(FourStateProtocol{}, "four-state exact [DV12, MNRS14]",
+                  dot_path);
+  }
+  if (which == "three_state") {
+    return render(ThreeStateProtocol{},
+                  "three-state approximate [AAE08, PVV09]", dot_path);
+  }
+  if (which == "voter") {
+    return render(VoterProtocol{}, "two-state voter [HP99]", dot_path);
+  }
+  if (which == "leader") {
+    return render(LeaderElectionProtocol{}, "pairwise leader election",
+                  dot_path);
+  }
+  std::cerr << "unknown --protocol (use avc | four_state | three_state | "
+               "voter | leader)\n";
+  return 1;
+}

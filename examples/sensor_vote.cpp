@@ -1,0 +1,111 @@
+// Majority voting in an anonymous sensor swarm under a memory budget.
+//
+// Population protocols were introduced as a model of passively mobile
+// finite-state sensors [AAD+06]. Scenario: a swarm of n anonymous sensors
+// each observed a binary event (A or B) and gossips pairwise when two
+// sensors come into radio range (uniformly random pairs). Each sensor has a
+// tiny state budget of `bits` bits, i.e. at most 2^bits states.
+//
+// This example picks, for the given budget, the best protocol the library
+// offers and reports speed and reliability against the alternatives:
+//
+//   1 bit  -> voter model        (fast-ish, error prob = minority fraction)
+//   2 bits -> 3-state or 4-state (fast-but-wrong vs exact-but-slow)
+//   k bits -> AVC with s = 2^k   (exact AND fast — the paper's point)
+//
+//   ./sensor_vote [--n=2001] [--margin=1] [--bits=10] [--runs=50] [--seed=3]
+//
+// (The voter baseline needs Θ(n²) pairwise exchanges, so very large --n
+// makes its row slow; the other protocols scale much better.)
+#include <iostream>
+
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace popbean;
+  const CliArgs args(argc, argv);
+  args.check_known({"n", "margin", "bits", "runs", "seed"});
+  const auto n = static_cast<std::uint64_t>(args.get_int("n", 2001));
+  const auto margin = static_cast<std::uint64_t>(args.get_int("margin", 1));
+  const auto bits = static_cast<int>(args.get_int("bits", 10));
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 50));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  if (bits < 1 || bits > 20) {
+    std::cerr << "--bits must be in [1, 20]\n";
+    return 1;
+  }
+
+  const MajorityInstance instance{n, margin, Opinion::A};
+  std::cout << "swarm: n = " << n << " sensors, true majority A by "
+            << margin << " (eps = " << instance.epsilon() << "), budget "
+            << bits << " bits/sensor\n\n";
+
+  ThreadPool pool;
+  constexpr std::uint64_t kBudget = 400'000'000'000'000ULL;
+  TablePrinter table(
+      {"protocol", "states", "mean_time", "errors", "verdict"});
+  table.header(std::cout);
+
+  auto report = [&](const std::string& name, std::size_t states,
+                    const ReplicationSummary& summary, bool exact) {
+    std::string verdict;
+    if (summary.unresolved > 0) {
+      verdict = "too slow";
+    } else if (summary.wrong > 0) {
+      verdict = "unreliable";
+    } else {
+      verdict = exact ? "exact" : "no errors seen";
+    }
+    table.row(std::cout,
+              {name, std::to_string(states),
+               format_value(summary.parallel_time.mean),
+               std::to_string(summary.wrong) + "/" + std::to_string(runs),
+               verdict});
+  };
+
+  {
+    VoterProtocol voter;
+    report("voter (1 bit)", 2,
+           run_replicates(pool, voter, instance, EngineKind::kSkip, runs,
+                          seed, kBudget),
+           false);
+  }
+  {
+    ThreeStateProtocol three;
+    report("3-state approx", 3,
+           run_replicates(pool, three, instance, EngineKind::kSkip, runs,
+                          seed + 1, kBudget),
+           false);
+  }
+  {
+    FourStateProtocol four;
+    report("4-state exact", 4,
+           run_replicates(pool, four, instance, EngineKind::kSkip, runs,
+                          seed + 2, kBudget),
+           true);
+  }
+  if (bits >= 3) {
+    const std::int64_t budget = std::int64_t{1} << bits;
+    const avc::AvcParams params =
+        avc::from_state_budget(std::min<std::int64_t>(budget, 1 << 20));
+    avc::AvcProtocol protocol(params.m, params.d);
+    report("AVC (" + std::to_string(bits) + " bits)", protocol.num_states(),
+           run_replicates(pool, protocol, instance, EngineKind::kAuto, runs,
+                          seed + 3, kBudget),
+           true);
+  }
+
+  std::cout << "\nReading: the voter model errs at rate ~(1-eps)/2 and the "
+               "3-state protocol errs at small margins; the 4-state exact "
+               "protocol pays ~1/eps parallel time. AVC with s ~ 1/eps "
+               "states is exact and poly-log fast — the trade-off the paper "
+               "closes.\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+set -x
+B=/root/repo/build/bench
+$B/fig3_protocol_comparison --full > fig3.txt 2>&1
+$B/fig4_states_sweep --full > fig4.txt 2>&1
+$B/theorem41_scaling --full > theorem41.txt 2>&1
+$B/lower_bound_four_state --full > lb_four_state.txt 2>&1
+$B/lower_bound_info_propagation --full > lb_info.txt 2>&1
+$B/ablation_levels_d --full > ablation_d.txt 2>&1
+$B/ablation_graphs --full > ablation_graphs.txt 2>&1
+$B/three_state_error --full > three_state_error.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,209 @@
+#include "analysis/exact_markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace popbean {
+
+void ExactChain::build_configs(std::size_t max_configs) {
+  Counts scratch(num_states_, 0);
+  // Lexicographic recursive enumeration of compositions of n_.
+  const std::function<void(std::size_t, std::uint64_t)> recurse =
+      [&](std::size_t state, std::uint64_t remaining) {
+        if (state + 1 == num_states_) {
+          scratch[state] = remaining;
+          configs_.push_back(scratch);
+          POPBEAN_CHECK_MSG(configs_.size() <= max_configs,
+                            "configuration space too large for exact "
+                            "analysis; reduce n or the state count");
+          return;
+        }
+        for (std::uint64_t c = 0; c <= remaining; ++c) {
+          scratch[state] = c;
+          recurse(state + 1, remaining - c);
+        }
+        scratch[state] = 0;
+      };
+  recurse(0, n_);
+}
+
+std::size_t ExactChain::index_of(const Counts& config) const {
+  POPBEAN_CHECK(config.size() == num_states_);
+  POPBEAN_CHECK(population_size(config) == n_);
+  const auto it = std::lower_bound(configs_.begin(), configs_.end(), config);
+  POPBEAN_CHECK_MSG(it != configs_.end() && *it == config,
+                    "configuration not found");
+  return static_cast<std::size_t>(it - configs_.begin());
+}
+
+void ExactChain::build_edges() {
+  edges_.resize(configs_.size());
+  self_loop_.assign(configs_.size(), 0.0);
+  const double total_pairs =
+      static_cast<double>(n_) * static_cast<double>(n_ - 1);
+
+  Counts next(num_states_);
+  for (std::size_t idx = 0; idx < configs_.size(); ++idx) {
+    const Counts& config = configs_[idx];
+    // Accumulate per-target probability.
+    std::vector<std::pair<std::size_t, double>> targets;
+    double self = 0.0;
+    for (State a = 0; a < num_states_; ++a) {
+      if (config[a] == 0) continue;
+      for (State b = 0; b < num_states_; ++b) {
+        if (config[b] == 0) continue;
+        const std::uint64_t responders = config[b] - (a == b ? 1 : 0);
+        if (responders == 0) continue;
+        const double probability =
+            static_cast<double>(config[a]) *
+            static_cast<double>(responders) / total_pairs;
+        const Transition& t = transitions_[a * num_states_ + b];
+        if (is_null(t, a, b)) {
+          self += probability;
+          continue;
+        }
+        next = config;
+        --next[a];
+        --next[b];
+        ++next[t.initiator];
+        ++next[t.responder];
+        if (next == config) {
+          self += probability;
+          continue;
+        }
+        targets.emplace_back(index_of(next), probability);
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+    for (const auto& [target, probability] : targets) {
+      if (!edges_[idx].empty() && edges_[idx].back().target == target) {
+        edges_[idx].back().probability += probability;
+      } else {
+        edges_[idx].push_back({static_cast<std::uint32_t>(target),
+                               probability});
+      }
+    }
+    self_loop_[idx] = self;
+  }
+}
+
+bool ExactChain::unanimous(std::size_t config_index, Output output) const {
+  const Counts& config = configs_[config_index];
+  for (State q = 0; q < num_states_; ++q) {
+    if (config[q] > 0 && outputs_[q] != output) return false;
+  }
+  return true;
+}
+
+void ExactChain::solve(std::vector<double>& value,
+                       const std::vector<double>& base,
+                       const std::vector<bool>& frozen,
+                       const std::vector<bool>& active,
+                       bool require_escape) const {
+  constexpr int kMaxSweeps = 200000;
+  constexpr double kTolerance = 1e-12;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t idx = 0; idx < configs_.size(); ++idx) {
+      if (frozen[idx] || !active[idx]) continue;
+      const double denom = 1.0 - self_loop_[idx];
+      if (denom <= 1e-15) {
+        // Trapped forever in a non-unanimous configuration. For absorption
+        // probabilities the correct value is the initial 0; for expected
+        // times this means divergence.
+        POPBEAN_CHECK_MSG(!require_escape,
+                          "a non-unanimous absorbing configuration is "
+                          "reachable; the expected time to unanimity is "
+                          "infinite for this protocol/input");
+        continue;
+      }
+      double sum = base[idx];
+      for (const Edge& edge : edges_[idx]) {
+        sum += edge.probability * value[edge.target];
+      }
+      const double updated = sum / denom;
+      max_change = std::max(max_change, std::abs(updated - value[idx]));
+      value[idx] = updated;
+    }
+    if (max_change < kTolerance) return;
+  }
+  POPBEAN_CHECK_MSG(false, "Gauss-Seidel failed to converge; the chain may "
+                           "not reach unanimity from every configuration");
+}
+
+std::vector<bool> ExactChain::reachable_from(const Counts& initial) const {
+  std::vector<bool> visited(configs_.size(), false);
+  std::vector<std::uint32_t> frontier;
+  const auto start = static_cast<std::uint32_t>(index_of(initial));
+  visited[start] = true;
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const std::uint32_t idx = frontier.back();
+    frontier.pop_back();
+    for (const Edge& edge : edges_[idx]) {
+      if (!visited[edge.target]) {
+        visited[edge.target] = true;
+        frontier.push_back(edge.target);
+      }
+    }
+  }
+  return visited;
+}
+
+std::vector<double> ExactChain::transient_distribution(
+    const Counts& initial, std::uint64_t steps) const {
+  std::vector<double> current(configs_.size(), 0.0);
+  current[index_of(initial)] = 1.0;
+  std::vector<double> next(configs_.size());
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t idx = 0; idx < configs_.size(); ++idx) {
+      const double mass = current[idx];
+      if (mass == 0.0) continue;
+      next[idx] += mass * self_loop_[idx];
+      for (const Edge& edge : edges_[idx]) {
+        next[edge.target] += mass * edge.probability;
+      }
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+double ExactChain::absorption_probability(const Counts& initial,
+                                          Output output) const {
+  std::vector<double> value(configs_.size(), 0.0);
+  const std::vector<double> base(configs_.size(), 0.0);
+  std::vector<bool> frozen(configs_.size(), false);
+  const std::vector<bool> active(configs_.size(), true);
+  for (std::size_t idx = 0; idx < configs_.size(); ++idx) {
+    if (unanimous(idx, output)) {
+      value[idx] = 1.0;
+      frozen[idx] = true;
+    } else if (unanimous(idx, 1 - output)) {
+      value[idx] = 0.0;
+      frozen[idx] = true;
+    }
+  }
+  solve(value, base, frozen, active, /*require_escape=*/false);
+  return value[index_of(initial)];
+}
+
+double ExactChain::expected_interactions_to_unanimity(
+    const Counts& initial) const {
+  std::vector<double> value(configs_.size(), 0.0);
+  const std::vector<double> base(configs_.size(), 1.0);
+  std::vector<bool> frozen(configs_.size(), false);
+  const std::vector<bool> active = reachable_from(initial);
+  for (std::size_t idx = 0; idx < configs_.size(); ++idx) {
+    if (unanimous(idx, 0) || unanimous(idx, 1)) {
+      value[idx] = 0.0;
+      frozen[idx] = true;
+    }
+  }
+  solve(value, base, frozen, active, /*require_escape=*/true);
+  return value[index_of(initial)];
+}
+
+}  // namespace popbean

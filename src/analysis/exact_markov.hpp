@@ -1,0 +1,113 @@
+// Exact Markov-chain analysis of a population protocol at small scale.
+//
+// On the clique, a protocol's configuration process is a finite Markov
+// chain over count vectors (compositions of n into s parts). For small n
+// and s the chain is small enough to analyse *exactly*:
+//
+//   * absorption probabilities into "all agents output o" — ground truth
+//     for error probabilities (e.g. the voter model's minority-fraction
+//     error rate [HP99], the three-state error of Fig. 3 right, and AVC's
+//     exactness at any margin), and
+//   * expected interactions until output unanimity — ground truth for the
+//     convergence times every engine estimates by simulation.
+//
+// The test suite uses this module as an oracle against all three engines;
+// a simulator whose distribution drifts from the exact chain fails loudly.
+//
+// Solving: unanimity states are made absorbing (that matches the paper's
+// convergence metric; for the shipped protocols unanimity is in fact
+// absorbing). The linear systems are solved by damped Gauss–Seidel with a
+// residual stopping rule — the chains here are substochastic after
+// absorption removal, so iteration converges geometrically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class ExactChain {
+ public:
+  // Enumerate the chain for populations of exactly n agents. The number of
+  // configurations is C(n + s - 1, s - 1); the constructor refuses blow-ups
+  // past `max_configs`.
+  template <ProtocolLike P>
+  ExactChain(const P& protocol, std::uint64_t n,
+             std::size_t max_configs = 2'000'000)
+      : num_states_(protocol.num_states()), n_(n) {
+    POPBEAN_CHECK(n >= 2);
+    build_configs(max_configs);
+    outputs_.resize(num_states_);
+    for (State q = 0; q < num_states_; ++q) outputs_[q] = protocol.output(q);
+
+    // Tabulate transitions once.
+    transitions_.resize(num_states_ * num_states_);
+    for (State a = 0; a < num_states_; ++a) {
+      for (State b = 0; b < num_states_; ++b) {
+        transitions_[a * num_states_ + b] = protocol.apply(a, b);
+      }
+    }
+    build_edges();
+  }
+
+  std::size_t num_configs() const noexcept { return configs_.size(); }
+  std::uint64_t population() const noexcept { return n_; }
+
+  std::size_t index_of(const Counts& config) const;
+
+  // Probability that, starting from `initial`, the chain reaches the
+  // absorbing set "all agents map to `output`". (Gauss–Seidel from zero
+  // converges to the minimal non-negative solution, which is exactly this
+  // probability even when the chain can also get trapped elsewhere.)
+  double absorption_probability(const Counts& initial, Output output) const;
+
+  // Expected number of interactions until *some* unanimity is reached.
+  // Requires that unanimity is reached with probability 1 from `initial`
+  // (true for all shipped protocols): the solver works on the subchain
+  // reachable from `initial` and throws if that subchain can trap the
+  // process in a non-unanimous configuration (expected time = ∞).
+  double expected_interactions_to_unanimity(const Counts& initial) const;
+
+  // Configuration indices reachable from `initial` (inclusive).
+  std::vector<bool> reachable_from(const Counts& initial) const;
+
+  // Exact probability distribution over configurations after exactly
+  // `steps` interactions from `initial` (one sparse vector–matrix multiply
+  // per step). The gold standard for validating the engines' *transient*
+  // behaviour, not just their absorption statistics.
+  std::vector<double> transient_distribution(const Counts& initial,
+                                             std::uint64_t steps) const;
+
+ private:
+  struct Edge {
+    std::uint32_t target;
+    double probability;
+  };
+
+  void build_configs(std::size_t max_configs);
+  void build_edges();
+  bool unanimous(std::size_t config_index, Output output) const;
+
+  // Solves v = base + Σ_edges p·v[target] over non-frozen configs in
+  // `active` by Gauss–Seidel; `value` pre-seeded with boundary conditions.
+  // `require_escape`: throw if an active, non-frozen configuration has no
+  // probability of ever leaving (self-loop mass 1) — used by the
+  // expected-time system, where such a configuration means divergence.
+  void solve(std::vector<double>& value, const std::vector<double>& base,
+             const std::vector<bool>& frozen, const std::vector<bool>& active,
+             bool require_escape) const;
+
+  std::size_t num_states_;
+  std::uint64_t n_;
+  std::vector<Output> outputs_;
+  std::vector<Transition> transitions_;
+  std::vector<Counts> configs_;
+  std::vector<std::vector<Edge>> edges_;      // excluding self-loops
+  std::vector<double> self_loop_;             // per-config self probability
+};
+
+}  // namespace popbean

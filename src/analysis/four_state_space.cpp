@@ -1,0 +1,289 @@
+#include "analysis/four_state_space.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace popbean::fourstate {
+
+namespace {
+
+constexpr const char* kStateNames[4] = {"S0", "S1", "X", "Y"};
+
+}  // namespace
+
+StatePair StatePair::canonical(int a, int b) {
+  POPBEAN_CHECK(a >= 0 && a < 4 && b >= 0 && b < 4);
+  if (a > b) std::swap(a, b);
+  return {static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)};
+}
+
+int pair_index(int a, int b) {
+  const StatePair p = StatePair::canonical(a, b);
+  // Row-major over the upper triangle of a 4x4 grid (10 cells).
+  static constexpr int kOffset[4] = {0, 4, 7, 9};
+  return kOffset[p.first] + (p.second - p.first);
+}
+
+StatePair pair_from_index(int index) {
+  POPBEAN_CHECK(index >= 0 && index < 10);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a; b < 4; ++b) {
+      if (pair_index(a, b) == index) {
+        return StatePair::canonical(a, b);
+      }
+    }
+  }
+  POPBEAN_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+FourStateTable::FourStateTable() {
+  for (int i = 0; i < 10; ++i) table_[static_cast<std::size_t>(i)] = pair_from_index(i);
+}
+
+void FourStateTable::set(int a, int b, int result_a, int result_b) {
+  table_[static_cast<std::size_t>(pair_index(a, b))] =
+      StatePair::canonical(result_a, result_b);
+}
+
+StatePair FourStateTable::result(int a, int b) const {
+  return table_[static_cast<std::size_t>(pair_index(a, b))];
+}
+
+FourStateTable FourStateTable::dv12() {
+  FourStateTable t;
+  t.set(kS0, kS1, kX, kY);
+  t.set(kS0, kY, kS0, kX);
+  t.set(kS1, kX, kS1, kY);
+  return t;
+}
+
+bool FourStateTable::conserves_strong_difference() const {
+  auto strong_diff = [](const StatePair& p) {
+    const auto term = [](int s) {
+      return (s == kS0 ? 1 : 0) - (s == kS1 ? 1 : 0);
+    };
+    return term(p.first) + term(p.second);
+  };
+  for (int i = 0; i < 10; ++i) {
+    const StatePair in = pair_from_index(i);
+    const StatePair out = table_[static_cast<std::size_t>(i)];
+    if (strong_diff(in) != strong_diff(out)) return false;
+  }
+  return true;
+}
+
+std::optional<std::array<int, 4>> FourStateTable::conserved_potential() const {
+  // Claim B.9: potentials {−3, −1, 1, 3}, one per state, S0 and X positive.
+  static constexpr std::array<std::array<int, 4>, 4> kAssignments = {{
+      // {pot(S0), pot(S1), pot(X), pot(Y)}
+      {{3, -3, 1, -1}},
+      {{3, -1, 1, -3}},
+      {{1, -3, 3, -1}},
+      {{1, -1, 3, -3}},
+  }};
+  for (const auto& pot : kAssignments) {
+    bool conserved = true;
+    for (int i = 0; i < 10 && conserved; ++i) {
+      const StatePair in = pair_from_index(i);
+      const StatePair out = table_[static_cast<std::size_t>(i)];
+      conserved = pot[in.first] + pot[in.second] ==
+                  pot[out.first] + pot[out.second];
+    }
+    if (conserved) return pot;
+  }
+  return std::nullopt;
+}
+
+std::string FourStateTable::describe() const {
+  std::ostringstream os;
+  for (int i = 0; i < 10; ++i) {
+    const StatePair in = pair_from_index(i);
+    const StatePair out = table_[static_cast<std::size_t>(i)];
+    if (in == out) continue;
+    os << "[" << kStateNames[in.first] << "," << kStateNames[in.second]
+       << "]->[" << kStateNames[out.first] << "," << kStateNames[out.second]
+       << "] ";
+  }
+  const std::string text = os.str();
+  return text.empty() ? "identity" : text;
+}
+
+std::uint32_t Config::total() const {
+  return static_cast<std::uint32_t>(count[0]) + count[1] + count[2] + count[3];
+}
+
+bool Config::unanimous(int output) const {
+  for (int s = 0; s < 4; ++s) {
+    if (output_of(s) != output && count[static_cast<std::size_t>(s)] > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ConfigurationGraph::ConfigurationGraph(const FourStateTable& table,
+                                       std::uint32_t n)
+    : table_(table), n_(n) {
+  POPBEAN_CHECK(n >= 2);
+  POPBEAN_CHECK_MSG(n <= 64, "configuration graphs are O(n^3); keep n small");
+  build();
+}
+
+std::size_t ConfigurationGraph::index_of(const Config& config) const {
+  POPBEAN_CHECK(config.total() == n_);
+  const auto it = std::lower_bound(
+      configs_.begin(), configs_.end(), config,
+      [](const Config& lhs, const Config& rhs) { return lhs.count < rhs.count; });
+  POPBEAN_CHECK(it != configs_.end() && *it == config);
+  return static_cast<std::size_t>(it - configs_.begin());
+}
+
+const Config& ConfigurationGraph::config_at(std::size_t index) const {
+  POPBEAN_CHECK(index < configs_.size());
+  return configs_[index];
+}
+
+void ConfigurationGraph::build() {
+  // Enumerate all configurations in lexicographic order (so index_of can
+  // use binary search).
+  for (std::uint32_t c0 = 0; c0 <= n_; ++c0) {
+    for (std::uint32_t c1 = 0; c0 + c1 <= n_; ++c1) {
+      for (std::uint32_t c2 = 0; c0 + c1 + c2 <= n_; ++c2) {
+        const std::uint32_t c3 = n_ - c0 - c1 - c2;
+        Config config;
+        config.count = {static_cast<std::uint16_t>(c0),
+                        static_cast<std::uint16_t>(c1),
+                        static_cast<std::uint16_t>(c2),
+                        static_cast<std::uint16_t>(c3)};
+        configs_.push_back(config);
+      }
+    }
+  }
+
+  successors_.resize(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    const Config& config = configs_[i];
+    for (int a = 0; a < 4; ++a) {
+      for (int b = a; b < 4; ++b) {
+        const auto ca = config.count[static_cast<std::size_t>(a)];
+        const auto cb = config.count[static_cast<std::size_t>(b)];
+        const bool applicable = a == b ? ca >= 2 : (ca >= 1 && cb >= 1);
+        if (!applicable) continue;
+        const StatePair out = table_.result(a, b);
+        Config next = config;
+        --next.count[static_cast<std::size_t>(a)];
+        --next.count[static_cast<std::size_t>(b)];
+        ++next.count[out.first];
+        ++next.count[out.second];
+        if (next == config) continue;
+        successors_[i].push_back(static_cast<std::uint32_t>(index_of(next)));
+      }
+    }
+    std::sort(successors_[i].begin(), successors_[i].end());
+    successors_[i].erase(
+        std::unique(successors_[i].begin(), successors_[i].end()),
+        successors_[i].end());
+  }
+
+  // committed(o) = configurations that cannot reach any non-unanimous-o
+  // configuration = complement of the backward closure of that set.
+  for (int o = 0; o < 2; ++o) {
+    std::vector<bool> not_unanimous(configs_.size(), false);
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      not_unanimous[i] = !configs_[i].unanimous(o);
+    }
+    const std::vector<bool> can_leave = backward_closure(not_unanimous);
+    committed_[o].resize(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      committed_[o][i] = !can_leave[i];
+    }
+  }
+}
+
+std::vector<bool> ConfigurationGraph::backward_closure(
+    const std::vector<bool>& targets) const {
+  // Reverse adjacency on demand.
+  std::vector<std::vector<std::uint32_t>> predecessors(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    for (std::uint32_t j : successors_[i]) {
+      predecessors[j].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<bool> closed = targets;
+  std::deque<std::uint32_t> frontier;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (closed[i]) frontier.push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t j = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t i : predecessors[j]) {
+      if (!closed[i]) {
+        closed[i] = true;
+        frontier.push_back(i);
+      }
+    }
+  }
+  return closed;
+}
+
+std::vector<bool> ConfigurationGraph::reachable_from(
+    const Config& start) const {
+  std::vector<bool> visited(configs_.size(), false);
+  std::deque<std::uint32_t> frontier;
+  const auto start_index = static_cast<std::uint32_t>(index_of(start));
+  visited[start_index] = true;
+  frontier.push_back(start_index);
+  while (!frontier.empty()) {
+    const std::uint32_t i = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t j : successors_[i]) {
+      if (!visited[j]) {
+        visited[j] = true;
+        frontier.push_back(j);
+      }
+    }
+  }
+  return visited;
+}
+
+const std::vector<bool>& ConfigurationGraph::committed(int output) const {
+  POPBEAN_CHECK(output == 0 || output == 1);
+  return committed_[output];
+}
+
+bool ConfigurationGraph::satisfies_majority_correctness() const {
+  const std::vector<bool> can_commit[2] = {backward_closure(committed_[0]),
+                                           backward_closure(committed_[1])};
+  for (std::uint32_t a = 0; a <= n_; ++a) {
+    const std::uint32_t b = n_ - a;
+    if (a == b) continue;
+    // Majority state is S0 when a > b (required output 0), else S1.
+    const int required = a > b ? 0 : 1;
+    Config start;
+    start.count = {static_cast<std::uint16_t>(a), static_cast<std::uint16_t>(b),
+                   0, 0};
+    const std::vector<bool> reach = reachable_from(start);
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      if (!reach[i]) continue;
+      if (committed_[1 - required][i]) return false;        // safety
+      if (!can_commit[required][i]) return false;           // liveness
+    }
+  }
+  return true;
+}
+
+bool correct_up_to(const FourStateTable& table, std::uint32_t max_n) {
+  for (std::uint32_t n = 2; n <= max_n; ++n) {
+    if (!ConfigurationGraph(table, n).satisfies_majority_correctness()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace popbean::fourstate

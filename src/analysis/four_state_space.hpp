@@ -1,0 +1,144 @@
+// Machinery behind the paper's Ω(1/ε) lower bound for four-state exact
+// majority (§5.1, Theorem B.1 and Claims B.2–B.9).
+//
+// The proof is a case analysis over *all* deterministic four-state
+// algorithms. We reproduce its skeleton executably:
+//
+//  * `FourStateTable` — a candidate algorithm: an unordered-pair transition
+//    table over states {S0, S1, X, Y} with the paper's WLOG output map
+//    γ(S0) = γ(X) = 0, γ(S1) = γ(Y) = 1.
+//  * `ConfigurationGraph` — exhaustive reachability over all configurations
+//    of n agents (population protocols on a clique are counter machines, so
+//    a configuration is just a 4-way count split). It decides the three
+//    correctness properties of Theorem B.1 exactly, for a concrete n:
+//    non-empty absorbing sets C_i, safety (wrong commitment unreachable),
+//    and liveness (correct commitment always reachable).
+//  * Claim B.8's structural test: does the table conserve #S0 − #S1?
+//    (Such algorithms need Ω(1/ε) expected parallel time.)
+//  * Claim B.9's potential test: is there a {±1, ±3} potential with S0, X
+//    positive conserved by every interaction? (Such algorithms are incorrect.)
+//
+// The test suite enumerates candidate tables and checks the paper's
+// conclusion empirically: every candidate that is correct for all small n
+// conserves #S0 − #S1 — hence the Ω(1/ε) bound applies to it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace popbean::fourstate {
+
+// State ids within the abstract four-state space.
+inline constexpr int kS0 = 0;
+inline constexpr int kS1 = 1;
+inline constexpr int kX = 2;
+inline constexpr int kY = 3;
+
+// γ from the paper's WLOG normal form (§5.1 after Claim B.2).
+inline constexpr int output_of(int state) {
+  return (state == kS1 || state == kY) ? 1 : 0;
+}
+
+// An unordered pair of states, canonicalized first <= second.
+struct StatePair {
+  std::uint8_t first = 0;
+  std::uint8_t second = 0;
+
+  static StatePair canonical(int a, int b);
+
+  friend bool operator==(const StatePair&, const StatePair&) = default;
+};
+
+// Index of an unordered pair in [0, 10).
+int pair_index(int a, int b);
+StatePair pair_from_index(int index);
+
+// A deterministic four-state algorithm: unordered pair -> unordered pair.
+// (Per Claim B.5, for *correct* algorithms same-output pairs are fixed
+// points; the constructor does not enforce this so that incorrect
+// candidates can be represented and refuted.)
+class FourStateTable {
+ public:
+  // Identity on every pair.
+  FourStateTable();
+
+  // Sets the reaction for the unordered pair {a, b}.
+  void set(int a, int b, int result_a, int result_b);
+
+  StatePair result(int a, int b) const;
+
+  // The [DV12]/[MNRS14] protocol expressed in this normal form
+  // (S0 = B-strong, S1 = A-strong, X = b-weak, Y = a-weak):
+  //   [S0,S1] -> [X,Y], [S0,Y] -> [S0,X], [S1,X] -> [S1,Y].
+  static FourStateTable dv12();
+
+  // Claim B.8: every reaction conserves #S0 − #S1.
+  bool conserves_strong_difference() const;
+
+  // Claim B.9: some potential assignment from {±1, ±3} with S0, X positive
+  // is conserved by every reaction. Returns the potential (indexed by
+  // state) if one exists.
+  std::optional<std::array<int, 4>> conserved_potential() const;
+
+  std::string describe() const;
+
+ private:
+  std::array<StatePair, 10> table_;
+};
+
+// A configuration of n agents: counts of S0, S1, X, Y.
+struct Config {
+  std::array<std::uint16_t, 4> count{};
+
+  std::uint32_t total() const;
+  bool unanimous(int output) const;
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+// Exhaustive reachability analysis of a candidate algorithm at a fixed
+// population size n (the state space has O(n^3) configurations).
+class ConfigurationGraph {
+ public:
+  ConfigurationGraph(const FourStateTable& table, std::uint32_t n);
+
+  std::uint32_t population() const noexcept { return n_; }
+  std::size_t num_configs() const noexcept { return configs_.size(); }
+
+  // Index of a configuration (must sum to n).
+  std::size_t index_of(const Config& config) const;
+  const Config& config_at(std::size_t index) const;
+
+  // All configurations reachable from `start` (inclusive).
+  std::vector<bool> reachable_from(const Config& start) const;
+
+  // Configurations committed to output o: every configuration reachable
+  // from them (including themselves) is unanimously o. These are exactly
+  // the absorbing sets C_o of Theorem B.1.
+  const std::vector<bool>& committed(int output) const;
+
+  // Theorem B.1's three correctness properties, checked exactly for this n:
+  // for every initial split with a strict majority of S_i agents,
+  //   (safety)   no reachable configuration is committed to 1 − i, and
+  //   (liveness) every reachable configuration can still reach a
+  //              configuration committed to i (implies C_i nonempty).
+  bool satisfies_majority_correctness() const;
+
+ private:
+  void build();
+  std::vector<bool> backward_closure(const std::vector<bool>& targets) const;
+
+  FourStateTable table_;
+  std::uint32_t n_;
+  std::vector<Config> configs_;
+  std::vector<std::vector<std::uint32_t>> successors_;
+  std::vector<bool> committed_[2];
+};
+
+// Convenience: is the candidate correct for every population size in
+// [2, max_n]?
+bool correct_up_to(const FourStateTable& table, std::uint32_t max_n);
+
+}  // namespace popbean::fourstate

@@ -1,0 +1,59 @@
+// Trajectory invariant checking.
+//
+// The AVC correctness argument rests on Invariant 4.3: the sum of encoded
+// values never changes. These helpers let tests and examples assert such
+// invariants along simulated trajectories of any engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+// Checks the AVC sum invariant (paper Invariant 4.3) against the value
+// captured at construction.
+class AvcSumInvariant {
+ public:
+  AvcSumInvariant(const avc::AvcProtocol& protocol, const Counts& initial)
+      : protocol_(&protocol), expected_(protocol.total_value(initial)) {}
+
+  std::int64_t expected() const noexcept { return expected_; }
+
+  bool holds(const Counts& counts) const {
+    return protocol_->total_value(counts) == expected_;
+  }
+
+ private:
+  const avc::AvcProtocol* protocol_;
+  std::int64_t expected_;
+};
+
+// Steps `engine` up to `max_interactions`, invoking `inspect(counts)` after
+// every `stride` interactions (and once before the first step and once at
+// the end). Stops early when all agents share an output. Returns the number
+// of interactions executed.
+template <EngineLike E>
+std::uint64_t inspect_trajectory(
+    E& engine, Xoshiro256ss& rng, std::uint64_t max_interactions,
+    std::uint64_t stride, const std::function<void(const Counts&)>& inspect) {
+  inspect(engine.counts());
+  std::uint64_t last_inspection = engine.steps();
+  while (engine.steps() < max_interactions && !engine.all_same_output()) {
+    const std::uint64_t before = engine.steps();
+    engine.step(rng);
+    if (engine.steps() == before) break;  // absorbing (skip engine)
+    if (engine.steps() - last_inspection >= stride) {
+      inspect(engine.counts());
+      last_inspection = engine.steps();
+    }
+  }
+  inspect(engine.counts());
+  return engine.steps();
+}
+
+}  // namespace popbean

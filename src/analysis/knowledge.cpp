@@ -1,0 +1,44 @@
+#include "analysis/knowledge.hpp"
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+KnowledgeTracker::KnowledgeTracker(std::uint64_t n, std::uint64_t seeds)
+    : num_nodes_(n), known_(seeds), in_set_(n, false) {
+  POPBEAN_CHECK(n >= 2);
+  POPBEAN_CHECK(seeds >= 1 && seeds <= n);
+  for (std::uint64_t v = 0; v < seeds; ++v) in_set_[v] = true;
+}
+
+void KnowledgeTracker::step(Xoshiro256ss& rng) {
+  const std::uint64_t u = rng.below(num_nodes_);
+  std::uint64_t v = rng.below(num_nodes_ - 1);
+  if (v >= u) ++v;
+  if (in_set_[u] != in_set_[v]) {
+    in_set_[u] = true;
+    in_set_[v] = true;
+    ++known_;
+  }
+  ++steps_;
+}
+
+double KnowledgeTracker::run_to_completion(Xoshiro256ss& rng) {
+  while (!complete()) step(rng);
+  return static_cast<double>(steps_) / static_cast<double>(num_nodes_);
+}
+
+double KnowledgeTracker::expected_interactions(std::uint64_t n,
+                                               std::uint64_t seeds) {
+  POPBEAN_CHECK(n >= 2 && seeds >= 1 && seeds <= n);
+  const auto dn = static_cast<double>(n);
+  double expected = 0.0;
+  for (std::uint64_t i = seeds + 1; i <= n; ++i) {
+    const auto di = static_cast<double>(i);
+    const double p = 2.0 * (di - 1.0) * (dn - di + 1.0) / (dn * (dn - 1.0));
+    expected += 1.0 / p;
+  }
+  return expected;
+}
+
+}  // namespace popbean

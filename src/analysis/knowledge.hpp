@@ -1,0 +1,47 @@
+// Information-propagation ("knowledge set") process from the Ω(log n) lower
+// bound (paper §5.2, Theorem C.1 and Claim C.2).
+//
+// K_0 = T (a designated seed set); whenever an interaction pairs a node in
+// K_{t−1} with one outside it, both endpoints join K_t. A node whose initial
+// value could decide the majority cannot be output-committed before it is
+// causally reached, so the parallel time for |K_t| to reach n lower-bounds
+// convergence; it concentrates around Θ(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+
+class KnowledgeTracker {
+ public:
+  // n nodes, the first `seeds` of which form T (the paper uses |T| = 3).
+  KnowledgeTracker(std::uint64_t n, std::uint64_t seeds = 3);
+
+  std::uint64_t num_nodes() const noexcept { return num_nodes_; }
+  std::uint64_t known() const noexcept { return known_; }
+  std::uint64_t steps() const noexcept { return steps_; }
+  bool complete() const noexcept { return known_ == num_nodes_; }
+
+  // One uniformly random ordered pair of distinct nodes on the clique.
+  void step(Xoshiro256ss& rng);
+
+  // Runs until every node is in K_t; returns the parallel time (steps / n).
+  double run_to_completion(Xoshiro256ss& rng);
+
+  // Expected number of interactions until |K| = n, by the coupon-style sum
+  // E[Y] = Σ_{i=|T|+1..n} 1/p_i with p_i = 2(i−1)(n−i+1)/(n(n−1))
+  // (both orientations of a K–non-K pair grow the set). Used by the
+  // lower-bound bench to overlay theory on measurement.
+  static double expected_interactions(std::uint64_t n, std::uint64_t seeds = 3);
+
+ private:
+  std::uint64_t num_nodes_;
+  std::uint64_t known_;
+  std::uint64_t steps_ = 0;
+  std::vector<bool> in_set_;
+};
+
+}  // namespace popbean

@@ -1,0 +1,165 @@
+// Mean-field (fluid-limit) dynamics of a population protocol.
+//
+// As n → ∞ the empirical state distribution x(t) ∈ Δ^s of a population
+// protocol on the clique converges (Kurtz's theorem) to the solution of the
+// ODE system
+//
+//     dx_k/dt = Σ_{i,j reactive} x_i · x_j · Δ^{(i,j)}_k ,
+//
+// where Δ^{(i,j)} is the (integer) change to the count of state k caused by
+// the ordered interaction (i, j), and t is parallel time. [PVV09] analyse
+// the three-state protocol exactly through this limit system (the paper
+// cites their O(log 1/ε + log n) bound for the limit dynamics), and the
+// cell-cycle-switch equivalence of [CCN12] is likewise a statement about
+// these ODEs.
+//
+// MeanField compiles any ProtocolLike into its ODE vector field;
+// integrate() runs a classic RK4 integrator. Tests validate conservation
+// laws (probability mass, the AVC value sum), the known three-state
+// equilibria, and convergence of stochastic runs to the fluid limit as n
+// grows.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class MeanField {
+ public:
+  template <ProtocolLike P>
+  explicit MeanField(const P& protocol)
+      : num_states_(protocol.num_states()) {
+    for (State i = 0; i < num_states_; ++i) {
+      for (State j = 0; j < num_states_; ++j) {
+        const Transition t = protocol.apply(i, j);
+        if (is_null(t, i, j)) continue;
+        Term term;
+        term.i = i;
+        term.j = j;
+        add_delta(term, i, -1);
+        add_delta(term, j, -1);
+        add_delta(term, t.initiator, +1);
+        add_delta(term, t.responder, +1);
+        // Drop reactions that are pure swaps (no net count change).
+        term.deltas.erase(
+            std::remove_if(term.deltas.begin(), term.deltas.end(),
+                           [](const auto& d) { return d.second == 0; }),
+            term.deltas.end());
+        if (!term.deltas.empty()) terms_.push_back(std::move(term));
+      }
+    }
+  }
+
+  std::size_t num_states() const noexcept { return num_states_; }
+  std::size_t num_reactive_terms() const noexcept { return terms_.size(); }
+
+  // dx/dt at the given state distribution (x need not be normalized; the
+  // field is the formal polynomial above).
+  std::vector<double> derivative(const std::vector<double>& x) const {
+    POPBEAN_CHECK(x.size() == num_states_);
+    std::vector<double> dx(num_states_, 0.0);
+    for (const Term& term : terms_) {
+      const double rate = x[term.i] * x[term.j];
+      for (const auto& [state, delta] : term.deltas) {
+        dx[state] += rate * static_cast<double>(delta);
+      }
+    }
+    return dx;
+  }
+
+  // Fourth-order Runge–Kutta from x0 over `steps` steps of size dt.
+  // `inspect(t, x)` is called before the first step and after every step.
+  std::vector<double> integrate(
+      std::vector<double> x, double dt, std::size_t steps,
+      const std::function<void(double, const std::vector<double>&)>& inspect =
+          nullptr) const {
+    POPBEAN_CHECK(x.size() == num_states_);
+    POPBEAN_CHECK(dt > 0.0);
+    double t = 0.0;
+    if (inspect) inspect(t, x);
+    std::vector<double> k1, k2, k3, k4, probe(num_states_);
+    for (std::size_t step = 0; step < steps; ++step) {
+      k1 = derivative(x);
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        probe[s] = x[s] + 0.5 * dt * k1[s];
+      }
+      k2 = derivative(probe);
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        probe[s] = x[s] + 0.5 * dt * k2[s];
+      }
+      k3 = derivative(probe);
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        probe[s] = x[s] + dt * k3[s];
+      }
+      k4 = derivative(probe);
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        x[s] += dt / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s]);
+      }
+      t += dt;
+      if (inspect) inspect(t, x);
+    }
+    return x;
+  }
+
+  // Integrates until `done(x)` holds or t exceeds t_max; returns the time
+  // (or t_max if the predicate never held).
+  double integrate_until(std::vector<double> x, double dt, double t_max,
+                         const std::function<bool(const std::vector<double>&)>&
+                             done) const {
+    POPBEAN_CHECK(dt > 0.0 && t_max > 0.0);
+    double reached = t_max;
+    bool found = done(x);
+    if (found) return 0.0;
+    double t = 0.0;
+    while (t < t_max) {
+      x = integrate(std::move(x), dt, 1);
+      t += dt;
+      if (done(x)) {
+        reached = t;
+        break;
+      }
+    }
+    return reached;
+  }
+
+ private:
+  struct Term {
+    State i = 0;
+    State j = 0;
+    std::vector<std::pair<State, int>> deltas;  // state -> net count change
+  };
+
+  static void add_delta(Term& term, State state, int amount) {
+    for (auto& [existing, delta] : term.deltas) {
+      if (existing == state) {
+        delta += amount;
+        return;
+      }
+    }
+    term.deltas.emplace_back(state, amount);
+  }
+
+  std::size_t num_states_;
+  std::vector<Term> terms_;
+};
+
+// Normalized state distribution of a configuration.
+inline std::vector<double> to_distribution(const std::vector<std::uint64_t>& counts) {
+  double total = 0.0;
+  for (auto c : counts) total += static_cast<double>(c);
+  POPBEAN_CHECK(total > 0.0);
+  std::vector<double> x(counts.size());
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    x[s] = static_cast<double>(counts[s]) / total;
+  }
+  return x;
+}
+
+}  // namespace popbean

@@ -1,0 +1,67 @@
+#include "core/avc.hpp"
+
+#include "util/check.hpp"
+
+namespace popbean::avc {
+
+AvcProtocol::AvcProtocol(int m, int d) : codec_(m, d) {}
+
+State AvcProtocol::initial_state(Opinion opinion) const noexcept {
+  return codec_.from_value(opinion == Opinion::A ? codec_.m() : -codec_.m());
+}
+
+State AvcProtocol::shift_to_zero(State q) const noexcept {
+  // ±1_j ↦ ±1_{j+1} for j < d; every other state is unchanged (Fig. 1).
+  if (!codec_.is_intermediate(q)) return q;
+  const int level = codec_.level_of(q);
+  if (level >= codec_.d()) return q;
+  return codec_.intermediate(codec_.sign_of(q), level + 1);
+}
+
+Transition AvcProtocol::apply(State x, State y) const noexcept {
+  const int wx = codec_.weight_of(x);
+  const int wy = codec_.weight_of(y);
+
+  // Averaging reaction (Fig. 1 line 11): both non-zero, at least one strong.
+  if (wx > 0 && wy > 0 && (wx > 1 || wy > 1)) {
+    const int sum = codec_.value_of(x) + codec_.value_of(y);
+    POPBEAN_DCHECK(sum % 2 == 0);  // both values odd
+    const int half = sum / 2;
+    const bool half_odd = half % 2 != 0;
+    const int lo = half_odd ? half : half - 1;  // R↓
+    const int hi = half_odd ? half : half + 1;  // R↑
+    return {codec_.from_value(lo), codec_.from_value(hi)};
+  }
+
+  // Zero meets non-zero (lines 12–14); guard corrected to `sum ≠ 0`
+  // (see header). Zero meets zero falls through to the final case, a no-op.
+  if ((wx == 0) != (wy == 0)) {
+    if (wx != 0) {
+      return {shift_to_zero(x), codec_.weak(codec_.sign_of(x))};
+    }
+    return {codec_.weak(codec_.sign_of(y)), shift_to_zero(y)};
+  }
+
+  // Intermediate neutralization (lines 15–17): opposite-sign weight-1 pair
+  // with at least one participant at the deepest level d.
+  if (wx == 1 && wy == 1 && codec_.sign_of(x) != codec_.sign_of(y) &&
+      (codec_.level_of(x) == codec_.d() || codec_.level_of(y) == codec_.d())) {
+    return {codec_.weak(-1), codec_.weak(+1)};
+  }
+
+  // Remaining pairs (lines 18–19): weight-1 pairs not covered above drift
+  // one level toward d; zero–zero pairs are unchanged.
+  return {shift_to_zero(x), shift_to_zero(y)};
+}
+
+std::int64_t AvcProtocol::total_value(const Counts& counts) const {
+  POPBEAN_CHECK(counts.size() == num_states());
+  std::int64_t total = 0;
+  for (State q = 0; q < counts.size(); ++q) {
+    total += static_cast<std::int64_t>(value_of(q)) *
+             static_cast<std::int64_t>(counts[q]);
+  }
+  return total;
+}
+
+}  // namespace popbean::avc

@@ -1,0 +1,81 @@
+// The Average-and-Conquer (AVC) protocol — the paper's primary contribution
+// (§3, Figure 1). Solves *exact* majority with s = m + 2d + 1 states in
+// expected parallel time O(log n/(sε) + log n log s) (Theorem 4.1).
+//
+// Dynamics, by the three reaction families of Fig. 1:
+//
+//  * Averaging (line 11): whenever two non-zero values meet and at least one
+//    is strong (weight > 1), they take the two odd values bracketing their
+//    average: h = (value(x) + value(y)) / 2 (an integer — both values are
+//    odd), results R↓(h), R↑(h). Results of ±1 enter the level-1
+//    intermediate state. The total value Σ value is preserved exactly
+//    (Invariant 4.3); this is what makes the protocol exact.
+//
+//  * Zero meets non-zero (lines 12–14): the weak node adopts the partner's
+//    sign (Sign-to-Zero); an intermediate partner is pushed one level toward
+//    d (Shift-to-Zero); a strong partner is unchanged.
+//    NOTE: the TR's pseudocode prints the guard as `value(x)+value(y) > 0`;
+//    the prose and the correctness proofs (Lemma A.1, Claim 4.5) require
+//    `≠ 0` — with `> 0` weak nodes could never adopt a negative majority.
+//    We implement `≠ 0`. Since exactly one participant has weight 0 here,
+//    the sum is the non-zero participant's value, so the guard only excludes
+//    the zero-meets-zero null reaction.
+//
+//  * Intermediate neutralization (lines 15–17): two weight-1 nodes of
+//    opposite sign, at least one at the last level d, cancel into −0 and +0.
+//    Any other pair of weight-≤1 nodes just drifts one level toward d
+//    (line 19, Shift-to-Zero on both).
+//
+// With m = 1, d = 1 this is state-for-state the four-state protocol of
+// [DV12, MNRS14] (see tests/core/avc_four_state_equivalence_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/avc_state.hpp"
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+
+namespace popbean::avc {
+
+class AvcProtocol {
+ public:
+  // m: odd integer ≥ 1, the initial weight of inputs (±m).
+  // d: number of intermediate levels ≥ 1; the paper's analysis uses
+  //    d = Θ(log m log n) while its experiments use d = 1.
+  AvcProtocol(int m, int d);
+
+  int m() const noexcept { return codec_.m(); }
+  int d() const noexcept { return codec_.d(); }
+  const StateCodec& codec() const noexcept { return codec_; }
+
+  std::size_t num_states() const noexcept { return codec_.num_states(); }
+
+  // A ↦ +m, B ↦ −m (for m = 1 these are the level-1 intermediates ±1₁).
+  State initial_state(Opinion opinion) const noexcept;
+
+  // γ: sign(+) ↦ 1 (majority A), sign(−) ↦ 0 (majority B).
+  Output output(State q) const noexcept { return codec_.sign_of(q) > 0 ? 1 : 0; }
+
+  Transition apply(State x, State y) const noexcept;
+
+  std::string state_name(State q) const { return codec_.name(q); }
+
+  // Value encoded by a state (sign · weight); exposed for invariant checks.
+  int value_of(State q) const noexcept { return codec_.value_of(q); }
+
+  // Σ over agents of value(state) — the conserved quantity of
+  // Invariant 4.3. For the canonical input with a agents at +m and b at −m
+  // this equals (a − b)·m.
+  std::int64_t total_value(const Counts& counts) const;
+
+ private:
+  State shift_to_zero(State q) const noexcept;
+
+  StateCodec codec_;
+};
+
+static_assert(ProtocolLike<AvcProtocol>);
+
+}  // namespace popbean::avc

@@ -1,0 +1,82 @@
+// Observables over AVC configurations matching the quantities tracked by
+// the paper's analysis (§4).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/avc.hpp"
+#include "population/trace.hpp"
+
+namespace popbean::avc {
+
+// Largest weight among nodes with positive (sign > 0) values — the quantity
+// Claim A.2 shows halves every O(log n) negative-rounds. Zero if none.
+inline Observable max_positive_weight(const AvcProtocol& protocol) {
+  return {"max_pos_weight", [&protocol](const Counts& counts) {
+            int best = 0;
+            for (State q = 0; q < counts.size(); ++q) {
+              if (counts[q] > 0 && protocol.value_of(q) > 0) {
+                best = std::max(best, protocol.value_of(q));
+              }
+            }
+            return static_cast<double>(best);
+          }};
+}
+
+// Largest weight among nodes with strictly negative values.
+inline Observable max_negative_weight(const AvcProtocol& protocol) {
+  return {"max_neg_weight", [&protocol](const Counts& counts) {
+            int best = 0;
+            for (State q = 0; q < counts.size(); ++q) {
+              if (counts[q] > 0 && protocol.value_of(q) < 0) {
+                best = std::max(best, -protocol.value_of(q));
+              }
+            }
+            return static_cast<double>(best);
+          }};
+}
+
+// Number of weak (weight-0) nodes — Claim A.3 shows none appear during the
+// first Θ(n log m log n) interactions, w.h.p.
+inline Observable weak_nodes(const AvcProtocol& protocol) {
+  return {"weak_nodes", [&protocol](const Counts& counts) {
+            std::uint64_t total = 0;
+            const auto& codec = protocol.codec();
+            total += counts[codec.weak(+1)];
+            total += counts[codec.weak(-1)];
+            return static_cast<double>(total);
+          }};
+}
+
+// Number of nodes whose value is strictly positive / strictly negative —
+// the "positive-round / negative-round" classification of §4 watches these
+// against n/3.
+inline Observable strictly_positive_nodes(const AvcProtocol& protocol) {
+  return {"positive_nodes", [&protocol](const Counts& counts) {
+            std::uint64_t total = 0;
+            for (State q = 0; q < counts.size(); ++q) {
+              if (protocol.value_of(q) > 0) total += counts[q];
+            }
+            return static_cast<double>(total);
+          }};
+}
+
+inline Observable strictly_negative_nodes(const AvcProtocol& protocol) {
+  return {"negative_nodes", [&protocol](const Counts& counts) {
+            std::uint64_t total = 0;
+            for (State q = 0; q < counts.size(); ++q) {
+              if (protocol.value_of(q) < 0) total += counts[q];
+            }
+            return static_cast<double>(total);
+          }};
+}
+
+// The conserved sum Σ value (Invariant 4.3) — constant along any valid run.
+inline Observable total_value(const AvcProtocol& protocol) {
+  return {"total_value", [&protocol](const Counts& counts) {
+            return static_cast<double>(protocol.total_value(counts));
+          }};
+}
+
+}  // namespace popbean::avc

@@ -1,0 +1,49 @@
+#include "core/avc_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace popbean::avc {
+
+int largest_odd_at_most(std::int64_t x) {
+  POPBEAN_CHECK_MSG(x >= 1, "no odd integer >= 1 available");
+  const std::int64_t odd = x % 2 == 0 ? x - 1 : x;
+  POPBEAN_CHECK(odd <= 2147483647);
+  return static_cast<int>(odd);
+}
+
+AvcParams from_state_budget(std::int64_t s, int d) {
+  POPBEAN_CHECK(d >= 1);
+  POPBEAN_CHECK_MSG(s >= 2 * d + 2, "state budget too small for m >= 1");
+  return {largest_odd_at_most(s - 2 * d - 1), d};
+}
+
+AvcParams n_state(std::uint64_t n) {
+  POPBEAN_CHECK(n >= 4);
+  return from_state_budget(static_cast<std::int64_t>(n), /*d=*/1);
+}
+
+AvcParams for_epsilon(double epsilon, int d) {
+  POPBEAN_CHECK(epsilon > 0.0 && epsilon <= 1.0);
+  POPBEAN_CHECK(d >= 1);
+  const auto budget = static_cast<std::int64_t>(std::ceil(1.0 / epsilon));
+  // Never go below the minimal legal protocol (m = 1).
+  return from_state_budget(std::max<std::int64_t>(budget, 2 * d + 2), d);
+}
+
+AvcParams theorem_setting(std::uint64_t n) {
+  POPBEAN_CHECK(n >= 4);
+  const double log_n = std::log(static_cast<double>(n));
+  const double log_log_n = std::log(std::max(std::exp(1.0), log_n));
+  const auto m_target =
+      static_cast<std::int64_t>(std::ceil(log_n * log_log_n));
+  const int m = largest_odd_at_most(
+      std::max<std::int64_t>(m_target | 1, 1));
+  const double log_m = std::log(std::max(2.0, static_cast<double>(m)));
+  const auto d = static_cast<int>(std::ceil(1000.0 * log_m * log_n));
+  return {m, std::max(1, d)};
+}
+
+}  // namespace popbean::avc

@@ -1,0 +1,38 @@
+// Parameter-selection helpers for AVC (paper §4).
+#pragma once
+
+#include <cstdint>
+
+namespace popbean::avc {
+
+struct AvcParams {
+  int m = 1;  // odd, >= 1
+  int d = 1;  // >= 1
+
+  // Number of protocol states s = m + 2d + 1.
+  int num_states() const noexcept { return m + 2 * d + 1; }
+};
+
+// Largest odd integer <= x (>= 1).
+int largest_odd_at_most(std::int64_t x);
+
+// Picks m for a target state budget s with the given number of intermediate
+// levels: the largest odd m with m + 2d + 1 <= s. Requires s >= 2d + 2.
+// The paper's experiments use d = 1, so e.g. s = 4 -> m = 1 (the four-state
+// protocol) and s = 6 -> m = 3.
+AvcParams from_state_budget(std::int64_t s, int d = 1);
+
+// The "n-state AVC" of Figure 3: state budget ~= n, d = 1.
+AvcParams n_state(std::uint64_t n);
+
+// Corollary 4.2 setting: s ~= 1/epsilon (d = 1 in the experimental variant),
+// so the convergence time is O(log 1/eps * log n) in expectation.
+AvcParams for_epsilon(double epsilon, int d = 1);
+
+// The parameterization used by the Theorem 4.1 analysis:
+// m in [log n log log n, n] and d = 1000 log m log n (natural logs rounded
+// up; m rounded to odd). This yields a large-but-valid protocol mainly of
+// theoretical interest; experiments use d = 1.
+AvcParams theorem_setting(std::uint64_t n);
+
+}  // namespace popbean::avc

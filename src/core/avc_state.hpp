@@ -1,0 +1,170 @@
+// State space of the Average-and-Conquer (AVC) protocol (paper §3, Fig. 1).
+//
+// Every state carries a sign (+/−) and a weight, and represents the integer
+// value sign · weight:
+//
+//   strong states        weight w ∈ {3, 5, …, m} (odd), values ±3 … ±m
+//   intermediate states  weight 1 at a level j ∈ {1 … d}: ±1₁ … ±1_d
+//   weak states          weight 0: +0 and −0
+//
+// Total: s = m + 2d + 1 states. This header provides the bijection between
+// semantic states and the dense ids the engines operate on, laid out in
+// ascending value order:
+//
+//   id:    0 … (m−3)/2 | … | (m−1)/2+j−1 | +d → −0, +0 | … | top
+//   state: −m … −3     |    −1₁ … −1_d   |   −0    +0  | +1_d … +1₁? (see below)
+//
+// Positive intermediates mirror the negative ones: +1_j sits at
+// weak_plus + j, i.e. ids ascend +1_1 … +1_d … no — they ascend by *level*
+// after +0 (see index arithmetic); the exact layout is an implementation
+// detail hidden behind the encode/decode functions and covered by
+// round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean::avc {
+
+enum class Kind : std::uint8_t { kStrong, kIntermediate, kWeak };
+
+// Decoded (semantic) AVC state.
+struct DecodedState {
+  Kind kind = Kind::kWeak;
+  int sign = +1;   // +1 or −1; the tentative output
+  int weight = 0;  // m ≥ weight ≥ 3 odd (strong), 1 (intermediate), 0 (weak)
+  int level = 0;   // 1 … d for intermediates, 0 otherwise
+
+  int value() const noexcept { return sign * weight; }
+
+  friend bool operator==(const DecodedState&, const DecodedState&) = default;
+};
+
+// Codec for one (m, d) parameterization. m must be odd and ≥ 1; d ≥ 1.
+class StateCodec {
+ public:
+  StateCodec(int m, int d) : m_(m), d_(d) {
+    POPBEAN_CHECK_MSG(m >= 1 && m % 2 == 1, "m must be an odd integer >= 1");
+    POPBEAN_CHECK_MSG(d >= 1, "d must be >= 1");
+    strong_per_sign_ = (m - 1) / 2;  // weights 3, 5, …, m
+  }
+
+  int m() const noexcept { return m_; }
+  int d() const noexcept { return d_; }
+
+  // s = m + 2d + 1 (paper §3, "State Parameters").
+  std::size_t num_states() const noexcept {
+    return static_cast<std::size_t>(m_) + 2 * static_cast<std::size_t>(d_) + 1;
+  }
+
+  // --- id layout ------------------------------------------------------------
+  // [0, S)                      strong negatives: id k ↦ value −m + 2k
+  // [S, S+d)                    −1_j: id S + (j−1)
+  // S+d, S+d+1                  −0, +0
+  // [S+d+2, S+2d+2)             +1_j: id S + d + 2 + (j−1)
+  // [S+2d+2, S+2d+2+S)          strong positives: id base + k ↦ value 3 + 2k
+  // where S = strong_per_sign_ = (m−1)/2.
+
+  State weak(int sign) const noexcept {
+    return static_cast<State>(strong_per_sign_ + d_ + (sign > 0 ? 1 : 0));
+  }
+
+  State intermediate(int sign, int level) const {
+    POPBEAN_CHECK(level >= 1 && level <= d_);
+    const int base = sign > 0 ? strong_per_sign_ + d_ + 2 : strong_per_sign_;
+    return static_cast<State>(base + (level - 1));
+  }
+
+  // Encodes an odd value v with |v| ∈ {1, 3, …, m}. Values ±1 map to the
+  // level-1 intermediate (the ϕ rounding function of Fig. 1).
+  State from_value(int v) const {
+    POPBEAN_CHECK_MSG(v != 0 && v % 2 != 0, "value must be odd");
+    POPBEAN_CHECK_MSG(v >= -m_ && v <= m_, "value out of range");
+    if (v == 1 || v == -1) return intermediate(v, 1);
+    if (v < 0) return static_cast<State>((v + m_) / 2);
+    return static_cast<State>(strong_per_sign_ + 2 * d_ + 2 + (v - 3) / 2);
+  }
+
+  DecodedState decode(State q) const {
+    POPBEAN_CHECK(q < num_states());
+    const int id = static_cast<int>(q);
+    if (id < strong_per_sign_) {
+      return {Kind::kStrong, -1, m_ - 2 * id, 0};
+    }
+    if (id < strong_per_sign_ + d_) {
+      return {Kind::kIntermediate, -1, 1, id - strong_per_sign_ + 1};
+    }
+    if (id == strong_per_sign_ + d_) return {Kind::kWeak, -1, 0, 0};
+    if (id == strong_per_sign_ + d_ + 1) return {Kind::kWeak, +1, 0, 0};
+    if (id < strong_per_sign_ + 2 * d_ + 2) {
+      return {Kind::kIntermediate, +1, 1, id - (strong_per_sign_ + d_ + 2) + 1};
+    }
+    return {Kind::kStrong, +1,
+            3 + 2 * (id - (strong_per_sign_ + 2 * d_ + 2)), 0};
+  }
+
+  // Fast accessors (used in the interaction hot path; avoid full decode).
+  int sign_of(State q) const noexcept {
+    return static_cast<int>(q) <= strong_per_sign_ + d_ ? -1 : +1;
+  }
+
+  int weight_of(State q) const noexcept {
+    const int id = static_cast<int>(q);
+    if (id < strong_per_sign_) return m_ - 2 * id;                // strong −
+    if (id < strong_per_sign_ + d_) return 1;                     // −1_j
+    if (id <= strong_per_sign_ + d_ + 1) return 0;                // ±0
+    if (id < strong_per_sign_ + 2 * d_ + 2) return 1;             // +1_j
+    return 3 + 2 * (id - (strong_per_sign_ + 2 * d_ + 2));        // strong +
+  }
+
+  int value_of(State q) const noexcept {
+    return sign_of(q) * weight_of(q);
+  }
+
+  bool is_intermediate(State q) const noexcept {
+    const int id = static_cast<int>(q);
+    return (id >= strong_per_sign_ && id < strong_per_sign_ + d_) ||
+           (id >= strong_per_sign_ + d_ + 2 &&
+            id < strong_per_sign_ + 2 * d_ + 2);
+  }
+
+  int level_of(State q) const noexcept {
+    const int id = static_cast<int>(q);
+    if (id >= strong_per_sign_ && id < strong_per_sign_ + d_) {
+      return id - strong_per_sign_ + 1;
+    }
+    if (id >= strong_per_sign_ + d_ + 2 &&
+        id < strong_per_sign_ + 2 * d_ + 2) {
+      return id - (strong_per_sign_ + d_ + 2) + 1;
+    }
+    return 0;
+  }
+
+  std::string name(State q) const {
+    const DecodedState s = decode(q);
+    switch (s.kind) {
+      case Kind::kWeak:
+        return s.sign > 0 ? "+0" : "-0";
+      case Kind::kIntermediate:
+        return (s.sign > 0 ? std::string("+1_") : std::string("-1_")) +
+               std::to_string(s.level);
+      case Kind::kStrong: {
+        std::string text = std::to_string(s.value());
+        if (s.sign > 0) text.insert(text.begin(), '+');
+        return text;
+      }
+    }
+    POPBEAN_CHECK_MSG(false, "unreachable");
+    return {};
+  }
+
+ private:
+  int m_;
+  int d_;
+  int strong_per_sign_;
+};
+
+}  // namespace popbean::avc

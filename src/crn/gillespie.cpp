@@ -1,0 +1,69 @@
+#include "crn/gillespie.hpp"
+
+#include "util/check.hpp"
+
+namespace popbean::crn {
+
+GillespieEngine::GillespieEngine(ReactionNetwork network,
+                                 std::vector<std::uint64_t> counts)
+    : network_(std::move(network)), counts_(std::move(counts)) {
+  network_.validate();
+  POPBEAN_CHECK(counts_.size() == network_.num_species);
+}
+
+double GillespieEngine::propensity(const Reaction& r) const {
+  if (r.reactants.size() == 1) {
+    return r.rate * static_cast<double>(counts_[r.reactants[0]]);
+  }
+  const SpeciesId a = r.reactants[0];
+  const SpeciesId b = r.reactants[1];
+  if (a == b) {
+    const auto c = static_cast<double>(counts_[a]);
+    return r.rate * c * (c - 1.0) / 2.0;
+  }
+  return r.rate * static_cast<double>(counts_[a]) *
+         static_cast<double>(counts_[b]);
+}
+
+double GillespieEngine::total_propensity() const {
+  double total = 0.0;
+  for (const auto& r : network_.reactions) total += propensity(r);
+  return total;
+}
+
+void GillespieEngine::apply(const Reaction& r) {
+  for (SpeciesId s : r.reactants) {
+    POPBEAN_CHECK_MSG(counts_[s] > 0, "reaction fired without reactants");
+    --counts_[s];
+  }
+  for (SpeciesId s : r.products) ++counts_[s];
+}
+
+bool GillespieEngine::step(Xoshiro256ss& rng) {
+  const double total = total_propensity();
+  if (total <= 0.0) return false;
+  now_ += rng.exponential(total);
+  double target = rng.unit() * total;
+  for (const auto& r : network_.reactions) {
+    const double a = propensity(r);
+    if (target < a) {
+      apply(r);
+      ++firings_;
+      return true;
+    }
+    target -= a;
+  }
+  // Floating-point underflow at the boundary: fire the last reaction with
+  // positive propensity.
+  for (auto it = network_.reactions.rbegin(); it != network_.reactions.rend();
+       ++it) {
+    if (propensity(*it) > 0.0) {
+      apply(*it);
+      ++firings_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace popbean::crn

@@ -1,0 +1,54 @@
+// Exact stochastic simulation of a reaction network (Gillespie's direct
+// method, 1977): exponential holding times at the total propensity, next
+// reaction chosen proportionally to its propensity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crn/reaction.hpp"
+#include "util/rng.hpp"
+
+namespace popbean::crn {
+
+class GillespieEngine {
+ public:
+  GillespieEngine(ReactionNetwork network, std::vector<std::uint64_t> counts);
+
+  const ReactionNetwork& network() const noexcept { return network_; }
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  double now() const noexcept { return now_; }
+  std::uint64_t firings() const noexcept { return firings_; }
+
+  // Sum of all reaction propensities in the current state; 0 ⇔ no reaction
+  // can fire (the network is exhausted).
+  double total_propensity() const;
+
+  // Fires one reaction and advances the clock. Returns false (leaving the
+  // state unchanged) when no reaction can fire.
+  bool step(Xoshiro256ss& rng);
+
+  // Runs until `until(counts)` is true, the network exhausts, or
+  // `max_firings` is hit. Returns the number of reactions fired.
+  template <typename Predicate>
+  std::uint64_t run_until(Xoshiro256ss& rng, Predicate until,
+                          std::uint64_t max_firings) {
+    std::uint64_t fired = 0;
+    while (fired < max_firings && !until(counts_)) {
+      if (!step(rng)) break;
+      ++fired;
+    }
+    return fired;
+  }
+
+ private:
+  double propensity(const Reaction& r) const;
+  void apply(const Reaction& r);
+
+  ReactionNetwork network_;
+  std::vector<std::uint64_t> counts_;
+  double now_ = 0.0;
+  std::uint64_t firings_ = 0;
+};
+
+}  // namespace popbean::crn

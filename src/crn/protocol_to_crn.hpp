@@ -1,0 +1,55 @@
+// Compiles a population protocol into a chemical reaction network whose
+// stochastic semantics match the protocol's continuous-time model.
+//
+// In the continuous-time population model, every ordered pair of distinct
+// agents interacts at rate 1/n, so "real" time matches parallel time in the
+// discrete model as n grows. Species = protocol states. For each ordered
+// state pair (a, b) with a non-null transition (a, b) → (a′, b′) we emit a
+// reaction a + b → a′ + b′:
+//
+//   a ≠ b:  rate 1/n, propensity (1/n)·#a·#b        — matches the c_a·c_b
+//           ordered-pair weight of the discrete chain.
+//   a = b:  rate 2/n, propensity (2/n)·#a·(#a−1)/2  — both orderings of the
+//           same-state pair fire the same transition, and there are
+//           c_a·(c_a−1) ordered pairs.
+//
+// With these rates the embedded jump chain of the CRN is exactly the
+// productive-interaction chain of the protocol, and the CRN's physical time
+// equals the protocol's parallel time in distribution up to the usual
+// exponential-clock fluctuations (verified by tests/crn/*).
+#pragma once
+
+#include <string>
+
+#include "crn/reaction.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean::crn {
+
+template <ProtocolLike P>
+ReactionNetwork compile_protocol(const P& protocol, std::uint64_t n) {
+  POPBEAN_CHECK(n >= 2);
+  ReactionNetwork net;
+  net.num_species = protocol.num_states();
+  net.species_names.reserve(net.num_species);
+  for (State q = 0; q < net.num_species; ++q) {
+    net.species_names.push_back(protocol.state_name(q));
+  }
+  const double pair_rate = 1.0 / static_cast<double>(n);
+  for (State a = 0; a < net.num_species; ++a) {
+    for (State b = 0; b < net.num_species; ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (is_null(t, a, b)) continue;
+      Reaction r;
+      r.reactants = {a, b};
+      r.products = {t.initiator, t.responder};
+      r.rate = a == b ? 2.0 * pair_rate : pair_rate;
+      net.reactions.push_back(std::move(r));
+    }
+  }
+  net.validate();
+  return net;
+}
+
+}  // namespace popbean::crn

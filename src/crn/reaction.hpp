@@ -1,0 +1,49 @@
+// Chemical reaction network (CRN) vocabulary.
+//
+// Population protocols are the computational abstraction of well-mixed
+// chemistries; the paper's motivation (§1) cites DNA strand-displacement
+// implementations [CDS+13]. This module lets any protocol be run as a CRN
+// under mass-action stochastic kinetics and cross-checked against the
+// discrete pairwise model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace popbean::crn {
+
+using SpeciesId = std::uint32_t;
+
+// A reaction with at most two reactants and arbitrary products, firing with
+// mass-action propensity:
+//   one reactant A:            rate · #A
+//   two distinct reactants A+B: rate · #A · #B
+//   doubled reactant A+A:      rate · #A · (#A − 1) / 2
+struct Reaction {
+  std::vector<SpeciesId> reactants;  // size 1 or 2
+  std::vector<SpeciesId> products;
+  double rate = 1.0;
+
+  void validate(std::size_t num_species) const {
+    POPBEAN_CHECK(!reactants.empty() && reactants.size() <= 2);
+    POPBEAN_CHECK(rate > 0.0);
+    for (SpeciesId s : reactants) POPBEAN_CHECK(s < num_species);
+    for (SpeciesId s : products) POPBEAN_CHECK(s < num_species);
+  }
+};
+
+struct ReactionNetwork {
+  std::size_t num_species = 0;
+  std::vector<Reaction> reactions;
+  std::vector<std::string> species_names;  // optional, for diagnostics
+
+  void validate() const {
+    POPBEAN_CHECK(num_species > 0);
+    for (const auto& r : reactions) r.validate(num_species);
+  }
+};
+
+}  // namespace popbean::crn

@@ -1,0 +1,25 @@
+// Concept satisfied by interaction-graph types the agent engine can drive:
+// the uniform-edge InteractionGraph and the rate-weighted
+// WeightedInteractionGraph both qualify.
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+#include "graph/interaction_graph.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+template <typename G>
+concept GraphLike = requires(const G& graph, Xoshiro256ss& rng) {
+  { graph.num_nodes() } -> std::convertible_to<NodeId>;
+  {
+    graph.sample_directed_edge(rng)
+  } -> std::same_as<std::pair<NodeId, NodeId>>;
+  { graph.is_connected() } -> std::convertible_to<bool>;
+};
+
+static_assert(GraphLike<InteractionGraph>);
+
+}  // namespace popbean

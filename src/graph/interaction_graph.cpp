@@ -1,0 +1,200 @@
+#include "graph/interaction_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+InteractionGraph InteractionGraph::complete(NodeId n) {
+  POPBEAN_CHECK(n >= 2);
+  InteractionGraph g;
+  g.num_nodes_ = n;
+  g.complete_ = true;
+  g.name_ = "complete(" + std::to_string(n) + ")";
+  return g;
+}
+
+InteractionGraph InteractionGraph::ring(NodeId n) {
+  POPBEAN_CHECK(n >= 3);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  auto g = from_edges(n, std::move(edges));
+  g.name_ = "ring(" + std::to_string(n) + ")";
+  return g;
+}
+
+InteractionGraph InteractionGraph::star(NodeId n) {
+  POPBEAN_CHECK(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  auto g = from_edges(n, std::move(edges));
+  g.name_ = "star(" + std::to_string(n) + ")";
+  return g;
+}
+
+InteractionGraph InteractionGraph::grid(NodeId rows, NodeId cols, bool wrap) {
+  POPBEAN_CHECK(rows >= 1 && cols >= 1);
+  const NodeId n = rows * cols;
+  POPBEAN_CHECK(n >= 2);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      else if (wrap && cols > 2) edges.emplace_back(id(r, c), id(r, 0));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+      else if (wrap && rows > 2) edges.emplace_back(id(r, c), id(0, c));
+    }
+  }
+  auto g = from_edges(n, std::move(edges));
+  g.name_ = "grid(" + std::to_string(rows) + "x" + std::to_string(cols) +
+            (wrap ? ",torus)" : ")");
+  return g;
+}
+
+InteractionGraph InteractionGraph::random_regular(NodeId n, NodeId degree,
+                                                  Xoshiro256ss& rng) {
+  POPBEAN_CHECK(degree >= 1 && degree < n);
+  POPBEAN_CHECK_MSG((static_cast<std::uint64_t>(n) * degree) % 2 == 0,
+                    "n * degree must be even");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // Pairing model: each node contributes `degree` stubs; a uniform perfect
+    // matching of the stubs induces a multigraph, accepted if simple.
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * degree);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId k = 0; k < degree; ++k) stubs.push_back(v);
+    }
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.below(i)]);
+    }
+    std::set<std::pair<NodeId, NodeId>> seen;
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+      NodeId a = stubs[i];
+      NodeId b = stubs[i + 1];
+      if (a == b) {
+        simple = false;
+        break;
+      }
+      if (a > b) std::swap(a, b);
+      simple = seen.emplace(a, b).second;
+    }
+    if (!simple) continue;
+    std::vector<std::pair<NodeId, NodeId>> edges(seen.begin(), seen.end());
+    auto g = from_edges(n, std::move(edges));
+    if (!g.is_connected()) continue;
+    g.name_ = "random_regular(" + std::to_string(n) + ",k=" +
+              std::to_string(degree) + ")";
+    return g;
+  }
+  throw std::runtime_error("random_regular: failed to sample a simple "
+                           "connected graph after 1000 attempts");
+}
+
+InteractionGraph InteractionGraph::erdos_renyi(NodeId n, double p,
+                                               Xoshiro256ss& rng,
+                                               bool require_connected) {
+  POPBEAN_CHECK(n >= 2);
+  POPBEAN_CHECK(p > 0.0 && p <= 1.0);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) edges.emplace_back(u, v);
+      }
+    }
+    if (edges.empty()) continue;
+    auto g = from_edges(n, std::move(edges));
+    if (require_connected && !g.is_connected()) continue;
+    g.name_ = "erdos_renyi(" + std::to_string(n) + ",p=" + std::to_string(p) +
+              ")";
+    return g;
+  }
+  throw std::runtime_error(
+      "erdos_renyi: failed to sample a connected graph after 1000 attempts; "
+      "increase p");
+}
+
+InteractionGraph InteractionGraph::from_edges(
+    NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) {
+  POPBEAN_CHECK(n >= 2);
+  for (auto& [u, v] : edges) {
+    POPBEAN_CHECK_MSG(u != v, "self-loops are not allowed");
+    POPBEAN_CHECK(u < n && v < n);
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  POPBEAN_CHECK_MSG(!edges.empty(), "graph must have at least one edge");
+  InteractionGraph g;
+  g.num_nodes_ = n;
+  g.edges_ = std::move(edges);
+  g.name_ = "custom(" + std::to_string(n) + ")";
+  return g;
+}
+
+std::uint64_t InteractionGraph::num_edges() const noexcept {
+  if (complete_) {
+    return static_cast<std::uint64_t>(num_nodes_) * (num_nodes_ - 1) / 2;
+  }
+  return edges_.size();
+}
+
+std::pair<NodeId, NodeId> InteractionGraph::sample_directed_edge(
+    Xoshiro256ss& rng) const {
+  if (complete_) {
+    const auto u = static_cast<NodeId>(rng.below(num_nodes_));
+    auto v = static_cast<NodeId>(rng.below(num_nodes_ - 1));
+    if (v >= u) ++v;  // uniform over nodes distinct from u
+    return {u, v};
+  }
+  const auto& edge = edges_[rng.below(edges_.size())];
+  if (rng.bernoulli(0.5)) return {edge.first, edge.second};
+  return {edge.second, edge.first};
+}
+
+bool InteractionGraph::is_connected() const {
+  if (complete_) return true;
+  std::vector<std::vector<NodeId>> adjacency(num_nodes_);
+  for (const auto& [u, v] : edges_) {
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  }
+  std::vector<bool> visited(num_nodes_, false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  visited[0] = true;
+  NodeId reached = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == num_nodes_;
+}
+
+NodeId InteractionGraph::degree(NodeId v) const {
+  POPBEAN_CHECK(v < num_nodes_);
+  if (complete_) return num_nodes_ - 1;
+  NodeId d = 0;
+  for (const auto& [a, b] : edges_) {
+    if (a == v || b == v) ++d;
+  }
+  return d;
+}
+
+}  // namespace popbean

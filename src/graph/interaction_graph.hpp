@@ -1,0 +1,86 @@
+// Interaction graphs for population protocols.
+//
+// The paper's model (§2) draws, at every discrete step, a uniformly random
+// directed edge of an interaction graph G without self-loops; the complete
+// graph is the case analysed in depth, but the four-state baseline was
+// originally studied on arbitrary connected graphs [DV12]. We store an
+// undirected edge list and orient edges uniformly at sampling time, which is
+// equivalent to the directed model when both orientations are allowed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+
+using NodeId = std::uint32_t;
+
+class InteractionGraph {
+ public:
+  // Named constructors -----------------------------------------------------
+
+  // Clique on n >= 2 nodes. Edges are implicit; no O(n^2) storage.
+  static InteractionGraph complete(NodeId n);
+
+  // Cycle v0 - v1 - ... - v_{n-1} - v0 (n >= 3).
+  static InteractionGraph ring(NodeId n);
+
+  // Star with node 0 as the hub (n >= 2).
+  static InteractionGraph star(NodeId n);
+
+  // 2D grid (torus if wrap) with rows*cols nodes.
+  static InteractionGraph grid(NodeId rows, NodeId cols, bool wrap = false);
+
+  // Random k-regular graph via the pairing model, resampled until simple.
+  // Requires n*k even, k < n.
+  static InteractionGraph random_regular(NodeId n, NodeId degree,
+                                         Xoshiro256ss& rng);
+
+  // Erdős–Rényi G(n, p); if require_connected, resamples until connected
+  // (throws after 1000 attempts — choose p above the connectivity
+  // threshold log(n)/n).
+  static InteractionGraph erdos_renyi(NodeId n, double p, Xoshiro256ss& rng,
+                                      bool require_connected = true);
+
+  // From an explicit undirected edge list (self-loops rejected, duplicates
+  // collapsed).
+  static InteractionGraph from_edges(NodeId n,
+                                     std::vector<std::pair<NodeId, NodeId>> edges);
+
+  // Queries -----------------------------------------------------------------
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::uint64_t num_edges() const noexcept;
+  bool is_complete() const noexcept { return complete_; }
+  const std::string& name() const noexcept { return name_; }
+
+  // Samples a uniformly random ordered pair (initiator, responder) of
+  // adjacent distinct nodes.
+  std::pair<NodeId, NodeId> sample_directed_edge(Xoshiro256ss& rng) const;
+
+  // Connectivity via BFS; the majority problem is only well-posed on
+  // connected graphs.
+  bool is_connected() const;
+
+  NodeId degree(NodeId v) const;
+
+  // The explicit undirected edge list (canonicalized u < v). Empty for the
+  // complete graph, whose edges are implicit.
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  InteractionGraph() = default;
+
+  NodeId num_nodes_ = 0;
+  bool complete_ = false;
+  std::string name_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // empty when complete_
+};
+
+}  // namespace popbean

@@ -1,0 +1,42 @@
+#include "graph/weighted_graph.hpp"
+
+namespace popbean {
+
+WeightedInteractionGraph WeightedInteractionGraph::two_communities(
+    NodeId n, double bridge_weight) {
+  POPBEAN_CHECK(n >= 4 && n % 2 == 0);
+  POPBEAN_CHECK(bridge_weight > 0.0);
+  const NodeId half = n / 2;
+  std::vector<WeightedEdge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const bool left = u < half;
+    const NodeId low = left ? 0 : half;
+    const NodeId high = left ? half : n;
+    for (NodeId v = u + 1; v < high; ++v) {
+      if (v < low) continue;
+      edges.push_back({u, v, 1.0});
+    }
+  }
+  // Single bridge between the last left node and the first right node.
+  edges.push_back({half - 1, half, bridge_weight});
+  return WeightedInteractionGraph(
+      n, std::move(edges),
+      "two_communities(" + std::to_string(n) + ",bridge=" +
+          std::to_string(bridge_weight) + ")");
+}
+
+WeightedInteractionGraph WeightedInteractionGraph::uniform(
+    const InteractionGraph& graph) {
+  POPBEAN_CHECK_MSG(!graph.is_complete(),
+                    "materializing a complete graph's edges is wasteful; use "
+                    "InteractionGraph::complete with AgentEngine directly");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(graph.edges().size());
+  for (const auto& [u, v] : graph.edges()) {
+    edges.push_back({u, v, 1.0});
+  }
+  return WeightedInteractionGraph(graph.num_nodes(), std::move(edges),
+                                  "uniform(" + graph.name() + ")");
+}
+
+}  // namespace popbean

@@ -1,0 +1,15 @@
+#include "harness/experiment.hpp"
+
+namespace popbean {
+
+std::string to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAgent: return "agent";
+    case EngineKind::kCount: return "count";
+    case EngineKind::kSkip: return "skip";
+    case EngineKind::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+}  // namespace popbean

@@ -1,0 +1,156 @@
+// Experiment harness: runs seeded, replicated majority instances of any
+// protocol on a chosen engine and aggregates outcome statistics. This is
+// the layer the reproduction benches (Figures 3 and 4, the scaling and
+// lower-bound studies) are written against.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/protocol.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace popbean {
+
+enum class EngineKind {
+  kAgent,  // explicit agent array, O(1)/interaction
+  kCount,  // Fenwick-sampled counts, O(log s)/interaction
+  kSkip,   // jump-chain (null-interaction skipping), O(s)/productive step
+  kAuto,   // kSkip when the state space is small enough, else kCount
+};
+
+std::string to_string(EngineKind kind);
+
+// A majority-problem input: n agents, the majority opinion leading by
+// `margin` agents (so ε = margin / n, paper §2).
+struct MajorityInstance {
+  std::uint64_t n = 0;
+  std::uint64_t margin = 0;
+  Opinion majority = Opinion::A;
+
+  double epsilon() const noexcept {
+    return static_cast<double>(margin) / static_cast<double>(n);
+  }
+  Output correct_output() const noexcept { return output_of(majority); }
+};
+
+// Builds an instance with ε as close as possible to `epsilon_target`:
+// margin = round(ε·n) clamped to [1, n] and adjusted to n's parity so the
+// two camps are integral.
+inline MajorityInstance make_instance(std::uint64_t n, double epsilon_target,
+                                      Opinion majority = Opinion::A) {
+  POPBEAN_CHECK(n >= 2);
+  POPBEAN_CHECK(epsilon_target > 0.0 && epsilon_target <= 1.0);
+  auto margin = static_cast<std::uint64_t>(
+      std::llround(epsilon_target * static_cast<double>(n)));
+  if (margin < 1) margin = 1;
+  if (margin > n) margin = n;
+  if ((n - margin) % 2 != 0) {
+    margin = margin == n ? margin - 1 : margin + 1;
+  }
+  POPBEAN_CHECK((n - margin) % 2 == 0 && margin >= 1);
+  return {n, margin, majority};
+}
+
+// Runs one replicate to convergence. `stream` individualizes the RNG so
+// replicate r of a sweep point is reproducible in isolation.
+template <ProtocolLike P>
+RunResult run_majority_once(const P& protocol, const MajorityInstance& instance,
+                            EngineKind kind, std::uint64_t seed,
+                            std::uint64_t stream,
+                            std::uint64_t max_interactions) {
+  const Counts counts = majority_instance_with_margin(
+      protocol, instance.n, instance.margin, instance.majority);
+  Xoshiro256ss rng(seed, stream);
+  if (kind == EngineKind::kAuto) {
+    kind = protocol.num_states() <= SkipEngine<P>::kMaxStates
+               ? EngineKind::kSkip
+               : EngineKind::kCount;
+  }
+  switch (kind) {
+    case EngineKind::kAgent: {
+      AgentEngine<P> engine(protocol, counts);
+      engine.shuffle_placement(rng);
+      return run_to_convergence(engine, rng, max_interactions);
+    }
+    case EngineKind::kCount: {
+      CountEngine<P> engine(protocol, counts);
+      return run_to_convergence(engine, rng, max_interactions);
+    }
+    case EngineKind::kSkip: {
+      SkipEngine<P> engine(protocol, counts);
+      return run_to_convergence(engine, rng, max_interactions);
+    }
+    case EngineKind::kAuto:
+      break;
+  }
+  POPBEAN_CHECK_MSG(false, "unreachable engine kind");
+  return {};
+}
+
+// Aggregate over replicates of one experimental point.
+struct ReplicationSummary {
+  std::size_t replicates = 0;
+  std::size_t converged = 0;
+  std::size_t correct = 0;    // converged to the majority output
+  std::size_t wrong = 0;      // converged to the minority output
+  std::size_t unresolved = 0; // step budget exhausted / stuck
+  Summary parallel_time;      // over converged replicates
+
+  // The paper's Figure 3 (right): fraction of runs ending in the error
+  // final state.
+  double error_fraction() const noexcept {
+    return replicates == 0
+               ? 0.0
+               : static_cast<double>(wrong) / static_cast<double>(replicates);
+  }
+};
+
+// Fans `replicates` runs of the instance across the pool. Replicate r uses
+// RNG stream `stream_base + r`.
+template <ProtocolLike P>
+ReplicationSummary run_replicates(ThreadPool& pool, const P& protocol,
+                                  const MajorityInstance& instance,
+                                  EngineKind kind, std::size_t replicates,
+                                  std::uint64_t seed,
+                                  std::uint64_t max_interactions,
+                                  std::uint64_t stream_base = 0) {
+  POPBEAN_CHECK(replicates > 0);
+  std::vector<RunResult> results(replicates);
+  parallel_for_index(pool, replicates, [&](std::size_t r) {
+    results[r] = run_majority_once(protocol, instance, kind, seed,
+                                   stream_base + r, max_interactions);
+  });
+
+  ReplicationSummary summary;
+  summary.replicates = replicates;
+  std::vector<double> times;
+  times.reserve(replicates);
+  for (const RunResult& result : results) {
+    if (result.converged()) {
+      ++summary.converged;
+      times.push_back(result.parallel_time);
+      if (result.decided == instance.correct_output()) {
+        ++summary.correct;
+      } else {
+        ++summary.wrong;
+      }
+    } else {
+      ++summary.unresolved;
+    }
+  }
+  if (!times.empty()) summary.parallel_time = summarize(times);
+  return summary;
+}
+
+}  // namespace popbean

@@ -1,0 +1,55 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           std::size_t min_width)
+    : columns_(std::move(columns)) {
+  POPBEAN_CHECK(!columns_.empty());
+  widths_.reserve(columns_.size());
+  for (const auto& name : columns_) {
+    widths_.push_back(std::max(min_width, name.size() + 2));
+  }
+}
+
+void TablePrinter::header(std::ostream& os) const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& name = columns_[i];
+    os << std::string(widths_[i] - name.size(), ' ') << name;
+    total += widths_[i];
+  }
+  os << "\n" << std::string(total, '-') << "\n";
+}
+
+void TablePrinter::row(std::ostream& os,
+                       const std::vector<std::string>& cells) const {
+  POPBEAN_CHECK(cells.size() == columns_.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    if (cell.size() >= widths_[i]) {
+      os << ' ' << cell;
+    } else {
+      os << std::string(widths_[i] - cell.size(), ' ') << cell;
+    }
+  }
+  os << "\n";
+}
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace popbean

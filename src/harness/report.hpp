@@ -1,0 +1,36 @@
+// Fixed-width table printing for bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace popbean {
+
+// Prints aligned, right-justified columns:
+//
+//   TablePrinter table({"n", "eps", "time"});
+//   table.header(std::cout);
+//   table.row(std::cout, {"101", "0.0099", "25.4"});
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns,
+                        std::size_t min_width = 12);
+
+  void header(std::ostream& os) const;
+  void row(std::ostream& os, const std::vector<std::string>& cells) const;
+
+  std::size_t columns() const noexcept { return columns_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::size_t> widths_;
+};
+
+// Formats a double compactly (%.4g).
+std::string format_value(double value);
+
+// Section banner used by the bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace popbean

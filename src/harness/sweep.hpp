@@ -1,0 +1,42 @@
+// Parameter-sweep helpers for the reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+// `count` log-spaced values from low to high inclusive.
+inline std::vector<double> log_spaced(double low, double high,
+                                      std::size_t count) {
+  POPBEAN_CHECK(low > 0.0 && high > low);
+  POPBEAN_CHECK(count >= 2);
+  std::vector<double> values(count);
+  const double log_low = std::log(low);
+  const double step = (std::log(high) - log_low) /
+                      static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = std::exp(log_low + step * static_cast<double>(i));
+  }
+  values.front() = low;
+  values.back() = high;
+  return values;
+}
+
+// The ε grid of the paper's Figure 4: powers of 10 from 1/n up, densified
+// with a half-decade point, clipped to (0, 0.5].
+inline std::vector<double> figure4_epsilons(std::uint64_t n) {
+  POPBEAN_CHECK(n >= 4);
+  std::vector<double> eps;
+  const double floor_eps = 1.0 / static_cast<double>(n);
+  for (double e = floor_eps; e <= 0.5; e *= std::sqrt(10.0)) {
+    eps.push_back(e);
+  }
+  if (eps.empty() || eps.back() < 0.5) eps.push_back(0.5);
+  return eps;
+}
+
+}  // namespace popbean

@@ -1,0 +1,30 @@
+// Serialization of recorded traces to CSV.
+#pragma once
+
+#include <string>
+
+#include "population/trace.hpp"
+#include "util/csv.hpp"
+
+namespace popbean {
+
+// Writes one row per trace point: parallel_time, interactions, then one
+// column per observable (named from the recorder).
+inline void write_trace_csv(const TraceRecorder& recorder,
+                            const std::string& path) {
+  std::vector<std::string> header = {"parallel_time", "interactions"};
+  for (const Observable& obs : recorder.observables()) {
+    header.push_back(obs.name);
+  }
+  CsvWriter csv(path, std::move(header));
+  for (const TracePoint& point : recorder.points()) {
+    std::vector<std::string> cells;
+    cells.reserve(2 + point.values.size());
+    cells.push_back(std::to_string(point.parallel_time));
+    cells.push_back(std::to_string(point.interactions));
+    for (double v : point.values) cells.push_back(std::to_string(v));
+    csv.row(cells);
+  }
+}
+
+}  // namespace popbean

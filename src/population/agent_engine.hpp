@@ -1,0 +1,134 @@
+// Agent-array simulation engine.
+//
+// Keeps the explicit state of each agent; one interaction costs O(1). This is
+// the reference engine: it is the only one that supports arbitrary
+// interaction graphs, and the accelerated engines are validated against it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_concept.hpp"
+#include "graph/interaction_graph.hpp"
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+// G may be the uniform-edge InteractionGraph (default) or any GraphLike
+// type, e.g. the rate-weighted WeightedInteractionGraph of [DV12]'s
+// general-rates model.
+template <ProtocolLike P, GraphLike G = InteractionGraph>
+class AgentEngine {
+ public:
+  // Complete-graph engine; agents are created per `counts` (state order).
+  AgentEngine(P protocol, const Counts& counts)
+    requires std::same_as<G, InteractionGraph>
+      : AgentEngine(std::move(protocol), counts,
+                    InteractionGraph::complete(
+                        static_cast<NodeId>(checked_size(counts)))) {}
+
+  // Engine on an explicit interaction graph. Initial states are assigned to
+  // nodes in state order; call shuffle_placement() for a random assignment
+  // (placement matters on non-complete graphs).
+  AgentEngine(P protocol, const Counts& counts, G graph)
+      : protocol_(std::move(protocol)), graph_(std::move(graph)) {
+    POPBEAN_CHECK(counts.size() == protocol_.num_states());
+    const std::uint64_t n = population_size(counts);
+    POPBEAN_CHECK(n >= 2);
+    POPBEAN_CHECK(graph_.num_nodes() == n);
+    agents_.reserve(n);
+    for (State q = 0; q < counts.size(); ++q) {
+      for (std::uint64_t k = 0; k < counts[q]; ++k) agents_.push_back(q);
+      out_count_[index(protocol_.output(q))] += counts[q];
+    }
+  }
+
+  // Fisher–Yates shuffle of the agent-to-node assignment.
+  void shuffle_placement(Xoshiro256ss& rng) {
+    for (std::size_t i = agents_.size(); i > 1; --i) {
+      std::swap(agents_[i - 1], agents_[rng.below(i)]);
+    }
+  }
+
+  const P& protocol() const noexcept { return protocol_; }
+  const G& graph() const noexcept { return graph_; }
+  std::uint64_t num_agents() const noexcept { return agents_.size(); }
+  std::uint64_t steps() const noexcept { return steps_; }
+  double parallel_time() const noexcept {
+    return static_cast<double>(steps_) / static_cast<double>(num_agents());
+  }
+
+  State state_of(NodeId node) const {
+    POPBEAN_CHECK(node < agents_.size());
+    return agents_[node];
+  }
+
+  Counts counts() const {
+    Counts c(protocol_.num_states(), 0);
+    for (State q : agents_) ++c[q];
+    return c;
+  }
+
+  std::uint64_t output_agents(Output output) const noexcept {
+    return out_count_[index(output)];
+  }
+
+  bool all_same_output() const noexcept {
+    return out_count_[0] == 0 || out_count_[1] == 0;
+  }
+
+  // The output held by the larger camp (the unanimous one when converged).
+  Output dominant_output() const noexcept {
+    return out_count_[1] >= out_count_[0] ? 1 : 0;
+  }
+
+  // Executes one interaction: draws a uniformly random directed edge and
+  // applies the transition function to (initiator, responder).
+  void step(Xoshiro256ss& rng) {
+    const auto [u, v] = graph_.sample_directed_edge(rng);
+    const State a = agents_[u];
+    const State b = agents_[v];
+    const Transition t = protocol_.apply(a, b);
+    if (!is_null(t, a, b)) {
+      move_output(a, t.initiator);
+      move_output(b, t.responder);
+      agents_[u] = t.initiator;
+      agents_[v] = t.responder;
+    }
+    ++steps_;
+  }
+
+ private:
+  static std::uint64_t checked_size(const Counts& counts) {
+    const std::uint64_t n = population_size(counts);
+    POPBEAN_CHECK(n >= 2);
+    POPBEAN_CHECK_MSG(n <= 0xffffffffULL,
+                      "AgentEngine node ids are 32-bit; population too large");
+    return n;
+  }
+
+  static constexpr std::size_t index(Output o) noexcept {
+    return o == 0 ? 0 : 1;
+  }
+
+  void move_output(State from, State to) noexcept {
+    const Output before = protocol_.output(from);
+    const Output after = protocol_.output(to);
+    if (before != after) {
+      --out_count_[index(before)];
+      ++out_count_[index(after)];
+    }
+  }
+
+  P protocol_;
+  G graph_;
+  std::vector<State> agents_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t out_count_[2] = {0, 0};
+};
+
+}  // namespace popbean

@@ -1,0 +1,60 @@
+// Configurations of a population: how many agents occupy each state.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+// A configuration c : V → Q represented by per-state counts (the engines on
+// the complete graph never need agent identities).
+using Counts = std::vector<std::uint64_t>;
+
+inline std::uint64_t population_size(const Counts& counts) {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+// Builds the standard majority-instance configuration: count_a agents start
+// in the protocol's A-input state, n - count_a in the B-input state.
+template <ProtocolLike P>
+Counts majority_instance(const P& protocol, std::uint64_t n,
+                         std::uint64_t count_a) {
+  POPBEAN_CHECK(count_a <= n);
+  POPBEAN_CHECK(n >= 2);
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state(Opinion::A)] += count_a;
+  counts[protocol.initial_state(Opinion::B)] += n - count_a;
+  return counts;
+}
+
+// Builds a majority instance from an advantage margin: the majority opinion
+// holds ceil(n/2 + margin/2) agents, i.e. it leads by `margin` agents
+// (margin and n must have equal parity so the split is exact).
+template <ProtocolLike P>
+Counts majority_instance_with_margin(const P& protocol, std::uint64_t n,
+                                     std::uint64_t margin,
+                                     Opinion majority = Opinion::A) {
+  POPBEAN_CHECK(margin >= 1 && margin <= n);
+  POPBEAN_CHECK_MSG((n - margin) % 2 == 0,
+                    "margin must have the same parity as n");
+  const std::uint64_t larger = (n + margin) / 2;
+  return majority_instance(protocol, n,
+                           majority == Opinion::A ? larger : n - larger);
+}
+
+// Number of agents whose state maps to the given output.
+template <ProtocolLike P>
+std::uint64_t output_agents(const P& protocol, const Counts& counts,
+                            Output output) {
+  std::uint64_t total = 0;
+  for (State q = 0; q < counts.size(); ++q) {
+    if (protocol.output(q) == output) total += counts[q];
+  }
+  return total;
+}
+
+}  // namespace popbean

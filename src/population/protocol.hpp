@@ -1,0 +1,61 @@
+// Core vocabulary types for population protocols (paper §2).
+//
+// A population protocol is a deterministic state machine replicated across n
+// agents: a finite state set Q (we use dense ids 0..s-1), a transition
+// function δ : Q × Q → Q × Q applied to a uniformly random ordered pair of
+// distinct agents per discrete step, and an output function γ : Q → {0, 1}.
+//
+// Protocols are plain value types satisfying the ProtocolLike concept below;
+// simulation engines are templates over the protocol type so that δ inlines
+// into the interaction loop (hundreds of millions of interactions per run).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace popbean {
+
+// Dense protocol state id in [0, num_states()).
+using State = std::uint32_t;
+
+// Output symbol. For the majority problem: 1 ⇔ "initial majority was A",
+// 0 ⇔ "initial majority was B" (paper §2, The Majority Problem).
+using Output = int;
+
+// Initial opinion of an agent in a majority instance.
+enum class Opinion : int { B = 0, A = 1 };
+
+constexpr Output output_of(Opinion o) noexcept { return static_cast<Output>(o); }
+
+// Result of applying δ to the ordered pair (initiator, responder).
+struct Transition {
+  State initiator;
+  State responder;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+// True when δ leaves both participants unchanged — a "null" interaction that
+// advances time but not the configuration. The skip engine batches these.
+constexpr bool is_null(const Transition& t, State initiator,
+                       State responder) noexcept {
+  return t.initiator == initiator && t.responder == responder;
+}
+
+// Requirements on a protocol:
+//   num_states()       — size of Q
+//   apply(a, b)        — δ on the ordered pair (initiator a, responder b)
+//   output(q)          — γ(q) in {0, 1}
+//   initial_state(op)  — the input state X for an agent with opinion op
+//   state_name(q)      — human-readable name for diagnostics
+template <typename P>
+concept ProtocolLike = requires(const P& p, State q, Opinion op) {
+  { p.num_states() } -> std::convertible_to<std::size_t>;
+  { p.apply(q, q) } -> std::same_as<Transition>;
+  { p.output(q) } -> std::convertible_to<Output>;
+  { p.initial_state(op) } -> std::same_as<State>;
+  { p.state_name(q) } -> std::convertible_to<std::string>;
+};
+
+}  // namespace popbean

@@ -1,0 +1,72 @@
+// Human-readable dumps of protocol transition structure: a text table of
+// productive reactions and a Graphviz DOT rendering of the reaction graph.
+// Debugging aids — the paper's Figure 2 is exactly such a rendering of AVC.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "population/protocol.hpp"
+
+namespace popbean {
+
+// One line per productive ordered reaction:
+//   "a + b -> a' + b'"
+template <ProtocolLike P>
+std::string describe_reactions(const P& protocol) {
+  std::ostringstream os;
+  for (State a = 0; a < protocol.num_states(); ++a) {
+    for (State b = 0; b < protocol.num_states(); ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (is_null(t, a, b)) continue;
+      os << protocol.state_name(a) << " + " << protocol.state_name(b)
+         << " -> " << protocol.state_name(t.initiator) << " + "
+         << protocol.state_name(t.responder) << "\n";
+    }
+  }
+  return os.str();
+}
+
+// Number of productive ordered state pairs.
+template <ProtocolLike P>
+std::size_t count_reactions(const P& protocol) {
+  std::size_t count = 0;
+  for (State a = 0; a < protocol.num_states(); ++a) {
+    for (State b = 0; b < protocol.num_states(); ++b) {
+      if (!is_null(protocol.apply(a, b), a, b)) ++count;
+    }
+  }
+  return count;
+}
+
+// Graphviz digraph: states as nodes (shaded by output), one edge per
+// productive reaction labelled with the partner and the resulting state.
+template <ProtocolLike P>
+std::string to_dot(const P& protocol, const std::string& graph_name = "protocol") {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  for (State q = 0; q < protocol.num_states(); ++q) {
+    os << "  q" << q << " [label=\"" << protocol.state_name(q)
+       << "\", style=filled, fillcolor=\""
+       << (protocol.output(q) == 1 ? "#cfe8cf" : "#e8cfcf") << "\"];\n";
+  }
+  for (State a = 0; a < protocol.num_states(); ++a) {
+    for (State b = 0; b < protocol.num_states(); ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (is_null(t, a, b)) continue;
+      if (t.initiator != a) {
+        os << "  q" << a << " -> q" << t.initiator << " [label=\"meets "
+           << protocol.state_name(b) << "\"];\n";
+      }
+      if (t.responder != b) {
+        os << "  q" << b << " -> q" << t.responder << " [label=\"met by "
+           << protocol.state_name(a) << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace popbean

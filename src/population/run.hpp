@@ -1,0 +1,73 @@
+// Driving an engine to convergence and reporting the outcome.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+#include "population/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+// Common surface of the simulation engines (agent, count, skip).
+template <typename E>
+concept EngineLike = requires(E engine, Xoshiro256ss& rng) {
+  { engine.num_agents() } -> std::convertible_to<std::uint64_t>;
+  { engine.steps() } -> std::convertible_to<std::uint64_t>;
+  { engine.parallel_time() } -> std::convertible_to<double>;
+  { engine.all_same_output() } -> std::convertible_to<bool>;
+  { engine.dominant_output() } -> std::convertible_to<Output>;
+  engine.step(rng);
+};
+
+enum class RunStatus {
+  kConverged,   // all agents map to the same output
+  kStepLimit,   // interaction budget exhausted first
+  kAbsorbing,   // no productive interaction possible, outputs still mixed
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kStepLimit;
+  Output decided = 0;           // meaningful when converged
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;   // interactions / n
+
+  bool converged() const noexcept { return status == RunStatus::kConverged; }
+};
+
+// Steps the engine until every agent maps to the same output, the
+// interaction budget runs out, or (skip engine only) the configuration is
+// absorbing with mixed outputs. "All agents same output" is an absorbing
+// predicate for every protocol in this library (paper Lemma A.1 for AVC;
+// convergence_test.cpp checks the baselines), so stopping there matches the
+// paper's convergence-time metric.
+template <EngineLike E>
+RunResult run_to_convergence(
+    E& engine, Xoshiro256ss& rng,
+    std::uint64_t max_interactions = std::numeric_limits<std::uint64_t>::max()) {
+  RunResult result;
+  while (!engine.all_same_output()) {
+    if (engine.steps() >= max_interactions) {
+      result.status = RunStatus::kStepLimit;
+      result.interactions = engine.steps();
+      result.parallel_time = engine.parallel_time();
+      return result;
+    }
+    const std::uint64_t before = engine.steps();
+    engine.step(rng);
+    if (engine.steps() == before) {  // skip engine hit an absorbing config
+      result.status = RunStatus::kAbsorbing;
+      result.interactions = engine.steps();
+      result.parallel_time = engine.parallel_time();
+      return result;
+    }
+  }
+  result.status = RunStatus::kConverged;
+  result.decided = engine.dominant_output();
+  result.interactions = engine.steps();
+  result.parallel_time = engine.parallel_time();
+  return result;
+}
+
+}  // namespace popbean

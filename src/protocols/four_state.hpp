@@ -1,0 +1,74 @@
+// The four-state exact majority protocol of [DV12] / [MNRS14]
+// ("binary interval consensus" restricted to two intervals).
+//
+// States: strong opinions A, B and weak opinions a, b. Reactions (unordered;
+// all others are null):
+//
+//   A + B → a + b     (mutual annihilation into weak states)
+//   A + b → A + a     (a strong state converts an opposing weak state)
+//   B + a → B + b
+//
+// The difference #A − #B is invariant, so the protocol is exact: the
+// minority strong state is depleted first and the surviving strong opinion
+// then converts all weak states. Expected parallel convergence time on the
+// clique is O(log n / ε) [DV12], which the paper's Figure 3 contrasts with
+// AVC; Theorem B.1 shows Ω(1/ε) is inherent at four states.
+//
+// This protocol is exactly AVC with m = 1, d = 1 (enforced by a test).
+#pragma once
+
+#include <string>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class FourStateProtocol {
+ public:
+  // Dense state ids.
+  static constexpr State kStrongA = 0;  // output 1
+  static constexpr State kStrongB = 1;  // output 0
+  static constexpr State kWeakA = 2;    // output 1
+  static constexpr State kWeakB = 3;    // output 0
+
+  std::size_t num_states() const noexcept { return 4; }
+
+  State initial_state(Opinion opinion) const noexcept {
+    return opinion == Opinion::A ? kStrongA : kStrongB;
+  }
+
+  Output output(State q) const noexcept {
+    POPBEAN_DCHECK(q < 4);
+    return (q == kStrongA || q == kWeakA) ? 1 : 0;
+  }
+
+  Transition apply(State x, State y) const noexcept {
+    POPBEAN_DCHECK(x < 4 && y < 4);
+    return {next(x, y), next(y, x)};
+  }
+
+  std::string state_name(State q) const {
+    switch (q) {
+      case kStrongA: return "A";
+      case kStrongB: return "B";
+      case kWeakA: return "a";
+      case kWeakB: return "b";
+      default: POPBEAN_CHECK_MSG(false, "invalid state"); return {};
+    }
+  }
+
+ private:
+  // New state of an agent in state `self` after meeting `other`. The rules
+  // are symmetric in the pair, so δ(x, y) = (next(x, y), next(y, x)).
+  static constexpr State next(State self, State other) noexcept {
+    if (self == kStrongA) return other == kStrongB ? kWeakA : kStrongA;
+    if (self == kStrongB) return other == kStrongA ? kWeakB : kStrongB;
+    if (self == kWeakA) return other == kStrongB ? kWeakB : kWeakA;
+    /* self == kWeakB */ return other == kStrongA ? kWeakA : kWeakB;
+  }
+};
+
+static_assert(ProtocolLike<FourStateProtocol>);
+
+}  // namespace popbean

@@ -1,0 +1,58 @@
+// Classic pairwise-elimination leader election.
+//
+//   (L, L) → (L, F)          two leaders meet; one survives
+//   (L, F) → (L, F)          null
+//
+// Not a majority protocol — included as the substrate for the paper's
+// closing discussion (§6), which asks whether the average-and-conquer
+// technique extends to leader election. The bench suite measures its Θ(n)
+// parallel convergence time as the point of comparison. The `output`
+// function reports 1 for leaders so the generic engines can track the
+// leader count; convergence here means "exactly one leader", checked via
+// `leaders()` rather than output unanimity.
+#pragma once
+
+#include <string>
+
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class LeaderElectionProtocol {
+ public:
+  static constexpr State kLeader = 0;
+  static constexpr State kFollower = 1;
+
+  std::size_t num_states() const noexcept { return 2; }
+
+  // Everyone starts as a leader regardless of opinion.
+  State initial_state(Opinion) const noexcept { return kLeader; }
+
+  Output output(State q) const noexcept {
+    POPBEAN_DCHECK(q < 2);
+    return q == kLeader ? 1 : 0;
+  }
+
+  Transition apply(State initiator, State responder) const noexcept {
+    POPBEAN_DCHECK(initiator < 2 && responder < 2);
+    if (initiator == kLeader && responder == kLeader) {
+      return {kLeader, kFollower};
+    }
+    return {initiator, responder};
+  }
+
+  std::string state_name(State q) const {
+    return q == kLeader ? "L" : "F";
+  }
+
+  static std::uint64_t leaders(const Counts& counts) {
+    POPBEAN_CHECK(counts.size() == 2);
+    return counts[kLeader];
+  }
+};
+
+static_assert(ProtocolLike<LeaderElectionProtocol>);
+
+}  // namespace popbean

@@ -1,0 +1,66 @@
+// Token mobility for population protocols on sparse interaction graphs.
+//
+// The majority protocols in this library are specified for the complete
+// graph, where agents are exchangeable and it never matters *which* agent
+// ends up in which post-interaction state. On a sparse interaction graph
+// states are pinned to nodes, and protocols whose progress requires two
+// specific token kinds to become adjacent can deadlock: e.g. the four-state
+// protocol's strong tokens never move, so on a ring an A-block and a
+// B-block with weak states between them stall forever.
+//
+// [DV12]'s binary interval consensus — the origin of the four-state
+// protocol — avoids this with *swap* rules: interactions that would
+// otherwise be null exchange the two participants' states, making tokens
+// perform random walks along the graph until productive meetings happen.
+//
+// Mobile<P> generalizes that construction to any protocol: apply P's
+// transition; if it is null, swap the participants instead. On the complete
+// graph this is count-process-equivalent to P (a swap never changes the
+// configuration multiset), and on any connected graph it restores the
+// token mobility [DV12] relies on.
+//
+// Note: swaps make almost every pair "productive" in the eyes of
+// SkipEngine, defeating its null-skipping. Use Mobile<P> with AgentEngine
+// (the only engine where graphs — and hence mobility — matter).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "population/protocol.hpp"
+
+namespace popbean {
+
+template <ProtocolLike P>
+class Mobile {
+ public:
+  explicit Mobile(P base) : base_(std::move(base)) {}
+
+  const P& base() const noexcept { return base_; }
+
+  std::size_t num_states() const noexcept { return base_.num_states(); }
+
+  State initial_state(Opinion opinion) const noexcept {
+    return base_.initial_state(opinion);
+  }
+
+  Output output(State q) const noexcept { return base_.output(q); }
+
+  Transition apply(State initiator, State responder) const noexcept {
+    const Transition t = base_.apply(initiator, responder);
+    if (is_null(t, initiator, responder)) {
+      return {responder, initiator};  // swap: the tokens walk
+    }
+    return t;
+  }
+
+  std::string state_name(State q) const { return base_.state_name(q); }
+
+ private:
+  P base_;
+};
+
+template <ProtocolLike P>
+Mobile(P) -> Mobile<P>;
+
+}  // namespace popbean

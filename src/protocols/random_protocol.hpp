@@ -1,0 +1,76 @@
+// Uniformly random deterministic protocols, for fuzz-style differential
+// testing of the simulation engines.
+//
+// A RandomProtocol draws, for every ordered state pair, a uniformly random
+// result pair (with a configurable probability of being null). It computes
+// nothing useful — that is the point: the three engines claim to simulate
+// *any* ProtocolLike identically in distribution, so we compare them on
+// protocols with no structure a buggy engine could hide behind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+class RandomProtocol {
+ public:
+  // `states` >= 2; `null_fraction` of ordered pairs are forced null (so the
+  // skip engine's bookkeeping sees a realistic mix).
+  RandomProtocol(std::size_t states, std::uint64_t seed,
+                 double null_fraction = 0.5)
+      : num_states_(states) {
+    POPBEAN_CHECK(states >= 2);
+    POPBEAN_CHECK(null_fraction >= 0.0 && null_fraction <= 1.0);
+    Xoshiro256ss rng(seed);
+    table_.resize(states * states);
+    for (State a = 0; a < states; ++a) {
+      for (State b = 0; b < states; ++b) {
+        if (rng.bernoulli(null_fraction)) {
+          table_[index(a, b)] = {a, b};
+        } else {
+          table_[index(a, b)] = {static_cast<State>(rng.below(states)),
+                                 static_cast<State>(rng.below(states))};
+        }
+      }
+    }
+    // Output: arbitrary split of the state space.
+    outputs_.resize(states);
+    for (State q = 0; q < states; ++q) {
+      outputs_[q] = rng.bernoulli(0.5) ? 1 : 0;
+    }
+  }
+
+  std::size_t num_states() const noexcept { return num_states_; }
+
+  State initial_state(Opinion opinion) const noexcept {
+    return opinion == Opinion::A ? 0 : 1;
+  }
+
+  Output output(State q) const noexcept { return outputs_[q]; }
+
+  Transition apply(State a, State b) const noexcept {
+    POPBEAN_DCHECK(a < num_states_ && b < num_states_);
+    return table_[index(a, b)];
+  }
+
+  std::string state_name(State q) const { return "r" + std::to_string(q); }
+
+ private:
+  std::size_t index(State a, State b) const noexcept {
+    return static_cast<std::size_t>(a) * num_states_ + b;
+  }
+
+  std::size_t num_states_;
+  std::vector<Transition> table_;
+  std::vector<Output> outputs_;
+};
+
+static_assert(ProtocolLike<RandomProtocol>);
+
+}  // namespace popbean

@@ -1,0 +1,83 @@
+// TabulatedProtocol — wraps any protocol in a precomputed s × s transition
+// table (and cached outputs), trading O(s²) memory for branch-free lookups.
+//
+// Useful for protocols whose apply() involves nontrivial arithmetic (AVC)
+// when s is small, and as test scaffolding: equality of two protocols'
+// tables is equality of the protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class TabulatedProtocol {
+ public:
+  // Largest s for which tabulation is sensible (s² transitions, 8 bytes
+  // each — 32 MiB at the cap).
+  static constexpr std::size_t kMaxStates = 2048;
+
+  template <ProtocolLike P>
+  explicit TabulatedProtocol(const P& base)
+      : num_states_(base.num_states()) {
+    POPBEAN_CHECK_MSG(num_states_ <= kMaxStates,
+                      "state space too large to tabulate");
+    table_.resize(num_states_ * num_states_);
+    outputs_.resize(num_states_);
+    names_.resize(num_states_);
+    for (State a = 0; a < num_states_; ++a) {
+      outputs_[a] = base.output(a);
+      names_[a] = base.state_name(a);
+      for (State b = 0; b < num_states_; ++b) {
+        table_[static_cast<std::size_t>(a) * num_states_ + b] = base.apply(a, b);
+      }
+    }
+    initial_[0] = base.initial_state(Opinion::B);
+    initial_[1] = base.initial_state(Opinion::A);
+  }
+
+  std::size_t num_states() const noexcept { return num_states_; }
+
+  State initial_state(Opinion opinion) const noexcept {
+    return initial_[static_cast<std::size_t>(opinion)];
+  }
+
+  Output output(State q) const noexcept {
+    POPBEAN_DCHECK(q < num_states_);
+    return outputs_[q];
+  }
+
+  Transition apply(State a, State b) const noexcept {
+    POPBEAN_DCHECK(a < num_states_ && b < num_states_);
+    return table_[static_cast<std::size_t>(a) * num_states_ + b];
+  }
+
+  std::string state_name(State q) const {
+    POPBEAN_CHECK(q < num_states_);
+    return names_[q];
+  }
+
+  friend bool operator==(const TabulatedProtocol& lhs,
+                         const TabulatedProtocol& rhs) {
+    return lhs.num_states_ == rhs.num_states_ && lhs.table_ == rhs.table_ &&
+           lhs.outputs_ == rhs.outputs_ &&
+           lhs.initial_[0] == rhs.initial_[0] &&
+           lhs.initial_[1] == rhs.initial_[1];
+  }
+
+ private:
+  std::size_t num_states_;
+  std::vector<Transition> table_;
+  std::vector<Output> outputs_;
+  std::vector<std::string> names_;
+  State initial_[2] = {0, 0};
+};
+
+static_assert(ProtocolLike<TabulatedProtocol>);
+
+}  // namespace popbean

@@ -1,0 +1,85 @@
+// The three-state approximate majority protocol of [AAE08] / [PVV09],
+// also studied as a model of epigenetic cell memory [DMST07] and shown
+// equivalent to the cell-cycle switch dynamics [CCN12].
+//
+// States: opinions X (for A), Y (for B), and blank. One-way updates — only
+// the responder changes state (this is the [AAE08] formulation):
+//
+//   (X, Y) → (X, blank)     (Y, X) → (Y, blank)
+//   (X, blank) → (X, X)     (Y, blank) → (Y, Y)
+//
+// Converges in O(log n) parallel time w.h.p. when the initial margin is
+// ω(√(n log n)), but errs — converges to the initial *minority* — with
+// probability exp(−Θ(ε² n)) [PVV09], which is sizable for ε = 1/n (the
+// paper's Figure 3 right panel). Blank agents keep their previous opinion's
+// output so that γ is total; the paper's metric (time until all agents map
+// to the same output) is unaffected, since blanks vanish in the absorbing
+// configurations. We give blank two flavours (blank-from-X, blank-from-Y)
+// purely for the output map; both behave identically in every interaction,
+// matching the three-state dynamics state-for-state after projection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class ThreeStateProtocol {
+ public:
+  static constexpr State kX = 0;       // opinion A, output 1
+  static constexpr State kY = 1;       // opinion B, output 0
+  static constexpr State kBlankX = 2;  // blank, last leaned A, output 1
+  static constexpr State kBlankY = 3;  // blank, last leaned B, output 0
+
+  std::size_t num_states() const noexcept { return 4; }
+
+  State initial_state(Opinion opinion) const noexcept {
+    return opinion == Opinion::A ? kX : kY;
+  }
+
+  Output output(State q) const noexcept {
+    POPBEAN_DCHECK(q < 4);
+    return (q == kX || q == kBlankX) ? 1 : 0;
+  }
+
+  Transition apply(State initiator, State responder) const noexcept {
+    POPBEAN_DCHECK(initiator < 4 && responder < 4);
+    const bool init_x = initiator == kX;
+    const bool init_y = initiator == kY;
+    if (!init_x && !init_y) return {initiator, responder};  // blank initiates: null
+    if (responder == kX) {
+      return {initiator, init_y ? kBlankX : kX};
+    }
+    if (responder == kY) {
+      return {initiator, init_x ? kBlankY : kY};
+    }
+    // Blank responder adopts the initiator's opinion.
+    return {initiator, init_x ? kX : kY};
+  }
+
+  std::string state_name(State q) const {
+    switch (q) {
+      case kX: return "x";
+      case kY: return "y";
+      case kBlankX: return "blank(x)";
+      case kBlankY: return "blank(y)";
+      default: POPBEAN_CHECK_MSG(false, "invalid state"); return {};
+    }
+  }
+
+  // True when the configuration is one of the protocol's absorbing
+  // configurations (all agents X, or all agents Y).
+  static bool is_unanimous(const std::vector<std::uint64_t>& counts) {
+    POPBEAN_CHECK(counts.size() == 4);
+    const std::uint64_t n = counts[0] + counts[1] + counts[2] + counts[3];
+    return counts[kX] == n || counts[kY] == n;
+  }
+};
+
+static_assert(ProtocolLike<ThreeStateProtocol>);
+
+}  // namespace popbean

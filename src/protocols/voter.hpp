@@ -1,0 +1,44 @@
+// The two-state voter model [HP99] (see also Liggett [Lig85], Ch. 5).
+//
+//   (A, B) → (A, A)      (B, A) → (B, B)
+//
+// The responder simply adopts the initiator's opinion. On the clique this
+// converges in expected Ω(n) parallel time and errs with probability equal
+// to the initial minority fraction (1 − ε)/2 — the weakest baseline the
+// paper's introduction contrasts against.
+#pragma once
+
+#include <string>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+class VoterProtocol {
+ public:
+  static constexpr State kA = 0;  // output 1
+  static constexpr State kB = 1;  // output 0
+
+  std::size_t num_states() const noexcept { return 2; }
+
+  State initial_state(Opinion opinion) const noexcept {
+    return opinion == Opinion::A ? kA : kB;
+  }
+
+  Output output(State q) const noexcept {
+    POPBEAN_DCHECK(q < 2);
+    return q == kA ? 1 : 0;
+  }
+
+  Transition apply(State initiator, [[maybe_unused]] State responder) const noexcept {
+    POPBEAN_DCHECK(initiator < 2 && responder < 2);
+    return {initiator, initiator};
+  }
+
+  std::string state_name(State q) const { return q == kA ? "A" : "B"; }
+};
+
+static_assert(ProtocolLike<VoterProtocol>);
+
+}  // namespace popbean

@@ -1,0 +1,74 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution
+// after O(k) preprocessing.
+//
+// Used for weighted interaction graphs ([DV12] studies pairwise interaction
+// *rates*, i.e. non-uniform edge selection), where per-step inverse-CDF
+// sampling over many edges would cost O(log |E|) and the distribution never
+// changes after construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+class AliasTable {
+ public:
+  // Builds from non-negative weights; at least one must be positive.
+  explicit AliasTable(const std::vector<double>& weights) {
+    POPBEAN_CHECK(!weights.empty());
+    const std::size_t k = weights.size();
+    double total = 0.0;
+    for (double w : weights) {
+      POPBEAN_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+      total += w;
+    }
+    POPBEAN_CHECK_MSG(total > 0.0, "total weight must be positive");
+    total_ = total;
+
+    // Scaled probabilities; split into under- and over-full cells.
+    probability_.assign(k, 0.0);
+    alias_.assign(k, 0);
+    std::vector<double> scaled(k);
+    std::vector<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < k; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(k) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t under = small.back();
+      small.pop_back();
+      const std::uint32_t over = large.back();
+      probability_[under] = scaled[under];
+      alias_[under] = over;
+      scaled[over] -= 1.0 - scaled[under];
+      if (scaled[over] < 1.0) {
+        large.pop_back();
+        small.push_back(over);
+      }
+    }
+    // Residual cells are exactly full up to rounding.
+    for (std::uint32_t i : large) probability_[i] = 1.0;
+    for (std::uint32_t i : small) probability_[i] = 1.0;
+  }
+
+  std::size_t size() const noexcept { return probability_.size(); }
+  double total_weight() const noexcept { return total_; }
+
+  // Samples an index with probability weight[i] / total.
+  std::size_t sample(Xoshiro256ss& rng) const {
+    const auto cell = static_cast<std::size_t>(rng.below(probability_.size()));
+    return rng.unit() < probability_[cell] ? cell : alias_[cell];
+  }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::uint32_t> alias_;
+  double total_ = 0.0;
+};
+
+}  // namespace popbean

@@ -1,0 +1,44 @@
+// Always-on invariant checking.
+//
+// The simulation engines maintain nontrivial invariants (count conservation,
+// reactive-weight bookkeeping). Violations indicate a programming error, not
+// a recoverable condition, so checks throw std::logic_error with location
+// information rather than returning error codes.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace popbean {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace popbean
+
+// POPBEAN_CHECK(cond): enabled in all build types. Use for API preconditions
+// and cheap invariants.
+#define POPBEAN_CHECK(cond)                                          \
+  do {                                                               \
+    if (!(cond)) ::popbean::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define POPBEAN_CHECK_MSG(cond, msg)                                  \
+  do {                                                                \
+    if (!(cond)) ::popbean::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+// POPBEAN_DCHECK(cond): hot-path checks, compiled out in release builds.
+#ifndef NDEBUG
+#define POPBEAN_DCHECK(cond) POPBEAN_CHECK(cond)
+#else
+#define POPBEAN_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#endif

@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace popbean {
+
+namespace {
+
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string item;
+  std::istringstream is(text);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+std::vector<double> CliArgs::get_double_list(
+    const std::string& name, std::vector<double> fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::vector<double> out;
+  for (const auto& part : split_list(*v)) out.push_back(std::stod(part));
+  return out;
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_list(*v)) out.push_back(std::stoll(part));
+  return out;
+}
+
+void CliArgs::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::string message = "unknown flag --" + name + "; known flags:";
+      for (const auto& k : known) message += " --" + k;
+      throw std::runtime_error(message);
+    }
+  }
+}
+
+}  // namespace popbean

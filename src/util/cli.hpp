@@ -1,0 +1,45 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supported syntax: --name=value, --name value, and bare boolean --name.
+// Unknown flags are an error (typos in experiment parameters should fail
+// loudly, not silently run the default configuration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace popbean {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  // Comma-separated list of doubles, e.g. --eps=0.1,0.01,0.001
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+  // Throws std::runtime_error if any parsed flag is not in `known`.
+  void check_known(const std::vector<std::string>& known) const;
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace popbean

@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  POPBEAN_CHECK(arity_ > 0);
+  write_cells(header);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  POPBEAN_CHECK(cells.size() == arity_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  }
+  write_cells(cells);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+}
+
+}  // namespace popbean

@@ -1,0 +1,36 @@
+// Minimal CSV writer. Benches dump every generated series next to the
+// printed table so results can be re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace popbean {
+
+class CsvWriter {
+ public:
+  // Opens the file for writing and emits the header row. Throws
+  // std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Appends one row; must match the header arity.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+// Quotes a cell if it contains separators/quotes/newlines.
+std::string csv_escape(std::string_view cell);
+
+}  // namespace popbean

@@ -1,0 +1,88 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() - 1, 0) {
+  POPBEAN_CHECK(edges_.size() >= 2);
+  POPBEAN_CHECK(std::is_sorted(edges_.begin(), edges_.end()));
+}
+
+Histogram Histogram::linear(double low, double high, std::size_t bins) {
+  POPBEAN_CHECK(bins > 0);
+  POPBEAN_CHECK(high > low);
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = low + (high - low) * static_cast<double>(i) /
+                         static_cast<double>(bins);
+  }
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::logarithmic(double low, double high, std::size_t bins) {
+  POPBEAN_CHECK(bins > 0);
+  POPBEAN_CHECK(low > 0.0);
+  POPBEAN_CHECK(high > low);
+  const double log_low = std::log(low);
+  const double log_high = std::log(high);
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::exp(log_low + (log_high - log_low) *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(bins));
+  }
+  return Histogram(std::move(edges));
+}
+
+std::size_t Histogram::bin_for(double value) const {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  if (it == edges_.begin()) return 0;
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double value) {
+  ++counts_[bin_for(value)];
+  ++total_;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  POPBEAN_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  POPBEAN_CHECK(bin < counts_.size());
+  return edges_[bin];
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  POPBEAN_CHECK(bin < counts_.size());
+  return edges_[bin + 1];
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = peak == 0
+                         ? std::size_t{0}
+                         : static_cast<std::size_t>(
+                               static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                               static_cast<double>(peak));
+    os << "[" << bin_low(i) << ", " << bin_high(i) << ") "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace popbean

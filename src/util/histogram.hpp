@@ -1,0 +1,44 @@
+// Fixed-bin histograms (linear and log-spaced) for inspecting convergence
+// time distributions in examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace popbean {
+
+class Histogram {
+ public:
+  // Linear bins covering [low, high); values outside are clamped into the
+  // first/last bin.
+  static Histogram linear(double low, double high, std::size_t bins);
+
+  // Log-spaced bins covering [low, high), low > 0. Suited to convergence
+  // times, which span orders of magnitude across protocols (paper Fig. 3).
+  static Histogram logarithmic(double low, double high, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+  // Inclusive lower edge of the bin.
+  double bin_low(std::size_t bin) const;
+  // Exclusive upper edge of the bin.
+  double bin_high(std::size_t bin) const;
+
+  // Renders an ASCII bar chart, one line per non-empty bin.
+  std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  Histogram(std::vector<double> edges);
+
+  std::size_t bin_for(double value) const;
+
+  std::vector<double> edges_;  // size = bins + 1
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace popbean

@@ -1,0 +1,205 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  POPBEAN_CHECK(!sorted.empty());
+  POPBEAN_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  OnlineStats online;
+  for (double v : sorted) online.add(v);
+  s.count = online.count();
+  s.mean = online.mean();
+  s.stddev = online.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  return s;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  POPBEAN_CHECK(x.size() == y.size());
+  POPBEAN_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  POPBEAN_CHECK_MSG(sxx > 0.0, "x values must not all be equal");
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials) {
+  POPBEAN_CHECK(trials > 0);
+  POPBEAN_CHECK(successes <= trials);
+  constexpr double z = 1.959963984540054;  // 97.5th normal percentile
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) by power series; converges
+// quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a, x) by Lentz continued fraction;
+// converges quickly for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  constexpr double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_q(double a, double x) {
+  POPBEAN_CHECK(a > 0.0);
+  POPBEAN_CHECK(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double chi_square_p_value(std::span<const std::uint64_t> observed,
+                          std::span<const double> expected, std::size_t ddof) {
+  POPBEAN_CHECK(observed.size() == expected.size());
+  POPBEAN_CHECK(observed.size() >= 2);
+  POPBEAN_CHECK(observed.size() > ddof + 1);
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    POPBEAN_CHECK_MSG(expected[i] > 0.0, "expected counts must be positive");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    statistic += diff * diff / expected[i];
+  }
+  const auto dof = static_cast<double>(observed.size() - 1 - ddof);
+  return regularized_gamma_q(dof / 2.0, statistic / 2.0);
+}
+
+double ks_two_sample_p_value(std::span<const double> a,
+                             std::span<const double> b) {
+  POPBEAN_CHECK(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  double d_max = 0.0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double v = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= v) ++ia;
+    while (ib < sb.size() && sb[ib] <= v) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d_max = std::max(d_max, std::abs(fa - fb));
+  }
+  const double effective_n = na * nb / (na + nb);
+  // Kolmogorov distribution tail, with the Stephens small-sample correction.
+  const double lambda =
+      (std::sqrt(effective_n) + 0.12 + 0.11 / std::sqrt(effective_n)) * d_max;
+  // The alternating series only converges for λ bounded away from 0; below
+  // that the tail probability is 1 to double precision anyway (Kolmogorov
+  // CDF at 0.3 is ~1e-9).
+  if (lambda < 0.3) return 1.0;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        sign * 2.0 * std::exp(-2.0 * lambda * lambda * j * j);
+    p += term;
+    sign = -sign;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace popbean

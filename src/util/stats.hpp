@@ -1,0 +1,85 @@
+// Summary statistics and statistical tests used by the experiment harness
+// and by the distributional-equivalence test suites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace popbean {
+
+// Numerically stable streaming mean/variance (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  // Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+// Computes a full summary of the sample (copies and sorts internally).
+Summary summarize(std::span<const double> values);
+
+// Linear-interpolated quantile of a sorted sample, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares y ≈ slope * x + intercept. Used by benches/tests to
+// check asymptotic shapes (e.g. convergence time linear in 1/ε for the
+// four-state protocol, Theorem B.1).
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+// Wilson score interval for a binomial proportion at ~95% confidence.
+struct ProportionInterval {
+  double estimate = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials);
+
+// Regularized upper incomplete gamma Q(a, x) = Γ(a, x)/Γ(a), a > 0, x >= 0.
+// Series/continued-fraction implementation (Numerical Recipes style).
+double regularized_gamma_q(double a, double x);
+
+// Chi-square goodness-of-fit p-value for observed counts against expected
+// counts (same length, expected > 0). Degrees of freedom = bins - 1 - ddof.
+double chi_square_p_value(std::span<const std::uint64_t> observed,
+                          std::span<const double> expected,
+                          std::size_t ddof = 0);
+
+// Two-sample Kolmogorov–Smirnov test. Returns the asymptotic p-value for the
+// null hypothesis that both samples come from the same distribution. Used to
+// verify that accelerated engines match direct simulation in distribution.
+double ks_two_sample_p_value(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace popbean

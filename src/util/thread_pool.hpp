@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a blocking work queue, plus a parallel index
+// loop used by the experiment harness to fan replicate runs across cores.
+//
+// Exceptions thrown by tasks submitted through parallel_for_index are
+// captured and rethrown on the caller's thread (first one wins), so a failed
+// replicate aborts the experiment instead of being silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace popbean {
+
+class ThreadPool {
+ public:
+  // threads == 0 means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not themselves block on the pool.
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Runs body(i) for i in [0, count) across the pool, blocking until all
+// iterations finish. Rethrows the first captured exception.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace popbean

@@ -1,0 +1,191 @@
+// Executable reproduction of the structure behind Theorem B.1 (Ω(1/ε) for
+// four-state exact majority): a model checker over candidate four-state
+// algorithms plus the paper's structural claims.
+#include "analysis/four_state_space.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popbean::fourstate {
+namespace {
+
+TEST(PairIndexTest, BijectiveOverTenUnorderedPairs) {
+  std::vector<bool> seen(10, false);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a; b < 4; ++b) {
+      const int index = pair_index(a, b);
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, 10);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(index)]);
+      seen[static_cast<std::size_t>(index)] = true;
+      EXPECT_EQ(pair_index(b, a), index);
+      const StatePair round_trip = pair_from_index(index);
+      EXPECT_EQ(round_trip, StatePair::canonical(a, b));
+    }
+  }
+}
+
+TEST(FourStateTableTest, DefaultIsIdentity) {
+  FourStateTable table;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a; b < 4; ++b) {
+      EXPECT_EQ(table.result(a, b), StatePair::canonical(a, b));
+    }
+  }
+  EXPECT_EQ(table.describe(), "identity");
+}
+
+TEST(FourStateTableTest, Dv12ConservesStrongDifference) {
+  EXPECT_TRUE(FourStateTable::dv12().conserves_strong_difference());
+}
+
+TEST(FourStateTableTest, Dv12HasNoConservedPotential) {
+  // DV12 is correct, so by Claim B.9 it cannot conserve such a potential.
+  EXPECT_FALSE(FourStateTable::dv12().conserved_potential().has_value());
+}
+
+TEST(FourStateTableTest, PotentialDetectedWhenPresent) {
+  // Case 1.4.4 of the proof: [S0,S1]->[X,Y], [X,Y]->[S0,S1],
+  // [S0,Y]->[X,X], [S1,X]->[Y,Y] conserves pot(S0)=3, pot(X)=1,
+  // pot(S1)=-3, pot(Y)=-1.
+  FourStateTable table;
+  table.set(kS0, kS1, kX, kY);
+  table.set(kX, kY, kS0, kS1);
+  table.set(kS0, kY, kX, kX);
+  table.set(kS1, kX, kY, kY);
+  const auto pot = table.conserved_potential();
+  ASSERT_TRUE(pot.has_value());
+  EXPECT_GT((*pot)[kS0], 0);
+  EXPECT_GT((*pot)[kX], 0);
+  EXPECT_LT((*pot)[kS1], 0);
+  EXPECT_LT((*pot)[kY], 0);
+}
+
+TEST(ConfigurationGraphTest, EnumeratesAllConfigurations) {
+  ConfigurationGraph graph(FourStateTable::dv12(), 4);
+  // C(4+3,3) = 35 compositions of 4 into 4 parts.
+  EXPECT_EQ(graph.num_configs(), 35u);
+}
+
+TEST(ConfigurationGraphTest, Dv12IsCorrectForSmallPopulations) {
+  EXPECT_TRUE(correct_up_to(FourStateTable::dv12(), 8));
+}
+
+TEST(ConfigurationGraphTest, IdentityAlgorithmIsIncorrect) {
+  // The do-nothing algorithm can never converge from a mixed start.
+  EXPECT_FALSE(
+      ConfigurationGraph(FourStateTable(), 3).satisfies_majority_correctness());
+}
+
+TEST(ConfigurationGraphTest, VoterStyleAlgorithmIsIncorrect) {
+  // [S0,S1] -> [S0,S0] immediately violates safety (can reach all-S0 from a
+  // majority-S1 start). Cf. Corollary B.3.
+  FourStateTable table;
+  table.set(kS0, kS1, kS0, kS0);
+  EXPECT_FALSE(
+      ConfigurationGraph(table, 3).satisfies_majority_correctness());
+}
+
+TEST(ConfigurationGraphTest, ThreeStateStyleAlgorithmIsIncorrect) {
+  // Collapse X and Y into one blank-like role: [S0,S1]->[X,X],
+  // [S0,X]->[S0,S0], [S1,X]->[S1,S1] is the (incorrect for exactness)
+  // three-state approximate protocol embedded in four states: it can
+  // converge to the minority.
+  FourStateTable table;
+  table.set(kS0, kS1, kX, kX);
+  table.set(kS0, kX, kS0, kS0);
+  table.set(kS1, kX, kS1, kS1);
+  bool correct = true;
+  for (std::uint32_t n = 2; n <= 7 && correct; ++n) {
+    correct = ConfigurationGraph(table, n).satisfies_majority_correctness();
+  }
+  EXPECT_FALSE(correct);
+}
+
+TEST(ConfigurationGraphTest, CommittedSetsOfDv12AreMonochrome) {
+  ConfigurationGraph graph(FourStateTable::dv12(), 5);
+  for (int o = 0; o < 2; ++o) {
+    const auto& committed = graph.committed(o);
+    for (std::size_t i = 0; i < graph.num_configs(); ++i) {
+      if (committed[i]) {
+        EXPECT_TRUE(graph.config_at(i).unanimous(o));
+      }
+    }
+  }
+}
+
+TEST(ConfigurationGraphTest, ReachabilityContainsStart) {
+  ConfigurationGraph graph(FourStateTable::dv12(), 5);
+  Config start;
+  start.count = {3, 2, 0, 0};
+  const auto reach = graph.reachable_from(start);
+  EXPECT_TRUE(reach[graph.index_of(start)]);
+}
+
+// --- The main event: exhaustive enumeration ---------------------------------
+//
+// Fix the six same-output pairs to identity (Claim B.5 proves correct
+// algorithms must do this) and enumerate all 10^4 choices for the four
+// cross-output pairs. The paper's conclusion, checked exhaustively: every
+// candidate that satisfies the three correctness properties for all
+// n <= 7 conserves #S0 - #S1 (Claim B.8) and therefore needs Ω(1/ε) time;
+// none of them conserves a Claim B.9 potential.
+TEST(FourStateEnumerationTest, AllCorrectCandidatesConserveStrongDifference) {
+  const int cross_pairs[4][2] = {
+      {kS0, kS1}, {kS0, kY}, {kS1, kX}, {kX, kY}};
+  int correct_count = 0;
+  int correct_without_invariant = 0;
+  for (int r0 = 0; r0 < 10; ++r0) {
+    for (int r1 = 0; r1 < 10; ++r1) {
+      for (int r2 = 0; r2 < 10; ++r2) {
+        for (int r3 = 0; r3 < 10; ++r3) {
+          FourStateTable table;
+          const int choice[4] = {r0, r1, r2, r3};
+          for (int k = 0; k < 4; ++k) {
+            const StatePair out = pair_from_index(choice[k]);
+            table.set(cross_pairs[k][0], cross_pairs[k][1], out.first,
+                      out.second);
+          }
+          // correct_up_to checks n ascending and rejects most candidates at
+          // n = 2 or 3, keeping the 10^4-candidate sweep fast.
+          if (!correct_up_to(table, 7)) continue;
+          ++correct_count;
+          if (!table.conserves_strong_difference()) {
+            ++correct_without_invariant;
+            ADD_FAILURE() << "correct candidate without the B.8 invariant: "
+                          << table.describe();
+          }
+          EXPECT_FALSE(table.conserved_potential().has_value())
+              << table.describe();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(correct_without_invariant, 0);
+  // DV12 itself must be among the survivors.
+  EXPECT_GE(correct_count, 1);
+  // The proof's case analysis finds only a handful of correct families.
+  EXPECT_LE(correct_count, 64);
+}
+
+TEST(FourStateEnumerationTest, PerturbingSameOutputPairsBreaksDv12) {
+  // Claim B.5 says correct algorithms leave same-output pairs unchanged (as
+  // multisets). Check the claim's bite: every single-pair perturbation of
+  // DV12's same-output pairs yields an incorrect algorithm.
+  const int same_pairs[6][2] = {{kS0, kS0}, {kS0, kX}, {kX, kX},
+                                {kS1, kS1}, {kS1, kY}, {kY, kY}};
+  for (const auto& pair : same_pairs) {
+    for (int r = 0; r < 10; ++r) {
+      const StatePair out = pair_from_index(r);
+      if (out == StatePair::canonical(pair[0], pair[1])) continue;
+      FourStateTable table = FourStateTable::dv12();
+      table.set(pair[0], pair[1], out.first, out.second);
+      EXPECT_FALSE(correct_up_to(table, 9))
+          << "perturbation survived: " << table.describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace popbean::fourstate

@@ -1,0 +1,65 @@
+#include "analysis/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/count_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using avc::AvcProtocol;
+
+TEST(AvcSumInvariantTest, HoldsOnInitialConfiguration) {
+  AvcProtocol protocol(5, 1);
+  const Counts initial = majority_instance_with_margin(protocol, 20, 4);
+  AvcSumInvariant invariant(protocol, initial);
+  EXPECT_EQ(invariant.expected(), 20);
+  EXPECT_TRUE(invariant.holds(initial));
+}
+
+TEST(AvcSumInvariantTest, DetectsViolation) {
+  AvcProtocol protocol(5, 1);
+  const Counts initial = majority_instance_with_margin(protocol, 20, 4);
+  AvcSumInvariant invariant(protocol, initial);
+  Counts corrupted = initial;
+  // Move one agent from +5 to -5: the sum drops by 10.
+  --corrupted[protocol.codec().from_value(5)];
+  ++corrupted[protocol.codec().from_value(-5)];
+  EXPECT_FALSE(invariant.holds(corrupted));
+}
+
+TEST(InspectTrajectoryTest, CallsInspectorAtLeastTwice) {
+  AvcProtocol protocol(3, 1);
+  CountEngine<AvcProtocol> engine(
+      protocol, majority_instance_with_margin(protocol, 20, 2));
+  Xoshiro256ss rng(95);
+  int calls = 0;
+  inspect_trajectory(engine, rng, 1000, 10,
+                     [&](const Counts&) { ++calls; });
+  EXPECT_GE(calls, 2);
+}
+
+TEST(InspectTrajectoryTest, StopsAtStepBudget) {
+  AvcProtocol protocol(3, 1);
+  CountEngine<AvcProtocol> engine(
+      protocol, majority_instance_with_margin(protocol, 1000, 2));
+  Xoshiro256ss rng(96);
+  const std::uint64_t steps =
+      inspect_trajectory(engine, rng, 500, 100, [](const Counts&) {});
+  EXPECT_EQ(steps, 500u);
+}
+
+TEST(InspectTrajectoryTest, StopsAtConvergence) {
+  AvcProtocol protocol(1, 1);
+  CountEngine<AvcProtocol> engine(
+      protocol, majority_instance_with_margin(protocol, 10, 10));
+  Xoshiro256ss rng(97);
+  const std::uint64_t steps =
+      inspect_trajectory(engine, rng, 1'000'000, 10, [](const Counts&) {});
+  EXPECT_EQ(steps, 0u);  // unanimous start: already converged
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,71 @@
+#include "analysis/knowledge.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(KnowledgeTest, StartsWithSeedsOnly) {
+  KnowledgeTracker tracker(10, 3);
+  EXPECT_EQ(tracker.known(), 3u);
+  EXPECT_FALSE(tracker.complete());
+}
+
+TEST(KnowledgeTest, AllSeedsMeansComplete) {
+  KnowledgeTracker tracker(5, 5);
+  EXPECT_TRUE(tracker.complete());
+}
+
+TEST(KnowledgeTest, KnownCountIsMonotoneAndBounded) {
+  KnowledgeTracker tracker(50, 3);
+  Xoshiro256ss rng(91);
+  std::uint64_t last = tracker.known();
+  for (int i = 0; i < 20000 && !tracker.complete(); ++i) {
+    tracker.step(rng);
+    ASSERT_GE(tracker.known(), last);
+    ASSERT_LE(tracker.known(), 50u);
+    ASSERT_LE(tracker.known() - last, 1u);  // grows one node at a time
+    last = tracker.known();
+  }
+}
+
+TEST(KnowledgeTest, RunToCompletionReachesEveryone) {
+  KnowledgeTracker tracker(200, 3);
+  Xoshiro256ss rng(92);
+  const double parallel_time = tracker.run_to_completion(rng);
+  EXPECT_TRUE(tracker.complete());
+  EXPECT_GT(parallel_time, 0.0);
+  EXPECT_DOUBLE_EQ(parallel_time,
+                   static_cast<double>(tracker.steps()) / 200.0);
+}
+
+TEST(KnowledgeTest, MeasuredTimeMatchesClosedFormExpectation) {
+  constexpr std::uint64_t kN = 100;
+  const double expected = KnowledgeTracker::expected_interactions(kN, 3);
+  OnlineStats stats;
+  for (int rep = 0; rep < 400; ++rep) {
+    KnowledgeTracker tracker(kN, 3);
+    Xoshiro256ss rng(93, static_cast<std::uint64_t>(rep));
+    tracker.run_to_completion(rng);
+    stats.add(static_cast<double>(tracker.steps()));
+  }
+  EXPECT_NEAR(stats.mean() / expected, 1.0, 0.1);
+}
+
+TEST(KnowledgeTest, PropagationTimeGrowsLogarithmically) {
+  // Claim C.2: completion needs Θ(n log n) interactions, i.e. Θ(log n)
+  // parallel time. The ratio of expected parallel times at n and n^2 should
+  // be about 1/2 (log n / log n^2), far from the 1/n of linear scaling.
+  const double t_small = KnowledgeTracker::expected_interactions(100) / 100.0;
+  const double t_large =
+      KnowledgeTracker::expected_interactions(10000) / 10000.0;
+  EXPECT_NEAR(t_small / t_large, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,173 @@
+#include "analysis/mean_field.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/voter.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+double mass(const std::vector<double>& x) {
+  double total = 0;
+  for (double v : x) total += v;
+  return total;
+}
+
+TEST(MeanFieldTest, VoterFieldMatchesClosedForm) {
+  // Voter: x_A' = x_A x_B - x_B x_A = 0? No: (A,B) -> (A,A) gains one A at
+  // rate x_A x_B; (B,A) -> (B,B) loses one A at rate x_B x_A. Net zero —
+  // the voter mean-field is static (the A-fraction is a martingale).
+  MeanField field{VoterProtocol{}};
+  const std::vector<double> x = {0.3, 0.7};
+  const std::vector<double> dx = field.derivative(x);
+  EXPECT_NEAR(dx[0], 0.0, 1e-15);
+  EXPECT_NEAR(dx[1], 0.0, 1e-15);
+}
+
+TEST(MeanFieldTest, ThreeStateFieldMatchesHandDerivation) {
+  // [AAE08/PVV09] dynamics with x (A), y (B), b (blank), all ordered pairs
+  // at rate x_i x_j:
+  //   dx/dt = x·b − y·x     (recruitment minus being blanked)
+  //   dy/dt = y·b − x·y
+  //   db/dt = x·y + y·x − x·b − y·b
+  ThreeStateProtocol protocol;
+  MeanField field{protocol};
+  // Fold the two blank flavours into one mass for the comparison.
+  const double x = 0.5, y = 0.3, b = 0.2;
+  std::vector<double> state(4, 0.0);
+  state[ThreeStateProtocol::kX] = x;
+  state[ThreeStateProtocol::kY] = y;
+  state[ThreeStateProtocol::kBlankX] = b / 2;
+  state[ThreeStateProtocol::kBlankY] = b / 2;
+  const std::vector<double> dx = field.derivative(state);
+  EXPECT_NEAR(dx[ThreeStateProtocol::kX], x * b - y * x, 1e-12);
+  EXPECT_NEAR(dx[ThreeStateProtocol::kY], y * b - x * y, 1e-12);
+  EXPECT_NEAR(dx[ThreeStateProtocol::kBlankX] + dx[ThreeStateProtocol::kBlankY],
+              2 * x * y - x * b - y * b, 1e-12);
+}
+
+TEST(MeanFieldTest, MassIsConservedByTheField) {
+  for (int m : {1, 5, 9}) {
+    avc::AvcProtocol protocol(m, 2);
+    MeanField field{protocol};
+    Xoshiro256ss rng(701 + static_cast<std::uint64_t>(static_cast<unsigned>(m)));
+    std::vector<double> x(protocol.num_states());
+    double total = 0;
+    for (auto& v : x) {
+      v = rng.unit();
+      total += v;
+    }
+    for (auto& v : x) v /= total;
+    const std::vector<double> dx = field.derivative(x);
+    EXPECT_NEAR(mass(dx), 0.0, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(MeanFieldTest, AvcValueSumConservedAlongIntegration) {
+  avc::AvcProtocol protocol(7, 1);
+  MeanField field{protocol};
+  const Counts counts = majority_instance_with_margin(protocol, 100, 10);
+  std::vector<double> x = to_distribution(counts);
+  auto value_mean = [&](const std::vector<double>& dist) {
+    double total = 0;
+    for (State q = 0; q < dist.size(); ++q) {
+      total += dist[q] * protocol.value_of(q);
+    }
+    return total;
+  };
+  const double initial = value_mean(x);
+  x = field.integrate(std::move(x), 0.01, 2000);
+  EXPECT_NEAR(value_mean(x), initial, 1e-9);
+  EXPECT_NEAR(mass(x), 1.0, 1e-9);
+}
+
+TEST(MeanFieldTest, ThreeStateLimitReachesTheMajorityFixedPoint) {
+  // From a biased start the limit ODE converges to all-X (x = 1): the
+  // bistable switch of [PVV09]/[CCN12].
+  ThreeStateProtocol protocol;
+  MeanField field{protocol};
+  std::vector<double> x(4, 0.0);
+  x[ThreeStateProtocol::kX] = 0.6;
+  x[ThreeStateProtocol::kY] = 0.4;
+  x = field.integrate(std::move(x), 0.01, 10000);
+  EXPECT_NEAR(x[ThreeStateProtocol::kX], 1.0, 1e-6);
+  EXPECT_NEAR(x[ThreeStateProtocol::kY], 0.0, 1e-6);
+}
+
+TEST(MeanFieldTest, BalancedThreeStateSitsOnTheUnstableEquilibrium) {
+  // x = y is a fixed point of the limit dynamics (unstable, but exact
+  // symmetry keeps the integrator on it).
+  ThreeStateProtocol protocol;
+  MeanField field{protocol};
+  std::vector<double> x(4, 0.0);
+  x[ThreeStateProtocol::kX] = 0.5;
+  x[ThreeStateProtocol::kY] = 0.5;
+  x = field.integrate(std::move(x), 0.01, 1000);
+  EXPECT_NEAR(x[ThreeStateProtocol::kX], x[ThreeStateProtocol::kY], 1e-9);
+}
+
+TEST(MeanFieldTest, IntegrateUntilReportsCrossingTime) {
+  ThreeStateProtocol protocol;
+  MeanField field{protocol};
+  std::vector<double> x(4, 0.0);
+  x[ThreeStateProtocol::kX] = 0.7;
+  x[ThreeStateProtocol::kY] = 0.3;
+  const double t = field.integrate_until(
+      std::move(x), 0.01, 100.0, [](const std::vector<double>& state) {
+        return state[ThreeStateProtocol::kY] < 0.01;
+      });
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 100.0);
+}
+
+TEST(MeanFieldTest, StochasticRunsConvergeToTheFluidLimit) {
+  // Kurtz: at fixed parallel time T, the empirical distribution of the
+  // n-agent system approaches the ODE solution as n grows. Compare the
+  // four-state protocol's weak-A fraction at T = 3.
+  FourStateProtocol protocol;
+  MeanField field{protocol};
+  const double kT = 3.0;
+
+  std::vector<double> x0(4, 0.0);
+  x0[FourStateProtocol::kStrongA] = 0.6;
+  x0[FourStateProtocol::kStrongB] = 0.4;
+  const std::vector<double> limit =
+      field.integrate(x0, 0.001, static_cast<std::size_t>(kT / 0.001));
+
+  double previous_gap = 1.0;
+  for (const std::uint64_t n : {100u, 1000u, 10000u}) {
+    // Average several runs to tame run-to-run noise.
+    double weak_a = 0.0;
+    constexpr int kReps = 20;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Counts counts(4, 0);
+      counts[FourStateProtocol::kStrongA] = n * 6 / 10;
+      counts[FourStateProtocol::kStrongB] = n - n * 6 / 10;
+      CountEngine<FourStateProtocol> engine(protocol, counts);
+      Xoshiro256ss rng(702 + n, static_cast<std::uint64_t>(rep));
+      const auto target =
+          static_cast<std::uint64_t>(kT * static_cast<double>(n));
+      while (engine.steps() < target) engine.step(rng);
+      weak_a += static_cast<double>(
+                    engine.counts()[FourStateProtocol::kWeakA]) /
+                static_cast<double>(n);
+    }
+    weak_a /= kReps;
+    const double gap = std::abs(weak_a - limit[FourStateProtocol::kWeakA]);
+    EXPECT_LT(gap, previous_gap + 0.02)
+        << "n=" << n << ": fluid-limit gap should shrink with n";
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 0.02);  // within 2% at n = 10^4
+}
+
+}  // namespace
+}  // namespace popbean

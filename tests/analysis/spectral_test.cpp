@@ -1,0 +1,69 @@
+#include "analysis/spectral.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/interaction_graph.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(SpectralTest, CompleteGraphClosedForm) {
+  EXPECT_DOUBLE_EQ(spectral_gap(InteractionGraph::complete(10)), 10.0 / 9.0);
+  EXPECT_DOUBLE_EQ(spectral_gap(InteractionGraph::complete(100)),
+                   100.0 / 99.0);
+}
+
+TEST(SpectralTest, RingMatchesCosineFormula) {
+  // Normalized Laplacian of the n-cycle: eigenvalues 1 - cos(2πk/n);
+  // the gap is 1 - cos(2π/n).
+  for (NodeId n : {8u, 16u, 40u}) {
+    const double expected = 1.0 - std::cos(2.0 * M_PI / n);
+    EXPECT_NEAR(spectral_gap(InteractionGraph::ring(n), 20000), expected,
+                expected * 0.02 + 1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(SpectralTest, StarHasUnitGap) {
+  // Normalized Laplacian of the star: eigenvalues {0, 1^(n-2), 2}.
+  EXPECT_NEAR(spectral_gap(InteractionGraph::star(20), 20000), 1.0, 0.02);
+}
+
+TEST(SpectralTest, CompleteViaEdgeListMatchesClosedForm) {
+  // Build K_8 as an explicit edge list; must agree with the formula path.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) edges.emplace_back(u, v);
+  }
+  const auto graph = InteractionGraph::from_edges(8, std::move(edges));
+  EXPECT_NEAR(spectral_gap(graph, 20000), 8.0 / 7.0, 0.02);
+}
+
+TEST(SpectralTest, ExpanderBeatsRingBeatsNothing) {
+  // The ordering [DV12]'s bound predicts for the ablation bench: the ring's
+  // gap is orders of magnitude below a random regular graph's at equal n.
+  Xoshiro256ss rng(3);
+  const double ring = spectral_gap(InteractionGraph::ring(64), 20000);
+  const double expander =
+      spectral_gap(InteractionGraph::random_regular(64, 4, rng), 20000);
+  EXPECT_GT(expander, 20.0 * ring);
+  EXPECT_GT(ring, 0.0);
+}
+
+TEST(SpectralTest, GapShrinksQuadraticallyOnRings) {
+  const double g16 = spectral_gap(InteractionGraph::ring(16), 40000);
+  const double g64 = spectral_gap(InteractionGraph::ring(64), 40000);
+  // 1 - cos(2π/n) ~ 2π²/n²: a 4x larger ring has ~16x smaller gap.
+  EXPECT_NEAR(g16 / g64, 16.0, 2.0);
+}
+
+TEST(SpectralTest, DisconnectedGraphRejected) {
+  const auto graph = InteractionGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(spectral_gap(graph), std::logic_error);
+}
+
+}  // namespace
+}  // namespace popbean

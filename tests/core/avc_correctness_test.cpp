@@ -1,0 +1,110 @@
+// Exactness of AVC (Theorem 4.1: "solves majority with probability 1"):
+// across parameterizations, population sizes, margins, majority sides and
+// seeds, a converged run always decides the true initial majority.
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "population/run.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using avc::AvcProtocol;
+
+struct Case {
+  int m;
+  int d;
+  std::uint64_t n;
+  std::uint64_t margin;
+};
+
+class AvcExactnessTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AvcExactnessTest, NeverDecidesTheMinority) {
+  const Case c = GetParam();
+  AvcProtocol protocol(c.m, c.d);
+  for (Opinion majority : {Opinion::A, Opinion::B}) {
+    const MajorityInstance instance{c.n, c.margin, majority};
+    for (int rep = 0; rep < 12; ++rep) {
+      const RunResult result = run_majority_once(
+          protocol, instance, EngineKind::kAuto,
+          /*seed=*/c.n * 31 + static_cast<std::uint64_t>(static_cast<unsigned>(c.m)),
+          /*stream=*/static_cast<std::uint64_t>(rep) * 2 +
+              (majority == Opinion::A ? 0 : 1),
+          /*max_interactions=*/2'000'000'000ULL);
+      ASSERT_TRUE(result.converged())
+          << "m=" << c.m << " d=" << c.d << " n=" << c.n;
+      ASSERT_EQ(result.decided, output_of(majority))
+          << "m=" << c.m << " d=" << c.d << " n=" << c.n
+          << " margin=" << c.margin << " rep=" << rep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AvcExactnessTest,
+    ::testing::Values(
+        // Minimal protocol (the four-state special case).
+        Case{1, 1, 11, 1}, Case{1, 1, 50, 2}, Case{1, 3, 25, 1},
+        // Small m, assorted d.
+        Case{3, 1, 51, 1}, Case{3, 2, 100, 2}, Case{5, 1, 75, 1},
+        Case{5, 4, 40, 2}, Case{7, 1, 101, 1},
+        // Tie-breaking by a single node at moderate n.
+        Case{9, 1, 201, 1}, Case{9, 2, 200, 2},
+        // Larger state spaces, including s ≈ n.
+        Case{97, 1, 100, 2}, Case{197, 1, 200, 2}, Case{31, 7, 151, 1},
+        // Extreme margin (unanimous start).
+        Case{5, 1, 20, 20},
+        // Margin equal to n-2.
+        Case{3, 1, 22, 20}));
+
+TEST(AvcCorrectnessTest, HandlesTinyPopulations) {
+  AvcProtocol protocol(3, 1);
+  for (std::uint64_t n : {2u, 3u, 4u, 5u}) {
+    for (std::uint64_t margin = n % 2 == 0 ? 2 : 1; margin <= n; margin += 2) {
+      const MajorityInstance instance{n, margin, Opinion::B};
+      const RunResult result =
+          run_majority_once(protocol, instance, EngineKind::kAgent,
+                            /*seed=*/77, /*stream=*/n * 10 + margin,
+                            /*max_interactions=*/100'000'000);
+      ASSERT_TRUE(result.converged()) << "n=" << n << " margin=" << margin;
+      EXPECT_EQ(result.decided, 0) << "n=" << n << " margin=" << margin;
+    }
+  }
+}
+
+TEST(AvcCorrectnessTest, NStateVariantDecidesSingleNodeAdvantage) {
+  // Figure 3's headline configuration: s ≈ n, ε = 1/n.
+  const std::uint64_t n = 101;
+  const avc::AvcParams params = avc::n_state(n);
+  AvcProtocol protocol(params.m, params.d);
+  const MajorityInstance instance{n, 1, Opinion::A};
+  for (int rep = 0; rep < 25; ++rep) {
+    const RunResult result = run_majority_once(
+        protocol, instance, EngineKind::kCount, /*seed=*/88,
+        /*stream=*/static_cast<std::uint64_t>(rep), 2'000'000'000ULL);
+    ASSERT_TRUE(result.converged());
+    ASSERT_EQ(result.decided, 1) << "rep=" << rep;
+  }
+}
+
+TEST(AvcCorrectnessTest, AllEnginesAgreeOnExactness) {
+  AvcProtocol protocol(5, 2);
+  const MajorityInstance instance{60, 2, Opinion::B};
+  for (EngineKind kind :
+       {EngineKind::kAgent, EngineKind::kCount, EngineKind::kSkip}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const RunResult result = run_majority_once(
+          protocol, instance, kind, /*seed=*/99,
+          /*stream=*/static_cast<std::uint64_t>(rep), 500'000'000ULL);
+      ASSERT_TRUE(result.converged()) << to_string(kind);
+      ASSERT_EQ(result.decided, 0) << to_string(kind) << " rep=" << rep;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,133 @@
+// AVC with m = 1, d = 1 *is* the four-state protocol of [DV12, MNRS14]
+// (paper §1: "take m = 1, and notice that in this special case the protocol
+// would be identical to the four-state algorithm").
+//
+// The correspondence holds at the level of unordered reaction results: for
+// the annihilation +1 meets −1, AVC assigns −0 to the initiator and +0 to
+// the responder (Fig. 1 line 17), while the [DV12] formulation downgrades
+// each node to the weak state of its own sign — the same result multiset.
+// On the complete graph the configuration dynamics depend only on state
+// multisets (agents are exchangeable), so the two protocols induce the same
+// count process; we verify transition-level multiset equality and the
+// pointwise equality of everything else.
+#include <algorithm>
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "protocols/four_state.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+using avc::AvcProtocol;
+
+class Equivalence : public ::testing::Test {
+ protected:
+  AvcProtocol avc_{1, 1};
+  FourStateProtocol four_;
+
+  // four-state id -> AVC id.
+  State to_avc(State four_state) const {
+    const auto& c = avc_.codec();
+    switch (four_state) {
+      case FourStateProtocol::kStrongA: return c.intermediate(+1, 1);
+      case FourStateProtocol::kStrongB: return c.intermediate(-1, 1);
+      case FourStateProtocol::kWeakA: return c.weak(+1);
+      default: return c.weak(-1);
+    }
+  }
+
+  static std::array<State, 2> sorted(State a, State b) {
+    if (a > b) std::swap(a, b);
+    return {a, b};
+  }
+};
+
+TEST_F(Equivalence, StateSpacesHaveEqualSize) {
+  EXPECT_EQ(avc_.num_states(), 4u);
+  EXPECT_EQ(four_.num_states(), 4u);
+}
+
+TEST_F(Equivalence, BijectionPreservesOutputsAndInputs) {
+  for (State q = 0; q < 4; ++q) {
+    EXPECT_EQ(four_.output(q), avc_.output(to_avc(q)))
+        << four_.state_name(q);
+  }
+  EXPECT_EQ(to_avc(four_.initial_state(Opinion::A)),
+            avc_.initial_state(Opinion::A));
+  EXPECT_EQ(to_avc(four_.initial_state(Opinion::B)),
+            avc_.initial_state(Opinion::B));
+}
+
+TEST_F(Equivalence, EveryTransitionAgreesAsAMultiset) {
+  for (State a = 0; a < 4; ++a) {
+    for (State b = 0; b < 4; ++b) {
+      const Transition four_t = four_.apply(a, b);
+      const Transition avc_t = avc_.apply(to_avc(a), to_avc(b));
+      EXPECT_EQ(sorted(to_avc(four_t.initiator), to_avc(four_t.responder)),
+                sorted(avc_t.initiator, avc_t.responder))
+          << four_.state_name(a) << " + " << four_.state_name(b);
+    }
+  }
+}
+
+TEST_F(Equivalence, OnlyTheAnnihilationAssignmentDiffersPointwise) {
+  int pointwise_mismatches = 0;
+  for (State a = 0; a < 4; ++a) {
+    for (State b = 0; b < 4; ++b) {
+      const Transition four_t = four_.apply(a, b);
+      const Transition avc_t = avc_.apply(to_avc(a), to_avc(b));
+      if (to_avc(four_t.initiator) != avc_t.initiator ||
+          to_avc(four_t.responder) != avc_t.responder) {
+        ++pointwise_mismatches;
+        // Must be the strong-strong annihilation in one of its orders.
+        const bool is_annihilation =
+            (a == FourStateProtocol::kStrongA &&
+             b == FourStateProtocol::kStrongB) ||
+            (a == FourStateProtocol::kStrongB &&
+             b == FourStateProtocol::kStrongA);
+        EXPECT_TRUE(is_annihilation)
+            << four_.state_name(a) << " + " << four_.state_name(b);
+      }
+    }
+  }
+  EXPECT_LE(pointwise_mismatches, 2);
+}
+
+TEST_F(Equivalence, ConvergenceTimeDistributionsMatch) {
+  // Count-process equivalence, checked end-to-end: convergence times of the
+  // two protocols on the same instance are equal in distribution.
+  constexpr int kReplicates = 250;
+  std::vector<double> four_times, avc_times;
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    {
+      SkipEngine<FourStateProtocol> engine(
+          four_, majority_instance(four_, 30, 18));
+      Xoshiro256ss rng(611, static_cast<std::uint64_t>(rep));
+      const RunResult r = run_to_convergence(engine, rng, 100'000'000);
+      ASSERT_TRUE(r.converged());
+      ASSERT_EQ(r.decided, 1);
+      four_times.push_back(r.parallel_time);
+    }
+    {
+      SkipEngine<AvcProtocol> engine(avc_, majority_instance(avc_, 30, 18));
+      Xoshiro256ss rng(612, static_cast<std::uint64_t>(rep));
+      const RunResult r = run_to_convergence(engine, rng, 100'000'000);
+      ASSERT_TRUE(r.converged());
+      ASSERT_EQ(r.decided, 1);
+      avc_times.push_back(r.parallel_time);
+    }
+  }
+  EXPECT_GT(ks_two_sample_p_value(four_times, avc_times), 1e-3);
+}
+
+}  // namespace
+}  // namespace popbean

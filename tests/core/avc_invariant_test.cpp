@@ -1,0 +1,95 @@
+// Invariant 4.3 (the total encoded value is conserved) checked along whole
+// simulated trajectories on every engine.
+#include <gtest/gtest.h>
+
+#include "analysis/invariants.hpp"
+#include "core/avc.hpp"
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using avc::AvcProtocol;
+
+TEST(AvcInvariantTest, InitialSumIsMarginTimesM) {
+  AvcProtocol protocol(7, 2);
+  const Counts counts = majority_instance_with_margin(protocol, 100, 10);
+  EXPECT_EQ(protocol.total_value(counts), 10 * 7);
+  const Counts counts_b =
+      majority_instance_with_margin(protocol, 100, 10, Opinion::B);
+  EXPECT_EQ(protocol.total_value(counts_b), -10 * 7);
+}
+
+class AvcInvariantTrajectoryTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(AvcInvariantTrajectoryTest, SumConservedOnAgentEngine) {
+  const auto [m, d, seed] = GetParam();
+  AvcProtocol protocol(m, d);
+  const Counts initial = majority_instance_with_margin(protocol, 60, 4);
+  AvcSumInvariant invariant(protocol, initial);
+  AgentEngine<AvcProtocol> engine(protocol, initial);
+  Xoshiro256ss rng(seed);
+  inspect_trajectory(engine, rng, 200'000, 97,
+                     [&](const Counts& counts) {
+                       ASSERT_TRUE(invariant.holds(counts));
+                       ASSERT_EQ(population_size(counts), 60u);
+                     });
+}
+
+TEST_P(AvcInvariantTrajectoryTest, SumConservedOnCountEngine) {
+  const auto [m, d, seed] = GetParam();
+  AvcProtocol protocol(m, d);
+  const Counts initial = majority_instance_with_margin(protocol, 60, 4);
+  AvcSumInvariant invariant(protocol, initial);
+  CountEngine<AvcProtocol> engine(protocol, initial);
+  Xoshiro256ss rng(seed + 1);
+  inspect_trajectory(engine, rng, 200'000, 101,
+                     [&](const Counts& counts) {
+                       ASSERT_TRUE(invariant.holds(counts));
+                     });
+}
+
+TEST_P(AvcInvariantTrajectoryTest, SumConservedOnSkipEngine) {
+  const auto [m, d, seed] = GetParam();
+  AvcProtocol protocol(m, d);
+  const Counts initial = majority_instance_with_margin(protocol, 60, 4);
+  AvcSumInvariant invariant(protocol, initial);
+  SkipEngine<AvcProtocol> engine(protocol, initial);
+  Xoshiro256ss rng(seed + 2);
+  inspect_trajectory(engine, rng, 200'000, 1,
+                     [&](const Counts& counts) {
+                       ASSERT_TRUE(invariant.holds(counts));
+                     });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, AvcInvariantTrajectoryTest,
+    ::testing::Values(std::tuple{1, 1, 7001}, std::tuple{3, 1, 7002},
+                      std::tuple{5, 2, 7003}, std::tuple{9, 1, 7004},
+                      std::tuple{9, 5, 7005}, std::tuple{21, 1, 7006},
+                      std::tuple{55, 3, 7007}));
+
+TEST(AvcInvariantTest, MajoritySignSurvivorExistsThroughoutRun) {
+  // Direct consequence of Invariant 4.3 highlighted by the paper: if the
+  // initial sum is positive, at least one positive-value node exists in
+  // every reachable configuration.
+  AvcProtocol protocol(9, 2);
+  const Counts initial = majority_instance_with_margin(protocol, 40, 2);
+  CountEngine<AvcProtocol> engine(protocol, initial);
+  Xoshiro256ss rng(501);
+  inspect_trajectory(engine, rng, 500'000, 50, [&](const Counts& counts) {
+    std::uint64_t strictly_positive = 0;
+    for (State q = 0; q < counts.size(); ++q) {
+      if (protocol.value_of(q) > 0) strictly_positive += counts[q];
+    }
+    ASSERT_GE(strictly_positive, 1u);
+  });
+}
+
+}  // namespace
+}  // namespace popbean

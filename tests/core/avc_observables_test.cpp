@@ -1,0 +1,87 @@
+#include "core/avc_observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "population/count_engine.hpp"
+#include "population/trace.hpp"
+#include "util/rng.hpp"
+
+namespace popbean::avc {
+namespace {
+
+class ObservablesTest : public ::testing::Test {
+ protected:
+  AvcProtocol protocol{9, 2};
+  Counts counts{Counts(protocol.num_states(), 0)};
+
+  void put(int value, std::uint64_t how_many) {
+    counts[protocol.codec().from_value(value)] += how_many;
+  }
+};
+
+TEST_F(ObservablesTest, MaxWeightsTrackExtremes) {
+  put(9, 2);
+  put(-5, 1);
+  put(1, 3);
+  EXPECT_EQ(max_positive_weight(protocol).eval(counts), 9.0);
+  EXPECT_EQ(max_negative_weight(protocol).eval(counts), 5.0);
+}
+
+TEST_F(ObservablesTest, MaxWeightZeroWhenSignAbsent) {
+  put(3, 4);
+  EXPECT_EQ(max_negative_weight(protocol).eval(counts), 0.0);
+  EXPECT_EQ(max_positive_weight(protocol).eval(counts), 3.0);
+}
+
+TEST_F(ObservablesTest, WeakNodesCountsBothZeroFlavours) {
+  counts[protocol.codec().weak(+1)] = 3;
+  counts[protocol.codec().weak(-1)] = 4;
+  put(7, 1);
+  EXPECT_EQ(weak_nodes(protocol).eval(counts), 7.0);
+}
+
+TEST_F(ObservablesTest, SignCountsExcludeZeros) {
+  put(9, 2);
+  put(-1, 5);
+  counts[protocol.codec().weak(+1)] = 10;
+  EXPECT_EQ(strictly_positive_nodes(protocol).eval(counts), 2.0);
+  EXPECT_EQ(strictly_negative_nodes(protocol).eval(counts), 5.0);
+}
+
+TEST_F(ObservablesTest, TotalValueMatchesProtocol) {
+  put(9, 2);
+  put(-5, 3);
+  EXPECT_EQ(total_value(protocol).eval(counts), 18.0 - 15.0);
+}
+
+TEST(ObservableTraceTest, PhaseStructureOfARealRun) {
+  // Along a real trajectory: the total value is constant, the max weights
+  // never increase (weights only shrink under AVC), and at convergence the
+  // negative side is empty.
+  AvcProtocol protocol(15, 1);
+  const Counts initial = majority_instance_with_margin(protocol, 300, 30);
+  CountEngine<AvcProtocol> engine(protocol, initial);
+  TraceRecorder recorder({max_positive_weight(protocol),
+                          max_negative_weight(protocol),
+                          total_value(protocol),
+                          strictly_negative_nodes(protocol)});
+  Xoshiro256ss rng(1001);
+  const RunResult result = recorder.record(engine, rng, 50, 100'000'000);
+  ASSERT_TRUE(result.converged());
+  ASSERT_EQ(result.decided, 1);
+
+  const auto& points = recorder.points();
+  ASSERT_GE(points.size(), 3u);
+  double last_pos = 15.0, last_neg = 15.0;
+  for (const TracePoint& point : points) {
+    EXPECT_LE(point.values[0], last_pos);  // max positive weight shrinks
+    EXPECT_LE(point.values[1], last_neg);  // max negative weight shrinks
+    EXPECT_EQ(point.values[2], 30.0 * 15.0);  // invariant 4.3
+    last_pos = point.values[0];
+    last_neg = point.values[1];
+  }
+  EXPECT_EQ(points.back().values[3], 0.0);  // no negative nodes at the end
+}
+
+}  // namespace
+}  // namespace popbean::avc

@@ -1,0 +1,81 @@
+#include "core/avc_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+
+namespace popbean::avc {
+namespace {
+
+TEST(AvcParamsTest, LargestOddAtMost) {
+  EXPECT_EQ(largest_odd_at_most(1), 1);
+  EXPECT_EQ(largest_odd_at_most(2), 1);
+  EXPECT_EQ(largest_odd_at_most(7), 7);
+  EXPECT_EQ(largest_odd_at_most(100), 99);
+  EXPECT_THROW(largest_odd_at_most(0), std::logic_error);
+}
+
+TEST(AvcParamsTest, StateBudgetMatchesPaperExperimentGrid) {
+  // Figure 4 uses d = 1 and s in {4, 6, 12, 24, ...}; s = m + 3.
+  EXPECT_EQ(from_state_budget(4).m, 1);
+  EXPECT_EQ(from_state_budget(6).m, 3);
+  EXPECT_EQ(from_state_budget(12).m, 9);
+  EXPECT_EQ(from_state_budget(24).m, 21);
+  EXPECT_EQ(from_state_budget(34).m, 31);
+  EXPECT_EQ(from_state_budget(16340).m, 16337);
+}
+
+TEST(AvcParamsTest, BudgetIsNeverExceeded) {
+  for (std::int64_t s = 4; s < 200; ++s) {
+    for (int d = 1; 2 * d + 2 <= s; ++d) {
+      const AvcParams p = from_state_budget(s, d);
+      EXPECT_LE(p.num_states(), s) << "s=" << s << " d=" << d;
+      EXPECT_GE(p.num_states(), s - 1) << "s=" << s << " d=" << d;
+      EXPECT_EQ(p.m % 2, 1);
+      EXPECT_GE(p.m, 1);
+      // The protocol must actually construct.
+      AvcProtocol protocol(p.m, p.d);
+      EXPECT_EQ(protocol.num_states(), static_cast<std::size_t>(p.num_states()));
+    }
+  }
+}
+
+TEST(AvcParamsTest, BudgetTooSmallThrows) {
+  EXPECT_THROW(from_state_budget(3), std::logic_error);
+  EXPECT_THROW(from_state_budget(5, 2), std::logic_error);
+}
+
+TEST(AvcParamsTest, NStateUsesRoughlyNStates) {
+  const AvcParams p = n_state(1001);
+  EXPECT_EQ(p.d, 1);
+  EXPECT_EQ(p.m, 997);  // 1001 - 3 = 998 -> largest odd 997
+  EXPECT_LE(p.num_states(), 1001);
+}
+
+TEST(AvcParamsTest, ForEpsilonTargetsInverseEpsilonStates) {
+  const AvcParams p = for_epsilon(0.01);
+  EXPECT_GE(p.num_states(), 99);
+  EXPECT_LE(p.num_states(), 100);
+  // Tiny epsilon still yields a valid protocol.
+  const AvcParams small = for_epsilon(1e-6);
+  EXPECT_GE(small.m, 1);
+  EXPECT_EQ(small.m % 2, 1);
+  // Huge epsilon clamps to the minimal protocol.
+  const AvcParams big = for_epsilon(1.0);
+  EXPECT_EQ(big.m, 1);
+}
+
+TEST(AvcParamsTest, TheoremSettingRespectsStatedRanges) {
+  for (std::uint64_t n : {16ULL, 256ULL, 100000ULL}) {
+    const AvcParams p = theorem_setting(n);
+    EXPECT_GE(p.m, 1);
+    EXPECT_EQ(p.m % 2, 1);
+    EXPECT_LE(static_cast<std::uint64_t>(p.m), n);
+    EXPECT_GE(p.d, 1);
+    // d = 1000 log m log n is large by design.
+    EXPECT_GT(p.d, 100);
+  }
+}
+
+}  // namespace
+}  // namespace popbean::avc

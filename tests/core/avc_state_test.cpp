@@ -1,0 +1,139 @@
+#include "core/avc_state.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace popbean::avc {
+namespace {
+
+TEST(StateCodecTest, StateCountMatchesFormula) {
+  for (int m : {1, 3, 5, 9, 101}) {
+    for (int d : {1, 2, 7}) {
+      StateCodec codec(m, d);
+      EXPECT_EQ(codec.num_states(),
+                static_cast<std::size_t>(m + 2 * d + 1))
+          << "m=" << m << " d=" << d;
+    }
+  }
+}
+
+TEST(StateCodecTest, RejectsInvalidParameters) {
+  EXPECT_THROW(StateCodec(0, 1), std::logic_error);
+  EXPECT_THROW(StateCodec(2, 1), std::logic_error);   // even m
+  EXPECT_THROW(StateCodec(-3, 1), std::logic_error);
+  EXPECT_THROW(StateCodec(3, 0), std::logic_error);
+}
+
+TEST(StateCodecTest, MinimalProtocolIsFourStates) {
+  StateCodec codec(1, 1);
+  EXPECT_EQ(codec.num_states(), 4u);
+  // -1_1, -0, +0, +1_1 in ascending-value order.
+  EXPECT_EQ(codec.value_of(0), -1);
+  EXPECT_EQ(codec.value_of(1), 0);
+  EXPECT_EQ(codec.sign_of(1), -1);
+  EXPECT_EQ(codec.value_of(2), 0);
+  EXPECT_EQ(codec.sign_of(2), +1);
+  EXPECT_EQ(codec.value_of(3), 1);
+}
+
+class CodecRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CodecRoundTripTest, DecodeIsConsistentWithAccessors) {
+  const auto [m, d] = GetParam();
+  StateCodec codec(m, d);
+  std::set<std::string> names;
+  for (State q = 0; q < codec.num_states(); ++q) {
+    const DecodedState s = codec.decode(q);
+    EXPECT_EQ(s.value(), codec.value_of(q));
+    EXPECT_EQ(s.sign, codec.sign_of(q));
+    EXPECT_EQ(s.weight, codec.weight_of(q));
+    EXPECT_EQ(s.level, codec.level_of(q));
+    EXPECT_EQ(s.kind == Kind::kIntermediate, codec.is_intermediate(q));
+    names.insert(codec.name(q));
+    // Weight structure.
+    switch (s.kind) {
+      case Kind::kStrong:
+        EXPECT_GE(s.weight, 3);
+        EXPECT_LE(s.weight, m);
+        EXPECT_EQ(s.weight % 2, 1);
+        break;
+      case Kind::kIntermediate:
+        EXPECT_EQ(s.weight, 1);
+        EXPECT_GE(s.level, 1);
+        EXPECT_LE(s.level, d);
+        break;
+      case Kind::kWeak:
+        EXPECT_EQ(s.weight, 0);
+        break;
+    }
+  }
+  EXPECT_EQ(names.size(), codec.num_states()) << "names must be unique";
+}
+
+TEST_P(CodecRoundTripTest, EncodersInvertDecode) {
+  const auto [m, d] = GetParam();
+  StateCodec codec(m, d);
+  for (State q = 0; q < codec.num_states(); ++q) {
+    const DecodedState s = codec.decode(q);
+    switch (s.kind) {
+      case Kind::kStrong:
+        EXPECT_EQ(codec.from_value(s.value()), q);
+        break;
+      case Kind::kIntermediate:
+        EXPECT_EQ(codec.intermediate(s.sign, s.level), q);
+        if (s.level == 1) {
+          EXPECT_EQ(codec.from_value(s.sign), q);
+        }
+        break;
+      case Kind::kWeak:
+        EXPECT_EQ(codec.weak(s.sign), q);
+        break;
+    }
+  }
+}
+
+TEST_P(CodecRoundTripTest, ValuesCoverExactlyTheOddRangePlusZeros) {
+  const auto [m, d] = GetParam();
+  StateCodec codec(m, d);
+  std::multiset<int> values;
+  for (State q = 0; q < codec.num_states(); ++q) {
+    values.insert(codec.value_of(q));
+  }
+  EXPECT_EQ(values.count(0), 2u);               // +0 and -0
+  EXPECT_EQ(values.count(1), static_cast<std::size_t>(d));
+  EXPECT_EQ(values.count(-1), static_cast<std::size_t>(d));
+  for (int v = 3; v <= m; v += 2) {
+    EXPECT_EQ(values.count(v), 1u) << v;
+    EXPECT_EQ(values.count(-v), 1u) << -v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, CodecRoundTripTest,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{1, 5}, std::tuple{3, 1},
+                      std::tuple{5, 2}, std::tuple{9, 1}, std::tuple{9, 4},
+                      std::tuple{63, 1}, std::tuple{101, 3},
+                      std::tuple{1023, 1}));
+
+TEST(StateCodecTest, NamesAreHumanReadable) {
+  StateCodec codec(5, 2);
+  EXPECT_EQ(codec.name(codec.from_value(-5)), "-5");
+  EXPECT_EQ(codec.name(codec.from_value(3)), "+3");
+  EXPECT_EQ(codec.name(codec.intermediate(-1, 2)), "-1_2");
+  EXPECT_EQ(codec.name(codec.intermediate(+1, 1)), "+1_1");
+  EXPECT_EQ(codec.name(codec.weak(-1)), "-0");
+  EXPECT_EQ(codec.name(codec.weak(+1)), "+0");
+}
+
+TEST(StateCodecTest, FromValueRejectsEvenAndOutOfRange) {
+  StateCodec codec(5, 1);
+  EXPECT_THROW(codec.from_value(0), std::logic_error);
+  EXPECT_THROW(codec.from_value(2), std::logic_error);
+  EXPECT_THROW(codec.from_value(7), std::logic_error);
+  EXPECT_THROW(codec.from_value(-7), std::logic_error);
+}
+
+}  // namespace
+}  // namespace popbean::avc

@@ -1,0 +1,68 @@
+// Behaviour of AVC on *tied* inputs (a = b), which the majority problem
+// (§2) leaves undefined. The sum invariant (4.3) pins the dynamics down:
+// the total value is 0, so by Lemma A.1's argument the population can never
+// become unanimous in either sign — instead it drains into a mixed-zeros
+// configuration. These tests document and freeze that behaviour.
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using avc::AvcProtocol;
+
+TEST(AvcTieTest, TiedInputReachesMixedZeroAbsorption) {
+  AvcProtocol protocol(3, 1);
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state(Opinion::A)] = 10;
+  counts[protocol.initial_state(Opinion::B)] = 10;
+  SkipEngine<AvcProtocol> engine(protocol, counts);
+  Xoshiro256ss rng(1101);
+  const RunResult result = run_to_convergence(engine, rng, 1'000'000'000);
+  // The skip engine reports the absorbing mixed configuration.
+  EXPECT_EQ(result.status, RunStatus::kAbsorbing);
+  // Everything ended at weight 0 with both signs present.
+  const Counts& final_counts = engine.counts();
+  const auto& codec = protocol.codec();
+  EXPECT_EQ(final_counts[codec.weak(+1)] + final_counts[codec.weak(-1)], 20u);
+  EXPECT_GT(final_counts[codec.weak(+1)], 0u);
+  EXPECT_GT(final_counts[codec.weak(-1)], 0u);
+  EXPECT_EQ(protocol.total_value(final_counts), 0);
+}
+
+TEST(AvcTieTest, TieNeverProducesAUnanimousVerdict) {
+  AvcProtocol protocol(5, 2);
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state(Opinion::A)] = 8;
+  counts[protocol.initial_state(Opinion::B)] = 8;
+  for (int rep = 0; rep < 20; ++rep) {
+    SkipEngine<AvcProtocol> engine(protocol, counts);
+    Xoshiro256ss rng(1102, static_cast<std::uint64_t>(rep));
+    const RunResult result = run_to_convergence(engine, rng, 1'000'000'000);
+    EXPECT_NE(result.status, RunStatus::kConverged) << "rep=" << rep;
+  }
+}
+
+TEST(AvcTieTest, OneNodeAdvantageBreaksTheTie) {
+  // The contrast that makes AVC "exact": the minimal non-tie margin always
+  // resolves (Figure 3's ε = 1/n setting).
+  AvcProtocol protocol(5, 2);
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state(Opinion::A)] = 8;
+  counts[protocol.initial_state(Opinion::B)] = 9;
+  for (int rep = 0; rep < 20; ++rep) {
+    SkipEngine<AvcProtocol> engine(protocol, counts);
+    Xoshiro256ss rng(1103, static_cast<std::uint64_t>(rep));
+    const RunResult result = run_to_convergence(engine, rng, 1'000'000'000);
+    ASSERT_EQ(result.status, RunStatus::kConverged);
+    EXPECT_EQ(result.decided, 0);  // B majority
+  }
+}
+
+}  // namespace
+}  // namespace popbean

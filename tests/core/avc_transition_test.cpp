@@ -1,0 +1,234 @@
+// Unit tests for the AVC transition function, including every worked example
+// the paper gives in §1, §3 and Figure 2.
+#include "core/avc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace popbean::avc {
+namespace {
+
+class AvcRules : public ::testing::Test {
+ protected:
+  // m = 9, d = 3 gives all three state families plenty of room.
+  AvcProtocol p{9, 3};
+  const StateCodec& c = p.codec();
+
+  State val(int v) const { return c.from_value(v); }
+  State inter(int sign, int level) const { return c.intermediate(sign, level); }
+  State weak(int sign) const { return c.weak(sign); }
+};
+
+TEST_F(AvcRules, InitialStatesAreExtremes) {
+  EXPECT_EQ(p.initial_state(Opinion::A), val(9));
+  EXPECT_EQ(p.initial_state(Opinion::B), val(-9));
+  EXPECT_EQ(p.output(val(9)), 1);
+  EXPECT_EQ(p.output(val(-9)), 0);
+}
+
+// --- Averaging reaction (line 11) ------------------------------------------
+
+TEST_F(AvcRules, PaperExampleFiveMeetsMinusOne) {
+  // §1: "input states 5 and −1 will yield output states 1 and 3".
+  const Transition t = p.apply(val(5), inter(-1, 1));
+  EXPECT_EQ(t.initiator, inter(+1, 1));  // value 1
+  EXPECT_EQ(t.responder, val(3));        // value 3
+}
+
+TEST_F(AvcRules, PaperExampleExtremesAnnihilateToIntermediates) {
+  // Fig. 2: "states m and −m react to produce states −1_1 and 1_1".
+  const Transition t = p.apply(val(9), val(-9));
+  EXPECT_EQ(t.initiator, inter(-1, 1));
+  EXPECT_EQ(t.responder, inter(+1, 1));
+}
+
+TEST_F(AvcRules, OddAverageGivesBothTheAverage) {
+  const Transition t = p.apply(val(9), val(5));  // avg 7, odd
+  EXPECT_EQ(t.initiator, val(7));
+  EXPECT_EQ(t.responder, val(7));
+}
+
+TEST_F(AvcRules, EvenAverageSplitsToBracketingOdds) {
+  const Transition t = p.apply(val(9), val(3));  // avg 6 -> 5 and 7
+  EXPECT_EQ(t.initiator, val(5));
+  EXPECT_EQ(t.responder, val(7));
+}
+
+TEST_F(AvcRules, OppositeStrongsOfDifferentMagnitude) {
+  const Transition t = p.apply(val(-5), val(3));  // avg -1, odd -> both -1_1
+  EXPECT_EQ(t.initiator, inter(-1, 1));
+  EXPECT_EQ(t.responder, inter(-1, 1));
+}
+
+TEST_F(AvcRules, StrongMeetsIntermediateAveragesAndResetsLevel) {
+  // (+3, +1_2): avg 2 -> R↓ = 1 (level-1 intermediate), R↑ = 3.
+  const Transition t = p.apply(val(3), inter(+1, 2));
+  EXPECT_EQ(t.initiator, inter(+1, 1));
+  EXPECT_EQ(t.responder, val(3));
+}
+
+TEST_F(AvcRules, StrongMeetsOppositeIntermediate) {
+  // (+5, -1_3): sum 4, avg 2 -> 1_1 and 3.
+  const Transition t = p.apply(val(5), inter(-1, 3));
+  EXPECT_EQ(t.initiator, inter(+1, 1));
+  EXPECT_EQ(t.responder, val(3));
+}
+
+TEST_F(AvcRules, AveragingIsOrderAware) {
+  // R↓ goes to the initiator, R↑ to the responder.
+  const Transition t = p.apply(val(3), val(9));
+  EXPECT_EQ(t.initiator, val(5));
+  EXPECT_EQ(t.responder, val(7));
+}
+
+// --- Zero meets non-zero (lines 12-14) --------------------------------------
+
+TEST_F(AvcRules, PaperExampleStrongMeetsWeak) {
+  // §1: "input states 3 and −0 will yield output states 3 and 0".
+  const Transition t = p.apply(val(3), weak(-1));
+  EXPECT_EQ(t.initiator, val(3));
+  EXPECT_EQ(t.responder, weak(+1));
+}
+
+TEST_F(AvcRules, WeakAdoptsNegativePartnerSign) {
+  // Requires the ≠0 guard: with the misprinted > 0 guard this would be null.
+  const Transition t = p.apply(val(-3), weak(+1));
+  EXPECT_EQ(t.initiator, val(-3));
+  EXPECT_EQ(t.responder, weak(-1));
+}
+
+TEST_F(AvcRules, ZeroInitiatorAlsoAdopts) {
+  const Transition t = p.apply(weak(+1), val(-7));
+  EXPECT_EQ(t.initiator, weak(-1));
+  EXPECT_EQ(t.responder, val(-7));
+}
+
+TEST_F(AvcRules, IntermediateMeetingZeroShiftsTowardD) {
+  const Transition t = p.apply(inter(-1, 1), weak(+1));
+  EXPECT_EQ(t.initiator, inter(-1, 2));
+  EXPECT_EQ(t.responder, weak(-1));
+}
+
+TEST_F(AvcRules, IntermediateAtLastLevelMeetingZeroStaysAtD) {
+  const Transition t = p.apply(inter(-1, 3), weak(+1));
+  EXPECT_EQ(t.initiator, inter(-1, 3));
+  EXPECT_EQ(t.responder, weak(-1));
+}
+
+TEST_F(AvcRules, ZeroMeetsZeroIsNull) {
+  for (int s1 : {-1, +1}) {
+    for (int s2 : {-1, +1}) {
+      const Transition t = p.apply(weak(s1), weak(s2));
+      EXPECT_EQ(t.initiator, weak(s1));
+      EXPECT_EQ(t.responder, weak(s2));
+    }
+  }
+}
+
+// --- Intermediate neutralization (lines 15-17) ------------------------------
+
+TEST_F(AvcRules, OppositeIntermediatesAtLevelDNeutralize) {
+  const Transition t = p.apply(inter(+1, 3), inter(-1, 1));
+  EXPECT_EQ(t.initiator, weak(-1));
+  EXPECT_EQ(t.responder, weak(+1));
+}
+
+TEST_F(AvcRules, NeutralizationTriggersIfEitherSideIsAtD) {
+  const Transition t = p.apply(inter(+1, 2), inter(-1, 3));
+  EXPECT_EQ(t.initiator, weak(-1));
+  EXPECT_EQ(t.responder, weak(+1));
+}
+
+// --- Remaining weight-1 pairs (lines 18-19) ---------------------------------
+
+TEST_F(AvcRules, OppositeIntermediatesBelowDShiftOneLevel) {
+  const Transition t = p.apply(inter(+1, 1), inter(-1, 2));
+  EXPECT_EQ(t.initiator, inter(+1, 2));
+  EXPECT_EQ(t.responder, inter(-1, 3));
+}
+
+TEST_F(AvcRules, SameSignIntermediatesShiftPerPseudocode) {
+  const Transition t = p.apply(inter(+1, 1), inter(+1, 2));
+  EXPECT_EQ(t.initiator, inter(+1, 2));
+  EXPECT_EQ(t.responder, inter(+1, 3));
+}
+
+TEST_F(AvcRules, SameSignIntermediatesAtDStayPut) {
+  const Transition t = p.apply(inter(+1, 3), inter(+1, 3));
+  EXPECT_EQ(t.initiator, inter(+1, 3));
+  EXPECT_EQ(t.responder, inter(+1, 3));
+}
+
+// --- Global structural properties -------------------------------------------
+
+class AvcTransitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AvcTransitionPropertyTest, EveryTransitionPreservesTheValueSum) {
+  const auto [m, d] = GetParam();
+  AvcProtocol p(m, d);
+  for (State a = 0; a < p.num_states(); ++a) {
+    for (State b = 0; b < p.num_states(); ++b) {
+      const Transition t = p.apply(a, b);
+      ASSERT_EQ(p.value_of(a) + p.value_of(b),
+                p.value_of(t.initiator) + p.value_of(t.responder))
+          << p.state_name(a) << " + " << p.state_name(b) << " -> "
+          << p.state_name(t.initiator) << " + " << p.state_name(t.responder);
+    }
+  }
+}
+
+TEST_P(AvcTransitionPropertyTest, TransitionsStayInRange) {
+  const auto [m, d] = GetParam();
+  AvcProtocol p(m, d);
+  for (State a = 0; a < p.num_states(); ++a) {
+    for (State b = 0; b < p.num_states(); ++b) {
+      const Transition t = p.apply(a, b);
+      ASSERT_LT(t.initiator, p.num_states());
+      ASSERT_LT(t.responder, p.num_states());
+    }
+  }
+}
+
+TEST_P(AvcTransitionPropertyTest, MaxAbsoluteWeightNeverIncreases) {
+  // Claim A.2's engine: reactions never push a value beyond the extremes of
+  // the participants.
+  const auto [m, d] = GetParam();
+  AvcProtocol p(m, d);
+  const StateCodec& c = p.codec();
+  for (State a = 0; a < p.num_states(); ++a) {
+    for (State b = 0; b < p.num_states(); ++b) {
+      const Transition t = p.apply(a, b);
+      const int before = std::max(c.weight_of(a), c.weight_of(b));
+      const int after =
+          std::max(c.weight_of(t.initiator), c.weight_of(t.responder));
+      ASSERT_LE(after, before)
+          << p.state_name(a) << " + " << p.state_name(b);
+    }
+  }
+}
+
+TEST_P(AvcTransitionPropertyTest, UnanimousSignsArePreserved) {
+  // Lemma A.1's closing argument: two positive-sign nodes stay positive (and
+  // symmetrically for negative), so unanimity is absorbing.
+  const auto [m, d] = GetParam();
+  AvcProtocol p(m, d);
+  const StateCodec& c = p.codec();
+  for (State a = 0; a < p.num_states(); ++a) {
+    for (State b = 0; b < p.num_states(); ++b) {
+      if (c.sign_of(a) != c.sign_of(b)) continue;
+      const Transition t = p.apply(a, b);
+      ASSERT_EQ(c.sign_of(t.initiator), c.sign_of(a));
+      ASSERT_EQ(c.sign_of(t.responder), c.sign_of(a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, AvcTransitionPropertyTest,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{1, 4}, std::tuple{3, 1},
+                      std::tuple{3, 3}, std::tuple{5, 1}, std::tuple{7, 2},
+                      std::tuple{9, 3}, std::tuple{15, 1}, std::tuple{33, 2},
+                      std::tuple{101, 1}));
+
+}  // namespace
+}  // namespace popbean::avc

@@ -1,0 +1,124 @@
+#include "crn/gillespie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean::crn {
+namespace {
+
+TEST(GillespieTest, ValidationRejectsBadReactions) {
+  ReactionNetwork net;
+  net.num_species = 2;
+  net.reactions.push_back({{0, 1}, {5}, 1.0});  // product out of range
+  EXPECT_THROW(GillespieEngine(net, {1, 1}), std::logic_error);
+}
+
+TEST(GillespieTest, UnimolecularDecayExhausts) {
+  // A -> (nothing), rate 1. All 50 copies must eventually decay.
+  ReactionNetwork net;
+  net.num_species = 1;
+  net.reactions.push_back({{0}, {}, 1.0});
+  GillespieEngine engine(net, {50});
+  Xoshiro256ss rng(71);
+  while (engine.step(rng)) {
+  }
+  EXPECT_EQ(engine.counts()[0], 0u);
+  EXPECT_EQ(engine.firings(), 50u);
+  EXPECT_GT(engine.now(), 0.0);
+}
+
+TEST(GillespieTest, UnimolecularDecayMeanTimeMatchesTheory) {
+  // First decay of k exponential clocks fires at rate k; the full decay of
+  // 10 copies takes expected H_10 = sum 1/k.
+  ReactionNetwork net;
+  net.num_species = 1;
+  net.reactions.push_back({{0}, {}, 1.0});
+  OnlineStats stats;
+  for (int rep = 0; rep < 3000; ++rep) {
+    GillespieEngine engine(net, {10});
+    Xoshiro256ss rng(72, static_cast<std::uint64_t>(rep));
+    while (engine.step(rng)) {
+    }
+    stats.add(engine.now());
+  }
+  double harmonic = 0;
+  for (int k = 1; k <= 10; ++k) harmonic += 1.0 / k;
+  EXPECT_NEAR(stats.mean(), harmonic, 0.05);
+}
+
+TEST(GillespieTest, BimolecularAnnihilationConservesDifference) {
+  // A + B -> (nothing): #A - #B is conserved; the minority exhausts.
+  ReactionNetwork net;
+  net.num_species = 2;
+  net.reactions.push_back({{0, 1}, {}, 1.0});
+  GillespieEngine engine(net, {30, 12});
+  Xoshiro256ss rng(73);
+  while (engine.step(rng)) {
+  }
+  EXPECT_EQ(engine.counts()[0], 18u);
+  EXPECT_EQ(engine.counts()[1], 0u);
+  EXPECT_EQ(engine.firings(), 12u);
+}
+
+TEST(GillespieTest, DimerizationUsesPairCombinatorics) {
+  // 2A -> B with 5 copies: exactly 2 firings possible.
+  ReactionNetwork net;
+  net.num_species = 2;
+  net.reactions.push_back({{0, 0}, {1}, 1.0});
+  GillespieEngine engine(net, {5, 0});
+  Xoshiro256ss rng(74);
+  while (engine.step(rng)) {
+  }
+  EXPECT_EQ(engine.counts()[0], 1u);
+  EXPECT_EQ(engine.counts()[1], 2u);
+  EXPECT_EQ(engine.total_propensity(), 0.0);
+}
+
+TEST(GillespieTest, StepOnExhaustedNetworkReturnsFalse) {
+  ReactionNetwork net;
+  net.num_species = 1;
+  net.reactions.push_back({{0}, {}, 1.0});
+  GillespieEngine engine(net, {0});
+  Xoshiro256ss rng(75);
+  EXPECT_FALSE(engine.step(rng));
+  EXPECT_EQ(engine.now(), 0.0);
+}
+
+TEST(GillespieTest, RunUntilStopsAtPredicate) {
+  ReactionNetwork net;
+  net.num_species = 1;
+  net.reactions.push_back({{0}, {}, 1.0});
+  GillespieEngine engine(net, {100});
+  Xoshiro256ss rng(76);
+  const std::uint64_t fired = engine.run_until(
+      rng,
+      [](const std::vector<std::uint64_t>& counts) { return counts[0] <= 40; },
+      1'000'000);
+  EXPECT_EQ(fired, 60u);
+  EXPECT_EQ(engine.counts()[0], 40u);
+}
+
+TEST(GillespieTest, RelativeRatesBiasSelection) {
+  // A -> X at rate 9, A -> Y at rate 1: X should get ~90% of the mass.
+  ReactionNetwork net;
+  net.num_species = 3;
+  net.reactions.push_back({{0}, {1}, 9.0});
+  net.reactions.push_back({{0}, {2}, 1.0});
+  std::uint64_t x_total = 0, y_total = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    GillespieEngine engine(net, {100, 0, 0});
+    Xoshiro256ss rng(77, static_cast<std::uint64_t>(rep));
+    while (engine.step(rng)) {
+    }
+    x_total += engine.counts()[1];
+    y_total += engine.counts()[2];
+  }
+  const double x_fraction =
+      static_cast<double>(x_total) / static_cast<double>(x_total + y_total);
+  EXPECT_NEAR(x_fraction, 0.9, 0.01);
+}
+
+}  // namespace
+}  // namespace popbean::crn

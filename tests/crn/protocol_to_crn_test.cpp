@@ -1,0 +1,118 @@
+// The CRN compilation of a protocol must reproduce the protocol's dynamics:
+// same reachable behaviour, same decisions, and physical time matching
+// parallel time in distribution.
+#include "crn/protocol_to_crn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "crn/gillespie.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/run.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/voter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean::crn {
+namespace {
+
+TEST(ProtocolToCrnTest, VoterCompilesToTwoReactions) {
+  VoterProtocol protocol;
+  const ReactionNetwork net = compile_protocol(protocol, 10);
+  EXPECT_EQ(net.num_species, 2u);
+  // (A,B) -> (A,A) and (B,A) -> (B,B); same-state pairs are null.
+  EXPECT_EQ(net.reactions.size(), 2u);
+  for (const auto& r : net.reactions) {
+    EXPECT_DOUBLE_EQ(r.rate, 0.1);
+    EXPECT_EQ(r.reactants.size(), 2u);
+    EXPECT_EQ(r.products.size(), 2u);
+    EXPECT_EQ(r.products[0], r.products[1]);
+  }
+}
+
+TEST(ProtocolToCrnTest, FourStateCompilesOnlyProductivePairs) {
+  FourStateProtocol protocol;
+  const ReactionNetwork net = compile_protocol(protocol, 100);
+  // Productive ordered pairs: (A,B),(B,A),(A,b),(b,A),(B,a),(a,B).
+  EXPECT_EQ(net.reactions.size(), 6u);
+  EXPECT_EQ(net.species_names.size(), 4u);
+  EXPECT_EQ(net.species_names[FourStateProtocol::kStrongA], "A");
+}
+
+TEST(ProtocolToCrnTest, CrnDecisionsMatchProtocolExactness) {
+  FourStateProtocol protocol;
+  const std::uint64_t n = 31;
+  const ReactionNetwork net = compile_protocol(protocol, n);
+  for (int rep = 0; rep < 40; ++rep) {
+    std::vector<std::uint64_t> counts(4, 0);
+    counts[FourStateProtocol::kStrongB] = 17;
+    counts[FourStateProtocol::kStrongA] = 14;
+    GillespieEngine engine(net, counts);
+    Xoshiro256ss rng(81, static_cast<std::uint64_t>(rep));
+    engine.run_until(
+        rng,
+        [&](const std::vector<std::uint64_t>& c) {
+          return popbean::output_agents(protocol, c, 1) == 0 ||
+                 popbean::output_agents(protocol, c, 0) == 0;
+        },
+        100'000'000);
+    // Exact protocol: B (output 0) must win every time.
+    EXPECT_EQ(popbean::output_agents(protocol, engine.counts(), 1), 0u)
+        << "rep=" << rep;
+  }
+}
+
+TEST(ProtocolToCrnTest, PhysicalTimeMatchesParallelTimeDistribution) {
+  // Run the same instance under (a) the discrete pair model measuring
+  // steps/n and (b) the Gillespie CRN measuring physical time. The two time
+  // samples must agree in distribution (continuous-time equivalence, §1).
+  FourStateProtocol protocol;
+  const std::uint64_t n = 40;
+  const Counts initial = popbean::majority_instance(protocol, n, 26);
+  constexpr int kReplicates = 250;
+
+  std::vector<double> discrete_times, crn_times;
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    popbean::CountEngine<FourStateProtocol> engine(protocol, initial);
+    Xoshiro256ss rng(82, static_cast<std::uint64_t>(rep));
+    const popbean::RunResult result =
+        popbean::run_to_convergence(engine, rng, 100'000'000);
+    ASSERT_TRUE(result.converged());
+    discrete_times.push_back(result.parallel_time);
+  }
+
+  const ReactionNetwork net = compile_protocol(protocol, n);
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    GillespieEngine engine(net, initial);
+    Xoshiro256ss rng(83, static_cast<std::uint64_t>(rep));
+    engine.run_until(
+        rng,
+        [&](const std::vector<std::uint64_t>& c) {
+          return popbean::output_agents(protocol, c, 1) == 0 ||
+                 popbean::output_agents(protocol, c, 0) == 0;
+        },
+        100'000'000);
+    crn_times.push_back(engine.now());
+  }
+
+  EXPECT_GT(popbean::ks_two_sample_p_value(discrete_times, crn_times), 1e-3);
+}
+
+TEST(ProtocolToCrnTest, AvcCrnConservesTotalValue) {
+  avc::AvcProtocol protocol(5, 1);
+  const std::uint64_t n = 30;
+  const ReactionNetwork net = compile_protocol(protocol, n);
+  Counts counts = popbean::majority_instance_with_margin(protocol, n, 4);
+  const auto initial_sum = protocol.total_value(counts);
+  GillespieEngine engine(net, counts);
+  Xoshiro256ss rng(84);
+  for (int i = 0; i < 2000; ++i) {
+    if (!engine.step(rng)) break;
+    ASSERT_EQ(protocol.total_value(engine.counts()), initial_sum);
+  }
+}
+
+}  // namespace
+}  // namespace popbean::crn

@@ -1,0 +1,119 @@
+#include "graph/interaction_graph.hpp"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(InteractionGraphTest, CompleteGraphBasics) {
+  const auto g = InteractionGraph::complete(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_TRUE(g.is_complete());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(3), 9u);
+}
+
+TEST(InteractionGraphTest, CompleteSamplingNeverReturnsSelfLoop) {
+  const auto g = InteractionGraph::complete(5);
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto [u, v] = g.sample_directed_edge(rng);
+    ASSERT_NE(u, v);
+    ASSERT_LT(u, 5u);
+    ASSERT_LT(v, 5u);
+  }
+}
+
+TEST(InteractionGraphTest, CompleteSamplingIsUniformOverOrderedPairs) {
+  const auto g = InteractionGraph::complete(4);
+  Xoshiro256ss rng(2);
+  std::map<std::pair<NodeId, NodeId>, int> hits;
+  constexpr int kDraws = 120000;
+  for (int i = 0; i < kDraws; ++i) ++hits[g.sample_directed_edge(rng)];
+  EXPECT_EQ(hits.size(), 12u);  // 4*3 ordered pairs
+  for (const auto& [pair, count] : hits) {
+    EXPECT_NEAR(count, kDraws / 12, 600);
+  }
+}
+
+TEST(InteractionGraphTest, RingHasNEdgesAndDegreeTwo) {
+  const auto g = InteractionGraph::ring(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_TRUE(g.is_connected());
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(InteractionGraphTest, StarHubHasFullDegree) {
+  const auto g = InteractionGraph::star(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, GridEdgesAndConnectivity) {
+  const auto g = InteractionGraph::grid(3, 4);
+  // 3*3 horizontal + 2*4 vertical = 17 edges.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+}
+
+TEST(InteractionGraphTest, TorusIsRegular) {
+  const auto g = InteractionGraph::grid(4, 4, /*wrap=*/true);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(InteractionGraphTest, RandomRegularHasRequestedDegree) {
+  Xoshiro256ss rng(3);
+  const auto g = InteractionGraph::random_regular(20, 4, rng);
+  EXPECT_EQ(g.num_edges(), 40u);
+  EXPECT_TRUE(g.is_connected());
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(InteractionGraphTest, RandomRegularRejectsOddProduct) {
+  Xoshiro256ss rng(3);
+  EXPECT_THROW(InteractionGraph::random_regular(5, 3, rng), std::logic_error);
+}
+
+TEST(InteractionGraphTest, ErdosRenyiIsConnectedWhenRequested) {
+  Xoshiro256ss rng(4);
+  const auto g = InteractionGraph::erdos_renyi(30, 0.3, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(InteractionGraphTest, FromEdgesCollapsesDuplicatesAndOrients) {
+  const auto g = InteractionGraph::from_edges(
+      3, {{0, 1}, {1, 0}, {1, 2}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, FromEdgesRejectsSelfLoop) {
+  EXPECT_THROW(InteractionGraph::from_edges(3, {{1, 1}}), std::logic_error);
+}
+
+TEST(InteractionGraphTest, DisconnectedGraphDetected) {
+  const auto g = InteractionGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(InteractionGraphTest, EdgeListSamplingCoversBothOrientations) {
+  const auto g = InteractionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  Xoshiro256ss rng(5);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.sample_directed_edge(rng));
+  EXPECT_EQ(seen.size(), 4u);  // both edges, both orientations
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,117 @@
+#include "graph/weighted_graph.hpp"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_concept.hpp"
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/mobile.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(WeightedGraphTest, SatisfiesGraphConcept) {
+  static_assert(GraphLike<WeightedInteractionGraph>);
+}
+
+TEST(WeightedGraphTest, EdgeSelectionFollowsWeights) {
+  WeightedInteractionGraph graph(
+      3, {{0, 1, 9.0}, {1, 2, 1.0}}, "probe");
+  Xoshiro256ss rng(11);
+  std::map<std::pair<NodeId, NodeId>, int> hits;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++hits[graph.sample_directed_edge(rng)];
+  const int forward = hits[{0, 1}];
+  const int backward = hits[{1, 0}];
+  const int heavy = forward + backward;
+  const int light = hits[{1, 2}] + hits[{2, 1}];
+  EXPECT_NEAR(static_cast<double>(heavy) / kDraws, 0.9, 0.01);
+  EXPECT_NEAR(static_cast<double>(light) / kDraws, 0.1, 0.01);
+  // Orientations are balanced.
+  EXPECT_NEAR(forward, backward, 5 * std::sqrt(heavy) + 10);
+}
+
+TEST(WeightedGraphTest, RejectsBadEdges) {
+  EXPECT_THROW(WeightedInteractionGraph(3, {{0, 0, 1.0}}), std::logic_error);
+  EXPECT_THROW(WeightedInteractionGraph(3, {{0, 5, 1.0}}), std::logic_error);
+  EXPECT_THROW(WeightedInteractionGraph(3, {{0, 1, 0.0}}), std::logic_error);
+  EXPECT_THROW(WeightedInteractionGraph(3, {}), std::logic_error);
+}
+
+TEST(WeightedGraphTest, TwoCommunitiesStructure) {
+  const auto graph = WeightedInteractionGraph::two_communities(8, 0.01);
+  // 2 * C(4,2) intra edges + 1 bridge.
+  EXPECT_EQ(graph.num_edges(), 13u);
+  EXPECT_TRUE(graph.is_connected());
+}
+
+TEST(WeightedGraphTest, UniformFromUnweightedGraph) {
+  const auto ring = InteractionGraph::ring(6);
+  const auto weighted = WeightedInteractionGraph::uniform(ring);
+  EXPECT_EQ(weighted.num_edges(), ring.num_edges());
+  EXPECT_TRUE(weighted.is_connected());
+  // Sampling distribution equals the unweighted graph's: uniform on edges.
+  Xoshiro256ss rng(12);
+  std::map<std::pair<NodeId, NodeId>, int> hits;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++hits[weighted.sample_directed_edge(rng)];
+  EXPECT_EQ(hits.size(), 12u);  // 6 edges, both orientations
+  for (const auto& [edge, count] : hits) {
+    EXPECT_NEAR(count, kDraws / 12, 400);
+  }
+}
+
+TEST(WeightedGraphTest, UniformRejectsCompleteGraph) {
+  EXPECT_THROW(
+      WeightedInteractionGraph::uniform(InteractionGraph::complete(5)),
+      std::logic_error);
+}
+
+TEST(WeightedGraphTest, AgentEngineRunsOnWeightedGraphs) {
+  // Exactness survives arbitrary rates as long as the graph is connected
+  // ([DV12]): a weak bridge slows convergence but never flips the answer.
+  const Mobile<FourStateProtocol> protocol{FourStateProtocol{}};
+  const auto graph = WeightedInteractionGraph::two_communities(16, 0.05);
+  const Counts counts = majority_instance_with_margin(protocol, 16, 4);
+  for (int rep = 0; rep < 10; ++rep) {
+    AgentEngine<Mobile<FourStateProtocol>, WeightedInteractionGraph> engine(
+        protocol, counts, graph);
+    Xoshiro256ss rng(13, static_cast<std::uint64_t>(rep));
+    engine.shuffle_placement(rng);
+    const RunResult result = run_to_convergence(engine, rng, 200'000'000);
+    ASSERT_TRUE(result.converged()) << "rep=" << rep;
+    EXPECT_EQ(result.decided, 1);
+  }
+}
+
+TEST(WeightedGraphTest, WeakBridgeSlowsConvergence) {
+  // The [DV12] spectral-gap effect, measured: mean convergence time with a
+  // 0.02-rate bridge far exceeds the time with a full-rate bridge.
+  const Mobile<FourStateProtocol> protocol{FourStateProtocol{}};
+  const Counts counts = majority_instance_with_margin(protocol, 12, 4);
+  auto mean_time = [&](double bridge) {
+    const auto graph = WeightedInteractionGraph::two_communities(12, bridge);
+    OnlineStats stats;
+    for (int rep = 0; rep < 40; ++rep) {
+      AgentEngine<Mobile<FourStateProtocol>, WeightedInteractionGraph> engine(
+          protocol, counts, graph);
+      Xoshiro256ss rng(14 + static_cast<std::uint64_t>(bridge * 1000),
+                       static_cast<std::uint64_t>(rep));
+      engine.shuffle_placement(rng);
+      const RunResult result = run_to_convergence(engine, rng, 500'000'000);
+      EXPECT_TRUE(result.converged());
+      stats.add(result.parallel_time);
+    }
+    return stats.mean();
+  };
+  EXPECT_GT(mean_time(0.02), 2.0 * mean_time(1.0));
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,78 @@
+#include "harness/report.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(TablePrinterTest, HeaderHasAllColumnsAndRule) {
+  TablePrinter table({"n", "time"});
+  std::ostringstream os;
+  table.header(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("time"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowsAreRightAligned) {
+  TablePrinter table({"x"}, /*min_width=*/8);
+  std::ostringstream os;
+  table.row(os, {"42"});
+  EXPECT_EQ(os.str(), "      42\n");
+}
+
+TEST(TablePrinterTest, OverlongCellsStillSeparated) {
+  TablePrinter table({"x"}, 4);
+  std::ostringstream os;
+  table.row(os, {"123456789"});
+  EXPECT_EQ(os.str(), " 123456789\n");
+}
+
+TEST(TablePrinterTest, RejectsWrongArity) {
+  TablePrinter table({"a", "b"});
+  std::ostringstream os;
+  EXPECT_THROW(table.row(os, {"1"}), std::logic_error);
+}
+
+TEST(FormatValueTest, CompactRendering) {
+  EXPECT_EQ(format_value(0.5), "0.5");
+  EXPECT_EQ(format_value(123456.0), "1.235e+05");
+  EXPECT_EQ(format_value(3.0), "3");
+}
+
+TEST(BannerTest, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 3");
+  EXPECT_NE(os.str().find("Figure 3"), std::string::npos);
+}
+
+TEST(LogSpacedTest, EndpointsExactAndMonotone) {
+  const auto values = log_spaced(0.001, 1.0, 7);
+  ASSERT_EQ(values.size(), 7u);
+  EXPECT_DOUBLE_EQ(values.front(), 0.001);
+  EXPECT_DOUBLE_EQ(values.back(), 1.0);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GT(values[i], values[i - 1]);
+  }
+  // Log-spacing: constant ratio.
+  EXPECT_NEAR(values[1] / values[0], values[2] / values[1], 1e-9);
+}
+
+TEST(Figure4EpsilonsTest, StartsAtOneOverNAndEndsNearHalf) {
+  const auto eps = figure4_epsilons(100000);
+  ASSERT_GE(eps.size(), 5u);
+  EXPECT_DOUBLE_EQ(eps.front(), 1e-5);
+  EXPECT_LE(eps.back(), 0.5);
+  EXPECT_GE(eps.back(), 0.15);
+  for (std::size_t i = 1; i < eps.size(); ++i) {
+    EXPECT_GT(eps[i], eps[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,73 @@
+#include "harness/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "population/count_engine.hpp"
+#include "protocols/voter.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/popbean_trace_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<std::string> read_lines() {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+};
+
+TEST_F(TraceIoTest, WritesHeaderAndOneRowPerPoint) {
+  VoterProtocol protocol;
+  Counts counts(2, 0);
+  counts[VoterProtocol::kA] = 6;
+  counts[VoterProtocol::kB] = 4;
+  CountEngine<VoterProtocol> engine(protocol, counts);
+  TraceRecorder recorder(
+      {{"a_count", [](const Counts& c) { return static_cast<double>(c[0]); }},
+       {"b_count", [](const Counts& c) { return static_cast<double>(c[1]); }}});
+  Xoshiro256ss rng(1301);
+  recorder.record(engine, rng, 5, 10'000'000);
+  write_trace_csv(recorder, path_);
+
+  const auto lines = read_lines();
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "parallel_time,interactions,a_count,b_count");
+  EXPECT_EQ(lines.size(), recorder.points().size() + 1);
+  // First data row is the initial configuration.
+  EXPECT_NE(lines[1].find("0.000000,0,6.000000,4.000000"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, FinalRowMatchesConvergedState) {
+  VoterProtocol protocol;
+  Counts counts(2, 0);
+  counts[VoterProtocol::kA] = 9;
+  counts[VoterProtocol::kB] = 1;
+  CountEngine<VoterProtocol> engine(protocol, counts);
+  TraceRecorder recorder(
+      {{"a_count", [](const Counts& c) { return static_cast<double>(c[0]); }}});
+  Xoshiro256ss rng(1302);
+  const RunResult result = recorder.record(engine, rng, 3, 10'000'000);
+  ASSERT_TRUE(result.converged());
+  write_trace_csv(recorder, path_);
+  const auto lines = read_lines();
+  // Unanimous end state: a_count is 10 or 0.
+  const std::string& last = lines.back();
+  const bool all_a = last.find(",10.000000") != std::string::npos;
+  const bool all_b = last.find(",0.000000") != std::string::npos;
+  EXPECT_TRUE(all_a || all_b) << last;
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,136 @@
+// End-to-end shape checks of the paper's headline claims, at test-friendly
+// sizes (the bench binaries reproduce the full figures):
+//
+//   * the four-state protocol needs Θ(1/ε) parallel time (Thm B.1),
+//   * AVC with s ≈ 1/ε stays poly-logarithmic (Thm 4.1 / Cor 4.2),
+//   * adding states speeds AVC up at fixed ε (Fig. 4),
+//   * the three-state protocol is fast but errs; AVC never errs (Fig. 3).
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+constexpr std::uint64_t kMaxInteractions = 4'000'000'000ULL;
+
+double mean_time(ThreadPool& pool, const auto& protocol,
+                 const MajorityInstance& instance, std::size_t replicates,
+                 std::uint64_t seed) {
+  const ReplicationSummary summary =
+      run_replicates(pool, protocol, instance, EngineKind::kAuto, replicates,
+                     seed, kMaxInteractions);
+  EXPECT_EQ(summary.converged, replicates);
+  return summary.parallel_time.mean;
+}
+
+TEST(ConvergenceShapeTest, FourStateTimeScalesLinearlyInInverseEpsilon) {
+  FourStateProtocol protocol;
+  ThreadPool pool(2);
+  constexpr std::uint64_t kN = 4000;
+  std::vector<double> inv_eps, times;
+  for (std::uint64_t margin : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const MajorityInstance instance{kN, margin, Opinion::A};
+    inv_eps.push_back(1.0 / instance.epsilon());
+    times.push_back(mean_time(pool, protocol, instance, 15, 1001 + margin));
+  }
+  const LinearFit fit = linear_fit(inv_eps, times);
+  // Strongly linear in 1/ε with positive slope.
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_GT(fit.r_squared, 0.95);
+  // And markedly superlinear growth overall: 32x smaller ε -> >10x slower.
+  EXPECT_GT(times.front() / times.back(), 10.0);
+}
+
+TEST(ConvergenceShapeTest, AvcWithInverseEpsilonStatesStaysFast) {
+  // At s ≈ 1/ε the dominant term is log(1/ε)·log(n): convergence should be
+  // orders of magnitude below the 1/ε wall of the four-state protocol.
+  ThreadPool pool(2);
+  constexpr std::uint64_t kN = 4000;
+  const MajorityInstance instance{kN, 4, Opinion::A};  // ε = 0.001
+  const avc::AvcParams params = avc::for_epsilon(instance.epsilon());
+  avc::AvcProtocol avc_protocol(params.m, params.d);
+  const double avc_time = mean_time(pool, avc_protocol, instance, 15, 2001);
+
+  FourStateProtocol four;
+  const double four_time = mean_time(pool, four, instance, 15, 2002);
+
+  EXPECT_LT(avc_time * 5.0, four_time)
+      << "AVC with s=1/eps should beat 4-state by a wide margin";
+}
+
+TEST(ConvergenceShapeTest, MoreStatesMonotonicallyHelpAtFixedEpsilon) {
+  ThreadPool pool(2);
+  constexpr std::uint64_t kN = 2000;
+  const MajorityInstance instance{kN, 2, Opinion::A};  // ε = 0.001
+  std::vector<double> times;
+  for (std::int64_t s : {4, 16, 64, 256, 1024}) {
+    const avc::AvcParams params = avc::from_state_budget(s);
+    avc::AvcProtocol protocol(params.m, params.d);
+    times.push_back(mean_time(pool, protocol, instance, 10,
+                              3000 + static_cast<std::uint64_t>(s)));
+  }
+  // Large speedup overall (not asserting per-step monotonicity, which is
+  // noisy): s=1024 must beat s=4 by >20x, and each 16x state increase must
+  // not slow the protocol down materially.
+  EXPECT_GT(times[0] / times[4], 20.0);
+  EXPECT_GT(times[0] / times[2], 2.0);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i], times[i - 1] * 1.5) << "s step " << i;
+  }
+}
+
+TEST(ConvergenceShapeTest, ThreeStateFastButErrsWhereAvcIsExact) {
+  ThreadPool pool(2);
+  constexpr std::uint64_t kN = 101;
+  const MajorityInstance instance{kN, 1, Opinion::A};  // ε = 1/n
+  constexpr std::size_t kReplicates = 200;
+
+  ThreeStateProtocol three;
+  const ReplicationSummary three_summary =
+      run_replicates(pool, three, instance, EngineKind::kSkip, kReplicates,
+                     4001, kMaxInteractions);
+  EXPECT_GT(three_summary.wrong, 0u);
+
+  const avc::AvcParams params = avc::n_state(kN);
+  avc::AvcProtocol avc_protocol(params.m, params.d);
+  const ReplicationSummary avc_summary =
+      run_replicates(pool, avc_protocol, instance, EngineKind::kAuto,
+                     kReplicates, 4002, kMaxInteractions);
+  EXPECT_EQ(avc_summary.wrong, 0u);
+  EXPECT_EQ(avc_summary.correct, kReplicates);
+
+  FourStateProtocol four;
+  const ReplicationSummary four_summary =
+      run_replicates(pool, four, instance, EngineKind::kSkip, kReplicates,
+                     4003, kMaxInteractions);
+  EXPECT_EQ(four_summary.wrong, 0u);
+
+  // Fig. 3 ordering at ε = 1/n: AVC(n-state) ≪ 4-state, AVC within a small
+  // factor of 3-state.
+  EXPECT_LT(avc_summary.parallel_time.mean * 2.0,
+            four_summary.parallel_time.mean);
+}
+
+TEST(ConvergenceShapeTest, AvcParallelTimeGrowsMildlyInN) {
+  // Cor. 4.2 at fixed sϵ: time is O(log^2); across a 16x range of n the
+  // mean parallel time should grow far slower than linearly.
+  ThreadPool pool(2);
+  std::vector<double> times;
+  for (std::uint64_t n : {500u, 2000u, 8000u}) {
+    const MajorityInstance instance = make_instance(n, 0.01);
+    const avc::AvcParams params = avc::for_epsilon(0.01);
+    avc::AvcProtocol protocol(params.m, params.d);
+    times.push_back(mean_time(pool, protocol, instance, 10, 5000 + n));
+  }
+  EXPECT_LT(times.back(), times.front() * 6.0)
+      << "16x larger population must not cost anywhere near 16x time";
+}
+
+}  // namespace
+}  // namespace popbean

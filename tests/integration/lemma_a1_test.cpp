@@ -1,0 +1,71 @@
+// Lemma A.1, executably: from an ARBITRARY starting configuration with
+// non-zero total value S, AVC converges with probability 1 to a
+// configuration where every node carries sgn(S) — not just from the
+// canonical ±m inputs. We draw random configurations over the full state
+// space (strong, intermediate and weak states mixed arbitrarily) and check
+// the verdict always equals the sign of the initial sum.
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using avc::AvcProtocol;
+
+class LemmaA1Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LemmaA1Test, ArbitraryConfigurationsDecideTheSignOfTheSum) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256ss rng(seed);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int m = 1 + 2 * static_cast<int>(rng.below(6));   // odd in [1, 11]
+    const int d = 1 + static_cast<int>(rng.below(3));
+    AvcProtocol protocol(m, d);
+    Counts counts(protocol.num_states(), 0);
+    const std::uint64_t n = 10 + rng.below(60);
+    for (std::uint64_t agent = 0; agent < n; ++agent) {
+      ++counts[rng.below(protocol.num_states())];
+    }
+    const std::int64_t sum = protocol.total_value(counts);
+    if (sum == 0) {
+      // Tied sums never produce a verdict (see avc_tie_test); skip.
+      continue;
+    }
+    SkipEngine<AvcProtocol> engine(protocol, counts);
+    Xoshiro256ss run_rng(seed + 1000, static_cast<std::uint64_t>(trial));
+    const RunResult result =
+        run_to_convergence(engine, run_rng, 2'000'000'000ULL);
+    ASSERT_TRUE(result.converged())
+        << "m=" << m << " d=" << d << " n=" << n << " sum=" << sum;
+    EXPECT_EQ(result.decided, sum > 0 ? 1 : 0)
+        << "m=" << m << " d=" << d << " n=" << n << " sum=" << sum;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaA1Test,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(LemmaA1Test, UnanimitySignIsPermanent) {
+  // Second half of the lemma: once all nodes share the majority sign, no
+  // later configuration can contain the other sign. Drive a run past
+  // convergence and keep stepping.
+  AvcProtocol protocol(5, 2);
+  const Counts counts = majority_instance_with_margin(protocol, 30, 4);
+  SkipEngine<AvcProtocol> engine(protocol, counts);
+  Xoshiro256ss rng(77);
+  const RunResult result = run_to_convergence(engine, rng, 2'000'000'000ULL);
+  ASSERT_TRUE(result.converged());
+  ASSERT_EQ(result.decided, 1);
+  for (int extra = 0; extra < 2000 && !engine.absorbing(); ++extra) {
+    engine.step(rng);
+    ASSERT_EQ(engine.output_agents(0), 0u) << "after extra step " << extra;
+  }
+}
+
+}  // namespace
+}  // namespace popbean

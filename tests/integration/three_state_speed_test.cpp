@@ -1,0 +1,53 @@
+// Shape test for the three-state protocol's O(log n) convergence
+// ([AAE08, PVV09], quoted in the paper's §1): mean parallel time grows
+// like log n, not polynomially, when the margin is a constant fraction.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "protocols/three_state.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(ThreeStateSpeedTest, ParallelTimeTracksLogN) {
+  ThreeStateProtocol protocol;
+  ThreadPool pool(2);
+  std::vector<double> log_ns, times;
+  for (std::uint64_t n : {100u, 1000u, 10000u, 100000u}) {
+    const MajorityInstance instance = make_instance(n, 0.2);
+    const ReplicationSummary summary =
+        run_replicates(pool, protocol, instance, EngineKind::kSkip,
+                       /*replicates=*/30, /*seed=*/1601 + n,
+                       100'000'000'000ULL);
+    ASSERT_EQ(summary.converged, 30u);
+    log_ns.push_back(std::log(static_cast<double>(n)));
+    times.push_back(summary.parallel_time.mean);
+  }
+  const LinearFit fit = linear_fit(log_ns, times);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_GT(fit.r_squared, 0.9) << "time should be ~affine in log n";
+  // 1000x more agents, far less than 10x more time.
+  EXPECT_LT(times.back(), 10.0 * times.front());
+}
+
+TEST(ThreeStateSpeedTest, LargeMarginIsFasterThanSmallMargin) {
+  ThreeStateProtocol protocol;
+  ThreadPool pool(2);
+  constexpr std::uint64_t kN = 10001;
+  auto mean_time = [&](double eps, std::uint64_t seed) {
+    const MajorityInstance instance = make_instance(kN, eps);
+    const ReplicationSummary summary =
+        run_replicates(pool, protocol, instance, EngineKind::kSkip, 30, seed,
+                       100'000'000'000ULL);
+    return summary.parallel_time.mean;
+  };
+  // [PVV09]: limit-dynamics time ~ O(log 1/eps + log n); at fixed n the
+  // eps-dependence is mild but monotone.
+  EXPECT_LT(mean_time(0.5, 1602), mean_time(1e-4, 1603));
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,116 @@
+// Distributional equivalence of the three engines.
+//
+// The count engine and the skip engine are exact reformulations of the
+// agent-array dynamics on the complete graph; any discrepancy is a bug.
+// These tests compare (a) convergence-time samples via the two-sample
+// Kolmogorov–Smirnov test and (b) decision frequencies via chi-square, at
+// small population sizes where hundreds of replicates are cheap.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/four_state.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+struct SampleSet {
+  std::vector<double> times;
+  std::size_t decided_one = 0;
+  std::size_t total = 0;
+};
+
+template <template <typename> class Engine, typename P>
+SampleSet collect(const P& protocol, const Counts& counts, int replicates,
+                  std::uint64_t seed_base) {
+  SampleSet set;
+  for (int r = 0; r < replicates; ++r) {
+    Engine<P> engine(protocol, counts);
+    Xoshiro256ss rng(seed_base, static_cast<std::uint64_t>(r));
+    const RunResult result = run_to_convergence(engine, rng, 50'000'000);
+    EXPECT_TRUE(result.converged());
+    set.times.push_back(result.parallel_time);
+    set.decided_one += result.decided == 1 ? 1 : 0;
+    ++set.total;
+  }
+  return set;
+}
+
+void expect_same_distribution(const SampleSet& a, const SampleSet& b,
+                              double alpha = 1e-3) {
+  // Convergence-time distribution.
+  EXPECT_GT(ks_two_sample_p_value(a.times, b.times), alpha);
+  // Decision frequency (skip if decisions are deterministic).
+  if (a.decided_one + b.decided_one > 0 &&
+      a.decided_one + b.decided_one < a.total + b.total) {
+    const double pooled = static_cast<double>(a.decided_one + b.decided_one) /
+                          static_cast<double>(a.total + b.total);
+    const std::vector<std::uint64_t> observed = {a.decided_one,
+                                                 b.decided_one};
+    const std::vector<double> expected = {
+        pooled * static_cast<double>(a.total),
+        pooled * static_cast<double>(b.total)};
+    EXPECT_GT(chi_square_p_value(observed, expected), alpha);
+  }
+}
+
+constexpr int kReplicates = 300;
+
+TEST(EngineEquivalenceTest, FourStateAgentVsCount) {
+  FourStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 40, 24);
+  const auto agent = collect<AgentEngine>(protocol, counts, kReplicates, 101);
+  const auto count = collect<CountEngine>(protocol, counts, kReplicates, 202);
+  expect_same_distribution(agent, count);
+}
+
+TEST(EngineEquivalenceTest, FourStateCountVsSkip) {
+  FourStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 40, 24);
+  const auto count = collect<CountEngine>(protocol, counts, kReplicates, 303);
+  const auto skip = collect<SkipEngine>(protocol, counts, kReplicates, 404);
+  expect_same_distribution(count, skip);
+}
+
+TEST(EngineEquivalenceTest, FourStateAgentVsSkip) {
+  FourStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 30, 18);
+  const auto agent = collect<AgentEngine>(protocol, counts, kReplicates, 505);
+  const auto skip = collect<SkipEngine>(protocol, counts, kReplicates, 606);
+  expect_same_distribution(agent, skip);
+}
+
+TEST(EngineEquivalenceTest, ThreeStateDecisionFrequenciesAgree) {
+  // The three-state protocol errs with sizable probability at small margins,
+  // exercising the decision-frequency comparison for real.
+  ThreeStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 31, 17);
+  const auto agent = collect<AgentEngine>(protocol, counts, kReplicates, 707);
+  const auto skip = collect<SkipEngine>(protocol, counts, kReplicates, 808);
+  // Both engines should err sometimes on this instance.
+  EXPECT_GT(agent.decided_one, 0u);
+  EXPECT_LT(agent.decided_one, agent.total);
+  expect_same_distribution(agent, skip);
+}
+
+TEST(EngineEquivalenceTest, SkipEngineInteractionCountsMatchDirect) {
+  // Beyond convergence decisions, the *elapsed interaction counts* must
+  // match in distribution (the geometric null-run lengths are part of the
+  // claim of exactness).
+  ThreeStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 25, 15);
+  const auto count = collect<CountEngine>(protocol, counts, kReplicates, 909);
+  const auto skip = collect<SkipEngine>(protocol, counts, kReplicates, 1010);
+  EXPECT_GT(ks_two_sample_p_value(count.times, skip.times), 1e-3);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,84 @@
+// Error-path coverage: the engines validate their inputs loudly.
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "graph/interaction_graph.hpp"
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/skip_engine.hpp"
+#include "protocols/four_state.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(EngineErrorsTest, CountsArityMustMatchProtocol) {
+  FourStateProtocol protocol;
+  const Counts wrong(3, 5);  // protocol has 4 states
+  EXPECT_THROW((AgentEngine<FourStateProtocol>(protocol, wrong)),
+               std::logic_error);
+  EXPECT_THROW((CountEngine<FourStateProtocol>(protocol, wrong)),
+               std::logic_error);
+  EXPECT_THROW((SkipEngine<FourStateProtocol>(protocol, wrong)),
+               std::logic_error);
+}
+
+TEST(EngineErrorsTest, PopulationsOfZeroOrOneRejected) {
+  FourStateProtocol protocol;
+  Counts empty(4, 0);
+  EXPECT_THROW((CountEngine<FourStateProtocol>(protocol, empty)),
+               std::logic_error);
+  Counts one(4, 0);
+  one[0] = 1;
+  EXPECT_THROW((CountEngine<FourStateProtocol>(protocol, one)),
+               std::logic_error);
+  EXPECT_THROW((SkipEngine<FourStateProtocol>(protocol, one)),
+               std::logic_error);
+  EXPECT_THROW((AgentEngine<FourStateProtocol>(protocol, one)),
+               std::logic_error);
+}
+
+TEST(EngineErrorsTest, GraphPopulationMismatchRejected) {
+  FourStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 10, 6);
+  EXPECT_THROW((AgentEngine<FourStateProtocol>(
+                   protocol, counts, InteractionGraph::ring(11))),
+               std::logic_error);
+}
+
+TEST(EngineErrorsTest, SkipEngineRejectsOversizedStateSpace) {
+  avc::AvcProtocol protocol(4095, 1);  // s = 4098 > kMaxStates
+  const Counts counts = majority_instance_with_margin(protocol, 10, 2);
+  EXPECT_THROW((SkipEngine<avc::AvcProtocol>(protocol, counts)),
+               std::logic_error);
+}
+
+TEST(EngineErrorsTest, PopulationTwoIsTheMinimumAndWorks) {
+  FourStateProtocol protocol;
+  const Counts counts = majority_instance(protocol, 2, 2);
+  CountEngine<FourStateProtocol> engine(protocol, counts);
+  Xoshiro256ss rng(1401);
+  engine.step(rng);  // must not throw or divide by zero
+  EXPECT_EQ(engine.steps(), 1u);
+  EXPECT_TRUE(engine.all_same_output());
+}
+
+TEST(EngineErrorsTest, MajorityInstanceValidation) {
+  FourStateProtocol protocol;
+  EXPECT_THROW(majority_instance(protocol, 10, 11), std::logic_error);
+  EXPECT_THROW(majority_instance(protocol, 1, 1), std::logic_error);
+  EXPECT_THROW(majority_instance_with_margin(protocol, 10, 0),
+               std::logic_error);
+  EXPECT_THROW(majority_instance_with_margin(protocol, 10, 12),
+               std::logic_error);
+}
+
+TEST(EngineErrorsTest, AvcParameterValidation) {
+  EXPECT_THROW(avc::AvcProtocol(2, 1), std::logic_error);   // even m
+  EXPECT_THROW(avc::AvcProtocol(-1, 1), std::logic_error);  // negative m
+  EXPECT_THROW(avc::AvcProtocol(3, 0), std::logic_error);   // d < 1
+}
+
+}  // namespace
+}  // namespace popbean

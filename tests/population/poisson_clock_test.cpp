@@ -1,0 +1,52 @@
+#include "population/poisson_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(PoissonClockTest, StartsAtZero) {
+  PoissonClock clock(100);
+  EXPECT_EQ(clock.now(), 0.0);
+  EXPECT_EQ(clock.rate(), 100.0);
+}
+
+TEST(PoissonClockTest, AdvanceIsPositiveAndAccumulates) {
+  PoissonClock clock(10);
+  Xoshiro256ss rng(1);
+  double total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double dt = clock.advance(rng);
+    EXPECT_GT(dt, 0.0);
+    total += dt;
+  }
+  EXPECT_DOUBLE_EQ(clock.now(), total);
+}
+
+TEST(PoissonClockTest, MeanHoldingTimeIsOneOverN) {
+  constexpr std::uint64_t kN = 50;
+  PoissonClock clock(kN);
+  Xoshiro256ss rng(2);
+  constexpr int kDraws = 200000;
+  clock.advance_many(rng, kDraws);
+  EXPECT_NEAR(clock.now() / kDraws, 1.0 / kN, 1e-4);
+}
+
+TEST(PoissonClockTest, ContinuousTimeTracksParallelTime) {
+  // After k interactions, parallel time is k/n and continuous time is a sum
+  // of k Exp(n) variables — equal in expectation with relative fluctuation
+  // O(1/sqrt(k)).
+  constexpr std::uint64_t kN = 100;
+  constexpr std::uint64_t kInteractions = 100000;
+  PoissonClock clock(kN);
+  Xoshiro256ss rng(3);
+  clock.advance_many(rng, kInteractions);
+  const double parallel = static_cast<double>(kInteractions) / kN;
+  EXPECT_NEAR(clock.now() / parallel, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,57 @@
+#include "population/protocol_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/voter.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(ProtocolIoTest, VoterReactionCount) {
+  EXPECT_EQ(count_reactions(VoterProtocol{}), 2u);
+}
+
+TEST(ProtocolIoTest, FourStateReactionCount) {
+  EXPECT_EQ(count_reactions(FourStateProtocol{}), 6u);
+}
+
+TEST(ProtocolIoTest, DescribeListsEveryProductiveReaction) {
+  const std::string text = describe_reactions(FourStateProtocol{});
+  EXPECT_NE(text.find("A + B -> a + b"), std::string::npos);
+  EXPECT_NE(text.find("A + b -> A + a"), std::string::npos);
+  EXPECT_NE(text.find("B + a -> B + b"), std::string::npos);
+  // Null pairs are not listed.
+  EXPECT_EQ(text.find("A + A"), std::string::npos);
+}
+
+TEST(ProtocolIoTest, AvcDescribeMatchesPaperExamples) {
+  avc::AvcProtocol protocol(5, 1);
+  const std::string text = describe_reactions(protocol);
+  // "input states 5 and −1 will yield output states 1 and 3" (§1).
+  EXPECT_NE(text.find("+5 + -1_1 -> +1_1 + +3"), std::string::npos);
+  // "states m and −m react to produce states −1_1 and 1_1" (Fig. 2).
+  EXPECT_NE(text.find("+5 + -5 -> -1_1 + +1_1"), std::string::npos);
+}
+
+TEST(ProtocolIoTest, DotOutputIsWellFormed) {
+  const std::string dot = to_dot(FourStateProtocol{}, "four_state");
+  EXPECT_EQ(dot.find("digraph four_state {"), 0u);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Outputs colour the nodes: both fill colours must appear.
+  EXPECT_NE(dot.find("#cfe8cf"), std::string::npos);
+  EXPECT_NE(dot.find("#e8cfcf"), std::string::npos);
+}
+
+TEST(ProtocolIoTest, AvcReactionCountGrowsQuadratically) {
+  // Strong states all react with every non-zero state; sanity-check growth.
+  const std::size_t small = count_reactions(avc::AvcProtocol{3, 1});
+  const std::size_t large = count_reactions(avc::AvcProtocol{9, 1});
+  EXPECT_GT(large, 2 * small);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,128 @@
+#include "protocols/four_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using FS = FourStateProtocol;
+
+TEST(FourStateTest, OutputsAndInitialStates) {
+  FS p;
+  EXPECT_EQ(p.num_states(), 4u);
+  EXPECT_EQ(p.initial_state(Opinion::A), FS::kStrongA);
+  EXPECT_EQ(p.initial_state(Opinion::B), FS::kStrongB);
+  EXPECT_EQ(p.output(FS::kStrongA), 1);
+  EXPECT_EQ(p.output(FS::kWeakA), 1);
+  EXPECT_EQ(p.output(FS::kStrongB), 0);
+  EXPECT_EQ(p.output(FS::kWeakB), 0);
+}
+
+TEST(FourStateTest, AnnihilationReaction) {
+  FS p;
+  EXPECT_EQ(p.apply(FS::kStrongA, FS::kStrongB),
+            (Transition{FS::kWeakA, FS::kWeakB}));
+  EXPECT_EQ(p.apply(FS::kStrongB, FS::kStrongA),
+            (Transition{FS::kWeakB, FS::kWeakA}));
+}
+
+TEST(FourStateTest, StrongConvertsOpposingWeak) {
+  FS p;
+  EXPECT_EQ(p.apply(FS::kStrongA, FS::kWeakB),
+            (Transition{FS::kStrongA, FS::kWeakA}));
+  EXPECT_EQ(p.apply(FS::kWeakB, FS::kStrongA),
+            (Transition{FS::kWeakA, FS::kStrongA}));
+  EXPECT_EQ(p.apply(FS::kStrongB, FS::kWeakA),
+            (Transition{FS::kStrongB, FS::kWeakB}));
+}
+
+TEST(FourStateTest, NullReactions) {
+  FS p;
+  const State all[] = {FS::kStrongA, FS::kStrongB, FS::kWeakA, FS::kWeakB};
+  // Same-output pairs never change (cf. Claim B.5).
+  for (State a : all) {
+    for (State b : all) {
+      if (p.output(a) == p.output(b)) {
+        EXPECT_EQ(p.apply(a, b), (Transition{a, b}))
+            << p.state_name(a) << " vs " << p.state_name(b);
+      }
+    }
+  }
+  // Weak-weak cross pairs are also null.
+  EXPECT_EQ(p.apply(FS::kWeakA, FS::kWeakB),
+            (Transition{FS::kWeakA, FS::kWeakB}));
+}
+
+TEST(FourStateTest, StrongDifferenceIsInvariant) {
+  FS p;
+  auto diff = [&](State a, State b) {
+    auto term = [](State s) {
+      return (s == FS::kStrongA ? 1 : 0) - (s == FS::kStrongB ? 1 : 0);
+    };
+    return term(a) + term(b);
+  };
+  for (State a = 0; a < 4; ++a) {
+    for (State b = 0; b < 4; ++b) {
+      const Transition t = p.apply(a, b);
+      EXPECT_EQ(diff(a, b), diff(t.initiator, t.responder))
+          << p.state_name(a) << " vs " << p.state_name(b);
+    }
+  }
+}
+
+TEST(FourStateTest, TransitionsAreSymmetricInThePair) {
+  FS p;
+  for (State a = 0; a < 4; ++a) {
+    for (State b = 0; b < 4; ++b) {
+      const Transition fwd = p.apply(a, b);
+      const Transition rev = p.apply(b, a);
+      EXPECT_EQ(fwd.initiator, rev.responder);
+      EXPECT_EQ(fwd.responder, rev.initiator);
+    }
+  }
+}
+
+class FourStateExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FourStateExactnessTest, AlwaysDecidesTheTrueMajority) {
+  const auto [n, margin] = GetParam();
+  FS protocol;
+  for (Opinion majority : {Opinion::A, Opinion::B}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const Counts counts = majority_instance_with_margin(
+          protocol, static_cast<std::uint64_t>(n),
+          static_cast<std::uint64_t>(margin), majority);
+      SkipEngine<FS> engine(protocol, counts);
+      Xoshiro256ss rng(static_cast<std::uint64_t>(n * 1000 + margin),
+                       static_cast<std::uint64_t>(rep));
+      const RunResult result = run_to_convergence(engine, rng, 500'000'000);
+      ASSERT_TRUE(result.converged());
+      EXPECT_EQ(result.decided, output_of(majority))
+          << "n=" << n << " margin=" << margin;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, FourStateExactnessTest,
+    ::testing::Values(std::tuple{3, 1}, std::tuple{5, 1}, std::tuple{10, 2},
+                      std::tuple{25, 1}, std::tuple{50, 2},
+                      std::tuple{100, 2}, std::tuple{101, 1},
+                      std::tuple{200, 2}));
+
+TEST(FourStateTest, StateNamesAreDistinct) {
+  FS p;
+  EXPECT_EQ(p.state_name(FS::kStrongA), "A");
+  EXPECT_EQ(p.state_name(FS::kStrongB), "B");
+  EXPECT_EQ(p.state_name(FS::kWeakA), "a");
+  EXPECT_EQ(p.state_name(FS::kWeakB), "b");
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,68 @@
+#include "protocols/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "population/count_engine.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using LE = LeaderElectionProtocol;
+
+TEST(LeaderElectionTest, TwoLeadersReduceToOne) {
+  LE p;
+  EXPECT_EQ(p.apply(LE::kLeader, LE::kLeader),
+            (Transition{LE::kLeader, LE::kFollower}));
+}
+
+TEST(LeaderElectionTest, LeaderFollowerPairsAreNull) {
+  LE p;
+  EXPECT_EQ(p.apply(LE::kLeader, LE::kFollower),
+            (Transition{LE::kLeader, LE::kFollower}));
+  EXPECT_EQ(p.apply(LE::kFollower, LE::kLeader),
+            (Transition{LE::kFollower, LE::kLeader}));
+  EXPECT_EQ(p.apply(LE::kFollower, LE::kFollower),
+            (Transition{LE::kFollower, LE::kFollower}));
+}
+
+TEST(LeaderElectionTest, EveryoneStartsAsLeader) {
+  LE p;
+  EXPECT_EQ(p.initial_state(Opinion::A), LE::kLeader);
+  EXPECT_EQ(p.initial_state(Opinion::B), LE::kLeader);
+}
+
+TEST(LeaderElectionTest, ElectsExactlyOneLeader) {
+  LE protocol;
+  Counts counts(2, 0);
+  counts[LE::kLeader] = 100;
+  SkipEngine<LE> engine(protocol, counts);
+  Xoshiro256ss rng(41);
+  // Run until absorbing: the only absorbing configurations have <= 1 leader,
+  // and the leader count can never hit 0 (a reaction consumes two leaders
+  // and returns one).
+  while (!engine.absorbing() && LE::leaders(engine.counts()) > 1) {
+    engine.step(rng);
+  }
+  EXPECT_EQ(LE::leaders(engine.counts()), 1u);
+}
+
+TEST(LeaderElectionTest, LeaderCountIsMonotoneNonIncreasing) {
+  LE protocol;
+  Counts counts(2, 0);
+  counts[LE::kLeader] = 50;
+  CountEngine<LE> engine(protocol, counts);
+  Xoshiro256ss rng(42);
+  std::uint64_t last = 50;
+  for (int i = 0; i < 20000 && LE::leaders(engine.counts()) > 1; ++i) {
+    engine.step(rng);
+    const std::uint64_t now = LE::leaders(engine.counts());
+    ASSERT_LE(now, last);
+    ASSERT_GE(now, 1u);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,139 @@
+#include "protocols/mobile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "graph/interaction_graph.hpp"
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/run.hpp"
+#include "protocols/four_state.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+using FS = FourStateProtocol;
+
+TEST(MobileTest, ProductiveTransitionsPassThrough) {
+  Mobile<FS> mobile{FS{}};
+  FS base;
+  EXPECT_EQ(mobile.apply(FS::kStrongA, FS::kStrongB),
+            base.apply(FS::kStrongA, FS::kStrongB));
+  EXPECT_EQ(mobile.apply(FS::kStrongA, FS::kWeakB),
+            base.apply(FS::kStrongA, FS::kWeakB));
+}
+
+TEST(MobileTest, NullTransitionsBecomeSwaps) {
+  Mobile<FS> mobile{FS{}};
+  // (A, a) is null in the base protocol -> swap under mobility.
+  EXPECT_EQ(mobile.apply(FS::kStrongA, FS::kWeakA),
+            (Transition{FS::kWeakA, FS::kStrongA}));
+  // Same-state pairs swap to themselves (still null).
+  EXPECT_EQ(mobile.apply(FS::kWeakB, FS::kWeakB),
+            (Transition{FS::kWeakB, FS::kWeakB}));
+}
+
+TEST(MobileTest, OutputsAndInputsUnchanged) {
+  Mobile<FS> mobile{FS{}};
+  FS base;
+  for (State q = 0; q < 4; ++q) {
+    EXPECT_EQ(mobile.output(q), base.output(q));
+    EXPECT_EQ(mobile.state_name(q), base.state_name(q));
+  }
+  EXPECT_EQ(mobile.initial_state(Opinion::A), base.initial_state(Opinion::A));
+}
+
+TEST(MobileTest, SwapsPreserveCountMultiset) {
+  Mobile<FS> mobile{FS{}};
+  FS base;
+  for (State a = 0; a < 4; ++a) {
+    for (State b = 0; b < 4; ++b) {
+      const Transition t = mobile.apply(a, b);
+      // The multiset {a, b} maps to the same multiset as under the base
+      // protocol (swap) or the base's productive result.
+      const Transition tb = base.apply(a, b);
+      const auto sorted = [](State x, State y) {
+        return x <= y ? std::pair{x, y} : std::pair{y, x};
+      };
+      EXPECT_EQ(sorted(t.initiator, t.responder),
+                sorted(tb.initiator, tb.responder));
+    }
+  }
+}
+
+TEST(MobileTest, CountProcessMatchesBaseOnCompleteGraph) {
+  // On the clique the swap is invisible to the count process: convergence
+  // times must agree in distribution.
+  FS base;
+  Mobile<FS> mobile{base};
+  const Counts counts = majority_instance(base, 30, 19);
+  std::vector<double> base_times, mobile_times;
+  for (int rep = 0; rep < 200; ++rep) {
+    {
+      CountEngine<FS> engine(base, counts);
+      Xoshiro256ss rng(410, static_cast<std::uint64_t>(rep));
+      const RunResult r = run_to_convergence(engine, rng, 100'000'000);
+      ASSERT_TRUE(r.converged());
+      base_times.push_back(r.parallel_time);
+    }
+    {
+      CountEngine<Mobile<FS>> engine(mobile, counts);
+      Xoshiro256ss rng(411, static_cast<std::uint64_t>(rep));
+      const RunResult r = run_to_convergence(engine, rng, 100'000'000);
+      ASSERT_TRUE(r.converged());
+      ASSERT_EQ(r.decided, 1);
+      mobile_times.push_back(r.parallel_time);
+    }
+  }
+  EXPECT_GT(ks_two_sample_p_value(base_times, mobile_times), 1e-3);
+}
+
+TEST(MobileTest, FourStateConvergesOnARingOnlyWithMobility) {
+  // The deadlock that motivates the wrapper: a ring with contiguous blocks
+  // of strong A and strong B. Without swaps only the two block boundaries
+  // can ever react, and after they fire the remaining strongs are separated
+  // by weak states forever.
+  FS base;
+  const NodeId n = 24;
+  const Counts counts = majority_instance(base, n, 16);
+
+  // With mobility: always converges, and to the majority.
+  for (int rep = 0; rep < 10; ++rep) {
+    Mobile<FS> mobile{base};
+    AgentEngine<Mobile<FS>> engine(mobile, counts,
+                                   InteractionGraph::ring(n));
+    Xoshiro256ss rng(412, static_cast<std::uint64_t>(rep));
+    const RunResult r = run_to_convergence(engine, rng, 50'000'000);
+    ASSERT_TRUE(r.converged()) << "rep=" << rep;
+    EXPECT_EQ(r.decided, 1);
+  }
+
+  // Without mobility: the blocked layout (no shuffle -> A-block then
+  // B-block) must still be unconverged after a budget that mobility needs
+  // only a fraction of.
+  AgentEngine<FS> stuck(base, counts, InteractionGraph::ring(n));
+  Xoshiro256ss rng(413);
+  const RunResult r = run_to_convergence(stuck, rng, 50'000'000);
+  EXPECT_EQ(r.status, RunStatus::kStepLimit);
+}
+
+TEST(MobileTest, MobileAvcConvergesOnTorus) {
+  avc::AvcProtocol base(7, 1);
+  Mobile<avc::AvcProtocol> mobile{base};
+  const Counts counts = majority_instance_with_margin(base, 36, 6);
+  for (int rep = 0; rep < 5; ++rep) {
+    AgentEngine<Mobile<avc::AvcProtocol>> engine(
+        mobile, counts, InteractionGraph::grid(6, 6, /*wrap=*/true));
+    Xoshiro256ss rng(414, static_cast<std::uint64_t>(rep));
+    engine.shuffle_placement(rng);
+    const RunResult r = run_to_convergence(engine, rng, 100'000'000);
+    ASSERT_TRUE(r.converged()) << "rep=" << rep;
+    EXPECT_EQ(r.decided, 1);
+  }
+}
+
+}  // namespace
+}  // namespace popbean

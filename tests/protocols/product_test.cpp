@@ -1,0 +1,121 @@
+#include "protocols/product.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/run.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/voter.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(ProductTest, StateSpaceIsCartesian) {
+  const Product p{FourStateProtocol{}, VoterProtocol{}};
+  EXPECT_EQ(p.num_states(), 8u);
+}
+
+TEST(ProductTest, EncodeDecodeRoundTrip) {
+  const Product p{FourStateProtocol{}, avc::AvcProtocol{3, 1}};
+  for (State q = 0; q < p.num_states(); ++q) {
+    const auto [q1, q2] = p.decode(q);
+    EXPECT_EQ(p.encode(q1, q2), q);
+    EXPECT_LT(q1, 4u);
+    EXPECT_LT(q2, 6u);
+  }
+}
+
+TEST(ProductTest, TransitionsApplyComponentwise) {
+  FourStateProtocol four;
+  VoterProtocol voter;
+  const Product p{four, voter};
+  for (State a = 0; a < p.num_states(); ++a) {
+    for (State b = 0; b < p.num_states(); ++b) {
+      const auto [a1, a2] = p.decode(a);
+      const auto [b1, b2] = p.decode(b);
+      const Transition t = p.apply(a, b);
+      const Transition t1 = four.apply(a1, b1);
+      const Transition t2 = voter.apply(a2, b2);
+      EXPECT_EQ(p.decode(t.initiator).first, t1.initiator);
+      EXPECT_EQ(p.decode(t.initiator).second, t2.initiator);
+      EXPECT_EQ(p.decode(t.responder).first, t1.responder);
+      EXPECT_EQ(p.decode(t.responder).second, t2.responder);
+    }
+  }
+}
+
+TEST(ProductTest, OutputComesFromSelectedComponent) {
+  const Product from_first{FourStateProtocol{}, VoterProtocol{},
+                           ProductOutput::kFirst};
+  const Product from_second{FourStateProtocol{}, VoterProtocol{},
+                            ProductOutput::kSecond};
+  FourStateProtocol four;
+  VoterProtocol voter;
+  for (State q = 0; q < from_first.num_states(); ++q) {
+    const auto [q1, q2] = from_first.decode(q);
+    EXPECT_EQ(from_first.output(q), four.output(q1));
+    EXPECT_EQ(from_second.output(q), voter.output(q2));
+  }
+}
+
+TEST(ProductTest, StateNamesComposed) {
+  const Product p{FourStateProtocol{}, VoterProtocol{}};
+  EXPECT_EQ(p.state_name(p.encode(FourStateProtocol::kStrongA,
+                                  VoterProtocol::kB)),
+            "(A,B)");
+}
+
+TEST(ProductTest, ComposedRunSolvesBothTasks) {
+  // Leader election x AVC: the composite elects exactly one leader and the
+  // AVC component still decides the exact majority ([AAE08] composition
+  // pattern at small scale).
+  const Product composed{LeaderElectionProtocol{}, avc::AvcProtocol{3, 1},
+                         ProductOutput::kSecond};
+  const Counts counts = majority_instance_with_margin(composed, 40, 4,
+                                                      Opinion::B);
+  for (int rep = 0; rep < 5; ++rep) {
+    CountEngine<decltype(composed)> engine(composed, counts);
+    Xoshiro256ss rng(1201, static_cast<std::uint64_t>(rep));
+    auto leaders = [&] {
+      std::uint64_t total = 0;
+      const Counts& c = engine.counts();
+      for (State q = 0; q < c.size(); ++q) {
+        if (composed.decode(q).first == LeaderElectionProtocol::kLeader) {
+          total += c[q];
+        }
+      }
+      return total;
+    };
+    std::uint64_t guard = 0;
+    while ((leaders() > 1 || !engine.all_same_output()) &&
+           ++guard < 100'000'000) {
+      engine.step(rng);
+    }
+    EXPECT_EQ(leaders(), 1u);
+    EXPECT_TRUE(engine.all_same_output());
+    EXPECT_EQ(engine.dominant_output(), 0) << "rep=" << rep;  // B majority
+  }
+}
+
+TEST(ProductTest, NullOnlyWhenBothComponentsNull) {
+  FourStateProtocol four;
+  VoterProtocol voter;
+  const Product p{four, voter};
+  for (State a = 0; a < p.num_states(); ++a) {
+    for (State b = 0; b < p.num_states(); ++b) {
+      const auto [a1, a2] = p.decode(a);
+      const auto [b1, b2] = p.decode(b);
+      const bool product_null = is_null(p.apply(a, b), a, b);
+      const bool both_null = is_null(four.apply(a1, b1), a1, b1) &&
+                             is_null(voter.apply(a2, b2), a2, b2);
+      EXPECT_EQ(product_null, both_null);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,130 @@
+// Differential fuzzing of the engines on structureless random protocols.
+#include "protocols/random_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(RandomProtocolTest, IsDeterministicPerSeed) {
+  RandomProtocol a(6, 42), b(6, 42), c(6, 43);
+  int differs = 0;
+  for (State x = 0; x < 6; ++x) {
+    for (State y = 0; y < 6; ++y) {
+      EXPECT_EQ(a.apply(x, y), b.apply(x, y));
+      if (!(a.apply(x, y) == c.apply(x, y))) ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(RandomProtocolTest, NullFractionZeroAndOne) {
+  RandomProtocol all_null(5, 7, 1.0);
+  for (State x = 0; x < 5; ++x) {
+    for (State y = 0; y < 5; ++y) {
+      EXPECT_TRUE(is_null(all_null.apply(x, y), x, y));
+    }
+  }
+  RandomProtocol no_forced_null(5, 7, 0.0);
+  int productive = 0;
+  for (State x = 0; x < 5; ++x) {
+    for (State y = 0; y < 5; ++y) {
+      productive += is_null(no_forced_null.apply(x, y), x, y) ? 0 : 1;
+    }
+  }
+  EXPECT_GT(productive, 15);  // 1 - 1/25 null chance per cell in expectation
+}
+
+// Differential test: run all three engines to a fixed interaction horizon
+// and compare the distribution of a scalar functional of the final counts.
+class EngineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Final counts[0] fraction after exactly `horizon` interactions. The skip
+// engine advances in jumps, so a step may land past the horizon — in that
+// case the productive reaction happened *after* the horizon and the
+// pre-step configuration is the state at the horizon (null interactions do
+// not change state).
+template <template <typename> class Engine>
+std::vector<double> sample_state0_fraction(const RandomProtocol& protocol,
+                                           const Counts& initial,
+                                           std::uint64_t horizon,
+                                           int replicates,
+                                           std::uint64_t seed) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(replicates));
+  const double n = static_cast<double>(population_size(initial));
+  for (int rep = 0; rep < replicates; ++rep) {
+    Engine<RandomProtocol> engine(protocol, initial);
+    Xoshiro256ss rng(seed, static_cast<std::uint64_t>(rep));
+    std::uint64_t at_horizon = engine.counts()[0];
+    while (engine.steps() < horizon) {
+      const std::uint64_t count0_before = engine.counts()[0];
+      const std::uint64_t steps_before = engine.steps();
+      engine.step(rng);
+      if (engine.steps() == steps_before) {  // absorbing (skip engine)
+        at_horizon = count0_before;
+        break;
+      }
+      at_horizon =
+          engine.steps() <= horizon ? engine.counts()[0] : count0_before;
+    }
+    samples.push_back(static_cast<double>(at_horizon) / n);
+  }
+  return samples;
+}
+
+TEST_P(EngineFuzzTest, EnginesAgreeInDistributionOnRandomProtocols) {
+  const std::uint64_t protocol_seed = GetParam();
+  // Vary the state-space size and null density with the seed so the sweep
+  // covers sparse and dense reaction structures alike.
+  const std::size_t states = 3 + protocol_seed % 5;          // 3..7
+  const double null_fraction =
+      0.2 + 0.1 * static_cast<double>(protocol_seed % 6);  // 0.2..0.7
+  RandomProtocol protocol(states, protocol_seed, null_fraction);
+  Counts initial(states, 0);
+  Xoshiro256ss rng(protocol_seed + 1);
+  for (std::uint64_t agent = 0; agent < 24; ++agent) {
+    ++initial[rng.below(states)];
+  }
+  if (population_size(initial) < 2) ++initial[0];
+  const std::uint64_t horizon = 24 * 20;
+  constexpr int kReps = 250;
+
+  const auto agent_samples = sample_state0_fraction<AgentEngine>(
+      protocol, initial, horizon, kReps, 900 + protocol_seed);
+  const auto count_samples = sample_state0_fraction<CountEngine>(
+      protocol, initial, horizon, kReps, 1900 + protocol_seed);
+  const auto skip_samples = sample_state0_fraction<SkipEngine>(
+      protocol, initial, horizon, kReps, 2900 + protocol_seed);
+
+  EXPECT_GT(ks_two_sample_p_value(agent_samples, count_samples), 1e-4)
+      << "agent vs count, protocol seed " << protocol_seed;
+  EXPECT_GT(ks_two_sample_p_value(count_samples, skip_samples), 1e-4)
+      << "count vs skip, protocol seed " << protocol_seed;
+  EXPECT_GT(ks_two_sample_p_value(agent_samples, skip_samples), 1e-4)
+      << "agent vs skip, protocol seed " << protocol_seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(RandomProtocolTest, PopulationConservedUnderRandomDynamics) {
+  RandomProtocol protocol(7, 99, 0.3);
+  Counts initial(7, 4);  // 28 agents
+  CountEngine<RandomProtocol> engine(protocol, initial);
+  Xoshiro256ss rng(901);
+  for (int i = 0; i < 20000; ++i) {
+    engine.step(rng);
+    ASSERT_EQ(population_size(engine.counts()), 28u);
+  }
+}
+
+}  // namespace
+}  // namespace popbean

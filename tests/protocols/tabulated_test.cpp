@@ -1,0 +1,68 @@
+#include "protocols/tabulated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(TabulatedTest, MirrorsBaseProtocolExactly) {
+  FourStateProtocol base;
+  TabulatedProtocol tab(base);
+  EXPECT_EQ(tab.num_states(), base.num_states());
+  EXPECT_EQ(tab.initial_state(Opinion::A), base.initial_state(Opinion::A));
+  EXPECT_EQ(tab.initial_state(Opinion::B), base.initial_state(Opinion::B));
+  for (State a = 0; a < 4; ++a) {
+    EXPECT_EQ(tab.output(a), base.output(a));
+    EXPECT_EQ(tab.state_name(a), base.state_name(a));
+    for (State b = 0; b < 4; ++b) {
+      EXPECT_EQ(tab.apply(a, b), base.apply(a, b));
+    }
+  }
+}
+
+TEST(TabulatedTest, EqualityDetectsSameAndDifferentProtocols) {
+  TabulatedProtocol four_a{FourStateProtocol{}};
+  TabulatedProtocol four_b{FourStateProtocol{}};
+  TabulatedProtocol three{ThreeStateProtocol{}};
+  EXPECT_TRUE(four_a == four_b);
+  EXPECT_FALSE(four_a == three);
+}
+
+TEST(TabulatedTest, TabulatedAvcMatchesDirectAvc) {
+  avc::AvcProtocol base(9, 2);
+  TabulatedProtocol tab(base);
+  for (State a = 0; a < base.num_states(); ++a) {
+    for (State b = 0; b < base.num_states(); ++b) {
+      ASSERT_EQ(tab.apply(a, b), base.apply(a, b))
+          << base.state_name(a) << " vs " << base.state_name(b);
+    }
+  }
+}
+
+TEST(TabulatedTest, RunsInsideEngines) {
+  TabulatedProtocol protocol{FourStateProtocol{}};
+  SkipEngine<TabulatedProtocol> engine(
+      protocol, majority_instance(protocol, 40, 30));
+  Xoshiro256ss rng(51);
+  const RunResult result = run_to_convergence(engine, rng, 10'000'000);
+  ASSERT_TRUE(result.converged());
+  EXPECT_EQ(result.decided, 1);
+}
+
+TEST(TabulatedTest, RejectsOversizedStateSpaces) {
+  // m chosen so that s = m + 2d + 1 exceeds the tabulation cap.
+  avc::AvcProtocol big(4097, 1);
+  EXPECT_GT(big.num_states(), TabulatedProtocol::kMaxStates);
+  EXPECT_THROW(TabulatedProtocol{big}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace popbean

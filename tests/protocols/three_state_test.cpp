@@ -1,0 +1,104 @@
+#include "protocols/three_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using TS = ThreeStateProtocol;
+
+TEST(ThreeStateTest, OutputsAndInitialStates) {
+  TS p;
+  EXPECT_EQ(p.initial_state(Opinion::A), TS::kX);
+  EXPECT_EQ(p.initial_state(Opinion::B), TS::kY);
+  EXPECT_EQ(p.output(TS::kX), 1);
+  EXPECT_EQ(p.output(TS::kBlankX), 1);
+  EXPECT_EQ(p.output(TS::kY), 0);
+  EXPECT_EQ(p.output(TS::kBlankY), 0);
+}
+
+TEST(ThreeStateTest, OpinionBlanksOpposingResponder) {
+  TS p;
+  EXPECT_EQ(p.apply(TS::kX, TS::kY), (Transition{TS::kX, TS::kBlankY}));
+  EXPECT_EQ(p.apply(TS::kY, TS::kX), (Transition{TS::kY, TS::kBlankX}));
+}
+
+TEST(ThreeStateTest, OpinionRecruitsBlankResponder) {
+  TS p;
+  EXPECT_EQ(p.apply(TS::kX, TS::kBlankX), (Transition{TS::kX, TS::kX}));
+  EXPECT_EQ(p.apply(TS::kX, TS::kBlankY), (Transition{TS::kX, TS::kX}));
+  EXPECT_EQ(p.apply(TS::kY, TS::kBlankX), (Transition{TS::kY, TS::kY}));
+  EXPECT_EQ(p.apply(TS::kY, TS::kBlankY), (Transition{TS::kY, TS::kY}));
+}
+
+TEST(ThreeStateTest, BlankInitiatorIsPassive) {
+  TS p;
+  for (State blank : {TS::kBlankX, TS::kBlankY}) {
+    for (State other = 0; other < 4; ++other) {
+      EXPECT_EQ(p.apply(blank, other), (Transition{blank, other}));
+    }
+  }
+}
+
+TEST(ThreeStateTest, SameOpinionPairsAreNull) {
+  TS p;
+  EXPECT_EQ(p.apply(TS::kX, TS::kX), (Transition{TS::kX, TS::kX}));
+  EXPECT_EQ(p.apply(TS::kY, TS::kY), (Transition{TS::kY, TS::kY}));
+}
+
+TEST(ThreeStateTest, BlankFlavoursBehaveIdentically) {
+  // The two blank flavours exist only to make γ total; they must be
+  // interchangeable in every interaction (same successor up to flavour).
+  TS p;
+  auto project = [](State s) {
+    return s == TS::kBlankY ? TS::kBlankX : s;  // collapse flavours
+  };
+  for (State other = 0; other < 4; ++other) {
+    const Transition tx = p.apply(other, TS::kBlankX);
+    const Transition ty = p.apply(other, TS::kBlankY);
+    EXPECT_EQ(project(tx.responder), project(ty.responder));
+    EXPECT_EQ(tx.initiator, ty.initiator);
+  }
+}
+
+TEST(ThreeStateTest, ConvergesFastWithLargeMargin) {
+  TS protocol;
+  SkipEngine<TS> engine(protocol, majority_instance(protocol, 1000, 900));
+  Xoshiro256ss rng(21);
+  const RunResult result = run_to_convergence(engine, rng, 100'000'000);
+  ASSERT_TRUE(result.converged());
+  EXPECT_EQ(result.decided, 1);
+  // O(log n) parallel time: generous sanity ceiling.
+  EXPECT_LT(result.parallel_time, 200.0);
+}
+
+TEST(ThreeStateTest, ErrsWithSizableProbabilityAtTinyMargin) {
+  // With ε = 1/n the failure probability is a constant (paper §1, Fig. 3
+  // right). Check that errors occur but stay below 50%.
+  TS protocol;
+  ThreadPool pool(2);
+  const MajorityInstance instance{/*n=*/101, /*margin=*/1, Opinion::A};
+  const ReplicationSummary summary =
+      run_replicates(pool, protocol, instance, EngineKind::kSkip,
+                     /*replicates=*/400, /*seed=*/22, 100'000'000);
+  EXPECT_EQ(summary.converged, 400u);
+  EXPECT_GT(summary.wrong, 0u);
+  EXPECT_LT(summary.error_fraction(), 0.5);
+}
+
+TEST(ThreeStateTest, IsUnanimousDetectsAbsorbingConfigs) {
+  Counts counts(4, 0);
+  counts[TS::kX] = 10;
+  EXPECT_TRUE(TS::is_unanimous(counts));
+  counts[TS::kBlankY] = 1;
+  EXPECT_FALSE(TS::is_unanimous(counts));
+}
+
+}  // namespace
+}  // namespace popbean

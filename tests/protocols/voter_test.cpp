@@ -1,0 +1,60 @@
+#include "protocols/voter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "population/configuration.hpp"
+#include "population/run.hpp"
+#include "population/skip_engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace popbean {
+namespace {
+
+using V = VoterProtocol;
+
+TEST(VoterTest, ResponderAdoptsInitiatorOpinion) {
+  V p;
+  EXPECT_EQ(p.apply(V::kA, V::kB), (Transition{V::kA, V::kA}));
+  EXPECT_EQ(p.apply(V::kB, V::kA), (Transition{V::kB, V::kB}));
+  EXPECT_EQ(p.apply(V::kA, V::kA), (Transition{V::kA, V::kA}));
+  EXPECT_EQ(p.apply(V::kB, V::kB), (Transition{V::kB, V::kB}));
+}
+
+TEST(VoterTest, AlwaysReachesConsensus) {
+  V protocol;
+  for (int rep = 0; rep < 30; ++rep) {
+    SkipEngine<V> engine(protocol, majority_instance(protocol, 50, 30));
+    Xoshiro256ss rng(31, static_cast<std::uint64_t>(rep));
+    const RunResult result = run_to_convergence(engine, rng, 100'000'000);
+    ASSERT_TRUE(result.converged());
+  }
+}
+
+TEST(VoterTest, ErrorProbabilityEqualsMinorityFraction) {
+  // [HP99]: on the clique the voter model decides B with probability equal
+  // to B's initial fraction. Martingale argument; check empirically.
+  V protocol;
+  ThreadPool pool(2);
+  constexpr std::uint64_t kN = 30;
+  constexpr std::uint64_t kMargin = 12;  // A: 21, B: 9 -> P(B wins) = 0.3
+  const MajorityInstance instance{kN, kMargin, Opinion::A};
+  const ReplicationSummary summary =
+      run_replicates(pool, protocol, instance, EngineKind::kSkip,
+                     /*replicates=*/2000, /*seed=*/32, 1'000'000'000);
+  EXPECT_EQ(summary.converged, 2000u);
+  const auto interval = wilson_interval(summary.wrong, summary.replicates);
+  const double minority_fraction = 9.0 / 30.0;
+  EXPECT_LT(interval.low, minority_fraction);
+  EXPECT_GT(interval.high, minority_fraction);
+}
+
+TEST(VoterTest, StateNames) {
+  V p;
+  EXPECT_EQ(p.state_name(V::kA), "A");
+  EXPECT_EQ(p.state_name(V::kB), "B");
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,73 @@
+#include "util/alias.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(AliasTest, SingleCellAlwaysSampled) {
+  AliasTable table({5.0});
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTest, ZeroWeightCellsNeverSampled) {
+  AliasTable table({1.0, 0.0, 2.0, 0.0});
+  Xoshiro256ss rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t cell = table.sample(rng);
+    EXPECT_TRUE(cell == 0 || cell == 2);
+  }
+}
+
+TEST(AliasTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable({}), std::logic_error);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::logic_error);
+  EXPECT_THROW(AliasTable({1.0, -0.5}), std::logic_error);
+}
+
+TEST(AliasTest, TotalWeightReported) {
+  AliasTable table({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(table.total_weight(), 6.0);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+class AliasFrequencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasFrequencyTest, SamplingMatchesWeights) {
+  Xoshiro256ss rng(100 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> weights(static_cast<std::size_t>(GetParam()));
+  double total = 0;
+  for (auto& w : weights) {
+    w = rng.unit() < 0.2 ? 0.0 : rng.unit() * 10.0;
+    total += w;
+  }
+  if (total == 0.0) {
+    weights[0] = 1.0;
+    total = 1.0;
+  }
+  AliasTable table(weights);
+  constexpr int kDraws = 200000;
+  std::vector<int> hits(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++hits[table.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = kDraws * weights[i] / total;
+    if (weights[i] == 0.0) {
+      EXPECT_EQ(hits[i], 0) << "cell " << i;
+    } else {
+      EXPECT_NEAR(hits[i], expected, 5.0 * std::sqrt(expected) + 5.0)
+          << "cell " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasFrequencyTest,
+                         ::testing::Values(2, 3, 5, 16, 17, 100));
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace popbean {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, ParsesEqualsSyntax) {
+  const auto args = parse({"--n=100", "--eps=0.01"});
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 0.01);
+}
+
+TEST(CliTest, ParsesSpaceSyntax) {
+  const auto args = parse({"--n", "42"});
+  EXPECT_EQ(args.get_int("n", 0), 42);
+}
+
+TEST(CliTest, BareFlagIsTrue) {
+  const auto args = parse({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_FALSE(args.get_bool("quick"));
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.5), 0.5);
+  EXPECT_EQ(args.get_string("mode", "auto"), "auto");
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(CliTest, ParsesLists) {
+  const auto args = parse({"--eps=0.1,0.01,0.001", "--sizes=10,100"});
+  const auto eps = args.get_double_list("eps", {});
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_DOUBLE_EQ(eps[1], 0.01);
+  const auto sizes = args.get_int_list("sizes", {});
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[1], 100);
+}
+
+TEST(CliTest, ListFallbackUsedWhenAbsent) {
+  const auto args = parse({});
+  const auto eps = args.get_double_list("eps", {0.5});
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_DOUBLE_EQ(eps[0], 0.5);
+}
+
+TEST(CliTest, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"bare"}), std::runtime_error);
+}
+
+TEST(CliTest, CheckKnownAcceptsKnownFlags) {
+  const auto args = parse({"--n=5", "--full"});
+  EXPECT_NO_THROW(args.check_known({"n", "full", "eps"}));
+}
+
+TEST(CliTest, CheckKnownRejectsTypos) {
+  const auto args = parse({"--epz=0.1"});
+  EXPECT_THROW(args.check_known({"eps"}), std::runtime_error);
+}
+
+TEST(CliTest, NegativeNumbersAsValues) {
+  const auto args = parse({"--delta=-5"});
+  EXPECT_EQ(args.get_int("delta", 0), -5);
+}
+
+}  // namespace
+}  // namespace popbean

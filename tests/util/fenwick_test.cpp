@@ -1,0 +1,120 @@
+#include "util/fenwick.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(FenwickTest, EmptyTreeHasZeroTotal) {
+  FenwickTree tree(std::size_t{8});
+  EXPECT_EQ(tree.size(), 8u);
+  EXPECT_EQ(tree.total(), 0u);
+  EXPECT_EQ(tree.prefix_sum(8), 0u);
+}
+
+TEST(FenwickTest, BulkConstructionMatchesWeights) {
+  const std::vector<std::uint64_t> weights = {3, 0, 7, 1, 0, 5, 2, 9, 4};
+  FenwickTree tree(weights);
+  EXPECT_EQ(tree.total(), std::accumulate(weights.begin(), weights.end(),
+                                          std::uint64_t{0}));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(tree.at(i), weights[i]) << "index " << i;
+  }
+  std::uint64_t prefix = 0;
+  for (std::size_t i = 0; i <= weights.size(); ++i) {
+    EXPECT_EQ(tree.prefix_sum(i), prefix);
+    if (i < weights.size()) prefix += weights[i];
+  }
+}
+
+TEST(FenwickTest, AddUpdatesPointAndTotal) {
+  FenwickTree tree(std::size_t{5});
+  tree.add(2, 10);
+  tree.add(4, 3);
+  tree.add(2, -4);
+  EXPECT_EQ(tree.at(2), 6u);
+  EXPECT_EQ(tree.at(4), 3u);
+  EXPECT_EQ(tree.total(), 9u);
+  EXPECT_EQ(tree.prefix_sum(3), 6u);
+  EXPECT_EQ(tree.prefix_sum(5), 9u);
+}
+
+TEST(FenwickTest, FindByPrefixLocatesEveryUnit) {
+  const std::vector<std::uint64_t> weights = {2, 0, 3, 1};
+  FenwickTree tree(weights);
+  // Targets 0,1 -> index 0; 2,3,4 -> index 2; 5 -> index 3.
+  EXPECT_EQ(tree.find_by_prefix(0), 0u);
+  EXPECT_EQ(tree.find_by_prefix(1), 0u);
+  EXPECT_EQ(tree.find_by_prefix(2), 2u);
+  EXPECT_EQ(tree.find_by_prefix(3), 2u);
+  EXPECT_EQ(tree.find_by_prefix(4), 2u);
+  EXPECT_EQ(tree.find_by_prefix(5), 3u);
+}
+
+TEST(FenwickTest, FindByPrefixSkipsZeroWeightStates) {
+  FenwickTree tree(std::vector<std::uint64_t>{0, 0, 1, 0, 0});
+  EXPECT_EQ(tree.find_by_prefix(0), 2u);
+}
+
+class FenwickPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FenwickPropertyTest, RandomOperationsMatchNaiveModel) {
+  const std::size_t size = GetParam();
+  Xoshiro256ss rng(1000 + size);
+  std::vector<std::uint64_t> model(size, 0);
+  FenwickTree tree(size);
+  for (int op = 0; op < 2000; ++op) {
+    const auto i = static_cast<std::size_t>(rng.below(size));
+    // Random delta keeping the weight non-negative.
+    const std::int64_t delta =
+        model[i] > 0 && rng.bernoulli(0.4)
+            ? -static_cast<std::int64_t>(rng.below(model[i]) + 1)
+            : static_cast<std::int64_t>(rng.below(10));
+    model[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(model[i]) + delta);
+    tree.add(i, delta);
+
+    const auto probe = static_cast<std::size_t>(rng.below(size + 1));
+    std::uint64_t expected = 0;
+    for (std::size_t k = 0; k < probe; ++k) expected += model[k];
+    ASSERT_EQ(tree.prefix_sum(probe), expected);
+    ASSERT_EQ(tree.at(i), model[i]);
+  }
+}
+
+TEST_P(FenwickPropertyTest, SamplingFrequenciesMatchWeights) {
+  const std::size_t size = GetParam();
+  Xoshiro256ss rng(2000 + size);
+  std::vector<std::uint64_t> weights(size);
+  for (auto& w : weights) w = rng.below(20);
+  weights[0] += 1;  // ensure positive total
+  FenwickTree tree(weights);
+
+  constexpr int kDraws = 50000;
+  std::vector<std::uint64_t> hits(size, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[tree.find_by_prefix(rng.below(tree.total()))];
+  }
+  const auto total = static_cast<double>(tree.total());
+  for (std::size_t i = 0; i < size; ++i) {
+    const double expected = kDraws * static_cast<double>(weights[i]) / total;
+    if (weights[i] == 0) {
+      EXPECT_EQ(hits[i], 0u);
+    } else {
+      EXPECT_NEAR(static_cast<double>(hits[i]), expected,
+                  5.0 * std::sqrt(expected) + 5.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FenwickPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 17, 64, 100, 255));
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,61 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace popbean {
+namespace {
+
+TEST(HistogramTest, LinearBinsPartitionRange) {
+  auto h = Histogram::linear(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(HistogramTest, ValuesLandInCorrectBins) {
+  auto h = Histogram::linear(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.99);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBins) {
+  auto h = Histogram::linear(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, LogBinsGrowGeometrically) {
+  auto h = Histogram::logarithmic(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_high(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_high(1), 100.0, 1e-9);
+  EXPECT_NEAR(h.bin_high(2), 1000.0, 1e-9);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(HistogramTest, AsciiRenderingShowsNonEmptyBins) {
+  auto h = Histogram::linear(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(3.5);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,134 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popbean {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownSequence) {
+  // Reference values for seed 0 from the public-domain splitmix64.c.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(MixSeedTest, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(mix_seed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(XoshiroTest, SameSeedSameSequence) {
+  Xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256ss a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(XoshiroTest, StreamConstructorMatchesMixSeed) {
+  Xoshiro256ss direct(mix_seed(7, 9));
+  Xoshiro256ss stream(7, 9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(direct(), stream());
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256ss rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, BelowOneIsAlwaysZero) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(XoshiroTest, BelowIsApproximatelyUniform) {
+  Xoshiro256ss rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    // Expected 10000 per cell; 5 sigma ≈ 475.
+    EXPECT_NEAR(counts[v], kDraws / kBound, 500) << "value " << v;
+  }
+}
+
+TEST(XoshiroTest, UnitInHalfOpenInterval) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(XoshiroTest, UnitPositiveNeverZero) {
+  Xoshiro256ss rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.unit_positive(), 0.0);
+    EXPECT_LE(rng.unit_positive(), 1.0);
+  }
+}
+
+TEST(XoshiroTest, UnitMeanIsHalf) {
+  Xoshiro256ss rng(17);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.unit();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(XoshiroTest, ExponentialMeanMatchesRate) {
+  Xoshiro256ss rng(11);
+  const double rate = 4.0;
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(XoshiroTest, GeometricFailuresMeanMatchesP) {
+  Xoshiro256ss rng(13);
+  const double p = 0.05;
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.geometric_failures(p));
+  }
+  // Mean of Geometric(p) failures is (1-p)/p = 19.
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.5);
+}
+
+TEST(XoshiroTest, GeometricWithPOneIsZero) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_failures(1.0), 0u);
+}
+
+TEST(XoshiroTest, BernoulliFrequencyMatchesP) {
+  Xoshiro256ss rng(23);
+  const double p = 0.3;
+  int hits = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.005);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,156 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(OnlineStatsTest, MatchesClosedForm) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.mean(), 3.5);
+}
+
+TEST(SummarizeTest, QuartilesOfKnownSample) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(SummarizeTest, EmptySampleIsAllZero) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {5, 7, 9, 11};  // y = 2x + 3
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighR2) {
+  Xoshiro256ss rng(8);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 1.0 + (rng.unit() - 0.5));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(WilsonIntervalTest, CoversPointEstimate) {
+  const auto interval = wilson_interval(30, 100);
+  EXPECT_DOUBLE_EQ(interval.estimate, 0.3);
+  EXPECT_LT(interval.low, 0.3);
+  EXPECT_GT(interval.high, 0.3);
+  EXPECT_GT(interval.low, 0.2);
+  EXPECT_LT(interval.high, 0.41);
+}
+
+TEST(WilsonIntervalTest, ZeroSuccessesHasZeroLowerBound) {
+  const auto interval = wilson_interval(0, 50);
+  EXPECT_EQ(interval.estimate, 0.0);
+  EXPECT_NEAR(interval.low, 0.0, 1e-12);
+  EXPECT_GT(interval.high, 0.0);
+}
+
+TEST(GammaQTest, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(regularized_gamma_q(1.0, 2.0), std::exp(-2.0), 1e-10);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_q(0.5, 1.0), std::erfc(1.0), 1e-10);
+  EXPECT_NEAR(regularized_gamma_q(3.0, 0.0), 1.0, 1e-12);
+  // Chi-square with 1 dof at statistic 3.841 -> p = 0.05.
+  EXPECT_NEAR(regularized_gamma_q(0.5, 3.841458820694124 / 2.0), 0.05, 1e-6);
+}
+
+TEST(ChiSquareTest, PerfectFitHasPValueOne) {
+  const std::vector<std::uint64_t> observed = {25, 25, 25, 25};
+  const std::vector<double> expected = {25, 25, 25, 25};
+  EXPECT_NEAR(chi_square_p_value(observed, expected), 1.0, 1e-9);
+}
+
+TEST(ChiSquareTest, GrossMismatchHasTinyPValue) {
+  const std::vector<std::uint64_t> observed = {100, 0, 0, 0};
+  const std::vector<double> expected = {25, 25, 25, 25};
+  EXPECT_LT(chi_square_p_value(observed, expected), 1e-10);
+}
+
+TEST(ChiSquareTest, UniformSamplesPassAtModerateAlpha) {
+  Xoshiro256ss rng(77);
+  std::vector<std::uint64_t> observed(10, 0);
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) ++observed[rng.below(10)];
+  const std::vector<double> expected(10, kDraws / 10.0);
+  EXPECT_GT(chi_square_p_value(observed, expected), 1e-4);
+}
+
+TEST(KsTest, IdenticalSamplesHaveHighPValue) {
+  Xoshiro256ss rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.unit());
+    b.push_back(rng.unit());
+  }
+  EXPECT_GT(ks_two_sample_p_value(a, b), 0.01);
+}
+
+TEST(KsTest, NearlyConstantIdenticalSamplesReturnPValueOne) {
+  // Regression: with almost-all-equal samples the Kolmogorov series sits at
+  // lambda ~ 0 where the alternating sum does not converge; the p-value
+  // must be 1, not an artifact of a truncated series.
+  std::vector<double> a(250, 0.0), b(250, 0.0);
+  a[3] = 1.0;
+  b[7] = 1.0;
+  b[9] = 1.0;
+  EXPECT_DOUBLE_EQ(ks_two_sample_p_value(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(ks_two_sample_p_value(a, a), 1.0);
+}
+
+TEST(KsTest, ShiftedSamplesHaveLowPValue) {
+  Xoshiro256ss rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.unit());
+    b.push_back(rng.unit() + 0.5);
+  }
+  EXPECT_LT(ks_two_sample_p_value(a, b), 1e-6);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,0 +1,81 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popbean {
+namespace {
+
+TEST(ThreadPoolTest, DefaultUsesAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_index(pool, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  parallel_for_index(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool(3);
+  std::vector<long> values(5000);
+  parallel_for_index(pool, values.size(), [&](std::size_t i) {
+    values[i] = static_cast<long>(i);
+  });
+  const long total = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(total, 5000L * 4999 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_index(pool, 10,
+                         [](std::size_t i) {
+                           if (i == 5) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    parallel_for_index(pool, 4,
+                       [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> counter{0};
+  parallel_for_index(pool, 8, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+}  // namespace
+}  // namespace popbean
