@@ -59,6 +59,14 @@ class ExactChain {
 
   std::size_t index_of(const Counts& config) const;
 
+  // The count vector at a configuration index (inverse of index_of); lets
+  // callers that walk reachable_from() inspect the configurations they
+  // visited (used by the static verifier's small-n search).
+  const Counts& config(std::size_t index) const {
+    POPBEAN_CHECK(index < configs_.size());
+    return configs_[index];
+  }
+
   // Probability that, starting from `initial`, the chain reaches the
   // absorbing set "all agents map to `output`". (Gauss–Seidel from zero
   // converges to the minimal non-negative solution, which is exactly this

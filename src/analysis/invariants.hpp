@@ -5,8 +5,8 @@
 // invariants along simulated trajectories of any engine.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
-#include <functional>
 
 #include "core/avc.hpp"
 #include "population/configuration.hpp"
@@ -37,10 +37,15 @@ class AvcSumInvariant {
 // every `stride` interactions (and once before the first step and once at
 // the end). Stops early when all agents share an output. Returns the number
 // of interactions executed.
-template <EngineLike E>
-std::uint64_t inspect_trajectory(
-    E& engine, Xoshiro256ss& rng, std::uint64_t max_interactions,
-    std::uint64_t stride, const std::function<void(const Counts&)>& inspect) {
+//
+// `inspect` is a template parameter rather than std::function: the hook
+// fires inside the interaction loop, and a concrete callable inlines where
+// type erasure would cost an indirect call (plus a possible allocation at
+// the call site) per stride.
+template <EngineLike E, std::invocable<const Counts&> Inspect>
+std::uint64_t inspect_trajectory(E& engine, Xoshiro256ss& rng,
+                                 std::uint64_t max_interactions,
+                                 std::uint64_t stride, Inspect&& inspect) {
   inspect(engine.counts());
   std::uint64_t last_inspection = engine.steps();
   while (engine.steps() < max_interactions && !engine.all_same_output()) {

@@ -34,17 +34,50 @@ class TabulatedProtocol {
       outputs_[a] = base.output(a);
       names_[a] = base.state_name(a);
       for (State b = 0; b < num_states_; ++b) {
-        table_[static_cast<std::size_t>(a) * num_states_ + b] = base.apply(a, b);
+        const Transition t = base.apply(a, b);
+        // An out-of-range target would poison every table lookup downstream
+        // (engines index count vectors by these ids), so fail at tabulation
+        // time, with the offending pair, not at first use.
+        if (t.initiator >= num_states_ || t.responder >= num_states_) {
+          std::string msg = "base.apply(";
+          msg += base.state_name(a);
+          msg += ", ";
+          msg += base.state_name(b);
+          msg += ") leaves the declared state space";
+          POPBEAN_CHECK_MSG(false, msg);
+        }
+        table_[index(a, b)] = t;
       }
     }
     initial_[0] = base.initial_state(Opinion::B);
     initial_[1] = base.initial_state(Opinion::A);
+    POPBEAN_CHECK_MSG(initial_[0] < num_states_ && initial_[1] < num_states_,
+                      "base initial state leaves the declared state space");
+  }
+
+  // Raw-table constructor: adopts the table *without validation*. Intended
+  // for protocol files (protocols/tabulated_io.hpp), whose contents are
+  // untrusted until `verify::check_well_formed` has passed — a deliberately
+  // broken table must be constructible so the verifier can diagnose it.
+  TabulatedProtocol(std::size_t num_states, std::vector<Transition> table,
+                    std::vector<Output> outputs, std::vector<std::string> names,
+                    State initial_b, State initial_a)
+      : num_states_(num_states),
+        table_(std::move(table)),
+        outputs_(std::move(outputs)),
+        names_(std::move(names)),
+        initial_{initial_b, initial_a} {
+    POPBEAN_CHECK_MSG(num_states_ >= 1 && num_states_ <= kMaxStates,
+                      "state count out of range");
+    POPBEAN_CHECK(table_.size() == num_states_ * num_states_);
+    POPBEAN_CHECK(outputs_.size() == num_states_);
+    POPBEAN_CHECK(names_.size() == num_states_);
   }
 
   std::size_t num_states() const noexcept { return num_states_; }
 
   State initial_state(Opinion opinion) const noexcept {
-    return initial_[static_cast<std::size_t>(opinion)];
+    return initial_[opinion == Opinion::A ? 1 : 0];
   }
 
   Output output(State q) const noexcept {
@@ -54,7 +87,7 @@ class TabulatedProtocol {
 
   Transition apply(State a, State b) const noexcept {
     POPBEAN_DCHECK(a < num_states_ && b < num_states_);
-    return table_[static_cast<std::size_t>(a) * num_states_ + b];
+    return table_[index(a, b)];
   }
 
   std::string state_name(State q) const {
@@ -71,6 +104,15 @@ class TabulatedProtocol {
   }
 
  private:
+  // Row-major flat index. Both operands are widened to std::size_t before
+  // the multiply: State is uint32_t, and `a * num_states_ + b` with a
+  // 32-bit `a` would wrap for s beyond 2¹⁶ if done in 32 bits (kMaxStates
+  // keeps us clear today; the cast keeps it correct if the cap moves).
+  std::size_t index(State a, State b) const noexcept {
+    return static_cast<std::size_t>(a) * num_states_ +
+           static_cast<std::size_t>(b);
+  }
+
   std::size_t num_states_;
   std::vector<Transition> table_;
   std::vector<Output> outputs_;

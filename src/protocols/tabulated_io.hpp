@@ -1,0 +1,267 @@
+// Text serialization of tabulated protocols — the on-disk interchange
+// format consumed by `popbean-lint` and producible from any ProtocolLike.
+//
+// Format (line-oriented; '#' starts a comment; blank lines ignored):
+//
+//   popbean-protocol v1
+//   name <free text until end of line>            (optional)
+//   states <s>
+//   state <id> <name> <output>                    (one per state, any order)
+//   initial A=<id> B=<id>
+//   delta <a> <b> -> <a'> <b'>                    (productive pairs only;
+//                                                  unlisted pairs are null)
+//   invariant <name> <w0> <w1> … <w_{s-1}>        (optional, repeatable:
+//                                                  a conservation law the
+//                                                  file *claims*; the
+//                                                  verifier proves or
+//                                                  refutes it)
+//
+// Parsing is deliberately permissive about *semantics*: out-of-range delta
+// targets, non-binary outputs, and invalid initial states all parse fine
+// and surface as verifier findings instead — a broken file must be loadable
+// for popbean-lint to diagnose it. Syntax errors (unparseable lines,
+// duplicate/missing sections) throw std::runtime_error with a line number.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "protocols/tabulated.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+struct ParsedProtocolFile {
+  std::string name;
+  TabulatedProtocol protocol;
+  // Declared conservation laws: (name, weight per state).
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> invariants;
+};
+
+namespace detail {
+
+[[noreturn]] inline void parse_fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "protocol file, line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace detail
+
+inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  bool saw_initial = false;
+  std::string name = "tabulated";
+  std::size_t num_states = 0;
+  std::vector<Transition> table;
+  std::vector<Output> outputs;
+  std::vector<std::string> names;
+  std::vector<bool> state_declared;
+  State initial_a = 0;
+  State initial_b = 0;
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> invariants;
+
+  const auto require_states = [&](const std::string& keyword) {
+    if (num_states == 0) {
+      std::string what = "'";
+      what += keyword;
+      what += "' before 'states <s>'";
+      detail::parse_fail(line_number, what);
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank or comment-only
+
+    if (!saw_header) {
+      std::string version;
+      if (keyword != "popbean-protocol" || !(tokens >> version) ||
+          version != "v1") {
+        detail::parse_fail(line_number,
+                           "expected header 'popbean-protocol v1'");
+      }
+      saw_header = true;
+    } else if (keyword == "name") {
+      std::getline(tokens >> std::ws, name);
+      if (name.empty()) detail::parse_fail(line_number, "empty name");
+    } else if (keyword == "states") {
+      if (num_states != 0) detail::parse_fail(line_number, "duplicate 'states'");
+      long long s = 0;
+      if (!(tokens >> s) || s < 1 ||
+          static_cast<std::size_t>(s) > TabulatedProtocol::kMaxStates) {
+        std::ostringstream what;
+        what << "state count must be in [1, " << TabulatedProtocol::kMaxStates
+             << "]";
+        detail::parse_fail(line_number, what.str());
+      }
+      num_states = static_cast<std::size_t>(s);
+      outputs.assign(num_states, 0);
+      names.resize(num_states);
+      state_declared.assign(num_states, false);
+      table.resize(num_states * num_states);
+      for (State a = 0; a < num_states; ++a) {
+        for (State b = 0; b < num_states; ++b) {
+          table[a * num_states + b] = {a, b};  // default: null interaction
+        }
+      }
+      for (State q = 0; q < num_states; ++q) {
+        names[q] = "q";
+        names[q] += std::to_string(q);
+      }
+    } else if (keyword == "state") {
+      require_states("state");
+      std::uint64_t id = 0;
+      std::string state_name;
+      long long output = 0;
+      if (!(tokens >> id >> state_name >> output) || id >= num_states) {
+        detail::parse_fail(line_number,
+                           "expected 'state <id < s> <name> <output>'");
+      }
+      if (state_declared[id]) {
+        std::string what = "duplicate 'state' for id ";
+        what += std::to_string(id);
+        detail::parse_fail(line_number, what);
+      }
+      state_declared[id] = true;
+      names[id] = state_name;
+      outputs[id] = static_cast<Output>(output);
+    } else if (keyword == "initial") {
+      require_states("initial");
+      if (saw_initial) detail::parse_fail(line_number, "duplicate 'initial'");
+      std::string first;
+      std::string second;
+      if (!(tokens >> first >> second)) {
+        detail::parse_fail(line_number, "expected 'initial A=<id> B=<id>'");
+      }
+      bool have_a = false;
+      bool have_b = false;
+      for (const std::string& assignment : {first, second}) {
+        if (assignment.size() < 3 || assignment[1] != '=') {
+          std::ostringstream what;
+          what << "expected assignment like 'A=0', got '" << assignment << "'";
+          detail::parse_fail(line_number, what.str());
+        }
+        std::uint64_t id = 0;
+        std::istringstream value(assignment.substr(2));
+        if (!(value >> id)) {
+          std::ostringstream what;
+          what << "bad state id in '" << assignment << "'";
+          detail::parse_fail(line_number, what.str());
+        }
+        if (assignment[0] == 'A' && !have_a) {
+          initial_a = static_cast<State>(id);
+          have_a = true;
+        } else if (assignment[0] == 'B' && !have_b) {
+          initial_b = static_cast<State>(id);
+          have_b = true;
+        } else {
+          detail::parse_fail(line_number,
+                             "expected one 'A=' and one 'B=' assignment");
+        }
+      }
+      saw_initial = true;
+    } else if (keyword == "delta") {
+      require_states("delta");
+      std::uint64_t a = 0;
+      std::uint64_t b = 0;
+      std::string arrow;
+      std::uint64_t to_a = 0;
+      std::uint64_t to_b = 0;
+      if (!(tokens >> a >> b >> arrow >> to_a >> to_b) || arrow != "->") {
+        detail::parse_fail(line_number,
+                           "expected 'delta <a> <b> -> <a'> <b'>'");
+      }
+      if (a >= num_states || b >= num_states) {
+        detail::parse_fail(line_number, "delta source pair out of range");
+      }
+      // Targets are *not* range-checked: the verifier owns that diagnosis.
+      table[a * num_states + b] = {static_cast<State>(to_a),
+                                   static_cast<State>(to_b)};
+    } else if (keyword == "invariant") {
+      require_states("invariant");
+      std::string invariant_name;
+      if (!(tokens >> invariant_name)) {
+        detail::parse_fail(line_number, "expected 'invariant <name> <weights…>'");
+      }
+      std::vector<std::int64_t> weights;
+      weights.reserve(num_states);
+      std::int64_t w = 0;
+      while (tokens >> w) weights.push_back(w);
+      if (weights.size() != num_states) {
+        std::ostringstream what;
+        what << "invariant needs exactly " << num_states << " weights, got "
+             << weights.size();
+        detail::parse_fail(line_number, what.str());
+      }
+      invariants.emplace_back(std::move(invariant_name), std::move(weights));
+    } else {
+      detail::parse_fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!saw_header) detail::parse_fail(line_number, "missing header");
+  if (num_states == 0) detail::parse_fail(line_number, "missing 'states'");
+  if (!saw_initial) detail::parse_fail(line_number, "missing 'initial'");
+
+  return ParsedProtocolFile{
+      std::move(name),
+      TabulatedProtocol(num_states, std::move(table), std::move(outputs),
+                        std::move(names), initial_b, initial_a),
+      std::move(invariants)};
+}
+
+inline ParsedProtocolFile parse_protocol_file(const std::string& text) {
+  std::istringstream in(text);
+  return parse_protocol_file(in);
+}
+
+// Serializes any protocol to the v1 format (productive pairs only).
+// Optional invariants are emitted as declared conservation laws.
+template <ProtocolLike P>
+std::string serialize_protocol(
+    const P& protocol, const std::string& name,
+    const std::vector<std::pair<std::string, std::vector<std::int64_t>>>&
+        invariants = {}) {
+  const std::size_t s = protocol.num_states();
+  std::ostringstream os;
+  os << "popbean-protocol v1\n";
+  os << "name " << name << "\n";
+  os << "states " << s << "\n";
+  for (State q = 0; q < s; ++q) {
+    os << "state " << q << " " << protocol.state_name(q) << " "
+       << protocol.output(q) << "\n";
+  }
+  os << "initial A=" << protocol.initial_state(Opinion::A)
+     << " B=" << protocol.initial_state(Opinion::B) << "\n";
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (is_null(t, a, b)) continue;
+      os << "delta " << a << " " << b << " -> " << t.initiator << " "
+         << t.responder << "\n";
+    }
+  }
+  for (const auto& [invariant_name, weights] : invariants) {
+    POPBEAN_CHECK(weights.size() == s);
+    os << "invariant " << invariant_name;
+    for (const std::int64_t w : weights) os << " " << w;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace popbean

@@ -47,7 +47,7 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
 }
 
 bool CliArgs::has(const std::string& name) const {
-  return values_.count(name) > 0;
+  return values_.contains(name);
 }
 
 std::optional<std::string> CliArgs::get(const std::string& name) const {
@@ -84,8 +84,10 @@ std::vector<double> CliArgs::get_double_list(
     const std::string& name, std::vector<double> fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
+  const std::vector<std::string> parts = split_list(*v);
   std::vector<double> out;
-  for (const auto& part : split_list(*v)) out.push_back(std::stod(part));
+  out.reserve(parts.size());
+  for (const auto& part : parts) out.push_back(std::stod(part));
   return out;
 }
 
@@ -93,16 +95,24 @@ std::vector<std::int64_t> CliArgs::get_int_list(
     const std::string& name, std::vector<std::int64_t> fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
+  const std::vector<std::string> parts = split_list(*v);
   std::vector<std::int64_t> out;
-  for (const auto& part : split_list(*v)) out.push_back(std::stoll(part));
+  out.reserve(parts.size());
+  for (const auto& part : parts) out.push_back(std::stoll(part));
   return out;
 }
 
 void CliArgs::check_known(const std::vector<std::string>& known) const {
-  for (const auto& [name, value] : values_) {
+  for (const auto& entry : values_) {
+    const std::string& name = entry.first;
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      std::string message = "unknown flag --" + name + "; known flags:";
-      for (const auto& k : known) message += " --" + k;
+      std::string message = "unknown flag --";
+      message += name;
+      message += "; known flags:";
+      for (const auto& k : known) {
+        message += " --";
+        message += k;
+      }
       throw std::runtime_error(message);
     }
   }

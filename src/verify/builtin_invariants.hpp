@@ -1,0 +1,44 @@
+// The shipped protocols' conservation laws as LinearInvariant instances.
+//
+// These are the weight vectors the correctness proofs rest on:
+//
+//   * AVC           — w(q) = value(q) = sign·weight. Conservation over all
+//                     s² transitions is exactly the paper's Invariant 4.3,
+//                     proved here by exhaustive enumeration instead of the
+//                     per-reaction case analysis of §4.
+//   * four-state    — w = (+1, −1, 0, 0) on (A, B, a, b): the #A − #B
+//                     difference behind [DV12]'s exactness (and Claim B.8's
+//                     canonical form of any correct four-state protocol).
+//   * three-state   — conserves nothing beyond the agent count (that is the
+//                     structural reason it cannot be exact; Thm B.1's
+//                     dichotomy), so its only instance is the generic
+//                     agent_count_invariant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "verify/linear_invariant.hpp"
+
+namespace popbean::verify {
+
+// Invariant 4.3: Σ over agents of sign·weight is conserved.
+inline LinearInvariant avc_sum_invariant(const avc::AvcProtocol& protocol) {
+  std::vector<std::int64_t> weights(protocol.num_states());
+  for (State q = 0; q < protocol.num_states(); ++q) {
+    weights[q] = protocol.value_of(q);
+  }
+  return LinearInvariant("AVC value sum (Invariant 4.3)", std::move(weights));
+}
+
+// #A − #B over the strong states; weak states carry weight 0.
+inline LinearInvariant four_state_difference_invariant() {
+  std::vector<std::int64_t> weights(4, 0);
+  weights[FourStateProtocol::kStrongA] = +1;
+  weights[FourStateProtocol::kStrongB] = -1;
+  return LinearInvariant("four-state strong difference", std::move(weights));
+}
+
+}  // namespace popbean::verify

@@ -1,0 +1,71 @@
+#include "verify/finding.hpp"
+
+#include <sstream>
+
+namespace popbean::verify {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Finding& finding) {
+  std::ostringstream os;
+  os << severity_name(finding.severity) << ": [" << finding.check << "] "
+     << finding.message;
+  return os.str();
+}
+
+void Report::add(Severity severity, std::string check, std::string message) {
+  findings_.push_back({severity, std::move(check), std::move(message)});
+}
+
+void Report::note(std::string check, std::string message) {
+  add(Severity::kNote, std::move(check), std::move(message));
+}
+
+void Report::warn(std::string check, std::string message) {
+  add(Severity::kWarning, std::move(check), std::move(message));
+}
+
+void Report::error(std::string check, std::string message) {
+  add(Severity::kError, std::move(check), std::move(message));
+}
+
+std::size_t Report::count(Severity severity) const noexcept {
+  std::size_t total = 0;
+  for (const Finding& finding : findings_) {
+    if (finding.severity == severity) ++total;
+  }
+  return total;
+}
+
+std::size_t Report::count_check(std::string_view check) const noexcept {
+  std::size_t total = 0;
+  for (const Finding& finding : findings_) {
+    if (finding.check == check) ++total;
+  }
+  return total;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const Finding& finding : findings_) {
+    os << verify::to_string(finding) << "\n";
+  }
+  return os.str();
+}
+
+void Report::merge(const Report& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(),
+                   other.findings_.end());
+}
+
+}  // namespace popbean::verify

@@ -1,0 +1,72 @@
+// Diagnostic vocabulary for the static protocol verifier.
+//
+// Every check in src/verify/ reports through a Report: a list of findings,
+// each tagged with a severity, the dotted id of the check that produced it
+// ("invariant.conservation", "well_formed.transition_range", …), and a
+// human-readable message. `popbean-lint` renders reports and turns the
+// presence of error findings into a nonzero exit code; tests assert on
+// counts per check id.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace popbean::verify {
+
+enum class Severity {
+  kNote,     // structural information, no action needed
+  kWarning,  // suspicious but not provably wrong (e.g. unreachable states)
+  kError,    // the protocol is broken or a claimed property fails
+};
+
+std::string_view severity_name(Severity severity) noexcept;
+
+struct Finding {
+  Severity severity = Severity::kNote;
+  std::string check;    // dotted check id, e.g. "invariant.conservation"
+  std::string message;  // one line, no trailing newline
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+// Renders "error: [invariant.conservation] message".
+std::string to_string(const Finding& finding);
+
+// Accumulates the findings of one verification run over one protocol.
+class Report {
+ public:
+  explicit Report(std::string subject = {}) : subject_(std::move(subject)) {}
+
+  const std::string& subject() const noexcept { return subject_; }
+
+  void add(Severity severity, std::string check, std::string message);
+  void note(std::string check, std::string message);
+  void warn(std::string check, std::string message);
+  void error(std::string check, std::string message);
+
+  const std::vector<Finding>& findings() const noexcept { return findings_; }
+  std::size_t count(Severity severity) const noexcept;
+  std::size_t errors() const noexcept { return count(Severity::kError); }
+  std::size_t warnings() const noexcept { return count(Severity::kWarning); }
+
+  // Number of findings produced by the given check id.
+  std::size_t count_check(std::string_view check) const noexcept;
+
+  // No error findings (warnings and notes allowed).
+  bool ok() const noexcept { return errors() == 0; }
+
+  // One rendered finding per line; empty string for an empty report.
+  std::string to_string() const;
+
+  // Appends every finding of `other` (prefixing nothing; check ids already
+  // identify the producer). Used by drivers that run several checks.
+  void merge(const Report& other);
+
+ private:
+  std::string subject_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace popbean::verify

@@ -1,0 +1,121 @@
+// Exhaustive small-population exactness search.
+//
+// The linear-invariant and well-formedness checks are per-transition; this
+// check is global: it walks the *entire configuration graph* of the protocol
+// for every population size n ≤ max_n and every non-tie input split, and
+// verifies that no reachable configuration has all agents outputting the
+// initial minority. That is the finite instantiation of the paper's
+// exactness claim (Lemma A.1 / Theorem 4.1: AVC converges to the initial
+// majority with probability 1): if some wrong-output configuration were
+// reachable, a finite execution would exhibit it, and conversely the BFS
+// visits every configuration any execution can reach. "All agents output
+// wrong" in particular covers every *stable* wrong configuration, so its
+// absence rules out wrong convergence outright.
+//
+// The configuration graph has C(n+s−1, s−1) nodes, so this is only feasible
+// for small n — which is the point: together with the conservation proof
+// (all n at once) and trajectory spot-checks (large n, sampled), the three
+// layers cover each other's blind spots.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "analysis/exact_markov.hpp"
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "verify/finding.hpp"
+
+namespace popbean::verify {
+
+// C(n+s−1, s−1) without overflow for the small arguments used here; returns
+// cap+1 when the count exceeds cap.
+inline std::uint64_t composition_count(std::uint64_t n, std::uint64_t s,
+                                       std::uint64_t cap) {
+  std::uint64_t result = 1;
+  // C(n+s−1, s−1) = Π_{i=1}^{s−1} (n+i)/i, exact at every step.
+  for (std::uint64_t i = 1; i < s; ++i) {
+    result = result * (n + i) / i;
+    if (result > cap) return cap + 1;
+  }
+  return result;
+}
+
+struct SmallNOptions {
+  std::uint64_t max_n = 8;          // search n = 2 … max_n
+  std::uint64_t max_configs = 500'000;  // per-n configuration budget
+};
+
+// Renders a configuration as "{name: count, …}" over occupied states.
+template <ProtocolLike P>
+std::string render_config(const P& protocol, const Counts& config) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (State q = 0; q < config.size(); ++q) {
+    if (config[q] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << protocol.state_name(q) << ": " << config[q];
+  }
+  os << "}";
+  return os.str();
+}
+
+// For every n ≤ options.max_n and every split count_a ≠ n/2, BFS the
+// configuration graph from the majority instance and report an error
+// (check "small_n.wrong_output_reachable") for each reachable configuration
+// whose agents unanimously output the minority opinion. Adds a summary note
+// with the sizes searched. Only meaningful for protocols that claim *exact*
+// majority (AVC, four-state); approximate protocols reach wrong unanimity
+// by design.
+template <ProtocolLike P>
+void check_small_n_exact(const P& protocol, Report& report,
+                         const SmallNOptions& options = {}) {
+  const std::size_t s = protocol.num_states();
+  std::uint64_t searched_up_to = 0;
+  std::uint64_t configs_walked = 0;
+
+  for (std::uint64_t n = 2; n <= options.max_n; ++n) {
+    if (composition_count(n, s, options.max_configs) > options.max_configs) {
+      std::ostringstream note;
+      note << "configuration space exceeds budget at n = " << n
+           << "; searched n <= " << searched_up_to;
+      report.note("small_n.budget", note.str());
+      break;
+    }
+    const ExactChain chain(protocol, n, options.max_configs);
+    configs_walked += chain.num_configs();
+    searched_up_to = n;
+
+    for (std::uint64_t count_a = 0; count_a <= n; ++count_a) {
+      if (2 * count_a == n) continue;  // ties are out of scope (§2)
+      const Output majority = 2 * count_a > n ? 1 : 0;
+      const Output wrong = 1 - majority;
+      const Counts initial = majority_instance(protocol, n, count_a);
+      const std::vector<bool> reachable = chain.reachable_from(initial);
+      for (std::size_t idx = 0; idx < reachable.size(); ++idx) {
+        if (!reachable[idx]) continue;
+        const Counts& config = chain.config(idx);
+        if (output_agents(protocol, config, wrong) != n) continue;
+        std::ostringstream os;
+        os << "n = " << n << ", split " << count_a << "A/" << (n - count_a)
+           << "B: wrong-output configuration "
+           << render_config(protocol, config)
+           << " is reachable (all agents output " << wrong
+           << ", initial majority was " << majority << ")";
+        report.error("small_n.wrong_output_reachable", os.str());
+      }
+    }
+  }
+
+  if (searched_up_to >= 2) {
+    std::ostringstream os;
+    os << "exhausted all majority instances for n = 2 … " << searched_up_to
+       << " (" << configs_walked << " configurations per-n, all splits)";
+    report.note("small_n.searched", os.str());
+  }
+}
+
+}  // namespace popbean::verify

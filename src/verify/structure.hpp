@@ -1,0 +1,134 @@
+// Structural classification of a protocol's transition table.
+//
+// Everything here is computed exhaustively over the s × s table:
+//
+//   * symmetry        — the *multiset* of result states is the same for
+//                       δ(a, b) and δ(b, a): the protocol is oblivious to
+//                       which participant initiated. (Multiset, not ordered
+//                       equivariance: AVC's averaging rule emits (R↓, R↑)
+//                       in that order for both argument orders, which is
+//                       still role-oblivious since configurations only see
+//                       counts.) AVC and the four-state protocol are
+//                       symmetric; three-state and voter are not;
+//   * one-wayness     — the initiator never changes state ([AAE08]-style
+//                       protocols; relevant to CRN compilation);
+//   * null density    — fraction of ordered pairs whose interaction is a
+//                       no-op. This is the quantity the skip engine exploits
+//                       (geometric batching of null interactions): a high
+//                       density near convergence is why skipping wins.
+//   * reachability    — least fixpoint of the pair-interaction closure from
+//                       the two input states, i.e. the states that can occur
+//                       in *some* majority configuration of *some* population
+//                       size. States outside the fixpoint are dead table
+//                       rows: unreachable from any majority instance.
+//
+// The fixpoint is sound for arbitrary n: if a and b are both reachable then
+// some configuration holds both simultaneously (population protocols have no
+// way to forbid co-occurrence — counts only grow the reachable set), so
+// closing under every ordered pair of reachable states is exact, not an
+// over-approximation. This matches the paper's notion of configurations
+// "reachable from the initial configuration" used throughout §4.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "verify/finding.hpp"
+
+namespace popbean::verify {
+
+struct ProtocolStructure {
+  bool symmetric = false;       // δ(a,b) and δ(b,a) yield the same multiset
+  bool one_way = false;         // initiator never changes
+  std::size_t productive_pairs = 0;  // ordered pairs with a non-null effect
+  double null_density = 0.0;    // 1 − productive / s²
+  std::vector<bool> reachable;  // per-state, from {initial A, initial B}
+  std::vector<State> unreachable;  // ids with reachable[q] == false
+};
+
+// Requires a well-formed protocol (run check_well_formed first); transitions
+// that leave the state space are ignored defensively rather than followed.
+template <ProtocolLike P>
+ProtocolStructure analyze_structure(const P& protocol) {
+  const std::size_t s = protocol.num_states();
+  ProtocolStructure result;
+  result.symmetric = true;
+  result.one_way = true;
+
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (!is_null(t, a, b)) ++result.productive_pairs;
+      if (t.initiator != a) result.one_way = false;
+      const Transition mirrored = protocol.apply(b, a);
+      const bool same_multiset =
+          (t.initiator == mirrored.responder &&
+           t.responder == mirrored.initiator) ||
+          (t.initiator == mirrored.initiator &&
+           t.responder == mirrored.responder);
+      if (!same_multiset) result.symmetric = false;
+    }
+  }
+  const double total = static_cast<double>(s) * static_cast<double>(s);
+  result.null_density =
+      1.0 - static_cast<double>(result.productive_pairs) / total;
+
+  // Pair-interaction closure from the two input states.
+  result.reachable.assign(s, false);
+  const State init_a = protocol.initial_state(Opinion::A);
+  const State init_b = protocol.initial_state(Opinion::B);
+  if (init_a < s) result.reachable[init_a] = true;
+  if (init_b < s) result.reachable[init_b] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (State a = 0; a < s; ++a) {
+      if (!result.reachable[a]) continue;
+      for (State b = 0; b < s; ++b) {
+        if (!result.reachable[b]) continue;
+        const Transition t = protocol.apply(a, b);
+        if (t.initiator < s && !result.reachable[t.initiator]) {
+          result.reachable[t.initiator] = true;
+          changed = true;
+        }
+        if (t.responder < s && !result.reachable[t.responder]) {
+          result.reachable[t.responder] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (State q = 0; q < s; ++q) {
+    if (!result.reachable[q]) result.unreachable.push_back(q);
+  }
+  return result;
+}
+
+// Reports the classification as notes and each unreachable state as a
+// warning (check ids "structure.*"). Dead states are not an error — a codec
+// may reserve ids — but every one is a table row no majority execution can
+// exercise, so tests and invariants silently never cover it.
+template <ProtocolLike P>
+ProtocolStructure check_structure(const P& protocol, Report& report) {
+  const ProtocolStructure structure = analyze_structure(protocol);
+
+  std::ostringstream os;
+  os << (structure.symmetric ? "symmetric" : "asymmetric") << ", "
+     << (structure.one_way ? "one-way" : "two-way") << ", "
+     << structure.productive_pairs << " productive ordered pairs, null density "
+     << structure.null_density;
+  report.note("structure.classification", os.str());
+
+  for (const State q : structure.unreachable) {
+    std::ostringstream warning;
+    warning << "state " << protocol.state_name(q) << " (q" << q
+            << ") is unreachable from every majority instance";
+    report.warn("structure.unreachable_state", warning.str());
+  }
+  return structure;
+}
+
+}  // namespace popbean::verify

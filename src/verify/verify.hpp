@@ -1,0 +1,51 @@
+// One-call driver composing every static check, used by popbean-lint and
+// by tests that want a protocol "machine-checked" in a single line.
+//
+// Check order matters: structural and semantic checks index the transition
+// table by the states it produces, so they only run when well-formedness
+// passed — a malformed table yields exactly its well-formedness findings
+// rather than a cascade of secondary noise.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "verify/finding.hpp"
+#include "verify/linear_invariant.hpp"
+#include "verify/small_n.hpp"
+#include "verify/structure.hpp"
+#include "verify/well_formed.hpp"
+
+namespace popbean::verify {
+
+struct VerifyOptions {
+  // Conservation laws to prove over the full transition table.
+  std::vector<LinearInvariant> invariants;
+
+  // Walk the small-n configuration graphs proving no wrong-output
+  // configuration is reachable. Enable only for protocols that claim
+  // exact majority.
+  bool check_exactness = false;
+  SmallNOptions small_n;
+};
+
+template <ProtocolLike P>
+Report run_all_checks(const P& protocol, std::string subject,
+                      const VerifyOptions& options) {
+  Report report(std::move(subject));
+  check_well_formed(protocol, report);
+  if (!report.ok()) return report;  // table not safely indexable
+
+  check_structure(protocol, report);
+  for (const LinearInvariant& invariant : options.invariants) {
+    check_conservation(protocol, invariant, report);
+  }
+  if (options.check_exactness) {
+    check_small_n_exact(protocol, report, options.small_n);
+  }
+  return report;
+}
+
+}  // namespace popbean::verify

@@ -1,0 +1,81 @@
+// Well-formedness: the protocol is a total function on its declared state
+// space. Checked exhaustively over all s × s ordered pairs — no simulation,
+// no sampling.
+//
+// Violations here are unconditionally errors: an out-of-range transition
+// target corrupts every count-indexed engine silently (the engines index
+// count vectors by the returned ids), and a non-binary output breaks the
+// convergence predicate "all agents map to the same output".
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "population/protocol.hpp"
+#include "verify/finding.hpp"
+
+namespace popbean::verify {
+
+// Renders a state id for diagnostics, falling back to "q<id>" when the id
+// is outside the declared space (state_name may legitimately reject it).
+template <ProtocolLike P>
+std::string safe_state_name(const P& protocol, State q) {
+  if (q < protocol.num_states()) return protocol.state_name(q);
+  std::string text = "q";
+  text += std::to_string(q);
+  text += "<out-of-range>";
+  return text;
+}
+
+// Checks, for every ordered pair (a, b) of declared states:
+//   * apply(a, b) yields two states inside [0, num_states());
+//   * output(q) ∈ {0, 1} for every state;
+//   * initial_state(op) is a declared state for both opinions;
+// and that the state space is non-empty. Adds one error finding per
+// violation (check ids "well_formed.*").
+template <ProtocolLike P>
+void check_well_formed(const P& protocol, Report& report) {
+  const std::size_t s = protocol.num_states();
+  if (s == 0) {
+    report.error("well_formed.state_space", "protocol declares zero states");
+    return;
+  }
+
+  for (const Opinion op : {Opinion::A, Opinion::B}) {
+    const State q = protocol.initial_state(op);
+    if (q >= s) {
+      std::ostringstream os;
+      os << "initial state for opinion " << (op == Opinion::A ? "A" : "B")
+         << " is q" << q << ", outside [0, " << s << ")";
+      report.error("well_formed.initial_state", os.str());
+    }
+  }
+
+  for (State q = 0; q < s; ++q) {
+    const Output out = protocol.output(q);
+    if (out != 0 && out != 1) {
+      std::ostringstream os;
+      os << "output(" << protocol.state_name(q) << ") = " << out
+         << ", not in {0, 1}";
+      report.error("well_formed.output_range", os.str());
+    }
+  }
+
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (t.initiator >= s || t.responder >= s) {
+        std::ostringstream os;
+        os << "apply(" << protocol.state_name(a) << ", "
+           << protocol.state_name(b) << ") -> ("
+           << safe_state_name(protocol, t.initiator) << ", "
+           << safe_state_name(protocol, t.responder)
+           << ") leaves the state space [0, " << s << ")";
+        report.error("well_formed.transition_range", os.str());
+      }
+    }
+  }
+}
+
+}  // namespace popbean::verify

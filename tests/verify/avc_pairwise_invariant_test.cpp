@@ -1,0 +1,100 @@
+// Exhaustive static proof of Invariant 4.3 (paper §4): for every ordered
+// state pair (a, b) of AvcProtocol, value(a′) + value(b′) = value(a) +
+// value(b), across a grid of (m, d) parameterizations — expressed through
+// the verifier's LinearInvariant checker, so this is s² checked equations
+// per parameterization, not a sampled trajectory.
+//
+// Includes the Figure 1 line-12 fidelity case the OCR-garbled TR predicate
+// would break: the printed guard `value(x)+value(y) > 0` would leave a −0
+// agent unable to adopt a *negative* partner's sign; the corrected `≠ 0`
+// guard (DESIGN.md) must flip it.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "verify/builtin_invariants.hpp"
+#include "verify/linear_invariant.hpp"
+
+namespace popbean::verify {
+namespace {
+
+using avc::AvcProtocol;
+
+class AvcPairwiseInvariantTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AvcPairwiseInvariantTest, Invariant43HoldsForEveryOrderedPair) {
+  const auto [m, d] = GetParam();
+  const AvcProtocol protocol(m, d);
+  const LinearInvariant invariant = avc_sum_invariant(protocol);
+
+  Report report;
+  const std::size_t violations =
+      check_conservation(protocol, invariant, report);
+  EXPECT_EQ(violations, 0u) << report.to_string();
+
+  // check_conservation already swept all pairs; re-assert one level down so
+  // a checker regression cannot mask a protocol regression.
+  for (State a = 0; a < protocol.num_states(); ++a) {
+    for (State b = 0; b < protocol.num_states(); ++b) {
+      const Transition t = protocol.apply(a, b);
+      ASSERT_EQ(protocol.value_of(t.initiator) + protocol.value_of(t.responder),
+                protocol.value_of(a) + protocol.value_of(b))
+          << protocol.state_name(a) << " + " << protocol.state_name(b)
+          << " -> " << protocol.state_name(t.initiator) << " + "
+          << protocol.state_name(t.responder);
+    }
+  }
+}
+
+TEST_P(AvcPairwiseInvariantTest, Line12WeakAdoptsNegativePartnerSign) {
+  // −0 or +0 meeting any negative-value state must come out negative-signed
+  // (Sign-to-Zero with the corrected ≠ 0 guard). Under the garbled > 0
+  // guard the pair would be a no-op whenever the partner's value is < 0.
+  const auto [m, d] = GetParam();
+  const AvcProtocol protocol(m, d);
+  const auto& codec = protocol.codec();
+
+  for (const int weak_sign : {-1, +1}) {
+    const State weak = codec.weak(weak_sign);
+    for (State partner = 0; partner < protocol.num_states(); ++partner) {
+      if (protocol.value_of(partner) >= 0) continue;
+      // Weak initiator, negative responder — and the mirrored order.
+      const Transition t1 = protocol.apply(weak, partner);
+      EXPECT_EQ(codec.sign_of(t1.initiator), -1)
+          << codec.name(weak) << " meeting " << codec.name(partner);
+      const Transition t2 = protocol.apply(partner, weak);
+      EXPECT_EQ(codec.sign_of(t2.responder), -1)
+          << codec.name(partner) << " met by " << codec.name(weak);
+    }
+  }
+}
+
+TEST_P(AvcPairwiseInvariantTest, WeakStatesCarryZeroWeightInInvariant) {
+  // Sanity on the weight vector itself: ±0 contribute nothing to the sum,
+  // so sign adoption by weak nodes (line 12) is invariant-neutral — the
+  // structural reason Sign-to-Zero cannot break Invariant 4.3.
+  const auto [m, d] = GetParam();
+  const AvcProtocol protocol(m, d);
+  const LinearInvariant invariant = avc_sum_invariant(protocol);
+  EXPECT_EQ(invariant.weight(protocol.codec().weak(-1)), 0);
+  EXPECT_EQ(invariant.weight(protocol.codec().weak(+1)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, AvcPairwiseInvariantTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{3, 1}, std::pair{5, 1},
+                      std::pair{7, 1}, std::pair{3, 2}, std::pair{5, 3},
+                      std::pair{15, 1}, std::pair{31, 4}, std::pair{101, 2}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& param_info) {
+      std::string label = "m";
+      label += std::to_string(param_info.param.first);
+      label += "_d";
+      label += std::to_string(param_info.param.second);
+      return label;
+    });
+
+}  // namespace
+}  // namespace popbean::verify

@@ -1,0 +1,55 @@
+#include "verify/finding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace popbean::verify {
+namespace {
+
+TEST(FindingTest, RendersSeverityTaggedLine) {
+  const Finding finding{Severity::kError, "invariant.conservation",
+                        "sum changed"};
+  EXPECT_EQ(to_string(finding), "error: [invariant.conservation] sum changed");
+}
+
+TEST(ReportTest, CountsBySeverityAndCheck) {
+  Report report("subject");
+  report.note("structure.classification", "symmetric");
+  report.warn("structure.unreachable_state", "state q3");
+  report.error("well_formed.output_range", "output(q1) = 2");
+  report.error("well_formed.output_range", "output(q2) = -1");
+
+  EXPECT_EQ(report.subject(), "subject");
+  EXPECT_EQ(report.count(Severity::kNote), 1u);
+  EXPECT_EQ(report.warnings(), 1u);
+  EXPECT_EQ(report.errors(), 2u);
+  EXPECT_EQ(report.count_check("well_formed.output_range"), 2u);
+  EXPECT_EQ(report.count_check("nonexistent"), 0u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ReportTest, EmptyReportIsOk) {
+  const Report report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.to_string(), "");
+}
+
+TEST(ReportTest, MergeAppendsFindings) {
+  Report a;
+  a.warn("x", "one");
+  Report b;
+  b.error("y", "two");
+  a.merge(b);
+  ASSERT_EQ(a.findings().size(), 2u);
+  EXPECT_EQ(a.findings()[1].check, "y");
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(ReportTest, ToStringOneLinePerFinding) {
+  Report report;
+  report.note("a", "first");
+  report.error("b", "second");
+  EXPECT_EQ(report.to_string(), "note: [a] first\nerror: [b] second\n");
+}
+
+}  // namespace
+}  // namespace popbean::verify

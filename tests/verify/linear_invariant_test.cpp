@@ -1,0 +1,96 @@
+#include "verify/linear_invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+#include "verify/builtin_invariants.hpp"
+
+namespace popbean::verify {
+namespace {
+
+using avc::AvcProtocol;
+
+TEST(LinearInvariantTest, ValueIsWeightedSum) {
+  const LinearInvariant invariant("test", {2, -1, 0});
+  EXPECT_EQ(invariant.value({3, 4, 5}), 2 * 3 - 4);
+  EXPECT_EQ(invariant.weight(0), 2);
+  EXPECT_EQ(invariant.num_states(), 3u);
+}
+
+TEST(LinearInvariantTest, PreservedByDetectsLocalViolation) {
+  const LinearInvariant invariant("test", {1, -1});
+  EXPECT_TRUE(invariant.preserved_by(0, 1, {1, 0}));   // swap conserves
+  EXPECT_FALSE(invariant.preserved_by(0, 1, {0, 0}));  // 0 -> +2
+}
+
+TEST(ConservationTest, FourStateDifferenceConservedEverywhere) {
+  Report report;
+  const std::size_t violations = check_conservation(
+      FourStateProtocol{}, four_state_difference_invariant(), report);
+  EXPECT_EQ(violations, 0u);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ConservationTest, AgentCountConservedByAllShippedProtocols) {
+  Report report;
+  check_conservation(ThreeStateProtocol{},
+                     agent_count_invariant(ThreeStateProtocol{}), report);
+  check_conservation(VoterProtocol{}, agent_count_invariant(VoterProtocol{}),
+                     report);
+  check_conservation(FourStateProtocol{},
+                     agent_count_invariant(FourStateProtocol{}), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ConservationTest, OutputBalanceRefutedOnVoter) {
+  // (A,B) -> (A,A) moves the output tally by +2: the checker must refute
+  // the claim and render the offending reaction.
+  Report report;
+  const std::size_t violations = check_conservation(
+      VoterProtocol{}, output_balance_invariant(VoterProtocol{}), report);
+  EXPECT_GT(violations, 0u);
+  EXPECT_EQ(report.count_check("invariant.conservation"), violations);
+  EXPECT_NE(report.to_string().find("A + B -> A + A"), std::string::npos)
+      << report.to_string();
+}
+
+TEST(ConservationTest, AvcSumInvariantWeightsAreValues) {
+  const AvcProtocol protocol(5, 2);
+  const LinearInvariant invariant = avc_sum_invariant(protocol);
+  ASSERT_EQ(invariant.num_states(), protocol.num_states());
+  for (State q = 0; q < protocol.num_states(); ++q) {
+    EXPECT_EQ(invariant.weight(q), protocol.value_of(q)) << "state " << q;
+  }
+}
+
+TEST(ConservationTest, PerturbedAvcWeightsAreRefuted) {
+  // Corrupt one weight of the true invariant: conservation must now fail on
+  // some transition touching that state (the checker is actually sensitive
+  // to the weight vector, not vacuously passing).
+  const AvcProtocol protocol(3, 1);
+  std::vector<std::int64_t> weights(protocol.num_states());
+  for (State q = 0; q < protocol.num_states(); ++q) {
+    weights[q] = protocol.value_of(q);
+  }
+  weights[protocol.codec().from_value(3)] += 1;
+  Report report;
+  const std::size_t violations = check_conservation(
+      protocol, LinearInvariant("corrupted sum", std::move(weights)), report);
+  EXPECT_GT(violations, 0u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ConservationTest, MismatchedStateCountIsRejected) {
+  Report report;
+  EXPECT_THROW(check_conservation(FourStateProtocol{},
+                                  LinearInvariant("short", {1, -1}), report),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace popbean::verify

@@ -1,0 +1,80 @@
+#include "verify/small_n.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+
+namespace popbean::verify {
+namespace {
+
+using avc::AvcProtocol;
+
+TEST(CompositionCountTest, MatchesBinomials) {
+  EXPECT_EQ(composition_count(2, 2, 1000), 3u);    // C(3,1)
+  EXPECT_EQ(composition_count(4, 4, 1000), 35u);   // C(7,3)
+  EXPECT_EQ(composition_count(8, 6, 10000), 1287u);  // C(13,5)
+  EXPECT_GT(composition_count(100, 50, 1000), 1000u);  // capped
+}
+
+TEST(SmallNTest, FourStateIsExactUpToEight) {
+  Report report;
+  check_small_n_exact(FourStateProtocol{}, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.count_check("small_n.searched"), 1u);
+}
+
+TEST(SmallNTest, AvcIsExactUpToEightAcrossParameters) {
+  for (const auto& [m, d] : {std::pair{1, 1}, {3, 1}, {5, 1}, {3, 2}}) {
+    Report report;
+    check_small_n_exact(AvcProtocol(m, d), report);
+    EXPECT_TRUE(report.ok())
+        << "m=" << m << " d=" << d << "\n" << report.to_string();
+  }
+}
+
+TEST(SmallNTest, ThreeStateWrongUnanimityIsDetected) {
+  // The approximate protocol *can* converge to the minority — the search
+  // must find those configurations, demonstrating it is not vacuous.
+  Report report;
+  SmallNOptions options;
+  options.max_n = 4;
+  check_small_n_exact(ThreeStateProtocol{}, report, options);
+  EXPECT_GT(report.count_check("small_n.wrong_output_reachable"), 0u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SmallNTest, VoterWrongUnanimityIsDetected) {
+  Report report;
+  SmallNOptions options;
+  options.max_n = 4;
+  check_small_n_exact(VoterProtocol{}, report, options);
+  EXPECT_GT(report.count_check("small_n.wrong_output_reachable"), 0u);
+}
+
+TEST(SmallNTest, BudgetCutoffReportsNote) {
+  Report report;
+  SmallNOptions options;
+  options.max_n = 8;
+  options.max_configs = 10;  // force the cutoff immediately
+  check_small_n_exact(AvcProtocol(3, 1), report, options);
+  EXPECT_EQ(report.count_check("small_n.budget"), 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(SmallNTest, FindingNamesTheConfiguration) {
+  Report report;
+  SmallNOptions options;
+  options.max_n = 3;
+  check_small_n_exact(VoterProtocol{}, report, options);
+  // n = 3, split 2A/1B can reach all-B; the finding should render it.
+  EXPECT_NE(report.to_string().find("{B: 3}"), std::string::npos)
+      << report.to_string();
+}
+
+}  // namespace
+}  // namespace popbean::verify

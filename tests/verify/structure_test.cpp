@@ -1,0 +1,82 @@
+#include "verify/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+
+namespace popbean::verify {
+namespace {
+
+TEST(StructureTest, FourStateIsSymmetricTwoWay) {
+  const ProtocolStructure s = analyze_structure(FourStateProtocol{});
+  EXPECT_TRUE(s.symmetric);
+  EXPECT_FALSE(s.one_way);
+  // A+B, B+A, A+b, b+A, B+a, a+B.
+  EXPECT_EQ(s.productive_pairs, 6u);
+  EXPECT_DOUBLE_EQ(s.null_density, 1.0 - 6.0 / 16.0);
+  EXPECT_TRUE(s.unreachable.empty());
+}
+
+TEST(StructureTest, ThreeStateIsOneWayAsymmetric) {
+  const ProtocolStructure s = analyze_structure(ThreeStateProtocol{});
+  EXPECT_FALSE(s.symmetric);
+  EXPECT_TRUE(s.one_way);
+  EXPECT_TRUE(s.unreachable.empty());
+}
+
+TEST(StructureTest, VoterIsOneWay) {
+  const ProtocolStructure s = analyze_structure(VoterProtocol{});
+  EXPECT_TRUE(s.one_way);
+  // (A,B) and (B,A) are the only productive ordered pairs.
+  EXPECT_EQ(s.productive_pairs, 2u);
+}
+
+TEST(StructureTest, AvcFullyReachableAcrossParameters) {
+  for (const auto& [m, d] :
+       {std::pair{1, 1}, {3, 1}, {5, 1}, {7, 2}, {3, 4}}) {
+    const avc::AvcProtocol protocol(m, d);
+    const ProtocolStructure s = analyze_structure(protocol);
+    EXPECT_TRUE(s.symmetric) << "m=" << m << " d=" << d;
+    EXPECT_TRUE(s.unreachable.empty())
+        << "m=" << m << " d=" << d << ": "
+        << s.unreachable.size() << " unreachable states";
+  }
+}
+
+// A protocol with a state no majority execution can produce.
+struct DeadStateProtocol {
+  std::size_t num_states() const { return 3; }
+  State initial_state(Opinion op) const { return op == Opinion::A ? 0u : 1u; }
+  Output output(State q) const { return q == 1 ? 0 : 1; }
+  Transition apply(State a, State b) const { return {a, b}; }  // all null
+  std::string state_name(State q) const {
+    std::string text = "q";
+    text += std::to_string(q);
+    return text;
+  }
+};
+
+TEST(StructureTest, DeadStateReportedAsWarning) {
+  Report report;
+  const ProtocolStructure s = check_structure(DeadStateProtocol{}, report);
+  ASSERT_EQ(s.unreachable.size(), 1u);
+  EXPECT_EQ(s.unreachable[0], 2u);
+  EXPECT_EQ(report.count_check("structure.unreachable_state"), 1u);
+  EXPECT_EQ(report.warnings(), 1u);
+  EXPECT_TRUE(report.ok());  // warnings do not fail verification
+}
+
+TEST(StructureTest, ClassificationNoteEmitted) {
+  Report report;
+  check_structure(FourStateProtocol{}, report);
+  EXPECT_EQ(report.count_check("structure.classification"), 1u);
+  EXPECT_NE(report.to_string().find("symmetric"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popbean::verify

@@ -1,0 +1,138 @@
+#include "protocols/tabulated_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "verify/verify.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(TabulatedIoTest, RoundTripsFourState) {
+  const FourStateProtocol base;
+  const std::string text = serialize_protocol(base, "four-state");
+  const ParsedProtocolFile parsed = parse_protocol_file(text);
+
+  EXPECT_EQ(parsed.name, "four-state");
+  EXPECT_EQ(parsed.protocol, TabulatedProtocol{base});
+  EXPECT_EQ(parsed.protocol.state_name(FourStateProtocol::kWeakA), "a");
+}
+
+TEST(TabulatedIoTest, RoundTripsAvc) {
+  const avc::AvcProtocol base(5, 2);
+  const ParsedProtocolFile parsed =
+      parse_protocol_file(serialize_protocol(base, "avc(5,2)"));
+  EXPECT_EQ(parsed.protocol, TabulatedProtocol{base});
+  EXPECT_EQ(parsed.protocol.initial_state(Opinion::A),
+            base.initial_state(Opinion::A));
+}
+
+TEST(TabulatedIoTest, RoundTripsThreeStateOneWayRules) {
+  const ThreeStateProtocol base;
+  const ParsedProtocolFile parsed =
+      parse_protocol_file(serialize_protocol(base, "three-state"));
+  EXPECT_EQ(parsed.protocol, TabulatedProtocol{base});
+}
+
+TEST(TabulatedIoTest, SerializesDeclaredInvariants) {
+  const std::string text = serialize_protocol(
+      FourStateProtocol{}, "four-state",
+      {{"strong-difference", {1, -1, 0, 0}}});
+  const ParsedProtocolFile parsed = parse_protocol_file(text);
+  ASSERT_EQ(parsed.invariants.size(), 1u);
+  EXPECT_EQ(parsed.invariants[0].first, "strong-difference");
+  EXPECT_EQ(parsed.invariants[0].second,
+            (std::vector<std::int64_t>{1, -1, 0, 0}));
+}
+
+TEST(TabulatedIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# leading comment\n"
+      "popbean-protocol v1\n"
+      "\n"
+      "states 2   # inline comment\n"
+      "state 0 A 1\n"
+      "state 1 B 0\n"
+      "initial A=0 B=1\n"
+      "delta 0 1 -> 0 0\n";
+  const ParsedProtocolFile parsed = parse_protocol_file(text);
+  EXPECT_EQ(parsed.protocol.num_states(), 2u);
+  EXPECT_EQ(parsed.protocol.apply(0, 1), (Transition{0, 0}));
+  EXPECT_EQ(parsed.protocol.apply(1, 0), (Transition{1, 0}));  // default null
+}
+
+TEST(TabulatedIoTest, OutOfRangeTargetParsesButFailsVerification) {
+  const std::string text =
+      "popbean-protocol v1\n"
+      "states 2\n"
+      "state 0 A 1\n"
+      "state 1 B 0\n"
+      "initial A=0 B=1\n"
+      "delta 0 1 -> 0 5\n";
+  const ParsedProtocolFile parsed = parse_protocol_file(text);  // no throw
+  verify::Report report;
+  verify::check_well_formed(parsed.protocol, report);
+  EXPECT_EQ(report.count_check("well_formed.transition_range"), 1u);
+}
+
+TEST(TabulatedIoTest, SyntaxErrorsNameTheLine) {
+  const auto expect_fail = [](const std::string& text,
+                              const std::string& fragment) {
+    try {
+      parse_protocol_file(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_fail("bogus v1\n", "expected header");
+  expect_fail("popbean-protocol v2\n", "expected header");
+  expect_fail("popbean-protocol v1\nstate 0 A 1\n", "'state' before");
+  expect_fail("popbean-protocol v1\nstates 0\n", "state count");
+  expect_fail(
+      "popbean-protocol v1\nstates 2\ninitial A=0 B=1\ndelta 5 0 -> 0 0\n",
+      "source pair out of range");
+  expect_fail(
+      "popbean-protocol v1\nstates 2\ninitial A=0 B=1\ninvariant x 1\n",
+      "exactly 2 weights");
+  expect_fail("popbean-protocol v1\nstates 2\n", "missing 'initial'");
+  expect_fail("popbean-protocol v1\nstates 2\ninitial A=0 A=1\n",
+              "one 'A=' and one 'B='");
+}
+
+TEST(TabulatedIoTest, RawConstructorSkipsValidationTabulationDoesNot) {
+  // The from-base constructor must reject a base whose apply() leaves the
+  // state space (the silent-corruption pitfall); the raw constructor must
+  // accept the same table so the verifier can diagnose it.
+  struct EscapingProtocol {
+    std::size_t num_states() const { return 2; }
+    State initial_state(Opinion op) const {
+      return op == Opinion::A ? 0u : 1u;
+    }
+    Output output(State q) const { return q == 0 ? 1 : 0; }
+    Transition apply(State a, State b) const {
+      if (a == 0 && b == 1) return {0, 9};
+      return {a, b};
+    }
+    std::string state_name(State q) const {
+      std::string text = "q";
+      text += std::to_string(q);
+      return text;
+    }
+  };
+  EXPECT_THROW(TabulatedProtocol{EscapingProtocol{}}, std::logic_error);
+
+  const TabulatedProtocol raw(
+      2, {{0, 0}, {0, 9}, {1, 0}, {1, 1}}, {1, 0}, {"A", "B"}, 1, 0);
+  EXPECT_EQ(raw.apply(0, 1), (Transition{0, 9}));
+}
+
+}  // namespace
+}  // namespace popbean

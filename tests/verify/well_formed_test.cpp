@@ -1,0 +1,91 @@
+#include "verify/well_formed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/tabulated.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+
+namespace popbean::verify {
+namespace {
+
+// Minimal hand-rolled protocol with injectable defects.
+struct DefectiveProtocol {
+  State bad_target = 0;     // transition target for (0, 1)
+  Output bad_output = 1;    // output of state 1
+  State initial_a = 0;
+
+  std::size_t num_states() const { return 2; }
+  State initial_state(Opinion op) const {
+    return op == Opinion::A ? initial_a : 1u;
+  }
+  Output output(State q) const { return q == 0 ? 1 : bad_output; }
+  Transition apply(State a, State b) const {
+    if (a == 0 && b == 1) return {0, bad_target};
+    return {a, b};
+  }
+  std::string state_name(State q) const {
+    std::string text = "q";
+    text += std::to_string(q);
+    return text;
+  }
+};
+
+TEST(WellFormedTest, ShippedProtocolsAreClean) {
+  Report report;
+  check_well_formed(avc::AvcProtocol(5, 2), report);
+  check_well_formed(FourStateProtocol{}, report);
+  check_well_formed(ThreeStateProtocol{}, report);
+  check_well_formed(VoterProtocol{}, report);
+  check_well_formed(TabulatedProtocol{FourStateProtocol{}}, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(WellFormedTest, FlagsOutOfRangeTransition) {
+  DefectiveProtocol protocol;
+  protocol.bad_target = 9;
+  Report report;
+  check_well_formed(protocol, report);
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.count_check("well_formed.transition_range"), 1u);
+  // The message names the offending pair and the out-of-range target.
+  EXPECT_NE(report.to_string().find("q9<out-of-range>"), std::string::npos)
+      << report.to_string();
+}
+
+TEST(WellFormedTest, FlagsNonBinaryOutput) {
+  DefectiveProtocol protocol;
+  protocol.bad_target = 1;  // transitions fine
+  protocol.bad_output = 2;
+  Report report;
+  check_well_formed(protocol, report);
+  EXPECT_EQ(report.count_check("well_formed.output_range"), 1u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(WellFormedTest, FlagsInvalidInitialState) {
+  DefectiveProtocol protocol;
+  protocol.bad_target = 1;
+  protocol.initial_a = 5;
+  Report report;
+  check_well_formed(protocol, report);
+  EXPECT_EQ(report.count_check("well_formed.initial_state"), 1u);
+}
+
+TEST(WellFormedTest, MultipleDefectsAllReported) {
+  DefectiveProtocol protocol;
+  protocol.bad_target = 9;
+  protocol.bad_output = -3;
+  protocol.initial_a = 7;
+  Report report;
+  check_well_formed(protocol, report);
+  EXPECT_EQ(report.errors(), 3u);
+}
+
+}  // namespace
+}  // namespace popbean::verify

@@ -1,0 +1,247 @@
+// popbean-lint — static verification of population protocols.
+//
+// With no arguments, machine-checks every shipped protocol: the AVC family
+// across a parameter sweep (well-formedness, structural classification,
+// Invariant 4.3 conservation over the full transition table, and the
+// small-n exhaustive exactness search), the four-state and three-state
+// baselines, the voter model, leader election, and tabulated re-encodings.
+// With --table=FILE[,FILE…], lints protocol files in the
+// protocols/tabulated_io.hpp format instead, proving or refuting the
+// conservation laws the files declare.
+//
+// Exit status: 0 when no check produced an error finding, 1 otherwise
+// (warnings and notes never fail the run). Intended for CI: a wrong
+// transition rule — e.g. re-introducing the OCR-garbled Figure 1 line 12
+// guard — fails the lint job before any simulation runs.
+//
+// Flags:
+//   --table=FILE[,FILE…]  lint protocol files (skips the built-in suite
+//                         unless --builtin is also given)
+//   --builtin             force the built-in suite
+//   --m=M --d=D           lint a single AvcProtocol(M, D) instead
+//   --exact               also run the small-n exactness search on files
+//   --max-n=N             population bound of the exactness search (default 8)
+//   --max-configs=C       per-n configuration budget (default 500000)
+//   --describe            print each protocol's productive reactions
+//   --verbose             print notes as well as warnings/errors
+//   --quiet               print errors only
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "population/protocol_io.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/tabulated.hpp"
+#include "protocols/tabulated_io.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+#include "util/cli.hpp"
+#include "verify/builtin_invariants.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace popbean;
+using verify::LinearInvariant;
+using verify::Report;
+using verify::Severity;
+using verify::VerifyOptions;
+
+struct LintSettings {
+  verify::SmallNOptions small_n;
+  bool describe = false;
+  bool verbose = false;
+  bool quiet = false;
+};
+
+bool print_report(const Report& report, const LintSettings& settings) {
+  std::cout << "== " << report.subject() << " ==\n";
+  for (const verify::Finding& finding : report.findings()) {
+    if (finding.severity == Severity::kNote && !settings.verbose) continue;
+    if (finding.severity == Severity::kWarning && settings.quiet) continue;
+    std::cout << "  " << verify::to_string(finding) << "\n";
+  }
+  std::cout << "  " << (report.ok() ? "PASS" : "FAIL") << " ("
+            << report.errors() << " errors, " << report.warnings()
+            << " warnings)\n";
+  return report.ok();
+}
+
+template <ProtocolLike P>
+bool lint_protocol(const P& protocol, const std::string& subject,
+                   VerifyOptions options, const LintSettings& settings) {
+  options.small_n = settings.small_n;
+  const Report report = verify::run_all_checks(protocol, subject, options);
+  const bool ok = print_report(report, settings);
+  if (settings.describe && report.ok()) {
+    std::cout << describe_reactions(protocol);
+  }
+  return ok;
+}
+
+bool lint_avc(int m, int d, const LintSettings& settings) {
+  const avc::AvcProtocol protocol(m, d);
+  VerifyOptions options;
+  options.invariants.push_back(verify::agent_count_invariant(protocol));
+  options.invariants.push_back(verify::avc_sum_invariant(protocol));
+  options.check_exactness = true;
+  std::ostringstream subject;
+  subject << "avc(m=" << m << ", d=" << d << ", s=" << protocol.num_states()
+          << ")";
+  return lint_protocol(protocol, subject.str(), options, settings);
+}
+
+bool lint_builtin_suite(const LintSettings& settings) {
+  bool ok = true;
+
+  // AVC sweep: the four-state-equivalent corner (1,1), the paper's
+  // experimental d = 1 family at increasing m, and deeper-level variants.
+  for (const auto& [m, d] : std::vector<std::pair<int, int>>{
+           {1, 1}, {3, 1}, {5, 1}, {7, 1}, {3, 2}, {5, 3}}) {
+    ok = lint_avc(m, d, settings) && ok;
+  }
+
+  {
+    const FourStateProtocol protocol;
+    VerifyOptions options;
+    options.invariants.push_back(verify::agent_count_invariant(protocol));
+    options.invariants.push_back(verify::four_state_difference_invariant());
+    options.check_exactness = true;
+    ok = lint_protocol(protocol, "four-state", options, settings) && ok;
+  }
+  {
+    // Approximate protocols: no exactness search (wrong unanimity is
+    // reachable by design — that is the paper's Figure 3 error panel).
+    const ThreeStateProtocol protocol;
+    VerifyOptions options;
+    options.invariants.push_back(verify::agent_count_invariant(protocol));
+    ok = lint_protocol(protocol, "three-state", options, settings) && ok;
+  }
+  {
+    const VoterProtocol protocol;
+    VerifyOptions options;
+    options.invariants.push_back(verify::agent_count_invariant(protocol));
+    ok = lint_protocol(protocol, "voter", options, settings) && ok;
+  }
+  {
+    const LeaderElectionProtocol protocol;
+    VerifyOptions options;
+    options.invariants.push_back(verify::agent_count_invariant(protocol));
+    ok = lint_protocol(protocol, "leader-election", options, settings) && ok;
+  }
+  {
+    // Tabulated re-encodings must verify identically to their bases.
+    const avc::AvcProtocol base(3, 1);
+    const TabulatedProtocol protocol(base);
+    VerifyOptions options;
+    options.invariants.push_back(verify::agent_count_invariant(protocol));
+    options.invariants.push_back(verify::avc_sum_invariant(base));
+    options.check_exactness = true;
+    ok = lint_protocol(protocol, "tabulated(avc(m=3, d=1))", options,
+                       settings) &&
+         ok;
+  }
+  {
+    const TabulatedProtocol protocol{FourStateProtocol{}};
+    VerifyOptions options;
+    options.invariants.push_back(verify::agent_count_invariant(protocol));
+    options.invariants.push_back(verify::four_state_difference_invariant());
+    options.check_exactness = true;
+    ok = lint_protocol(protocol, "tabulated(four-state)", options, settings) &&
+         ok;
+  }
+  return ok;
+}
+
+bool lint_file(const std::string& path, bool exact,
+               const LintSettings& settings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cout << "== " << path << " ==\n  error: [file.open] cannot open '"
+              << path << "'\n  FAIL (1 errors, 0 warnings)\n";
+    return false;
+  }
+  ParsedProtocolFile parsed = [&] {
+    try {
+      return parse_protocol_file(in);
+    } catch (const std::exception& e) {
+      std::ostringstream what;
+      what << path << ": " << e.what();
+      throw std::runtime_error(what.str());
+    }
+  }();
+
+  VerifyOptions options;
+  options.invariants.push_back(verify::agent_count_invariant(parsed.protocol));
+  for (auto& [name, weights] : parsed.invariants) {
+    options.invariants.emplace_back(name, std::move(weights));
+  }
+  options.check_exactness = exact;
+  std::ostringstream subject;
+  subject << parsed.name << " (" << path << ")";
+  return lint_protocol(parsed.protocol, subject.str(), options, settings);
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> parts;
+  std::istringstream in(list);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    args.check_known({"table", "builtin", "m", "d", "exact", "max-n",
+                      "max-configs", "describe", "verbose", "quiet"});
+
+    LintSettings settings;
+    settings.small_n.max_n =
+        static_cast<std::uint64_t>(args.get_int("max-n", 8));
+    settings.small_n.max_configs =
+        static_cast<std::uint64_t>(args.get_int("max-configs", 500'000));
+    settings.describe = args.get_bool("describe");
+    settings.verbose = args.get_bool("verbose");
+    settings.quiet = args.get_bool("quiet");
+
+    bool ok = true;
+    bool ran_anything = false;
+
+    if (const auto table = args.get("table")) {
+      const std::vector<std::string> paths = split_commas(*table);
+      if (paths.empty()) {
+        throw std::runtime_error("--table requires at least one file path");
+      }
+      for (const std::string& path : paths) {
+        ok = lint_file(path, args.get_bool("exact"), settings) && ok;
+        ran_anything = true;
+      }
+    }
+    if (args.has("m") || args.has("d")) {
+      ok = lint_avc(static_cast<int>(args.get_int("m", 1)),
+                    static_cast<int>(args.get_int("d", 1)), settings) &&
+           ok;
+      ran_anything = true;
+    }
+    if (!ran_anything || args.get_bool("builtin")) {
+      ok = lint_builtin_suite(settings) && ok;
+    }
+
+    std::cout << (ok ? "popbean-lint: all checks passed\n"
+                     : "popbean-lint: FAILED\n");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "popbean-lint: " << e.what() << "\n";
+    return 2;
+  }
+}
