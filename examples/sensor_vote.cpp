@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   auto report = [&](const std::string& name, std::size_t states,
                     const ReplicationSummary& summary, bool exact) {
     std::string verdict;
-    if (summary.unresolved > 0) {
+    if (summary.unresolved() > 0) {
       verdict = "too slow";
     } else if (summary.wrong > 0) {
       verdict = "unreliable";

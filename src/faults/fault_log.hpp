@@ -1,0 +1,103 @@
+// Fault-event vocabulary shared by the fault models, the perturbed engine,
+// and the sweep/report layers.
+//
+// Every injected perturbation is described by a FaultEvent; the
+// PerturbedEngine applies events, tallies them into always-on FaultCounters,
+// and appends them to a bounded FaultLog so robustness studies can dump the
+// exact injection schedule next to the usual trace CSVs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/csv.hpp"
+
+namespace popbean::faults {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,     // agent freezes: keeps its state but stops interacting
+  kRecover,   // a crashed agent resumes interacting
+  kCorrupt,   // transient corruption: state replaced by a random valid state
+  kSignFlip,  // adversarial flip: state replaced by its value-negated twin
+  kStick,     // agent becomes stubborn: interacts but never updates itself
+};
+
+std::string_view to_string(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCorrupt;
+  State from = 0;  // state of the targeted agent when the fault fired
+  State to = 0;    // new state (kCorrupt / kSignFlip; equals `from` otherwise)
+  std::uint64_t at_step = 0;  // engine interaction count when applied
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// Monotone tallies of everything the perturbation layer did. Cheap enough to
+// keep always-on (unlike the bounded event log below) and aggregated across
+// replicates by the fault sweep.
+struct FaultCounters {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t sign_flips = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t schedule_delays = 0;        // adversary redraws
+  std::uint64_t injected_interactions = 0;  // interactions driven by the
+                                            // adapter rather than the engine
+
+  std::uint64_t total_faults() const noexcept {
+    return crashes + recoveries + corruptions + sign_flips + stuck;
+  }
+
+  FaultCounters& operator+=(const FaultCounters& other) noexcept {
+    crashes += other.crashes;
+    recoveries += other.recoveries;
+    corruptions += other.corruptions;
+    sign_flips += other.sign_flips;
+    stuck += other.stuck;
+    schedule_delays += other.schedule_delays;
+    injected_interactions += other.injected_interactions;
+    return *this;
+  }
+};
+
+// Bounded in-memory event log. High fault rates over long runs would
+// otherwise grow without limit, so events past the cap are counted but not
+// stored.
+class FaultLog {
+ public:
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 16;
+
+  void record(const FaultEvent& event) {
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(event);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+// Writes one row per injected event (step, kind, from, to with the
+// protocol's state names) — the fault-side companion of write_trace_csv.
+template <ProtocolLike P>
+void write_fault_log_csv(const FaultLog& log, const P& protocol,
+                         const std::string& path) {
+  CsvWriter csv(path, {"step", "kind", "from", "to"});
+  for (const FaultEvent& event : log.events()) {
+    csv.row({std::to_string(event.at_step), std::string(to_string(event.kind)),
+             protocol.state_name(event.from), protocol.state_name(event.to)});
+  }
+}
+
+}  // namespace popbean::faults

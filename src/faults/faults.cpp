@@ -1,0 +1,21 @@
+#include "faults/fault_log.hpp"
+
+namespace popbean::faults {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kSignFlip:
+      return "sign_flip";
+    case FaultKind::kStick:
+      return "stick";
+  }
+  return "unknown";
+}
+
+}  // namespace popbean::faults

@@ -1,0 +1,262 @@
+// PerturbedEngine: the adapter that composes a base engine, a fault model,
+// and a schedule model into something that still satisfies EngineLike — so
+// run_to_convergence, the harness, and the trace machinery drive perturbed
+// runs unchanged.
+//
+// Two operating modes, fixed at construction:
+//
+//   * Pure passthrough — the schedule delegates (UniformSchedule) and the
+//     fault model reports inactive. Every step() is forwarded verbatim to
+//     the base engine on the caller's rng, so the trajectory is bit-for-bit
+//     the unperturbed one (the zero-rate identity the tests pin down).
+//
+//   * Counts-level stepping — any active fault model or non-delegating
+//     schedule. The adapter samples interactions itself from the
+//     configuration of interacting agents and imprints the resulting moves
+//     onto the base engine through its force_move hook, which keeps the base
+//     engine's output bookkeeping (all_same_output / dominant_output)
+//     authoritative while the adapter owns the dynamics.
+//
+// Randomness is strictly stream-separated (util/rng.hpp split): the caller's
+// rng is the engine stream, faults draw from split(kFaultStream), the
+// scheduler from split(kScheduleStream). Injecting a fault can therefore
+// never perturb scheduling decisions, and vice versa.
+//
+// Fault semantics at the counts level (DESIGN.md §6):
+//   * crashed (frozen) agents keep their state and output but leave the
+//     interaction pool — they still count toward convergence, which is
+//     exactly how crashes threaten liveness;
+//   * stubborn (stuck) agents stay in the pool and let partners update per
+//     δ, but silently withhold their own update — breaking δ's pairwise
+//     conservation laws, which the InvariantMonitor observes;
+//   * if fewer than two interacting agents remain, step() stops advancing
+//     the interaction counter and run_to_convergence reports kAbsorbing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_log.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/invariant_monitor.hpp"
+#include "faults/schedule_model.hpp"
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "population/run.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace popbean::faults {
+
+// An engine the adapter can wrap: the EngineLike surface plus read access to
+// the configuration/protocol and the external-perturbation hook.
+template <typename E>
+concept PerturbableEngineLike =
+    EngineLike<E> && requires(E engine, State q, Xoshiro256ss& rng) {
+      { engine.protocol().num_states() } -> std::convertible_to<std::size_t>;
+      { engine.counts() } -> std::convertible_to<Counts>;
+      engine.force_move(q, q, rng);
+    };
+
+template <PerturbableEngineLike E, FaultModelLike F, ScheduleModelLike S>
+class PerturbedEngine {
+ public:
+  // Stream ids split off the caller's root rng; the root itself (engine
+  // stream) is left untouched and keeps driving step().
+  static constexpr std::uint64_t kFaultStream = 1;
+  static constexpr std::uint64_t kScheduleStream = 2;
+
+  PerturbedEngine(E base, F faults, S schedule, const Xoshiro256ss& root)
+      : base_(std::move(base)),
+        faults_(std::move(faults)),
+        schedule_(std::move(schedule)),
+        fault_rng_(root.split(kFaultStream)),
+        sched_rng_(root.split(kScheduleStream)),
+        num_agents_(base_.num_agents()),
+        passthrough_(S::kDelegates && !faults_.active()) {
+    if (passthrough_) return;
+    counts_ = base_.counts();
+    frozen_.assign(counts_.size(), 0);
+    stuck_.assign(counts_.size(), 0);
+    active_ = counts_;
+    faults_.on_init(view(), fault_rng_, events_);
+    apply_events();
+  }
+
+  // --- EngineLike surface ---------------------------------------------------
+
+  std::uint64_t num_agents() const noexcept { return num_agents_; }
+  std::uint64_t steps() const noexcept {
+    return passthrough_ ? base_.steps() : steps_;
+  }
+  double parallel_time() const noexcept {
+    return static_cast<double>(steps()) / static_cast<double>(num_agents_);
+  }
+  bool all_same_output() const noexcept { return base_.all_same_output(); }
+  Output dominant_output() const noexcept { return base_.dominant_output(); }
+  std::uint64_t output_agents(Output output) const noexcept {
+    return base_.output_agents(output);
+  }
+
+  void step(Xoshiro256ss& rng) {
+    if (passthrough_) {
+      base_.step(rng);
+      return;
+    }
+    events_.clear();
+    faults_.before_step(view(), fault_rng_, events_);
+    if (!events_.empty()) apply_events();
+    if (interacting() < 2) return;  // halted: steps stop advancing → absorbing
+
+    const auto [a, b] = schedule_.select(base_.protocol(), active_,
+                                         interacting(), sched_rng_, counters_);
+    const bool a_stuck = roll_stuck(a, 0, 0);
+    const bool b_stuck =
+        roll_stuck(b, a == b ? 1 : 0, (a == b && a_stuck) ? 1 : 0);
+    const Transition t = base_.protocol().apply(a, b);
+    if (!a_stuck) imprint(a, t.initiator, rng);
+    if (!b_stuck) imprint(b, t.responder, rng);
+    if (monitor_ != nullptr) monitor_->check(steps_);
+    ++counters_.injected_interactions;
+    ++steps_;
+  }
+
+  // --- perturbation surface -------------------------------------------------
+
+  const E& base() const noexcept { return base_; }
+  const auto& protocol() const noexcept { return base_.protocol(); }
+  Counts counts() const { return passthrough_ ? Counts(base_.counts()) : counts_; }
+
+  bool passthrough() const noexcept { return passthrough_; }
+  const FaultCounters& fault_counters() const noexcept { return counters_; }
+  const FaultLog& fault_log() const noexcept { return log_; }
+  std::uint64_t frozen_agents() const noexcept { return frozen_count_; }
+  std::uint64_t stuck_agents() const noexcept { return stuck_count_; }
+
+  // Attach before the first step(); the monitor's Φ baseline must come from
+  // the same initial configuration the adapter started from.
+  void attach_monitor(InvariantMonitor* monitor) noexcept {
+    monitor_ = monitor;
+  }
+
+  FaultView view() const noexcept {
+    return {counts_, frozen_, stuck_, num_agents_, frozen_count_,
+            stuck_count_};
+  }
+
+ private:
+  std::uint64_t interacting() const noexcept {
+    return num_agents_ - frozen_count_;
+  }
+
+  // True with probability (stuck among eligible) / (pool of eligible) —
+  // whether the agent filling one interaction slot of state q is stubborn.
+  // The exclusion parameters remove the already-seated initiator when both
+  // slots share a state.
+  bool roll_stuck(State q, std::uint64_t pool_excl, std::uint64_t stuck_excl) {
+    const std::uint64_t stuck = stuck_[q] - stuck_excl;
+    if (stuck == 0) return false;
+    const std::uint64_t pool = active_[q] - pool_excl;
+    POPBEAN_DCHECK(pool >= stuck);
+    return fault_rng_.below(pool) < stuck;
+  }
+
+  // Moves one agent of state `from` to `to`: mirrors into the adapter's
+  // configuration and the base engine, and feeds the monitor.
+  void imprint(State from, State to, Xoshiro256ss& rng) {
+    if (from == to) return;
+    base_.force_move(from, to, rng);
+    --counts_[from];
+    ++counts_[to];
+    --active_[from];
+    ++active_[to];
+    if (monitor_ != nullptr) monitor_->apply_move(from, to);
+  }
+
+  // Validates and applies the pending events_ batch, stamping each with the
+  // current interaction count and tallying it.
+  void apply_events() {
+    const std::size_t s = counts_.size();
+    for (FaultEvent& event : events_) {
+      POPBEAN_CHECK(event.from < s && event.to < s);
+      event.at_step = steps_;
+      switch (event.kind) {
+        case FaultKind::kCrash:
+          POPBEAN_CHECK_MSG(view().mobile(event.from) > 0,
+                            "crash event targets a state with no mobile agent");
+          ++frozen_[event.from];
+          ++frozen_count_;
+          --active_[event.from];
+          ++counters_.crashes;
+          break;
+        case FaultKind::kRecover:
+          POPBEAN_CHECK_MSG(frozen_[event.from] > 0,
+                            "recovery event targets a state with no crashed "
+                            "agent");
+          --frozen_[event.from];
+          --frozen_count_;
+          ++active_[event.from];
+          ++counters_.recoveries;
+          break;
+        case FaultKind::kCorrupt:
+          POPBEAN_CHECK_MSG(view().mobile(event.from) > 0,
+                            "corrupt event targets a state with no mobile "
+                            "agent");
+          imprint(event.from, event.to, fault_rng_);
+          ++counters_.corruptions;
+          break;
+        case FaultKind::kSignFlip:
+          POPBEAN_CHECK_MSG(view().mobile(event.from) > 0,
+                            "sign-flip event targets a state with no mobile "
+                            "agent");
+          imprint(event.from, event.to, fault_rng_);
+          ++counters_.sign_flips;
+          break;
+        case FaultKind::kStick:
+          POPBEAN_CHECK_MSG(view().mobile(event.from) > 0,
+                            "stick event targets a state with no mobile agent");
+          ++stuck_[event.from];
+          ++stuck_count_;
+          ++counters_.stuck;
+          break;
+      }
+      log_.record(event);
+    }
+    if (monitor_ != nullptr && !events_.empty()) monitor_->check(steps_);
+  }
+
+  E base_;
+  F faults_;
+  S schedule_;
+  Xoshiro256ss fault_rng_;
+  Xoshiro256ss sched_rng_;
+  std::uint64_t num_agents_;
+  bool passthrough_;
+
+  // Counts-level mirrors (manual mode only). active_ = counts_ − frozen_;
+  // stuck_ agents are active (they interact) but never move.
+  Counts counts_;
+  Counts frozen_;
+  Counts stuck_;
+  Counts active_;
+  std::uint64_t frozen_count_ = 0;
+  std::uint64_t stuck_count_ = 0;
+  std::uint64_t steps_ = 0;
+
+  std::vector<FaultEvent> events_;
+  FaultCounters counters_;
+  FaultLog log_;
+  InvariantMonitor* monitor_ = nullptr;
+};
+
+// Deduction-friendly factory: wraps `base` with the given models, splitting
+// the fault and schedule streams off `root` without advancing it.
+template <PerturbableEngineLike E, FaultModelLike F, ScheduleModelLike S>
+PerturbedEngine<E, F, S> make_perturbed(E base, F faults, S schedule,
+                                        const Xoshiro256ss& root) {
+  return PerturbedEngine<E, F, S>(std::move(base), std::move(faults),
+                                  std::move(schedule), root);
+}
+
+}  // namespace popbean::faults

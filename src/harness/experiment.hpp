@@ -98,14 +98,19 @@ RunResult run_majority_once(const P& protocol, const MajorityInstance& instance,
   return {};
 }
 
-// Aggregate over replicates of one experimental point.
+// Aggregate over replicates of one experimental point, with the full
+// RunStatus breakdown — fault studies need to distinguish "ran out of
+// budget" from "the population halted with mixed outputs".
 struct ReplicationSummary {
   std::size_t replicates = 0;
   std::size_t converged = 0;
   std::size_t correct = 0;    // converged to the majority output
   std::size_t wrong = 0;      // converged to the minority output
-  std::size_t unresolved = 0; // step budget exhausted / stuck
+  std::size_t step_limit = 0; // interaction budget exhausted, outputs mixed
+  std::size_t absorbing = 0;  // no productive interaction left, outputs mixed
   Summary parallel_time;      // over converged replicates
+
+  std::size_t unresolved() const noexcept { return step_limit + absorbing; }
 
   // The paper's Figure 3 (right): fraction of runs ending in the error
   // final state.
@@ -113,6 +118,16 @@ struct ReplicationSummary {
     return replicates == 0
                ? 0.0
                : static_cast<double>(wrong) / static_cast<double>(replicates);
+  }
+
+  // Fraction of replicates that converged to the correct output — the y-axis
+  // of the fault-sweep accuracy curves (1.0 at fault rate 0 for the exact
+  // protocols).
+  double accuracy() const noexcept {
+    return replicates == 0
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(replicates);
   }
 };
 
@@ -137,16 +152,22 @@ ReplicationSummary run_replicates(ThreadPool& pool, const P& protocol,
   std::vector<double> times;
   times.reserve(replicates);
   for (const RunResult& result : results) {
-    if (result.converged()) {
-      ++summary.converged;
-      times.push_back(result.parallel_time);
-      if (result.decided == instance.correct_output()) {
-        ++summary.correct;
-      } else {
-        ++summary.wrong;
-      }
-    } else {
-      ++summary.unresolved;
+    switch (result.status) {
+      case RunStatus::kConverged:
+        ++summary.converged;
+        times.push_back(result.parallel_time);
+        if (result.decided == instance.correct_output()) {
+          ++summary.correct;
+        } else {
+          ++summary.wrong;
+        }
+        break;
+      case RunStatus::kStepLimit:
+        ++summary.step_limit;
+        break;
+      case RunStatus::kAbsorbing:
+        ++summary.absorbing;
+        break;
     }
   }
   if (!times.empty()) summary.parallel_time = summarize(times);

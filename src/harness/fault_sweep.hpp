@@ -1,0 +1,185 @@
+// Fault sweep: replicated perturbed runs across a grid of fault rates,
+// fanned out on the thread pool. This is the harness entry point for
+// robustness studies — it produces, per rate, the full outcome breakdown
+// (accuracy, error fraction, RunStatus counts), aggregated fault counters,
+// and the distribution of first-invariant-violation times in parallel-time
+// units: the moment the exactness proof's premise (Invariant 4.3 for AVC)
+// died in each replicate.
+//
+// Fault and schedule models are supplied as factories so every replicate
+// gets a fresh, stateless-from-its-own-view instance (models like
+// EpidemicRounds carry per-run state), parameterized by the swept rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_model.hpp"
+#include "faults/invariant_monitor.hpp"
+#include "faults/perturbed_engine.hpp"
+#include "faults/schedule_model.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "population/count_engine.hpp"
+#include "population/run.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/linear_invariant.hpp"
+
+namespace popbean {
+
+struct FaultSweepConfig {
+  std::uint64_t n = 0;
+  double epsilon = 0.0;
+  std::size_t replicates = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t max_interactions = 0;
+};
+
+// Aggregate of one rate point.
+struct FaultSweepPoint {
+  double rate = 0.0;
+  ReplicationSummary summary;
+  faults::FaultCounters counters;        // summed across replicates
+  std::size_t violated = 0;              // replicates whose Φ left Φ(c₀)
+  std::vector<double> violation_times;   // parallel time of first violation
+  Summary violation_time;                // summarize(violation_times)
+};
+
+// Sweeps `rates`, running `config.replicates` perturbed CountEngine runs per
+// rate. `make_faults(rate)` builds the fault model, `make_schedule()` the
+// schedule model; `invariant` is watched live in every replicate (use the
+// protocol's conservation law, e.g. verify::avc_sum_invariant). Replicate r
+// of rate point p draws its root rng from stream p·replicates + r, so every
+// cell is reproducible in isolation.
+template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
+std::vector<FaultSweepPoint> run_fault_sweep(
+    ThreadPool& pool, const P& protocol,
+    const verify::LinearInvariant& invariant, const std::vector<double>& rates,
+    const FaultSweepConfig& config, FaultFactory&& make_faults,
+    ScheduleFactory&& make_schedule) {
+  POPBEAN_CHECK(!rates.empty());
+  POPBEAN_CHECK(config.replicates > 0);
+  POPBEAN_CHECK_MSG(invariant.num_states() == protocol.num_states(),
+                    "monitored invariant does not match the protocol");
+  const MajorityInstance instance = make_instance(config.n, config.epsilon);
+  const Counts initial = majority_instance_with_margin(
+      protocol, instance.n, instance.margin, instance.majority);
+
+  struct ReplicateOutcome {
+    RunResult result;
+    faults::FaultCounters counters;
+    bool violated = false;
+    double violation_time = 0.0;
+  };
+
+  std::vector<FaultSweepPoint> points;
+  points.reserve(rates.size());
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    const double rate = rates[p];
+    std::vector<ReplicateOutcome> outcomes(config.replicates);
+    parallel_for_index(pool, config.replicates, [&](std::size_t r) {
+      const std::uint64_t stream =
+          static_cast<std::uint64_t>(p) * config.replicates + r;
+      Xoshiro256ss rng(config.seed, stream);
+      auto engine = faults::make_perturbed(CountEngine<P>(protocol, initial),
+                                           make_faults(rate), make_schedule(),
+                                           rng);
+      faults::InvariantMonitor monitor(invariant, initial);
+      engine.attach_monitor(&monitor);
+      ReplicateOutcome& out = outcomes[r];
+      out.result = run_to_convergence(engine, rng, config.max_interactions);
+      out.counters = engine.fault_counters();
+      if (monitor.violated()) {
+        out.violated = true;
+        out.violation_time =
+            static_cast<double>(*monitor.first_violation_step()) /
+            static_cast<double>(config.n);
+      }
+    });
+
+    FaultSweepPoint point;
+    point.rate = rate;
+    point.summary.replicates = config.replicates;
+    std::vector<double> times;
+    for (const ReplicateOutcome& out : outcomes) {
+      point.counters += out.counters;
+      if (out.violated) {
+        ++point.violated;
+        point.violation_times.push_back(out.violation_time);
+      }
+      switch (out.result.status) {
+        case RunStatus::kConverged:
+          ++point.summary.converged;
+          times.push_back(out.result.parallel_time);
+          if (out.result.decided == instance.correct_output()) {
+            ++point.summary.correct;
+          } else {
+            ++point.summary.wrong;
+          }
+          break;
+        case RunStatus::kStepLimit:
+          ++point.summary.step_limit;
+          break;
+        case RunStatus::kAbsorbing:
+          ++point.summary.absorbing;
+          break;
+      }
+    }
+    if (!times.empty()) point.summary.parallel_time = summarize(times);
+    if (!point.violation_times.empty()) {
+      point.violation_time = summarize(point.violation_times);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+// Streams one sweep (config + per-rate points) as a JSON object under the
+// given protocol label.
+inline void write_fault_sweep_json(JsonWriter& json, const std::string& label,
+                                   const FaultSweepConfig& config,
+                                   const std::vector<FaultSweepPoint>& points) {
+  json.begin_object();
+  json.kv("protocol", label);
+  json.kv("n", config.n);
+  json.kv("epsilon", config.epsilon);
+  json.kv("replicates", config.replicates);
+  json.kv("seed", config.seed);
+  json.kv("max_interactions", config.max_interactions);
+  json.key("points");
+  json.begin_array();
+  for (const FaultSweepPoint& point : points) {
+    json.begin_object();
+    json.kv("rate", point.rate);
+    json.key("summary");
+    write_summary_json(json, point.summary);
+    json.key("faults");
+    json.begin_object();
+    json.kv("crashes", point.counters.crashes);
+    json.kv("recoveries", point.counters.recoveries);
+    json.kv("corruptions", point.counters.corruptions);
+    json.kv("sign_flips", point.counters.sign_flips);
+    json.kv("stuck", point.counters.stuck);
+    json.kv("schedule_delays", point.counters.schedule_delays);
+    json.kv("injected_interactions", point.counters.injected_interactions);
+    json.end_object();
+    json.kv("violated_replicates", point.violated);
+    json.key("first_violation_time");
+    write_stats_json(json, point.violation_time);
+    json.key("first_violation_times");
+    json.begin_array();
+    for (double t : point.violation_times) json.value(t);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace popbean

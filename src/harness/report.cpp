@@ -52,4 +52,33 @@ void print_banner(std::ostream& os, const std::string& title) {
   os << "\n==== " << title << " ====\n";
 }
 
+void write_stats_json(JsonWriter& json, const Summary& stats) {
+  json.begin_object();
+  json.kv("count", stats.count);
+  json.kv("mean", stats.mean);
+  json.kv("stddev", stats.stddev);
+  json.kv("min", stats.min);
+  json.kv("q25", stats.q25);
+  json.kv("median", stats.median);
+  json.kv("q75", stats.q75);
+  json.kv("max", stats.max);
+  json.end_object();
+}
+
+void write_summary_json(JsonWriter& json, const ReplicationSummary& summary) {
+  json.begin_object();
+  json.kv("replicates", summary.replicates);
+  json.kv("converged", summary.converged);
+  json.kv("correct", summary.correct);
+  json.kv("wrong", summary.wrong);
+  json.kv("step_limit", summary.step_limit);
+  json.kv("absorbing", summary.absorbing);
+  json.kv("unresolved", summary.unresolved());
+  json.kv("accuracy", summary.accuracy());
+  json.kv("error_fraction", summary.error_fraction());
+  json.key("parallel_time");
+  write_stats_json(json, summary.parallel_time);
+  json.end_object();
+}
+
 }  // namespace popbean

@@ -1,9 +1,13 @@
-// Fixed-width table printing for bench output.
+// Fixed-width table printing and JSON report fragments for bench output.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
 
 namespace popbean {
 
@@ -32,5 +36,15 @@ std::string format_value(double value);
 
 // Section banner used by the bench binaries.
 void print_banner(std::ostream& os, const std::string& title);
+
+// Streams a Summary as a JSON object ({count, mean, stddev, min, q25,
+// median, q75, max}).
+void write_stats_json(JsonWriter& json, const Summary& stats);
+
+// Streams a ReplicationSummary as a JSON object carrying the full RunStatus
+// breakdown (converged / step_limit / absorbing), the correct/wrong split,
+// derived accuracy and error fractions, and the parallel-time summary —
+// everything needed to read fault-sweep output without re-running.
+void write_summary_json(JsonWriter& json, const ReplicationSummary& summary);
 
 }  // namespace popbean

@@ -86,6 +86,29 @@ class AgentEngine {
     return out_count_[1] >= out_count_[0] ? 1 : 0;
   }
 
+  // External-perturbation hook (src/faults/): moves one uniformly random
+  // agent of state `from` to state `to`, outside the protocol's transition
+  // function. Does not count as an interaction. O(n) — fault injection is
+  // rare relative to stepping.
+  void force_move(State from, State to, Xoshiro256ss& rng) {
+    POPBEAN_CHECK(from < protocol_.num_states());
+    POPBEAN_CHECK(to < protocol_.num_states());
+    if (from == to) return;
+    std::uint64_t holders = 0;
+    for (State q : agents_) holders += (q == from) ? 1 : 0;
+    POPBEAN_CHECK_MSG(holders > 0, "force_move: no agent holds `from` state");
+    std::uint64_t target = rng.below(holders);
+    for (State& q : agents_) {
+      if (q != from) continue;
+      if (target == 0) {
+        q = to;
+        move_output(from, to);
+        return;
+      }
+      --target;
+    }
+  }
+
   // Executes one interaction: draws a uniformly random directed edge and
   // applies the transition function to (initiator, responder).
   void step(Xoshiro256ss& rng) {

@@ -54,6 +54,21 @@ class CountEngine {
     return out_count_[1] >= out_count_[0] ? 1 : 0;
   }
 
+  // External-perturbation hook (src/faults/): moves one agent of state
+  // `from` to state `to`, outside the protocol's transition function. Agents
+  // of equal state are exchangeable here, so no sampling is needed; the rng
+  // parameter keeps the signature uniform across engines.
+  void force_move(State from, State to, Xoshiro256ss&) {
+    POPBEAN_CHECK(from < protocol_.num_states());
+    POPBEAN_CHECK(to < protocol_.num_states());
+    if (from == to) return;
+    POPBEAN_CHECK_MSG(counts_[from] > 0,
+                      "force_move: no agent holds `from` state");
+    adjust(from, -1);
+    adjust(to, +1);
+    move_output(from, to);
+  }
+
   // Executes one interaction on a uniformly random ordered pair of distinct
   // agents.
   void step(Xoshiro256ss& rng) {

@@ -103,6 +103,22 @@ class SkipEngine {
     return total;
   }
 
+  // External-perturbation hook (src/faults/): moves one agent of state
+  // `from` to state `to`, outside the protocol's transition function. An
+  // injected state can re-enable reactions in an absorbed configuration, so
+  // the absorbing flag is cleared and re-derived on the next step().
+  void force_move(State from, State to, Xoshiro256ss&) {
+    POPBEAN_CHECK(from < num_states_);
+    POPBEAN_CHECK(to < num_states_);
+    if (from == to) return;
+    POPBEAN_CHECK_MSG(counts_[from] > 0,
+                      "force_move: no agent holds `from` state");
+    adjust(from, -1);
+    adjust(to, +1);
+    move_output(from, to);
+    absorbing_ = false;
+  }
+
   // Advances time past the pending run of null interactions and executes the
   // next productive interaction (or marks the configuration absorbing).
   void step(Xoshiro256ss& rng) {

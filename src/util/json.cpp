@@ -1,0 +1,154 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace popbean {
+
+std::string json_number(double v) {
+  // JSON has no Inf/NaN literals; clamp to null-adjacent sentinels is worse
+  // than being explicit, so emit the string forms readers (Python, jq) can
+  // opt into.
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  POPBEAN_CHECK(ec == std::errc());
+  std::string text(buffer, ptr);
+  // Bare integers like `3` are valid JSON but lose the "this was a double"
+  // signal; keep them as-is (JSON numbers are typeless anyway).
+  return text;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    POPBEAN_CHECK_MSG(!started_, "JSON document already complete");
+    started_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    POPBEAN_CHECK_MSG(key_pending_, "object member needs a key() first");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ",";
+  os_ << "\n";
+  indent();
+  has_items_.back() = true;
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  os_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buffer;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << "{";
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  POPBEAN_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "end_object with no open object");
+  POPBEAN_CHECK_MSG(!key_pending_, "dangling key() at end_object");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    os_ << "\n";
+    indent();
+  }
+  os_ << "}";
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << "[";
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  POPBEAN_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                    "end_array with no open array");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    os_ << "\n";
+    indent();
+  }
+  os_ << "]";
+}
+
+void JsonWriter::key(std::string_view name) {
+  POPBEAN_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "key() outside an object");
+  POPBEAN_CHECK_MSG(!key_pending_, "two key() calls in a row");
+  if (has_items_.back()) os_ << ",";
+  os_ << "\n";
+  indent();
+  has_items_.back() = true;
+  write_escaped(name);
+  os_ << ": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  write_escaped(v);
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+}  // namespace popbean

@@ -1,0 +1,89 @@
+// Minimal streaming JSON writer. The CSV writer covers flat series; the
+// fault sweep and the resilience bench emit nested per-rate / per-replicate
+// structures, which JSON carries without schema gymnastics.
+//
+// Comma placement and nesting are handled by a container stack, so callers
+// only describe structure:
+//
+//   JsonWriter json(os);
+//   json.begin_object();
+//   json.kv("n", 10000);
+//   json.key("rates");
+//   json.begin_array();
+//   json.value(0.0);
+//   json.end_array();
+//   json.end_object();
+//
+// Doubles are printed with std::to_chars (shortest round-trip form), so
+// re-reading a report reproduces the computed values bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace popbean {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter() = default;
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object member name; must be followed by a value or container.
+  void key(std::string_view name);
+
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void null();
+
+  // key + scalar value in one call.
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+  void kv(std::string_view name, std::size_t v) {
+    key(name);
+    value(static_cast<std::uint64_t>(v));
+  }
+  void kv(std::string_view name, int v) {
+    key(name);
+    value(static_cast<std::int64_t>(v));
+  }
+
+  // True once every opened container has been closed.
+  bool complete() const noexcept { return stack_.empty() && started_; }
+
+ private:
+  enum class Frame : char { kObject, kArray };
+
+  void before_value();
+  void indent();
+  void write_escaped(std::string_view text);
+  void write_double(double v);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool started_ = false;
+};
+
+// Formats a double in shortest round-trip form (the writer's number format),
+// exposed for tests and CSV callers that want matching output.
+std::string json_number(double v);
+
+}  // namespace popbean

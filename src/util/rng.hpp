@@ -117,6 +117,26 @@ class Xoshiro256ss {
   // True with probability p.
   bool bernoulli(double p) noexcept { return unit() < p; }
 
+  // Derives an independent child generator from the current state and a
+  // stream id WITHOUT advancing this generator. Deterministic: the same
+  // (state, stream_id) pair always yields the same child, distinct stream
+  // ids yield decorrelated streams (the state words are folded through
+  // splitmix64 before mixing in the id). This is how composed components
+  // (simulation engine vs fault model vs scheduler) obtain private streams
+  // from one root: a component drawing from its split — or not existing at
+  // all — can never perturb a sibling's sequence.
+  Xoshiro256ss split(std::uint64_t stream_id) const noexcept {
+    std::uint64_t s = state_[0];
+    std::uint64_t folded = splitmix64(s);
+    s ^= rotl(state_[1], 13);
+    folded ^= splitmix64(s);
+    s ^= rotl(state_[2], 29);
+    folded ^= splitmix64(s);
+    s ^= rotl(state_[3], 43);
+    folded ^= splitmix64(s);
+    return Xoshiro256ss(mix_seed(folded, stream_id));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -86,7 +86,8 @@ TEST(RunReplicatesTest, AggregatesExactProtocolRuns) {
   EXPECT_EQ(summary.converged, 50u);
   EXPECT_EQ(summary.correct, 50u);
   EXPECT_EQ(summary.wrong, 0u);
-  EXPECT_EQ(summary.unresolved, 0u);
+  EXPECT_EQ(summary.unresolved(), 0u);
+  EXPECT_EQ(summary.accuracy(), 1.0);
   EXPECT_EQ(summary.error_fraction(), 0.0);
   EXPECT_GT(summary.parallel_time.mean, 0.0);
   EXPECT_EQ(summary.parallel_time.count, 50u);
@@ -113,7 +114,9 @@ TEST(RunReplicatesTest, UnresolvedRunsAreCounted) {
   const MajorityInstance instance{100, 2, Opinion::A};
   const ReplicationSummary summary = run_replicates(
       pool, protocol, instance, EngineKind::kSkip, 10, 23, /*max=*/5);
-  EXPECT_EQ(summary.unresolved, 10u);
+  EXPECT_EQ(summary.unresolved(), 10u);
+  EXPECT_EQ(summary.step_limit, 10u);
+  EXPECT_EQ(summary.absorbing, 0u);
   EXPECT_EQ(summary.converged, 0u);
 }
 

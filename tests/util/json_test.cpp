@@ -1,0 +1,134 @@
+#include "util/json.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace popbean {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  body(json);
+  return os.str();
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_object();
+              j.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_array();
+              j.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriterTest, ObjectMembersAreCommaSeparated) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.kv("a", std::uint64_t{1});
+    j.kv("b", std::uint64_t{2});
+    j.end_object();
+  });
+  EXPECT_EQ(text, "{\n  \"a\": 1,\n  \"b\": 2\n}");
+}
+
+TEST(JsonWriterTest, ArrayElementsAreCommaSeparated) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::int64_t{-1});
+    j.value(true);
+    j.value(false);
+    j.null();
+    j.end_array();
+  });
+  EXPECT_EQ(text, "[\n  -1,\n  true,\n  false,\n  null\n]");
+}
+
+TEST(JsonWriterTest, NestedContainersIndentPerDepth) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("points");
+    j.begin_array();
+    j.begin_object();
+    j.kv("rate", 0.5);
+    j.end_object();
+    j.end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(text,
+            "{\n  \"points\": [\n    {\n      \"rate\": 0.5\n    }\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.kv("s", "a\"b\\c\nd\te\x01");
+    j.end_object();
+  });
+  EXPECT_NE(text.find("\"a\\\"b\\\\c\\nd\\te\\u0001\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, DoublesRoundTripThroughShortestForm) {
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(-2.5), "-2.5");
+  // Round-trip: the printed text parses back to the identical bits.
+  const double value = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(value)), value);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeStrings) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "\"nan\"");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+}
+
+TEST(JsonWriterTest, ScalarDocumentIsComplete) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  EXPECT_FALSE(json.complete());
+  json.value(std::uint64_t{7});
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(), "7");
+}
+
+TEST(JsonWriterTest, CompleteOnlyWhenAllContainersClosed) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("xs");
+  json.begin_array();
+  EXPECT_FALSE(json.complete());
+  json.end_array();
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, SizeAndIntOverloadsDispatch) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.kv("size", std::size_t{42});
+    j.kv("int", -3);
+    j.kv("double", 1.5);
+    j.kv("string", "s");
+    j.end_object();
+  });
+  EXPECT_NE(text.find("\"size\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"int\": -3"), std::string::npos);
+  EXPECT_NE(text.find("\"double\": 1.5"), std::string::npos);
+  EXPECT_NE(text.find("\"string\": \"s\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popbean

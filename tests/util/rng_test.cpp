@@ -121,6 +121,60 @@ TEST(XoshiroTest, GeometricWithPOneIsZero) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_failures(1.0), 0u);
 }
 
+TEST(XoshiroSplitTest, IsDeterministic) {
+  const Xoshiro256ss rng(42);
+  Xoshiro256ss a = rng.split(7);
+  Xoshiro256ss b = rng.split(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroSplitTest, DoesNotAdvanceTheParent) {
+  Xoshiro256ss parent(42);
+  Xoshiro256ss untouched(42);
+  (void)parent.split(0);
+  (void)parent.split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(parent(), untouched());
+}
+
+TEST(XoshiroSplitTest, DistinctStreamIdsDecorrelate) {
+  const Xoshiro256ss rng(42);
+  Xoshiro256ss a = rng.split(0);
+  Xoshiro256ss b = rng.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(XoshiroSplitTest, ChildDiffersFromParentStream) {
+  Xoshiro256ss parent(42);
+  Xoshiro256ss child = parent.split(0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent() == child() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(XoshiroSplitTest, DependsOnParentState) {
+  // Splitting after the parent advanced yields a different child: the split
+  // derives from the full current state, not the original seed.
+  Xoshiro256ss parent(42);
+  Xoshiro256ss early = parent.split(3);
+  (void)parent();
+  Xoshiro256ss late = parent.split(3);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += early() == late() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(XoshiroSplitTest, ChildrenAreUnique) {
+  const Xoshiro256ss rng(42);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    Xoshiro256ss child = rng.split(stream);
+    firsts.insert(child());
+  }
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
 TEST(XoshiroTest, BernoulliFrequencyMatchesP) {
   Xoshiro256ss rng(23);
   const double p = 0.3;

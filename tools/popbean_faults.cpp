@@ -1,0 +1,267 @@
+// popbean-faults — perturbed majority runs from the command line.
+//
+// The CLI companion of the src/faults/ subsystem (popbean-lint's sibling on
+// the robustness side): picks a protocol, a fault model, and a schedule
+// model, sweeps the fault rate across replicated runs on the thread pool,
+// and reports accuracy, the RunStatus breakdown, injected-fault tallies, and
+// the first-invariant-violation time distribution per rate. The monitored
+// invariant is the protocol's own conservation law — the same weight vector
+// popbean-lint --list-invariants prints, so monitor and verifier can be
+// cross-checked.
+//
+// Exit status: 0 on a completed sweep, 2 on usage errors. The tool reports
+// measurements and does not judge them (unlike the lint tool, a degraded
+// accuracy under faults is a result, not a failure).
+//
+// Flags:
+//   --protocol=avc|four-state|three-state   protocol under test (default avc)
+//   --m=M --d=D        AVC parameters (default 3, 1)
+//   --fault=none|crash|corrupt|stuck|sign-flip    fault model (default corrupt)
+//   --rates=R1,R2,…    per-interaction fault rates to sweep; for stuck, the
+//                      stubborn fraction of the population (default 0,1e-4,1e-3)
+//   --recovery=R       crash-recovery rate (default 0: crashes are permanent)
+//   --schedule=uniform|zipf|rounds|adversary      schedule model (default uniform)
+//   --zipf-exponent=T  Zipf skew (default 1.0)
+//   --budget=K         adversary redraws per interaction (default 4)
+//   --n=N              population size (default 1000)
+//   --eps=E            initial margin fraction (default 0.02)
+//   --replicates=R     replicates per rate (default 25)
+//   --seed=S           base seed (default 20150721)
+//   --max-time=T       parallel-time budget per run (default 2000)
+//   --threads=T        worker threads (default: hardware concurrency)
+//   --json=PATH        also write the sweep as a JSON report
+//   --csv=PATH         also write the per-rate series as CSV
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "harness/fault_sweep.hpp"
+#include "harness/report.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "verify/builtin_invariants.hpp"
+
+namespace {
+
+using namespace popbean;
+
+struct Settings {
+  std::string protocol = "avc";
+  int m = 3;
+  int d = 1;
+  std::string fault = "corrupt";
+  std::vector<double> rates = {0.0, 1e-4, 1e-3};
+  double recovery = 0.0;
+  std::string schedule = "uniform";
+  double zipf_exponent = 1.0;
+  int budget = 4;
+  FaultSweepConfig config;
+  std::size_t threads = 0;
+  std::string json_path;
+  std::string csv_path;
+};
+
+void print_sweep(const std::string& label, const Settings& settings,
+                 const std::vector<FaultSweepPoint>& points) {
+  print_banner(std::cout, label + " under " + settings.fault + " faults, " +
+                              settings.schedule + " schedule, n = " +
+                              std::to_string(settings.config.n));
+  TablePrinter table({"rate", "accuracy", "wrong", "step_limit", "absorbing",
+                      "faults", "delays", "violated", "t_violation"});
+  table.header(std::cout);
+  for (const FaultSweepPoint& point : points) {
+    table.row(std::cout,
+              {format_value(point.rate),
+               format_value(point.summary.accuracy()),
+               std::to_string(point.summary.wrong),
+               std::to_string(point.summary.step_limit),
+               std::to_string(point.summary.absorbing),
+               std::to_string(point.counters.total_faults()),
+               std::to_string(point.counters.schedule_delays),
+               std::to_string(point.violated),
+               point.violated == 0 ? "-"
+                                   : format_value(point.violation_time.median)});
+  }
+}
+
+void write_outputs(const std::string& label, const Settings& settings,
+                   const std::vector<FaultSweepPoint>& points) {
+  print_sweep(label, settings, points);
+  if (!settings.csv_path.empty()) {
+    CsvWriter csv(settings.csv_path,
+                  {"rate", "accuracy", "error_fraction", "converged",
+                   "step_limit", "absorbing", "total_faults",
+                   "schedule_delays", "violated_replicates",
+                   "median_violation_time"});
+    for (const FaultSweepPoint& point : points) {
+      csv.row({format_value(point.rate), format_value(point.summary.accuracy()),
+               format_value(point.summary.error_fraction()),
+               std::to_string(point.summary.converged),
+               std::to_string(point.summary.step_limit),
+               std::to_string(point.summary.absorbing),
+               std::to_string(point.counters.total_faults()),
+               std::to_string(point.counters.schedule_delays),
+               std::to_string(point.violated),
+               format_value(point.violation_time.median)});
+    }
+    std::cout << "CSV written to " << csv.path() << "\n";
+  }
+  if (!settings.json_path.empty()) {
+    std::ofstream out(settings.json_path);
+    if (!out) {
+      throw std::runtime_error("cannot open " + settings.json_path);
+    }
+    JsonWriter json(out);
+    json.begin_object();
+    json.kv("tool", "popbean-faults");
+    json.kv("fault_model", settings.fault);
+    json.kv("schedule", settings.schedule);
+    json.key("sweep");
+    write_fault_sweep_json(json, label, settings.config, points);
+    json.end_object();
+    out << "\n";
+    std::cout << "JSON written to " << settings.json_path << "\n";
+  }
+}
+
+// Innermost dispatch layer: fault and schedule factories resolved, run.
+template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
+void run_sweep(const P& protocol, const std::string& label,
+               const verify::LinearInvariant& invariant,
+               const Settings& settings, FaultFactory&& make_faults,
+               ScheduleFactory&& make_schedule) {
+  ThreadPool pool(settings.threads);
+  const std::vector<FaultSweepPoint> points = run_fault_sweep(
+      pool, protocol, invariant, settings.rates, settings.config, make_faults,
+      make_schedule);
+  write_outputs(label, settings, points);
+}
+
+template <ProtocolLike P, typename FaultFactory>
+void dispatch_schedule(const P& protocol, const std::string& label,
+                       const verify::LinearInvariant& invariant,
+                       const Settings& settings, FaultFactory&& make_faults) {
+  const MajorityInstance instance =
+      make_instance(settings.config.n, settings.config.epsilon);
+  if (settings.schedule == "uniform") {
+    run_sweep(protocol, label, invariant, settings, make_faults,
+              [] { return faults::UniformSchedule{}; });
+  } else if (settings.schedule == "zipf") {
+    run_sweep(protocol, label, invariant, settings, make_faults,
+              [&] { return faults::ZipfSchedule(settings.zipf_exponent); });
+  } else if (settings.schedule == "rounds") {
+    run_sweep(protocol, label, invariant, settings, make_faults,
+              [] { return faults::EpidemicRounds{}; });
+  } else if (settings.schedule == "adversary") {
+    // Greedily delay interactions that help the true majority camp.
+    run_sweep(protocol, label, invariant, settings, make_faults, [&] {
+      return faults::BoundedAdversary(instance.correct_output(),
+                                      settings.budget);
+    });
+  } else {
+    throw std::runtime_error("unknown --schedule '" + settings.schedule + "'");
+  }
+}
+
+// `make_sign_flip(rate)` builds the protocol-specific adversarial flip.
+template <ProtocolLike P, typename SignFlipFactory>
+void dispatch_fault(const P& protocol, const std::string& label,
+                    const verify::LinearInvariant& invariant,
+                    const Settings& settings, SignFlipFactory&& make_sign_flip) {
+  if (settings.fault == "none") {
+    dispatch_schedule(protocol, label, invariant, settings,
+                      [](double) { return faults::NoFaults{}; });
+  } else if (settings.fault == "crash") {
+    dispatch_schedule(protocol, label, invariant, settings, [&](double rate) {
+      return faults::CrashRecovery(rate, settings.recovery);
+    });
+  } else if (settings.fault == "corrupt") {
+    dispatch_schedule(protocol, label, invariant, settings,
+                      [](double rate) { return faults::TransientCorruption(rate); });
+  } else if (settings.fault == "stuck") {
+    dispatch_schedule(protocol, label, invariant, settings,
+                      [](double rate) { return faults::StuckAt(rate); });
+  } else if (settings.fault == "sign-flip") {
+    dispatch_schedule(protocol, label, invariant, settings, make_sign_flip);
+  } else {
+    throw std::runtime_error("unknown --fault '" + settings.fault + "'");
+  }
+}
+
+void dispatch_protocol(const Settings& settings) {
+  if (settings.protocol == "avc") {
+    const avc::AvcProtocol protocol(settings.m, settings.d);
+    dispatch_fault(protocol,
+                   "avc(m=" + std::to_string(settings.m) +
+                       ",d=" + std::to_string(settings.d) + ")",
+                   verify::avc_sum_invariant(protocol), settings,
+                   [&](double rate) { return faults::avc_sign_flip(protocol, rate); });
+  } else if (settings.protocol == "four-state") {
+    const FourStateProtocol protocol;
+    dispatch_fault(protocol, "four-state",
+                   verify::four_state_difference_invariant(), settings,
+                   [](double rate) { return faults::four_state_sign_flip(rate); });
+  } else if (settings.protocol == "three-state") {
+    const ThreeStateProtocol protocol;
+    // Sign flip for the three-state baseline: swap the strong opinions.
+    std::vector<State> map = {ThreeStateProtocol::kY, ThreeStateProtocol::kX,
+                              ThreeStateProtocol::kBlankX,
+                              ThreeStateProtocol::kBlankY};
+    std::vector<char> eligible = {1, 1, 0, 0};
+    dispatch_fault(protocol, "three-state",
+                   verify::agent_count_invariant(protocol), settings,
+                   [&](double rate) {
+                     return faults::SignFlip(rate, map, eligible);
+                   });
+  } else {
+    throw std::runtime_error("unknown --protocol '" + settings.protocol + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    args.check_known({"protocol", "m", "d", "fault", "rates", "recovery",
+                      "schedule", "zipf-exponent", "budget", "n", "eps",
+                      "replicates", "seed", "max-time", "threads", "json",
+                      "csv"});
+    Settings settings;
+    settings.protocol = args.get_string("protocol", settings.protocol);
+    settings.m = static_cast<int>(args.get_int("m", settings.m));
+    settings.d = static_cast<int>(args.get_int("d", settings.d));
+    settings.fault = args.get_string("fault", settings.fault);
+    settings.rates = args.get_double_list("rates", settings.rates);
+    settings.recovery = args.get_double("recovery", settings.recovery);
+    settings.schedule = args.get_string("schedule", settings.schedule);
+    settings.zipf_exponent =
+        args.get_double("zipf-exponent", settings.zipf_exponent);
+    settings.budget = static_cast<int>(args.get_int("budget", settings.budget));
+    settings.config.n = static_cast<std::uint64_t>(args.get_int("n", 1000));
+    settings.config.epsilon = args.get_double("eps", 0.02);
+    settings.config.replicates =
+        static_cast<std::size_t>(args.get_int("replicates", 25));
+    settings.config.seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 20150721));
+    const double max_time = args.get_double("max-time", 2000.0);
+    settings.config.max_interactions = static_cast<std::uint64_t>(
+        max_time * static_cast<double>(settings.config.n));
+    settings.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    settings.json_path = args.get_string("json", "");
+    settings.csv_path = args.get_string("csv", "");
+
+    dispatch_protocol(settings);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "popbean-faults: " << e.what() << "\n";
+    return 2;
+  }
+}

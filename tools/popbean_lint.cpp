@@ -25,6 +25,9 @@
 //   --describe            print each protocol's productive reactions
 //   --verbose             print notes as well as warnings/errors
 //   --quiet               print errors only
+//   --list-invariants     print the declared invariant weight vectors per
+//                         protocol instead of running checks (for
+//                         cross-checking fault-monitor configurations)
 
 #include <fstream>
 #include <iostream>
@@ -57,7 +60,24 @@ struct LintSettings {
   bool describe = false;
   bool verbose = false;
   bool quiet = false;
+  bool list_invariants = false;
 };
+
+// Prints each declared invariant as its full weight vector (state = weight
+// per state), so fault-monitor configurations can be diffed against what
+// the verifier actually proves conserved.
+template <ProtocolLike P>
+void print_invariants(const P& protocol, const std::string& subject,
+                      const std::vector<LinearInvariant>& invariants) {
+  std::cout << "== " << subject << " ==\n";
+  for (const LinearInvariant& invariant : invariants) {
+    std::cout << "  invariant '" << invariant.name() << "':";
+    for (State q = 0; q < protocol.num_states(); ++q) {
+      std::cout << " " << protocol.state_name(q) << "=" << invariant.weight(q);
+    }
+    std::cout << "\n";
+  }
+}
 
 bool print_report(const Report& report, const LintSettings& settings) {
   std::cout << "== " << report.subject() << " ==\n";
@@ -75,6 +95,10 @@ bool print_report(const Report& report, const LintSettings& settings) {
 template <ProtocolLike P>
 bool lint_protocol(const P& protocol, const std::string& subject,
                    VerifyOptions options, const LintSettings& settings) {
+  if (settings.list_invariants) {
+    print_invariants(protocol, subject, options.invariants);
+    return true;  // listing mode: no checks are run
+  }
   options.small_n = settings.small_n;
   const Report report = verify::run_all_checks(protocol, subject, options);
   const bool ok = print_report(report, settings);
@@ -203,7 +227,8 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
     args.check_known({"table", "builtin", "m", "d", "exact", "max-n",
-                      "max-configs", "describe", "verbose", "quiet"});
+                      "max-configs", "describe", "verbose", "quiet",
+                      "list-invariants"});
 
     LintSettings settings;
     settings.small_n.max_n =
@@ -213,6 +238,7 @@ int main(int argc, char** argv) {
     settings.describe = args.get_bool("describe");
     settings.verbose = args.get_bool("verbose");
     settings.quiet = args.get_bool("quiet");
+    settings.list_invariants = args.get_bool("list-invariants");
 
     bool ok = true;
     bool ran_anything = false;
@@ -237,8 +263,10 @@ int main(int argc, char** argv) {
       ok = lint_builtin_suite(settings) && ok;
     }
 
-    std::cout << (ok ? "popbean-lint: all checks passed\n"
-                     : "popbean-lint: FAILED\n");
+    if (!settings.list_invariants) {
+      std::cout << (ok ? "popbean-lint: all checks passed\n"
+                       : "popbean-lint: FAILED\n");
+    }
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "popbean-lint: " << e.what() << "\n";
