@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# End-to-end crash/resume check for the fault-sweep harness (DESIGN.md §7).
+#
+# Runs an uninterrupted reference sweep, then the same sweep with a
+# checkpoint manifest, SIGKILLs it partway through, resumes with --resume,
+# and requires the resumed JSON report to be byte-identical to the
+# reference (the report carries no wall-clock fields, so "identical modulo
+# timing" is a plain diff). Exercises the same guarantee as
+# ResumeTest.KilledSweepResumesToBitIdenticalAggregate, but across real
+# processes and a real SIGKILL.
+#
+# Usage: scripts/ci_resume_check.sh [path/to/popbean-faults]
+set -u -o pipefail
+
+FAULTS_BIN="${1:-build/tools/popbean-faults}"
+if [[ ! -x "$FAULTS_BIN" ]]; then
+  echo "popbean-faults not found at '$FAULTS_BIN' (build it first)" >&2
+  exit 2
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Big enough that a mid-run SIGKILL lands while cells are still draining,
+# small enough to finish in seconds. One thread serializes the cell order,
+# which keeps the kill point reproducibly "partway through".
+SWEEP_ARGS=(
+  --protocol=avc --m=3 --d=1
+  --fault=corrupt --rates=0,0.001,0.01
+  --n=4000 --eps=0.1 --replicates=8
+  --seed=20150721 --threads=1
+  --checkpoint-every=1
+)
+
+echo "=== reference sweep (uninterrupted) ==="
+"$FAULTS_BIN" "${SWEEP_ARGS[@]}" --json="$WORKDIR/reference.json" \
+  > "$WORKDIR/reference.log"
+echo "reference done"
+
+echo "=== checkpointed sweep, SIGKILLed partway ==="
+"$FAULTS_BIN" "${SWEEP_ARGS[@]}" \
+  --checkpoint="$WORKDIR/manifest.txt" \
+  --json="$WORKDIR/killed.json" > "$WORKDIR/killed.log" &
+SWEEP_PID=$!
+# Give it time to record some cells, then pull the plug.
+sleep 2
+kill -9 "$SWEEP_PID" 2>/dev/null || true
+wait "$SWEEP_PID" 2>/dev/null
+KILL_STATUS=$?
+echo "killed sweep exited with status $KILL_STATUS"
+
+if [[ ! -f "$WORKDIR/manifest.txt" ]]; then
+  echo "FAIL: no manifest was written before the kill" >&2
+  exit 1
+fi
+CELLS_BEFORE=$(grep -c '^cell ' "$WORKDIR/manifest.txt" || true)
+TOTAL_CELLS=$((3 * 8))
+echo "manifest holds $CELLS_BEFORE of $TOTAL_CELLS cells"
+if [[ "$CELLS_BEFORE" -eq 0 ]]; then
+  echo "FAIL: the sweep was killed before any cell checkpointed" \
+       "(kill window too early?)" >&2
+  exit 1
+fi
+if [[ "$CELLS_BEFORE" -ge "$TOTAL_CELLS" && "$KILL_STATUS" -eq 0 ]]; then
+  echo "FAIL: the sweep finished before the kill — enlarge the workload" >&2
+  exit 1
+fi
+
+echo "=== resume ==="
+"$FAULTS_BIN" "${SWEEP_ARGS[@]}" \
+  --checkpoint="$WORKDIR/manifest.txt" --resume \
+  --json="$WORKDIR/resumed.json" > "$WORKDIR/resumed.log"
+grep -m1 "resume" "$WORKDIR/resumed.log" || true
+
+echo "=== compare ==="
+if ! diff -u "$WORKDIR/reference.json" "$WORKDIR/resumed.json"; then
+  echo "FAIL: resumed sweep JSON differs from the uninterrupted reference" >&2
+  exit 1
+fi
+echo "PASS: resumed sweep is byte-identical to the uninterrupted reference" \
+     "($CELLS_BEFORE cells survived the kill, $((TOTAL_CELLS - CELLS_BEFORE)) re-ran)"

@@ -33,7 +33,9 @@
 //     the interaction counter and run_to_convergence reports kAbsorbing.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -44,10 +46,24 @@
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
 #include "population/run.hpp"
+#include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace popbean::faults {
+
+// Observer of the adapter's per-step decisions in counts mode: every applied
+// fault event and every scheduled interaction (with its stubborn-suppression
+// flags). The record/replay subsystem (src/recovery) implements this to
+// capture an event log from which a run reconstructs bit-exactly without
+// re-running any random draw.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_fault(const FaultEvent& event) = 0;
+  virtual void on_interaction(State initiator, State responder,
+                              bool initiator_stuck, bool responder_stuck) = 0;
+};
 
 // An engine the adapter can wrap: the EngineLike surface plus read access to
 // the configuration/protocol and the external-perturbation hook.
@@ -115,6 +131,7 @@ class PerturbedEngine {
     const bool b_stuck =
         roll_stuck(b, a == b ? 1 : 0, (a == b && a_stuck) ? 1 : 0);
     const Transition t = base_.protocol().apply(a, b);
+    if (observer_ != nullptr) observer_->on_interaction(a, b, a_stuck, b_stuck);
     if (!a_stuck) imprint(a, t.initiator, rng);
     if (!b_stuck) imprint(b, t.responder, rng);
     if (monitor_ != nullptr) monitor_->check(steps_);
@@ -138,6 +155,99 @@ class PerturbedEngine {
   // the same initial configuration the adapter started from.
   void attach_monitor(InvariantMonitor* monitor) noexcept {
     monitor_ = monitor;
+  }
+
+  // Attach an event recorder. Counts mode only: a passthrough adapter
+  // delegates whole steps to the base engine, so there are no step-level
+  // decisions to observe (and nothing perturbed to replay).
+  void attach_observer(StepObserver* observer) {
+    POPBEAN_CHECK_MSG(observer == nullptr || !passthrough_,
+                      "cannot observe a passthrough adapter: attach an active "
+                      "fault model or a non-delegating schedule");
+    observer_ = observer;
+  }
+
+  // --- snapshot hooks (src/recovery) ---------------------------------------
+  // Serializes the base engine's state, both split rng streams, the
+  // counts-level mirrors, the fault counters, and any mutable model state
+  // (schedule models like EpidemicRounds carry per-run state). The bounded
+  // FaultLog is *not* part of a snapshot — it is reporting state, not
+  // dynamics; use the record/replay event log for full fault history. An
+  // attached monitor is external and must be restored by the caller.
+  static constexpr std::string_view kSnapshotKind = "engine/perturbed";
+
+  void save_state(BinaryWriter& out) const {
+    base_.save_state(out);
+    out.u8(passthrough_ ? 1 : 0);
+    for (const std::uint64_t w : fault_rng_.state_words()) out.u64(w);
+    for (const std::uint64_t w : sched_rng_.state_words()) out.u64(w);
+    out.u64(steps_);
+    out.u64(frozen_count_);
+    out.u64(stuck_count_);
+    out.vec_u64(counts_);
+    out.vec_u64(frozen_);
+    out.vec_u64(stuck_);
+    out.vec_u64(active_);
+    out.u64(counters_.crashes);
+    out.u64(counters_.recoveries);
+    out.u64(counters_.corruptions);
+    out.u64(counters_.sign_flips);
+    out.u64(counters_.stuck);
+    out.u64(counters_.schedule_delays);
+    out.u64(counters_.injected_interactions);
+    if constexpr (requires(BinaryWriter& w) { faults_.save_state(w); }) {
+      faults_.save_state(out);
+    }
+    if constexpr (requires(BinaryWriter& w) { schedule_.save_state(w); }) {
+      schedule_.save_state(out);
+    }
+  }
+
+  void load_state(BinaryReader& in) {
+    base_.load_state(in);
+    const std::uint8_t passthrough = in.u8();
+    POPBEAN_CHECK_MSG((passthrough != 0) == passthrough_,
+                      "snapshot operating mode does not match this adapter "
+                      "(fault/schedule models differ)");
+    std::array<std::uint64_t, 4> words;
+    for (std::uint64_t& w : words) w = in.u64();
+    fault_rng_.set_state_words(words);
+    for (std::uint64_t& w : words) w = in.u64();
+    sched_rng_.set_state_words(words);
+    steps_ = in.u64();
+    frozen_count_ = in.u64();
+    stuck_count_ = in.u64();
+    counts_ = in.vec_u64();
+    frozen_ = in.vec_u64();
+    stuck_ = in.vec_u64();
+    active_ = in.vec_u64();
+    if (!passthrough_) {
+      const std::size_t s = base_.protocol().num_states();
+      POPBEAN_CHECK_MSG(counts_.size() == s && frozen_.size() == s &&
+                            stuck_.size() == s && active_.size() == s,
+                        "snapshot configuration arity does not match the "
+                        "protocol");
+      POPBEAN_CHECK_MSG(population_size(counts_) == num_agents_,
+                        "snapshot population size does not match this engine");
+      for (State q = 0; q < s; ++q) {
+        POPBEAN_CHECK_MSG(frozen_[q] + stuck_[q] <= counts_[q] &&
+                              active_[q] == counts_[q] - frozen_[q],
+                          "snapshot crash/stubborn bookkeeping inconsistent");
+      }
+    }
+    counters_.crashes = in.u64();
+    counters_.recoveries = in.u64();
+    counters_.corruptions = in.u64();
+    counters_.sign_flips = in.u64();
+    counters_.stuck = in.u64();
+    counters_.schedule_delays = in.u64();
+    counters_.injected_interactions = in.u64();
+    if constexpr (requires(BinaryReader& r) { faults_.load_state(r); }) {
+      faults_.load_state(in);
+    }
+    if constexpr (requires(BinaryReader& r) { schedule_.load_state(r); }) {
+      schedule_.load_state(in);
+    }
   }
 
   FaultView view() const noexcept {
@@ -222,6 +332,7 @@ class PerturbedEngine {
           break;
       }
       log_.record(event);
+      if (observer_ != nullptr) observer_->on_fault(event);
     }
     if (monitor_ != nullptr && !events_.empty()) monitor_->check(steps_);
   }
@@ -248,6 +359,7 @@ class PerturbedEngine {
   FaultCounters counters_;
   FaultLog log_;
   InvariantMonitor* monitor_ = nullptr;
+  StepObserver* observer_ = nullptr;
 };
 
 // Deduction-friendly factory: wraps `base` with the given models, splitting

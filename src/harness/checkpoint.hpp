@@ -1,0 +1,198 @@
+// Sweep checkpoint manifests (DESIGN.md §7): the on-disk record of which
+// (point, replicate) cells of a fault sweep have finished, and with what
+// outcome, so an interrupted sweep resumes instead of restarting.
+//
+// The manifest is a line-oriented text file, appended to as cells drain:
+//
+//   popbean-fault-manifest v1
+//   config <fingerprint-hex>
+//   cell <p> <r> <timed_out> <status> <decided> <interactions>
+//        <crashes> <recoveries> <corruptions> <sign_flips> <stuck>
+//        <schedule_delays> <injected_interactions> <violated>
+//        <violation_step> # <crc-hex>                       (one line)
+//
+// Robustness properties the resume path relies on:
+//   * every cell line carries its own FNV-1a checksum — a SIGKILL mid-write
+//     truncates at most the final line, which then fails its checksum and is
+//     simply dropped (that cell re-runs on resume);
+//   * the config fingerprint binds the manifest to the exact sweep
+//     (protocol, grid, seed, budgets): resuming with different parameters is
+//     refused rather than silently merging incompatible results;
+//   * cell payloads are integral (violation *step*, not time), so a merged
+//     resume aggregates to bit-identical JSON against an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "faults/fault_log.hpp"
+#include "population/run.hpp"
+#include "recovery/snapshot.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace popbean {
+
+inline constexpr std::string_view kManifestHeader = "popbean-fault-manifest v1";
+
+// Everything the aggregation step needs about one finished cell.
+struct FaultCellOutcome {
+  bool timed_out = false;
+  RunResult result;  // parallel_time is derived on aggregation, not stored
+  faults::FaultCounters counters;
+  bool violated = false;
+  std::uint64_t violation_step = 0;
+};
+
+// Completed cells keyed by (point, replicate).
+using ManifestCells =
+    std::map<std::pair<std::size_t, std::size_t>, FaultCellOutcome>;
+
+namespace detail {
+
+inline std::string manifest_cell_line(std::size_t point, std::size_t replicate,
+                                      const FaultCellOutcome& cell) {
+  std::ostringstream os;
+  os << "cell " << point << ' ' << replicate << ' ' << (cell.timed_out ? 1 : 0)
+     << ' ' << static_cast<int>(cell.result.status) << ' '
+     << cell.result.decided << ' ' << cell.result.interactions << ' '
+     << cell.counters.crashes << ' ' << cell.counters.recoveries << ' '
+     << cell.counters.corruptions << ' ' << cell.counters.sign_flips << ' '
+     << cell.counters.stuck << ' ' << cell.counters.schedule_delays << ' '
+     << cell.counters.injected_interactions << ' ' << (cell.violated ? 1 : 0)
+     << ' ' << cell.violation_step;
+  std::ostringstream line;
+  line << os.str() << " # " << std::hex << fnv1a64(os.str());
+  return line.str();
+}
+
+}  // namespace detail
+
+// Appends completed cells to the manifest as they drain. The header and
+// fingerprint are written when the file is created; flush() cadence is the
+// caller's checkpoint interval.
+class ManifestWriter {
+ public:
+  ManifestWriter(const std::string& path, std::uint64_t fingerprint,
+                 bool append) {
+    bool fresh = true;
+    bool torn_tail = false;
+    if (append) {
+      std::ifstream existing(path, std::ios::binary);
+      if (existing.good()) {
+        fresh = false;
+        // A SIGKILL mid-append leaves a final line without its newline. A
+        // plain append would fuse the first new record onto that fragment,
+        // corrupting a cell that actually finished — terminate the torn
+        // line first so the fragment fails its checksum alone.
+        existing.seekg(0, std::ios::end);
+        const std::streamoff size = existing.tellg();
+        if (size > 0) {
+          existing.seekg(size - 1);
+          torn_tail = existing.get() != '\n';
+        }
+      }
+    }
+    out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+    POPBEAN_CHECK_MSG(out_.good(), "cannot open manifest for writing: " + path);
+    if (fresh) {
+      out_ << kManifestHeader << "\n";
+      out_ << "config " << std::hex << fingerprint << std::dec << "\n";
+      out_.flush();
+    } else if (torn_tail) {
+      out_ << "\n";
+    }
+  }
+
+  void record(std::size_t point, std::size_t replicate,
+              const FaultCellOutcome& cell) {
+    out_ << detail::manifest_cell_line(point, replicate, cell) << "\n";
+  }
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+// Loads a manifest, dropping any line whose checksum fails (at most the
+// truncated tail of a killed run, but tolerated anywhere). Throws
+// recovery::SnapshotError on a missing/foreign file or a fingerprint
+// mismatch; `dropped_lines`, if given, receives the number of discarded
+// cell lines.
+inline ManifestCells load_manifest(const std::string& path,
+                                   std::uint64_t expected_fingerprint,
+                                   std::size_t* dropped_lines = nullptr) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw recovery::SnapshotError("cannot open manifest: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    throw recovery::SnapshotError(path + ": not a popbean fault manifest");
+  }
+  std::uint64_t fingerprint = 0;
+  {
+    std::string keyword;
+    if (!std::getline(in, line) ||
+        !(std::istringstream(line) >> keyword >> std::hex >> fingerprint) ||
+        keyword != "config") {
+      throw recovery::SnapshotError(path + ": missing config fingerprint");
+    }
+  }
+  if (fingerprint != expected_fingerprint) {
+    throw recovery::SnapshotError(
+        path + ": config fingerprint mismatch — this manifest belongs to a "
+               "different sweep (protocol, grid, seed, or budgets changed); "
+               "refusing to resume from it");
+  }
+
+  ManifestCells cells;
+  std::size_t dropped = 0;
+  while (std::getline(in, line)) {
+    const std::size_t marker = line.rfind(" # ");
+    bool ok = marker != std::string::npos;
+    if (ok) {
+      const std::string body = line.substr(0, marker);
+      std::uint64_t declared = 0;
+      std::istringstream crc(line.substr(marker + 3));
+      ok = static_cast<bool>(crc >> std::hex >> declared) &&
+           declared == fnv1a64(body);
+      if (ok) {
+        std::istringstream fields(body);
+        std::string keyword;
+        std::size_t point = 0;
+        std::size_t replicate = 0;
+        int timed_out = 0;
+        int status = 0;
+        FaultCellOutcome cell;
+        ok = static_cast<bool>(
+                 fields >> keyword >> point >> replicate >> timed_out >>
+                 status >> cell.result.decided >> cell.result.interactions >>
+                 cell.counters.crashes >> cell.counters.recoveries >>
+                 cell.counters.corruptions >> cell.counters.sign_flips >>
+                 cell.counters.stuck >> cell.counters.schedule_delays >>
+                 cell.counters.injected_interactions) &&
+             keyword == "cell" && status >= 0 &&
+             status <= static_cast<int>(RunStatus::kAbsorbing);
+        int violated = 0;
+        ok = ok && static_cast<bool>(fields >> violated >> cell.violation_step);
+        if (ok) {
+          cell.timed_out = timed_out != 0;
+          cell.result.status = static_cast<RunStatus>(status);
+          cell.violated = violated != 0;
+          cells[{point, replicate}] = cell;
+        }
+      }
+    }
+    if (!ok) ++dropped;
+  }
+  if (dropped_lines != nullptr) *dropped_lines = dropped;
+  return cells;
+}
+
+}  // namespace popbean

@@ -108,9 +108,13 @@ struct ReplicationSummary {
   std::size_t wrong = 0;      // converged to the minority output
   std::size_t step_limit = 0; // interaction budget exhausted, outputs mixed
   std::size_t absorbing = 0;  // no productive interaction left, outputs mixed
+  std::size_t timed_out = 0;  // wall-clock timeout, retries exhausted (only
+                              // the crash-tolerant sweep produces these)
   Summary parallel_time;      // over converged replicates
 
-  std::size_t unresolved() const noexcept { return step_limit + absorbing; }
+  std::size_t unresolved() const noexcept {
+    return step_limit + absorbing + timed_out;
+  }
 
   // The paper's Figure 3 (right): fraction of runs ending in the error
   // final state.

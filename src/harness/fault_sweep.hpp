@@ -9,9 +9,20 @@
 // Fault and schedule models are supplied as factories so every replicate
 // gets a fresh, stateless-from-its-own-view instance (models like
 // EpidemicRounds carry per-run state), parameterized by the swept rate.
+//
+// Two entry points share one cell runner and one aggregation:
+//   * run_fault_sweep — the simple blocking sweep (unchanged semantics);
+//   * run_fault_sweep_recoverable — the crash-tolerant sweep (DESIGN.md §7):
+//     per-cell wall-clock timeouts with bounded retry, periodic
+//     checkpointing of completed cells to a manifest, --resume skipping
+//     finished work, cancellation draining, and a hung-cell watchdog.
+//     Because cell (p, r) always runs on rng stream p·replicates + r, a
+//     resumed sweep's merged results are bit-identical to an uninterrupted
+//     run's.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,10 +31,13 @@
 #include "faults/invariant_monitor.hpp"
 #include "faults/perturbed_engine.hpp"
 #include "faults/schedule_model.hpp"
+#include "harness/checkpoint.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 #include "population/count_engine.hpp"
 #include "population/run.hpp"
+#include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -51,72 +65,108 @@ struct FaultSweepPoint {
   Summary violation_time;                // summarize(violation_times)
 };
 
-// Sweeps `rates`, running `config.replicates` perturbed CountEngine runs per
-// rate. `make_faults(rate)` builds the fault model, `make_schedule()` the
-// schedule model; `invariant` is watched live in every replicate (use the
-// protocol's conservation law, e.g. verify::avc_sum_invariant). Replicate r
-// of rate point p draws its root rng from stream p·replicates + r, so every
-// cell is reproducible in isolation.
-template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
-std::vector<FaultSweepPoint> run_fault_sweep(
-    ThreadPool& pool, const P& protocol,
-    const verify::LinearInvariant& invariant, const std::vector<double>& rates,
-    const FaultSweepConfig& config, FaultFactory&& make_faults,
-    ScheduleFactory&& make_schedule) {
-  POPBEAN_CHECK(!rates.empty());
-  POPBEAN_CHECK(config.replicates > 0);
-  POPBEAN_CHECK_MSG(invariant.num_states() == protocol.num_states(),
-                    "monitored invariant does not match the protocol");
-  const MajorityInstance instance = make_instance(config.n, config.epsilon);
-  const Counts initial = majority_instance_with_margin(
-      protocol, instance.n, instance.margin, instance.majority);
+// Checkpointing/resume/timeout policy of a recoverable sweep.
+struct FaultSweepRecovery {
+  std::string manifest_path;        // empty = no checkpointing
+  bool resume = false;              // load the manifest, skip finished cells
+  std::size_t checkpoint_every = 16;  // manifest flush cadence, in cells
+  SweepRunOptions run;              // timeouts, retries, cancel, watchdog
+};
 
-  struct ReplicateOutcome {
-    RunResult result;
-    faults::FaultCounters counters;
-    bool violated = false;
-    double violation_time = 0.0;
-  };
+struct FaultSweepOutcome {
+  std::vector<FaultSweepPoint> points;
+  CellSweepReport report;
+  // Raw per-cell outcomes (index point·replicates + replicate; `present`
+  // gates completion) — what --record scans to find a violating cell.
+  std::vector<FaultCellOutcome> cells;
+  std::vector<char> present;
+};
 
+// Binds a manifest to the exact sweep it checkpoints: any change to the
+// protocol label, grid, instance, seeding, or budget changes the value.
+inline std::uint64_t fault_sweep_fingerprint(const std::string& label,
+                                             const std::vector<double>& rates,
+                                             const FaultSweepConfig& config) {
+  BinaryWriter out;
+  out.str(label);
+  out.u64(config.n);
+  out.f64(config.epsilon);
+  out.u64(config.replicates);
+  out.u64(config.seed);
+  out.u64(config.max_interactions);
+  out.u64(rates.size());
+  for (const double rate : rates) out.f64(rate);
+  return fnv1a64(out.bytes());
+}
+
+namespace detail {
+
+// Runs cell (p, r) deterministically on stream p·replicates + r. Returns
+// nullopt iff should_stop fired mid-run (the outcome is then undefined and
+// nothing may be recorded).
+template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory,
+          typename StopFn>
+std::optional<FaultCellOutcome> run_fault_cell(
+    const P& protocol, const verify::LinearInvariant& invariant,
+    const Counts& initial, const FaultSweepConfig& config, double rate,
+    std::size_t point, std::size_t replicate, FaultFactory&& make_faults,
+    ScheduleFactory&& make_schedule, StopFn&& should_stop,
+    std::uint64_t stop_check_interval) {
+  const std::uint64_t stream =
+      static_cast<std::uint64_t>(point) * config.replicates + replicate;
+  Xoshiro256ss rng(config.seed, stream);
+  auto engine = faults::make_perturbed(CountEngine<P>(protocol, initial),
+                                       make_faults(rate), make_schedule(),
+                                       rng);
+  faults::InvariantMonitor monitor(invariant, initial);
+  engine.attach_monitor(&monitor);
+  const std::optional<RunResult> result = run_to_convergence_interruptible(
+      engine, rng, config.max_interactions, should_stop, stop_check_interval);
+  if (!result) return std::nullopt;
+  FaultCellOutcome out;
+  out.result = *result;
+  out.counters = engine.fault_counters();
+  out.violated = monitor.violated();
+  out.violation_step = monitor.first_violation_step().value_or(0);
+  return out;
+}
+
+// Folds per-cell outcomes (cell (p, r) at index p·replicates + r; `present`
+// gates which were completed) into per-rate points. Aggregation order is by
+// cell index, so the result is independent of execution order — the bit-
+// identical-merge guarantee of the resume path.
+inline std::vector<FaultSweepPoint> aggregate_fault_cells(
+    const std::vector<double>& rates, const FaultSweepConfig& config,
+    const MajorityInstance& instance,
+    const std::vector<FaultCellOutcome>& cells,
+    const std::vector<char>& present) {
   std::vector<FaultSweepPoint> points;
   points.reserve(rates.size());
   for (std::size_t p = 0; p < rates.size(); ++p) {
-    const double rate = rates[p];
-    std::vector<ReplicateOutcome> outcomes(config.replicates);
-    parallel_for_index(pool, config.replicates, [&](std::size_t r) {
-      const std::uint64_t stream =
-          static_cast<std::uint64_t>(p) * config.replicates + r;
-      Xoshiro256ss rng(config.seed, stream);
-      auto engine = faults::make_perturbed(CountEngine<P>(protocol, initial),
-                                           make_faults(rate), make_schedule(),
-                                           rng);
-      faults::InvariantMonitor monitor(invariant, initial);
-      engine.attach_monitor(&monitor);
-      ReplicateOutcome& out = outcomes[r];
-      out.result = run_to_convergence(engine, rng, config.max_interactions);
-      out.counters = engine.fault_counters();
-      if (monitor.violated()) {
-        out.violated = true;
-        out.violation_time =
-            static_cast<double>(*monitor.first_violation_step()) /
-            static_cast<double>(config.n);
-      }
-    });
-
     FaultSweepPoint point;
-    point.rate = rate;
-    point.summary.replicates = config.replicates;
+    point.rate = rates[p];
     std::vector<double> times;
-    for (const ReplicateOutcome& out : outcomes) {
+    for (std::size_t r = 0; r < config.replicates; ++r) {
+      const std::size_t index = p * config.replicates + r;
+      if (!present[index]) continue;
+      const FaultCellOutcome& out = cells[index];
+      ++point.summary.replicates;
+      if (out.timed_out) {
+        ++point.summary.timed_out;
+        continue;  // no trustworthy dynamics to aggregate
+      }
       point.counters += out.counters;
       if (out.violated) {
         ++point.violated;
-        point.violation_times.push_back(out.violation_time);
+        point.violation_times.push_back(
+            static_cast<double>(out.violation_step) /
+            static_cast<double>(config.n));
       }
       switch (out.result.status) {
         case RunStatus::kConverged:
           ++point.summary.converged;
-          times.push_back(out.result.parallel_time);
+          times.push_back(static_cast<double>(out.result.interactions) /
+                          static_cast<double>(config.n));
           if (out.result.decided == instance.correct_output()) {
             ++point.summary.correct;
           } else {
@@ -138,6 +188,138 @@ std::vector<FaultSweepPoint> run_fault_sweep(
     points.push_back(std::move(point));
   }
   return points;
+}
+
+}  // namespace detail
+
+// Sweeps `rates`, running `config.replicates` perturbed CountEngine runs per
+// rate. `make_faults(rate)` builds the fault model, `make_schedule()` the
+// schedule model; `invariant` is watched live in every replicate (use the
+// protocol's conservation law, e.g. verify::avc_sum_invariant). Replicate r
+// of rate point p draws its root rng from stream p·replicates + r, so every
+// cell is reproducible in isolation.
+template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
+std::vector<FaultSweepPoint> run_fault_sweep(
+    ThreadPool& pool, const P& protocol,
+    const verify::LinearInvariant& invariant, const std::vector<double>& rates,
+    const FaultSweepConfig& config, FaultFactory&& make_faults,
+    ScheduleFactory&& make_schedule) {
+  POPBEAN_CHECK(!rates.empty());
+  POPBEAN_CHECK(config.replicates > 0);
+  POPBEAN_CHECK_MSG(invariant.num_states() == protocol.num_states(),
+                    "monitored invariant does not match the protocol");
+  const MajorityInstance instance = make_instance(config.n, config.epsilon);
+  const Counts initial = majority_instance_with_margin(
+      protocol, instance.n, instance.margin, instance.majority);
+
+  const std::size_t total = rates.size() * config.replicates;
+  std::vector<FaultCellOutcome> cells(total);
+  parallel_for_index(pool, total, [&](std::size_t index) {
+    const std::size_t p = index / config.replicates;
+    const std::size_t r = index % config.replicates;
+    const std::optional<FaultCellOutcome> out = detail::run_fault_cell(
+        protocol, invariant, initial, config, rates[p], p, r, make_faults,
+        make_schedule, [] { return false; }, 1u << 20);
+    cells[index] = *out;  // never stops: the stop fn is constant false
+  });
+  return detail::aggregate_fault_cells(rates, config, instance, cells,
+                                       std::vector<char>(total, 1));
+}
+
+// The crash-tolerant sweep. Behavior beyond run_fault_sweep:
+//   * recovery.manifest_path + checkpoint_every: completed cells are
+//     appended to the manifest (one checksummed line each) and flushed every
+//     checkpoint_every cells, so a crash loses at most that much work;
+//   * recovery.resume: previously-completed cells are loaded from the
+//     manifest (validated against the sweep fingerprint) and skipped;
+//   * recovery.run.cell_timeout / max_retries: cells exceeding the wall-
+//     clock budget are retried, then recorded as timed out (they surface in
+//     ReplicationSummary::timed_out, never as fabricated dynamics);
+//   * recovery.run.cancel: a drain flag (set it from SIGINT/SIGTERM) —
+//     in-flight cells stop at their next poll, the manifest is flushed, and
+//     the partial aggregate is returned with report.interrupted set.
+// The aggregate covers exactly the cells present (prior + this run), folded
+// in deterministic cell order.
+template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
+FaultSweepOutcome run_fault_sweep_recoverable(
+    ThreadPool& pool, const P& protocol,
+    const verify::LinearInvariant& invariant, const std::string& label,
+    const std::vector<double>& rates, const FaultSweepConfig& config,
+    const FaultSweepRecovery& recovery, FaultFactory&& make_faults,
+    ScheduleFactory&& make_schedule) {
+  POPBEAN_CHECK(!rates.empty());
+  POPBEAN_CHECK(config.replicates > 0);
+  POPBEAN_CHECK_MSG(invariant.num_states() == protocol.num_states(),
+                    "monitored invariant does not match the protocol");
+  const MajorityInstance instance = make_instance(config.n, config.epsilon);
+  const Counts initial = majority_instance_with_margin(
+      protocol, instance.n, instance.margin, instance.majority);
+  const std::uint64_t fingerprint =
+      fault_sweep_fingerprint(label, rates, config);
+
+  const std::size_t total = rates.size() * config.replicates;
+  std::vector<FaultCellOutcome> cells(total);
+  std::vector<char> present(total, 0);
+
+  const bool checkpointing = !recovery.manifest_path.empty();
+  if (checkpointing && recovery.resume) {
+    if (std::ifstream(recovery.manifest_path).good()) {
+      for (const auto& [key, cell] :
+           load_manifest(recovery.manifest_path, fingerprint)) {
+        const auto [p, r] = key;
+        if (p >= rates.size() || r >= config.replicates) continue;
+        const std::size_t index = p * config.replicates + r;
+        cells[index] = cell;
+        present[index] = 1;
+      }
+    }
+  }
+
+  std::optional<ManifestWriter> manifest;
+  if (checkpointing) {
+    manifest.emplace(recovery.manifest_path, fingerprint, recovery.resume);
+  }
+
+  std::size_t since_flush = 0;
+  const auto on_cell_done = [&](const SweepCell& cell, CellOutcomeKind kind) {
+    const std::size_t index = cell.point * config.replicates + cell.replicate;
+    if (kind == CellOutcomeKind::kTimedOut) {
+      cells[index] = FaultCellOutcome{};
+      cells[index].timed_out = true;
+    }
+    present[index] = 1;
+    if (manifest) {
+      manifest->record(cell.point, cell.replicate, cells[index]);
+      if (++since_flush >= std::max<std::size_t>(recovery.checkpoint_every, 1)) {
+        manifest->flush();
+        since_flush = 0;
+      }
+    }
+  };
+
+  CellSweepReport report = run_cell_sweep(
+      pool, rates.size(), config.replicates, present, recovery.run,
+      [&](const SweepCell& cell, const auto& should_stop) {
+        std::optional<FaultCellOutcome> out = detail::run_fault_cell(
+            protocol, invariant, initial, config, rates[cell.point],
+            cell.point, cell.replicate, make_faults, make_schedule,
+            should_stop, recovery.run.stop_check_interval);
+        if (!out) return false;
+        const std::size_t index =
+            cell.point * config.replicates + cell.replicate;
+        cells[index] = std::move(*out);
+        return true;
+      },
+      on_cell_done);
+  if (manifest) manifest->flush();
+
+  FaultSweepOutcome outcome;
+  outcome.points = detail::aggregate_fault_cells(rates, config, instance,
+                                                 cells, present);
+  outcome.report = std::move(report);
+  outcome.cells = std::move(cells);
+  outcome.present = std::move(present);
+  return outcome;
 }
 
 // Streams one sweep (config + per-rate points) as a JSON object under the

@@ -73,6 +73,7 @@ void write_summary_json(JsonWriter& json, const ReplicationSummary& summary) {
   json.kv("wrong", summary.wrong);
   json.kv("step_limit", summary.step_limit);
   json.kv("absorbing", summary.absorbing);
+  json.kv("timed_out", summary.timed_out);
   json.kv("unresolved", summary.unresolved());
   json.kv("accuracy", summary.accuracy());
   json.kv("error_fraction", summary.error_fraction());

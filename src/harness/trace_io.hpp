@@ -1,7 +1,24 @@
-// Serialization of recorded traces to CSV.
+// Serialization of recorded traces to CSV, and the strict reader for them.
+//
+// Traces round-trip: write_trace_csv dumps a TraceRecorder, read_trace_csv
+// loads the file back for re-plotting or post-hoc analysis. The reader is
+// deliberately unforgiving — a crash mid-write (the motivating case: a
+// SIGKILLed bench, see DESIGN.md §7) leaves a truncated final row, and a
+// loader that silently dropped or zero-filled it would corrupt downstream
+// statistics. Every malformed condition throws std::runtime_error naming
+// the file and line: missing/short header, row arity mismatch (the
+// truncation signature), non-numeric or trailing-garbage cells, and stream
+// I/O errors. Callers that *expect* possible truncation pass
+// `tolerate_truncated_tail` to drop a single short final row (and only
+// that) while still rejecting corruption anywhere else.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "population/trace.hpp"
 #include "util/csv.hpp"
@@ -25,6 +42,143 @@ inline void write_trace_csv(const TraceRecorder& recorder,
     for (double v : point.values) cells.push_back(std::to_string(v));
     csv.row(cells);
   }
+}
+
+// A trace loaded back from CSV: the observable names and the sampled rows.
+struct LoadedTrace {
+  std::vector<std::string> observable_names;
+  std::vector<TracePoint> points;
+  std::size_t dropped_tail_rows = 0;  // only ever 0 or 1
+};
+
+namespace detail {
+
+[[noreturn]] inline void trace_fail(const std::string& path, std::size_t line,
+                                    const std::string& what) {
+  std::ostringstream os;
+  os << path << ", line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+// Splits one CSV line, honoring the quoting csv_escape produces.
+inline std::vector<std::string> split_csv_line(const std::string& path,
+                                               std::size_t line_number,
+                                               const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (quoted) trace_fail(path, line_number, "unterminated quoted cell");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+inline double trace_cell_f64(const std::string& path, std::size_t line,
+                             const std::string& cell, const char* what) {
+  std::istringstream in(cell);
+  double value = 0.0;
+  if (!(in >> value) || !(in >> std::ws).eof()) {
+    trace_fail(path, line,
+               std::string("bad ") + what + " value '" + cell + "'");
+  }
+  return value;
+}
+
+inline std::uint64_t trace_cell_u64(const std::string& path, std::size_t line,
+                                    const std::string& cell, const char* what) {
+  std::istringstream in(cell);
+  std::uint64_t value = 0;
+  if (cell.empty() || cell[0] == '-' || !(in >> value) ||
+      !(in >> std::ws).eof()) {
+    trace_fail(path, line,
+               std::string("bad ") + what + " value '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace detail
+
+// Loads a trace CSV written by write_trace_csv. Throws std::runtime_error
+// (with path and line number) on any malformed content; see the header
+// comment for the contract of `tolerate_truncated_tail`.
+inline LoadedTrace read_trace_csv(const std::string& path,
+                                  bool tolerate_truncated_tail = false) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open trace CSV: " + path);
+  }
+  std::string line;
+  std::size_t line_number = 1;
+  if (!std::getline(in, line)) {
+    detail::trace_fail(path, line_number, "missing header row");
+  }
+  const std::vector<std::string> header =
+      detail::split_csv_line(path, line_number, line);
+  if (header.size() < 3 || header[0] != "parallel_time" ||
+      header[1] != "interactions") {
+    detail::trace_fail(path, line_number,
+                       "header must be 'parallel_time,interactions,<obs>…'");
+  }
+
+  LoadedTrace trace;
+  trace.observable_names.assign(header.begin() + 2, header.end());
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;  // a trailing newline is not a row
+    const std::vector<std::string> cells =
+        detail::split_csv_line(path, line_number, line);
+    if (cells.size() != header.size()) {
+      // Arity mismatch: the signature of a write cut short. Tolerated only
+      // on the very last row, only when asked to.
+      const bool at_tail = in.peek() == std::ifstream::traits_type::eof();
+      if (tolerate_truncated_tail && at_tail && cells.size() < header.size()) {
+        trace.dropped_tail_rows = 1;
+        break;
+      }
+      std::ostringstream what;
+      what << "row has " << cells.size() << " cells, header has "
+           << header.size() << (cells.size() < header.size()
+                                    ? " (truncated write?)"
+                                    : "");
+      detail::trace_fail(path, line_number, what.str());
+    }
+    TracePoint point;
+    point.parallel_time =
+        detail::trace_cell_f64(path, line_number, cells[0], "parallel_time");
+    point.interactions =
+        detail::trace_cell_u64(path, line_number, cells[1], "interactions");
+    point.values.reserve(cells.size() - 2);
+    for (std::size_t i = 2; i < cells.size(); ++i) {
+      point.values.push_back(
+          detail::trace_cell_f64(path, line_number, cells[i], "observable"));
+    }
+    trace.points.push_back(std::move(point));
+  }
+  if (in.bad()) {
+    throw std::runtime_error("I/O error while reading " + path);
+  }
+  return trace;
 }
 
 }  // namespace popbean

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "graph/interaction_graph.hpp"
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
+#include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -107,6 +109,37 @@ class AgentEngine {
       }
       --target;
     }
+  }
+
+  // --- snapshot hooks (src/recovery) ---------------------------------------
+  // Serializes the mutable run state (agent array, step count, output
+  // bookkeeping). The protocol and graph are construction inputs, not saved:
+  // restore into an engine built with identical arguments.
+  static constexpr std::string_view kSnapshotKind = "engine/agent";
+
+  void save_state(BinaryWriter& out) const {
+    out.u64(steps_);
+    out.u64(agents_.size());
+    for (const State q : agents_) out.u32(q);
+  }
+
+  void load_state(BinaryReader& in) {
+    const std::uint64_t steps = in.u64();
+    const std::uint64_t n = in.u64();
+    POPBEAN_CHECK_MSG(n == agents_.size(),
+                      "snapshot population size does not match this engine");
+    std::vector<State> agents(agents_.size());
+    std::uint64_t out_count[2] = {0, 0};
+    for (State& q : agents) {
+      q = in.u32();
+      POPBEAN_CHECK_MSG(q < protocol_.num_states(),
+                        "snapshot agent state out of range");
+      ++out_count[index(protocol_.output(q))];
+    }
+    agents_ = std::move(agents);
+    steps_ = steps;
+    out_count_[0] = out_count[0];
+    out_count_[1] = out_count[1];
   }
 
   // Executes one interaction: draws a uniformly random directed edge and

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <utility>
 
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
+#include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/fenwick.hpp"
 #include "util/rng.hpp"
@@ -67,6 +69,33 @@ class CountEngine {
     adjust(from, -1);
     adjust(to, +1);
     move_output(from, to);
+  }
+
+  // --- snapshot hooks (src/recovery) ---------------------------------------
+  // Serializes counts and step count; the Fenwick tree and output tallies
+  // are derived state, rebuilt (and cross-checked) on load.
+  static constexpr std::string_view kSnapshotKind = "engine/count";
+
+  void save_state(BinaryWriter& out) const {
+    out.u64(steps_);
+    out.vec_u64(counts_);
+  }
+
+  void load_state(BinaryReader& in) {
+    const std::uint64_t steps = in.u64();
+    Counts counts = in.vec_u64();
+    POPBEAN_CHECK_MSG(counts.size() == protocol_.num_states(),
+                      "snapshot state count does not match the protocol");
+    POPBEAN_CHECK_MSG(population_size(counts) == num_agents_,
+                      "snapshot population size does not match this engine");
+    counts_ = std::move(counts);
+    tree_ = FenwickTree(counts_);
+    steps_ = steps;
+    out_count_[0] = 0;
+    out_count_[1] = 0;
+    for (State q = 0; q < counts_.size(); ++q) {
+      out_count_[index(protocol_.output(q))] += counts_[q];
+    }
   }
 
   // Executes one interaction on a uniformly random ordered pair of distinct

@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
+#include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -117,6 +119,42 @@ class SkipEngine {
     adjust(to, +1);
     move_output(from, to);
     absorbing_ = false;
+  }
+
+  // --- snapshot hooks (src/recovery) ---------------------------------------
+  // Serializes counts, step count, and the absorbing flag; the δ table and
+  // responder sums are derived state, rebuilt on load.
+  static constexpr std::string_view kSnapshotKind = "engine/skip";
+
+  void save_state(BinaryWriter& out) const {
+    out.u64(steps_);
+    out.u8(absorbing_ ? 1 : 0);
+    out.vec_u64(counts_);
+  }
+
+  void load_state(BinaryReader& in) {
+    const std::uint64_t steps = in.u64();
+    const std::uint8_t absorbing = in.u8();
+    POPBEAN_CHECK_MSG(absorbing <= 1, "snapshot absorbing flag corrupt");
+    Counts counts = in.vec_u64();
+    POPBEAN_CHECK_MSG(counts.size() == num_states_,
+                      "snapshot state count does not match the protocol");
+    POPBEAN_CHECK_MSG(population_size(counts) == num_agents_,
+                      "snapshot population size does not match this engine");
+    counts_ = std::move(counts);
+    steps_ = steps;
+    absorbing_ = absorbing != 0;
+    responder_sum_.assign(num_states_, 0);
+    for (State i = 0; i < num_states_; ++i) {
+      for (State j = 0; j < num_states_; ++j) {
+        if (reactive_[cell(i, j)]) responder_sum_[i] += counts_[j];
+      }
+    }
+    out_count_[0] = 0;
+    out_count_[1] = 0;
+    for (State q = 0; q < num_states_; ++q) {
+      out_count_[index(protocol_.output(q))] += counts_[q];
+    }
   }
 
   // Advances time past the pending run of null interactions and executes the

@@ -78,6 +78,15 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
     }
   };
 
+  // Trailing tokens after a fully-parsed line are corruption (e.g. two
+  // lines fused by a lost newline), not decoration — reject them.
+  const auto expect_line_end = [&](std::istringstream& tokens) {
+    std::string extra;
+    if (tokens >> extra) {
+      detail::parse_fail(line_number, "trailing garbage '" + extra + "'");
+    }
+  };
+
   while (std::getline(in, line)) {
     ++line_number;
     if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
@@ -108,6 +117,7 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
              << "]";
         detail::parse_fail(line_number, what.str());
       }
+      expect_line_end(tokens);
       num_states = static_cast<std::size_t>(s);
       outputs.assign(num_states, 0);
       names.resize(num_states);
@@ -136,6 +146,7 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
         what += std::to_string(id);
         detail::parse_fail(line_number, what);
       }
+      expect_line_end(tokens);
       state_declared[id] = true;
       names[id] = state_name;
       outputs[id] = static_cast<Output>(output);
@@ -157,7 +168,7 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
         }
         std::uint64_t id = 0;
         std::istringstream value(assignment.substr(2));
-        if (!(value >> id)) {
+        if (!(value >> id) || !(value >> std::ws).eof()) {
           std::ostringstream what;
           what << "bad state id in '" << assignment << "'";
           detail::parse_fail(line_number, what.str());
@@ -173,6 +184,7 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
                              "expected one 'A=' and one 'B=' assignment");
         }
       }
+      expect_line_end(tokens);
       saw_initial = true;
     } else if (keyword == "delta") {
       require_states("delta");
@@ -188,6 +200,7 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
       if (a >= num_states || b >= num_states) {
         detail::parse_fail(line_number, "delta source pair out of range");
       }
+      expect_line_end(tokens);
       // Targets are *not* range-checked: the verifier owns that diagnosis.
       table[a * num_states + b] = {static_cast<State>(to_a),
                                    static_cast<State>(to_b)};
@@ -201,6 +214,13 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
       weights.reserve(num_states);
       std::int64_t w = 0;
       while (tokens >> w) weights.push_back(w);
+      if (!tokens.eof()) {
+        tokens.clear();
+        std::string extra;
+        tokens >> extra;
+        detail::parse_fail(line_number,
+                           "non-numeric weight '" + extra + "'");
+      }
       if (weights.size() != num_states) {
         std::ostringstream what;
         what << "invariant needs exactly " << num_states << " weights, got "
@@ -213,6 +233,9 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
     }
   }
 
+  if (in.bad()) {
+    detail::parse_fail(line_number, "I/O error while reading protocol file");
+  }
   if (!saw_header) detail::parse_fail(line_number, "missing header");
   if (num_states == 0) detail::parse_fail(line_number, "missing 'states'");
   if (!saw_initial) detail::parse_fail(line_number, "missing 'initial'");

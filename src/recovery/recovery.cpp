@@ -1,0 +1,27 @@
+#include "recovery/event_log.hpp"
+#include "recovery/record.hpp"
+#include "recovery/replay.hpp"
+#include "recovery/shrink.hpp"
+#include "recovery/snapshot.hpp"
+
+namespace popbean::recovery {
+
+std::string_view to_string(ReplayEventKind kind) noexcept {
+  switch (kind) {
+    case ReplayEventKind::kInteraction:
+      return "interaction";
+    case ReplayEventKind::kCrash:
+      return "crash";
+    case ReplayEventKind::kRecover:
+      return "recover";
+    case ReplayEventKind::kCorrupt:
+      return "corrupt";
+    case ReplayEventKind::kSignFlip:
+      return "sign_flip";
+    case ReplayEventKind::kStick:
+      return "stick";
+  }
+  return "unknown";
+}
+
+}  // namespace popbean::recovery

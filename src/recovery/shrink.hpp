@@ -1,0 +1,218 @@
+// Delta-debugging minimization of recorded fault schedules (DESIGN.md §7).
+//
+// Given a capture whose replay reproduces a failure — an Invariant 4.3
+// violation, a wrong decision, or both — the shrinker searches for a
+// 1-minimal subset of the *fault* events that still reproduces it.
+// Interaction events are never removed: they are the protocol's own
+// dynamics, and the question a minimized capture answers is "which
+// injected faults were actually responsible?".
+//
+// The search is Zeller–Hildebrandt ddmin over the fault-event index set.
+// Each probe re-runs the deterministic replayer on the edited schedule;
+// probes whose edited schedule is infeasible (a removed fault was load-
+// bearing for a later event's target) simply fail to reproduce and are
+// rejected — no special casing. ddmin guarantees the result is 1-minimal:
+// removing any single remaining fault event stops reproducing the failure.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "recovery/event_log.hpp"
+#include "recovery/replay.hpp"
+#include "util/check.hpp"
+#include "verify/linear_invariant.hpp"
+
+namespace popbean::recovery {
+
+// What the minimized schedule must still reproduce. Violation and wrong
+// decision can be required together (both must reproduce).
+struct ShrinkTarget {
+  bool require_violation = true;
+  bool require_wrong_decision = false;
+  Output correct_output = 0;  // consulted when require_wrong_decision
+
+  bool reproduced_by(const ReplayResult& result) const {
+    if (!result.feasible) return false;
+    if (require_violation && !result.violated) return false;
+    if (require_wrong_decision &&
+        !(result.status == RunStatus::kConverged &&
+          result.decided != correct_output)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+struct ShrinkStats {
+  std::size_t original_faults = 0;
+  std::size_t minimized_faults = 0;
+  std::size_t probes = 0;  // replay executions performed
+};
+
+template <ProtocolLike P>
+class ScheduleShrinker {
+ public:
+  ScheduleShrinker(const P& protocol, const verify::LinearInvariant& invariant,
+                   Counts initial, std::vector<ReplayEvent> events,
+                   ShrinkTarget target)
+      : protocol_(protocol),
+        invariant_(invariant),
+        initial_(std::move(initial)),
+        events_(std::move(events)),
+        target_(target) {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].is_fault()) fault_positions_.push_back(i);
+    }
+  }
+
+  // Whether the full, unedited schedule reproduces the target failure —
+  // callers should verify this before paying for a minimization.
+  bool baseline_reproduces() {
+    return probe(fault_positions_);
+  }
+
+  // ddmin over the fault positions. Returns the minimized event list (all
+  // interaction events, surviving fault events, original order).
+  std::vector<ReplayEvent> minimize() {
+    POPBEAN_CHECK_MSG(baseline_reproduces(),
+                      "cannot shrink: the full schedule does not reproduce "
+                      "the target failure");
+    stats_.original_faults = fault_positions_.size();
+
+    std::vector<std::size_t> current = fault_positions_;
+    std::size_t granularity = 2;
+    while (current.size() >= 2) {
+      const std::vector<std::vector<std::size_t>> chunks =
+          split(current, granularity);
+      bool reduced = false;
+
+      // Phase 1: reduce to a subset (one chunk alone reproduces).
+      for (const std::vector<std::size_t>& chunk : chunks) {
+        if (chunk.size() == current.size()) continue;
+        if (probe(chunk)) {
+          current = chunk;
+          granularity = 2;
+          reduced = true;
+          break;
+        }
+      }
+      if (reduced) continue;
+
+      // Phase 2: reduce to a complement (drop one chunk).
+      if (granularity > 2 || chunks.size() > 2) {
+        for (const std::vector<std::size_t>& chunk : chunks) {
+          std::vector<std::size_t> complement = subtract(current, chunk);
+          if (complement.size() == current.size() || complement.empty()) {
+            continue;
+          }
+          if (probe(complement)) {
+            current = std::move(complement);
+            granularity = std::max<std::size_t>(granularity - 1, 2);
+            reduced = true;
+            break;
+          }
+        }
+      }
+      if (reduced) continue;
+
+      // Phase 3: refine granularity, or stop at single-event chunks.
+      if (granularity >= current.size()) break;
+      granularity = std::min(granularity * 2, current.size());
+    }
+
+    // A single surviving fault may itself be unnecessary (the failure could
+    // be a wrong decision the protocol reaches on its own schedule).
+    if (current.size() == 1 && probe({})) current.clear();
+
+    stats_.minimized_faults = current.size();
+    return keep_only(current);
+  }
+
+  const ShrinkStats& stats() const noexcept { return stats_; }
+
+  // Replays the schedule with only the given fault positions kept.
+  ReplayResult replay_subset(const std::vector<std::size_t>& kept_faults) {
+    ++stats_.probes;
+    return replay_events(protocol_, invariant_, initial_,
+                         keep_only(kept_faults));
+  }
+
+ private:
+  bool probe(const std::vector<std::size_t>& kept_faults) {
+    return target_.reproduced_by(replay_subset(kept_faults));
+  }
+
+  // Event list containing every interaction event plus the fault events at
+  // the given (sorted) original positions.
+  std::vector<ReplayEvent> keep_only(
+      const std::vector<std::size_t>& kept_faults) const {
+    std::vector<ReplayEvent> kept;
+    kept.reserve(events_.size());
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].is_fault()) {
+        if (next < kept_faults.size() && kept_faults[next] == i) {
+          kept.push_back(events_[i]);
+          ++next;
+        }
+      } else {
+        kept.push_back(events_[i]);
+      }
+    }
+    return kept;
+  }
+
+  static std::vector<std::vector<std::size_t>> split(
+      const std::vector<std::size_t>& items, std::size_t granularity) {
+    const std::size_t n = items.size();
+    const std::size_t parts = std::min(granularity, n);
+    std::vector<std::vector<std::size_t>> chunks(parts);
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < parts; ++c) {
+      const std::size_t size = n / parts + (c < n % parts ? 1 : 0);
+      chunks[c].assign(items.begin() + static_cast<std::ptrdiff_t>(begin),
+                       items.begin() + static_cast<std::ptrdiff_t>(begin + size));
+      begin += size;
+    }
+    return chunks;
+  }
+
+  static std::vector<std::size_t> subtract(
+      const std::vector<std::size_t>& from,
+      const std::vector<std::size_t>& drop) {
+    std::vector<std::size_t> kept;
+    kept.reserve(from.size());
+    std::set_difference(from.begin(), from.end(), drop.begin(), drop.end(),
+                        std::back_inserter(kept));
+    return kept;
+  }
+
+  const P& protocol_;
+  const verify::LinearInvariant& invariant_;
+  Counts initial_;
+  std::vector<ReplayEvent> events_;
+  ShrinkTarget target_;
+  std::vector<std::size_t> fault_positions_;
+  ShrinkStats stats_;
+};
+
+// One-call convenience: minimize `events` against `target`. The returned
+// list reproduces the failure and is 1-minimal in its fault events.
+template <ProtocolLike P>
+std::vector<ReplayEvent> shrink_fault_schedule(
+    const P& protocol, const verify::LinearInvariant& invariant,
+    const Counts& initial, const std::vector<ReplayEvent>& events,
+    const ShrinkTarget& target, ShrinkStats* stats = nullptr) {
+  ScheduleShrinker<P> shrinker(protocol, invariant, initial, events, target);
+  std::vector<ReplayEvent> minimized = shrinker.minimize();
+  if (stats != nullptr) *stats = shrinker.stats();
+  return minimized;
+}
+
+}  // namespace popbean::recovery

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -11,9 +12,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  slots_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,7 +29,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  POPBEAN_CHECK(task != nullptr);
+  enqueue({std::string(), std::move(task)});
+}
+
+void ThreadPool::submit(std::string label, std::function<void()> task) {
+  enqueue({std::move(label), std::move(task)});
+}
+
+void ThreadPool::enqueue(QueuedTask task) {
+  POPBEAN_CHECK(task.work != nullptr);
   {
     std::lock_guard lock(mutex_);
     POPBEAN_CHECK_MSG(!shutting_down_, "submit after shutdown");
@@ -42,9 +52,29 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  return all_done_.wait_for(lock, timeout,
+                            [this] { return in_flight_ == 0; });
+}
+
+std::vector<ThreadPool::RunningTask> ThreadPool::running_tasks() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<RunningTask> running;
+  std::lock_guard lock(mutex_);
+  for (const WorkerSlot& slot : slots_) {
+    if (!slot.busy) continue;
+    running.push_back(
+        {slot.label.empty() ? "<unlabeled>" : slot.label,
+         std::chrono::duration_cast<std::chrono::milliseconds>(
+             now - slot.started)});
+  }
+  return running;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(
@@ -52,10 +82,17 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop();
+      WorkerSlot& slot = slots_[worker_index];
+      slot.busy = true;
+      slot.label = task.label;
+      slot.started = std::chrono::steady_clock::now();
     }
-    task();
+    task.work();
     {
       std::lock_guard lock(mutex_);
+      WorkerSlot& slot = slots_[worker_index];
+      slot.busy = false;
+      slot.label.clear();
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -4,13 +4,21 @@
 // Exceptions thrown by tasks submitted through parallel_for_index are
 // captured and rethrown on the caller's thread (first one wins), so a failed
 // replicate aborts the experiment instead of being silently dropped.
+//
+// For crash-tolerant sweeps (harness/sweep.hpp) the pool additionally
+// supports bounded waiting and stuck-task diagnostics: tasks may carry a
+// label, wait_for() returns instead of blocking forever, and
+// running_tasks() reports what every busy worker has been chewing on and
+// for how long — the watchdog's view of a hung replicate.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +26,12 @@ namespace popbean {
 
 class ThreadPool {
  public:
+  // A labeled task currently executing on some worker.
+  struct RunningTask {
+    std::string label;
+    std::chrono::milliseconds elapsed{0};
+  };
+
   // threads == 0 means std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -30,15 +44,41 @@ class ThreadPool {
   // Enqueues a task. Tasks must not themselves block on the pool.
   void submit(std::function<void()> task);
 
+  // Enqueues a labeled task; the label is visible through running_tasks()
+  // while the task executes.
+  void submit(std::string label, std::function<void()> task);
+
   // Blocks until every task submitted so far has finished.
   void wait_idle();
 
+  // Waits up to `timeout` for the pool to go idle. Returns true if idle,
+  // false if tasks are still queued or running when the deadline passes —
+  // the caller can then inspect running_tasks() and decide what to do
+  // instead of deadlocking on wait_idle().
+  bool wait_for(std::chrono::milliseconds timeout);
+
+  // Snapshot of the labeled tasks currently executing, with how long each
+  // has been running. Unlabeled tasks are reported as "<unlabeled>".
+  std::vector<RunningTask> running_tasks() const;
+
  private:
-  void worker_loop();
+  struct QueuedTask {
+    std::string label;
+    std::function<void()> work;
+  };
+  struct WorkerSlot {
+    bool busy = false;
+    std::string label;
+    std::chrono::steady_clock::time_point started;
+  };
+
+  void enqueue(QueuedTask task);
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::vector<WorkerSlot> slots_;
+  std::queue<QueuedTask> queue_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,198 @@
+// Record → replay determinism: a recorded perturbed run replays bit-exactly
+// (same decision, interaction count, first-violation step, final counts),
+// capture artifacts round-trip through their binary format, corrupt input
+// is rejected with diagnostics, and infeasible edited schedules are
+// reported as non-reproducing rather than crashing.
+#include "recovery/replay.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/avc.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/schedule_model.hpp"
+#include "population/configuration.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/tabulated_io.hpp"
+#include "recovery/event_log.hpp"
+#include "recovery/record.hpp"
+#include "verify/builtin_invariants.hpp"
+
+namespace popbean {
+namespace {
+
+recovery::RecordSpec small_spec(std::uint64_t stream, double rate) {
+  recovery::RecordSpec spec;
+  spec.protocol_name = "test";
+  spec.seed = 20150721;
+  spec.stream = stream;
+  spec.max_interactions = 50'000;
+  spec.rate = rate;
+  spec.epsilon = 0.1;
+  return spec;
+}
+
+recovery::RecordedRun record_avc_corruption(double rate,
+                                            std::uint64_t stream = 0) {
+  const avc::AvcProtocol protocol(3, 1);
+  const Counts initial =
+      majority_instance_with_margin(protocol, 150, 14, Opinion::A);
+  return recovery::record_perturbed_run(
+      protocol, verify::avc_sum_invariant(protocol), initial,
+      faults::TransientCorruption(rate), faults::UniformSchedule{},
+      small_spec(stream, rate));
+}
+
+TEST(ReplayTest, RecordedCorruptionRunReplaysBitExactly) {
+  const recovery::RecordedRun recorded = record_avc_corruption(0.01);
+  ASSERT_FALSE(recorded.log.events.empty());
+  ASSERT_TRUE(recorded.log.outcome.violated);  // corruption breaks the sum
+
+  const ParsedProtocolFile parsed =
+      parse_protocol_file(recorded.header.protocol_text);
+  const verify::LinearInvariant invariant(recorded.header.invariant_name,
+                                          recorded.header.invariant_weights);
+  const recovery::ReplayResult replayed = recovery::replay_events(
+      parsed.protocol, invariant, recorded.header.initial,
+      recorded.log.events);
+  EXPECT_TRUE(replayed.feasible);
+  EXPECT_TRUE(replayed.matches(recorded.log.outcome));
+  EXPECT_EQ(replayed.violation_step, recorded.log.outcome.violation_step);
+  EXPECT_EQ(replayed.final_counts, recorded.log.outcome.final_counts);
+}
+
+TEST(ReplayTest, StuckAtInitFaultsAreBackfilledAndReplay) {
+  // StuckAt fires its whole batch in the adapter constructor, before any
+  // observer exists — the recorder must backfill those events.
+  const FourStateProtocol protocol;
+  Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state(Opinion::A)] = 70;
+  initial[protocol.initial_state(Opinion::B)] = 50;
+  const recovery::RecordedRun recorded = recovery::record_perturbed_run(
+      protocol, verify::four_state_difference_invariant(), initial,
+      faults::StuckAt(0.2), faults::UniformSchedule{}, small_spec(3, 0.2));
+
+  std::size_t sticks = 0;
+  for (const recovery::ReplayEvent& event : recorded.log.events) {
+    if (event.kind == recovery::ReplayEventKind::kStick) ++sticks;
+  }
+  EXPECT_GT(sticks, 0u);
+  // The init batch leads the log: the first event must be a stick.
+  EXPECT_EQ(recorded.log.events.front().kind,
+            recovery::ReplayEventKind::kStick);
+
+  const recovery::ReplayResult replayed = recovery::replay_events(
+      protocol, verify::four_state_difference_invariant(), initial,
+      recorded.log.events);
+  EXPECT_TRUE(replayed.matches(recorded.log.outcome));
+}
+
+TEST(ReplayTest, CrashRecoveryRunReplaysBitExactly) {
+  const avc::AvcProtocol protocol(3, 1);
+  const Counts initial =
+      majority_instance_with_margin(protocol, 120, 12, Opinion::B);
+  const recovery::RecordedRun recorded = recovery::record_perturbed_run(
+      protocol, verify::avc_sum_invariant(protocol), initial,
+      faults::CrashRecovery(0.02, 0.1), faults::UniformSchedule{},
+      small_spec(1, 0.02));
+  const recovery::ReplayResult replayed = recovery::replay_events(
+      protocol, verify::avc_sum_invariant(protocol), initial,
+      recorded.log.events);
+  EXPECT_TRUE(replayed.matches(recorded.log.outcome));
+}
+
+TEST(ReplayTest, CaptureArtifactsRoundTripThroughBinaryFormat) {
+  const recovery::RecordedRun recorded = record_avc_corruption(0.005, 2);
+
+  const std::string header_bytes =
+      recovery::serialize_capture_header(recorded.header);
+  const recovery::CaptureHeader header =
+      recovery::parse_capture_header(header_bytes, "test");
+  EXPECT_EQ(header.protocol_text, recorded.header.protocol_text);
+  EXPECT_EQ(header.invariant_weights, recorded.header.invariant_weights);
+  EXPECT_EQ(header.n, recorded.header.n);
+  EXPECT_EQ(header.seed, recorded.header.seed);
+  EXPECT_EQ(header.stream, recorded.header.stream);
+  EXPECT_EQ(header.initial, recorded.header.initial);
+
+  const std::string log_bytes = recovery::serialize_capture_log(recorded.log);
+  const recovery::CaptureLog log =
+      recovery::parse_capture_log(log_bytes, "test");
+  EXPECT_EQ(log.events, recorded.log.events);
+  EXPECT_TRUE(log.outcome == recorded.log.outcome);
+}
+
+TEST(ReplayTest, TruncatedAndTamperedCapturesAreRejected) {
+  const recovery::RecordedRun recorded = record_avc_corruption(0.005, 4);
+  const std::string log_bytes = recovery::serialize_capture_log(recorded.log);
+
+  // Truncation anywhere inside the event array or outcome.
+  for (const double fraction : {0.1, 0.5, 0.99}) {
+    const std::size_t keep =
+        static_cast<std::size_t>(fraction *
+                                 static_cast<double>(log_bytes.size()));
+    EXPECT_THROW(recovery::parse_capture_log(
+                     std::string_view(log_bytes).substr(0, keep), "test"),
+                 recovery::SnapshotError);
+  }
+  // Trailing garbage.
+  EXPECT_THROW(recovery::parse_capture_log(log_bytes + "zz", "test"),
+               recovery::SnapshotError);
+
+  const std::string header_bytes =
+      recovery::serialize_capture_header(recorded.header);
+  EXPECT_THROW(recovery::parse_capture_header(
+                   std::string_view(header_bytes).substr(
+                       0, header_bytes.size() / 2),
+                   "test"),
+               recovery::SnapshotError);
+}
+
+TEST(ReplayTest, InfeasibleEditedScheduleIsReportedNotFatal) {
+  const avc::AvcProtocol protocol(3, 1);
+  const Counts initial =
+      majority_instance_with_margin(protocol, 100, 10, Opinion::A);
+  const verify::LinearInvariant invariant =
+      verify::avc_sum_invariant(protocol);
+
+  // A crash aimed at a state no agent occupies is infeasible, not fatal.
+  State empty_state = 0;
+  for (State q = 0; q < initial.size(); ++q) {
+    if (initial[q] == 0) { empty_state = q; break; }
+  }
+  std::vector<recovery::ReplayEvent> events = {
+      {recovery::ReplayEventKind::kCrash, empty_state, 0, 0}};
+  const recovery::ReplayResult crash_result =
+      recovery::replay_events(protocol, invariant, initial, events);
+  EXPECT_FALSE(crash_result.feasible);
+  EXPECT_EQ(crash_result.infeasible_event, 0u);
+  EXPECT_FALSE(crash_result.infeasible_reason.empty());
+
+  // An out-of-range state id is likewise reported.
+  events = {{recovery::ReplayEventKind::kInteraction,
+             static_cast<State>(initial.size() + 5), 0, 0}};
+  const recovery::ReplayResult range_result =
+      recovery::replay_events(protocol, invariant, initial, events);
+  EXPECT_FALSE(range_result.feasible);
+
+  // An infeasible replay never matches any recorded outcome.
+  EXPECT_FALSE(crash_result.matches(recovery::CaptureOutcome{}));
+}
+
+TEST(ReplayTest, EmptyEventListIsAFeasibleNoOp) {
+  const avc::AvcProtocol protocol(3, 1);
+  const Counts initial =
+      majority_instance_with_margin(protocol, 100, 10, Opinion::A);
+  const recovery::ReplayResult result = recovery::replay_events(
+      protocol, verify::avc_sum_invariant(protocol), initial, {});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.interactions, 0u);
+  EXPECT_FALSE(result.violated);
+  EXPECT_EQ(result.final_counts, initial);
+  EXPECT_EQ(result.status, RunStatus::kStepLimit);
+}
+
+}  // namespace
+}  // namespace popbean

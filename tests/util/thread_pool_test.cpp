@@ -1,8 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -75,6 +78,74 @@ TEST(ThreadPoolTest, PoolIsReusableAfterException) {
   std::atomic<int> counter{0};
   parallel_for_index(pool, 8, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, WaitForOnIdlePoolReturnsTrueImmediately) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.wait_for(std::chrono::milliseconds(0)));
+  EXPECT_TRUE(pool.wait_for(std::chrono::milliseconds(10)));
+}
+
+TEST(ThreadPoolTest, WaitForTimesOutWhileTasksRunThenSucceeds) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit("blocker", [&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // The deadline passes while the task is still held open.
+  EXPECT_FALSE(pool.wait_for(std::chrono::milliseconds(20)));
+  release.store(true);
+  // Bounded retry loop: the task finishes promptly once released.
+  bool idle = false;
+  for (int i = 0; i < 500 && !idle; ++i) {
+    idle = pool.wait_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(idle);
+}
+
+TEST(ThreadPoolTest, RunningTasksReportsLabelsAndElapsed) {
+  ThreadPool pool(2);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit("stuck diagnostic probe", [&] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::vector<ThreadPool::RunningTask> running = pool.running_tasks();
+  ASSERT_EQ(running.size(), 1u);
+  EXPECT_EQ(running[0].label, "stuck diagnostic probe");
+  EXPECT_GT(running[0].elapsed.count(), 0);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_TRUE(pool.running_tasks().empty());
+}
+
+TEST(ThreadPoolTest, UnlabeledTasksGetAPlaceholderLabel) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<ThreadPool::RunningTask> running = pool.running_tasks();
+  ASSERT_EQ(running.size(), 1u);
+  EXPECT_FALSE(running[0].label.empty());
+  release.store(true);
+  pool.wait_idle();
 }
 
 }  // namespace

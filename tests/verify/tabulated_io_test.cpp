@@ -107,6 +107,55 @@ TEST(TabulatedIoTest, SyntaxErrorsNameTheLine) {
               "one 'A=' and one 'B='");
 }
 
+TEST(TabulatedIoTest, TrailingGarbageIsRejectedNotSilentlyIgnored) {
+  // A corrupt or hand-edited file must not parse by accident: every line
+  // kind rejects extra tokens after its grammar is satisfied.
+  const auto expect_fail = [](const std::string& text,
+                              const std::string& fragment) {
+    try {
+      parse_protocol_file(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_fail("popbean-protocol v1\nstates 2 9\n", "trailing garbage '9'");
+  expect_fail(
+      "popbean-protocol v1\nstates 2\nstate 0 A 1 extra\n",
+      "trailing garbage 'extra'");
+  expect_fail(
+      "popbean-protocol v1\nstates 2\ninitial A=0 B=1 C=2\n",
+      "trailing garbage 'C=2'");
+  expect_fail(
+      "popbean-protocol v1\nstates 2\ninitial A=0 B=1\n"
+      "delta 0 1 -> 0 0 oops\n",
+      "trailing garbage 'oops'");
+}
+
+TEST(TabulatedIoTest, MalformedAssignmentsAndWeightsAreRejected) {
+  const auto expect_fail = [](const std::string& text,
+                              const std::string& fragment) {
+    try {
+      parse_protocol_file(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // 'A=0x' used to parse as A=0 with the 'x' dropped on the floor.
+  expect_fail("popbean-protocol v1\nstates 2\ninitial A=0x B=1\n", "A=");
+  expect_fail("popbean-protocol v1\nstates 2\ninitial A= B=1\n", "A=");
+  // Non-numeric invariant weights likewise used to truncate silently.
+  expect_fail(
+      "popbean-protocol v1\nstates 2\ninitial A=0 B=1\n"
+      "invariant sum 1 1 junk\n",
+      "non-numeric weight 'junk'");
+}
+
 TEST(TabulatedIoTest, RawConstructorSkipsValidationTabulationDoesNot) {
   // The from-base constructor must reject a base whose apply() leaves the
   // state space (the silent-corruption pitfall); the raw constructor must

@@ -31,7 +31,27 @@
 //   --threads=T        worker threads (default: hardware concurrency)
 //   --json=PATH        also write the sweep as a JSON report
 //   --csv=PATH         also write the per-rate series as CSV
+//
+// Crash tolerance & replay (DESIGN.md §7):
+//   --checkpoint=PATH  append completed (rate, replicate) cells to a
+//                      checksummed manifest as the sweep runs
+//   --checkpoint-every=K   manifest flush cadence in cells (default 16)
+//   --resume           skip cells already recorded in the manifest; the
+//                      merged result is bit-identical to an uninterrupted run
+//   --timeout=SECONDS  wall-clock budget per cell (0 = unlimited)
+//   --retries=K        re-attempts after a timeout (default 1)
+//   --record=PREFIX    after the sweep, re-run the first invariant-violating
+//                      cell deterministically with the event recorder and
+//                      write PREFIX.header.pbsn + PREFIX.log.pbsn for
+//                      popbean-replay
+//
+// SIGINT/SIGTERM drain the sweep: in-flight cells stop at their next poll,
+// completed work is flushed to the manifest, and the tool exits 3 — rerun
+// with --resume to pick up where it left off.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -43,6 +63,8 @@
 #include "harness/report.hpp"
 #include "protocols/four_state.hpp"
 #include "protocols/three_state.hpp"
+#include "recovery/event_log.hpp"
+#include "recovery/record.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -51,6 +73,16 @@
 namespace {
 
 using namespace popbean;
+
+// Set by the SIGINT/SIGTERM handler; polled by every in-flight cell.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_drain_signal(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+// Thrown to unwind out of the dispatch layers after a drained sweep.
+struct InterruptedSweep {};
 
 struct Settings {
   std::string protocol = "avc";
@@ -66,6 +98,8 @@ struct Settings {
   std::size_t threads = 0;
   std::string json_path;
   std::string csv_path;
+  FaultSweepRecovery recovery_cfg;
+  std::string record_prefix;
 };
 
 void print_sweep(const std::string& label, const Settings& settings,
@@ -131,17 +165,90 @@ void write_outputs(const std::string& label, const Settings& settings,
   }
 }
 
+// After a sweep, deterministically re-runs the first cell (lowest rate,
+// then lowest replicate) whose monitor saw a violation, with the event
+// recorder attached, and writes the capture pair for popbean-replay.
+template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
+void record_first_violation(const P& protocol, const std::string& label,
+                            const verify::LinearInvariant& invariant,
+                            const Settings& settings,
+                            const FaultSweepOutcome& outcome,
+                            FaultFactory&& make_faults,
+                            ScheduleFactory&& make_schedule) {
+  for (std::size_t p = 0; p < settings.rates.size(); ++p) {
+    for (std::size_t r = 0; r < settings.config.replicates; ++r) {
+      const std::size_t index = p * settings.config.replicates + r;
+      if (!outcome.present[index] || outcome.cells[index].timed_out ||
+          !outcome.cells[index].violated) {
+        continue;
+      }
+      const MajorityInstance instance =
+          make_instance(settings.config.n, settings.config.epsilon);
+      const Counts initial = majority_instance_with_margin(
+          protocol, instance.n, instance.margin, instance.majority);
+      recovery::RecordSpec spec;
+      spec.protocol_name = label;
+      spec.seed = settings.config.seed;
+      spec.stream =
+          static_cast<std::uint64_t>(p) * settings.config.replicates + r;
+      spec.max_interactions = settings.config.max_interactions;
+      spec.rate = settings.rates[p];
+      spec.epsilon = settings.config.epsilon;
+      const recovery::RecordedRun recorded = recovery::record_perturbed_run(
+          protocol, invariant, initial, make_faults(settings.rates[p]),
+          make_schedule(), spec);
+      const std::string header_path = settings.record_prefix + ".header.pbsn";
+      const std::string log_path = settings.record_prefix + ".log.pbsn";
+      recovery::save_capture_files(header_path, log_path, recorded.header,
+                                   recorded.log);
+      std::cout << "recorded violating cell (rate=" << settings.rates[p]
+                << ", replicate=" << r << ", first violation at step "
+                << recorded.log.outcome.violation_step << ") to "
+                << header_path << " + " << log_path << "\n";
+      return;
+    }
+  }
+  std::cout << "--record: no replicate violated the invariant; nothing "
+               "recorded\n";
+}
+
 // Innermost dispatch layer: fault and schedule factories resolved, run.
+// Always routes through the recoverable sweep (without --checkpoint it
+// simply never writes a manifest); SIGINT/SIGTERM drain it.
 template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory>
 void run_sweep(const P& protocol, const std::string& label,
                const verify::LinearInvariant& invariant,
                const Settings& settings, FaultFactory&& make_faults,
                ScheduleFactory&& make_schedule) {
   ThreadPool pool(settings.threads);
-  const std::vector<FaultSweepPoint> points = run_fault_sweep(
-      pool, protocol, invariant, settings.rates, settings.config, make_faults,
-      make_schedule);
-  write_outputs(label, settings, points);
+  FaultSweepRecovery recovery_options = settings.recovery_cfg;
+  recovery_options.run.cancel = &g_interrupted;
+  const FaultSweepOutcome outcome = run_fault_sweep_recoverable(
+      pool, protocol, invariant, label, settings.rates, settings.config,
+      recovery_options, make_faults, make_schedule);
+  if (outcome.report.skipped > 0) {
+    std::cout << "resume: skipped " << outcome.report.skipped
+              << " cells already in " << recovery_options.manifest_path
+              << "\n";
+  }
+  for (const std::string& hung : outcome.report.hung) {
+    std::cerr << "watchdog: " << hung << "\n";
+  }
+  write_outputs(label, settings, outcome.points);
+  if (outcome.report.timed_out > 0) {
+    std::cerr << outcome.report.timed_out
+              << " cells timed out after retries (recorded as timed_out)\n";
+  }
+  if (outcome.report.interrupted) {
+    std::cerr << "interrupted: " << outcome.report.cancelled
+              << " cells not finished; rerun with --resume to complete the "
+                 "sweep\n";
+    throw InterruptedSweep{};
+  }
+  if (!settings.record_prefix.empty()) {
+    record_first_violation(protocol, label, invariant, settings, outcome,
+                           make_faults, make_schedule);
+  }
 }
 
 template <ProtocolLike P, typename FaultFactory>
@@ -233,7 +340,8 @@ int main(int argc, char** argv) {
     args.check_known({"protocol", "m", "d", "fault", "rates", "recovery",
                       "schedule", "zipf-exponent", "budget", "n", "eps",
                       "replicates", "seed", "max-time", "threads", "json",
-                      "csv"});
+                      "csv", "checkpoint", "checkpoint-every", "resume",
+                      "timeout", "retries", "record"});
     Settings settings;
     settings.protocol = args.get_string("protocol", settings.protocol);
     settings.m = static_cast<int>(args.get_int("m", settings.m));
@@ -257,9 +365,27 @@ int main(int argc, char** argv) {
     settings.threads = static_cast<std::size_t>(args.get_int("threads", 0));
     settings.json_path = args.get_string("json", "");
     settings.csv_path = args.get_string("csv", "");
+    settings.recovery_cfg.manifest_path = args.get_string("checkpoint", "");
+    settings.recovery_cfg.checkpoint_every =
+        static_cast<std::size_t>(args.get_int("checkpoint-every", 16));
+    settings.recovery_cfg.resume = args.get_bool("resume", false);
+    if (settings.recovery_cfg.resume &&
+        settings.recovery_cfg.manifest_path.empty()) {
+      throw std::runtime_error("--resume requires --checkpoint=PATH");
+    }
+    settings.recovery_cfg.run.cell_timeout =
+        std::chrono::milliseconds(static_cast<std::int64_t>(
+            args.get_double("timeout", 0.0) * 1000.0));
+    settings.recovery_cfg.run.max_retries =
+        static_cast<std::size_t>(args.get_int("retries", 1));
+    settings.record_prefix = args.get_string("record", "");
 
+    std::signal(SIGINT, handle_drain_signal);
+    std::signal(SIGTERM, handle_drain_signal);
     dispatch_protocol(settings);
     return 0;
+  } catch (const InterruptedSweep&) {
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "popbean-faults: " << e.what() << "\n";
     return 2;
