@@ -54,6 +54,32 @@ Transition AvcProtocol::apply(State x, State y) const noexcept {
   return {shift_to_zero(x), shift_to_zero(y)};
 }
 
+obs::ReactionKind AvcProtocol::classify(State x, State y) const noexcept {
+  // Nullness first: every family's guard admits fixed points (a pair equal
+  // to its own average, an already-drifted sign adoption, a zero–zero
+  // pair), and those are null interactions, not family members.
+  if (is_null(apply(x, y), x, y)) return obs::ReactionKind::kNull;
+
+  const int wx = codec_.weight_of(x);
+  const int wy = codec_.weight_of(y);
+
+  // Mirrors apply()'s guards branch for branch.
+  if (wx > 0 && wy > 0 && (wx > 1 || wy > 1)) {
+    return obs::ReactionKind::kAveraging;
+  }
+  if ((wx == 0) != (wy == 0)) {
+    // Lines 12–14: the weak node adopts the partner's sign (the partner may
+    // additionally drift, but the family is named by the weak node's move).
+    return obs::ReactionKind::kSignToZero;
+  }
+  if (wx == 1 && wy == 1 && codec_.sign_of(x) != codec_.sign_of(y) &&
+      (codec_.level_of(x) == codec_.d() || codec_.level_of(y) == codec_.d())) {
+    return obs::ReactionKind::kNeutralization;
+  }
+  // Remaining productive pairs are the line 18–19 drifts.
+  return obs::ReactionKind::kShiftToZero;
+}
+
 std::int64_t AvcProtocol::total_value(const Counts& counts) const {
   POPBEAN_CHECK(counts.size() == num_states());
   std::int64_t total = 0;

@@ -34,6 +34,7 @@
 #include <string>
 
 #include "core/avc_state.hpp"
+#include "obs/probe.hpp"
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
 
@@ -59,6 +60,13 @@ class AvcProtocol {
   Output output(State q) const noexcept { return codec_.sign_of(q) > 0 ? 1 : 0; }
 
   Transition apply(State x, State y) const noexcept;
+
+  // Names the Fig. 1 reaction family apply(x, y) falls into, for the
+  // observability layer's per-kind interaction counters (obs/probe.hpp).
+  // Callers classify *productive* pairs; a pair whose transition is null
+  // (zero–zero, or drift at the deepest level) maps to kNull here too, so
+  // the partition stays consistent either way.
+  obs::ReactionKind classify(State x, State y) const noexcept;
 
   std::string state_name(State q) const { return codec_.name(q); }
 

@@ -43,6 +43,7 @@
 #include "faults/fault_model.hpp"
 #include "faults/invariant_monitor.hpp"
 #include "faults/schedule_model.hpp"
+#include "obs/probe.hpp"
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
 #include "population/run.hpp"
@@ -135,6 +136,13 @@ class PerturbedEngine {
     if (!a_stuck) imprint(a, t.initiator, rng);
     if (!b_stuck) imprint(b, t.responder, rng);
     if (monitor_ != nullptr) monitor_->check(steps_);
+    // In counts mode the adapter owns the dynamics, so the scheduled pair is
+    // classified here (passthrough delegates to the base, which records).
+    POPBEAN_OBS_HOOK(if (probe_ != nullptr) {
+      probe_->record(is_null(t, a, b)
+                         ? obs::ReactionKind::kNull
+                         : obs::classify_interaction(base_.protocol(), a, b));
+    })
     ++counters_.injected_interactions;
     ++steps_;
   }
@@ -155,6 +163,20 @@ class PerturbedEngine {
   // the same initial configuration the adapter started from.
   void attach_monitor(InvariantMonitor* monitor) noexcept {
     monitor_ = monitor;
+  }
+
+  // Attaches an interaction probe (src/obs). In passthrough mode the probe
+  // is forwarded to the base engine, which records each delegated step; in
+  // counts mode the adapter records the pairs it schedules itself — exactly
+  // one of the two paths is live, so interactions are never double-counted.
+  void attach_probe(obs::EngineProbe* probe) noexcept {
+    if (passthrough_) {
+      if constexpr (requires(E& e) { e.attach_probe(probe); }) {
+        base_.attach_probe(probe);
+        return;
+      }
+    }
+    probe_ = probe;
   }
 
   // Attach an event recorder. Counts mode only: a passthrough adapter
@@ -360,6 +382,7 @@ class PerturbedEngine {
   FaultLog log_;
   InvariantMonitor* monitor_ = nullptr;
   StepObserver* observer_ = nullptr;
+  obs::EngineProbe* probe_ = nullptr;  // counts mode only; see attach_probe
 };
 
 // Deduction-friendly factory: wraps `base` with the given models, splitting

@@ -103,7 +103,10 @@ namespace detail {
 
 // Runs cell (p, r) deterministically on stream p·replicates + r. Returns
 // nullopt iff should_stop fired mid-run (the outcome is then undefined and
-// nothing may be recorded).
+// nothing may be recorded). Completed cells flush engine transition-kind
+// counts, fault tallies, run-status counters, and the run's parallel time
+// into `obs.metrics` (when set); abandoned attempts record nothing, so
+// metrics never double-count a retried cell.
 template <ProtocolLike P, typename FaultFactory, typename ScheduleFactory,
           typename StopFn>
 std::optional<FaultCellOutcome> run_fault_cell(
@@ -111,7 +114,7 @@ std::optional<FaultCellOutcome> run_fault_cell(
     const Counts& initial, const FaultSweepConfig& config, double rate,
     std::size_t point, std::size_t replicate, FaultFactory&& make_faults,
     ScheduleFactory&& make_schedule, StopFn&& should_stop,
-    std::uint64_t stop_check_interval) {
+    std::uint64_t stop_check_interval, const obs::ObsContext& obs = {}) {
   const std::uint64_t stream =
       static_cast<std::uint64_t>(point) * config.replicates + replicate;
   Xoshiro256ss rng(config.seed, stream);
@@ -120,6 +123,8 @@ std::optional<FaultCellOutcome> run_fault_cell(
                                        rng);
   faults::InvariantMonitor monitor(invariant, initial);
   engine.attach_monitor(&monitor);
+  obs::EngineProbe probe;
+  if (obs.metrics != nullptr) engine.attach_probe(&probe);
   const std::optional<RunResult> result = run_to_convergence_interruptible(
       engine, rng, config.max_interactions, should_stop, stop_check_interval);
   if (!result) return std::nullopt;
@@ -128,6 +133,38 @@ std::optional<FaultCellOutcome> run_fault_cell(
   out.counters = engine.fault_counters();
   out.violated = monitor.violated();
   out.violation_step = monitor.first_violation_step().value_or(0);
+
+  if (obs.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *obs.metrics;
+    obs::flush_engine_probe(metrics, probe);
+    metrics.add(metrics.counter("faults.crashes"), out.counters.crashes);
+    metrics.add(metrics.counter("faults.recoveries"), out.counters.recoveries);
+    metrics.add(metrics.counter("faults.corruptions"),
+                out.counters.corruptions);
+    metrics.add(metrics.counter("faults.sign_flips"), out.counters.sign_flips);
+    metrics.add(metrics.counter("faults.stuck"), out.counters.stuck);
+    metrics.add(metrics.counter("faults.schedule_delays"),
+                out.counters.schedule_delays);
+    metrics.add(metrics.counter("faults.injected_interactions"),
+                out.counters.injected_interactions);
+    switch (result->status) {
+      case RunStatus::kConverged:
+        metrics.add(metrics.counter("runs.converged"));
+        break;
+      case RunStatus::kStepLimit:
+        metrics.add(metrics.counter("runs.step_limit"));
+        break;
+      case RunStatus::kAbsorbing:
+        metrics.add(metrics.counter("runs.absorbing"));
+        break;
+    }
+    if (out.violated) metrics.add(metrics.counter("runs.violated"));
+    metrics.observe(
+        metrics.histogram("run.parallel_time",
+                          Histogram::logarithmic(1e-2, 1e8, 50)),
+        static_cast<double>(result->interactions) /
+            static_cast<double>(config.n));
+  }
   return out;
 }
 
@@ -303,7 +340,7 @@ FaultSweepOutcome run_fault_sweep_recoverable(
         std::optional<FaultCellOutcome> out = detail::run_fault_cell(
             protocol, invariant, initial, config, rates[cell.point],
             cell.point, cell.replicate, make_faults, make_schedule,
-            should_stop, recovery.run.stop_check_interval);
+            should_stop, recovery.run.stop_check_interval, recovery.run.obs);
         if (!out) return false;
         const std::size_t index =
             cell.point * config.replicates + cell.replicate;

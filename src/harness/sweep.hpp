@@ -20,7 +20,13 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace popbean {
@@ -88,6 +94,12 @@ struct SweepRunOptions {
   // flagged hung and told to abandon — the backstop for a worker whose
   // deadline polling is itself wedged. Meaningless when cell_timeout is 0.
   std::chrono::milliseconds watchdog_grace{5000};
+
+  // Optional observability sinks (src/obs): per-cell wall times and outcome
+  // counters into `metrics`, one trace span per attempt into `trace`, and
+  // one JSONL event per finished cell into `telemetry`. The sinks must
+  // outlive the sweep call.
+  obs::ObsContext obs;
 };
 
 enum class CellOutcomeKind {
@@ -153,6 +165,28 @@ CellSweepReport run_cell_sweep(ThreadPool& pool, std::size_t points,
       slots.push_back(std::move(slot));
     }
   }
+  // Metric ids are registered once up front; recording then stays on the
+  // registry's wait-free per-thread path inside the workers.
+  obs::MetricsRegistry* const metrics = options.obs.metrics;
+  obs::TraceCollector* const trace = options.obs.trace;
+  obs::TelemetrySink* const telemetry = options.obs.telemetry;
+  struct SweepMetricIds {
+    obs::CounterId completed, timed_out, cancelled, retries, resume_skipped,
+        hung;
+    obs::HistogramId cell_ms;
+  } ids{};
+  if (metrics != nullptr) {
+    ids.completed = metrics->counter("sweep.cells_completed");
+    ids.timed_out = metrics->counter("sweep.cells_timed_out");
+    ids.cancelled = metrics->counter("sweep.cells_cancelled");
+    ids.retries = metrics->counter("sweep.cell_retries");
+    ids.resume_skipped = metrics->counter("sweep.cells_resume_skipped");
+    ids.hung = metrics->counter("sweep.cells_hung");
+    ids.cell_ms = metrics->histogram(
+        "sweep.cell_ms", Histogram::logarithmic(1e-2, 3.6e6, 44));
+    if (report.skipped > 0) metrics->add(ids.resume_skipped, report.skipped);
+  }
+
   if (slots.empty()) return report;
 
   const auto cancelled = [&options] {
@@ -177,6 +211,9 @@ CellSweepReport run_cell_sweep(ThreadPool& pool, std::size_t points,
         if (!cancelled()) {
           const std::size_t attempts = 1 + options.max_retries;
           for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+            if (attempt > 0 && metrics != nullptr) {
+              metrics->add(ids.retries);
+            }
             slot->abandon.store(false, std::memory_order_relaxed);
             const Clock::time_point started = Clock::now();
             slot->attempt_started.store(started.time_since_epoch().count(),
@@ -188,7 +225,23 @@ CellSweepReport run_cell_sweep(ThreadPool& pool, std::size_t points,
                      slot->abandon.load(std::memory_order_relaxed) ||
                      (bounded && Clock::now() >= deadline);
             };
-            if (run_cell(slot->cell, should_stop)) {
+            const bool done = run_cell(slot->cell, should_stop);
+            const Clock::time_point finished = Clock::now();
+            if (metrics != nullptr) {
+              metrics->observe(
+                  ids.cell_ms,
+                  std::chrono::duration<double, std::milli>(finished - started)
+                      .count());
+            }
+            if (trace != nullptr) {
+              trace->complete_event(
+                  "cell", "sweep", started, finished,
+                  {{"point", static_cast<double>(slot->cell.point)},
+                   {"replicate", static_cast<double>(slot->cell.replicate)},
+                   {"attempt", static_cast<double>(attempt)},
+                   {"done", done ? 1.0 : 0.0}});
+            }
+            if (done) {
               kind = CellOutcomeKind::kDone;
               break;
             }
@@ -224,17 +277,29 @@ CellSweepReport run_cell_sweep(ThreadPool& pool, std::size_t points,
     }
     for (CellSlot* slot : batch) {
       ++drained;
+      const auto emit_telemetry = [&](std::string_view event) {
+        if (telemetry == nullptr) return;
+        telemetry->record(event, [&](JsonWriter& json) {
+          json.kv("point", slot->cell.point);
+          json.kv("replicate", slot->cell.replicate);
+        });
+      };
       switch (slot->kind) {
         case CellOutcomeKind::kDone:
           ++report.completed;
+          if (metrics != nullptr) metrics->add(ids.completed);
+          emit_telemetry("cell_done");
           on_cell_done(slot->cell, CellOutcomeKind::kDone);
           break;
         case CellOutcomeKind::kTimedOut:
           ++report.timed_out;
+          if (metrics != nullptr) metrics->add(ids.timed_out);
+          emit_telemetry("cell_timed_out");
           on_cell_done(slot->cell, CellOutcomeKind::kTimedOut);
           break;
         case CellOutcomeKind::kCancelled:
           ++report.cancelled;
+          if (metrics != nullptr) metrics->add(ids.cancelled);
           break;
       }
     }
@@ -258,6 +323,7 @@ CellSweepReport run_cell_sweep(ThreadPool& pool, std::size_t points,
       // Overdue past the per-attempt budget: the worker's own deadline poll
       // should have fired long ago. Flag it and force the abandon path.
       slot->abandon.store(true, std::memory_order_relaxed);
+      if (metrics != nullptr) metrics->add(ids.hung);
       std::ostringstream what;
       what << "cell p" << slot->cell.point << " r" << slot->cell.replicate
            << " overdue (" << elapsed.count() << " ms elapsed, budget "

@@ -1,0 +1,63 @@
+// Observability subsystem root (DESIGN.md §8): compile-time switch, the
+// hook macro, and the context bundle threaded through the harness drivers.
+//
+// The subsystem has three sinks, all optional and all usable independently:
+//
+//   * MetricsRegistry (obs/metrics.hpp) — counters, gauges, and mergeable
+//     histograms, sharded per thread so hot-path increments are wait-free;
+//   * TraceCollector (obs/trace.hpp) — Chrome trace_event records, so a
+//     sweep renders as a timeline in chrome://tracing / Perfetto;
+//   * TelemetrySink (obs/telemetry.hpp) — structured JSONL event stream.
+//
+// Instrumentation hooks in hot paths (the engines' per-interaction
+// recording) are wrapped in POPBEAN_OBS_HOOK, which discards its argument
+// tokens entirely when the build sets POPBEAN_OBS_ENABLED=0 (CMake option
+// POPBEAN_OBS=OFF) — a compile-time no-op, not a runtime branch. Cold-path
+// structures (the registry, traces, telemetry) stay available in both modes
+// so drivers and tools compile unchanged; an OFF build simply reports no
+// engine-level counts.
+#pragma once
+
+#include <cstddef>
+
+// Defined to 0 by -DPOPBEAN_OBS=OFF (via the popbean_util usage
+// requirements); instrumentation is compiled in by default.
+#ifndef POPBEAN_OBS_ENABLED
+#define POPBEAN_OBS_ENABLED 1
+#endif
+
+// Hot-path hook: the wrapped statements are compiled verbatim when
+// observability is enabled and removed before parsing when it is not.
+#if POPBEAN_OBS_ENABLED
+#define POPBEAN_OBS_HOOK(...) __VA_ARGS__
+#else
+#define POPBEAN_OBS_HOOK(...)
+#endif
+
+namespace popbean::obs {
+
+inline constexpr bool kEnabled = POPBEAN_OBS_ENABLED != 0;
+
+class MetricsRegistry;
+class TraceCollector;
+class TelemetrySink;
+
+// Process-wide dense id of the calling thread, assigned on first use; the
+// metrics shard index and the `tid` of trace events, so a Perfetto timeline
+// lines up with the registry's per-thread view.
+std::size_t current_thread_index() noexcept;
+
+// The optional sinks a driver records into; null members are skipped. Plain
+// pointers — the caller owns the sinks and must keep them alive for the
+// duration of the instrumented run.
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceCollector* trace = nullptr;
+  TelemetrySink* telemetry = nullptr;
+
+  bool any() const noexcept {
+    return metrics != nullptr || trace != nullptr || telemetry != nullptr;
+  }
+};
+
+}  // namespace popbean::obs

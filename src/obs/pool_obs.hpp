@@ -1,0 +1,37 @@
+// Bridges ThreadPool's task observer into a MetricsRegistry: queue latency
+// and run time per task (log-binned from 1 µs to 1 h), a completion
+// counter, and a queue-depth gauge sampled at each dequeue. The registry
+// must outlive the pool (or a detach via set_task_observer(nullptr) +
+// wait_idle()); the observer runs on worker threads, which is exactly the
+// sharded-registry fast path.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "util/histogram.hpp"
+#include "util/thread_pool.hpp"
+
+namespace popbean::obs {
+
+inline void attach_thread_pool(ThreadPool& pool, MetricsRegistry& registry) {
+  const Histogram latency_shape = Histogram::logarithmic(1e-3, 3.6e6, 48);
+  const CounterId tasks = registry.counter("pool.tasks_completed");
+  const HistogramId queue_ms =
+      registry.histogram("pool.task_queue_ms", latency_shape);
+  const HistogramId run_ms =
+      registry.histogram("pool.task_run_ms", latency_shape);
+  const GaugeId depth = registry.gauge("pool.queue_depth");
+  pool.set_task_observer([&registry, tasks, queue_ms, run_ms,
+                          depth](const ThreadPool::TaskStats& stats) {
+    using FpMillis = std::chrono::duration<double, std::milli>;
+    registry.add(tasks);
+    registry.observe(queue_ms,
+                     FpMillis(stats.started - stats.enqueued).count());
+    registry.observe(run_ms,
+                     FpMillis(stats.finished - stats.started).count());
+    registry.set(depth, static_cast<double>(stats.queue_depth));
+  });
+}
+
+}  // namespace popbean::obs

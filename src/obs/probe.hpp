@@ -1,0 +1,103 @@
+// Engine-level instrumentation (DESIGN.md §8): a per-run probe counting
+// interactions by reaction kind, attached to an engine via attach_probe()
+// and flushed into a MetricsRegistry when the run finishes.
+//
+// The kind taxonomy follows the AVC reaction families (paper Fig. 1):
+// averaging (line 11), sign-to-zero (12–14), shift-to-zero (15–17), and
+// neutralization (18–19); protocols without a classify() method report
+// their productive interactions as kOther. EngineProbe compiles to an empty
+// struct with no-op methods when POPBEAN_OBS_ENABLED=0, so engines keep the
+// member and the call sites vanish (see the zero-overhead test).
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+namespace popbean::obs {
+
+enum class ReactionKind : std::uint8_t {
+  kNull = 0,          // no state change (engine-detected)
+  kAveraging,         // two strong agents average their values
+  kSignToZero,        // a zero-value agent adopts a sign/level
+  kShiftToZero,       // drift toward the zero-value backstop states
+  kNeutralization,    // opposite-sign weight-1 agents cancel
+  kOther,             // productive, but the protocol has no classifier
+};
+
+inline constexpr std::size_t kReactionKindCount = 6;
+
+constexpr std::string_view reaction_kind_name(ReactionKind kind) noexcept {
+  switch (kind) {
+    case ReactionKind::kNull: return "null";
+    case ReactionKind::kAveraging: return "averaging";
+    case ReactionKind::kSignToZero: return "sign_to_zero";
+    case ReactionKind::kShiftToZero: return "shift_to_zero";
+    case ReactionKind::kNeutralization: return "neutralization";
+    case ReactionKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+// Classifies the *productive* interaction (a, b) — callers detect nulls
+// themselves (engines already compute is_null on the hot path). Protocols
+// opt in by providing classify(a, b) -> ReactionKind; anything else maps to
+// kOther, which keeps this header free of protocol dependencies.
+template <typename Protocol, typename State>
+ReactionKind classify_interaction(const Protocol& protocol, State a, State b) {
+  if constexpr (requires {
+                  { protocol.classify(a, b) } -> std::same_as<ReactionKind>;
+                }) {
+    return protocol.classify(a, b);
+  } else {
+    (void)protocol;
+    (void)a;
+    (void)b;
+    return ReactionKind::kOther;
+  }
+}
+
+#if POPBEAN_OBS_ENABLED
+
+// Plain tallies, bumped once per simulated interaction; single-threaded like
+// the engine that owns the pointer. interactions counts every interaction
+// including nulls; kinds[] partitions it by ReactionKind.
+struct EngineProbe {
+  std::uint64_t interactions = 0;
+  std::uint64_t productive = 0;
+  std::array<std::uint64_t, kReactionKindCount> kinds{};
+
+  void record(ReactionKind kind) noexcept {
+    ++interactions;
+    if (kind != ReactionKind::kNull) ++productive;
+    ++kinds[static_cast<std::size_t>(kind)];
+  }
+
+  // Bulk-records interactions known to be nulls (SkipEngine skips them in
+  // O(1) rather than simulating each).
+  void record_nulls(std::uint64_t count) noexcept {
+    interactions += count;
+    kinds[static_cast<std::size_t>(ReactionKind::kNull)] += count;
+  }
+};
+
+#else
+
+struct EngineProbe {
+  void record(ReactionKind) noexcept {}
+  void record_nulls(std::uint64_t) noexcept {}
+};
+
+#endif
+
+class MetricsRegistry;
+
+// Adds the probe's tallies to "<prefix>.interactions", "<prefix>.productive"
+// and "<prefix>.reactions.<kind>". No-op when observability is compiled out.
+void flush_engine_probe(MetricsRegistry& registry, const EngineProbe& probe,
+                        std::string_view prefix = "engine");
+
+}  // namespace popbean::obs

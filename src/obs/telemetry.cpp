@@ -1,0 +1,66 @@
+#include "obs/telemetry.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace popbean::obs {
+namespace {
+
+// JsonWriter pretty-prints across lines; JSONL needs the object on one.
+// Structural newlines are always followed by their indent run, and string
+// values escape embedded newlines, so dropping '\n' + following spaces
+// flattens the layout without touching any value.
+std::string flatten(const std::string& pretty) {
+  std::string line;
+  line.reserve(pretty.size());
+  for (std::size_t i = 0; i < pretty.size(); ++i) {
+    if (pretty[i] == '\n') {
+      while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+      continue;
+    }
+    line += pretty[i];
+  }
+  return line;
+}
+
+}  // namespace
+
+TelemetrySink::TelemetrySink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)),
+      os_(*owned_),
+      origin_(std::chrono::steady_clock::now()) {
+  POPBEAN_CHECK_MSG(owned_->is_open(),
+                    "TelemetrySink: cannot open " + path);
+}
+
+TelemetrySink::TelemetrySink(std::ostream& os)
+    : os_(os), origin_(std::chrono::steady_clock::now()) {}
+
+void TelemetrySink::record(std::string_view event,
+                           const std::function<void(JsonWriter&)>& fields) {
+  const auto now = std::chrono::steady_clock::now();
+  const double t_ms =
+      std::chrono::duration<double, std::milli>(now - origin_).count();
+  std::lock_guard lock(mutex_);
+  std::ostringstream buffer;
+  JsonWriter json(buffer);
+  json.begin_object();
+  json.kv("event", event);
+  json.kv("seq", seq_);
+  json.kv("t_ms", t_ms);
+  if (fields) fields(json);
+  json.end_object();
+  os_ << flatten(buffer.str()) << "\n";
+  os_.flush();
+  ++seq_;
+}
+
+std::uint64_t TelemetrySink::lines_written() const noexcept {
+  std::lock_guard lock(mutex_);
+  return seq_;
+}
+
+}  // namespace popbean::obs

@@ -1,0 +1,56 @@
+// Structured run-telemetry sink (DESIGN.md §8): an append-only JSONL event
+// stream, one self-contained object per line —
+//
+//   {"event": "cell_done", "seq": 12, "t_ms": 1042.7, …caller fields…}
+//
+// Lines are written whole under a mutex, so concurrent recorders interleave
+// at line granularity and the file is always tail-readable (each prefix of
+// the file is valid JSONL — useful for watching a long sweep live or
+// post-mortem after a crash, which is the same property the checkpoint
+// subsystem relies on).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace popbean {
+class JsonWriter;
+}
+
+namespace popbean::obs {
+
+class TelemetrySink {
+ public:
+  // Opens (truncates) the file at `path`.
+  explicit TelemetrySink(const std::string& path);
+
+  // Writes to a caller-owned stream (tests, stdout piping).
+  explicit TelemetrySink(std::ostream& os);
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  // Appends one line: {"event": …, "seq": …, "t_ms": …, <extra fields>}.
+  // `fields` is invoked inside the open object to add caller key/values via
+  // JsonWriter::kv; pass nullptr for an event with no extra fields.
+  void record(std::string_view event,
+              const std::function<void(JsonWriter&)>& fields = nullptr);
+
+  std::uint64_t lines_written() const noexcept;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;  // null when writing a borrowed stream
+  std::ostream& os_;
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace popbean::obs

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace popbean::obs {
+
+void TraceCollector::complete_event(
+    std::string_view name, std::string_view category, Clock::time_point start,
+    Clock::time_point end,
+    std::vector<std::pair<std::string, double>> args) {
+  Event ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'X';
+  ev.ts_us = to_us(start);
+  ev.dur_us = std::max<std::int64_t>(to_us(end) - ev.ts_us, 0);
+  ev.tid = current_thread_index();
+  ev.args = std::move(args);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::instant_event(
+    std::string_view name, std::string_view category,
+    std::vector<std::pair<std::string, double>> args) {
+  Event ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'i';
+  ev.ts_us = to_us(Clock::now());
+  ev.tid = current_thread_index();
+  ev.args = std::move(args);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void TraceCollector::write_chrome_trace(JsonWriter& json,
+                                        std::string_view process_name) const {
+  std::vector<Event> events;
+  {
+    std::lock_guard lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+
+  // Process metadata so Perfetto labels the single-process timeline.
+  json.begin_object();
+  json.kv("name", "process_name");
+  json.kv("ph", "M");
+  json.kv("pid", 1);
+  json.kv("tid", std::size_t{0});
+  json.key("args");
+  json.begin_object();
+  json.kv("name", process_name);
+  json.end_object();
+  json.end_object();
+
+  for (const Event& ev : events) {
+    json.begin_object();
+    json.kv("name", ev.name);
+    json.kv("cat", ev.category);
+    json.kv("ph", std::string_view(&ev.phase, 1));
+    json.kv("ts", ev.ts_us);
+    if (ev.phase == 'X') json.kv("dur", ev.dur_us);
+    if (ev.phase == 'i') json.kv("s", "t");  // thread-scoped instant
+    json.kv("pid", 1);
+    json.kv("tid", ev.tid);
+    if (!ev.args.empty()) {
+      json.key("args");
+      json.begin_object();
+      for (const auto& [key, value] : ev.args) json.kv(key, value);
+      json.end_object();
+    }
+    json.end_object();
+  }
+
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.end_object();
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os,
+                                        std::string_view process_name) const {
+  JsonWriter json(os);
+  write_chrome_trace(json, process_name);
+  os << "\n";
+}
+
+}  // namespace popbean::obs

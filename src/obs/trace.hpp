@@ -1,0 +1,116 @@
+// Chrome trace_event collection (DESIGN.md §8): timestamped spans and
+// instants gathered in memory and written as the JSON Object Format that
+// chrome://tracing and Perfetto load directly —
+//
+//   {"traceEvents": [{"name": …, "cat": …, "ph": "X", "ts": µs, "dur": µs,
+//                     "pid": 1, "tid": …, "args": {…}}, …],
+//    "displayTimeUnit": "ms"}
+//
+// Timestamps are microseconds on the collector's own steady-clock origin
+// (set at construction), so events from all threads share one timeline; tid
+// is obs::current_thread_index(), matching the metrics shard index. Numeric
+// args only — enough for sweep coordinates (point, replicate, attempt) —
+// keeps the recording path allocation-light.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace popbean {
+class JsonWriter;
+}
+
+namespace popbean::obs {
+
+class TraceCollector {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase = 'X';  // 'X' complete, 'i' instant
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;  // complete events only
+    std::size_t tid = 0;
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  TraceCollector() : origin_(Clock::now()) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  Clock::time_point origin() const noexcept { return origin_; }
+
+  // Records a span [start, end) on the calling thread's track.
+  void complete_event(std::string_view name, std::string_view category,
+                      Clock::time_point start, Clock::time_point end,
+                      std::vector<std::pair<std::string, double>> args = {});
+
+  // Records a point-in-time marker on the calling thread's track.
+  void instant_event(std::string_view name, std::string_view category,
+                     std::vector<std::pair<std::string, double>> args = {});
+
+  std::size_t event_count() const;
+
+  // Streams the full trace document (events sorted by timestamp, plus
+  // process metadata). Safe to call while other threads still record —
+  // events are copied out under the lock first.
+  void write_chrome_trace(JsonWriter& json,
+                          std::string_view process_name = "popbean") const;
+  void write_chrome_trace(std::ostream& os,
+                          std::string_view process_name = "popbean") const;
+
+ private:
+  std::int64_t to_us(Clock::time_point t) const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(t - origin_)
+        .count();
+  }
+
+  const Clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+// RAII span: records a complete event on destruction. A null collector makes
+// the whole scope a no-op, so call sites need no branching.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, std::string_view name,
+            std::string_view category,
+            std::vector<std::pair<std::string, double>> args = {})
+      : collector_(collector),
+        name_(name),
+        category_(category),
+        args_(std::move(args)),
+        start_(collector != nullptr ? TraceCollector::Clock::now()
+                                    : TraceCollector::Clock::time_point{}) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (collector_ != nullptr) {
+      collector_->complete_event(name_, category_, start_,
+                                 TraceCollector::Clock::now(),
+                                 std::move(args_));
+    }
+  }
+
+ private:
+  TraceCollector* collector_;
+  std::string name_;
+  std::string category_;
+  std::vector<std::pair<std::string, double>> args_;
+  TraceCollector::Clock::time_point start_;
+};
+
+}  // namespace popbean::obs

@@ -12,6 +12,7 @@
 
 #include "graph/graph_concept.hpp"
 #include "graph/interaction_graph.hpp"
+#include "obs/probe.hpp"
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
 #include "util/binary_io.hpp"
@@ -78,6 +79,11 @@ class AgentEngine {
   std::uint64_t output_agents(Output output) const noexcept {
     return out_count_[index(output)];
   }
+
+  // Attaches an interaction probe (src/obs); pass nullptr to detach. The
+  // probe must outlive the engine or be detached first. Recording compiles
+  // out entirely when POPBEAN_OBS_ENABLED=0.
+  void attach_probe(obs::EngineProbe* probe) noexcept { probe_ = probe; }
 
   bool all_same_output() const noexcept {
     return out_count_[0] == 0 || out_count_[1] == 0;
@@ -149,12 +155,17 @@ class AgentEngine {
     const State a = agents_[u];
     const State b = agents_[v];
     const Transition t = protocol_.apply(a, b);
-    if (!is_null(t, a, b)) {
+    const bool null = is_null(t, a, b);
+    if (!null) {
       move_output(a, t.initiator);
       move_output(b, t.responder);
       agents_[u] = t.initiator;
       agents_[v] = t.responder;
     }
+    POPBEAN_OBS_HOOK(if (probe_ != nullptr) {
+      probe_->record(null ? obs::ReactionKind::kNull
+                          : obs::classify_interaction(protocol_, a, b));
+    })
     ++steps_;
   }
 
@@ -183,6 +194,7 @@ class AgentEngine {
   P protocol_;
   G graph_;
   std::vector<State> agents_;
+  obs::EngineProbe* probe_ = nullptr;
   std::uint64_t steps_ = 0;
   std::uint64_t out_count_[2] = {0, 0};
 };

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/probe.hpp"
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
 #include "util/binary_io.hpp"
@@ -47,6 +48,11 @@ class CountEngine {
   std::uint64_t output_agents(Output output) const noexcept {
     return out_count_[index(output)];
   }
+
+  // Attaches an interaction probe (src/obs); pass nullptr to detach. The
+  // probe must outlive the engine or be detached first. Recording compiles
+  // out entirely when POPBEAN_OBS_ENABLED=0.
+  void attach_probe(obs::EngineProbe* probe) noexcept { probe_ = probe; }
 
   bool all_same_output() const noexcept {
     return out_count_[0] == 0 || out_count_[1] == 0;
@@ -110,9 +116,14 @@ class CountEngine {
     adjust(a, +1);
 
     const Transition t = protocol_.apply(a, b);
-    if (!is_null(t, a, b)) {
+    const bool null = is_null(t, a, b);
+    if (!null) {
       apply_reaction(a, b, t);
     }
+    POPBEAN_OBS_HOOK(if (probe_ != nullptr) {
+      probe_->record(null ? obs::ReactionKind::kNull
+                          : obs::classify_interaction(protocol_, a, b));
+    })
     ++steps_;
   }
 
@@ -148,6 +159,7 @@ class CountEngine {
   P protocol_;
   Counts counts_;
   FenwickTree tree_;
+  obs::EngineProbe* probe_ = nullptr;
   std::uint64_t num_agents_ = 0;
   std::uint64_t steps_ = 0;
   std::uint64_t out_count_[2] = {0, 0};

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "population/configuration.hpp"
 #include "population/protocol.hpp"
 #include "util/binary_io.hpp"
@@ -91,6 +92,25 @@ class SkipEngine {
 
   Output dominant_output() const noexcept {
     return out_count_[1] >= out_count_[0] ? 1 : 0;
+  }
+
+  // Attaches an interaction probe (src/obs); pass nullptr to detach. The
+  // probe must outlive the engine or be detached first. Skipped null runs
+  // are bulk-recorded, so the probe's interaction total still matches
+  // steps(). Recording compiles out entirely when POPBEAN_OBS_ENABLED=0.
+  void attach_probe(obs::EngineProbe* probe) noexcept {
+    probe_ = probe;
+    POPBEAN_OBS_HOOK(if (probe_ != nullptr && kind_table_.empty()) {
+      kind_table_.resize(num_states_ * num_states_, obs::ReactionKind::kNull);
+      for (State a = 0; a < num_states_; ++a) {
+        for (State b = 0; b < num_states_; ++b) {
+          if (reactive_[cell(a, b)]) {
+            kind_table_[cell(a, b)] =
+                obs::classify_interaction(protocol_, a, b);
+          }
+        }
+      }
+    })
   }
 
   // True once no productive interaction is possible (the configuration is
@@ -169,7 +189,10 @@ class SkipEngine {
     const double total_pairs = static_cast<double>(num_agents_) *
                                static_cast<double>(num_agents_ - 1);
     const double p = static_cast<double>(weight) / total_pairs;
-    steps_ += rng.geometric_failures(p) + 1;
+    const std::uint64_t skipped = rng.geometric_failures(p);
+    steps_ += skipped + 1;
+    POPBEAN_OBS_HOOK(
+        if (probe_ != nullptr) { probe_->record_nulls(skipped); })
 
     // Pick the productive ordered pair ∝ c_i · (c_j − [i = j]).
     std::uint64_t target = rng.below(weight);
@@ -198,6 +221,8 @@ class SkipEngine {
     adjust(t.responder, +1);
     move_output(i, t.initiator);
     move_output(j, t.responder);
+    POPBEAN_OBS_HOOK(
+        if (probe_ != nullptr) { probe_->record(kind_table_[cell(i, j)]); })
   }
 
  private:
@@ -238,6 +263,8 @@ class SkipEngine {
   Counts counts_;
   std::vector<Transition> table_;
   std::vector<char> reactive_;
+  obs::EngineProbe* probe_ = nullptr;
+  std::vector<obs::ReactionKind> kind_table_;  // built lazily by attach_probe
   std::vector<std::vector<State>> rows_by_responder_;
   std::vector<std::uint64_t> responder_sum_;
   std::uint64_t num_agents_ = 0;

@@ -129,8 +129,12 @@ inline ParsedProtocolFile parse_protocol_file(std::istream& in) {
         }
       }
       for (State q = 0; q < num_states; ++q) {
-        names[q] = "q";
-        names[q] += std::to_string(q);
+        // Built through a stream and move-assigned: literal assignment or
+        // string concatenation here trips a GCC 12 -Wrestrict false positive
+        // (PR 105329) in some include orders.
+        std::ostringstream generated;
+        generated << 'q' << q;
+        names[q] = std::move(generated).str();
       }
     } else if (keyword == "state") {
       require_states("state");

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace popbean {
 
@@ -65,6 +66,71 @@ double Histogram::bin_low(std::size_t bin) const {
 double Histogram::bin_high(std::size_t bin) const {
   POPBEAN_CHECK(bin < counts_.size());
   return edges_[bin + 1];
+}
+
+bool Histogram::same_shape(const Histogram& other) const noexcept {
+  return edges_ == other.edges_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  POPBEAN_CHECK_MSG(same_shape(other),
+                    "Histogram::merge: bin edges differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double p) const {
+  POPBEAN_CHECK(p >= 0.0 && p <= 1.0);
+  POPBEAN_CHECK_MSG(total_ > 0, "Histogram::quantile on an empty histogram");
+  const double target = p * static_cast<double>(total_);
+  double below = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto in_bin = static_cast<double>(counts_[i]);
+    if (below + in_bin >= target) {
+      // Interpolate within the bin; target == below (p at a bin boundary)
+      // resolves to the bin's lower edge.
+      const double fraction =
+          std::clamp((target - below) / in_bin, 0.0, 1.0);
+      return edges_[i] + fraction * (edges_[i + 1] - edges_[i]);
+    }
+    below += in_bin;
+  }
+  // Rounding pushed the target past the last occupied bin.
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0) return edges_[i + 1];
+  }
+  return edges_.back();
+}
+
+void Histogram::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.kv("total", total_);
+  if (total_ > 0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      weighted += static_cast<double>(counts_[i]) * 0.5 *
+                  (edges_[i] + edges_[i + 1]);
+    }
+    json.kv("mean", weighted / static_cast<double>(total_));
+    json.kv("p50", quantile(0.50));
+    json.kv("p90", quantile(0.90));
+    json.kv("p99", quantile(0.99));
+  }
+  json.key("bins");
+  json.begin_array();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    json.begin_object();
+    json.kv("low", edges_[i]);
+    json.kv("high", edges_[i + 1]);
+    json.kv("count", counts_[i]);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
 }
 
 std::string Histogram::to_ascii(std::size_t width) const {

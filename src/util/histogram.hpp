@@ -1,5 +1,7 @@
 // Fixed-bin histograms (linear and log-spaced) for inspecting convergence
-// time distributions in examples and benches.
+// time distributions in examples and benches, and — since they merge — as
+// the distribution metric of the observability layer (src/obs): each thread
+// accumulates into its own copy and snapshots fold them together.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +9,8 @@
 #include <vector>
 
 namespace popbean {
+
+class JsonWriter;
 
 class Histogram {
  public:
@@ -27,6 +31,27 @@ class Histogram {
   double bin_low(std::size_t bin) const;
   // Exclusive upper edge of the bin.
   double bin_high(std::size_t bin) const;
+
+  // True iff the other histogram has identical bin edges (the precondition
+  // for merge()).
+  bool same_shape(const Histogram& other) const noexcept;
+
+  // Adds the other histogram's counts bin-for-bin; both must have the same
+  // shape. This is what makes per-thread histograms aggregable.
+  void merge(const Histogram& other);
+
+  // Linear-interpolated quantile estimate from the binned counts, p in
+  // [0, 1]: the value v such that ~p·total() samples fell below v, assuming
+  // samples are uniform within each bin. Requires total() > 0. Clamped
+  // out-of-range samples bias the extreme quantiles toward the edge bins —
+  // size the range so the tails fit.
+  double quantile(double p) const;
+
+  // Streams {"total", "mean"?, "p50"/"p90"/"p99"?, "bins": [{low, high,
+  // count}…]} — non-empty bins only; the quantile/mean summary only when
+  // total() > 0 (mean is the bin-midpoint estimate, not the exact sample
+  // mean).
+  void write_json(JsonWriter& json) const;
 
   // Renders an ASCII bar chart, one line per non-empty bin.
   std::string to_ascii(std::size_t width = 50) const;

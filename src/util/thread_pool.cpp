@@ -29,11 +29,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  enqueue({std::string(), std::move(task)});
+  enqueue({std::string(), std::move(task), std::chrono::steady_clock::now()});
 }
 
 void ThreadPool::submit(std::string label, std::function<void()> task) {
-  enqueue({std::move(label), std::move(task)});
+  enqueue({std::move(label), std::move(task), std::chrono::steady_clock::now()});
+}
+
+void ThreadPool::set_task_observer(
+    std::function<void(const TaskStats&)> observer) {
+  std::lock_guard lock(mutex_);
+  task_observer_ = std::move(observer);
 }
 
 void ThreadPool::enqueue(QueuedTask task) {
@@ -75,6 +81,8 @@ std::vector<ThreadPool::RunningTask> ThreadPool::running_tasks() const {
 void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     QueuedTask task;
+    std::chrono::steady_clock::time_point started;
+    std::size_t queue_depth = 0;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(
@@ -82,12 +90,32 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth = queue_.size();
       WorkerSlot& slot = slots_[worker_index];
       slot.busy = true;
       slot.label = task.label;
-      slot.started = std::chrono::steady_clock::now();
+      started = std::chrono::steady_clock::now();
+      slot.started = started;
     }
     task.work();
+    const auto finished = std::chrono::steady_clock::now();
+    std::function<void(const TaskStats&)> observer;
+    {
+      std::lock_guard lock(mutex_);
+      observer = task_observer_;
+    }
+    // Invoked outside the lock (it may take its own locks, e.g. a metrics
+    // shard) but before in_flight_ drops, so wait_idle() returning
+    // guarantees every observer call has finished too.
+    if (observer) {
+      TaskStats stats;
+      stats.label = std::move(task.label);
+      stats.enqueued = task.enqueued;
+      stats.started = started;
+      stats.finished = finished;
+      stats.queue_depth = queue_depth;
+      observer(stats);
+    }
     {
       std::lock_guard lock(mutex_);
       WorkerSlot& slot = slots_[worker_index];

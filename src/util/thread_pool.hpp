@@ -32,6 +32,18 @@ class ThreadPool {
     std::chrono::milliseconds elapsed{0};
   };
 
+  // Per-task lifecycle timing, delivered to the task observer after the task
+  // finishes: queue latency is started - enqueued, run time is
+  // finished - started. queue_depth is the queue length right after the task
+  // was dequeued (how much work was waiting behind it).
+  struct TaskStats {
+    std::string label;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point finished;
+    std::size_t queue_depth = 0;
+  };
+
   // threads == 0 means std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -61,10 +73,17 @@ class ThreadPool {
   // has been running. Unlabeled tasks are reported as "<unlabeled>".
   std::vector<RunningTask> running_tasks() const;
 
+  // Installs a callback invoked on the worker thread after each task
+  // completes (outside the pool lock; it may call back into the pool's
+  // accessors but must not block). Attach before submitting work and do not
+  // swap it while tasks are in flight. Pass nullptr to detach.
+  void set_task_observer(std::function<void(const TaskStats&)> observer);
+
  private:
   struct QueuedTask {
     std::string label;
     std::function<void()> work;
+    std::chrono::steady_clock::time_point enqueued;
   };
   struct WorkerSlot {
     bool busy = false;
@@ -81,6 +100,7 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
+  std::function<void(const TaskStats&)> task_observer_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };

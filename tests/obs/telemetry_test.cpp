@@ -1,0 +1,98 @@
+// TelemetrySink: one self-contained JSON object per line, sequence
+// numbering, caller fields, and line-granular interleaving under
+// concurrent recorders.
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace popbean::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TelemetrySinkTest, WritesOneObjectPerLine) {
+  std::ostringstream os;
+  TelemetrySink sink(os);
+  sink.record("started");
+  sink.record("cell_done", [](JsonWriter& json) {
+    json.kv("point", std::uint64_t{3});
+    json.kv("replicate", std::uint64_t{1});
+  });
+  EXPECT_EQ(sink.lines_written(), 2u);
+
+  const std::vector<std::string> lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"event\": "), std::string::npos) << line;
+    EXPECT_NE(line.find("\"t_ms\": "), std::string::npos) << line;
+  }
+  EXPECT_NE(lines[0].find("\"started\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cell_done\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"point\": 3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"replicate\": 1"), std::string::npos);
+}
+
+TEST(TelemetrySinkTest, EscapedStringsStayOnOneLine) {
+  std::ostringstream os;
+  TelemetrySink sink(os);
+  sink.record("note", [](JsonWriter& json) {
+    json.kv("text", std::string_view("line1\nline2\t\"quoted\""));
+  });
+  const std::vector<std::string> lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("line1\\nline2\\t\\\"quoted\\\""),
+            std::string::npos);
+}
+
+TEST(TelemetrySinkTest, ConcurrentRecordersInterleaveAtLineGranularity) {
+  std::ostringstream os;
+  TelemetrySink sink(os);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        sink.record("tick", [i](JsonWriter& json) {
+          json.kv("i", i);
+        });
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(sink.lines_written(), kThreads * kPerThread);
+
+  const std::vector<std::string> lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), kThreads * kPerThread);
+  // Every line is whole and every sequence number appears exactly once.
+  std::vector<bool> seen(lines.size(), false);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const std::size_t pos = line.find("\"seq\": ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t seq = std::stoul(line.substr(pos + 7));
+    ASSERT_LT(seq, seen.size());
+    EXPECT_FALSE(seen[seq]) << "duplicate seq " << seq;
+    seen[seq] = true;
+  }
+}
+
+}  // namespace
+}  // namespace popbean::obs

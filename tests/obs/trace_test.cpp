@@ -1,0 +1,100 @@
+// TraceCollector: event recording from multiple threads, the RAII span,
+// and the Chrome trace_event JSON document (the format chrome://tracing
+// and Perfetto load).
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace popbean::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceCollectorTest, RecordsCompleteAndInstantEvents) {
+  TraceCollector trace;
+  const auto start = TraceCollector::Clock::now();
+  trace.complete_event("cell", "sweep", start,
+                       start + std::chrono::microseconds(250),
+                       {{"point", 2.0}, {"replicate", 5.0}});
+  trace.instant_event("checkpoint", "sweep");
+  EXPECT_EQ(trace.event_count(), 2u);
+}
+
+TEST(TraceCollectorTest, WritesWellFormedChromeTraceDocument) {
+  TraceCollector trace;
+  const auto start = TraceCollector::Clock::now();
+  trace.complete_event("load", "io", start,
+                       start + std::chrono::microseconds(10), {{"bytes", 5.0}});
+  trace.instant_event("marker", "io");
+
+  std::ostringstream os;
+  JsonWriter json(os);
+  trace.write_chrome_trace(json, "unit-test");
+  EXPECT_TRUE(json.complete());
+
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // Process metadata + the two recorded events.
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"unit-test\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "\"ph\": \"X\""), 1u);
+  EXPECT_EQ(count_occurrences(text, "\"ph\": \"i\""), 1u);
+  EXPECT_EQ(count_occurrences(text, "\"ph\": \"M\""), 1u);
+  // Complete events carry a duration; instants carry a scope.
+  EXPECT_NE(text.find("\"dur\""), std::string::npos);
+  EXPECT_NE(text.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"bytes\": 5"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, SpanRecordsOnDestructionAndNullIsNoOp) {
+  TraceCollector trace;
+  {
+    TraceSpan span(&trace, "scoped", "test", {{"k", 1.0}});
+    EXPECT_EQ(trace.event_count(), 0u);  // records at scope exit
+  }
+  EXPECT_EQ(trace.event_count(), 1u);
+  {
+    TraceSpan noop(nullptr, "ignored", "test");
+  }
+  EXPECT_EQ(trace.event_count(), 1u);
+}
+
+TEST(TraceCollectorTest, ThreadsRecordConcurrentlyOnDistinctTracks) {
+  TraceCollector trace;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kEventsPerThread = 100;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (std::size_t i = 0; i < kEventsPerThread; ++i) {
+        TraceSpan span(&trace, "work", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trace.event_count(), kThreads * kEventsPerThread);
+
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  EXPECT_EQ(count_occurrences(os.str(), "\"ph\": \"X\""),
+            kThreads * kEventsPerThread);
+}
+
+}  // namespace
+}  // namespace popbean::obs

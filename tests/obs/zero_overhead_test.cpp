@@ -1,0 +1,60 @@
+// The zero-overhead contract (DESIGN.md §8): with POPBEAN_OBS=OFF the
+// probe is an empty struct, the hook macro discards its tokens before
+// parsing, and the cold-path sinks still compile — so an OFF build carries
+// no per-interaction cost and no API breakage. Build this file in both
+// modes (the obs-off CI job) to keep both halves honest.
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/probe.hpp"
+
+namespace popbean::obs {
+namespace {
+
+// When instrumentation is compiled out the probe must carry no state at
+// all — engines keep an EngineProbe* member either way, but the pointee
+// (and every record call, via POPBEAN_OBS_HOOK) vanishes.
+static_assert(kEnabled || std::is_empty_v<EngineProbe>,
+              "EngineProbe must be empty when POPBEAN_OBS is OFF");
+static_assert(kEnabled == (POPBEAN_OBS_ENABLED != 0));
+
+#if !POPBEAN_OBS_ENABLED
+// The hook must discard its argument tokens *before* they are parsed:
+// this is not valid C++ and compiles only because the macro erases it.
+[[maybe_unused]] void hook_discards_tokens() {
+  POPBEAN_OBS_HOOK(this would not parse !!! as C++ at all)
+}
+#endif
+
+TEST(ZeroOverheadTest, ProbeCallsCompileInBothModes) {
+  EngineProbe probe;
+  probe.record(ReactionKind::kAveraging);
+  probe.record_nulls(41);
+#if POPBEAN_OBS_ENABLED
+  EXPECT_EQ(probe.interactions, 42u);
+  EXPECT_EQ(probe.productive, 1u);
+#else
+  EXPECT_TRUE(std::is_empty_v<EngineProbe>);
+#endif
+}
+
+TEST(ZeroOverheadTest, ColdPathSinksStayAvailableWhenOff) {
+  // The registry itself is mode-independent; only engine-level recording
+  // disappears. Drivers register and flush unconditionally.
+  MetricsRegistry registry;
+  registry.add(registry.counter("always.available"));
+  EXPECT_EQ(registry.snapshot().counters.size(), 1u);
+
+  EngineProbe probe;
+  flush_engine_probe(registry, probe, "engine");
+  // OFF: flush is a no-op and registers nothing; ON: an untouched probe
+  // flushes zeros. Either way, no crash and the registry stays coherent.
+  const MetricsRegistry::Snapshot snapshot = registry.snapshot();
+  EXPECT_GE(snapshot.counters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace popbean::obs

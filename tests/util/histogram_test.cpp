@@ -1,6 +1,12 @@
 #include "util/histogram.hpp"
 
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "util/json.hpp"
 
 namespace popbean {
 namespace {
@@ -45,6 +51,81 @@ TEST(HistogramTest, LogBinsGrowGeometrically) {
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(1), 1u);
   EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(HistogramTest, SameShapeComparesBinEdges) {
+  const auto a = Histogram::linear(0.0, 10.0, 5);
+  const auto b = Histogram::linear(0.0, 10.0, 5);
+  const auto c = Histogram::linear(0.0, 20.0, 5);
+  const auto d = Histogram::linear(0.0, 10.0, 10);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+  EXPECT_FALSE(a.same_shape(d));
+}
+
+TEST(HistogramTest, MergeAddsCountsBinForBin) {
+  auto a = Histogram::linear(0.0, 10.0, 5);
+  auto b = Histogram::linear(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(3.0);
+  b.add(3.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(4), 1u);
+  // Merging an empty histogram is the identity.
+  a.merge(Histogram::linear(0.0, 10.0, 5));
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(HistogramTest, MergeRejectsShapeMismatch) {
+  auto a = Histogram::linear(0.0, 10.0, 5);
+  const auto b = Histogram::linear(0.0, 20.0, 5);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBins) {
+  auto h = Histogram::linear(0.0, 10.0, 10);
+  // 100 samples spread uniformly: quantiles track the underlying uniform.
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 0.6);
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, WriteJsonEmitsSummaryAndNonEmptyBins) {
+  auto h = Histogram::linear(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(3.5);
+  std::ostringstream os;
+  JsonWriter json(os);
+  h.write_json(json);
+  EXPECT_TRUE(json.complete());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"total\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"mean\""), std::string::npos);
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+  // Two non-empty bins; empty bins are omitted.
+  EXPECT_NE(text.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 1"), std::string::npos);
+  EXPECT_EQ(text.find("\"count\": 0"), std::string::npos);
+}
+
+TEST(HistogramTest, WriteJsonOmitsSummaryWhenEmpty) {
+  const auto h = Histogram::linear(0.0, 4.0, 4);
+  std::ostringstream os;
+  JsonWriter json(os);
+  h.write_json(json);
+  EXPECT_TRUE(json.complete());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"total\": 0"), std::string::npos);
+  EXPECT_EQ(text.find("\"mean\""), std::string::npos);
+  EXPECT_EQ(text.find("\"p50\""), std::string::npos);
 }
 
 TEST(HistogramTest, AsciiRenderingShowsNonEmptyBins) {

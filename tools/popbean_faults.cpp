@@ -32,6 +32,15 @@
 //   --json=PATH        also write the sweep as a JSON report
 //   --csv=PATH         also write the per-rate series as CSV
 //
+// Observability (DESIGN.md §8):
+//   --metrics-out=PATH   write a metrics snapshot (engine transition-kind
+//                        counters, fault tallies, thread-pool task latencies,
+//                        per-cell wall times) as JSON after the sweep
+//   --trace-out=PATH     write a Chrome trace_event timeline of the sweep's
+//                        cells — load it in chrome://tracing or Perfetto
+//   --telemetry-out=PATH stream one JSONL event per finished cell as the
+//                        sweep runs (tail it to watch progress live)
+//
 // Crash tolerance & replay (DESIGN.md §7):
 //   --checkpoint=PATH  append completed (rate, replicate) cells to a
 //                      checksummed manifest as the sweep runs
@@ -54,6 +63,7 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -61,6 +71,10 @@
 #include "core/avc.hpp"
 #include "harness/fault_sweep.hpp"
 #include "harness/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pool_obs.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "protocols/four_state.hpp"
 #include "protocols/three_state.hpp"
 #include "recovery/event_log.hpp"
@@ -100,6 +114,9 @@ struct Settings {
   std::string csv_path;
   FaultSweepRecovery recovery_cfg;
   std::string record_prefix;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string telemetry_path;
 };
 
 void print_sweep(const std::string& label, const Settings& settings,
@@ -220,9 +237,27 @@ void run_sweep(const P& protocol, const std::string& label,
                const verify::LinearInvariant& invariant,
                const Settings& settings, FaultFactory&& make_faults,
                ScheduleFactory&& make_schedule) {
+  // Sinks are declared before the pool: pool teardown (and its task
+  // observer) must finish while they are still alive.
+  std::optional<obs::MetricsRegistry> metrics;
+  std::optional<obs::TraceCollector> trace;
+  std::optional<obs::TelemetrySink> telemetry;
   ThreadPool pool(settings.threads);
   FaultSweepRecovery recovery_options = settings.recovery_cfg;
   recovery_options.run.cancel = &g_interrupted;
+  if (!settings.metrics_path.empty()) {
+    metrics.emplace();
+    obs::attach_thread_pool(pool, *metrics);
+    recovery_options.run.obs.metrics = &*metrics;
+  }
+  if (!settings.trace_path.empty()) {
+    trace.emplace();
+    recovery_options.run.obs.trace = &*trace;
+  }
+  if (!settings.telemetry_path.empty()) {
+    telemetry.emplace(settings.telemetry_path);
+    recovery_options.run.obs.telemetry = &*telemetry;
+  }
   const FaultSweepOutcome outcome = run_fault_sweep_recoverable(
       pool, protocol, invariant, label, settings.rates, settings.config,
       recovery_options, make_faults, make_schedule);
@@ -235,6 +270,26 @@ void run_sweep(const P& protocol, const std::string& label,
     std::cerr << "watchdog: " << hung << "\n";
   }
   write_outputs(label, settings, outcome.points);
+  // Observability outputs are written even for an interrupted sweep — a
+  // partial timeline is exactly what a post-mortem wants.
+  if (metrics) {
+    std::ofstream out(settings.metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + settings.metrics_path);
+    JsonWriter json(out);
+    metrics->write_json(json);
+    out << "\n";
+    std::cout << "metrics written to " << settings.metrics_path << "\n";
+  }
+  if (trace) {
+    std::ofstream out(settings.trace_path);
+    if (!out) throw std::runtime_error("cannot open " + settings.trace_path);
+    trace->write_chrome_trace(out);
+    std::cout << "trace written to " << settings.trace_path << "\n";
+  }
+  if (telemetry) {
+    std::cout << "telemetry (" << telemetry->lines_written()
+              << " events) written to " << settings.telemetry_path << "\n";
+  }
   if (outcome.report.timed_out > 0) {
     std::cerr << outcome.report.timed_out
               << " cells timed out after retries (recorded as timed_out)\n";
@@ -341,7 +396,8 @@ int main(int argc, char** argv) {
                       "schedule", "zipf-exponent", "budget", "n", "eps",
                       "replicates", "seed", "max-time", "threads", "json",
                       "csv", "checkpoint", "checkpoint-every", "resume",
-                      "timeout", "retries", "record"});
+                      "timeout", "retries", "record", "metrics-out",
+                      "trace-out", "telemetry-out"});
     Settings settings;
     settings.protocol = args.get_string("protocol", settings.protocol);
     settings.m = static_cast<int>(args.get_int("m", settings.m));
@@ -379,6 +435,9 @@ int main(int argc, char** argv) {
     settings.recovery_cfg.run.max_retries =
         static_cast<std::size_t>(args.get_int("retries", 1));
     settings.record_prefix = args.get_string("record", "");
+    settings.metrics_path = args.get_string("metrics-out", "");
+    settings.trace_path = args.get_string("trace-out", "");
+    settings.telemetry_path = args.get_string("telemetry-out", "");
 
     std::signal(SIGINT, handle_drain_signal);
     std::signal(SIGTERM, handle_drain_signal);

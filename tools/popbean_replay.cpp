@@ -24,21 +24,31 @@
 //   --out=PREFIX               minimized capture output prefix
 //                              (default: <log path>.min)
 //   --events                   dump the event log before replaying
+//   --metrics-out=PATH         write a metrics snapshot (event/fault counts,
+//                              shrink probe tallies) as JSON on exit
+//   --trace-out=PATH           write a Chrome trace_event timeline of the
+//                              replay/shrink phases (chrome://tracing,
+//                              Perfetto)
 //
 // Exit status: 0 replay matches (and, with --shrink, the minimized capture
 // reproduces); 1 replay diverged from the recorded outcome; 2 usage or
 // file errors.
 
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/tabulated_io.hpp"
 #include "recovery/event_log.hpp"
 #include "recovery/replay.hpp"
 #include "recovery/shrink.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "verify/linear_invariant.hpp"
 
 namespace {
@@ -105,7 +115,34 @@ int main(int argc, char** argv) {
       }
     }
     const CliArgs args(static_cast<int>(flag_argv.size()), flag_argv.data());
-    args.check_known({"header", "log", "shrink", "out", "events"});
+    args.check_known({"header", "log", "shrink", "out", "events",
+                      "metrics-out", "trace-out"});
+
+    const std::string metrics_path = args.get_string("metrics-out", "");
+    const std::string trace_path = args.get_string("trace-out", "");
+    std::optional<obs::MetricsRegistry> metrics;
+    std::optional<obs::TraceCollector> trace;
+    if (!metrics_path.empty()) metrics.emplace();
+    if (!trace_path.empty()) trace.emplace();
+    obs::TraceCollector* const tracer = trace ? &*trace : nullptr;
+    // Called before every exit path so partial work (e.g. a diverged
+    // replay) still leaves its telemetry behind.
+    const auto write_obs = [&] {
+      if (metrics) {
+        std::ofstream out(metrics_path);
+        if (!out) throw std::runtime_error("cannot open " + metrics_path);
+        JsonWriter json(out);
+        metrics->write_json(json);
+        out << "\n";
+        std::cout << "metrics written to " << metrics_path << "\n";
+      }
+      if (trace) {
+        std::ofstream out(trace_path);
+        if (!out) throw std::runtime_error("cannot open " + trace_path);
+        trace->write_chrome_trace(out, "popbean-replay");
+        std::cout << "trace written to " << trace_path << "\n";
+      }
+    };
 
     std::string header_path = args.get_string("header", "");
     std::string log_path = args.get_string("log", "");
@@ -126,12 +163,19 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const recovery::CaptureHeader header =
-        recovery::load_capture_header(header_path);
+    const recovery::CaptureHeader header = [&] {
+      obs::TraceSpan span(tracer, "load_capture", "replay");
+      return recovery::load_capture_header(header_path);
+    }();
     const recovery::CaptureLog log = recovery::load_capture_log(log_path);
     const ParsedProtocolFile parsed = parse_protocol_file(header.protocol_text);
     const verify::LinearInvariant invariant(header.invariant_name,
                                             header.invariant_weights);
+    if (metrics) {
+      metrics->add(metrics->counter("replay.events"), log.events.size());
+      metrics->add(metrics->counter("replay.faults"),
+                   count_faults(log.events));
+    }
 
     std::cout << "capture: " << parsed.name << ", n = " << header.n
               << ", seed = " << header.seed << ", stream = " << header.stream
@@ -150,22 +194,30 @@ int main(int argc, char** argv) {
       }
     }
 
-    const recovery::ReplayResult replayed = recovery::replay_events(
-        parsed.protocol, invariant, header.initial, log.events);
+    const recovery::ReplayResult replayed = [&] {
+      obs::TraceSpan span(tracer, "replay", "replay");
+      return recovery::replay_events(parsed.protocol, invariant,
+                                     header.initial, log.events);
+    }();
     print_outcome("recorded", log.outcome);
     print_outcome("replayed", replayed.outcome());
     if (!replayed.feasible) {
       std::cerr << "replay infeasible at event " << replayed.infeasible_event
                 << ": " << replayed.infeasible_reason << "\n";
+      write_obs();
       return 1;
     }
     if (!replayed.matches(log.outcome)) {
       std::cerr << "replay DIVERGED from the recorded outcome\n";
+      write_obs();
       return 1;
     }
     std::cout << "replay matches the recorded outcome bit-exactly\n";
 
-    if (!args.get_bool("shrink", false)) return 0;
+    if (!args.get_bool("shrink", false)) {
+      write_obs();
+      return 0;
+    }
 
     const Output correct =
         correct_output_of(parsed.protocol, header.initial);
@@ -178,6 +230,7 @@ int main(int argc, char** argv) {
     if (!target.require_violation && !target.require_wrong_decision) {
       std::cerr << "--shrink: the recorded run neither violated the "
                    "invariant nor decided wrongly; nothing to minimize\n";
+      write_obs();
       return 2;
     }
     std::cout << "shrinking for:"
@@ -186,19 +239,32 @@ int main(int argc, char** argv) {
               << "\n";
 
     recovery::ShrinkStats stats;
-    const std::vector<recovery::ReplayEvent> minimized =
-        recovery::shrink_fault_schedule(parsed.protocol, invariant,
-                                        header.initial, log.events, target,
-                                        &stats);
+    const std::vector<recovery::ReplayEvent> minimized = [&] {
+      obs::TraceSpan span(tracer, "shrink", "replay");
+      return recovery::shrink_fault_schedule(parsed.protocol, invariant,
+                                             header.initial, log.events,
+                                             target, &stats);
+    }();
     std::cout << "minimized " << stats.original_faults << " fault events to "
               << stats.minimized_faults << " in " << stats.probes
               << " replays\n";
+    if (metrics) {
+      metrics->add(metrics->counter("shrink.probes"), stats.probes);
+      metrics->add(metrics->counter("shrink.original_faults"),
+                   stats.original_faults);
+      metrics->add(metrics->counter("shrink.minimized_faults"),
+                   stats.minimized_faults);
+    }
 
     // Re-verify and persist: the minimized capture must itself reproduce.
-    const recovery::ReplayResult minimal_replay = recovery::replay_events(
-        parsed.protocol, invariant, header.initial, minimized);
+    const recovery::ReplayResult minimal_replay = [&] {
+      obs::TraceSpan span(tracer, "verify_minimized", "replay");
+      return recovery::replay_events(parsed.protocol, invariant,
+                                     header.initial, minimized);
+    }();
     if (!target.reproduced_by(minimal_replay)) {
       std::cerr << "internal error: minimized schedule does not reproduce\n";
+      write_obs();
       return 1;
     }
     print_outcome("minimized", minimal_replay.outcome());
@@ -211,6 +277,7 @@ int main(int argc, char** argv) {
                                  header, minimized_log);
     std::cout << "minimized capture written to " << prefix << ".header.pbsn + "
               << prefix << ".log.pbsn\n";
+    write_obs();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "popbean-replay: " << e.what() << "\n";
