@@ -49,7 +49,12 @@ inline std::vector<double> log_spaced(double low, double high,
 }
 
 // The ε grid of the paper's Figure 4: powers of 10 from 1/n up, densified
-// with a half-decade point, clipped to (0, 0.5].
+// with a half-decade point, clipped to (0, 0.5]. The final 0.5 anchor is
+// deduplicated against the geometric ladder with a relative tolerance: when
+// the ladder's last rung lands within floating-point noise of 0.5 (some n
+// put √10-multiples a few ulps below it), the rung is snapped to 0.5 instead
+// of emitting a near-duplicate point that would burn a whole sweep column on
+// an indistinguishable ε.
 inline std::vector<double> figure4_epsilons(std::uint64_t n) {
   POPBEAN_CHECK(n >= 4);
   std::vector<double> eps;
@@ -57,7 +62,12 @@ inline std::vector<double> figure4_epsilons(std::uint64_t n) {
   for (double e = floor_eps; e <= 0.5; e *= std::sqrt(10.0)) {
     eps.push_back(e);
   }
-  if (eps.empty() || eps.back() < 0.5) eps.push_back(0.5);
+  constexpr double kRelTol = 1e-9;
+  if (!eps.empty() && eps.back() >= 0.5 * (1.0 - kRelTol)) {
+    eps.back() = 0.5;
+  } else {
+    eps.push_back(0.5);
+  }
   return eps;
 }
 

@@ -7,26 +7,6 @@
 #include "util/json.hpp"
 
 namespace popbean::obs {
-namespace {
-
-// JsonWriter pretty-prints across lines; JSONL needs the object on one.
-// Structural newlines are always followed by their indent run, and string
-// values escape embedded newlines, so dropping '\n' + following spaces
-// flattens the layout without touching any value.
-std::string flatten(const std::string& pretty) {
-  std::string line;
-  line.reserve(pretty.size());
-  for (std::size_t i = 0; i < pretty.size(); ++i) {
-    if (pretty[i] == '\n') {
-      while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
-      continue;
-    }
-    line += pretty[i];
-  }
-  return line;
-}
-
-}  // namespace
 
 TelemetrySink::TelemetrySink(const std::string& path)
     : owned_(std::make_unique<std::ofstream>(path)),
@@ -53,7 +33,7 @@ void TelemetrySink::record(std::string_view event,
   json.kv("t_ms", t_ms);
   if (fields) fields(json);
   json.end_object();
-  os_ << flatten(buffer.str()) << "\n";
+  os_ << json_single_line(buffer.str()) << "\n";
   os_.flush();
   ++seq_;
 }

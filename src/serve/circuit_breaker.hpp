@@ -1,0 +1,203 @@
+// Per-protocol circuit breaker: closed → open → half-open → closed.
+//
+// A breaker guards one job family (keyed by protocol name in the service).
+// It opens on either trip condition:
+//
+//   * `failure_threshold` consecutive failures (timeouts count as
+//     failures), or
+//   * a timeout fraction of at least `timeout_rate_threshold` over the
+//     last `window` recorded outcomes (a slow-burn overload that never
+//     produces a long consecutive streak).
+//
+// While open, allow() vetoes execution — jobs fast-fail with
+// `circuit_open` instead of burning a worker on a family that is currently
+// hopeless (e.g. near-tie AVC instances timing out en masse, cf. the
+// ε→1/n wall in the paper's Figure 4). After `cooldown`, the next allow()
+// moves the breaker to half-open, which admits up to `half_open_probes`
+// probe jobs: any probe failure reopens (and restarts the cooldown);
+// `half_open_probes` consecutive probe successes close the breaker and
+// clear the history.
+//
+// Time is always passed in explicitly, so unit tests drive transitions with
+// a synthetic clock; the service passes steady_clock::now(). Not
+// thread-safe by itself — the service records outcomes under its own lock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace popbean::serve {
+
+struct BreakerConfig {
+  std::size_t failure_threshold = 5;
+  double timeout_rate_threshold = 0.5;
+  std::size_t window = 20;
+  std::chrono::milliseconds cooldown{2000};
+  std::size_t half_open_probes = 2;
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {
+    POPBEAN_CHECK(config.failure_threshold > 0);
+    POPBEAN_CHECK(config.window > 0);
+    POPBEAN_CHECK(config.half_open_probes > 0);
+  }
+
+  // May this job run now? Transitions open → half-open once the cooldown
+  // has elapsed. In half-open, admits at most `half_open_probes` probes
+  // whose outcomes have not yet been recorded.
+  bool allow(Clock::time_point now) {
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now - opened_at_ < config_.cooldown) return false;
+        state_ = State::kHalfOpen;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+        ++half_open_transitions_;
+        [[fallthrough]];
+      case State::kHalfOpen:
+        if (probes_in_flight_ >= config_.half_open_probes) return false;
+        ++probes_in_flight_;
+        return true;
+    }
+    return true;
+  }
+
+  void record_success(Clock::time_point now) { record(now, false, false); }
+  void record_failure(Clock::time_point now) { record(now, true, false); }
+  void record_timeout(Clock::time_point now) { record(now, true, true); }
+
+  State state() const noexcept { return state_; }
+  std::uint64_t opens() const noexcept { return opens_; }
+  std::uint64_t half_open_transitions() const noexcept {
+    return half_open_transitions_;
+  }
+  std::uint64_t closes() const noexcept { return closes_; }
+  std::size_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
+ private:
+  void record(Clock::time_point now, bool failure, bool timeout) {
+    if (state_ == State::kHalfOpen) {
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      if (failure) {
+        open(now);
+        return;
+      }
+      if (++probe_successes_ >= config_.half_open_probes) close();
+      return;
+    }
+    if (state_ == State::kOpen) {
+      // A straggler finishing after the breaker opened; its outcome is
+      // stale evidence — ignore it.
+      return;
+    }
+    consecutive_failures_ = failure ? consecutive_failures_ + 1 : 0;
+    outcomes_.push_back(timeout);
+    if (outcomes_.size() > config_.window) outcomes_.pop_front();
+    if (consecutive_failures_ >= config_.failure_threshold) {
+      open(now);
+      return;
+    }
+    if (outcomes_.size() == config_.window) {
+      std::size_t timeouts = 0;
+      for (const bool was_timeout : outcomes_) timeouts += was_timeout ? 1 : 0;
+      const double rate = static_cast<double>(timeouts) /
+                          static_cast<double>(outcomes_.size());
+      if (rate >= config_.timeout_rate_threshold) open(now);
+    }
+  }
+
+  void open(Clock::time_point now) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++opens_;
+    consecutive_failures_ = 0;
+    outcomes_.clear();
+  }
+
+  void close() {
+    state_ = State::kClosed;
+    ++closes_;
+    consecutive_failures_ = 0;
+    outcomes_.clear();
+  }
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  Clock::time_point opened_at_{};
+  std::size_t consecutive_failures_ = 0;
+  std::deque<bool> outcomes_;  // sliding window; true = timeout
+  std::size_t probes_in_flight_ = 0;
+  std::size_t probe_successes_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t half_open_transitions_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+inline const char* to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "closed";
+}
+
+// One breaker per key (the service keys by protocol name), created lazily
+// with a shared config.
+class BreakerBank {
+ public:
+  explicit BreakerBank(BreakerConfig config) : config_(config) {}
+
+  CircuitBreaker& for_key(std::string_view key) {
+    const auto it = breakers_.find(key);
+    if (it != breakers_.end()) return it->second;
+    return breakers_.emplace(std::string(key), CircuitBreaker(config_))
+        .first->second;
+  }
+
+  std::size_t open_count() const noexcept {
+    std::size_t open = 0;
+    for (const auto& [key, breaker] : breakers_) {
+      if (breaker.state() == CircuitBreaker::State::kOpen) ++open;
+    }
+    return open;
+  }
+
+  std::uint64_t total_opens() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [key, breaker] : breakers_) total += breaker.opens();
+    return total;
+  }
+
+  std::uint64_t total_closes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [key, breaker] : breakers_) total += breaker.closes();
+    return total;
+  }
+
+  const std::map<std::string, CircuitBreaker, std::less<>>& breakers() const {
+    return breakers_;
+  }
+
+ private:
+  BreakerConfig config_;
+  std::map<std::string, CircuitBreaker, std::less<>> breakers_;
+};
+
+}  // namespace popbean::serve

@@ -1,0 +1,169 @@
+#include "serve/codec.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace popbean::serve {
+
+namespace {
+
+struct FieldError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void bad_field(const std::string& name, const std::string& why) {
+  throw FieldError("field \"" + name + "\": " + why);
+}
+
+std::uint64_t require_u64(const JsonValue& v, const std::string& name,
+                          std::uint64_t min = 0,
+                          std::uint64_t max =
+                              std::numeric_limits<std::uint64_t>::max()) {
+  if (!v.is_number()) bad_field(name, "expected a number");
+  std::uint64_t out = 0;
+  try {
+    out = v.as_u64();
+  } catch (const JsonParseError&) {
+    bad_field(name, "expected a non-negative integer");
+  }
+  if (out < min || out > max) bad_field(name, "out of range");
+  return out;
+}
+
+double require_double(const JsonValue& v, const std::string& name) {
+  if (!v.is_number()) bad_field(name, "expected a number");
+  return v.as_double();
+}
+
+const std::string& require_string(const JsonValue& v, const std::string& name) {
+  if (!v.is_string()) bad_field(name, "expected a string");
+  return v.as_string();
+}
+
+JobPriority parse_priority(const std::string& text) {
+  if (text == "low") return JobPriority::kLow;
+  if (text == "normal") return JobPriority::kNormal;
+  if (text == "high") return JobPriority::kHigh;
+  bad_field("priority", "expected \"low\", \"normal\", or \"high\"");
+}
+
+JobSpec spec_from_object(const JsonValue& object) {
+  JobSpec spec;
+  bool saw_version = false;
+  for (const auto& [key, value] : object.members()) {
+    if (key == "v") {
+      const std::uint64_t version = require_u64(value, key);
+      if (version != kProtocolVersion) {
+        bad_field(key, "unsupported protocol version " +
+                           std::to_string(version));
+      }
+      saw_version = true;
+    } else if (key == "id") {
+      spec.id = require_string(value, key);
+      if (spec.id.empty()) bad_field(key, "must not be empty");
+    } else if (key == "client") {
+      spec.client = require_string(value, key);
+    } else if (key == "protocol") {
+      spec.protocol = require_string(value, key);
+      if (spec.protocol != "avc" && spec.protocol != "four-state" &&
+          spec.protocol != "three-state") {
+        bad_field(key, "unknown protocol \"" + spec.protocol + "\"");
+      }
+    } else if (key == "m") {
+      spec.m = static_cast<int>(require_u64(value, key, 1, 64));
+    } else if (key == "d") {
+      spec.d = static_cast<int>(require_u64(value, key, 1, 64));
+    } else if (key == "n") {
+      spec.n = require_u64(value, key, 2);
+    } else if (key == "eps") {
+      spec.epsilon = require_double(value, key);
+      if (!(spec.epsilon > 0.0 && spec.epsilon <= 1.0)) {
+        bad_field(key, "must be in (0, 1]");
+      }
+    } else if (key == "seed") {
+      spec.seed = require_u64(value, key);
+    } else if (key == "max_interactions") {
+      spec.max_interactions = require_u64(value, key);
+    } else if (key == "replicates") {
+      spec.replicates =
+          static_cast<std::uint32_t>(require_u64(value, key, 1, 100000));
+    } else if (key == "priority") {
+      spec.priority = parse_priority(require_string(value, key));
+    } else if (key == "deadline_ms") {
+      spec.deadline = std::chrono::milliseconds(static_cast<std::int64_t>(
+          require_u64(value, key, 0,
+                      static_cast<std::uint64_t>(
+                          std::numeric_limits<std::int64_t>::max() / 2))));
+    } else {
+      bad_field(key, "unknown field");
+    }
+  }
+  if (!saw_version) bad_field("v", "missing (this build speaks v1)");
+  if (spec.id.empty()) bad_field("id", "missing");
+  return spec;
+}
+
+}  // namespace
+
+ParsedRequest parse_job_request(std::string_view line) {
+  JsonValue root;
+  try {
+    root = JsonValue::parse(line);
+  } catch (const JsonParseError& e) {
+    return RequestError{"", std::string("malformed JSON: ") + e.what()};
+  }
+  if (!root.is_object()) {
+    return RequestError{"", "request must be a JSON object"};
+  }
+  // Best-effort id extraction so even a rejected request can be correlated.
+  std::string id;
+  if (const JsonValue* id_value = root.find("id");
+      id_value != nullptr && id_value->is_string()) {
+    id = id_value->as_string();
+  }
+  try {
+    return spec_from_object(root);
+  } catch (const FieldError& e) {
+    return RequestError{id, e.what()};
+  }
+}
+
+void write_job_response(std::ostream& os, const JobResponse& response) {
+  std::ostringstream buffer;
+  JsonWriter json(buffer);
+  json.begin_object();
+  json.kv("v", kProtocolVersion);
+  json.kv("id", response.id);
+  json.kv("outcome", to_string(response.outcome));
+  if (!response.error.empty()) json.kv("error", response.error);
+  json.kv("attempts", static_cast<std::uint64_t>(response.attempts));
+  json.kv("degraded", response.degraded);
+  json.kv("queue_ms", response.queue_ms);
+  json.kv("run_ms", response.run_ms);
+  if (response.outcome == JobOutcome::kDone ||
+      response.outcome == JobOutcome::kTruncated) {
+    json.key("result");
+    json.begin_object();
+    json.kv("replicates", static_cast<std::uint64_t>(response.result.replicates_run));
+    json.kv("converged", static_cast<std::uint64_t>(response.result.converged));
+    json.kv("correct", static_cast<std::uint64_t>(response.result.correct));
+    json.kv("wrong", static_cast<std::uint64_t>(response.result.wrong));
+    json.kv("step_limit", static_cast<std::uint64_t>(response.result.step_limit));
+    json.kv("absorbing", static_cast<std::uint64_t>(response.result.absorbing));
+    json.kv("mean_parallel_time", response.result.mean_parallel_time);
+    json.end_object();
+  }
+  json.end_object();
+  os << json_single_line(buffer.str()) << "\n";
+}
+
+std::string job_response_line(const JobResponse& response) {
+  std::ostringstream os;
+  write_job_response(os, response);
+  return os.str();
+}
+
+}  // namespace popbean::serve

@@ -1,0 +1,54 @@
+// Versioned NDJSON request/response codec for the job service.
+//
+// Requests are one JSON object per line:
+//
+//   {"v": 1, "id": "job-7", "protocol": "avc", "n": 10000, "eps": 0.01,
+//    "seed": 42, "max_interactions": 5000000, "replicates": 3,
+//    "priority": "high", "deadline_ms": 2000, "client": "alice",
+//    "m": 3, "d": 1}
+//
+// Only "v" and "id" are required; everything else defaults per JobSpec.
+// Unknown fields are an error (a typo'd parameter must not silently run a
+// default experiment — same stance as util/cli). Responses are emitted on
+// util/json.hpp's writer, one line per terminal outcome:
+//
+//   {"v": 1, "id": "job-7", "outcome": "done", "attempts": 1,
+//    "degraded": false, "queue_ms": 0.4, "run_ms": 83.1,
+//    "result": {"replicates": 3, "converged": 3, "correct": 3, …}}
+//
+// The version field gates forward compatibility: a request with a version
+// this build does not speak is rejected as invalid, never half-parsed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "serve/job.hpp"
+
+namespace popbean::serve {
+
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+// A request line parses into either a JobSpec or a rejection message.
+struct RequestError {
+  std::string id;     // echoed when the id could still be extracted
+  std::string error;  // human-readable reason
+};
+
+using ParsedRequest = std::variant<JobSpec, RequestError>;
+
+// Parses one NDJSON request line. Never throws on malformed input — every
+// defect is folded into RequestError so the caller can answer with an
+// `invalid` response instead of dying on a bad client.
+ParsedRequest parse_job_request(std::string_view line);
+
+// Writes one response line (terminated with '\n'). Thread-unsafe; callers
+// serialize (the service invokes its response callback under a lock).
+void write_job_response(std::ostream& os, const JobResponse& response);
+
+// Serializes to a string, for tests and for sinks that batch lines.
+std::string job_response_line(const JobResponse& response);
+
+}  // namespace popbean::serve

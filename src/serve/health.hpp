@@ -1,0 +1,119 @@
+// Liveness / readiness / overload snapshots for the job service, derived
+// from the obs::MetricsRegistry the service records into (DESIGN.md §9).
+//
+// The service continuously maintains "serve.*" counters and gauges; a
+// health probe is a pure read of a registry snapshot — no service lock, no
+// coupling to JobService internals, and the same numbers land in
+// --metrics-out files, so a dashboard and a health check can never
+// disagree about what the service believes.
+//
+//   live        the service object exists and is publishing gauges
+//   ready       accepting new jobs (not draining)
+//   overloaded  the admission queue is above the degradation ladder's high
+//               watermark, or any circuit breaker is open
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace popbean::serve {
+
+struct HealthSnapshot {
+  bool live = false;
+  bool ready = false;
+  bool overloaded = false;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t inflight = 0;
+  int degradation_level = 0;
+  std::size_t breakers_open = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t completed = 0;   // done + truncated
+  std::uint64_t truncated = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t shed = 0;        // queued jobs evicted by ladder/policy
+};
+
+namespace detail {
+
+inline std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
+                                   std::string_view name) {
+  for (const auto& [counter_name, value] : snap.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+inline double gauge_value(const obs::MetricsRegistry::Snapshot& snap,
+                          std::string_view name, double fallback = 0.0) {
+  for (const auto& [gauge_name, value] : snap.gauges) {
+    if (gauge_name == name) return value;
+  }
+  return fallback;
+}
+
+}  // namespace detail
+
+// Builds a health view from a registry snapshot. A registry that has never
+// seen a service (no serve.live gauge) reports !live, !ready.
+inline HealthSnapshot derive_health(const obs::MetricsRegistry& registry) {
+  const obs::MetricsRegistry::Snapshot snap = registry.snapshot();
+  HealthSnapshot health;
+  health.live = detail::gauge_value(snap, "serve.live") > 0.5;
+  health.ready =
+      health.live && detail::gauge_value(snap, "serve.draining") < 0.5;
+  health.queue_depth =
+      static_cast<std::size_t>(detail::gauge_value(snap, "serve.queue_depth"));
+  health.queue_capacity = static_cast<std::size_t>(
+      detail::gauge_value(snap, "serve.queue_capacity"));
+  health.inflight =
+      static_cast<std::size_t>(detail::gauge_value(snap, "serve.inflight"));
+  health.degradation_level =
+      static_cast<int>(detail::gauge_value(snap, "serve.degradation_level"));
+  health.breakers_open =
+      static_cast<std::size_t>(detail::gauge_value(snap, "serve.breakers_open"));
+  health.overloaded = detail::gauge_value(snap, "serve.overloaded") > 0.5 ||
+                      health.breakers_open > 0;
+  health.accepted = detail::counter_value(snap, "serve.accepted");
+  health.rejected = detail::counter_value(snap, "serve.rejected");
+  health.invalid = detail::counter_value(snap, "serve.invalid");
+  health.completed = detail::counter_value(snap, "serve.completed");
+  health.truncated = detail::counter_value(snap, "serve.truncated");
+  health.failed = detail::counter_value(snap, "serve.failed");
+  health.timeouts = detail::counter_value(snap, "serve.timeouts");
+  health.retries = detail::counter_value(snap, "serve.retries");
+  health.shed = detail::counter_value(snap, "serve.shed");
+  return health;
+}
+
+inline void write_health_json(JsonWriter& json, const HealthSnapshot& health) {
+  json.begin_object();
+  json.kv("live", health.live);
+  json.kv("ready", health.ready);
+  json.kv("overloaded", health.overloaded);
+  json.kv("queue_depth", health.queue_depth);
+  json.kv("queue_capacity", health.queue_capacity);
+  json.kv("inflight", health.inflight);
+  json.kv("degradation_level",
+          static_cast<std::int64_t>(health.degradation_level));
+  json.kv("breakers_open", health.breakers_open);
+  json.kv("accepted", health.accepted);
+  json.kv("rejected", health.rejected);
+  json.kv("invalid", health.invalid);
+  json.kv("completed", health.completed);
+  json.kv("truncated", health.truncated);
+  json.kv("failed", health.failed);
+  json.kv("timeouts", health.timeouts);
+  json.kv("retries", health.retries);
+  json.kv("shed", health.shed);
+  json.end_object();
+}
+
+}  // namespace popbean::serve

@@ -1,0 +1,571 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/avc.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/perturbed_engine.hpp"
+#include "faults/schedule_model.hpp"
+#include "harness/experiment.hpp"
+#include "obs/pool_obs.hpp"
+#include "population/count_engine.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "util/check.hpp"
+
+namespace popbean::serve {
+
+namespace {
+
+using FpMillis = std::chrono::duration<double, std::milli>;
+
+enum class AttemptKind { kOk, kFailed, kTimeout, kShutdown };
+
+struct Attempt {
+  AttemptKind kind = AttemptKind::kFailed;
+  JobResult result;
+  std::string error;
+};
+
+// Runs one attempt's replicates on the count engine. Replicate r of
+// attempt a uses rng stream a·1000003 + r, so a retried attempt re-runs an
+// identical trajectory unless chaos interferes (job.hpp's determinism
+// contract).
+template <typename P, typename StopFn>
+Attempt run_attempt(const P& protocol, const JobSpec& spec,
+                    std::uint32_t replicates, std::uint64_t max_interactions,
+                    bool corrupt, double corrupt_rate,
+                    std::uint64_t attempt_index, std::uint64_t poll_interval,
+                    const StopFn& should_stop,
+                    const std::atomic<bool>& cancel) {
+  Attempt attempt;
+  const MajorityInstance instance = make_instance(spec.n, spec.epsilon);
+  const Counts initial = majority_instance_with_margin(
+      protocol, instance.n, instance.margin, instance.majority);
+  double time_sum = 0.0;
+  JobResult agg;
+  for (std::uint32_t r = 0; r < replicates; ++r) {
+    Xoshiro256ss rng(spec.seed, attempt_index * 1'000'003 + r);
+    std::optional<RunResult> result;
+    if (corrupt) {
+      auto engine = faults::make_perturbed(
+          CountEngine<P>(protocol, initial),
+          faults::TransientCorruption(corrupt_rate), faults::UniformSchedule{},
+          rng);
+      result = run_to_convergence_interruptible(engine, rng, max_interactions,
+                                                should_stop, poll_interval);
+    } else {
+      CountEngine<P> engine(protocol, initial);
+      result = run_to_convergence_interruptible(engine, rng, max_interactions,
+                                                should_stop, poll_interval);
+    }
+    if (!result) {
+      attempt.kind = cancel.load(std::memory_order_relaxed)
+                         ? AttemptKind::kShutdown
+                         : AttemptKind::kTimeout;
+      return attempt;
+    }
+    ++agg.replicates_run;
+    switch (result->status) {
+      case RunStatus::kConverged:
+        ++agg.converged;
+        time_sum += result->parallel_time;
+        if (result->decided == instance.correct_output()) {
+          ++agg.correct;
+        } else {
+          ++agg.wrong;
+        }
+        break;
+      case RunStatus::kStepLimit:
+        ++agg.step_limit;
+        break;
+      case RunStatus::kAbsorbing:
+        ++agg.absorbing;
+        break;
+    }
+  }
+  if (agg.converged > 0) {
+    agg.mean_parallel_time = time_sum / static_cast<double>(agg.converged);
+  }
+  attempt.kind = AttemptKind::kOk;
+  attempt.result = agg;
+  return attempt;
+}
+
+template <typename StopFn>
+Attempt dispatch_attempt(const JobSpec& spec, std::uint32_t replicates,
+                         std::uint64_t max_interactions, bool corrupt,
+                         double corrupt_rate, std::uint64_t attempt_index,
+                         std::uint64_t poll_interval, const StopFn& should_stop,
+                         const std::atomic<bool>& cancel) {
+  if (spec.protocol == "four-state") {
+    return run_attempt(FourStateProtocol{}, spec, replicates, max_interactions,
+                       corrupt, corrupt_rate, attempt_index, poll_interval,
+                       should_stop, cancel);
+  }
+  if (spec.protocol == "three-state") {
+    return run_attempt(ThreeStateProtocol{}, spec, replicates, max_interactions,
+                       corrupt, corrupt_rate, attempt_index, poll_interval,
+                       should_stop, cancel);
+  }
+  POPBEAN_CHECK_MSG(spec.protocol == "avc",
+                    "JobService: unknown protocol " + spec.protocol);
+  return run_attempt(avc::AvcProtocol(spec.m, spec.d), spec, replicates,
+                     max_interactions, corrupt, corrupt_rate, attempt_index,
+                     poll_interval, should_stop, cancel);
+}
+
+}  // namespace
+
+JobService::MetricIds JobService::register_metrics(
+    obs::MetricsRegistry& registry) {
+  const Histogram latency_shape = Histogram::logarithmic(1e-3, 3.6e6, 48);
+  MetricIds ids;
+  ids.accepted = registry.counter("serve.accepted");
+  ids.rejected = registry.counter("serve.rejected");
+  ids.invalid = registry.counter("serve.invalid");
+  ids.completed = registry.counter("serve.completed");
+  ids.truncated = registry.counter("serve.truncated");
+  ids.failed = registry.counter("serve.failed");
+  ids.timeouts = registry.counter("serve.timeouts");
+  ids.retries = registry.counter("serve.retries");
+  ids.shed = registry.counter("serve.shed");
+  ids.circuit_open = registry.counter("serve.circuit_open");
+  ids.watchdog_abandons = registry.counter("serve.watchdog_abandons");
+  ids.live = registry.gauge("serve.live");
+  ids.draining = registry.gauge("serve.draining");
+  ids.queue_depth = registry.gauge("serve.queue_depth");
+  ids.queue_capacity = registry.gauge("serve.queue_capacity");
+  ids.inflight = registry.gauge("serve.inflight");
+  ids.degradation_level = registry.gauge("serve.degradation_level");
+  ids.breakers_open = registry.gauge("serve.breakers_open");
+  ids.overloaded = registry.gauge("serve.overloaded");
+  ids.queue_ms = registry.histogram("serve.queue_ms", latency_shape);
+  ids.run_ms = registry.histogram("serve.run_ms", latency_shape);
+  return ids;
+}
+
+JobService::JobService(ServiceConfig config, ResponseFn on_response)
+    : config_(std::move(config)),
+      on_response_(std::move(on_response)),
+      owned_metrics_(config_.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(config_.metrics != nullptr ? *config_.metrics
+                                          : *owned_metrics_),
+      ids_(register_metrics(metrics_)),
+      queue_(config_.admission),
+      breakers_(config_.breaker),
+      pool_(config_.threads),
+      watchdog_([this] { watchdog_loop(); }) {
+  POPBEAN_CHECK_MSG(on_response_ != nullptr,
+                    "JobService: a response sink is required");
+  // Observer attached before any submit — the pool's attach-then-submit
+  // contract (thread_pool.hpp).
+  obs::attach_thread_pool(pool_, metrics_);
+  metrics_.set(ids_.live, 1.0);
+  metrics_.set(ids_.queue_capacity,
+               static_cast<double>(config_.admission.capacity));
+}
+
+JobService::~JobService() {
+  drain(config_.drain_deadline);
+  {
+    std::lock_guard lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  pool_.shutdown();
+  metrics_.set(ids_.live, 0.0);
+}
+
+void JobService::emit(JobResponse response) {
+  std::lock_guard lock(response_mutex_);
+  on_response_(response);
+}
+
+JobResponse JobService::overloaded_response(std::string id,
+                                            std::string reason) const {
+  JobResponse response;
+  response.id = std::move(id);
+  response.outcome = JobOutcome::kOverloaded;
+  response.error = std::move(reason);
+  return response;
+}
+
+bool JobService::submit(JobSpec spec) {
+  const auto now = Clock::now();
+  std::vector<JobResponse> to_emit;
+  bool admitted = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_) {
+      metrics_.add(ids_.rejected);
+      to_emit.push_back(overloaded_response(spec.id, "draining"));
+    } else {
+      QueuedJob job;
+      job.spec = std::move(spec);
+      const std::chrono::milliseconds budget =
+          job.spec.deadline.count() != 0 ? job.spec.deadline
+                                         : config_.default_deadline;
+      job.deadline = budget.count() != 0 ? Deadline::after(budget, now)
+                                         : Deadline::unlimited();
+      job.admitted = now;
+      job.sequence = next_sequence_++;
+      const std::string id = job.spec.id;  // push moves the job
+      AdmitResult result = queue_.push(std::move(job));
+      if (!result.admitted) {
+        metrics_.add(ids_.rejected);
+        to_emit.push_back(overloaded_response(id, result.reason));
+      } else {
+        admitted = true;
+        metrics_.add(ids_.accepted);
+        if (result.evicted.has_value()) {
+          metrics_.add(ids_.shed);
+          to_emit.push_back(overloaded_response(result.evicted->spec.id,
+                                                "shed_deadline"));
+        }
+        for (QueuedJob& victim : update_overload_locked(now)) {
+          metrics_.add(ids_.shed);
+          to_emit.push_back(
+              overloaded_response(victim.spec.id, "shed_overload"));
+        }
+        pump_locked();
+      }
+    }
+    update_gauges_locked();
+  }
+  for (JobResponse& response : to_emit) emit(std::move(response));
+  return admitted;
+}
+
+void JobService::note_invalid() { metrics_.add(ids_.invalid); }
+
+void JobService::pump_locked() {
+  while (!cancel_.load(std::memory_order_relaxed) &&
+         running_ < pool_.thread_count()) {
+    std::optional<QueuedJob> job = queue_.pop();
+    if (!job.has_value()) break;
+    ++running_;
+    auto ctx = std::make_shared<ActiveJob>();
+    ctx->deadline = job->deadline;
+    ctx->id = job->spec.id;
+    active_.push_back(ctx);
+    // Boxed so the lambda stays copyable (std::function requirement).
+    auto boxed = std::make_shared<QueuedJob>(std::move(*job));
+    pool_.submit(boxed->spec.id,
+                 [this, boxed, ctx] { run_job(*boxed, *ctx); });
+  }
+}
+
+std::vector<QueuedJob> JobService::update_overload_locked(
+    Clock::time_point now) {
+  std::vector<QueuedJob> shed;
+  const double occupancy = queue_.occupancy();
+  if (occupancy >= config_.degradation.high_watermark) {
+    if (!overload_since_.has_value()) overload_since_ = now;
+    const auto dwell = now - *overload_since_;
+    int level = 1;
+    if (dwell >= config_.degradation.escalate_after) level = 2;
+    if (dwell >= 2 * config_.degradation.escalate_after) level = 3;
+    level_ = std::max(level_, level);
+    if (level_ >= 3) {
+      while (queue_.occupancy() > config_.degradation.high_watermark) {
+        std::optional<QueuedJob> victim = queue_.shed_lowest();
+        if (!victim.has_value()) break;
+        shed.push_back(std::move(*victim));
+      }
+    }
+  } else if (occupancy <= config_.degradation.low_watermark) {
+    // Hysteresis: between the watermarks the current rung holds.
+    overload_since_.reset();
+    level_ = 0;
+  }
+  return shed;
+}
+
+void JobService::update_gauges_locked() {
+  metrics_.set(ids_.queue_depth, static_cast<double>(queue_.size()));
+  metrics_.set(ids_.inflight, static_cast<double>(running_));
+  metrics_.set(ids_.degradation_level, static_cast<double>(level_));
+  metrics_.set(ids_.breakers_open,
+               static_cast<double>(breakers_.open_count()));
+  metrics_.set(ids_.overloaded,
+               queue_.occupancy() >= config_.degradation.high_watermark ? 1.0
+                                                                        : 0.0);
+}
+
+void JobService::run_job(const QueuedJob& job, ActiveJob& ctx) {
+  emit(execute(job, ctx));
+  std::vector<JobResponse> to_emit;
+  {
+    std::lock_guard lock(mutex_);
+    POPBEAN_CHECK(running_ > 0);
+    --running_;
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&ctx](const std::shared_ptr<ActiveJob>& a) {
+                                   return a.get() == &ctx;
+                                 }),
+                  active_.end());
+    for (QueuedJob& victim : update_overload_locked(Clock::now())) {
+      metrics_.add(ids_.shed);
+      to_emit.push_back(overloaded_response(victim.spec.id, "shed_overload"));
+    }
+    pump_locked();
+    update_gauges_locked();
+    if (running_ == 0 && queue_.empty()) idle_cv_.notify_all();
+  }
+  for (JobResponse& response : to_emit) emit(std::move(response));
+}
+
+JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
+  const auto start = Clock::now();
+  JobResponse response;
+  response.id = job.spec.id;
+  response.queue_ms = FpMillis(start - job.admitted).count();
+  metrics_.observe(ids_.queue_ms, response.queue_ms);
+
+  if (job.deadline.expired(start)) {
+    // Expired while queued: the job never ran, so the breaker learns
+    // nothing about the protocol from it.
+    metrics_.add(ids_.timeouts);
+    response.outcome = JobOutcome::kTimeout;
+    response.error = "deadline expired in queue";
+    return response;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    CircuitBreaker& breaker = breakers_.for_key(job.spec.protocol);
+    if (!breaker.allow(start)) {
+      metrics_.add(ids_.circuit_open);
+      metrics_.add(ids_.failed);
+      update_gauges_locked();
+      response.outcome = JobOutcome::kFailed;
+      response.error = "circuit_open";
+      return response;
+    }
+    update_gauges_locked();  // allow() may have moved open → half-open
+  }
+
+  // Snapshot the degradation ladder for this job.
+  std::uint32_t replicates = job.spec.replicates;
+  std::uint64_t max_interactions = job.spec.effective_max_interactions();
+  {
+    std::lock_guard lock(mutex_);
+    if (level_ >= 1 && replicates > 1) {
+      replicates = 1;
+      response.degraded = true;
+    }
+    if (level_ >= 2 &&
+        config_.degradation.truncate_interactions < max_interactions) {
+      max_interactions = config_.degradation.truncate_interactions;
+      response.degraded = true;
+    }
+  }
+  const bool capped = max_interactions < job.spec.effective_max_interactions();
+
+  DecorrelatedJitterBackoff backoff(config_.backoff,
+                                    Xoshiro256ss(config_.seed, job.sequence));
+  const auto should_stop = [this, &ctx, &job] {
+    return cancel_.load(std::memory_order_relaxed) ||
+           ctx.abandon.load(std::memory_order_relaxed) ||
+           job.deadline.expired();
+  };
+
+  Attempt attempt;
+  for (std::size_t attempt_index = 0;; ++attempt_index) {
+    ++response.attempts;
+    ChaosAction action = ChaosAction::kNone;
+    if (config_.chaos) {
+      action = config_.chaos(ChaosContext{job.spec, attempt_index,
+                                          job.sequence});
+    }
+    if (action == ChaosAction::kSlow) {
+      // A wedged worker: deliberately does NOT poll the job deadline, so
+      // only the watchdog's abandon flag or a drain cancel unsticks it.
+      const auto stall_until = Clock::now() + config_.chaos_slow;
+      while (Clock::now() < stall_until &&
+             !cancel_.load(std::memory_order_relaxed) &&
+             !ctx.abandon.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (action == ChaosAction::kFail) {
+      attempt = Attempt{AttemptKind::kFailed, JobResult{}, "chaos_fail"};
+    } else {
+      try {
+        attempt = dispatch_attempt(
+            job.spec, replicates, max_interactions,
+            action == ChaosAction::kCorrupt, config_.chaos_corrupt_rate,
+            static_cast<std::uint64_t>(attempt_index),
+            config_.stop_check_interval, should_stop, cancel_);
+      } catch (const std::exception& e) {
+        attempt = Attempt{AttemptKind::kFailed, JobResult{}, e.what()};
+      }
+    }
+    if (attempt.kind != AttemptKind::kFailed) break;
+    const bool may_retry = attempt_index < config_.max_retries &&
+                           !job.deadline.expired() &&
+                           !cancel_.load(std::memory_order_relaxed) &&
+                           !ctx.abandon.load(std::memory_order_relaxed);
+    if (!may_retry) break;
+    metrics_.add(ids_.retries);
+    const auto delay = std::min<Clock::duration>(backoff.next(),
+                                                 job.deadline.remaining());
+    sleep_interruptible(delay, ctx);
+  }
+
+  const auto finish = Clock::now();
+  response.run_ms = FpMillis(finish - start).count();
+  metrics_.observe(ids_.run_ms, response.run_ms);
+
+  std::lock_guard lock(mutex_);
+  CircuitBreaker& breaker = breakers_.for_key(job.spec.protocol);
+  switch (attempt.kind) {
+    case AttemptKind::kOk:
+      response.outcome = capped ? JobOutcome::kTruncated : JobOutcome::kDone;
+      response.result = attempt.result;
+      breaker.record_success(finish);
+      metrics_.add(ids_.completed);
+      if (capped) metrics_.add(ids_.truncated);
+      break;
+    case AttemptKind::kTimeout:
+      response.outcome = JobOutcome::kTimeout;
+      response.error = ctx.abandon.load(std::memory_order_relaxed)
+                           ? "watchdog_abandoned"
+                           : "deadline expired";
+      breaker.record_timeout(finish);
+      metrics_.add(ids_.timeouts);
+      break;
+    case AttemptKind::kFailed:
+      response.outcome = JobOutcome::kFailed;
+      response.error = attempt.error;
+      breaker.record_failure(finish);
+      metrics_.add(ids_.failed);
+      break;
+    case AttemptKind::kShutdown:
+      // Shutdown says nothing about the protocol — no breaker record.
+      response.outcome = JobOutcome::kFailed;
+      response.error = "shutdown";
+      metrics_.add(ids_.failed);
+      break;
+  }
+  update_gauges_locked();
+  return response;
+}
+
+void JobService::sleep_interruptible(Clock::duration duration,
+                                     const ActiveJob& ctx) {
+  const auto until = Clock::now() + duration;
+  while (Clock::now() < until && !cancel_.load(std::memory_order_relaxed) &&
+         !ctx.abandon.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void JobService::begin_drain() {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+  metrics_.set(ids_.draining, 1.0);
+}
+
+bool JobService::drain(std::chrono::milliseconds budget) {
+  begin_drain();
+  const auto hard = Deadline::after(budget);
+  std::vector<JobResponse> to_emit;
+  bool clean = false;
+  {
+    std::unique_lock lock(mutex_);
+    const auto drained = [this] { return running_ == 0 && queue_.empty(); };
+    if (hard.is_unlimited()) {
+      idle_cv_.wait(lock, drained);
+      clean = true;
+    } else {
+      clean = idle_cv_.wait_until(lock, hard.time(), drained);
+    }
+    if (!clean) {
+      // Budget blown: cancel cooperatively and flush the queue — every
+      // still-queued job gets its failed("shutdown") response now.
+      cancel_.store(true, std::memory_order_relaxed);
+      while (std::optional<QueuedJob> job = queue_.pop()) {
+        metrics_.add(ids_.failed);
+        JobResponse response;
+        response.id = job->spec.id;
+        response.outcome = JobOutcome::kFailed;
+        response.error = "shutdown";
+        to_emit.push_back(std::move(response));
+      }
+      // Running jobs observe cancel_ within a poll interval (or the
+      // watchdog grace); the backstop below only trips on a genuine bug.
+      idle_cv_.wait_for(lock, std::chrono::seconds(30),
+                        [this] { return running_ == 0; });
+      POPBEAN_CHECK_MSG(running_ == 0,
+                        "JobService::drain: workers ignored cancellation");
+    }
+    update_gauges_locked();
+  }
+  for (JobResponse& response : to_emit) emit(std::move(response));
+  return clean;
+}
+
+void JobService::watchdog_loop() {
+  std::unique_lock wl(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(wl, config_.watchdog_interval,
+                          [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    wl.unlock();
+    const auto now = Clock::now();
+    {
+      std::lock_guard lock(mutex_);
+      for (const std::shared_ptr<ActiveJob>& ctx : active_) {
+        if (ctx->abandon.load(std::memory_order_relaxed)) continue;
+        if (!ctx->deadline.is_unlimited() &&
+            now >= ctx->deadline.time() + config_.watchdog_grace) {
+          ctx->abandon.store(true, std::memory_order_relaxed);
+          metrics_.add(ids_.watchdog_abandons);
+        }
+      }
+    }
+    wl.lock();
+  }
+}
+
+int JobService::degradation_level() const {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+std::size_t JobService::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t JobService::inflight() const {
+  std::lock_guard lock(mutex_);
+  return running_;
+}
+
+CircuitBreaker::State JobService::breaker_state(
+    const std::string& protocol) const {
+  std::lock_guard lock(mutex_);
+  const auto& bank = breakers_.breakers();
+  const auto it = bank.find(protocol);
+  return it == bank.end() ? CircuitBreaker::State::kClosed
+                          : it->second.state();
+}
+
+std::uint64_t JobService::total_breaker_opens() const {
+  std::lock_guard lock(mutex_);
+  return breakers_.total_opens();
+}
+
+std::uint64_t JobService::total_breaker_closes() const {
+  std::lock_guard lock(mutex_);
+  return breakers_.total_closes();
+}
+
+}  // namespace popbean::serve

@@ -1,0 +1,132 @@
+// Retry pacing and time budgets for the resilient job service (DESIGN.md §9).
+//
+// Two small, composable pieces:
+//
+//   * Deadline — an absolute point in time against steady_clock, with an
+//     explicit "unlimited" value. Budgets compose with Deadline::sooner
+//     (per-job deadline ∧ drain deadline ∧ attempt budget), remaining() is
+//     clamped at zero, and construction saturates instead of overflowing, so
+//     Deadline::after(duration::max()) is simply unlimited.
+//
+//   * DecorrelatedJitterBackoff — the "decorrelated jitter" strategy
+//     (Brooker, AWS Architecture Blog 2015): each sleep is drawn uniformly
+//     from [base, 3·previous], capped. Jitter decorrelates retry storms
+//     across clients while keeping the expected growth exponential. All
+//     randomness flows through util/rng.hpp, so a backoff sequence is
+//     reproducible from its (seed, stream) pair — deterministic tests, and
+//     deterministic replay of a service trace.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace popbean {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default-constructed deadlines are unlimited: they never expire.
+  constexpr Deadline() noexcept : at_(Clock::time_point::max()) {}
+
+  static Deadline unlimited() noexcept { return Deadline(); }
+
+  static Deadline at(Clock::time_point when) noexcept {
+    Deadline d;
+    d.at_ = when;
+    return d;
+  }
+
+  // `now + budget`, saturating: a budget too large to represent (or
+  // exactly duration::max()) yields an unlimited deadline, never overflow.
+  static Deadline after(Clock::duration budget,
+                        Clock::time_point now = Clock::now()) noexcept {
+    if (budget >= Clock::time_point::max() - now) return unlimited();
+    return at(now + budget);
+  }
+
+  bool is_unlimited() const noexcept {
+    return at_ == Clock::time_point::max();
+  }
+
+  // A zero-budget deadline is expired at its own creation instant.
+  bool expired(Clock::time_point now = Clock::now()) const noexcept {
+    return !is_unlimited() && now >= at_;
+  }
+
+  // Time left before expiry: zero once expired, duration::max() when
+  // unlimited.
+  Clock::duration remaining(Clock::time_point now = Clock::now()) const noexcept {
+    if (is_unlimited()) return Clock::duration::max();
+    if (now >= at_) return Clock::duration::zero();
+    return at_ - now;
+  }
+
+  Clock::time_point time() const noexcept { return at_; }
+
+  // Composition: the tighter of two budgets.
+  static Deadline sooner(Deadline a, Deadline b) noexcept {
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+  friend bool operator==(Deadline a, Deadline b) noexcept {
+    return a.at_ == b.at_;
+  }
+
+ private:
+  Clock::time_point at_;
+};
+
+struct BackoffPolicy {
+  std::chrono::milliseconds base{10};   // first sleep, and the jitter floor
+  std::chrono::milliseconds cap{5000};  // every sleep is clamped to this
+};
+
+// sleepₖ = min(cap, Uniform[base, 3·sleepₖ₋₁]), sleep₀ = base.
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(BackoffPolicy policy, Xoshiro256ss rng) noexcept
+      : policy_(policy), rng_(rng), prev_(policy.base) {
+    POPBEAN_DCHECK(policy.base.count() > 0);
+    POPBEAN_DCHECK(policy.cap >= policy.base);
+  }
+
+  // The next sleep. The first call returns base exactly (no point jittering
+  // a first retry that has nothing to decorrelate from); afterwards the
+  // draw is uniform over [base, 3·previous], clamped to cap. Every value is
+  // therefore in [base, cap].
+  std::chrono::milliseconds next() noexcept {
+    if (attempts_++ == 0) {
+      prev_ = std::min(policy_.base, policy_.cap);
+      return prev_;
+    }
+    const std::uint64_t base = static_cast<std::uint64_t>(policy_.base.count());
+    const std::uint64_t high = 3 * static_cast<std::uint64_t>(prev_.count());
+    const std::uint64_t span = high > base ? high - base : 0;
+    std::uint64_t sleep = base + (span > 0 ? rng_.below(span + 1) : 0);
+    sleep = std::min(sleep, static_cast<std::uint64_t>(policy_.cap.count()));
+    prev_ = std::chrono::milliseconds(static_cast<std::int64_t>(sleep));
+    return prev_;
+  }
+
+  // Back to the pre-first-call state (a fresh failure streak). The rng is
+  // not rewound: reset() forgets the streak, not the entropy.
+  void reset() noexcept {
+    attempts_ = 0;
+    prev_ = policy_.base;
+  }
+
+  std::uint64_t attempts() const noexcept { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  Xoshiro256ss rng_;
+  std::chrono::milliseconds prev_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace popbean

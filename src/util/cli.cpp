@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +11,32 @@ namespace {
 
 bool looks_like_flag(const std::string& arg) {
   return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+[[noreturn]] void bad_number(const std::string& name, const std::string& text,
+                             const char* expected) {
+  throw std::runtime_error("flag --" + name + ": expected " + expected +
+                           ", got \"" + text + "\"");
+}
+
+// from_chars-based strict parse: the entire value must be consumed and the
+// result must fit T. Covers trailing garbage ("5x"), empty values, embedded
+// signs, and overflow with one uniform diagnostic.
+template <typename T>
+T parse_number(const std::string& name, const std::string& text,
+               const char* expected) {
+  T out{};
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto result = std::from_chars(first, last, out);
+  if (result.ec == std::errc::result_out_of_range) {
+    throw std::runtime_error("flag --" + name + ": value \"" + text +
+                             "\" is out of range");
+  }
+  if (result.ec != std::errc() || result.ptr != last) {
+    bad_number(name, text, expected);
+  }
+  return out;
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -65,13 +92,21 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stoll(*v);
+  return parse_number<std::int64_t>(name, *v, "an integer");
+}
+
+std::uint64_t CliArgs::get_uint64(const std::string& name,
+                                  std::uint64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return parse_number<std::uint64_t>(name, *v, "a non-negative integer");
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stod(*v);
+  const double value = parse_number<double>(name, *v, "a number");
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
@@ -87,7 +122,9 @@ std::vector<double> CliArgs::get_double_list(
   const std::vector<std::string> parts = split_list(*v);
   std::vector<double> out;
   out.reserve(parts.size());
-  for (const auto& part : parts) out.push_back(std::stod(part));
+  for (const auto& part : parts) {
+    out.push_back(parse_number<double>(name, part, "a number"));
+  }
   return out;
 }
 
@@ -98,7 +135,9 @@ std::vector<std::int64_t> CliArgs::get_int_list(
   const std::vector<std::string> parts = split_list(*v);
   std::vector<std::int64_t> out;
   out.reserve(parts.size());
-  for (const auto& part : parts) out.push_back(std::stoll(part));
+  for (const auto& part : parts) {
+    out.push_back(parse_number<std::int64_t>(name, part, "an integer"));
+  }
   return out;
 }
 

@@ -20,9 +20,19 @@ class CliArgs {
   bool has(const std::string& name) const;
   std::optional<std::string> get(const std::string& name) const;
 
+  // Numeric getters parse strictly: the whole value must be one
+  // well-formed number (no trailing garbage like "5x" or "0.1.2"), and it
+  // must fit the requested type (no silent overflow, no negative values
+  // through get_uint64). Violations throw std::runtime_error naming the
+  // flag, so every tool reports e.g.
+  //   flag --n: expected a non-negative integer, got "-5"
+  // instead of stoll's bare "out_of_range".
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  // For counts, sizes, and seeds: rejects negatives outright.
+  std::uint64_t get_uint64(const std::string& name,
+                           std::uint64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
 

@@ -23,6 +23,19 @@ std::string json_number(double v) {
   return text;
 }
 
+std::string json_single_line(const std::string& pretty) {
+  std::string line;
+  line.reserve(pretty.size());
+  for (std::size_t i = 0; i < pretty.size(); ++i) {
+    if (pretty[i] == '\n') {
+      while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+      continue;
+    }
+    line += pretty[i];
+  }
+  return line;
+}
+
 void JsonWriter::before_value() {
   if (stack_.empty()) {
     POPBEAN_CHECK_MSG(!started_, "JSON document already complete");

@@ -86,4 +86,10 @@ class JsonWriter {
 // exposed for tests and CSV callers that want matching output.
 std::string json_number(double v);
 
+// Flattens JsonWriter's pretty-printed output onto one line (NDJSON/JSONL).
+// Structural newlines are always followed by their indent run, and string
+// values escape embedded newlines, so dropping '\n' plus the following
+// spaces collapses the layout without touching any value.
+std::string json_single_line(const std::string& pretty);
+
 }  // namespace popbean

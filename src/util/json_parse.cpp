@@ -1,0 +1,325 @@
+#include "util/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace popbean {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset) {
+  throw JsonParseError(what + " at offset " + std::to_string(offset), offset);
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue run() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value", pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting too deep", pos_);
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.text_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = true;
+          return v;
+        }
+        fail("invalid literal", pos_);
+      case 'f':
+        if (consume_literal("false")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = false;
+          return v;
+        }
+        fail("invalid literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return JsonValue{};
+        fail("invalid literal", pos_);
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      const std::size_t key_pos = pos_;
+      std::string key = parse_string();
+      if (v.members_.contains(key)) fail("duplicate key \"" + key + '"', key_pos);
+      skip_ws();
+      expect(':');
+      v.members_.emplace(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return v;
+      if (next != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return v;
+      if (next != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("raw control character in string", pos_);
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume the backslash
+      const char escape = peek();
+      ++pos_;
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape", pos_ - 1);
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape", pos_);
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("invalid \\u escape", pos_);
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate: pair required
+      if (!consume_literal("\\u")) fail("unpaired surrogate", pos_);
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate", pos_);
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate", pos_);
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ - before;
+    };
+    const std::size_t int_start = pos_;
+    if (digits() == 0) fail("invalid number", start);
+    // No leading zeros (JSON): "0" alone is fine, "01" is not.
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      fail("leading zero in number", start);
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after '.'", pos_);
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("digits required in exponent", pos_);
+    }
+    const std::string_view lexeme = text_.substr(start, pos_ - start);
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.text_ = std::string(lexeme);
+    const auto result = std::from_chars(lexeme.data(),
+                                        lexeme.data() + lexeme.size(),
+                                        v.number_);
+    if (result.ec != std::errc() || result.ptr != lexeme.data() + lexeme.size()) {
+      fail("number out of range", start);
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+};
+
+JsonValue JsonValue::parse(std::string_view text, std::size_t max_depth) {
+  return JsonParser(text, max_depth).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw JsonParseError("value is not a bool", 0);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (!is_number()) throw JsonParseError("value is not a number", 0);
+  return number_;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (!is_number()) throw JsonParseError("value is not a number", 0);
+  std::int64_t out = 0;
+  const auto result =
+      std::from_chars(text_.data(), text_.data() + text_.size(), out);
+  if (result.ec != std::errc() || result.ptr != text_.data() + text_.size()) {
+    throw JsonParseError("number is not a 64-bit integer: " + text_, 0);
+  }
+  return out;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (!is_number()) throw JsonParseError("value is not a number", 0);
+  std::uint64_t out = 0;
+  const auto result =
+      std::from_chars(text_.data(), text_.data() + text_.size(), out);
+  if (result.ec != std::errc() || result.ptr != text_.data() + text_.size()) {
+    throw JsonParseError("number is not an unsigned 64-bit integer: " + text_,
+                         0);
+  }
+  return out;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw JsonParseError("value is not a string", 0);
+  return text_;
+}
+
+std::size_t JsonValue::size() const {
+  if (!is_array()) throw JsonParseError("value is not an array", 0);
+  return items_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  if (!is_array()) throw JsonParseError("value is not an array", 0);
+  if (index >= items_.size()) throw JsonParseError("array index out of range", 0);
+  return items_[index];
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) throw JsonParseError("value is not an object", 0);
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+const std::map<std::string, JsonValue, std::less<>>& JsonValue::members() const {
+  if (!is_object()) throw JsonParseError("value is not an object", 0);
+  return members_;
+}
+
+}  // namespace popbean

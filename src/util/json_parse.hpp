@@ -1,0 +1,75 @@
+// Minimal strict JSON reader — the parse side of util/json.hpp's writer.
+//
+// The job service (src/serve) accepts untrusted NDJSON request lines on
+// stdin, so the parser is strict and bounded: exactly one value per input,
+// a depth limit against stack-exhaustion, no extensions (no comments, no
+// trailing commas, no NaN/Infinity). Numbers keep their source lexeme so
+// integral fields (seeds, interaction caps) round-trip at full 64-bit
+// precision instead of through a double.
+//
+// Errors throw JsonParseError carrying the byte offset, so a service can
+// point at the malformed column of a rejected request line.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace popbean {
+
+struct JsonParseError : std::runtime_error {
+  JsonParseError(const std::string& what, std::size_t offset_in)
+      : std::runtime_error(what), offset(offset_in) {}
+  std::size_t offset = 0;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses exactly one JSON value; anything but trailing whitespace after it
+  // is an error. `max_depth` bounds container nesting.
+  static JsonValue parse(std::string_view text, std::size_t max_depth = 64);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw JsonParseError (offset 0) on a kind mismatch so
+  // codec-level field validation can funnel through one error type.
+  bool as_bool() const;
+  double as_double() const;
+  // Integral accessors re-parse the source lexeme, rejecting fractions,
+  // exponents, values out of range, and (for as_u64) negatives.
+  std::int64_t as_i64() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+
+  // Array access.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+
+  // Object access: find() returns nullptr when the key is absent.
+  const JsonValue* find(std::string_view key) const;
+  const std::map<std::string, JsonValue, std::less<>>& members() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string text_;  // string payload, or the number's source lexeme
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue, std::less<>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace popbean

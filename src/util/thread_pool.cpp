@@ -12,6 +12,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  thread_count_ = threads;
   slots_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -19,13 +20,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (shutting_down_) return;  // idempotent; workers already joined below
     shutting_down_ = true;
   }
   work_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {

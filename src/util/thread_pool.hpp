@@ -51,7 +51,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const noexcept { return workers_.size(); }
+  std::size_t thread_count() const noexcept { return thread_count_; }
+
+  // Finishes the queued work and joins the workers. Idempotent; the
+  // destructor calls it. Once shutdown has begun, submit() fails a
+  // POPBEAN_CHECK ("submit after shutdown") instead of queueing work no
+  // worker will ever run — so a task outliving its pool's lifetime is a
+  // loud logic error, not UB.
+  void shutdown();
 
   // Enqueues a task. Tasks must not themselves block on the pool.
   void submit(std::function<void()> task);
@@ -95,6 +102,7 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::size_t thread_count_ = 0;  // stable across shutdown (workers_ joins)
   std::vector<WorkerSlot> slots_;
   std::queue<QueuedTask> queue_;
   mutable std::mutex mutex_;

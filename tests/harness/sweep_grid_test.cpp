@@ -1,0 +1,68 @@
+// Regression for the Figure-4 ε grid (harness/sweep.hpp): the 0.5 anchor
+// must be deduplicated against the geometric ladder, not appended blindly.
+// Some n put a √10-multiple of 1/n within floating-point noise of 0.5; the
+// old code emitted both points and burned a whole sweep column on an
+// indistinguishable ε.
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace popbean {
+namespace {
+
+constexpr double kRelTol = 1e-9;  // the grid's dedup tolerance
+
+TEST(SweepGridTest, GridIsStrictlyIncreasingWithNoNearDuplicates) {
+  // Sweep a broad range of n, including powers of 10 whose ladders land
+  // exactly (in exact arithmetic) on 0.5-adjacent rungs.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t n = 4; n <= 4096; n = n * 3 / 2 + 1) sizes.push_back(n);
+  for (const std::uint64_t n :
+       {std::uint64_t{10}, std::uint64_t{100}, std::uint64_t{1000},
+        std::uint64_t{10000}, std::uint64_t{100000}, std::uint64_t{1000000}}) {
+    sizes.push_back(n);
+    sizes.push_back(n - 1);
+    sizes.push_back(n + 1);
+  }
+  for (const std::uint64_t n : sizes) {
+    const std::vector<double> eps = figure4_epsilons(n);
+    ASSERT_GE(eps.size(), 2u) << "n=" << n;
+    EXPECT_DOUBLE_EQ(eps.front(), 1.0 / static_cast<double>(n)) << "n=" << n;
+    EXPECT_EQ(eps.back(), 0.5) << "n=" << n;  // exact anchor, not ≈0.5
+    for (std::size_t i = 1; i < eps.size(); ++i) {
+      EXPECT_GT(eps[i], eps[i - 1]) << "n=" << n << " i=" << i;
+      // No pair within the dedup tolerance: every grid point is a
+      // distinguishable experiment.
+      EXPECT_GT(eps[i] - eps[i - 1], kRelTol * eps[i])
+          << "n=" << n << " i=" << i;
+      EXPECT_LE(eps[i], 0.5) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SweepGridTest, LadderRungsAreHalfDecadesFromTheFloor) {
+  const std::vector<double> eps = figure4_epsilons(10000);
+  const double root10 = std::sqrt(10.0);
+  // Interior rungs (all but the snapped/appended final 0.5) are exactly
+  // floor·(√10)^i.
+  for (std::size_t i = 0; i + 1 < eps.size(); ++i) {
+    const double expected = 1e-4 * std::pow(root10, static_cast<double>(i));
+    EXPECT_NEAR(eps[i], expected, expected * 1e-12) << "i=" << i;
+  }
+}
+
+TEST(SweepGridTest, TinyPopulationsStillGetAWellFormedGrid) {
+  const std::vector<double> eps = figure4_epsilons(4);
+  ASSERT_EQ(eps.size(), 2u);  // 0.25, then the 0.5 anchor
+  EXPECT_DOUBLE_EQ(eps[0], 0.25);
+  EXPECT_EQ(eps[1], 0.5);
+  EXPECT_THROW(figure4_epsilons(3), std::logic_error);  // n ≥ 4 contract
+}
+
+}  // namespace
+}  // namespace popbean

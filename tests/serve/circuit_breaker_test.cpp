@@ -1,0 +1,155 @@
+// Circuit breaker state machine (serve/circuit_breaker.hpp), driven
+// entirely on a synthetic clock — no sleeps, every transition explicit.
+#include "serve/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace popbean::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = CircuitBreaker::Clock;
+using State = CircuitBreaker::State;
+
+Clock::time_point t0() { return Clock::time_point{} + 1h; }
+
+BreakerConfig small_config() {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.timeout_rate_threshold = 0.5;
+  config.window = 4;
+  config.cooldown = 100ms;
+  config.half_open_probes = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresTripTheBreaker) {
+  CircuitBreaker breaker(small_config());
+  const auto now = t0();
+  EXPECT_TRUE(breaker.allow(now));
+  breaker.record_failure(now);
+  breaker.record_failure(now);
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2u);
+  breaker.record_failure(now);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.allow(now));
+  EXPECT_FALSE(breaker.allow(now + 99ms));  // still cooling down
+}
+
+TEST(CircuitBreakerTest, ASuccessResetsTheStreak) {
+  CircuitBreaker breaker(small_config());
+  const auto now = t0();
+  breaker.record_failure(now);
+  breaker.record_failure(now);
+  breaker.record_success(now);
+  breaker.record_failure(now);
+  breaker.record_failure(now);
+  EXPECT_EQ(breaker.state(), State::kClosed);  // streak never reached 3
+}
+
+TEST(CircuitBreakerTest, TimeoutRateOverTheWindowTripsWithoutAStreak) {
+  CircuitBreaker breaker(small_config());  // window 4, threshold 0.5
+  const auto now = t0();
+  // Alternate timeout/success: no streak ever exceeds 1, but once the
+  // window fills the timeout fraction is exactly 0.5.
+  breaker.record_timeout(now);
+  breaker.record_success(now);
+  breaker.record_timeout(now);
+  EXPECT_EQ(breaker.state(), State::kClosed);  // window not yet full
+  breaker.record_success(now);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsABoundedProbeBudget) {
+  CircuitBreaker breaker(small_config());
+  const auto now = t0();
+  for (int i = 0; i < 3; ++i) breaker.record_failure(now);
+  ASSERT_EQ(breaker.state(), State::kOpen);
+  const auto later = now + 100ms;  // cooldown elapsed
+  EXPECT_TRUE(breaker.allow(later));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(later));   // second probe
+  EXPECT_FALSE(breaker.allow(later));  // budget of 2 exhausted
+  EXPECT_EQ(breaker.half_open_transitions(), 1u);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsTheCooldown) {
+  CircuitBreaker breaker(small_config());
+  const auto now = t0();
+  for (int i = 0; i < 3; ++i) breaker.record_failure(now);
+  const auto probe_time = now + 100ms;
+  ASSERT_TRUE(breaker.allow(probe_time));
+  breaker.record_failure(probe_time);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // The cooldown counts from the reopen, not the original trip.
+  EXPECT_FALSE(breaker.allow(probe_time + 99ms));
+  EXPECT_TRUE(breaker.allow(probe_time + 100ms));
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessesCloseTheBreakerAndClearHistory) {
+  CircuitBreaker breaker(small_config());
+  const auto now = t0();
+  for (int i = 0; i < 3; ++i) breaker.record_failure(now);
+  const auto probe_time = now + 150ms;
+  ASSERT_TRUE(breaker.allow(probe_time));
+  ASSERT_TRUE(breaker.allow(probe_time));
+  breaker.record_success(probe_time);
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);  // one of two probes back
+  breaker.record_success(probe_time);
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.closes(), 1u);
+  // History was cleared: two fresh failures do not trip a threshold of 3.
+  breaker.record_failure(probe_time);
+  breaker.record_failure(probe_time);
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglerOutcomesWhileOpenAreIgnored) {
+  CircuitBreaker breaker(small_config());
+  const auto now = t0();
+  for (int i = 0; i < 3; ++i) breaker.record_failure(now);
+  ASSERT_EQ(breaker.state(), State::kOpen);
+  // A worker that started before the trip finishes now; stale evidence.
+  breaker.record_success(now + 10ms);
+  breaker.record_timeout(now + 20ms);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  // After cooldown the half-open machinery still works normally.
+  EXPECT_TRUE(breaker.allow(now + 200ms));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, BankCreatesBreakersLazilyAndCountsOpens) {
+  BreakerBank bank(small_config());
+  EXPECT_EQ(bank.open_count(), 0u);
+  EXPECT_EQ(bank.total_opens(), 0u);
+  CircuitBreaker& avc = bank.for_key("avc");
+  EXPECT_EQ(&bank.for_key("avc"), &avc);  // same object on re-lookup
+  const auto now = t0();
+  for (int i = 0; i < 3; ++i) avc.record_failure(now);
+  bank.for_key("four-state").record_success(now);
+  EXPECT_EQ(bank.open_count(), 1u);
+  EXPECT_EQ(bank.total_opens(), 1u);
+  EXPECT_EQ(bank.total_closes(), 0u);
+  EXPECT_EQ(bank.breakers().size(), 2u);
+}
+
+TEST(CircuitBreakerTest, DegenerateConfigsAreLogicErrors) {
+  BreakerConfig config = small_config();
+  config.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::logic_error);
+  config = small_config();
+  config.window = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::logic_error);
+  config = small_config();
+  config.half_open_probes = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace popbean::serve

@@ -1,0 +1,103 @@
+// Health derivation (serve/health.hpp): a pure read of a metrics registry
+// snapshot, plus the JSON emission round trip.
+#include "serve/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace popbean::serve {
+namespace {
+
+TEST(HealthTest, EmptyRegistryIsNeitherLiveNorReady) {
+  obs::MetricsRegistry registry;
+  const HealthSnapshot health = derive_health(registry);
+  EXPECT_FALSE(health.live);
+  EXPECT_FALSE(health.ready);
+  EXPECT_FALSE(health.overloaded);
+  EXPECT_EQ(health.accepted, 0u);
+  EXPECT_EQ(health.queue_depth, 0u);
+}
+
+TEST(HealthTest, PopulatedGaugesAndCountersDeriveTheFullView) {
+  obs::MetricsRegistry registry;
+  registry.set(registry.gauge("serve.live"), 1.0);
+  registry.set(registry.gauge("serve.draining"), 0.0);
+  registry.set(registry.gauge("serve.queue_depth"), 7.0);
+  registry.set(registry.gauge("serve.queue_capacity"), 64.0);
+  registry.set(registry.gauge("serve.inflight"), 2.0);
+  registry.set(registry.gauge("serve.degradation_level"), 2.0);
+  registry.set(registry.gauge("serve.breakers_open"), 0.0);
+  registry.set(registry.gauge("serve.overloaded"), 1.0);
+  registry.add(registry.counter("serve.accepted"), 20);
+  registry.add(registry.counter("serve.rejected"), 3);
+  registry.add(registry.counter("serve.completed"), 15);
+  registry.add(registry.counter("serve.timeouts"), 2);
+  registry.add(registry.counter("serve.retries"), 5);
+  registry.add(registry.counter("serve.shed"), 1);
+
+  const HealthSnapshot health = derive_health(registry);
+  EXPECT_TRUE(health.live);
+  EXPECT_TRUE(health.ready);
+  EXPECT_TRUE(health.overloaded);
+  EXPECT_EQ(health.queue_depth, 7u);
+  EXPECT_EQ(health.queue_capacity, 64u);
+  EXPECT_EQ(health.inflight, 2u);
+  EXPECT_EQ(health.degradation_level, 2);
+  EXPECT_EQ(health.accepted, 20u);
+  EXPECT_EQ(health.rejected, 3u);
+  EXPECT_EQ(health.completed, 15u);
+  EXPECT_EQ(health.timeouts, 2u);
+  EXPECT_EQ(health.retries, 5u);
+  EXPECT_EQ(health.shed, 1u);
+}
+
+TEST(HealthTest, DrainingServiceIsLiveButNotReady) {
+  obs::MetricsRegistry registry;
+  registry.set(registry.gauge("serve.live"), 1.0);
+  registry.set(registry.gauge("serve.draining"), 1.0);
+  const HealthSnapshot health = derive_health(registry);
+  EXPECT_TRUE(health.live);
+  EXPECT_FALSE(health.ready);
+}
+
+TEST(HealthTest, AnOpenBreakerAloneMarksTheServiceOverloaded) {
+  obs::MetricsRegistry registry;
+  registry.set(registry.gauge("serve.live"), 1.0);
+  registry.set(registry.gauge("serve.overloaded"), 0.0);
+  registry.set(registry.gauge("serve.breakers_open"), 1.0);
+  const HealthSnapshot health = derive_health(registry);
+  EXPECT_TRUE(health.overloaded);
+  EXPECT_EQ(health.breakers_open, 1u);
+}
+
+TEST(HealthTest, WriteHealthJsonRoundTripsThroughTheParser) {
+  HealthSnapshot health;
+  health.live = true;
+  health.ready = false;
+  health.overloaded = true;
+  health.queue_depth = 9;
+  health.queue_capacity = 16;
+  health.degradation_level = 3;
+  health.accepted = 100;
+  health.failed = 4;
+  std::ostringstream os;
+  JsonWriter json(os);
+  write_health_json(json, health);
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_TRUE(v.find("live")->as_bool());
+  EXPECT_FALSE(v.find("ready")->as_bool());
+  EXPECT_TRUE(v.find("overloaded")->as_bool());
+  EXPECT_EQ(v.find("queue_depth")->as_u64(), 9u);
+  EXPECT_EQ(v.find("queue_capacity")->as_u64(), 16u);
+  EXPECT_EQ(v.find("degradation_level")->as_i64(), 3);
+  EXPECT_EQ(v.find("accepted")->as_u64(), 100u);
+  EXPECT_EQ(v.find("failed")->as_u64(), 4u);
+}
+
+}  // namespace
+}  // namespace popbean::serve

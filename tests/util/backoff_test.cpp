@@ -1,0 +1,130 @@
+// Deadline edge values and the retry/backoff math: jitter bounds and
+// deterministic sequences (util/backoff.hpp).
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace popbean {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = Deadline::Clock;
+
+TEST(DeadlineTest, DefaultIsUnlimitedAndNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_FALSE(d.expired(Clock::time_point::max()));
+  EXPECT_EQ(d.remaining(), Clock::duration::max());
+  EXPECT_EQ(d, Deadline::unlimited());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresAtItsOwnCreationInstant) {
+  const auto now = Clock::now();
+  const Deadline d = Deadline::after(0ms, now);
+  EXPECT_FALSE(d.is_unlimited());
+  EXPECT_TRUE(d.expired(now));
+  EXPECT_EQ(d.remaining(now), Clock::duration::zero());
+}
+
+TEST(DeadlineTest, AfterSaturatesToUnlimitedInsteadOfOverflowing) {
+  const auto now = Clock::now();
+  EXPECT_TRUE(Deadline::after(Clock::duration::max(), now).is_unlimited());
+  // One tick below the saturation point is still a real deadline.
+  const auto almost = Clock::time_point::max() - now - Clock::duration(1);
+  EXPECT_FALSE(Deadline::after(almost, now).is_unlimited());
+}
+
+TEST(DeadlineTest, RemainingClampsToZeroPastExpiry) {
+  const auto now = Clock::now();
+  const Deadline d = Deadline::after(10ms, now);
+  EXPECT_EQ(d.remaining(now + 1h), Clock::duration::zero());
+  EXPECT_EQ(d.remaining(now + 4ms), 6ms);
+  EXPECT_FALSE(d.expired(now + 9ms));
+  EXPECT_TRUE(d.expired(now + 10ms));
+}
+
+TEST(DeadlineTest, SoonerPicksTheTighterBudget) {
+  const auto now = Clock::now();
+  const Deadline a = Deadline::after(10ms, now);
+  const Deadline b = Deadline::after(20ms, now);
+  EXPECT_EQ(Deadline::sooner(a, b), a);
+  EXPECT_EQ(Deadline::sooner(b, a), a);
+  EXPECT_EQ(Deadline::sooner(a, Deadline::unlimited()), a);
+  EXPECT_EQ(Deadline::sooner(Deadline::unlimited(), Deadline::unlimited()),
+            Deadline::unlimited());
+}
+
+TEST(BackoffTest, FirstSleepIsExactlyBase) {
+  DecorrelatedJitterBackoff backoff({10ms, 5000ms}, Xoshiro256ss(1, 0));
+  EXPECT_EQ(backoff.next(), 10ms);
+}
+
+TEST(BackoffTest, EverySleepIsWithinBaseAndCap) {
+  const BackoffPolicy policy{10ms, 200ms};
+  DecorrelatedJitterBackoff backoff(policy, Xoshiro256ss(42, 0));
+  for (int i = 0; i < 500; ++i) {
+    const auto sleep = backoff.next();
+    EXPECT_GE(sleep, policy.base);
+    EXPECT_LE(sleep, policy.cap);
+  }
+}
+
+TEST(BackoffTest, JitterIsBoundedByThreeTimesPrevious) {
+  const BackoffPolicy policy{10ms, 100000ms};  // cap far away: pure jitter
+  DecorrelatedJitterBackoff backoff(policy, Xoshiro256ss(7, 3));
+  auto prev = backoff.next();
+  for (int i = 0; i < 200; ++i) {
+    const auto sleep = backoff.next();
+    EXPECT_GE(sleep, policy.base);
+    EXPECT_LE(sleep.count(), 3 * prev.count());
+    prev = sleep;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSequence) {
+  const BackoffPolicy policy{10ms, 5000ms};
+  DecorrelatedJitterBackoff a(policy, Xoshiro256ss(99, 5));
+  DecorrelatedJitterBackoff b(policy, Xoshiro256ss(99, 5));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(BackoffTest, DifferentStreamsDecorrelate) {
+  const BackoffPolicy policy{10ms, 5000ms};
+  DecorrelatedJitterBackoff a(policy, Xoshiro256ss(99, 1));
+  DecorrelatedJitterBackoff b(policy, Xoshiro256ss(99, 2));
+  std::vector<std::chrono::milliseconds> sa, sb;
+  for (int i = 0; i < 32; ++i) {
+    sa.push_back(a.next());
+    sb.push_back(b.next());
+  }
+  EXPECT_NE(sa, sb);
+}
+
+TEST(BackoffTest, ResetForgetsTheStreakNotTheEntropy) {
+  const BackoffPolicy policy{10ms, 5000ms};
+  DecorrelatedJitterBackoff backoff(policy, Xoshiro256ss(3, 0));
+  std::vector<std::chrono::milliseconds> first_run;
+  for (int i = 0; i < 8; ++i) first_run.push_back(backoff.next());
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  // The first sleep after reset is base again…
+  std::vector<std::chrono::milliseconds> second_run;
+  for (int i = 0; i < 8; ++i) second_run.push_back(backoff.next());
+  EXPECT_EQ(second_run.front(), policy.base);
+  // …but the rng was not rewound, so the streak need not repeat.
+  EXPECT_NE(first_run, second_run);
+}
+
+TEST(BackoffTest, CapEqualToBasePinsEverySleep) {
+  DecorrelatedJitterBackoff backoff({50ms, 50ms}, Xoshiro256ss(11, 0));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(backoff.next(), 50ms);
+}
+
+}  // namespace
+}  // namespace popbean

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -73,6 +74,69 @@ TEST(CliTest, CheckKnownRejectsTypos) {
 TEST(CliTest, NegativeNumbersAsValues) {
   const auto args = parse({"--delta=-5"});
   EXPECT_EQ(args.get_int("delta", 0), -5);
+}
+
+// --- strict numeric parsing: each failure class gets its own diagnostic ---
+
+TEST(CliTest, RejectsTrailingGarbageOnIntegers) {
+  const auto args = parse({"--n=5x"});
+  try {
+    args.get_int("n", 0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5x"), std::string::npos);
+  }
+}
+
+TEST(CliTest, RejectsTrailingGarbageOnDoubles) {
+  const auto args = parse({"--eps=0.1.2"});
+  EXPECT_THROW(args.get_double("eps", 0.0), std::runtime_error);
+}
+
+TEST(CliTest, RejectsEmptyNumericValue) {
+  const auto args = parse({"--n="});
+  EXPECT_THROW(args.get_int("n", 0), std::runtime_error);
+}
+
+TEST(CliTest, RejectsIntegerOverflow) {
+  const auto args = parse({"--n=99999999999999999999"});  // > 2^64
+  try {
+    args.get_int("n", 0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  EXPECT_THROW(args.get_uint64("n", 0), std::runtime_error);
+}
+
+TEST(CliTest, GetUint64RejectsNegatives) {
+  const auto args = parse({"--seed=-1"});
+  try {
+    args.get_uint64("seed", 0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+  }
+}
+
+TEST(CliTest, GetUint64AcceptsFullRange) {
+  const auto args = parse({"--seed=18446744073709551615"});
+  EXPECT_EQ(args.get_uint64("seed", 0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(parse({}).get_uint64("seed", 7), 7u);
+}
+
+TEST(CliTest, RejectsHexAndWhitespaceDecorations) {
+  EXPECT_THROW(parse({"--n=0x10"}).get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(parse({"--n= 5"}).get_int("n", 0), std::runtime_error);
+}
+
+TEST(CliTest, RejectsGarbageInsideLists) {
+  EXPECT_THROW(parse({"--eps=0.1,bad,0.3"}).get_double_list("eps", {}),
+               std::runtime_error);
+  EXPECT_THROW(parse({"--sizes=10,20x"}).get_int_list("sizes", {}),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Strict JSON reader (util/json_parse.hpp): grammar, 64-bit integer
+// fidelity, escapes, and the rejection paths a service front end relies on.
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace popbean {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").as_double(), -250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, ParsesContainers) {
+  const JsonValue v = JsonValue::parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(1).as_i64(), 2);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->find("c"), nullptr);
+  EXPECT_TRUE(b->find("c")->as_bool());
+  EXPECT_EQ(v.find("zzz"), nullptr);
+}
+
+TEST(JsonParseTest, IntegersRoundTripAtFull64BitPrecision) {
+  const auto u_max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(JsonValue::parse("18446744073709551615").as_u64(), u_max);
+  const auto i_min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(JsonValue::parse("-9223372036854775808").as_i64(), i_min);
+  // Through a double either value would be corrupted; the lexeme is kept.
+  EXPECT_EQ(JsonValue::parse("9007199254740993").as_u64(),
+            9007199254740993ull);
+}
+
+TEST(JsonParseTest, IntegralAccessorsRejectNonIntegers) {
+  EXPECT_THROW(JsonValue::parse("1.5").as_u64(), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-1").as_u64(), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1e3").as_i64(), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("18446744073709551616").as_u64(),
+               JsonParseError);
+  EXPECT_THROW(JsonValue::parse("true").as_u64(), JsonParseError);
+}
+
+TEST(JsonParseTest, DecodesEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(JsonValue::parse(R"("a\nb\t\"\\")").as_string(), "a\nb\t\"\\");
+  EXPECT_EQ(JsonValue::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  // U+1F600 as a surrogate pair → 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(JsonValue::parse("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), JsonParseError);  // lone high
+  EXPECT_THROW(JsonValue::parse(R"("\q")"), JsonParseError);
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{} x"), JsonParseError);
+  EXPECT_NO_THROW(JsonValue::parse("  {}  "));
+}
+
+TEST(JsonParseTest, RejectsDuplicateKeys) {
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1, "a": 2})"), JsonParseError);
+}
+
+TEST(JsonParseTest, RejectsMalformedNumbers) {
+  EXPECT_THROW(JsonValue::parse("01"), JsonParseError);  // leading zero
+  EXPECT_THROW(JsonValue::parse("+1"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(".5"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1."), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("NaN"), JsonParseError);
+}
+
+TEST(JsonParseTest, RejectsStructuralErrors) {
+  EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1,})"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1, 2,]"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("unterminated)"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+}
+
+TEST(JsonParseTest, EnforcesTheDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += "[";
+  for (int i = 0; i < 80; ++i) deep += "]";
+  EXPECT_THROW(JsonValue::parse(deep, 64), JsonParseError);
+  EXPECT_NO_THROW(JsonValue::parse(deep, 128));
+}
+
+TEST(JsonParseTest, ErrorsCarryTheByteOffset) {
+  try {
+    JsonValue::parse(R"({"a": blob})");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset, 6u);
+  }
+}
+
+// The reader round-trips the writer: what JsonWriter emits, parse accepts.
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.kv("name", "sweep \"x\"\n");
+  json.kv("n", std::uint64_t{12345678901234567ull});
+  json.key("values");
+  json.begin_array();
+  json.value(1.5);
+  json.value(false);
+  json.end_array();
+  json.end_object();
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_EQ(v.find("name")->as_string(), "sweep \"x\"\n");
+  EXPECT_EQ(v.find("n")->as_u64(), 12345678901234567ull);
+  EXPECT_DOUBLE_EQ(v.find("values")->at(0).as_double(), 1.5);
+  EXPECT_EQ(json_single_line(os.str()).find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popbean

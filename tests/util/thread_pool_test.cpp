@@ -148,5 +148,48 @@ TEST(ThreadPoolTest, UnlabeledTasksGetAPlaceholderLabel) {
   pool.wait_idle();
 }
 
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndFinishesQueuedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 8);
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.thread_count(), 2u);  // survives the workers being joined
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFailsLoudly) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  // A task outliving its pool is a logic error, not a silent drop or UB.
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  EXPECT_THROW(pool.submit("late", [] {}), std::logic_error);
+}
+
+TEST(ThreadPoolTest, ObserverSeesEveryTaskWithOrderedTimestamps) {
+  ThreadPool pool(2);
+  std::atomic<int> observed{0};
+  std::atomic<bool> ordered{true};
+  // Attach-then-submit, per the observer contract.
+  pool.set_task_observer([&](const ThreadPool::TaskStats& stats) {
+    observed.fetch_add(1);
+    if (stats.enqueued > stats.started || stats.started > stats.finished) {
+      ordered.store(false);
+    }
+  });
+  for (int i = 0; i < 32; ++i) {
+    pool.submit(std::to_string(i), [] {});
+  }
+  pool.wait_idle();
+  EXPECT_EQ(observed.load(), 32);
+  EXPECT_TRUE(ordered.load());
+  pool.set_task_observer(nullptr);
+  pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_EQ(observed.load(), 32);  // detached observer sees nothing
+}
+
 }  // namespace
 }  // namespace popbean

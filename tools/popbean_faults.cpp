@@ -409,16 +409,15 @@ int main(int argc, char** argv) {
     settings.zipf_exponent =
         args.get_double("zipf-exponent", settings.zipf_exponent);
     settings.budget = static_cast<int>(args.get_int("budget", settings.budget));
-    settings.config.n = static_cast<std::uint64_t>(args.get_int("n", 1000));
+    settings.config.n = args.get_uint64("n", 1000);
     settings.config.epsilon = args.get_double("eps", 0.02);
     settings.config.replicates =
-        static_cast<std::size_t>(args.get_int("replicates", 25));
-    settings.config.seed =
-        static_cast<std::uint64_t>(args.get_int("seed", 20150721));
+        static_cast<std::size_t>(args.get_uint64("replicates", 25));
+    settings.config.seed = args.get_uint64("seed", 20150721);
     const double max_time = args.get_double("max-time", 2000.0);
     settings.config.max_interactions = static_cast<std::uint64_t>(
         max_time * static_cast<double>(settings.config.n));
-    settings.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    settings.threads = static_cast<std::size_t>(args.get_uint64("threads", 0));
     settings.json_path = args.get_string("json", "");
     settings.csv_path = args.get_string("csv", "");
     settings.recovery_cfg.manifest_path = args.get_string("checkpoint", "");

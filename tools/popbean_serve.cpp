@@ -1,0 +1,198 @@
+// popbean-serve — the resilient job service on NDJSON stdin/stdout.
+//
+// Reads one v1 job request per line (serve/codec.hpp) from stdin or a
+// batch file, runs each through the JobService (admission control,
+// per-job deadlines, retry/backoff, per-protocol circuit breakers,
+// graceful degradation — DESIGN.md §9), and writes exactly one terminal
+// NDJSON response line per request: `done`/`truncated`/`timeout`/`failed`
+// for accepted jobs, `overloaded`/`invalid` for rejections. Lines that
+// never parse still get their `invalid` response (with the request id when
+// one could be salvaged), so a client can always correlate.
+//
+// Exit status: 0 after a clean drain, 2 on usage errors, 3 when
+// interrupted (SIGINT/SIGTERM stop admission, drain in-flight work under
+// the drain deadline, and flush whatever remains as failed("shutdown") —
+// the same convention as popbean-faults).
+//
+// Flags:
+//   --jobs=PATH            read requests from PATH instead of stdin
+//   --threads=T            worker threads (default: hardware concurrency)
+//   --queue-capacity=K     admission queue bound (default 256)
+//   --shed=POLICY          reject-newest | deadline-aware | client-quota
+//   --client-quota=K       per-client queued-job cap (client-quota policy)
+//   --max-retries=K        retry budget per job (default 2)
+//   --default-deadline-ms=MS  deadline for jobs that carry none (0 = none)
+//   --drain-deadline-ms=MS    shutdown drain budget (default 5000)
+//   --breaker-failures=K   consecutive failures that open a breaker
+//   --breaker-cooldown-ms=MS  open → half-open cooldown (default 2000)
+//   --seed=S               backoff-jitter seed (default 0x5e7)
+//   --chaos=P              per-attempt chaos probability in [0,1] (default 0:
+//                          no injection; faults are fail/slow/corrupt)
+//   --chaos-seed=S         chaos stream seed (default 7)
+//   --metrics-out=PATH     metrics snapshot JSON after the drain
+//   --health-out=PATH      final HealthSnapshot JSON after the drain
+//   --telemetry-out=PATH   one JSONL event per terminal response
+
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "serve/codec.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace popbean;
+using namespace popbean::serve;
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_drain_signal(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+ShedPolicy parse_shed_policy(const std::string& text) {
+  if (text == "reject-newest") return ShedPolicy::kRejectNewest;
+  if (text == "deadline-aware") return ShedPolicy::kDeadlineAware;
+  if (text == "client-quota") return ShedPolicy::kClientQuota;
+  throw std::runtime_error("flag --shed: unknown policy \"" + text + "\"");
+}
+
+// Deterministic per-(job, attempt) chaos draw: the same request file with
+// the same --chaos-seed injects the same faults.
+ChaosAction draw_chaos(double probability, std::uint64_t chaos_seed,
+                       const ChaosContext& ctx) {
+  Xoshiro256ss rng(chaos_seed, ctx.sequence * 8191 + ctx.attempt);
+  if (!rng.bernoulli(probability)) return ChaosAction::kNone;
+  const std::uint64_t kind = rng.below(4);
+  if (kind < 2) return ChaosAction::kFail;  // fail twice as likely
+  return kind == 2 ? ChaosAction::kSlow : ChaosAction::kCorrupt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    args.check_known({"jobs", "threads", "queue-capacity", "shed",
+                      "client-quota", "max-retries", "default-deadline-ms",
+                      "drain-deadline-ms", "breaker-failures",
+                      "breaker-cooldown-ms", "seed", "chaos", "chaos-seed",
+                      "metrics-out", "health-out", "telemetry-out"});
+
+    ServiceConfig config;
+    config.threads = static_cast<std::size_t>(args.get_uint64("threads", 0));
+    config.admission.capacity =
+        static_cast<std::size_t>(args.get_uint64("queue-capacity", 256));
+    config.admission.policy =
+        parse_shed_policy(args.get_string("shed", "reject-newest"));
+    config.admission.per_client_quota =
+        static_cast<std::size_t>(args.get_uint64("client-quota", 0));
+    config.max_retries =
+        static_cast<std::size_t>(args.get_uint64("max-retries", 2));
+    config.default_deadline = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("default-deadline-ms", 10000)));
+    config.drain_deadline = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("drain-deadline-ms", 5000)));
+    config.breaker.failure_threshold =
+        static_cast<std::size_t>(args.get_uint64("breaker-failures", 5));
+    config.breaker.cooldown = std::chrono::milliseconds(static_cast<std::int64_t>(
+        args.get_uint64("breaker-cooldown-ms", 2000)));
+    config.seed = args.get_uint64("seed", 0x5e7);
+    const double chaos = args.get_double("chaos", 0.0);
+    if (chaos < 0.0 || chaos > 1.0) {
+      throw std::runtime_error("flag --chaos: must be in [0, 1]");
+    }
+    const std::uint64_t chaos_seed = args.get_uint64("chaos-seed", 7);
+    if (chaos > 0.0) {
+      config.chaos = [chaos, chaos_seed](const ChaosContext& ctx) {
+        return draw_chaos(chaos, chaos_seed, ctx);
+      };
+    }
+    const std::string jobs_path = args.get_string("jobs", "");
+    const std::string metrics_path = args.get_string("metrics-out", "");
+    const std::string health_path = args.get_string("health-out", "");
+    const std::string telemetry_path = args.get_string("telemetry-out", "");
+
+    std::ifstream jobs_file;
+    if (!jobs_path.empty()) {
+      jobs_file.open(jobs_path);
+      if (!jobs_file) throw std::runtime_error("cannot open " + jobs_path);
+    }
+    std::istream& in = jobs_path.empty() ? std::cin : jobs_file;
+
+    std::optional<obs::TelemetrySink> telemetry;
+    if (!telemetry_path.empty()) telemetry.emplace(telemetry_path);
+
+    // One mutex serializes every response line (service sink and the
+    // invalid/overloaded lines the front end writes directly).
+    std::mutex out_mutex;
+    const auto write_line = [&](const JobResponse& response) {
+      {
+        std::lock_guard lock(out_mutex);
+        write_job_response(std::cout, response);
+        std::cout.flush();
+      }
+      if (telemetry.has_value()) {
+        telemetry->record("response", [&response](JsonWriter& json) {
+          json.kv("id", response.id);
+          json.kv("outcome", to_string(response.outcome));
+          json.kv("attempts", static_cast<std::uint64_t>(response.attempts));
+        });
+      }
+    };
+
+    std::signal(SIGINT, handle_drain_signal);
+    std::signal(SIGTERM, handle_drain_signal);
+
+    JobService service(config, write_line);
+
+    std::string line;
+    while (!g_interrupted.load(std::memory_order_relaxed) &&
+           std::getline(in, line)) {
+      if (line.empty()) continue;
+      ParsedRequest request = parse_job_request(line);
+      if (const auto* error = std::get_if<RequestError>(&request)) {
+        service.note_invalid();
+        JobResponse response;
+        response.id = error->id;
+        response.outcome = JobOutcome::kInvalid;
+        response.error = error->error;
+        write_line(response);
+        continue;
+      }
+      service.submit(std::move(std::get<JobSpec>(request)));
+    }
+
+    const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
+    service.drain(config.drain_deadline);
+
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) throw std::runtime_error("cannot open " + metrics_path);
+      JsonWriter json(out);
+      service.metrics().write_json(json);
+      out << "\n";
+    }
+    if (!health_path.empty()) {
+      std::ofstream out(health_path);
+      if (!out) throw std::runtime_error("cannot open " + health_path);
+      JsonWriter json(out);
+      write_health_json(json, service.health());
+      out << "\n";
+    }
+    return interrupted ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "popbean-serve: " << e.what() << "\n";
+    return 2;
+  }
+}

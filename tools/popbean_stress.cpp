@@ -1,0 +1,330 @@
+// popbean-stress — open-loop load and chaos generator for the job service.
+//
+// Runs the same JobService that popbean-serve wraps, in-process, and
+// drives it with an open-loop Poisson arrival stream at a target rate
+// (arrivals do not wait for completions — the honest way to measure an
+// overloaded service). Every submitted job is tracked in a ledger that
+// holds the service to its exactly-one-terminal-response contract, and
+// end-to-end latency (submit → response) is recorded per response.
+//
+// Chaos: --chaos=P injects background worker faults per attempt, and
+// --outage-start/--outage-len define a window of admission sequences in
+// which every attempt fails — a deterministic outage that must trip the
+// per-protocol circuit breaker. With --expect-recovery the tool also
+// requires the breaker to close again (half-open probes succeeding on
+// post-outage jobs), proving open → half-open → closed end to end.
+//
+// Output: a human summary on stdout and a BENCH_serve.json-style report
+// (--bench-out) with totals per outcome, ledger violations, latency
+// percentiles and histogram, breaker transition counts, and the final
+// health snapshot.
+//
+// Exit status: 0 when the ledger is clean (and expectations hold), 1 on a
+// contract violation — a missing/duplicate/unknown response, a failed
+// drain, or a breaker expectation miss — and 2 on usage errors.
+//
+// Flags:
+//   --jobs=N               jobs to submit (default 200)
+//   --rate=R               target arrival rate, jobs/sec (0 = no pacing;
+//                          default 50)
+//   --threads=T            service worker threads (default: hardware)
+//   --queue-capacity=K     admission bound (default 64)
+//   --shed=POLICY          reject-newest | deadline-aware | client-quota
+//   --n=POP --eps=E        instance per job (default 300, 0.1)
+//   --replicates=R         replicates per job (default 1)
+//   --deadline-ms=MS       per-job deadline (default 2000)
+//   --max-retries=K        retry budget (default 2)
+//   --chaos=P              background chaos probability (default 0)
+//   --outage-start=I --outage-len=K   forced-failure window (default none)
+//   --expect-recovery      require breaker opens ≥ 1 and closes ≥ 1
+//   --breaker-failures=K   breaker trip threshold (default 5)
+//   --breaker-cooldown-ms=MS  open → half-open cooldown (default 250)
+//   --seed=S --chaos-seed=S   determinism knobs
+//   --bench-out=PATH       report path (default BENCH_serve.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/codec.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace popbean;
+using namespace popbean::serve;
+using Clock = std::chrono::steady_clock;
+
+ShedPolicy parse_shed_policy(const std::string& text) {
+  if (text == "reject-newest") return ShedPolicy::kRejectNewest;
+  if (text == "deadline-aware") return ShedPolicy::kDeadlineAware;
+  if (text == "client-quota") return ShedPolicy::kClientQuota;
+  throw std::runtime_error("flag --shed: unknown policy \"" + text + "\"");
+}
+
+struct LedgerEntry {
+  Clock::time_point submitted;
+  std::size_t responses = 0;
+  JobOutcome outcome = JobOutcome::kFailed;
+};
+
+struct Ledger {
+  std::mutex mutex;
+  std::map<std::string, LedgerEntry> entries;
+  std::size_t unknown = 0;  // responses for ids never submitted
+  std::vector<double> latency_ms;
+  std::map<std::string, std::uint64_t> by_outcome;
+};
+
+JobPriority priority_for(std::uint64_t index) {
+  switch (index % 3) {
+    case 0: return JobPriority::kLow;
+    case 1: return JobPriority::kNormal;
+    default: return JobPriority::kHigh;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    args.check_known({"jobs", "rate", "threads", "queue-capacity", "shed", "n",
+                      "eps", "replicates", "deadline-ms", "max-retries",
+                      "chaos", "outage-start", "outage-len", "expect-recovery",
+                      "breaker-failures", "breaker-cooldown-ms", "seed",
+                      "chaos-seed", "bench-out"});
+
+    const std::uint64_t total_jobs = args.get_uint64("jobs", 200);
+    const double rate = args.get_double("rate", 50.0);
+    if (rate < 0.0) throw std::runtime_error("flag --rate: must be >= 0");
+    const std::uint64_t n = args.get_uint64("n", 300);
+    const double eps = args.get_double("eps", 0.1);
+    const std::uint32_t replicates =
+        static_cast<std::uint32_t>(args.get_uint64("replicates", 1));
+    const std::uint64_t deadline_ms = args.get_uint64("deadline-ms", 2000);
+    const double chaos = args.get_double("chaos", 0.0);
+    if (chaos < 0.0 || chaos > 1.0) {
+      throw std::runtime_error("flag --chaos: must be in [0, 1]");
+    }
+    const std::uint64_t outage_start = args.get_uint64("outage-start", 0);
+    const std::uint64_t outage_len = args.get_uint64("outage-len", 0);
+    const bool expect_recovery = args.get_bool("expect-recovery", false);
+    const std::uint64_t seed = args.get_uint64("seed", 0x57e55);
+    const std::uint64_t chaos_seed = args.get_uint64("chaos-seed", 7);
+    const std::string bench_path =
+        args.get_string("bench-out", "BENCH_serve.json");
+
+    ServiceConfig config;
+    config.threads = static_cast<std::size_t>(args.get_uint64("threads", 0));
+    config.admission.capacity =
+        static_cast<std::size_t>(args.get_uint64("queue-capacity", 64));
+    config.admission.policy =
+        parse_shed_policy(args.get_string("shed", "reject-newest"));
+    config.max_retries =
+        static_cast<std::size_t>(args.get_uint64("max-retries", 2));
+    config.breaker.failure_threshold =
+        static_cast<std::size_t>(args.get_uint64("breaker-failures", 5));
+    config.breaker.cooldown = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("breaker-cooldown-ms", 250)));
+    config.seed = seed;
+    // The drain budget must cover the jobs still in flight at end of load.
+    config.drain_deadline = std::chrono::milliseconds(
+        static_cast<std::int64_t>(std::max<std::uint64_t>(4 * deadline_ms,
+                                                          5000)));
+    if (chaos > 0.0 || outage_len > 0) {
+      config.chaos = [chaos, chaos_seed, outage_start,
+                      outage_len](const ChaosContext& ctx) {
+        if (ctx.sequence >= outage_start &&
+            ctx.sequence < outage_start + outage_len) {
+          return ChaosAction::kFail;  // hard outage: every attempt dies
+        }
+        Xoshiro256ss rng(chaos_seed, ctx.sequence * 8191 + ctx.attempt);
+        if (!rng.bernoulli(chaos)) return ChaosAction::kNone;
+        const std::uint64_t kind = rng.below(4);
+        if (kind < 2) return ChaosAction::kFail;
+        return kind == 2 ? ChaosAction::kSlow : ChaosAction::kCorrupt;
+      };
+    }
+
+    Ledger ledger;
+    const auto on_response = [&ledger](const JobResponse& response) {
+      const auto now = Clock::now();
+      std::lock_guard lock(ledger.mutex);
+      ++ledger.by_outcome[to_string(response.outcome)];
+      const auto it = ledger.entries.find(response.id);
+      if (it == ledger.entries.end()) {
+        ++ledger.unknown;
+        return;
+      }
+      ++it->second.responses;
+      it->second.outcome = response.outcome;
+      ledger.latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - it->second.submitted)
+              .count());
+    };
+
+    JobService service(config, on_response);
+    Xoshiro256ss arrivals(seed, /*stream=*/0xa881);
+
+    const auto load_start = Clock::now();
+    for (std::uint64_t i = 0; i < total_jobs; ++i) {
+      JobSpec spec;
+      spec.id = "job-" + std::to_string(i);
+      spec.client = "stress-" + std::to_string(i % 4);
+      spec.n = n;
+      spec.epsilon = eps;
+      spec.seed = seed + i;
+      spec.replicates = replicates;
+      spec.priority = priority_for(i);
+      spec.deadline = std::chrono::milliseconds(
+          static_cast<std::int64_t>(deadline_ms));
+      {
+        std::lock_guard lock(ledger.mutex);
+        ledger.entries[spec.id].submitted = Clock::now();
+      }
+      service.submit(std::move(spec));
+      if (rate > 0.0 && i + 1 < total_jobs) {
+        const double wait_s = arrivals.exponential(rate);
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+      }
+    }
+    const bool drained = service.drain(config.drain_deadline);
+    const double load_s = std::chrono::duration<double>(
+                              Clock::now() - load_start)
+                              .count();
+
+    // --- Ledger audit: exactly one terminal response per submitted job ---
+    std::size_t missing = 0;
+    std::size_t duplicates = 0;
+    {
+      std::lock_guard lock(ledger.mutex);
+      for (const auto& [id, entry] : ledger.entries) {
+        if (entry.responses == 0) ++missing;
+        if (entry.responses > 1) ++duplicates;
+      }
+    }
+    const std::uint64_t opens = service.total_breaker_opens();
+    const std::uint64_t closes = service.total_breaker_closes();
+    const HealthSnapshot health = service.health();
+
+    bool failed_expectation = false;
+    if (missing > 0 || duplicates > 0 || ledger.unknown > 0) {
+      std::cerr << "popbean-stress: ledger violation — missing=" << missing
+                << " duplicates=" << duplicates
+                << " unknown=" << ledger.unknown << "\n";
+      failed_expectation = true;
+    }
+    if (!drained) {
+      std::cerr << "popbean-stress: drain blew its deadline (service "
+                   "cancelled in-flight work)\n";
+      failed_expectation = true;
+    }
+    if (expect_recovery && (opens == 0 || closes == 0)) {
+      std::cerr << "popbean-stress: expected breaker recovery, saw opens="
+                << opens << " closes=" << closes << "\n";
+      failed_expectation = true;
+    }
+
+    std::sort(ledger.latency_ms.begin(), ledger.latency_ms.end());
+    Histogram latency_hist = Histogram::logarithmic(1e-2, 1e5, 36);
+    for (const double ms : ledger.latency_ms) latency_hist.add(ms);
+
+    std::cout << "popbean-stress: " << total_jobs << " jobs in " << load_s
+              << " s";
+    {
+      std::lock_guard lock(ledger.mutex);
+      for (const auto& [outcome, count] : ledger.by_outcome) {
+        std::cout << "  " << outcome << "=" << count;
+      }
+    }
+    std::cout << "  breaker_opens=" << opens << " closes=" << closes
+              << " drained=" << (drained ? "clean" : "forced") << "\n";
+
+    {
+      std::ofstream out(bench_path);
+      if (!out) throw std::runtime_error("cannot open " + bench_path);
+      JsonWriter json(out);
+      json.begin_object();
+      json.kv("tool", "popbean-stress");
+      json.key("config");
+      json.begin_object();
+      json.kv("jobs", total_jobs);
+      json.kv("rate", rate);
+      json.kv("threads", static_cast<std::uint64_t>(service.thread_count()));
+      json.kv("queue_capacity",
+              static_cast<std::uint64_t>(config.admission.capacity));
+      json.kv("shed", to_string(config.admission.policy));
+      json.kv("n", n);
+      json.kv("eps", eps);
+      json.kv("replicates", static_cast<std::uint64_t>(replicates));
+      json.kv("deadline_ms", deadline_ms);
+      json.kv("chaos", chaos);
+      json.kv("outage_start", outage_start);
+      json.kv("outage_len", outage_len);
+      json.kv("seed", seed);
+      json.end_object();
+      json.key("totals");
+      json.begin_object();
+      json.kv("submitted", total_jobs);
+      std::uint64_t responses = 0;
+      {
+        std::lock_guard lock(ledger.mutex);
+        for (const auto& [outcome, count] : ledger.by_outcome) {
+          responses += count;
+        }
+        for (const auto& [outcome, count] : ledger.by_outcome) {
+          json.kv(outcome, count);
+        }
+      }
+      json.kv("responses", responses);
+      json.end_object();
+      json.key("ledger");
+      json.begin_object();
+      json.kv("missing", static_cast<std::uint64_t>(missing));
+      json.kv("duplicates", static_cast<std::uint64_t>(duplicates));
+      json.kv("unknown", static_cast<std::uint64_t>(ledger.unknown));
+      json.end_object();
+      json.key("latency_ms");
+      json.begin_object();
+      if (!ledger.latency_ms.empty()) {
+        json.kv("p50", quantile_sorted(ledger.latency_ms, 0.50));
+        json.kv("p90", quantile_sorted(ledger.latency_ms, 0.90));
+        json.kv("p99", quantile_sorted(ledger.latency_ms, 0.99));
+        json.kv("max", ledger.latency_ms.back());
+      }
+      json.key("histogram");
+      latency_hist.write_json(json);
+      json.end_object();
+      json.key("breaker");
+      json.begin_object();
+      json.kv("opens", opens);
+      json.kv("closes", closes);
+      json.end_object();
+      json.kv("drained_clean", drained);
+      json.kv("wall_s", load_s);
+      json.key("health");
+      write_health_json(json, health);
+      json.end_object();
+      out << "\n";
+      std::cout << "Report written to " << bench_path << "\n";
+    }
+    return failed_expectation ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "popbean-stress: " << e.what() << "\n";
+    return 2;
+  }
+}
