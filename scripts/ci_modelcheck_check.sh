@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end check for the model-checking pipeline (DESIGN.md §10):
+#
+#   1. the built-in protocol suite verifies clean with invariant inference
+#      and exhaustive model checking enabled;
+#   2. AVC(1,1) and the four-state fixture earn stabilization certificates
+#      at larger n;
+#   3. the deliberately broken fixture (A+b -> B+b) FAILS the lint, emits a
+#      .pbsn counterexample capture, and popbean-replay steps that capture
+#      through bit-exactly — the counterexample is not just a claim, it is a
+#      replayable schedule.
+#
+# Usage: scripts/ci_modelcheck_check.sh [path/to/popbean-lint] [path/to/popbean-replay]
+set -u -o pipefail
+
+LINT_BIN="${1:-build/tools/popbean-lint}"
+REPLAY_BIN="${2:-build/tools/popbean-replay}"
+for bin in "$LINT_BIN" "$REPLAY_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "binary not found at '$bin' (build tools first)" >&2
+    exit 2
+  fi
+done
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "=== builtin suite: inference + model checking ==="
+"$LINT_BIN" --infer-invariants --model-check --max-n=6
+echo
+
+echo "=== AVC(1,1): certificate up to n = 12 ==="
+"$LINT_BIN" --m=1 --d=1 --infer-invariants --model-check --max-n=12 --verbose \
+  | tee "$WORKDIR/avc.log"
+grep -q "model_check.certified" "$WORKDIR/avc.log" || {
+  echo "FAIL: AVC(1,1) earned no stabilization certificate" >&2
+  exit 1
+}
+echo
+
+echo "=== four-state fixture: certificate up to n = 10 ==="
+"$LINT_BIN" --table=tests/verify/data/four_state.pbp --exact \
+  --model-check --max-n=10
+echo
+
+echo "=== broken fixture: must fail with a replayable counterexample ==="
+if "$LINT_BIN" --table=tests/verify/data/wrong_stable.pbp \
+     --model-check --max-n=5 --counterexample-out="$WORKDIR/cex"; then
+  echo "FAIL: wrong_stable.pbp unexpectedly passed the lint" >&2
+  exit 1
+fi
+for suffix in header log; do
+  if [[ ! -f "$WORKDIR/cex.$suffix.pbsn" ]]; then
+    echo "FAIL: no counterexample $suffix capture was written" >&2
+    exit 1
+  fi
+done
+echo "counterexample capture written; replaying"
+"$REPLAY_BIN" "$WORKDIR/cex.header.pbsn" "$WORKDIR/cex.log.pbsn" || {
+  echo "FAIL: popbean-replay rejected the counterexample capture" >&2
+  exit 1
+}
+echo
+echo "PASS: certificates issued, broken fixture caught, counterexample replays"

@@ -59,7 +59,14 @@ class RandomProtocol {
     return table_[index(a, b)];
   }
 
-  std::string state_name(State q) const { return "r" + std::to_string(q); }
+  // Built via += rather than "r" + to_string(q): the operator+ overload for
+  // a char literal and an rvalue string inlines to string::insert, which
+  // trips GCC 12's -Wrestrict false positive under -O2 -Werror.
+  std::string state_name(State q) const {
+    std::string name("r");
+    name += std::to_string(q);
+    return name;
+  }
 
  private:
   std::size_t index(State a, State b) const noexcept {

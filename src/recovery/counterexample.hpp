@@ -1,0 +1,90 @@
+// Model-checker counterexamples as replayable captures (DESIGN.md §10).
+//
+// The configuration-space model checker (src/verify/model_check.hpp) proves
+// its violations constructively: a shortest interaction schedule from an
+// initial split to a configuration inside a wrong-stable or livelock
+// terminal component. This adapter packages that schedule in the exact
+// record/replay capture format of DESIGN.md §7 — the same
+// header + event-log pair popbean-record emits — so `popbean-replay` steps
+// through the violating execution bit-exactly with no verifier in the loop.
+//
+// Bit-exactness is by construction, not by hope: the recorded
+// CaptureOutcome is computed by running the schedule through the very
+// `replay_events` function popbean-replay uses. A counterexample schedule is
+// always feasible (every step is an edge of the reachable configuration
+// graph), which POPBEAN_CHECK enforces here rather than trusting the caller.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "protocols/tabulated_io.hpp"
+#include "recovery/event_log.hpp"
+#include "recovery/replay.hpp"
+#include "util/check.hpp"
+#include "verify/linear_invariant.hpp"
+#include "verify/model_check.hpp"
+
+namespace popbean::recovery {
+
+struct CapturePair {
+  CaptureHeader header;
+  CaptureLog log;
+};
+
+// Builds the capture for one model-checker counterexample. `name` becomes
+// the protocol name embedded in the header's .pbp text. The monitored
+// invariant is agent count — trivially conserved, so a replay mismatch can
+// only mean the schedule itself diverged.
+template <ProtocolLike P>
+CapturePair make_counterexample_capture(const P& protocol,
+                                        const std::string& name,
+                                        const verify::Counterexample& cex) {
+  const verify::LinearInvariant invariant =
+      verify::agent_count_invariant(protocol);
+
+  CapturePair capture;
+  capture.header.protocol_text = serialize_protocol(protocol, name);
+  capture.header.invariant_name = invariant.name();
+  capture.header.invariant_weights.resize(invariant.num_states());
+  for (State q = 0; q < capture.header.invariant_weights.size(); ++q) {
+    capture.header.invariant_weights[q] = invariant.weight(q);
+  }
+  capture.header.n = cex.n;
+  capture.header.seed = 0;  // no randomness: the schedule is the witness
+  capture.header.stream = 0;
+  capture.header.max_interactions = cex.schedule.size();
+  capture.header.rate = 0.0;
+  capture.header.epsilon = 0.0;
+  capture.header.initial = cex.initial;
+
+  capture.log.events.reserve(cex.schedule.size());
+  for (const auto& [a, b] : cex.schedule) {
+    capture.log.events.push_back(
+        {ReplayEventKind::kInteraction, a, b, /*flags=*/0});
+  }
+
+  const ReplayResult result = replay_events(protocol, invariant, cex.initial,
+                                            capture.log.events);
+  POPBEAN_CHECK_MSG(result.feasible,
+                    "model-checker schedule infeasible under replay");
+  POPBEAN_CHECK_MSG(result.final_counts == cex.witness,
+                    "model-checker schedule does not reach its witness");
+  capture.log.outcome = result.outcome();
+  return capture;
+}
+
+// Writes `prefix`.header.pbsn and `prefix`.log.pbsn (atomic, validated on
+// load); returns the two paths for diagnostics.
+inline std::pair<std::string, std::string> save_counterexample(
+    const std::string& prefix, const CapturePair& capture) {
+  std::pair<std::string, std::string> paths = {prefix + ".header.pbsn",
+                                               prefix + ".log.pbsn"};
+  save_capture_files(paths.first, paths.second, capture.header, capture.log);
+  return paths;
+}
+
+}  // namespace popbean::recovery

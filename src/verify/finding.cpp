@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace popbean::verify {
 
 std::string_view severity_name(Severity severity) noexcept {
@@ -16,27 +18,42 @@ std::string_view severity_name(Severity severity) noexcept {
   return "unknown";
 }
 
+std::string_view pass_of(const Finding& finding) noexcept {
+  const std::string_view check = finding.check;
+  const std::size_t dot = check.find('.');
+  return dot == std::string_view::npos ? check : check.substr(0, dot);
+}
+
 std::string to_string(const Finding& finding) {
   std::ostringstream os;
   os << severity_name(finding.severity) << ": [" << finding.check << "] "
      << finding.message;
+  if (!finding.location.empty()) os << " @ " << finding.location;
   return os.str();
 }
 
-void Report::add(Severity severity, std::string check, std::string message) {
-  findings_.push_back({severity, std::move(check), std::move(message)});
+void Report::add(Severity severity, std::string check, std::string message,
+                 std::string location) {
+  findings_.push_back(
+      {severity, std::move(check), std::move(message), std::move(location)});
 }
 
-void Report::note(std::string check, std::string message) {
-  add(Severity::kNote, std::move(check), std::move(message));
+void Report::note(std::string check, std::string message,
+                  std::string location) {
+  add(Severity::kNote, std::move(check), std::move(message),
+      std::move(location));
 }
 
-void Report::warn(std::string check, std::string message) {
-  add(Severity::kWarning, std::move(check), std::move(message));
+void Report::warn(std::string check, std::string message,
+                  std::string location) {
+  add(Severity::kWarning, std::move(check), std::move(message),
+      std::move(location));
 }
 
-void Report::error(std::string check, std::string message) {
-  add(Severity::kError, std::move(check), std::move(message));
+void Report::error(std::string check, std::string message,
+                   std::string location) {
+  add(Severity::kError, std::move(check), std::move(message),
+      std::move(location));
 }
 
 std::size_t Report::count(Severity severity) const noexcept {
@@ -66,6 +83,27 @@ std::string Report::to_string() const {
 void Report::merge(const Report& other) {
   findings_.insert(findings_.end(), other.findings_.begin(),
                    other.findings_.end());
+}
+
+void write_json(JsonWriter& json, const Report& report) {
+  json.begin_object();
+  json.kv("subject", report.subject());
+  json.kv("ok", report.ok());
+  json.kv("errors", report.errors());
+  json.kv("warnings", report.warnings());
+  json.key("findings");
+  json.begin_array();
+  for (const Finding& finding : report.findings()) {
+    json.begin_object();
+    json.kv("pass", pass_of(finding));
+    json.kv("check", finding.check);
+    json.kv("severity", severity_name(finding.severity));
+    json.kv("message", finding.message);
+    json.kv("location", finding.location);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
 }
 
 }  // namespace popbean::verify

@@ -2,16 +2,22 @@
 //
 // Every check in src/verify/ reports through a Report: a list of findings,
 // each tagged with a severity, the dotted id of the check that produced it
-// ("invariant.conservation", "well_formed.transition_range", …), and a
-// human-readable message. `popbean-lint` renders reports and turns the
-// presence of error findings into a nonzero exit code; tests assert on
-// counts per check id.
+// ("invariant.conservation", "well_formed.transition_range", …), an
+// optional location (a δ-table cell, an instance like "n=6 split=4A/2B"),
+// and a human-readable message. `popbean-lint` renders reports — as text or,
+// with --json, in a stable machine-readable schema — and turns the presence
+// of error findings into a nonzero exit code; tests assert on counts per
+// check id.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace popbean {
+class JsonWriter;
+}
 
 namespace popbean::verify {
 
@@ -27,11 +33,17 @@ struct Finding {
   Severity severity = Severity::kNote;
   std::string check;    // dotted check id, e.g. "invariant.conservation"
   std::string message;  // one line, no trailing newline
+  std::string location;  // optional: δ cell or instance, e.g. "delta 0 3"
 
   friend bool operator==(const Finding&, const Finding&) = default;
 };
 
-// Renders "error: [invariant.conservation] message".
+// The pass a finding belongs to: the check id's first dotted component
+// ("invariant.conservation" -> "invariant"). Stable key of the JSON schema.
+std::string_view pass_of(const Finding& finding) noexcept;
+
+// Renders "error: [invariant.conservation] message" plus " @ location" when
+// the finding carries one.
 std::string to_string(const Finding& finding);
 
 // Accumulates the findings of one verification run over one protocol.
@@ -41,10 +53,11 @@ class Report {
 
   const std::string& subject() const noexcept { return subject_; }
 
-  void add(Severity severity, std::string check, std::string message);
-  void note(std::string check, std::string message);
-  void warn(std::string check, std::string message);
-  void error(std::string check, std::string message);
+  void add(Severity severity, std::string check, std::string message,
+           std::string location = {});
+  void note(std::string check, std::string message, std::string location = {});
+  void warn(std::string check, std::string message, std::string location = {});
+  void error(std::string check, std::string message, std::string location = {});
 
   const std::vector<Finding>& findings() const noexcept { return findings_; }
   std::size_t count(Severity severity) const noexcept;
@@ -68,5 +81,16 @@ class Report {
   std::string subject_;
   std::vector<Finding> findings_;
 };
+
+// Writes the report as one JSON object in the stable popbean-lint schema
+// (version 1):
+//
+//   {"subject": …, "ok": bool, "errors": N, "warnings": N,
+//    "findings": [{"pass": …, "check": …, "severity": …,
+//                  "message": …, "location": …}, …]}
+//
+// Field set and meaning are append-only across versions so CI can diff
+// findings structurally instead of grepping rendered text.
+void write_json(JsonWriter& json, const Report& report);
 
 }  // namespace popbean::verify

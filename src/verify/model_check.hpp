@@ -1,0 +1,516 @@
+// Exhaustive configuration-space model checking (DESIGN.md §10).
+//
+// For every population size n ≤ max_n and every non-tie input split, the
+// checker walks the *reachable* configuration graph (lazily interned nodes,
+// expanded exactly once regardless of how many splits reach them — the
+// memoization that makes the per-n sweep cheap), runs Tarjan's SCC
+// algorithm over the explored region, and classifies every terminal
+// strongly-connected component:
+//
+//   * correct-stable — every configuration in the component is unanimous
+//     for the split's initial majority: the protocol stabilizes correctly
+//     through this component;
+//   * wrong-stable   — unanimous for the minority: an execution can commit
+//     to the wrong answer (fatal for an exact-majority protocol);
+//   * livelock       — the component mixes outputs (some configuration is
+//     non-unanimous, or unanimous configurations of both outputs cycle):
+//     fair executions trapped here never stabilize their output.
+//
+// Soundness: the explored region is closed under δ (every interned node is
+// fully expanded), so SCC terminality and reachability computed on it are
+// exact, and the verdict is a *certificate* up to max_n — a "certified"
+// note means no reachable execution of any analysed instance can stabilize
+// wrong or livelock, the finite instantiation of the paper's Theorem 4.1.
+// This subsumes the small-n search (which only looks for wrong unanimity)
+// by also ruling out livelocks and by witnessing violations constructively:
+// every violation carries the shortest interaction schedule (BFS parent
+// pointers) from the initial configuration to the offending component,
+// which src/recovery/counterexample.hpp turns into a replayable .pbsn
+// capture.
+//
+// The checker also records which δ-table cells ever fire on a reachable
+// edge; structure.hpp's dead-transition lint cross-checks that against the
+// static pair-closure reachability.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "population/configuration.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+#include "verify/finding.hpp"
+#include "verify/small_n.hpp"
+
+namespace popbean::verify {
+
+struct ModelCheckOptions {
+  std::uint64_t max_n = 8;            // analyse n = 2 … max_n
+  std::uint64_t max_nodes = 200'000;  // per-n reachable-configuration budget
+  // Exact-majority protocols: wrong-stable and livelock components are
+  // errors. Approximate protocols (voter, three-state) reach wrong unanimity
+  // by design, so the same verdicts are reported as notes.
+  bool expect_stabilization = true;
+  std::size_t max_counterexamples = 4;  // schedules extracted, total
+};
+
+// A concrete violating execution: applying `schedule` (ordered interactions,
+// initiator state first) to `initial` reaches `witness`, a configuration
+// inside a wrong-stable or livelock terminal component. The schedule is
+// shortest in interaction count for this witness (BFS).
+struct Counterexample {
+  std::string kind;  // "wrong_stable" | "livelock"
+  std::uint64_t n = 0;
+  std::uint64_t count_a = 0;
+  Counts initial;
+  Counts witness;
+  std::vector<std::pair<State, State>> schedule;
+};
+
+struct ModelCheckSummary {
+  std::uint64_t searched_up_to = 0;  // largest fully analysed n
+  std::uint64_t splits = 0;          // (n, split) instances analysed
+  std::uint64_t nodes = 0;           // distinct configurations interned
+  std::uint64_t edges = 0;
+  std::uint64_t sccs = 0;
+  std::uint64_t terminal_sccs = 0;
+  std::uint64_t shared_nodes = 0;    // reached by more than one split
+  // Reachable terminal components by class, summed over analysed splits.
+  std::uint64_t correct_stable = 0;
+  std::uint64_t wrong_stable = 0;
+  std::uint64_t livelocks = 0;
+  std::vector<bool> fired;  // s·s: δ cell fired on some reachable edge
+};
+
+struct ModelCheckResult {
+  ModelCheckSummary summary;
+  std::vector<Counterexample> counterexamples;
+};
+
+namespace detail {
+
+struct CountsHash {
+  std::size_t operator()(const Counts& counts) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+    for (const std::uint64_t x : counts) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Output-label bits of a configuration; an SCC's label is the union over
+// its configurations.
+inline constexpr unsigned kAllZero = 1;  // unanimous output 0
+inline constexpr unsigned kAllOne = 2;   // unanimous output 1
+inline constexpr unsigned kMixed = 4;    // both outputs present
+
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+// One population size's reachable configuration graph plus its analysis.
+// Templated over the protocol only for label computation; transitions are
+// tabulated once up front so node expansion never calls into the protocol.
+template <ProtocolLike P>
+class PopulationModel {
+ public:
+  struct Edge {
+    std::uint32_t target;
+    std::uint32_t reaction;  // a * s + b
+  };
+
+  PopulationModel(const P& protocol, std::uint64_t max_nodes)
+      : protocol_(protocol),
+        s_(protocol.num_states()),
+        max_nodes_(max_nodes) {
+    transitions_.resize(s_ * s_);
+    productive_.resize(s_ * s_);
+    for (State a = 0; a < s_; ++a) {
+      for (State b = 0; b < s_; ++b) {
+        const Transition t = protocol.apply(a, b);
+        transitions_[a * s_ + b] = t;
+        productive_[a * s_ + b] = !is_null(t, a, b);
+      }
+    }
+  }
+
+  std::uint64_t num_nodes() const noexcept { return configs_.size(); }
+  std::uint64_t num_edges() const noexcept { return edge_count_; }
+  const Counts& config(std::uint32_t id) const { return configs_[id]; }
+  const std::vector<Edge>& out_edges(std::uint32_t id) const {
+    return adj_[id];
+  }
+  unsigned label(std::uint32_t id) const { return labels_[id]; }
+  std::uint64_t visits(std::uint32_t id) const { return visit_count_[id]; }
+
+  // Interns a configuration; nullopt once the node budget is exhausted.
+  std::optional<std::uint32_t> intern(const Counts& config) {
+    const auto it = index_.find(config);
+    if (it != index_.end()) return it->second;
+    if (configs_.size() >= max_nodes_) return std::nullopt;
+    const auto id = static_cast<std::uint32_t>(configs_.size());
+    index_.emplace(config, id);
+    configs_.push_back(config);
+    adj_.emplace_back();
+    expanded_.push_back(false);
+    visit_count_.push_back(0);
+    unsigned label = 0;
+    std::uint64_t out[2] = {0, 0};
+    for (State q = 0; q < s_; ++q) {
+      out[protocol_.output(q) == 0 ? 0 : 1] += config[q];
+    }
+    if (out[0] != 0 && out[1] != 0) {
+      label = kMixed;
+    } else {
+      label = out[1] != 0 ? kAllOne : kAllZero;
+    }
+    labels_.push_back(static_cast<std::uint8_t>(label));
+    return id;
+  }
+
+  // Expands every reachable node from `root` (breadth-first), interning
+  // successors; a node already expanded by an earlier split is reused as-is.
+  // Marks fired reactions. Returns false when the node budget is hit.
+  bool expand_from(std::uint32_t root, std::vector<bool>& fired) {
+    std::vector<std::uint32_t> frontier = {root};
+    while (!frontier.empty()) {
+      const std::uint32_t id = frontier.back();
+      frontier.pop_back();
+      if (expanded_[id]) continue;
+      expanded_[id] = true;
+      // By value: intern() below grows configs_, invalidating references.
+      const Counts config = configs_[id];
+      for (State a = 0; a < s_; ++a) {
+        if (config[a] == 0) continue;
+        for (State b = 0; b < s_; ++b) {
+          if (!productive_[a * s_ + b]) continue;
+          if (config[b] < (a == b ? 2u : 1u)) continue;
+          Counts next = config;
+          const Transition& t = transitions_[a * s_ + b];
+          --next[a];
+          --next[b];
+          ++next[t.initiator];
+          ++next[t.responder];
+          const std::optional<std::uint32_t> target = intern(next);
+          if (!target) return false;
+          adj_[id].push_back({*target, static_cast<std::uint32_t>(a * s_ + b)});
+          ++edge_count_;
+          fired[a * s_ + b] = true;
+          if (!expanded_[*target]) frontier.push_back(*target);
+        }
+      }
+    }
+    return true;
+  }
+
+  // Tarjan SCC over the (closed) explored region; fills scc ids, per-SCC
+  // label unions, and terminal flags. Iterative: configuration graphs have
+  // paths of length Θ(n²), which would blow the call stack recursively.
+  void analyze_sccs() {
+    const auto n = static_cast<std::uint32_t>(configs_.size());
+    scc_id_.assign(n, kNoNode);
+    std::vector<std::uint32_t> disc(n, kNoNode);
+    std::vector<std::uint32_t> low(n, 0);
+    std::vector<std::uint32_t> stack;
+    std::vector<bool> on_stack(n, false);
+    struct Frame {
+      std::uint32_t node;
+      std::uint32_t edge;
+    };
+    std::vector<Frame> frames;
+    std::uint32_t time = 0;
+    scc_count_ = 0;
+
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (disc[root] != kNoNode) continue;
+      frames.push_back({root, 0});
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const std::uint32_t v = frame.node;
+        if (frame.edge == 0) {
+          disc[v] = low[v] = time++;
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        if (frame.edge < adj_[v].size()) {
+          const std::uint32_t w = adj_[v][frame.edge].target;
+          ++frame.edge;
+          if (disc[w] == kNoNode) {
+            frames.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], disc[w]);
+          }
+          continue;
+        }
+        if (low[v] == disc[v]) {  // v roots an SCC
+          const std::uint32_t sid = scc_count_++;
+          while (true) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_id_[w] = sid;
+            if (w == v) break;
+          }
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node], low[v]);
+        }
+      }
+    }
+
+    scc_label_.assign(scc_count_, 0);
+    scc_size_.assign(scc_count_, 0);
+    scc_terminal_.assign(scc_count_, true);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      scc_label_[scc_id_[v]] |= labels_[v];
+      ++scc_size_[scc_id_[v]];
+      for (const Edge& e : adj_[v]) {
+        if (scc_id_[e.target] != scc_id_[v]) {
+          scc_terminal_[scc_id_[v]] = false;
+        }
+      }
+    }
+  }
+
+  std::uint32_t num_sccs() const noexcept { return scc_count_; }
+  std::uint32_t scc_of(std::uint32_t id) const { return scc_id_[id]; }
+  unsigned scc_label(std::uint32_t sid) const { return scc_label_[sid]; }
+  std::uint64_t scc_size(std::uint32_t sid) const { return scc_size_[sid]; }
+  bool scc_terminal(std::uint32_t sid) const { return scc_terminal_[sid]; }
+  std::uint64_t terminal_scc_count() const {
+    std::uint64_t total = 0;
+    for (std::uint32_t sid = 0; sid < scc_count_; ++sid) {
+      if (scc_terminal_[sid]) ++total;
+    }
+    return total;
+  }
+
+  // BFS over the static graph recording shortest-path parents; calls
+  // `visit(node)` once per reached node in BFS (depth) order. Also bumps
+  // the per-node visit counter backing the shared-region statistic.
+  template <typename Visit>
+  void bfs(std::uint32_t root, Visit&& visit) {
+    seen_.assign(configs_.size(), false);
+    parent_.assign(configs_.size(), kNoNode);
+    parent_reaction_.assign(configs_.size(), 0);
+    std::vector<std::uint32_t> queue = {root};
+    seen_[root] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const std::uint32_t v = queue[head++];
+      ++visit_count_[v];
+      visit(v);
+      for (const Edge& e : adj_[v]) {
+        if (seen_[e.target]) continue;
+        seen_[e.target] = true;
+        parent_[e.target] = v;
+        parent_reaction_[e.target] = e.reaction;
+        queue.push_back(e.target);
+      }
+    }
+  }
+
+  // Shortest interaction schedule from the last bfs() root to `id`.
+  std::vector<std::pair<State, State>> schedule_to(std::uint32_t id) const {
+    std::vector<std::pair<State, State>> schedule;
+    for (std::uint32_t v = id; parent_[v] != kNoNode; v = parent_[v]) {
+      const std::uint32_t r = parent_reaction_[v];
+      schedule.emplace_back(static_cast<State>(r / s_),
+                            static_cast<State>(r % s_));
+    }
+    std::reverse(schedule.begin(), schedule.end());
+    return schedule;
+  }
+
+ private:
+  const P& protocol_;
+  std::size_t s_;
+  std::uint64_t max_nodes_;
+  std::vector<Transition> transitions_;
+  std::vector<bool> productive_;
+
+  std::unordered_map<Counts, std::uint32_t, CountsHash> index_;
+  std::vector<Counts> configs_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<bool> expanded_;
+  std::vector<std::uint8_t> labels_;
+  std::vector<std::uint64_t> visit_count_;
+  std::uint64_t edge_count_ = 0;
+
+  std::uint32_t scc_count_ = 0;
+  std::vector<std::uint32_t> scc_id_;
+  std::vector<unsigned> scc_label_;
+  std::vector<std::uint64_t> scc_size_;
+  std::vector<bool> scc_terminal_;
+
+  std::vector<bool> seen_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> parent_reaction_;
+};
+
+}  // namespace detail
+
+// Analyses one population size; returns false when the node budget was
+// exhausted (the caller stops the n sweep and reports how far it got).
+template <ProtocolLike P>
+bool model_check_population(const P& protocol, std::uint64_t n,
+                            const ModelCheckOptions& options, Report& report,
+                            ModelCheckSummary& summary,
+                            std::vector<Counterexample>& counterexamples) {
+  detail::PopulationModel<P> model(protocol, options.max_nodes);
+
+  // Phase 1: intern + expand the union of all splits' reachable regions.
+  std::vector<std::uint32_t> initial_ids(n + 1, detail::kNoNode);
+  for (std::uint64_t count_a = 0; count_a <= n; ++count_a) {
+    if (2 * count_a == n) continue;  // ties are out of scope (§2)
+    const Counts initial = majority_instance(protocol, n, count_a);
+    const std::optional<std::uint32_t> root = model.intern(initial);
+    if (!root || !model.expand_from(*root, summary.fired)) return false;
+    initial_ids[count_a] = *root;
+  }
+
+  // Phase 2: SCCs + terminal classification over the closed region.
+  model.analyze_sccs();
+
+  // Phase 3: per-split verdicts over the now-static graph.
+  const Severity severity =
+      options.expect_stabilization ? Severity::kError : Severity::kNote;
+  std::vector<std::uint64_t> scc_stamp(model.num_sccs(), ~std::uint64_t{0});
+  for (std::uint64_t count_a = 0; count_a <= n; ++count_a) {
+    if (initial_ids[count_a] == detail::kNoNode) continue;
+    ++summary.splits;
+    const Output majority = 2 * count_a > n ? 1 : 0;
+    const unsigned majority_label =
+        majority == 1 ? detail::kAllOne : detail::kAllZero;
+    model.bfs(initial_ids[count_a], [&](std::uint32_t node) {
+      const std::uint32_t sid = model.scc_of(node);
+      if (!model.scc_terminal(sid)) return;
+      if (scc_stamp[sid] == count_a) return;  // classified for this split
+      scc_stamp[sid] = count_a;
+
+      std::ostringstream where;
+      where << "n=" << n << " split=" << count_a << "A/" << (n - count_a)
+            << "B";
+      const unsigned label = model.scc_label(sid);
+      std::string kind;
+      if (label == majority_label) {
+        ++summary.correct_stable;
+        return;
+      }
+      if (label == detail::kAllZero || label == detail::kAllOne) {
+        ++summary.wrong_stable;
+        kind = "wrong_stable";
+        std::ostringstream os;
+        os << "n = " << n << ", split " << count_a << "A/" << (n - count_a)
+           << "B: terminal component (" << model.scc_size(sid)
+           << " configurations) with unanimous wrong output is reachable; "
+           << "witness " << render_config(protocol, model.config(node))
+           << " (all agents output " << (1 - majority)
+           << ", initial majority was " << majority << ")";
+        report.add(severity, "model_check.wrong_stable", os.str(),
+                   where.str());
+      } else {
+        ++summary.livelocks;
+        kind = "livelock";
+        std::ostringstream os;
+        os << "n = " << n << ", split " << count_a << "A/" << (n - count_a)
+           << "B: terminal component (" << model.scc_size(sid)
+           << " configurations) that never reaches a unanimous output is "
+           << "reachable; witness "
+           << render_config(protocol, model.config(node));
+        report.add(severity, "model_check.livelock", os.str(), where.str());
+      }
+      if (counterexamples.size() < options.max_counterexamples) {
+        Counterexample cex;
+        cex.kind = kind;
+        cex.n = n;
+        cex.count_a = count_a;
+        cex.initial = model.config(initial_ids[count_a]);
+        cex.witness = model.config(node);
+        cex.schedule = model.schedule_to(node);
+        counterexamples.push_back(std::move(cex));
+      }
+    });
+  }
+
+  for (std::uint32_t id = 0; id < model.num_nodes(); ++id) {
+    if (model.visits(id) > 1) ++summary.shared_nodes;
+  }
+  summary.nodes += model.num_nodes();
+  summary.edges += model.num_edges();
+  summary.sccs += model.num_sccs();
+  summary.terminal_sccs += model.terminal_scc_count();
+  return true;
+}
+
+// The model-checking pass. Check ids:
+//   model_check.wrong_stable — reachable terminal component, wrong unanimity
+//   model_check.livelock     — reachable terminal component, output unstable
+//   (both: errors when options.expect_stabilization, notes otherwise)
+//   model_check.certified    (note) — exact stabilization certified ≤ max_n
+//   model_check.outcomes     (note) — verdict tally for approximate protocols
+//   model_check.summary      (note) — graph statistics
+//   model_check.budget       (note) — node budget stopped the n sweep
+template <ProtocolLike P>
+ModelCheckResult check_model(const P& protocol, Report& report,
+                             const ModelCheckOptions& options = {}) {
+  const std::size_t s = protocol.num_states();
+  ModelCheckResult result;
+  result.summary.fired.assign(s * s, false);
+
+  for (std::uint64_t n = 2; n <= options.max_n; ++n) {
+    if (!model_check_population(protocol, n, options, report, result.summary,
+                                result.counterexamples)) {
+      std::ostringstream os;
+      os << "reachable-configuration budget (" << options.max_nodes
+         << " nodes) exhausted at n = " << n << "; analysed n <= "
+         << result.summary.searched_up_to;
+      report.note("model_check.budget", os.str());
+      break;
+    }
+    result.summary.searched_up_to = n;
+  }
+
+  const ModelCheckSummary& summary = result.summary;
+  if (summary.searched_up_to >= 2) {
+    std::ostringstream os;
+    os << "explored " << summary.nodes << " configurations, " << summary.edges
+       << " transitions, " << summary.sccs << " SCCs ("
+       << summary.terminal_sccs << " terminal) across " << summary.splits
+       << " instances; " << summary.shared_nodes
+       << " configurations shared between splits";
+    report.note("model_check.summary", os.str());
+
+    if (summary.wrong_stable == 0 && summary.livelocks == 0) {
+      // Only certify when the requested sweep completed: a budget-truncated
+      // run degrades to the model_check.budget note, never a certificate.
+      if (options.expect_stabilization &&
+          summary.searched_up_to == options.max_n) {
+        std::ostringstream cert;
+        cert << "correct stabilization certified for every non-tie split, "
+             << "n = 2 ... " << summary.searched_up_to << " ("
+             << summary.correct_stable
+             << " reachable terminal components, all correct-stable)";
+        report.note("model_check.certified", cert.str());
+      }
+    }
+    if (!options.expect_stabilization || summary.wrong_stable != 0 ||
+        summary.livelocks != 0) {
+      std::ostringstream os2;
+      os2 << "reachable terminal components: " << summary.correct_stable
+          << " correct-stable, " << summary.wrong_stable << " wrong-stable, "
+          << summary.livelocks << " livelock";
+      report.note("model_check.outcomes", os2.str());
+    }
+  }
+  return result;
+}
+
+}  // namespace popbean::verify

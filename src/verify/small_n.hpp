@@ -29,14 +29,22 @@
 
 namespace popbean::verify {
 
-// C(n+s−1, s−1) without overflow for the small arguments used here; returns
-// cap+1 when the count exceeds cap.
+// C(n+s−1, s−1), clamped: returns cap+1 when the count exceeds cap or the
+// intermediate product would leave 64 bits. The multiplication must be
+// overflow-checked *before* the cap comparison — for large n the product
+// can wrap around to a small value and sail under the cap, which would let
+// the caller attempt an enumeration of astronomically many configurations.
 inline std::uint64_t composition_count(std::uint64_t n, std::uint64_t s,
                                        std::uint64_t cap) {
   std::uint64_t result = 1;
   // C(n+s−1, s−1) = Π_{i=1}^{s−1} (n+i)/i, exact at every step.
   for (std::uint64_t i = 1; i < s; ++i) {
-    result = result * (n + i) / i;
+    std::uint64_t scaled = 0;
+    if (__builtin_add_overflow(n, i, &scaled) ||
+        __builtin_mul_overflow(result, scaled, &scaled)) {
+      return cap + 1;
+    }
+    result = scaled / i;
     if (result > cap) return cap + 1;
   }
   return result;

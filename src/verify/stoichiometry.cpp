@@ -1,0 +1,225 @@
+// Exact integer lattice arithmetic behind invariant inference: kernel of an
+// integer matrix by unimodular column reduction, Hermite normal form of the
+// resulting basis, and lattice membership. All operations are overflow-
+// checked; entry growth during reduction is bounded in practice (inputs are
+// net-change vectors with entries in {-2..2}).
+#include "verify/stoichiometry.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <utility>
+
+namespace popbean::verify {
+
+namespace {
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) {
+    throw StoichiometryOverflow("integer overflow during exact elimination");
+  }
+  return result;
+}
+
+std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (__builtin_sub_overflow(a, b, &result)) {
+    throw StoichiometryOverflow("integer overflow during exact elimination");
+  }
+  return result;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) {
+    throw StoichiometryOverflow("integer overflow during exact elimination");
+  }
+  return result;
+}
+
+std::int64_t checked_neg(std::int64_t a) { return checked_sub(0, a); }
+
+// column -= q * other, overflow-checked.
+void axpy(std::vector<std::int64_t>& column,
+          const std::vector<std::int64_t>& other, std::int64_t q) {
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    column[i] = checked_sub(column[i], checked_mul(q, other[i]));
+  }
+}
+
+// Floor division with a positive divisor (C++ '/' truncates toward zero).
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+// Divides the vector by the gcd of its entries and makes the first nonzero
+// entry positive; the zero vector is left alone.
+void make_primitive(std::vector<std::int64_t>& v) {
+  std::int64_t g = 0;
+  for (const std::int64_t x : v) {
+    g = std::gcd(g, x < 0 ? checked_neg(x) : x);
+  }
+  if (g <= 1) g = 1;
+  std::int64_t lead = 0;
+  for (std::int64_t& x : v) {
+    x /= g;
+    if (lead == 0) lead = x;
+  }
+  if (lead < 0) {
+    for (std::int64_t& x : v) x = checked_neg(x);
+  }
+}
+
+// Row Hermite normal form in place: rows end up with strictly increasing
+// pivot columns, positive pivots, and entries above each pivot reduced into
+// [0, pivot). For a basis of a saturated lattice this is a canonical form,
+// so inference output is deterministic across elimination orders.
+void hermite_normalize(std::vector<std::vector<std::int64_t>>& basis) {
+  if (basis.empty()) return;
+  const std::size_t cols = basis[0].size();
+  std::size_t next_row = 0;
+  for (std::size_t col = 0; col < cols && next_row < basis.size(); ++col) {
+    // Euclidean-reduce column `col` across rows next_row..end until at most
+    // one of them is nonzero there.
+    while (true) {
+      std::size_t best = basis.size();
+      for (std::size_t r = next_row; r < basis.size(); ++r) {
+        if (basis[r][col] == 0) continue;
+        if (best == basis.size() ||
+            std::abs(basis[r][col]) < std::abs(basis[best][col])) {
+          best = r;
+        }
+      }
+      if (best == basis.size()) break;  // column is zero below next_row
+      bool reduced_any = false;
+      for (std::size_t r = next_row; r < basis.size(); ++r) {
+        if (r == best || basis[r][col] == 0) continue;
+        const std::int64_t q = basis[r][col] / basis[best][col];
+        axpy(basis[r], basis[best], q);
+        reduced_any = true;
+      }
+      if (!reduced_any) {  // unique nonzero: promote it to the pivot row
+        std::swap(basis[next_row], basis[best]);
+        if (basis[next_row][col] < 0) {
+          for (std::int64_t& x : basis[next_row]) x = checked_neg(x);
+        }
+        const std::int64_t pivot = basis[next_row][col];
+        for (std::size_t r = 0; r < next_row; ++r) {
+          const std::int64_t q = floor_div(basis[r][col], pivot);
+          if (q != 0) axpy(basis[r], basis[next_row], q);
+        }
+        ++next_row;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::int64_t>> conserved_basis(
+    const Stoichiometry& stoichiometry) {
+  const std::size_t s = stoichiometry.num_states;
+  // Columns of a unimodular transform U, initially the identity; every
+  // reduction step is an integer column operation, so span(U) = ℤ^s
+  // throughout, and the still-active columns after all rows are processed
+  // form a basis of the kernel lattice.
+  std::vector<std::vector<std::int64_t>> columns(s);
+  for (std::size_t j = 0; j < s; ++j) {
+    columns[j].assign(s, 0);
+    columns[j][j] = 1;
+  }
+  std::vector<std::size_t> active(s);
+  for (std::size_t j = 0; j < s; ++j) active[j] = j;
+
+  for (const std::vector<std::int64_t>& row : stoichiometry.rows) {
+    // t[k] = row · columns[active[k]], maintained alongside the column ops.
+    std::vector<std::int64_t> t(active.size(), 0);
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      std::int64_t dot = 0;
+      for (std::size_t i = 0; i < s; ++i) {
+        dot = checked_add(dot, checked_mul(row[i], columns[active[k]][i]));
+      }
+      t[k] = dot;
+    }
+    // Euclidean-reduce until at most one active column hits this row.
+    while (true) {
+      std::size_t best = active.size();
+      std::size_t nonzero = 0;
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (t[k] == 0) continue;
+        ++nonzero;
+        if (best == active.size() || std::abs(t[k]) < std::abs(t[best])) {
+          best = k;
+        }
+      }
+      if (nonzero <= 1) {
+        if (nonzero == 1) {  // pivot column: leaves the kernel candidates
+          active.erase(active.begin() +
+                       static_cast<std::ptrdiff_t>(best));
+        }
+        break;
+      }
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (k == best || t[k] == 0) continue;
+        const std::int64_t q = t[k] / t[best];
+        axpy(columns[active[k]], columns[active[best]], q);
+        t[k] = checked_sub(t[k], checked_mul(q, t[best]));
+      }
+    }
+  }
+
+  std::vector<std::vector<std::int64_t>> basis;
+  basis.reserve(active.size());
+  for (const std::size_t j : active) {
+    basis.push_back(std::move(columns[j]));
+    make_primitive(basis.back());
+  }
+  hermite_normalize(basis);
+  return basis;
+}
+
+bool lattice_member(const std::vector<std::vector<std::int64_t>>& hnf_basis,
+                    std::vector<std::int64_t> v) {
+  for (const std::vector<std::int64_t>& row : hnf_basis) {
+    // Pivot column of this HNF row: its first nonzero entry.
+    std::size_t pivot_col = row.size();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] != 0) {
+        pivot_col = i;
+        break;
+      }
+    }
+    if (pivot_col == row.size()) continue;
+    if (v.size() != row.size()) return false;
+    if (v[pivot_col] % row[pivot_col] != 0) return false;
+    const std::int64_t q = v[pivot_col] / row[pivot_col];
+    if (q != 0) axpy(v, row, q);
+  }
+  for (const std::int64_t x : v) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+bool implied_by(const std::vector<LinearInvariant>& basis,
+                const LinearInvariant& invariant) {
+  std::vector<std::vector<std::int64_t>> rows;
+  rows.reserve(basis.size());
+  for (const LinearInvariant& b : basis) {
+    if (b.num_states() != invariant.num_states()) return false;
+    std::vector<std::int64_t> weights(b.num_states());
+    for (State q = 0; q < b.num_states(); ++q) weights[q] = b.weight(q);
+    rows.push_back(std::move(weights));
+  }
+  hermite_normalize(rows);
+  std::vector<std::int64_t> v(invariant.num_states());
+  for (State q = 0; q < invariant.num_states(); ++q) {
+    v[q] = invariant.weight(q);
+  }
+  return lattice_member(rows, std::move(v));
+}
+
+}  // namespace popbean::verify

@@ -1,0 +1,214 @@
+// Automatic linear-invariant inference from a protocol's stoichiometry.
+//
+// Every productive ordered transition (a, b) → (a′, b′) changes the
+// configuration by a fixed integer net vector Δ ∈ ℤ^s (Δ[a]−−, Δ[b]−−,
+// Δ[a′]++, Δ[b′]++). A weight vector w : Q → ℤ induces a conserved
+// functional Φ(c) = Σ_q w(q)·c(q) iff Δ·w = 0 for every reaction — i.e. the
+// linear conserved quantities are *exactly* the left null space of the
+// stoichiometry matrix. That null space is computed here with exact integer
+// arithmetic (unimodular column reduction, then a Hermite-normal-form
+// canonicalization of the resulting kernel lattice), so inference is
+// complete for linear invariants: every conservation law of the form
+// Σ w(q)·c(q), and nothing else, falls out — the paper's Invariant 4.3 and
+// the four-state strong-difference law included, with no hand-written
+// weights anywhere.
+//
+// The pass closes its own loop: each inferred basis vector is handed back
+// to the LinearInvariant prover (check_conservation), which re-verifies it
+// over the full δ-table. The kernel of an integer matrix is a saturated
+// sublattice of ℤ^s, so an integer vector lies in the rational span of the
+// basis iff it is an *integer* combination of it — membership testing
+// (lattice_member) therefore needs no rational arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "verify/finding.hpp"
+#include "verify/linear_invariant.hpp"
+
+namespace popbean::verify {
+
+// Exact integer elimination overflowed 64 bits. Net-change entries are in
+// {−2, …, 2} and the matrices are tiny, so in practice this never fires for
+// real protocols; it exists so a pathological table degrades into a finding
+// instead of silent wraparound.
+class StoichiometryOverflow : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The distinct net-change vectors of a protocol's productive transitions.
+// `reactions[i]` names one exemplar transition producing `rows[i]` for
+// diagnostics (several ordered pairs can share a net change).
+struct Stoichiometry {
+  std::size_t num_states = 0;
+  std::vector<std::vector<std::int64_t>> rows;
+  std::vector<std::string> reactions;
+};
+
+template <ProtocolLike P>
+Stoichiometry build_stoichiometry(const P& protocol) {
+  const std::size_t s = protocol.num_states();
+  Stoichiometry result;
+  result.num_states = s;
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (is_null(t, a, b)) continue;
+      std::vector<std::int64_t> delta(s, 0);
+      --delta[a];
+      --delta[b];
+      ++delta[t.initiator];
+      ++delta[t.responder];
+      bool known = false;
+      for (const std::vector<std::int64_t>& row : result.rows) {
+        if (row == delta) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      std::ostringstream name;
+      name << protocol.state_name(a) << " + " << protocol.state_name(b)
+           << " -> " << protocol.state_name(t.initiator) << " + "
+           << protocol.state_name(t.responder);
+      result.rows.push_back(std::move(delta));
+      result.reactions.push_back(name.str());
+    }
+  }
+  return result;
+}
+
+// Integer basis of {w ∈ ℤ^s : row · w = 0 for every row}, returned in row
+// Hermite normal form (deterministic: pivot entries positive, entries above
+// a pivot reduced into [0, pivot)). The basis generates the full kernel
+// lattice, and by saturation its rational span ∩ ℤ^s equals the lattice.
+// Throws StoichiometryOverflow if exact elimination leaves 64 bits.
+std::vector<std::vector<std::int64_t>> conserved_basis(
+    const Stoichiometry& stoichiometry);
+
+// Reduces `v` against the HNF basis; true iff v is an integer combination
+// of the basis rows (equivalently, for a conserved_basis result: v is in
+// the rational span). Requires matching widths.
+bool lattice_member(const std::vector<std::vector<std::int64_t>>& hnf_basis,
+                    std::vector<std::int64_t> v);
+
+// True when the invariant's weight vector is spanned by the inferred basis.
+bool implied_by(const std::vector<LinearInvariant>& basis,
+                const LinearInvariant& invariant);
+
+// "A=+1 B=-1 a=0 b=0" — weights keyed by state name, for findings.
+template <ProtocolLike P>
+std::string render_weights(const P& protocol,
+                           const std::vector<std::int64_t>& weights) {
+  std::ostringstream os;
+  for (State q = 0; q < weights.size(); ++q) {
+    if (q != 0) os << " ";
+    os << protocol.state_name(q) << "=" << (weights[q] > 0 ? "+" : "")
+       << weights[q];
+  }
+  return os.str();
+}
+
+struct InferenceResult {
+  Stoichiometry stoichiometry;
+  // The canonical conserved basis wrapped as prover-ready invariants,
+  // one per kernel dimension, named "inferred[k]".
+  std::vector<LinearInvariant> invariants;
+};
+
+// The inference pass: builds the stoichiometry matrix, computes the full
+// conserved basis, and re-proves every basis vector with the LinearInvariant
+// checker. Check ids:
+//   inference.dimension  (note)  — kernel dimension and matrix shape
+//   inference.invariant  (note)  — one per inferred conservation law
+//   inference.unsound    (error) — the prover refuted an inferred law
+//                                  (indicates a bug in the elimination; the
+//                                  re-proof exists precisely to catch it)
+//   inference.overflow   (error) — exact elimination left 64 bits
+template <ProtocolLike P>
+InferenceResult check_inferred_invariants(const P& protocol, Report& report) {
+  InferenceResult result;
+  result.stoichiometry = build_stoichiometry(protocol);
+
+  std::vector<std::vector<std::int64_t>> basis;
+  try {
+    basis = conserved_basis(result.stoichiometry);
+  } catch (const StoichiometryOverflow& e) {
+    report.error("inference.overflow", e.what());
+    return result;
+  }
+
+  {
+    std::ostringstream os;
+    os << basis.size() << " independent linear conserved quantities ("
+       << result.stoichiometry.rows.size() << " distinct net-change vectors, "
+       << protocol.num_states() << " states, rank "
+       << protocol.num_states() - basis.size() << ")";
+    report.note("inference.dimension", os.str());
+  }
+
+  for (std::size_t k = 0; k < basis.size(); ++k) {
+    std::ostringstream name;
+    name << "inferred[" << k << "]";
+    LinearInvariant invariant(name.str(), basis[k]);
+
+    Report proof;
+    const std::size_t violations =
+        check_conservation(protocol, invariant, proof);
+    if (violations != 0) {
+      std::ostringstream os;
+      os << "inferred basis vector " << k << " ("
+         << render_weights(protocol, basis[k]) << ") was refuted by the "
+         << "conservation prover (" << violations << " violating transitions)";
+      report.error("inference.unsound", os.str(), name.str());
+    } else {
+      std::ostringstream os;
+      os << "conserved: " << render_weights(protocol, basis[k])
+         << " (re-proved over all " << protocol.num_states() << "x"
+         << protocol.num_states() << " ordered transitions)";
+      report.note("inference.invariant", os.str(), name.str());
+    }
+    result.invariants.push_back(std::move(invariant));
+  }
+  return result;
+}
+
+// Cross-check of hand-declared conservation laws against the inferred
+// basis. A declared invariant that really is conserved always lies in the
+// span (inference is complete); one that does not is refuted independently
+// by check_conservation, so the mismatch is reported as a warning pointing
+// at the declaration rather than a duplicate error.
+template <ProtocolLike P>
+void confirm_declared_invariants(const P& protocol,
+                                 const std::vector<LinearInvariant>& declared,
+                                 const InferenceResult& inference,
+                                 Report& report) {
+  for (const LinearInvariant& invariant : declared) {
+    if (invariant.num_states() != protocol.num_states()) continue;
+    std::vector<std::int64_t> weights(invariant.num_states());
+    for (State q = 0; q < invariant.num_states(); ++q) {
+      weights[q] = invariant.weight(q);
+    }
+    if (implied_by(inference.invariants, invariant)) {
+      std::ostringstream os;
+      os << "declared invariant '" << invariant.name()
+         << "' is an integer combination of the inferred basis";
+      report.note("inference.confirms", os.str());
+    } else {
+      std::ostringstream os;
+      os << "declared invariant '" << invariant.name() << "' ("
+         << render_weights(protocol, weights)
+         << ") is outside the inferred conserved space - it cannot be "
+         << "conserved by this transition table";
+      report.warn("inference.not_implied", os.str());
+    }
+  }
+}
+
+}  // namespace popbean::verify

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "population/protocol.hpp"
 #include "verify/finding.hpp"
 
@@ -129,6 +130,54 @@ ProtocolStructure check_structure(const P& protocol, Report& report) {
     report.warn("structure.unreachable_state", warning.str());
   }
   return structure;
+}
+
+// Dead-transition lint: productive δ-entries the model checker never fired
+// on any reachable edge of any analysed instance (n ≤ searched_up_to, all
+// non-tie splits). `fired` is ModelCheckSummary::fired. Report-only
+// (notes): a never-firing entry is dead weight, not a bug — the table cell
+// may need co-occurring states that no small population produces — but it
+// is code no test or invariant exercise covers. Each finding cross-checks
+// the static pair-closure (analyze_structure): a dead entry whose source
+// states are *inside* the closure is the interesting case, since the purely
+// static analysis considered it live. The obs ReactionKind classification
+// tags what kind of reaction is going unexercised.
+template <ProtocolLike P>
+std::size_t check_dead_transitions(const P& protocol,
+                                   const std::vector<bool>& fired,
+                                   std::uint64_t searched_up_to,
+                                   Report& report) {
+  const std::size_t s = protocol.num_states();
+  if (fired.size() != s * s || searched_up_to < 2) return 0;
+  const ProtocolStructure structure = analyze_structure(protocol);
+  std::size_t dead = 0;
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = protocol.apply(a, b);
+      if (is_null(t, a, b)) continue;
+      if (fired[a * s + b]) continue;
+      ++dead;
+      const obs::ReactionKind kind =
+          obs::classify_interaction(protocol, a, b);
+      const bool statically_live =
+          a < structure.reachable.size() && structure.reachable[a] &&
+          b < structure.reachable.size() && structure.reachable[b];
+      std::ostringstream os;
+      os << "productive transition " << protocol.state_name(a) << " + "
+         << protocol.state_name(b) << " -> "
+         << protocol.state_name(t.initiator) << " + "
+         << protocol.state_name(t.responder) << " ("
+         << obs::reaction_kind_name(kind)
+         << ") never fired on any reachable edge, n <= " << searched_up_to
+         << (statically_live
+                 ? "; both source states are in the static pair-closure"
+                 : "; a source state is already statically unreachable");
+      std::ostringstream where;
+      where << "delta " << a << " " << b;
+      report.note("structure.dead_transition", os.str(), where.str());
+    }
+  }
+  return dead;
 }
 
 }  // namespace popbean::verify

@@ -1,10 +1,14 @@
-// One-call driver composing every static check, used by popbean-lint and
-// by tests that want a protocol "machine-checked" in a single line.
+// One-call driver composing every static-analysis pass, used by popbean-lint
+// and by tests that want a protocol "machine-checked" in a single line.
 //
 // Check order matters: structural and semantic checks index the transition
 // table by the states it produces, so they only run when well-formedness
 // passed — a malformed table yields exactly its well-formedness findings
-// rather than a cascade of secondary noise.
+// rather than a cascade of secondary noise. The three DESIGN.md §10 passes
+// slot in after the per-transition checks: invariant inference (conserved
+// basis + re-proof + declared-invariant confirmation), exhaustive model
+// checking (terminal-SCC classification up to max_n), and — fed by the
+// model checker's fired-reaction map — the dead-transition lint.
 #pragma once
 
 #include <string>
@@ -14,7 +18,9 @@
 #include "population/protocol.hpp"
 #include "verify/finding.hpp"
 #include "verify/linear_invariant.hpp"
+#include "verify/model_check.hpp"
 #include "verify/small_n.hpp"
+#include "verify/stoichiometry.hpp"
 #include "verify/structure.hpp"
 #include "verify/well_formed.hpp"
 
@@ -24,28 +30,68 @@ struct VerifyOptions {
   // Conservation laws to prove over the full transition table.
   std::vector<LinearInvariant> invariants;
 
+  // Infer the complete basis of linear conserved quantities from the
+  // stoichiometry matrix, re-prove each, and confirm that every declared
+  // invariant is spanned by the basis.
+  bool infer_invariants = false;
+
   // Walk the small-n configuration graphs proving no wrong-output
   // configuration is reachable. Enable only for protocols that claim
-  // exact majority.
+  // exact majority. Subsumed by model_check, kept for the cheaper
+  // wrong-unanimity-only sweep.
   bool check_exactness = false;
   SmallNOptions small_n;
+
+  // Exhaustive configuration-graph model checking: classify every
+  // reachable terminal SCC for every split at every n ≤ max_n, then lint
+  // δ-entries that never fired on a reachable edge.
+  bool model_check = false;
+  ModelCheckOptions model_checker;
+};
+
+// Everything a verification run produces: the findings plus the machine
+// halves of the inference and model-checking passes, so callers (lint's
+// counterexample emission, tests) can act on them without re-running.
+struct VerifyOutcome {
+  Report report;
+  InferenceResult inference;
+  ModelCheckResult model;
 };
 
 template <ProtocolLike P>
-Report run_all_checks(const P& protocol, std::string subject,
-                      const VerifyOptions& options) {
-  Report report(std::move(subject));
+VerifyOutcome run_verification(const P& protocol, std::string subject,
+                               const VerifyOptions& options) {
+  VerifyOutcome outcome{Report(std::move(subject)), {}, {}};
+  Report& report = outcome.report;
   check_well_formed(protocol, report);
-  if (!report.ok()) return report;  // table not safely indexable
+  if (!report.ok()) return outcome;  // table not safely indexable
 
   check_structure(protocol, report);
   for (const LinearInvariant& invariant : options.invariants) {
     check_conservation(protocol, invariant, report);
   }
+  if (options.infer_invariants) {
+    outcome.inference = check_inferred_invariants(protocol, report);
+    confirm_declared_invariants(protocol, options.invariants,
+                                outcome.inference, report);
+  }
   if (options.check_exactness) {
     check_small_n_exact(protocol, report, options.small_n);
   }
-  return report;
+  if (options.model_check) {
+    outcome.model = check_model(protocol, report, options.model_checker);
+    check_dead_transitions(protocol, outcome.model.summary.fired,
+                           outcome.model.summary.searched_up_to, report);
+  }
+  return outcome;
+}
+
+// Compatibility wrapper over run_verification for callers that only want
+// the findings.
+template <ProtocolLike P>
+Report run_all_checks(const P& protocol, std::string subject,
+                      const VerifyOptions& options) {
+  return run_verification(protocol, std::move(subject), options).report;
 }
 
 }  // namespace popbean::verify

@@ -2,13 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "util/json.hpp"
+
 namespace popbean::verify {
 namespace {
 
 TEST(FindingTest, RendersSeverityTaggedLine) {
   const Finding finding{Severity::kError, "invariant.conservation",
-                        "sum changed"};
+                        "sum changed", {}};
   EXPECT_EQ(to_string(finding), "error: [invariant.conservation] sum changed");
+}
+
+TEST(FindingTest, RendersLocationWhenPresent) {
+  const Finding finding{Severity::kNote, "structure.dead_transition",
+                        "never fired", "delta 0 3"};
+  EXPECT_EQ(to_string(finding),
+            "note: [structure.dead_transition] never fired @ delta 0 3");
+}
+
+TEST(FindingTest, PassIsFirstDottedComponent) {
+  const Finding dotted{Severity::kNote, "model_check.livelock", "m", {}};
+  EXPECT_EQ(pass_of(dotted), "model_check");
+  const Finding bare{Severity::kNote, "file", "m", {}};
+  EXPECT_EQ(pass_of(bare), "file");
 }
 
 TEST(ReportTest, CountsBySeverityAndCheck) {
@@ -49,6 +67,38 @@ TEST(ReportTest, ToStringOneLinePerFinding) {
   report.note("a", "first");
   report.error("b", "second");
   EXPECT_EQ(report.to_string(), "note: [a] first\nerror: [b] second\n");
+}
+
+TEST(ReportTest, AddersThreadLocationThrough) {
+  Report report;
+  report.error("model_check.wrong_stable", "bad", "n=3 split=2A/1B");
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].location, "n=3 split=2A/1B");
+}
+
+// The stable popbean-lint --json schema (version 1): field names, severity
+// spelling, and the pass key must not drift — CI diffs findings
+// structurally against this shape.
+TEST(ReportJsonTest, WritesStableSchema) {
+  Report report("four-state");
+  report.note("structure.classification", "symmetric");
+  report.error("model_check.wrong_stable", "reachable", "n=3 split=2A/1B");
+
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    write_json(json, report);
+    EXPECT_TRUE(json.complete());
+  }
+  const std::string flat = json_single_line(os.str());
+  EXPECT_EQ(flat,
+            R"({"subject": "four-state","ok": false,"errors": 1,)"
+            R"("warnings": 0,"findings": [{"pass": "structure",)"
+            R"("check": "structure.classification","severity": "note",)"
+            R"("message": "symmetric","location": ""},)"
+            R"({"pass": "model_check","check": "model_check.wrong_stable",)"
+            R"("severity": "error","message": "reachable",)"
+            R"("location": "n=3 split=2A/1B"}]})");
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Fuzz harness for invariant inference: for random transition tables, every
+// inferred conservation law must hold (a) symbolically — the LinearInvariant
+// prover confirms it over the full δ-table — and (b) numerically — its value
+// is constant along simulated trajectories on all three engines. The two
+// sides check different things: the prover validates the elimination
+// algebra, the trajectories validate that the stoichiometry matrix actually
+// describes what the engines do.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/skip_engine.hpp"
+#include "protocols/random_protocol.hpp"
+#include "util/rng.hpp"
+#include "verify/linear_invariant.hpp"
+#include "verify/stoichiometry.hpp"
+
+namespace popbean::verify {
+namespace {
+
+constexpr std::uint64_t kSteps = 1000;
+
+template <typename Engine>
+void check_conserved_along_trajectory(
+    const RandomProtocol& protocol,
+    const std::vector<LinearInvariant>& invariants, std::uint64_t seed) {
+  const Counts initial = majority_instance(protocol, 30, 18);
+  Engine engine(protocol, initial);
+  Xoshiro256ss rng(seed);
+
+  std::vector<std::int64_t> expected;
+  expected.reserve(invariants.size());
+  for (const LinearInvariant& invariant : invariants) {
+    expected.push_back(invariant.value(initial));
+  }
+  for (std::uint64_t step = 0; step < kSteps; ++step) {
+    engine.step(rng);
+    const Counts& counts = engine.counts();
+    for (std::size_t k = 0; k < invariants.size(); ++k) {
+      ASSERT_EQ(invariants[k].value(counts), expected[k])
+          << "invariant " << invariants[k].name() << " drifted at step "
+          << step;
+    }
+  }
+}
+
+TEST(InferenceFuzzTest, InferredInvariantsHoldOnAllEngines) {
+  for (const std::size_t states : {3u, 4u, 6u, 8u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const RandomProtocol protocol(states, seed, /*null_fraction=*/0.4);
+
+      Report report("random");
+      const InferenceResult inference =
+          check_inferred_invariants(protocol, report);
+      // Symbolic side: every basis vector re-proved, none refuted.
+      ASSERT_TRUE(report.ok())
+          << "states=" << states << " seed=" << seed << "\n"
+          << report.to_string();
+      ASSERT_EQ(report.count_check("inference.unsound"), 0u);
+      // Agent count is conserved by any population protocol, so the basis
+      // is never empty and always spans it.
+      ASSERT_GE(inference.invariants.size(), 1u);
+      ASSERT_TRUE(
+          implied_by(inference.invariants, agent_count_invariant(protocol)));
+
+      // Numeric side: constant along trajectories on every engine.
+      check_conserved_along_trajectory<AgentEngine<RandomProtocol>>(
+          protocol, inference.invariants, seed * 7919 + 1);
+      check_conserved_along_trajectory<CountEngine<RandomProtocol>>(
+          protocol, inference.invariants, seed * 7919 + 2);
+      check_conserved_along_trajectory<SkipEngine<RandomProtocol>>(
+          protocol, inference.invariants, seed * 7919 + 3);
+    }
+  }
+}
+
+// The stoichiometry dedup must not change the kernel: building the matrix
+// from the raw (non-deduped) reaction list yields the same basis.
+TEST(InferenceFuzzTest, DedupDoesNotChangeKernel) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RandomProtocol protocol(5, seed, 0.4);
+    const Stoichiometry deduped = build_stoichiometry(protocol);
+
+    Stoichiometry raw;
+    raw.num_states = protocol.num_states();
+    for (State a = 0; a < protocol.num_states(); ++a) {
+      for (State b = 0; b < protocol.num_states(); ++b) {
+        const Transition t = protocol.apply(a, b);
+        if (is_null(t, a, b)) continue;
+        std::vector<std::int64_t> delta(protocol.num_states(), 0);
+        --delta[a];
+        --delta[b];
+        ++delta[t.initiator];
+        ++delta[t.responder];
+        raw.rows.push_back(std::move(delta));
+        raw.reactions.emplace_back("raw");
+      }
+    }
+    EXPECT_EQ(conserved_basis(deduped), conserved_basis(raw)) << "seed "
+                                                              << seed;
+  }
+}
+
+}  // namespace
+}  // namespace popbean::verify

@@ -1,0 +1,213 @@
+#include "verify/model_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "population/configuration.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/tabulated.hpp"
+#include "protocols/voter.hpp"
+#include "verify/structure.hpp"
+
+namespace popbean::verify {
+namespace {
+
+// Two-state blinker: (x,x) -> (y,y) and (y,y) -> (x,x). From any unanimous
+// even population the outputs cycle forever — a terminal SCC whose label
+// mixes both unanimity bits, i.e. a livelock.
+TabulatedProtocol blinker_protocol() {
+  const State x = 0, y = 1;
+  std::vector<Transition> table(4);
+  table[x * 2 + x] = {y, y};
+  table[x * 2 + y] = {x, y};  // null
+  table[y * 2 + x] = {y, x};  // null
+  table[y * 2 + y] = {x, x};
+  return TabulatedProtocol(2, std::move(table), {1, 0}, {"x", "y"},
+                           /*initial_b=*/y, /*initial_a=*/x);
+}
+
+// Four states: A + B -> C + D, C + C -> D + D. Two Cs need two A+B
+// meetings, so ≥ 2 As AND ≥ 2 Bs. The smallest non-tie split with both is
+// 3A/2B at n = 5 — every analysed instance at n ≤ 4 leaves the C+C rule
+// cold even though A, B, C are all in the static pair-closure.
+TabulatedProtocol delayed_pair_protocol() {
+  const State a = 0, b = 1, c = 2, d = 3;
+  std::vector<Transition> table(16);
+  for (State p = 0; p < 4; ++p) {
+    for (State q = 0; q < 4; ++q) table[p * 4 + q] = {p, q};  // null
+  }
+  table[a * 4 + b] = {c, d};
+  table[c * 4 + c] = {d, d};
+  return TabulatedProtocol(4, std::move(table), {1, 0, 1, 0},
+                           {"A", "B", "C", "D"},
+                           /*initial_b=*/b, /*initial_a=*/a);
+}
+
+TEST(ModelCheckTest, CertifiesAvcOneOneUpToTwelve) {
+  const avc::AvcProtocol protocol(1, 1);
+  Report report("avc(1,1)");
+  ModelCheckOptions options;
+  options.max_n = 12;
+  const ModelCheckResult result = check_model(protocol, report, options);
+
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.count_check("model_check.certified"), 1u);
+  EXPECT_EQ(result.summary.searched_up_to, 12u);
+  EXPECT_EQ(result.summary.wrong_stable, 0u);
+  EXPECT_EQ(result.summary.livelocks, 0u);
+  EXPECT_GT(result.summary.correct_stable, 0u);
+  EXPECT_TRUE(result.counterexamples.empty());
+}
+
+TEST(ModelCheckTest, CertifiesFourState) {
+  const FourStateProtocol protocol;
+  Report report("four-state");
+  ModelCheckOptions options;
+  options.max_n = 8;
+  const ModelCheckResult result = check_model(protocol, report, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.count_check("model_check.certified"), 1u);
+  EXPECT_EQ(result.summary.wrong_stable + result.summary.livelocks, 0u);
+}
+
+TEST(ModelCheckTest, VoterWrongStableIsErrorWhenExactClaimed) {
+  const VoterProtocol protocol;
+  Report report("voter");
+  ModelCheckOptions options;
+  options.max_n = 5;
+  const ModelCheckResult result = check_model(protocol, report, options);
+
+  // Voter can absorb into the minority opinion — wrong-stable components
+  // exist, and under the exactness claim they are errors with witnesses.
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count_check("model_check.wrong_stable"), 0u);
+  EXPECT_GT(result.summary.wrong_stable, 0u);
+  ASSERT_FALSE(result.counterexamples.empty());
+
+  // Every counterexample schedule really drives initial to witness.
+  for (const Counterexample& cex : result.counterexamples) {
+    Counts counts = cex.initial;
+    for (const auto& [a, b] : cex.schedule) {
+      const Transition t = protocol.apply(a, b);
+      ASSERT_GE(counts[a], 1u);
+      --counts[a];
+      ASSERT_GE(counts[b], 1u);
+      --counts[b];
+      ++counts[t.initiator];
+      ++counts[t.responder];
+    }
+    EXPECT_EQ(counts, cex.witness);
+  }
+}
+
+TEST(ModelCheckTest, VoterVerdictsAreNotesForApproximateProtocols) {
+  const VoterProtocol protocol;
+  Report report("voter");
+  ModelCheckOptions options;
+  options.max_n = 5;
+  options.expect_stabilization = false;
+  const ModelCheckResult result = check_model(protocol, report, options);
+
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.count_check("model_check.certified"), 0u);
+  EXPECT_EQ(report.count_check("model_check.outcomes"), 1u);
+  EXPECT_GT(result.summary.wrong_stable, 0u);
+}
+
+TEST(ModelCheckTest, DetectsLivelock) {
+  const TabulatedProtocol protocol = blinker_protocol();
+  Report report("blinker");
+  ModelCheckOptions options;
+  options.max_n = 4;
+  const ModelCheckResult result = check_model(protocol, report, options);
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count_check("model_check.livelock"), 0u);
+  EXPECT_GT(result.summary.livelocks, 0u);
+  bool found = false;
+  for (const Counterexample& cex : result.counterexamples) {
+    if (cex.kind == "livelock") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelCheckTest, SplitsShareReachableRegions) {
+  const VoterProtocol protocol;
+  Report report("voter");
+  ModelCheckOptions options;
+  options.max_n = 6;
+  options.expect_stabilization = false;
+  const ModelCheckResult result = check_model(protocol, report, options);
+  // Voter's mixed configurations are reachable from several splits of the
+  // same n; the intern table makes that sharing visible (and cheap).
+  EXPECT_GT(result.summary.shared_nodes, 0u);
+}
+
+TEST(ModelCheckTest, BudgetExhaustionDegradesToNote) {
+  const FourStateProtocol protocol;
+  Report report("four-state");
+  ModelCheckOptions options;
+  options.max_n = 8;
+  options.max_nodes = 10;  // absurdly small: first n blows the budget
+  const ModelCheckResult result = check_model(protocol, report, options);
+  EXPECT_EQ(report.count_check("model_check.budget"), 1u);
+  EXPECT_LT(result.summary.searched_up_to, 8u);
+  EXPECT_EQ(report.count_check("model_check.certified"), 0u);
+}
+
+TEST(DeadTransitionTest, ReportsRuleNeverFiredAtSmallN) {
+  const TabulatedProtocol protocol = delayed_pair_protocol();
+
+  // At n ≤ 4 the C+C rule cannot fire (two Cs need two As and two Bs, and
+  // 2A/2B is a tie)…
+  {
+    Report report("delayed-pair");
+    ModelCheckOptions options;
+    options.max_n = 4;
+    options.expect_stabilization = false;
+    const ModelCheckResult result = check_model(protocol, report, options);
+    const std::size_t dead = check_dead_transitions(
+        protocol, result.summary.fired, result.summary.searched_up_to,
+        report);
+    EXPECT_EQ(dead, 1u);
+    ASSERT_EQ(report.count_check("structure.dead_transition"), 1u);
+    for (const Finding& finding : report.findings()) {
+      if (finding.check != "structure.dead_transition") continue;
+      EXPECT_EQ(finding.severity, Severity::kNote);
+      EXPECT_EQ(finding.location, "delta 2 2");
+      // A, B, C are all in the static pair-closure; only the exhaustive
+      // search knows the pair (C, C) never co-occurs at this scale.
+      EXPECT_NE(finding.message.find("static pair-closure"),
+                std::string::npos);
+    }
+  }
+
+  // …but the 3A/2B split at n = 5 produces two Cs, so the rule fires and
+  // the lint is silent.
+  {
+    Report report("delayed-pair");
+    ModelCheckOptions options;
+    options.max_n = 5;
+    options.expect_stabilization = false;
+    const ModelCheckResult result = check_model(protocol, report, options);
+    const std::size_t dead = check_dead_transitions(
+        protocol, result.summary.fired, result.summary.searched_up_to,
+        report);
+    EXPECT_EQ(dead, 0u);
+    EXPECT_EQ(report.count_check("structure.dead_transition"), 0u);
+  }
+}
+
+TEST(DeadTransitionTest, IgnoresMismatchedFiredVector) {
+  const FourStateProtocol protocol;
+  Report report("four-state");
+  EXPECT_EQ(check_dead_transitions(protocol, {}, 8, report), 0u);
+  EXPECT_EQ(report.findings().size(), 0u);
+}
+
+}  // namespace
+}  // namespace popbean::verify

@@ -21,6 +21,23 @@ TEST(CompositionCountTest, MatchesBinomials) {
   EXPECT_GT(composition_count(100, 50, 1000), 1000u);  // capped
 }
 
+TEST(CompositionCountTest, IntermediateOverflowIsCapped) {
+  // n = 2^32, s = 3: C(n+2, 2) ≈ 2^63, but the running product
+  // (n+1)·(n+2)/2·… wraps 64 bits mid-computation. The unchecked version
+  // wrapped to ≈ 6.4e9 — comfortably under a 2^62 budget — and reported the
+  // astronomic search as affordable. The checked version must clamp.
+  const std::uint64_t n = std::uint64_t{1} << 32;
+  const std::uint64_t cap = std::uint64_t{1} << 62;
+  EXPECT_EQ(composition_count(n, 3, cap), cap + 1);
+
+  // n + i itself can also overflow; clamp rather than wrap.
+  EXPECT_EQ(composition_count(~std::uint64_t{0}, 4, cap), cap + 1);
+
+  // Exact values just below the cap still come through untouched.
+  EXPECT_EQ(composition_count(4, 4, 35), 35u);
+  EXPECT_EQ(composition_count(4, 4, 34), 35u);  // cap + 1
+}
+
 TEST(SmallNTest, FourStateIsExactUpToEight) {
   Report report;
   check_small_n_exact(FourStateProtocol{}, report);

@@ -1,0 +1,167 @@
+#include "verify/stoichiometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/avc.hpp"
+#include "crn/protocol_to_crn.hpp"
+#include "protocols/four_state.hpp"
+#include "protocols/three_state.hpp"
+#include "protocols/voter.hpp"
+#include "verify/builtin_invariants.hpp"
+#include "verify/linear_invariant.hpp"
+
+namespace popbean::verify {
+namespace {
+
+TEST(StoichiometryTest, FourStateDistinctNetChanges) {
+  const FourStateProtocol protocol;
+  const Stoichiometry stoichiometry = build_stoichiometry(protocol);
+  EXPECT_EQ(stoichiometry.num_states, 4u);
+  // Six productive ordered pairs collapse to three distinct net changes:
+  // A+B -> a+b (both orders), A+b -> A+a (both orders), B+a -> B+b (both).
+  EXPECT_EQ(stoichiometry.rows.size(), 3u);
+  EXPECT_EQ(stoichiometry.reactions.size(), 3u);
+}
+
+// The verifier's stoichiometry matrix and the CRN compiler describe the
+// same chemistry: the deduped net-change vectors of compile_protocol's
+// reactions must be exactly the matrix rows.
+TEST(StoichiometryTest, AgreesWithCrnCompilation) {
+  const avc::AvcProtocol protocol(3, 1);
+  const Stoichiometry stoichiometry = build_stoichiometry(protocol);
+
+  const crn::ReactionNetwork net = crn::compile_protocol(protocol, 100);
+  std::vector<std::vector<std::int64_t>> crn_rows;
+  for (const crn::Reaction& reaction : net.reactions) {
+    std::vector<std::int64_t> delta(net.num_species, 0);
+    for (crn::SpeciesId sp : reaction.reactants) --delta[sp];
+    for (crn::SpeciesId sp : reaction.products) ++delta[sp];
+    if (std::find(crn_rows.begin(), crn_rows.end(), delta) ==
+        crn_rows.end()) {
+      crn_rows.push_back(std::move(delta));
+    }
+  }
+
+  std::vector<std::vector<std::int64_t>> verify_rows = stoichiometry.rows;
+  std::sort(verify_rows.begin(), verify_rows.end());
+  std::sort(crn_rows.begin(), crn_rows.end());
+  EXPECT_EQ(verify_rows, crn_rows);
+}
+
+TEST(StoichiometryTest, FourStateKernelIsCanonicalHnf) {
+  const FourStateProtocol protocol;
+  const auto basis = conserved_basis(build_stoichiometry(protocol));
+  // Kernel dimension 2; Hermite normal form makes the basis itself (not just
+  // its span) deterministic.
+  const std::vector<std::vector<std::int64_t>> expected = {
+      {1, 1, 1, 1}, {0, 2, 1, 1}};
+  EXPECT_EQ(basis, expected);
+}
+
+TEST(StoichiometryTest, FourStateDifferenceLawFallsOut) {
+  const FourStateProtocol protocol;
+  Report report("four-state");
+  const InferenceResult inference =
+      check_inferred_invariants(protocol, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.count_check("inference.unsound"), 0u);
+  EXPECT_EQ(inference.invariants.size(), 2u);
+  // The paper's strong-difference law (+1, −1, 0, 0) must be spanned by the
+  // inferred basis with no hand-specified weights anywhere.
+  EXPECT_TRUE(
+      implied_by(inference.invariants, four_state_difference_invariant()));
+  EXPECT_TRUE(
+      implied_by(inference.invariants, agent_count_invariant(protocol)));
+}
+
+TEST(StoichiometryTest, AvcInvariant43FallsOut) {
+  for (const auto& [m, d] :
+       std::vector<std::pair<int, int>>{{1, 1}, {3, 1}, {5, 3}}) {
+    const avc::AvcProtocol protocol(m, d);
+    Report report("avc");
+    const InferenceResult inference =
+        check_inferred_invariants(protocol, report);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    // Invariant 4.3 (the value sum) is discovered, not declared.
+    EXPECT_TRUE(implied_by(inference.invariants, avc_sum_invariant(protocol)))
+        << "m=" << m << " d=" << d;
+    EXPECT_TRUE(
+        implied_by(inference.invariants, agent_count_invariant(protocol)));
+  }
+}
+
+TEST(StoichiometryTest, VoterConservesOnlyAgentCount) {
+  const VoterProtocol protocol;
+  Report report("voter");
+  const InferenceResult inference =
+      check_inferred_invariants(protocol, report);
+  ASSERT_EQ(inference.invariants.size(), 1u);
+  EXPECT_TRUE(
+      implied_by(inference.invariants, agent_count_invariant(protocol)));
+  // The opinion difference is NOT conserved by voter dynamics.
+  const LinearInvariant difference("difference", {1, -1});
+  EXPECT_FALSE(implied_by(inference.invariants, difference));
+}
+
+TEST(StoichiometryTest, DeclaredInvariantConfirmation) {
+  const FourStateProtocol protocol;
+  Report report("four-state");
+  const InferenceResult inference =
+      check_inferred_invariants(protocol, report);
+
+  confirm_declared_invariants(
+      protocol, {agent_count_invariant(protocol),
+                 four_state_difference_invariant()},
+      inference, report);
+  EXPECT_EQ(report.count_check("inference.confirms"), 2u);
+  EXPECT_EQ(report.count_check("inference.not_implied"), 0u);
+
+  // A bogus declaration is flagged as outside the conserved space.
+  confirm_declared_invariants(
+      protocol, {LinearInvariant("bogus", {1, 0, 0, 0})}, inference, report);
+  EXPECT_EQ(report.count_check("inference.not_implied"), 1u);
+  EXPECT_EQ(report.warnings(), 1u);
+}
+
+TEST(StoichiometryTest, ThreeStateInference) {
+  const ThreeStateProtocol protocol;
+  Report report("three-state");
+  const InferenceResult inference =
+      check_inferred_invariants(protocol, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Whatever the dimension, every inferred law re-proves, and agent count
+  // is always among them.
+  EXPECT_GE(inference.invariants.size(), 1u);
+  EXPECT_TRUE(
+      implied_by(inference.invariants, agent_count_invariant(protocol)));
+}
+
+TEST(LatticeMemberTest, DivisibilityMatters) {
+  // Lattice generated by (0, 2, 1, 1): (0, 1, ...) has an odd pivot entry.
+  const std::vector<std::vector<std::int64_t>> basis = {{1, 1, 1, 1},
+                                                        {0, 2, 1, 1}};
+  EXPECT_TRUE(lattice_member(basis, {1, 1, 1, 1}));
+  EXPECT_TRUE(lattice_member(basis, {1, -1, 0, 0}));  // row0 − row1
+  EXPECT_TRUE(lattice_member(basis, {2, 4, 3, 3}));   // 2·row0 + row1
+  EXPECT_FALSE(lattice_member(basis, {1, 0, 0, 0}));
+  EXPECT_FALSE(lattice_member(basis, {0, 0, 1, 0}));
+  EXPECT_TRUE(lattice_member(basis, {0, 0, 0, 0}));
+}
+
+TEST(StoichiometryTest, OverflowThrowsInsteadOfWrapping) {
+  // Crafted matrix whose exact elimination needs >64-bit intermediates:
+  // reducing the second row against the K-scaled surviving column squares K.
+  constexpr std::int64_t kBig = std::int64_t{1} << 40;
+  Stoichiometry stoichiometry;
+  stoichiometry.num_states = 2;
+  stoichiometry.rows = {{1, kBig}, {kBig, 1}};
+  stoichiometry.reactions = {"r0", "r1"};
+  EXPECT_THROW(conserved_basis(stoichiometry), StoichiometryOverflow);
+}
+
+}  // namespace
+}  // namespace popbean::verify

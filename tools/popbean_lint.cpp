@@ -9,10 +9,11 @@
 // protocols/tabulated_io.hpp format instead, proving or refuting the
 // conservation laws the files declare.
 //
-// Exit status: 0 when no check produced an error finding, 1 otherwise
-// (warnings and notes never fail the run). Intended for CI: a wrong
-// transition rule — e.g. re-introducing the OCR-garbled Figure 1 line 12
-// guard — fails the lint job before any simulation runs.
+// Exit status: 0 when no check produced an error finding, 1 when some check
+// did, 2 on usage or I/O errors (unknown flag, unreadable or malformed
+// protocol file). Warnings and notes never fail the run. Intended for CI: a
+// wrong transition rule — e.g. re-introducing the OCR-garbled Figure 1
+// line 12 guard — fails the lint job before any simulation runs.
 //
 // Flags:
 //   --table=FILE[,FILE…]  lint protocol files (skips the built-in suite
@@ -20,8 +21,23 @@
 //   --builtin             force the built-in suite
 //   --m=M --d=D           lint a single AvcProtocol(M, D) instead
 //   --exact               also run the small-n exactness search on files
-//   --max-n=N             population bound of the exactness search (default 8)
+//   --infer-invariants    infer the complete linear conserved basis from the
+//                         stoichiometry matrix, re-prove it, and confirm the
+//                         declared invariants are spanned by it
+//   --model-check         exhaustively model-check every split at every
+//                         n ≤ max-n: classify reachable terminal SCCs as
+//                         correct-stable / wrong-stable / livelock, and lint
+//                         δ-entries that never fire on a reachable edge
+//   --counterexample-out=PREFIX
+//                         write the first model-checker counterexample as a
+//                         replayable capture (PREFIX.header.pbsn +
+//                         PREFIX.log.pbsn, for popbean-replay)
+//   --max-n=N             population bound of the exactness search and the
+//                         model checker (default 8)
 //   --max-configs=C       per-n configuration budget (default 500000)
+//   --json                machine-readable output: one JSON document
+//                         {"version": 1, "reports": […], "ok": bool} in the
+//                         stable schema of verify/finding.hpp
 //   --describe            print each protocol's productive reactions
 //   --verbose             print notes as well as warnings/errors
 //   --quiet               print errors only
@@ -33,6 +49,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/avc.hpp"
@@ -43,7 +60,9 @@
 #include "protocols/tabulated_io.hpp"
 #include "protocols/three_state.hpp"
 #include "protocols/voter.hpp"
+#include "recovery/counterexample.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "verify/builtin_invariants.hpp"
 #include "verify/verify.hpp"
 
@@ -57,10 +76,22 @@ using verify::VerifyOptions;
 
 struct LintSettings {
   verify::SmallNOptions small_n;
+  verify::ModelCheckOptions model_checker;  // expect_stabilization per caller
+  bool infer_invariants = false;
+  bool model_check = false;
+  std::string counterexample_out;  // empty: never write captures
+  bool json = false;
   bool describe = false;
   bool verbose = false;
   bool quiet = false;
   bool list_invariants = false;
+};
+
+// Mutable run-wide state threaded through the lint calls: collected reports
+// for --json, and the first-counterexample latch for --counterexample-out.
+struct LintContext {
+  std::vector<Report> reports;
+  bool counterexample_written = false;
 };
 
 // Prints each declared invariant as its full weight vector (state = weight
@@ -80,6 +111,7 @@ void print_invariants(const P& protocol, const std::string& subject,
 }
 
 bool print_report(const Report& report, const LintSettings& settings) {
+  if (settings.json) return report.ok();  // humans read the JSON document
   std::cout << "== " << report.subject() << " ==\n";
   for (const verify::Finding& finding : report.findings()) {
     if (finding.severity == Severity::kNote && !settings.verbose) continue;
@@ -94,40 +126,70 @@ bool print_report(const Report& report, const LintSettings& settings) {
 
 template <ProtocolLike P>
 bool lint_protocol(const P& protocol, const std::string& subject,
-                   VerifyOptions options, const LintSettings& settings) {
+                   VerifyOptions options, const LintSettings& settings,
+                   LintContext& context) {
   if (settings.list_invariants) {
     print_invariants(protocol, subject, options.invariants);
     return true;  // listing mode: no checks are run
   }
   options.small_n = settings.small_n;
-  const Report report = verify::run_all_checks(protocol, subject, options);
-  const bool ok = print_report(report, settings);
-  if (settings.describe && report.ok()) {
+  options.infer_invariants = settings.infer_invariants;
+  options.model_check = settings.model_check;
+  // Budgets come from the flags; the exactness expectation stays whatever
+  // the caller decided for this protocol.
+  const bool expect = options.model_checker.expect_stabilization;
+  options.model_checker = settings.model_checker;
+  options.model_checker.expect_stabilization = expect;
+
+  verify::VerifyOutcome outcome =
+      verify::run_verification(protocol, subject, options);
+
+  if (!settings.counterexample_out.empty() &&
+      !outcome.model.counterexamples.empty() &&
+      !context.counterexample_written) {
+    context.counterexample_written = true;
+    const verify::Counterexample& cex = outcome.model.counterexamples.front();
+    const auto [header_path, log_path] = recovery::save_counterexample(
+        settings.counterexample_out,
+        recovery::make_counterexample_capture(protocol, subject, cex));
+    std::ostringstream os;
+    os << cex.kind << " counterexample (n = " << cex.n << ", "
+       << cex.schedule.size() << " interactions) written to " << header_path
+       << " + " << log_path << "; replay with popbean-replay";
+    outcome.report.note("model_check.counterexample_written", os.str(),
+                        settings.counterexample_out);
+  }
+
+  const bool ok = print_report(outcome.report, settings);
+  if (settings.describe && outcome.report.ok() && !settings.json) {
     std::cout << describe_reactions(protocol);
   }
+  context.reports.push_back(std::move(outcome.report));
   return ok;
 }
 
-bool lint_avc(int m, int d, const LintSettings& settings) {
+bool lint_avc(int m, int d, const LintSettings& settings,
+              LintContext& context) {
   const avc::AvcProtocol protocol(m, d);
   VerifyOptions options;
   options.invariants.push_back(verify::agent_count_invariant(protocol));
   options.invariants.push_back(verify::avc_sum_invariant(protocol));
   options.check_exactness = true;
+  options.model_checker.expect_stabilization = true;
   std::ostringstream subject;
   subject << "avc(m=" << m << ", d=" << d << ", s=" << protocol.num_states()
           << ")";
-  return lint_protocol(protocol, subject.str(), options, settings);
+  return lint_protocol(protocol, subject.str(), options, settings, context);
 }
 
-bool lint_builtin_suite(const LintSettings& settings) {
+bool lint_builtin_suite(const LintSettings& settings, LintContext& context) {
   bool ok = true;
 
   // AVC sweep: the four-state-equivalent corner (1,1), the paper's
   // experimental d = 1 family at increasing m, and deeper-level variants.
   for (const auto& [m, d] : std::vector<std::pair<int, int>>{
            {1, 1}, {3, 1}, {5, 1}, {7, 1}, {3, 2}, {5, 3}}) {
-    ok = lint_avc(m, d, settings) && ok;
+    ok = lint_avc(m, d, settings, context) && ok;
   }
 
   {
@@ -136,27 +198,36 @@ bool lint_builtin_suite(const LintSettings& settings) {
     options.invariants.push_back(verify::agent_count_invariant(protocol));
     options.invariants.push_back(verify::four_state_difference_invariant());
     options.check_exactness = true;
-    ok = lint_protocol(protocol, "four-state", options, settings) && ok;
+    options.model_checker.expect_stabilization = true;
+    ok = lint_protocol(protocol, "four-state", options, settings, context) &&
+         ok;
   }
   {
-    // Approximate protocols: no exactness search (wrong unanimity is
-    // reachable by design — that is the paper's Figure 3 error panel).
+    // Approximate protocols: no exactness search, and model-check verdicts
+    // are informational (wrong unanimity is reachable by design — that is
+    // the paper's Figure 3 error panel).
     const ThreeStateProtocol protocol;
     VerifyOptions options;
     options.invariants.push_back(verify::agent_count_invariant(protocol));
-    ok = lint_protocol(protocol, "three-state", options, settings) && ok;
+    options.model_checker.expect_stabilization = false;
+    ok = lint_protocol(protocol, "three-state", options, settings, context) &&
+         ok;
   }
   {
     const VoterProtocol protocol;
     VerifyOptions options;
     options.invariants.push_back(verify::agent_count_invariant(protocol));
-    ok = lint_protocol(protocol, "voter", options, settings) && ok;
+    options.model_checker.expect_stabilization = false;
+    ok = lint_protocol(protocol, "voter", options, settings, context) && ok;
   }
   {
     const LeaderElectionProtocol protocol;
     VerifyOptions options;
     options.invariants.push_back(verify::agent_count_invariant(protocol));
-    ok = lint_protocol(protocol, "leader-election", options, settings) && ok;
+    options.model_checker.expect_stabilization = false;
+    ok = lint_protocol(protocol, "leader-election", options, settings,
+                       context) &&
+         ok;
   }
   {
     // Tabulated re-encodings must verify identically to their bases.
@@ -166,8 +237,9 @@ bool lint_builtin_suite(const LintSettings& settings) {
     options.invariants.push_back(verify::agent_count_invariant(protocol));
     options.invariants.push_back(verify::avc_sum_invariant(base));
     options.check_exactness = true;
+    options.model_checker.expect_stabilization = true;
     ok = lint_protocol(protocol, "tabulated(avc(m=3, d=1))", options,
-                       settings) &&
+                       settings, context) &&
          ok;
   }
   {
@@ -176,19 +248,20 @@ bool lint_builtin_suite(const LintSettings& settings) {
     options.invariants.push_back(verify::agent_count_invariant(protocol));
     options.invariants.push_back(verify::four_state_difference_invariant());
     options.check_exactness = true;
-    ok = lint_protocol(protocol, "tabulated(four-state)", options, settings) &&
+    options.model_checker.expect_stabilization = true;
+    ok = lint_protocol(protocol, "tabulated(four-state)", options, settings,
+                       context) &&
          ok;
   }
   return ok;
 }
 
 bool lint_file(const std::string& path, bool exact,
-               const LintSettings& settings) {
+               const LintSettings& settings, LintContext& context) {
   std::ifstream in(path);
   if (!in) {
-    std::cout << "== " << path << " ==\n  error: [file.open] cannot open '"
-              << path << "'\n  FAIL (1 errors, 0 warnings)\n";
-    return false;
+    // I/O problem, not a protocol defect: usage-level failure (exit 2).
+    throw std::runtime_error("cannot open protocol file '" + path + "'");
   }
   ParsedProtocolFile parsed = [&] {
     try {
@@ -206,9 +279,28 @@ bool lint_file(const std::string& path, bool exact,
     options.invariants.emplace_back(name, std::move(weights));
   }
   options.check_exactness = exact;
+  // Model-checking a file is a certification request: hold it to the exact
+  // standard (wrong-stable / livelock terminal components are errors).
+  options.model_checker.expect_stabilization = true;
   std::ostringstream subject;
   subject << parsed.name << " (" << path << ")";
-  return lint_protocol(parsed.protocol, subject.str(), options, settings);
+  return lint_protocol(parsed.protocol, subject.str(), options, settings,
+                       context);
+}
+
+void print_json(const LintContext& context, bool ok) {
+  JsonWriter json(std::cout);
+  json.begin_object();
+  json.kv("version", 1);
+  json.key("reports");
+  json.begin_array();
+  for (const Report& report : context.reports) {
+    verify::write_json(json, report);
+  }
+  json.end_array();
+  json.kv("ok", ok);
+  json.end_object();
+  std::cout << "\n";
 }
 
 std::vector<std::string> split_commas(const std::string& list) {
@@ -226,20 +318,29 @@ std::vector<std::string> split_commas(const std::string& list) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
-    args.check_known({"table", "builtin", "m", "d", "exact", "max-n",
-                      "max-configs", "describe", "verbose", "quiet",
-                      "list-invariants"});
+    args.check_known({"table", "builtin", "m", "d", "exact",
+                      "infer-invariants", "model-check", "counterexample-out",
+                      "max-n", "max-configs", "json", "describe", "verbose",
+                      "quiet", "list-invariants"});
 
     LintSettings settings;
     settings.small_n.max_n =
         static_cast<std::uint64_t>(args.get_int("max-n", 8));
     settings.small_n.max_configs =
         static_cast<std::uint64_t>(args.get_int("max-configs", 500'000));
+    settings.model_checker.max_n = settings.small_n.max_n;
+    settings.model_checker.max_nodes = settings.small_n.max_configs;
+    settings.infer_invariants = args.get_bool("infer-invariants");
+    settings.model_check = args.get_bool("model-check");
+    settings.counterexample_out =
+        args.get("counterexample-out").value_or(std::string{});
+    settings.json = args.get_bool("json");
     settings.describe = args.get_bool("describe");
     settings.verbose = args.get_bool("verbose");
     settings.quiet = args.get_bool("quiet");
     settings.list_invariants = args.get_bool("list-invariants");
 
+    LintContext context;
     bool ok = true;
     bool ran_anything = false;
 
@@ -249,21 +350,24 @@ int main(int argc, char** argv) {
         throw std::runtime_error("--table requires at least one file path");
       }
       for (const std::string& path : paths) {
-        ok = lint_file(path, args.get_bool("exact"), settings) && ok;
+        ok = lint_file(path, args.get_bool("exact"), settings, context) && ok;
         ran_anything = true;
       }
     }
     if (args.has("m") || args.has("d")) {
       ok = lint_avc(static_cast<int>(args.get_int("m", 1)),
-                    static_cast<int>(args.get_int("d", 1)), settings) &&
+                    static_cast<int>(args.get_int("d", 1)), settings,
+                    context) &&
            ok;
       ran_anything = true;
     }
     if (!ran_anything || args.get_bool("builtin")) {
-      ok = lint_builtin_suite(settings) && ok;
+      ok = lint_builtin_suite(settings, context) && ok;
     }
 
-    if (!settings.list_invariants) {
+    if (settings.json) {
+      print_json(context, ok);
+    } else if (!settings.list_invariants) {
       std::cout << (ok ? "popbean-lint: all checks passed\n"
                        : "popbean-lint: FAILED\n");
     }
