@@ -3,6 +3,9 @@
 // (skip), across protocols and state-space sizes, plus the transition
 // function in isolation. These justify the engine choices documented in
 // DESIGN.md: agent for graphs, count for huge s, skip for small s at tiny ε.
+// The count/zoo_* and apply/zoo_* pairs measure the programmatic-δ dispatch
+// of a zoo Runtime against its materialized (tabulated) counterpart — the
+// cost of computing transitions on the fly instead of one table lookup.
 //
 // Each case also runs with an obs::EngineProbe attached and reports the
 // relative slowdown (`probe_overhead_pct`) — the measured cost of the
@@ -38,6 +41,9 @@
 #include "population/skip_engine.hpp"
 #include "protocols/four_state.hpp"
 #include "util/check.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/materialize.hpp"
+#include "zoo/runtime.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -197,13 +203,16 @@ CaseResult run_skip_case(std::string name, std::string protocol_name,
       });
 }
 
-// Transition-function cost in isolation (no engine, no probe).
-CaseResult run_apply_case(int m, const BenchConfig& config) {
-  const avc::AvcProtocol protocol(m, 1);
+// Transition-function cost in isolation (no engine, no probe). The
+// zoo pairs (programmatic runtime vs its materialized table) isolate the
+// cost of computing δ on the fly vs one table lookup.
+template <typename P>
+CaseResult run_apply_case(std::string name, std::string protocol_name,
+                          const P& protocol, const BenchConfig& config) {
   CaseResult result;
-  result.name = "apply/avc" + std::to_string(m);
+  result.name = std::move(name);
   result.engine = "apply";
-  result.protocol = "avc" + std::to_string(m);
+  result.protocol = std::move(protocol_name);
   result.units = config.batch;
 
   const auto s = static_cast<std::uint64_t>(protocol.num_states());
@@ -225,6 +234,12 @@ CaseResult run_apply_case(int m, const BenchConfig& config) {
   result.interactions_per_sec = result.units_per_sec.mean;
   result.probe_interactions = checksum;  // defeats dead-code elimination
   return result;
+}
+
+CaseResult run_avc_apply_case(int m, const BenchConfig& config) {
+  const avc::AvcProtocol protocol(m, 1);
+  return run_apply_case("apply/avc" + std::to_string(m),
+                        "avc" + std::to_string(m), protocol, config);
 }
 
 void write_report(JsonWriter& json, const BenchConfig& config,
@@ -286,6 +301,9 @@ int run(int argc, char** argv) {
   const FourStateProtocol four_state;
   const avc::AvcProtocol avc63(63, 1);
   const avc::AvcProtocol avc4095(4095, 1);
+  const zoo::Runtime<zoo::DoublingProtocol> zoo_doubling{
+      zoo::DoublingProtocol(8)};
+  const zoo::MaterializedView zoo_doubling_tab = zoo::materialize(zoo_doubling);
 
   std::vector<CaseResult> results;
   results.push_back(run_engine_case<AgentEngine>(
@@ -298,12 +316,22 @@ int run(int argc, char** argv) {
                                                  "avc63", avc63, config));
   results.push_back(run_engine_case<CountEngine>("count/avc4095", "count",
                                                  "avc4095", avc4095, config));
+  results.push_back(run_engine_case<CountEngine>(
+      "count/zoo_doubling", "count", "zoo:doubling", zoo_doubling, config));
+  results.push_back(run_engine_case<CountEngine>("count/zoo_doubling_tab",
+                                                 "count", "zoo:doubling(tab)",
+                                                 zoo_doubling_tab, config));
   results.push_back(run_skip_case("skip/four_state", "four_state",
                                   four_state, config));
   results.push_back(run_skip_case("skip/avc63", "avc63", avc63, config));
-  results.push_back(run_apply_case(9, config));
-  results.push_back(run_apply_case(63, config));
-  results.push_back(run_apply_case(1023, config));
+  results.push_back(run_avc_apply_case(9, config));
+  results.push_back(run_avc_apply_case(63, config));
+  results.push_back(run_avc_apply_case(1023, config));
+  results.push_back(run_apply_case("apply/zoo_doubling", "zoo:doubling",
+                                   zoo_doubling, config));
+  results.push_back(run_apply_case("apply/zoo_doubling_tab",
+                                   "zoo:doubling(tab)", zoo_doubling_tab,
+                                   config));
 
   TablePrinter table({"case", "Munits/s", "Minter/s", "inter/unit",
                       "probe_ovh_%"});

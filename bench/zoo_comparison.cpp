@@ -1,0 +1,207 @@
+// The modern majority zoo vs the paper's protocols (DESIGN.md §11).
+//
+// Compares stabilization time and state count as functions of n for
+//
+//   4-state        exact baseline [DV12, MNRS14]
+//   AVC(n-state)   the paper's protocol at state budget ≈ n, d = 1
+//   zoo:doubling   unclocked cancellation/doubling, L = ceil(log2 n)
+//   zoo:berenbrink phase-clocked cancellation/doubling, same L
+//
+// at ε = 1/n (hardest margin), the regime where the 4-state protocol's
+// Θ(n log n) blowup and the zoo members' polylog(n) state counts are both
+// visible. The zoo members are built programmatically per n — the state
+// universe grows with the level budget, which is the states-vs-n curve —
+// while AVC's budget tracks n by construction.
+//
+// Expected shape: both zoo members and AVC stay orders of magnitude below
+// the 4-state time at large n; the zoo members do it with O(log n) states
+// vs AVC's Θ(n). All exact protocols finish with zero wrong decisions.
+//
+// Results go to stdout (two panels), a CSV, and a machine-readable JSON
+// report (default BENCH_zoo.json) mirroring BENCH_engines.json.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/avc.hpp"
+#include "core/avc_params.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "protocols/four_state.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "zoo/berenbrink.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/runtime.hpp"
+
+namespace popbean {
+namespace {
+
+struct Row {
+  std::uint64_t n;
+  std::string protocol;
+  std::size_t states;
+  ReplicationSummary summary;
+};
+
+int ceil_log2(std::uint64_t n) {
+  int bits = 0;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(
+      argc, argv, "zoo_comparison.csv", {"json"});
+  bench::print_mode(options);
+  const CliArgs args(argc, argv);
+  const std::string json_path = args.get_string("json", "BENCH_zoo.json");
+
+  const std::vector<std::uint64_t> sizes =
+      options.full ? std::vector<std::uint64_t>{100, 1000, 10000, 100000}
+                   : std::vector<std::uint64_t>{100, 1000, 10000};
+  const std::size_t replicates = options.full ? 50 : 10;
+  constexpr std::uint64_t kMaxInteractions = 400'000'000'000'000ULL;
+  constexpr std::size_t kProtocolsPerSize = 4;
+
+  ThreadPool pool(options.threads);
+  CsvWriter csv(options.csv_path,
+                {"n", "protocol", "states", "mean_parallel_time", "median",
+                 "stddev", "wrong", "unresolved", "replicates"});
+
+  std::vector<Row> rows;
+  for (const std::uint64_t n : sizes) {
+    const MajorityInstance instance = make_instance(n, 1.0 / static_cast<double>(n));
+    const int levels = std::max(4, ceil_log2(n));
+
+    FourStateProtocol four;
+    rows.push_back({n, "4-state", four.num_states(),
+                    run_replicates(pool, four, instance, EngineKind::kAuto,
+                                   replicates, options.seed,
+                                   kMaxInteractions)});
+
+    const avc::AvcParams params = avc::n_state(n);
+    avc::AvcProtocol avc_protocol(params.m, params.d);
+    rows.push_back({n, "AVC(n-state)", avc_protocol.num_states(),
+                    run_replicates(pool, avc_protocol, instance,
+                                   EngineKind::kAuto, replicates,
+                                   options.seed + 1, kMaxInteractions)});
+
+    const zoo::Runtime<zoo::DoublingProtocol> doubling{
+        zoo::DoublingProtocol(levels)};
+    rows.push_back({n, "zoo:doubling", doubling.num_states(),
+                    run_replicates(pool, doubling, instance,
+                                   EngineKind::kAuto, replicates,
+                                   options.seed + 2, kMaxInteractions)});
+
+    const zoo::Runtime<zoo::BerenbrinkProtocol> berenbrink{
+        zoo::BerenbrinkProtocol(levels)};
+    rows.push_back({n, "zoo:berenbrink", berenbrink.num_states(),
+                    run_replicates(pool, berenbrink, instance,
+                                   EngineKind::kAuto, replicates,
+                                   options.seed + 3, kMaxInteractions)});
+    std::cerr << "done n=" << n << "\n";
+  }
+
+  print_banner(std::cout,
+               "zoo comparison (left): mean parallel stabilization time, eps = 1/n");
+  TablePrinter left({"n", "4-state", "AVC(n-state)", "zoo:doubling",
+                     "zoo:berenbrink"});
+  left.header(std::cout);
+  for (std::size_t i = 0; i < rows.size(); i += kProtocolsPerSize) {
+    left.row(std::cout,
+             {std::to_string(rows[i].n),
+              format_value(rows[i].summary.parallel_time.mean),
+              format_value(rows[i + 1].summary.parallel_time.mean),
+              format_value(rows[i + 2].summary.parallel_time.mean),
+              format_value(rows[i + 3].summary.parallel_time.mean)});
+  }
+
+  print_banner(std::cout, "zoo comparison (right): states vs n");
+  TablePrinter right({"n", "4-state", "AVC(n-state)", "zoo:doubling",
+                      "zoo:berenbrink"});
+  right.header(std::cout);
+  for (std::size_t i = 0; i < rows.size(); i += kProtocolsPerSize) {
+    right.row(std::cout, {std::to_string(rows[i].n),
+                          std::to_string(rows[i].states),
+                          std::to_string(rows[i + 1].states),
+                          std::to_string(rows[i + 2].states),
+                          std::to_string(rows[i + 3].states)});
+  }
+
+  std::size_t total_wrong = 0;
+  for (const Row& row : rows) {
+    total_wrong += row.summary.wrong;
+    csv.row({std::to_string(row.n), row.protocol, std::to_string(row.states),
+             format_value(row.summary.parallel_time.mean),
+             format_value(row.summary.parallel_time.median),
+             format_value(row.summary.parallel_time.stddev),
+             std::to_string(row.summary.wrong),
+             std::to_string(row.summary.unresolved()),
+             std::to_string(row.summary.replicates)});
+  }
+  std::cout << "\nCSV written to " << csv.path() << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot open " + json_path);
+    JsonWriter json(out);
+    json.begin_object();
+    json.kv("bench", "zoo_comparison");
+    json.kv("mode", options.full ? "full" : "quick");
+    json.kv("seed", options.seed);
+    json.kv("replicates", replicates);
+    json.key("results");
+    json.begin_array();
+    for (const Row& row : rows) {
+      json.begin_object();
+      json.kv("n", row.n);
+      json.kv("protocol", row.protocol);
+      json.kv("states", row.states);
+      json.kv("mean_parallel_time", row.summary.parallel_time.mean);
+      json.kv("median_parallel_time", row.summary.parallel_time.median);
+      json.kv("stddev_parallel_time", row.summary.parallel_time.stddev);
+      json.kv("wrong", row.summary.wrong);
+      json.kv("unresolved", row.summary.unresolved());
+      json.kv("replicates", row.summary.replicates);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << "\n";
+    POPBEAN_CHECK(json.complete());
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+
+  // Paper-shape self-check printed for EXPERIMENTS.md.
+  const Row& four_last = rows[rows.size() - kProtocolsPerSize];
+  const Row& avc_last = rows[rows.size() - kProtocolsPerSize + 1];
+  const Row& dbl_last = rows[rows.size() - kProtocolsPerSize + 2];
+  const Row& ber_last = rows[rows.size() - kProtocolsPerSize + 3];
+  std::cout << "shape check @ n=" << four_last.n
+            << ": 4-state/doubling time ratio = "
+            << format_value(four_last.summary.parallel_time.mean /
+                            dbl_last.summary.parallel_time.mean)
+            << ", AVC states / zoo states = "
+            << format_value(static_cast<double>(avc_last.states) /
+                            static_cast<double>(ber_last.states))
+            << "\nwrong decisions across all protocols: " << total_wrong
+            << " (all four are exact; expected 0)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean
+
+int main(int argc, char** argv) {
+  try {
+    return popbean::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "zoo_comparison: " << e.what() << "\n";
+    return 2;
+  }
+}

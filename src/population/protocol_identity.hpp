@@ -1,0 +1,106 @@
+// Stable identity strings for protocols (DESIGN.md §7, §11).
+//
+// A snapshot restored into an engine built around a *different* protocol
+// deserializes plausible-looking garbage: counts indexed by foreign state
+// ids. The identity string is the guard: a short, deterministic summary of
+// (state count, initial states, outputs, δ) that recovery snapshots embed
+// and compare on restore.
+//
+// Identity is structural, not nominal: AvcProtocol(3, 1) and its
+// TabulatedProtocol re-encoding produce the same string, because they are
+// the same δ on the same dense ids — snapshots move freely between them.
+// Protocols may override the default by providing an `identity()` member
+// (zoo runtimes prefix their registry name, and their materialized views
+// copy the string, so the programmatic/materialized pair stays
+// interchangeable too).
+//
+// For large state spaces the full s² table is too expensive to hash on
+// every snapshot, so the fingerprint degrades to a fixed-size
+// deterministic sample of δ entries — still a function of the protocol
+// alone, still stable across runs and builds.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "population/protocol.hpp"
+#include "util/binary_io.hpp"
+
+namespace popbean {
+
+namespace detail {
+
+inline std::uint64_t identity_mix(std::uint64_t h, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  return fnv1a64(std::string_view(bytes, sizeof bytes), h);
+}
+
+}  // namespace detail
+
+// "s=<s>/fp=<16 hex digits>" — the structural part of an identity string.
+template <ProtocolLike P>
+std::string protocol_fingerprint(const P& protocol) {
+  // Full-table hashing up to this many states; beyond it, a fixed-size
+  // deterministic sample (splitmix64 sequence over pair indices).
+  constexpr std::size_t kFullHashStates = 512;
+  constexpr std::uint64_t kSamplePairs = std::uint64_t{1} << 16;
+
+  const auto s = static_cast<std::uint64_t>(protocol.num_states());
+  std::uint64_t h = fnv1a64("popbean/protocol-identity");
+  h = detail::identity_mix(h, s);
+  h = detail::identity_mix(h, protocol.initial_state(Opinion::B));
+  h = detail::identity_mix(h, protocol.initial_state(Opinion::A));
+  for (State q = 0; q < s; ++q) {
+    h = detail::identity_mix(
+        h, static_cast<std::uint64_t>(
+               static_cast<std::int64_t>(protocol.output(q))));
+  }
+
+  const auto mix_pair = [&](State a, State b) {
+    const Transition t = protocol.apply(a, b);
+    h = detail::identity_mix(h, (static_cast<std::uint64_t>(a) << 32) | b);
+    h = detail::identity_mix(
+        h, (static_cast<std::uint64_t>(t.initiator) << 32) | t.responder);
+  };
+  if (s <= kFullHashStates) {
+    for (State a = 0; a < s; ++a) {
+      for (State b = 0; b < s; ++b) mix_pair(a, b);
+    }
+  } else {
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;  // fixed seed: identical sample
+    for (std::uint64_t i = 0; i < kSamplePairs; ++i) {  // for identical δ
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      z ^= z >> 31;
+      mix_pair(static_cast<State>((z >> 32) % s),
+               static_cast<State>((z & 0xffffffffull) % s));
+    }
+  }
+
+  std::ostringstream os;
+  os << "s=" << s << "/fp=" << std::hex << std::setw(16) << std::setfill('0')
+     << h;
+  return os.str();
+}
+
+// The identity string: a protocol's own `identity()` if it provides one,
+// otherwise the structural fingerprint under the generic "delta" tag.
+template <ProtocolLike P>
+std::string protocol_identity(const P& protocol) {
+  if constexpr (requires {
+                  { protocol.identity() } -> std::convertible_to<std::string>;
+                }) {
+    return protocol.identity();
+  } else {
+    return "delta/" + protocol_fingerprint(protocol);
+  }
+}
+
+}  // namespace popbean

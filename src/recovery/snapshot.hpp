@@ -17,6 +17,11 @@
 // the resumed run bit-identical to the uninterrupted one. Construction
 // inputs (protocol, initial counts, graph, fault/schedule models) are not
 // serialized — restore into an engine constructed with identical arguments.
+// Since v2 the payload leads with the protocol's identity string
+// (population/protocol_identity.hpp: a registry name and/or a structural
+// δ-table fingerprint), so restoring a snapshot into an engine running a
+// *different* protocol — same engine type, same state count, different
+// rules — is refused instead of silently resuming a corrupted run.
 #pragma once
 
 #include <array>
@@ -25,6 +30,7 @@
 #include <string>
 #include <string_view>
 
+#include "population/protocol_identity.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -32,7 +38,12 @@
 namespace popbean::recovery {
 
 inline constexpr std::string_view kSnapshotMagic = "PBSN";
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: engine payloads gained the leading protocol-identity string.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+
+// Sentinel accepted on restore regardless of the live protocol — an escape
+// hatch for payloads produced outside the save path (hand-written fixtures).
+inline constexpr std::string_view kUnknownProtocolIdentity = "unknown";
 
 // Corrupt, truncated, or mismatched snapshot input. Deliberately a distinct
 // type: callers (the resume path, popbean-replay) treat a bad file as "start
@@ -52,6 +63,7 @@ concept SnapshotableEngine =
       { E::kSnapshotKind } -> std::convertible_to<std::string_view>;
       engine.save_state(out);
       mutable_engine.load_state(in);
+      engine.protocol();  // identity-checked on restore
     };
 
 inline std::string pack_blob(std::string_view kind, std::string_view payload) {
@@ -130,10 +142,13 @@ inline void read_rng(BinaryReader& in, Xoshiro256ss& rng) {
   rng.set_state_words(words);
 }
 
-// Serializes engine + driver rng into a blob payload (no file).
+// Serializes engine + driver rng into a blob payload (no file). The payload
+// leads with the engine's protocol identity so restore can refuse a
+// protocol/snapshot mismatch.
 template <SnapshotableEngine E>
 std::string snapshot_engine_bytes(const E& engine, const Xoshiro256ss& driver) {
   BinaryWriter out;
+  out.str(protocol_identity(engine.protocol()));
   write_rng(out, driver);
   engine.save_state(out);
   return out.take();
@@ -141,11 +156,20 @@ std::string snapshot_engine_bytes(const E& engine, const Xoshiro256ss& driver) {
 
 // Restores engine + driver rng from a payload produced by
 // snapshot_engine_bytes on an engine constructed with identical arguments.
+// Throws SnapshotError if the embedded protocol identity does not match the
+// live engine's (kUnknownProtocolIdentity is always accepted).
 template <SnapshotableEngine E>
 void restore_engine_bytes(std::string_view payload, E& engine,
                           Xoshiro256ss& driver) {
   try {
     BinaryReader in(payload);
+    const std::string saved = in.str();
+    const std::string live = protocol_identity(engine.protocol());
+    if (saved != live && saved != kUnknownProtocolIdentity) {
+      throw SnapshotError("protocol identity mismatch: snapshot was taken "
+                          "with \"" + saved + "\" but the engine is running "
+                          "\"" + live + "\"");
+    }
     read_rng(in, driver);
     engine.load_state(in);
     if (!in.at_end()) {

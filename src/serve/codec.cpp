@@ -5,6 +5,7 @@
 
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
+#include "zoo/registry.hpp"
 
 namespace popbean::serve {
 
@@ -68,8 +69,16 @@ JobSpec spec_from_object(const JsonValue& object) {
       spec.client = require_string(value, key);
     } else if (key == "protocol") {
       spec.protocol = require_string(value, key);
-      if (spec.protocol != "avc" && spec.protocol != "four-state" &&
-          spec.protocol != "three-state") {
+      if (zoo::is_zoo_spec(spec.protocol)) {
+        // "zoo:<...>" resolves against the zoo registry; anything it does
+        // not know is rejected here with the member list, so a typo'd spec
+        // never reaches a worker.
+        if (!zoo::is_zoo_member(spec.protocol)) {
+          bad_field(key, "unknown zoo protocol \"" + spec.protocol +
+                             "\" (known: " + zoo::zoo_known_list() + ")");
+        }
+      } else if (spec.protocol != "avc" && spec.protocol != "four-state" &&
+                 spec.protocol != "three-state") {
         bad_field(key, "unknown protocol \"" + spec.protocol + "\"");
       }
     } else if (key == "m") {

@@ -14,6 +14,7 @@
 #include "protocols/four_state.hpp"
 #include "protocols/three_state.hpp"
 #include "util/check.hpp"
+#include "zoo/registry.hpp"
 
 namespace popbean::serve {
 
@@ -109,6 +110,15 @@ Attempt dispatch_attempt(const JobSpec& spec, std::uint32_t replicates,
     return run_attempt(ThreeStateProtocol{}, spec, replicates, max_interactions,
                        corrupt, corrupt_rate, attempt_index, poll_interval,
                        should_stop, cancel);
+  }
+  if (zoo::is_zoo_spec(spec.protocol)) {
+    // Shared immutable runtimes (zoo/registry.hpp) — safe across workers.
+    // An unknown member throws; execute() surfaces it as a failed job.
+    return zoo::with_zoo_runtime(spec.protocol, [&](const auto& runtime) {
+      return run_attempt(runtime, spec, replicates, max_interactions, corrupt,
+                         corrupt_rate, attempt_index, poll_interval,
+                         should_stop, cancel);
+    });
   }
   POPBEAN_CHECK_MSG(spec.protocol == "avc",
                     "JobService: unknown protocol " + spec.protocol);

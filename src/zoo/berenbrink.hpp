@@ -1,0 +1,133 @@
+// Phase-clocked cancellation/doubling majority (Berenbrink–Elsässer–
+// Friedetzky–Kaaser–Kling–Radzik style; arXiv:1805.05157 — DESIGN.md §11).
+//
+// Same token algebra as DoublingProtocol, but the rules are *scheduled*: a
+// per-agent clock advances by a max-epidemic (both agents adopt
+// max(c_x, c_y); the initiator additionally ticks +1), and the clock value
+// selects which rule family is live —
+//
+//   phase 2i   (cancellation): cancel + absorb only
+//   phase 2i+1 (doubling):     split + merge only
+//   clock = C  (backstop):     everything on, forever
+//
+// Alternating the families keeps cancellations and splits from interleaving
+// arbitrarily, which is what buys the O(log^{5/3} n) stabilization of the
+// paper (our clock is the simple epidemic variant, not the full junta
+// construction — the phase structure is what we reproduce). The clock
+// *saturates* at C instead of wrapping: clocks are then monotone, every
+// interaction below saturation is productive, so no terminal component
+// contains a clock below C — and at C the protocol *is* DoublingProtocol,
+// whose terminal components are unanimous-correct. Scheduling buys speed;
+// the backstop alone decides correctness, which is why the same
+// small-n/model-check gates certify this member too.
+//
+// Flip (a level-L token converting an opposite blank) stays live in every
+// phase: it is weight-neutral and only touches follower bits.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "obs/probe.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/packed_state.hpp"
+
+namespace popbean::zoo {
+
+class BerenbrinkProtocol : private DoublingProtocol {
+ public:
+  // levels = L as in DoublingProtocol; phase_ticks = clock ticks per phase;
+  // phase_pairs = number of (cancellation, doubling) phase pairs before the
+  // backstop, so the clock saturates at C = 2 · phase_ticks · phase_pairs.
+  explicit BerenbrinkProtocol(int levels = 8, int phase_ticks = 4,
+                              int phase_pairs = 3)
+      : DoublingProtocol(levels),
+        ticks_(static_cast<std::uint32_t>(phase_ticks)),
+        saturation_(2u * static_cast<std::uint32_t>(phase_ticks) *
+                    static_cast<std::uint32_t>(phase_pairs)) {
+    POPBEAN_CHECK_MSG(phase_ticks >= 1 && phase_pairs >= 1,
+                      "berenbrink: phase parameters must be positive");
+    POPBEAN_CHECK_MSG(saturation_ <= kClock.max_value(),
+                      "berenbrink: clock range exceeds the packed field");
+  }
+
+  std::string name() const { return "berenbrink"; }
+
+  using DoublingProtocol::levels;
+
+  std::uint32_t saturation() const noexcept { return saturation_; }
+
+  std::size_t max_states() const {
+    return DoublingProtocol::max_states() * (saturation_ + 1);
+  }
+
+  std::uint32_t initial_code(Opinion opinion) const {
+    return DoublingProtocol::initial_code(opinion);  // clock field = 0
+  }
+
+  Output output_code(std::uint32_t code) const {
+    return DoublingProtocol::output_code(strip(code));
+  }
+
+  std::string code_name(std::uint32_t code) const {
+    return DoublingProtocol::code_name(strip(code)) + "@" +
+           std::to_string(kClock.get(code));
+  }
+
+  std::int64_t weight_code(std::uint32_t code) const {
+    return DoublingProtocol::weight_code(strip(code));
+  }
+
+  CodePair delta(std::uint32_t x, std::uint32_t y) const {
+    const std::uint32_t shared = shared_clock(x, y);
+    const Reaction r = react(strip(x), strip(y), gate_for(shared));
+    return {with_clock(r.next.initiator,
+                       std::min(shared + 1, saturation_)),
+            with_clock(r.next.responder, shared)};
+  }
+
+  obs::ReactionKind classify_codes(std::uint32_t x, std::uint32_t y) const {
+    const std::uint32_t shared = shared_clock(x, y);
+    const Reaction r = react(strip(x), strip(y), gate_for(shared));
+    if (r.kind != obs::ReactionKind::kNull) return r.kind;
+    // Clock-only movement is productive but belongs to no token family.
+    const bool clocks_settled =
+        kClock.get(x) == saturation_ && kClock.get(y) == saturation_;
+    return clocks_settled ? obs::ReactionKind::kNull
+                          : obs::ReactionKind::kOther;
+  }
+
+ private:
+  static constexpr BitField kClock{kTokenBits, 6};
+
+  static constexpr std::uint32_t strip(std::uint32_t code) {
+    return kClock.set(code, 0);
+  }
+
+  static constexpr std::uint32_t with_clock(std::uint32_t code,
+                                            std::uint32_t clock) {
+    return kClock.set(code, clock);
+  }
+
+  static std::uint32_t shared_clock(std::uint32_t x, std::uint32_t y) {
+    return std::max(kClock.get(x), kClock.get(y));
+  }
+
+  RuleGate gate_for(std::uint32_t clock) const {
+    if (clock >= saturation_) return RuleGate{};  // backstop: everything on
+    const bool cancellation = (clock / ticks_) % 2 == 0;
+    return RuleGate{/*cancel=*/cancellation, /*expand=*/!cancellation};
+  }
+
+  std::uint32_t ticks_;
+  std::uint32_t saturation_;
+};
+
+static_assert(CodeProtocol<BerenbrinkProtocol>);
+static_assert(ClassifyingCodeProtocol<BerenbrinkProtocol>);
+static_assert(WeightedCodeProtocol<BerenbrinkProtocol>);
+
+}  // namespace popbean::zoo

@@ -1,0 +1,58 @@
+// The programmatic protocol concept (DESIGN.md §11).
+//
+// A zoo member defines majority dynamics over raw packed codes
+// (zoo/packed_state.hpp): δ is *computed* per interaction instead of read
+// from an s² table, so the state space is bounded only by what the rules
+// can reach, not by what fits in a table. zoo/runtime.hpp adapts any
+// CodeProtocol to the engines' dense-id ProtocolLike interface, and
+// zoo/materialize.hpp freezes one into a TabulatedProtocol when the
+// verification toolchain wants the whole table at once.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "obs/probe.hpp"
+#include "population/protocol.hpp"
+
+namespace popbean::zoo {
+
+// δ result over raw codes, mirroring population/protocol.hpp's Transition
+// over dense ids.
+struct CodePair {
+  std::uint32_t initiator;
+  std::uint32_t responder;
+};
+
+template <typename Z>
+concept CodeProtocol = requires(const Z& z, std::uint32_t code, Opinion op) {
+  { z.name() } -> std::convertible_to<std::string>;
+  { z.initial_code(op) } -> std::same_as<std::uint32_t>;
+  { z.delta(code, code) } -> std::same_as<CodePair>;
+  { z.output_code(code) } -> std::convertible_to<Output>;
+  { z.code_name(code) } -> std::convertible_to<std::string>;
+  // Upper bound on the pairwise-reachable closure; Runtime construction
+  // fails loudly if the actual closure exceeds it.
+  { z.max_states() } -> std::convertible_to<std::size_t>;
+};
+
+// Optional hook: per-interaction reaction-family classification for the
+// obs::EngineProbe taxonomy. Runtime forwards it so probes see protocol
+// families instead of a flat kOther.
+template <typename Z>
+concept ClassifyingCodeProtocol =
+    CodeProtocol<Z> && requires(const Z& z, std::uint32_t code) {
+      { z.classify_codes(code, code) } -> std::same_as<obs::ReactionKind>;
+    };
+
+// Optional hook: an integer weight per code whose population sum the
+// protocol conserves (the zoo analogue of AVC's Invariant 4.3). Feeds
+// verify::LinearInvariant via zoo/invariants.hpp.
+template <typename Z>
+concept WeightedCodeProtocol =
+    CodeProtocol<Z> && requires(const Z& z, std::uint32_t code) {
+      { z.weight_code(code) } -> std::convertible_to<std::int64_t>;
+    };
+
+}  // namespace popbean::zoo

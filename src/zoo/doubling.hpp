@@ -1,0 +1,203 @@
+// Cancellation/doubling exact majority (Gąsieniec–Stachowiak / Doty et al.
+// style; arXiv:1904.04374, arXiv:2106.10201 — DESIGN.md §11).
+//
+// Each agent is either a signed token or a blank follower:
+//
+//   token(sign, level)   carries weight sign · 2^(L − level), level 0 … L
+//   blank(follower)      weight 0; outputs its follower opinion
+//
+// Opinion A starts as token(+, 0), B as token(−, 0); the initial weighted
+// sum is (a − b) · 2^L, so its sign is the answer and every rule below
+// conserves it exactly (the `weight_code` hook, proved conserved by the
+// verifier over the materialized table):
+//
+//   cancel   (+,l) (−,l)   → blank(A) blank(B)      ± 2^(L−l) annihilate
+//   absorb   (s,l) (¬s,l+1)→ (s,l+1)  blank(s)      2^(L−l) − 2^(L−l−1)
+//   split    (s,l) blank   → (s,l+1)  (s,l+1)       2^(L−l) = 2 · 2^(L−l−1)
+//   merge    (s,l) (s,l)   → (s,l−1)  blank(s)      2 · 2^(L−l) = 2^(L−l+1)
+//   flip     (s,L) blank(¬s) → (s,L)  blank(s)      weight unchanged
+//
+// (cancel/absorb need opposite signs; split needs l < L; merge needs
+// l ≥ 1; flip only fires at the bottom level, where split cannot.)
+//
+// Why this is *exact*: the total |weight| never increases, and the merge
+// rule is the load-bearing subtlety. Without it, opposite-sign tokens can
+// split past each other into levels ≥ 2 apart and deadlock in a mixed
+// configuration (reachable at n = 9 from a 4A/5B split — the model checker
+// finds it). With merge, same-sign tokens at equal level ≥ 1 can always
+// recombine downward, and a terminal component with both signs present
+// would need every cross pair ≥ 2 levels apart with an integer weighted
+// sum — impossible for distinct dyadic weights — so every terminal
+// component is unanimous for the true majority. The small-n exhaustive
+// search and the model checker certify exactly this on the materialized
+// view.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/probe.hpp"
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+#include "zoo/code_protocol.hpp"
+#include "zoo/packed_state.hpp"
+
+namespace popbean::zoo {
+
+class DoublingProtocol {
+ public:
+  // levels = L: tokens carry weights 2^L … 2^0. More levels give splits
+  // more room (fewer blocked splits at large n); the verification gates
+  // use a small L because the rules do not depend on it.
+  explicit DoublingProtocol(int levels = 8) : levels_(levels) {
+    POPBEAN_CHECK_MSG(levels >= 1 && levels <= kMaxLevels,
+                      "doubling: levels out of range");
+  }
+
+  std::string name() const { return "doubling"; }
+
+  int levels() const noexcept { return levels_; }
+
+  std::size_t max_states() const {
+    return 2 * (static_cast<std::size_t>(levels_) + 1) + 2;
+  }
+
+  std::uint32_t initial_code(Opinion opinion) const {
+    return token(opinion == Opinion::A, 0);
+  }
+
+  Output output_code(std::uint32_t code) const {
+    return (is_token(code) ? sign_of(code) : follower_of(code)) ? 1 : 0;
+  }
+
+  std::string code_name(std::uint32_t code) const {
+    if (is_token(code)) {
+      std::string name(sign_of(code) ? "+" : "-");
+      name += std::to_string(level_of(code));
+      return name;
+    }
+    return follower_of(code) ? "bA" : "bB";
+  }
+
+  // Conserved weighted sum (the zoo analogue of AVC's Invariant 4.3).
+  std::int64_t weight_code(std::uint32_t code) const {
+    if (!is_token(code)) return 0;
+    const std::int64_t magnitude = std::int64_t{1}
+                                   << (levels_ - level_of(code));
+    return sign_of(code) ? magnitude : -magnitude;
+  }
+
+  CodePair delta(std::uint32_t x, std::uint32_t y) const {
+    return react(x, y, RuleGate{}).next;
+  }
+
+  obs::ReactionKind classify_codes(std::uint32_t x, std::uint32_t y) const {
+    return react(x, y, RuleGate{}).kind;
+  }
+
+ protected:
+  // Shared with BerenbrinkProtocol, which runs the same token algebra
+  // under a phase clock.
+  static constexpr int kMaxLevels = 31;
+
+  static constexpr auto kFields = [] {
+    FieldLayout layout;
+    struct Fields {
+      BitField is_token;  // 1 = signed token, 0 = blank follower
+      BitField payload;   // token: sign (1 = +/A); blank: follower opinion
+      BitField level;     // token only
+    } fields{layout.take(1), layout.take(1), layout.take(5)};
+    return fields;
+  }();
+
+  static constexpr unsigned kTokenBits = 7;  // bits used by the fields above
+
+  static constexpr bool is_token(std::uint32_t code) {
+    return kFields.is_token.get(code) != 0;
+  }
+  static constexpr bool sign_of(std::uint32_t code) {
+    return kFields.payload.get(code) != 0;
+  }
+  static constexpr bool follower_of(std::uint32_t code) {
+    return kFields.payload.get(code) != 0;
+  }
+  static constexpr int level_of(std::uint32_t code) {
+    return static_cast<int>(kFields.level.get(code));
+  }
+  static constexpr std::uint32_t token(bool sign, int level) {
+    return kFields.level.set(
+        kFields.payload.set(kFields.is_token.set(0, 1), sign ? 1 : 0),
+        static_cast<std::uint32_t>(level));
+  }
+  static constexpr std::uint32_t blank(bool follower) {
+    return kFields.payload.set(0, follower ? 1 : 0);
+  }
+
+  struct Reaction {
+    CodePair next;
+    obs::ReactionKind kind;
+  };
+
+  // Which rule families are enabled — BerenbrinkProtocol narrows this per
+  // phase; the plain doubling protocol always runs with everything on.
+  struct RuleGate {
+    bool cancel = true;  // cancel + absorb
+    bool expand = true;  // split + merge
+  };
+
+  Reaction react(std::uint32_t x, std::uint32_t y, RuleGate gate) const {
+    using obs::ReactionKind;
+    const Reaction null{{x, y}, ReactionKind::kNull};
+
+    if (is_token(x) && is_token(y)) {
+      const int lx = level_of(x);
+      const int ly = level_of(y);
+      const bool sx = sign_of(x);
+      const bool sy = sign_of(y);
+      if (sx != sy) {
+        if (!gate.cancel) return null;
+        if (lx == ly) {
+          return {{blank(sx), blank(sy)}, ReactionKind::kNeutralization};
+        }
+        if (lx + 1 == ly) {  // x is heavier; it survives one level down
+          return {{token(sx, lx + 1), blank(sx)}, ReactionKind::kAveraging};
+        }
+        if (ly + 1 == lx) {
+          return {{blank(sy), token(sy, ly + 1)}, ReactionKind::kAveraging};
+        }
+        return null;  // gap ≥ 2: no conserving rule; merges close the gap
+      }
+      if (gate.expand && lx == ly && lx >= 1) {
+        return {{token(sx, lx - 1), blank(sx)}, ReactionKind::kShiftToZero};
+      }
+      return null;
+    }
+
+    if (is_token(x) != is_token(y)) {
+      const std::uint32_t t = is_token(x) ? x : y;
+      const bool ts = sign_of(t);
+      if (gate.expand && level_of(t) < levels_) {
+        const std::uint32_t half = token(ts, level_of(t) + 1);
+        return {{half, half}, ReactionKind::kSignToZero};
+      }
+      const std::uint32_t b = is_token(x) ? y : x;
+      if (follower_of(b) != ts) {
+        const std::uint32_t flipped = blank(ts);
+        return {is_token(x) ? CodePair{x, flipped} : CodePair{flipped, y},
+                ReactionKind::kOther};
+      }
+      return null;
+    }
+
+    return null;  // blank–blank
+  }
+
+ private:
+  int levels_;
+};
+
+static_assert(CodeProtocol<DoublingProtocol>);
+static_assert(ClassifyingCodeProtocol<DoublingProtocol>);
+static_assert(WeightedCodeProtocol<DoublingProtocol>);
+
+}  // namespace popbean::zoo

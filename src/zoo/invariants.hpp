@@ -1,0 +1,32 @@
+// Declared conservation laws for zoo protocols (DESIGN.md §11).
+//
+// A WeightedCodeProtocol names one integer weight per code whose
+// population sum its rules conserve — the zoo analogue of AVC's
+// Invariant 4.3. This helper lowers that hook onto the runtime's dense
+// ids, producing the verify::LinearInvariant the conservation prover
+// checks against every δ entry and the inference pass must rediscover in
+// the stoichiometry null space. Because materialization preserves dense
+// ids, the same invariant applies unchanged to the MaterializedView.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "verify/linear_invariant.hpp"
+#include "zoo/code_protocol.hpp"
+#include "zoo/runtime.hpp"
+
+namespace popbean::zoo {
+
+template <WeightedCodeProtocol Z>
+verify::LinearInvariant weight_invariant(const Runtime<Z>& runtime) {
+  std::vector<std::int64_t> weights(runtime.num_states());
+  for (State q = 0; q < runtime.num_states(); ++q) {
+    weights[q] = runtime.member().weight_code(runtime.code_of(q));
+  }
+  return verify::LinearInvariant(runtime.member().name() + " weighted sum",
+                                 std::move(weights));
+}
+
+}  // namespace popbean::zoo

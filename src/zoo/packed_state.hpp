@@ -1,0 +1,60 @@
+// Bit-packed structured states for programmatic protocols (DESIGN.md §11).
+//
+// Zoo protocols describe an agent as a small struct — sign, level, phase,
+// clock — and encode it into a raw uint32_t code through fixed-width bit
+// fields. BitField is branch-free mask arithmetic; FieldLayout allocates
+// consecutive fields (lowest bits first) so a protocol's encoding reads as
+// a declaration instead of a pile of magic shifts. Raw codes are sparse —
+// not every bit pattern is a legal state — which is why engines never see
+// them: zoo/universe.hpp interns the reachable codes into the dense
+// 0 … s−1 ids the count vectors are indexed by.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace popbean::zoo {
+
+struct BitField {
+  unsigned shift = 0;
+  unsigned width = 0;
+
+  constexpr std::uint32_t max_value() const noexcept {
+    return (std::uint32_t{1} << width) - 1u;
+  }
+
+  constexpr std::uint32_t mask() const noexcept { return max_value() << shift; }
+
+  constexpr std::uint32_t get(std::uint32_t code) const noexcept {
+    return (code >> shift) & max_value();
+  }
+
+  constexpr std::uint32_t set(std::uint32_t code,
+                              std::uint32_t value) const noexcept {
+    return (code & ~mask()) | ((value & max_value()) << shift);
+  }
+};
+
+// Allocates consecutive bit fields of one 32-bit code. Usable in constexpr
+// context:
+//
+//   static constexpr auto kLayout = [] {
+//     FieldLayout layout;
+//     return Fields{layout.take(1), layout.take(1), layout.take(5)};
+//   }();
+class FieldLayout {
+ public:
+  constexpr BitField take(unsigned width) {
+    const BitField field{next_, width};
+    next_ += width;
+    return field;
+  }
+
+  constexpr unsigned bits_used() const noexcept { return next_; }
+
+ private:
+  unsigned next_ = 0;
+};
+
+}  // namespace popbean::zoo

@@ -1,0 +1,124 @@
+// The protocol zoo registry: stable "zoo:<name>" specs for programmatic
+// protocols (DESIGN.md §11).
+//
+// Everything that accepts a protocol by name — the NDJSON job schema,
+// popbean-lint, the benches — resolves zoo specs here, so the set of
+// members and their default parameters live in exactly one place. Because
+// the engines are templates over ProtocolLike, dispatch is a visitor:
+// with_zoo_runtime("zoo:doubling", fn) calls fn on a shared, immutable
+// Runtime of the right concrete type.
+//
+// Two parameterizations per member:
+//   with_zoo_runtime       simulation defaults (benches, serve jobs)
+//   with_zoo_runtime_gate  small state bound for the exhaustive
+//                          verification gates (the rules are the same
+//                          code; only levels / clock range shrink, and
+//                          model-checking cost grows steeply with s)
+//
+// Runtimes are constructed once (function-local statics, thread-safe) and
+// never mutated, so concurrent serve workers share them freely.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "zoo/berenbrink.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/runtime.hpp"
+
+namespace popbean::zoo {
+
+struct ZooEntry {
+  std::string spec;     // the registry name, e.g. "zoo:doubling"
+  std::string summary;  // one line for --help / docs
+  std::string paper;    // source of the protocol design
+};
+
+inline const std::vector<ZooEntry>& zoo_members() {
+  static const std::vector<ZooEntry> entries = {
+      {"zoo:berenbrink",
+       "phase-clocked cancellation/doubling, O(log^{5/3} n) style",
+       "Berenbrink et al., arXiv:1805.05157"},
+      {"zoo:doubling",
+       "unclocked cancellation/doubling, time-and-space-optimal style",
+       "Gasieniec-Stachowiak / Doty et al., arXiv:2106.10201"},
+  };
+  return entries;
+}
+
+// Anything spelled "zoo:<...>" claims to be a zoo member (it may still be
+// unknown — callers distinguish "not a zoo spec at all" from "a zoo spec
+// naming no member" to give precise errors).
+inline bool is_zoo_spec(std::string_view protocol) {
+  return protocol.substr(0, 4) == "zoo:";
+}
+
+inline bool is_zoo_member(std::string_view spec) {
+  for (const ZooEntry& entry : zoo_members()) {
+    if (entry.spec == spec) return true;
+  }
+  return false;
+}
+
+inline std::string zoo_known_list() {
+  std::string list;
+  for (const ZooEntry& entry : zoo_members()) {
+    if (!list.empty()) list += ", ";
+    list += entry.spec;
+  }
+  return list;
+}
+
+[[noreturn]] inline void throw_unknown_zoo(std::string_view spec) {
+  throw std::invalid_argument("unknown zoo protocol \"" + std::string(spec) +
+                              "\" (known: " + zoo_known_list() + ")");
+}
+
+// The shared instances live in non-template functions: a static local
+// inside the visitor templates below would be duplicated per visitor
+// *type*, silently rebuilding the universe closure for every distinct
+// lambda passed in.
+namespace detail {
+
+inline const Runtime<DoublingProtocol>& doubling_runtime() {
+  static const Runtime<DoublingProtocol> runtime{DoublingProtocol(8)};
+  return runtime;
+}
+
+inline const Runtime<BerenbrinkProtocol>& berenbrink_runtime() {
+  static const Runtime<BerenbrinkProtocol> runtime{
+      BerenbrinkProtocol(8, 4, 3)};
+  return runtime;
+}
+
+inline const Runtime<DoublingProtocol>& doubling_gate_runtime() {
+  static const Runtime<DoublingProtocol> runtime{DoublingProtocol(2)};
+  return runtime;
+}
+
+inline const Runtime<BerenbrinkProtocol>& berenbrink_gate_runtime() {
+  static const Runtime<BerenbrinkProtocol> runtime{
+      BerenbrinkProtocol(1, 1, 1)};
+  return runtime;
+}
+
+}  // namespace detail
+
+template <typename Fn>
+decltype(auto) with_zoo_runtime(std::string_view spec, Fn&& fn) {
+  if (spec == "zoo:doubling") return fn(detail::doubling_runtime());
+  if (spec == "zoo:berenbrink") return fn(detail::berenbrink_runtime());
+  throw_unknown_zoo(spec);
+}
+
+template <typename Fn>
+decltype(auto) with_zoo_runtime_gate(std::string_view spec, Fn&& fn) {
+  if (spec == "zoo:doubling") return fn(detail::doubling_gate_runtime());
+  if (spec == "zoo:berenbrink") return fn(detail::berenbrink_gate_runtime());
+  throw_unknown_zoo(spec);
+}
+
+}  // namespace popbean::zoo

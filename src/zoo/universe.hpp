@@ -1,0 +1,86 @@
+// Lazily-grown state universe: raw packed codes ↔ dense engine ids.
+//
+// The engines index count vectors by dense ids 0 … s−1; programmatic
+// protocols speak raw packed codes (zoo/packed_state.hpp). StateUniverse
+// interns codes in first-seen order — ids are deterministic functions of
+// the insertion sequence, so two runtimes built from the same protocol
+// agree on every id — and close_over_pairs grows a universe to the
+// pairwise-reachable closure of its seed codes under δ. That closure is
+// exactly the state set an engine can ever observe; protocols whose
+// closure exceeds the declared bound are refused at construction instead
+// of growing without limit mid-simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "population/protocol.hpp"
+#include "util/check.hpp"
+
+namespace popbean::zoo {
+
+class StateUniverse {
+ public:
+  // Returns the dense id for `code`, adding it in first-seen order.
+  State intern(std::uint32_t code) {
+    const auto [it, inserted] =
+        ids_.try_emplace(code, static_cast<State>(codes_.size()));
+    if (inserted) codes_.push_back(code);
+    return it->second;
+  }
+
+  std::optional<State> find(std::uint32_t code) const {
+    const auto it = ids_.find(code);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::uint32_t code_of(State id) const {
+    POPBEAN_CHECK_MSG(id < codes_.size(), "state id outside the universe");
+    return codes_[id];
+  }
+
+  std::size_t size() const noexcept { return codes_.size(); }
+
+  const std::vector<std::uint32_t>& codes() const noexcept { return codes_; }
+
+ private:
+  std::unordered_map<std::uint32_t, State> ids_;
+  std::vector<std::uint32_t> codes_;
+};
+
+// Grows `universe` to the closure of its current codes under ordered-pair
+// application of `delta` (callable: (uint32_t, uint32_t) → a pair-like with
+// .initiator / .responder raw codes). Each ordered pair is processed
+// exactly once: a round crosses only the pairs with at least one code that
+// was new in the previous round, so total work is O(closure²) δ-calls.
+// Exceeding `max_states` is a protocol-definition error (unbounded or
+// mis-declared universe) and fails loudly.
+template <typename Delta>
+void close_over_pairs(StateUniverse& universe, const Delta& delta,
+                      std::size_t max_states) {
+  POPBEAN_CHECK_MSG(universe.size() >= 1,
+                    "pair closure needs at least one seed code");
+  POPBEAN_CHECK_MSG(universe.size() <= max_states,
+                    "seed codes already exceed the declared state bound");
+  std::size_t processed = 0;
+  while (processed < universe.size()) {
+    const std::size_t frontier = universe.size();
+    for (std::size_t a = 0; a < frontier; ++a) {
+      const std::size_t b_begin = a >= processed ? 0 : processed;
+      for (std::size_t b = b_begin; b < frontier; ++b) {
+        const auto out = delta(universe.code_of(static_cast<State>(a)),
+                               universe.code_of(static_cast<State>(b)));
+        universe.intern(out.initiator);
+        universe.intern(out.responder);
+        POPBEAN_CHECK_MSG(universe.size() <= max_states,
+                          "state universe exceeds the declared bound");
+      }
+    }
+    processed = frontier;
+  }
+}
+
+}  // namespace popbean::zoo

@@ -19,6 +19,7 @@
 #include "population/count_engine.hpp"
 #include "population/skip_engine.hpp"
 #include "protocols/four_state.hpp"
+#include "protocols/tabulated.hpp"
 #include "util/rng.hpp"
 
 namespace popbean {
@@ -162,6 +163,60 @@ TEST(SnapshotTest, CorruptionIsRejectedNotDeserialized) {
   const recovery::Blob blob = recovery::unpack_blob(good, "test");
   EXPECT_EQ(blob.kind, "engine/count");
   EXPECT_EQ(blob.payload, "payload bytes here");
+}
+
+TEST(SnapshotTest, ProtocolIdentityMismatchIsRefused) {
+  // Same engine type, compatible-looking payloads, different protocols: the
+  // embedded identity string must refuse the pair before counts are read.
+  const avc::AvcProtocol protocol(3, 1);
+  CountEngine<avc::AvcProtocol> engine(protocol, avc_initial(protocol, 100));
+  Xoshiro256ss rng(11);
+  advance(engine, rng, 50);
+  const std::string payload = recovery::snapshot_engine_bytes(engine, rng);
+
+  const avc::AvcProtocol other(5, 1);
+  CountEngine<avc::AvcProtocol> wrong(other, avc_initial(other, 100));
+  Xoshiro256ss wrong_rng(11);
+  EXPECT_THROW(recovery::restore_engine_bytes(payload, wrong, wrong_rng),
+               recovery::SnapshotError);
+}
+
+TEST(SnapshotTest, IdentityIsStructuralAcrossTabulation) {
+  // AvcProtocol(3,1) and its TabulatedProtocol re-encoding are the same δ on
+  // the same dense ids, so a snapshot moves freely between them.
+  const avc::AvcProtocol protocol(3, 1);
+  CountEngine<avc::AvcProtocol> engine(protocol, avc_initial(protocol, 100));
+  Xoshiro256ss rng(13);
+  advance(engine, rng, 50);
+  const std::string payload = recovery::snapshot_engine_bytes(engine, rng);
+
+  const TabulatedProtocol frozen(protocol);
+  ASSERT_EQ(protocol_identity(frozen), protocol_identity(protocol));
+  CountEngine<TabulatedProtocol> restored(frozen, avc_initial(protocol, 100));
+  Xoshiro256ss restored_rng(1);
+  recovery::restore_engine_bytes(payload, restored, restored_rng);
+  EXPECT_EQ(restored.counts(), engine.counts());
+  EXPECT_EQ(restored.steps(), engine.steps());
+}
+
+TEST(SnapshotTest, UnknownIdentityIsAcceptedOnRestore) {
+  // Hand-built payloads may not know the protocol; the sentinel passes.
+  const avc::AvcProtocol protocol(3, 1);
+  CountEngine<avc::AvcProtocol> engine(protocol, avc_initial(protocol, 100));
+  Xoshiro256ss rng(17);
+  advance(engine, rng, 50);
+  std::string payload = recovery::snapshot_engine_bytes(engine, rng);
+
+  // Rewrite the leading identity string with the sentinel.
+  BinaryReader in(payload);
+  in.str();  // skip the identity
+  BinaryWriter out;
+  out.str(recovery::kUnknownProtocolIdentity);
+  std::string rest = payload.substr(payload.size() - in.remaining());
+  CountEngine<avc::AvcProtocol> restored(protocol, avc_initial(protocol, 100));
+  Xoshiro256ss restored_rng(1);
+  recovery::restore_engine_bytes(out.take() + rest, restored, restored_rng);
+  EXPECT_EQ(restored.counts(), engine.counts());
 }
 
 TEST(SnapshotTest, KindMismatchIsRefused) {

@@ -87,6 +87,26 @@ TEST(CodecTest, RangeChecksRejectDegenerateExperiments) {
   parse_err(R"({"v": 1, "id": "a", "priority": "urgent"})");
 }
 
+TEST(CodecTest, ZooSpecsAreAcceptedAndValidated) {
+  // "zoo:<member>" resolves against the zoo registry.
+  EXPECT_EQ(parse_ok(R"({"v": 1, "id": "a", "protocol": "zoo:doubling"})")
+                .protocol,
+            "zoo:doubling");
+  EXPECT_EQ(parse_ok(R"({"v": 1, "id": "a", "protocol": "zoo:berenbrink"})")
+                .protocol,
+            "zoo:berenbrink");
+
+  // An unknown member is rejected at the codec with the known list, so the
+  // typo never reaches a worker.
+  const RequestError error =
+      parse_err(R"({"v": 1, "id": "a", "protocol": "zoo:dubling"})");
+  EXPECT_NE(error.error.find("zoo:dubling"), std::string::npos) << error.error;
+  EXPECT_NE(error.error.find("zoo:doubling"), std::string::npos)
+      << error.error;
+  EXPECT_NE(error.error.find("zoo:berenbrink"), std::string::npos)
+      << error.error;
+}
+
 TEST(CodecTest, MalformedJsonStillSalvagesNothingButReportsWhy) {
   const RequestError error = parse_err(R"({"v": 1, "id": )");
   EXPECT_TRUE(error.id.empty());

@@ -1,0 +1,61 @@
+// Exhaustive small-n exactness of the zoo members (ISSUE: every zoo
+// protocol is *exact* majority — no reachable configuration where all
+// agents output the initial minority, for every split at every n ≤ 8).
+//
+// Runs on the registry's verification-gate parameterizations: the rules are
+// the same code as the simulation defaults, only the level/clock budgets
+// shrink so the configuration graphs stay enumerable. The doubling gate has
+// 8 states; the berenbrink gate 16, whose n = 8 graph (C(23,15) = 490314
+// configurations) sits just inside the default per-n budget — the deepest
+// exhaustive certificate in the suite.
+#include "verify/small_n.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zoo/materialize.hpp"
+#include "zoo/registry.hpp"
+
+namespace popbean::verify {
+namespace {
+
+TEST(ZooSmallNTest, DoublingGateIsExactUpToEight) {
+  zoo::with_zoo_runtime_gate("zoo:doubling", [](const auto& runtime) {
+    const zoo::MaterializedView view = zoo::materialize(runtime);
+    Report report;
+    SmallNOptions options;
+    options.max_n = 8;
+    check_small_n_exact(view, report, options);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_EQ(report.count_check("small_n.searched"), 1u);
+    return 0;
+  });
+}
+
+TEST(ZooSmallNTest, DoublingProgrammaticFormVerifiesDirectly) {
+  // The search accepts the programmatic runtime itself — materialization is
+  // a toolchain convenience, not a requirement of the checker.
+  zoo::with_zoo_runtime_gate("zoo:doubling", [](const auto& runtime) {
+    Report report;
+    SmallNOptions options;
+    options.max_n = 6;
+    check_small_n_exact(runtime, report, options);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    return 0;
+  });
+}
+
+TEST(ZooSmallNTest, BerenbrinkGateIsExactUpToEight) {
+  zoo::with_zoo_runtime_gate("zoo:berenbrink", [](const auto& runtime) {
+    const zoo::MaterializedView view = zoo::materialize(runtime);
+    Report report;
+    SmallNOptions options;
+    options.max_n = 8;
+    check_small_n_exact(view, report, options);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_EQ(report.count_check("small_n.searched"), 1u);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace popbean::verify

@@ -1,0 +1,142 @@
+// BerenbrinkProtocol: the phase clock's contract. Clocks only move up and
+// saturate; each phase enables exactly one rule family; at saturation the
+// protocol degenerates to plain DoublingProtocol (the correctness
+// backstop); and the weighted sum is conserved through every clocked
+// transition.
+#include <cstdint>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "zoo/berenbrink.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/runtime.hpp"
+
+namespace popbean::zoo {
+namespace {
+
+// Small enough to sweep the full universe: L = 2, 1 tick per phase, 2 phase
+// pairs → clock saturates at 4 (phases: cancel, double, cancel, double).
+class BerenbrinkRules : public ::testing::Test {
+ protected:
+  BerenbrinkProtocol protocol{2, 1, 2};
+  Runtime<BerenbrinkProtocol> runtime{protocol};
+
+  std::uint32_t clock_of(std::uint32_t code) const {
+    // The clock is the 6-bit field above the 7 token bits (berenbrink.hpp).
+    return (code >> 7) & 0x3f;
+  }
+};
+
+TEST_F(BerenbrinkRules, SaturationMatchesPhaseParameters) {
+  EXPECT_EQ(protocol.saturation(), 4u);
+  EXPECT_THROW(BerenbrinkProtocol(2, 8, 4), std::logic_error);  // clock > 63
+  EXPECT_THROW(BerenbrinkProtocol(2, 0, 1), std::logic_error);
+}
+
+TEST_F(BerenbrinkRules, ClocksAreMonotoneAndSaturate) {
+  const auto s = static_cast<State>(runtime.num_states());
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const std::uint32_t ca = clock_of(runtime.code_of(a));
+      const std::uint32_t cb = clock_of(runtime.code_of(b));
+      const std::uint32_t shared = std::max(ca, cb);
+      const Transition t = runtime.apply(a, b);
+      const std::uint32_t ci = clock_of(runtime.code_of(t.initiator));
+      const std::uint32_t cr = clock_of(runtime.code_of(t.responder));
+      // Both participants adopt the max; the initiator ticks once more,
+      // capped at saturation.
+      EXPECT_EQ(cr, shared);
+      EXPECT_EQ(ci, std::min(shared + 1, protocol.saturation()));
+    }
+  }
+}
+
+TEST_F(BerenbrinkRules, EveryTransitionConservesWeight) {
+  const auto s = static_cast<State>(runtime.num_states());
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = runtime.apply(a, b);
+      EXPECT_EQ(protocol.weight_code(runtime.code_of(a)) +
+                    protocol.weight_code(runtime.code_of(b)),
+                protocol.weight_code(runtime.code_of(t.initiator)) +
+                    protocol.weight_code(runtime.code_of(t.responder)))
+          << runtime.state_name(a) << " + " << runtime.state_name(b);
+    }
+  }
+}
+
+TEST_F(BerenbrinkRules, PhasesGateRuleFamilies) {
+  // Opposite tokens at equal level cancel in a cancellation phase (clock 0)
+  // but not in a doubling phase (clock 1); same-sign merges do the reverse.
+  const std::uint32_t plus0 = protocol.initial_code(Opinion::A);
+  const std::uint32_t minus0 = protocol.initial_code(Opinion::B);
+  const auto at_clock = [](std::uint32_t code, std::uint32_t clock) {
+    return (code & ~(0x3fu << 7)) | (clock << 7);
+  };
+
+  // Clock 0 → cancellation live: (+0, −0) annihilates into blanks.
+  const CodePair cancelled = protocol.delta(plus0, minus0);
+  EXPECT_EQ(protocol.weight_code(cancelled.initiator), 0);
+  EXPECT_EQ(protocol.weight_code(cancelled.responder), 0);
+
+  // Clock 1 → doubling phase: the same token pair is inert (clocks move,
+  // weights stay put on both sides).
+  const CodePair held =
+      protocol.delta(at_clock(plus0, 1), at_clock(minus0, 1));
+  EXPECT_EQ(protocol.weight_code(held.initiator),
+            protocol.weight_code(plus0));
+  EXPECT_EQ(protocol.weight_code(held.responder),
+            protocol.weight_code(minus0));
+
+  // Split fires in the doubling phase only.
+  const std::uint32_t blank_b = cancelled.responder;
+  const CodePair split =
+      protocol.delta(at_clock(plus0, 1), at_clock(blank_b, 1));
+  EXPECT_EQ(protocol.weight_code(split.initiator),
+            protocol.weight_code(plus0) / 2);  // split halves the weight
+  // The same (token, blank) meeting in a cancellation phase does nothing to
+  // the weights.
+  const CodePair no_split = protocol.delta(plus0, blank_b);
+  EXPECT_EQ(protocol.weight_code(no_split.initiator),
+            protocol.weight_code(plus0));
+}
+
+TEST_F(BerenbrinkRules, SaturatedClockBehavesLikeDoubling) {
+  // At clock = C every rule family is on: stripping the clock bits must
+  // reproduce plain DoublingProtocol's δ on every saturated pair.
+  const DoublingProtocol plain{2};
+  const std::uint32_t c = protocol.saturation();
+  const auto strip = [](std::uint32_t code) { return code & 0x7fu; };
+  const auto saturate = [&](std::uint32_t code) {
+    return (code & 0x7fu) | (c << 7);
+  };
+  const auto s = static_cast<State>(runtime.num_states());
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const CodePair clocked = protocol.delta(
+          saturate(runtime.code_of(a)), saturate(runtime.code_of(b)));
+      const CodePair bare =
+          plain.delta(strip(runtime.code_of(a)), strip(runtime.code_of(b)));
+      EXPECT_EQ(strip(clocked.initiator), bare.initiator);
+      EXPECT_EQ(strip(clocked.responder), bare.responder);
+    }
+  }
+}
+
+TEST_F(BerenbrinkRules, StateNamesCarryTheClock) {
+  const State a0 = runtime.initial_state(Opinion::A);
+  EXPECT_EQ(runtime.state_name(a0), "+0@0");
+}
+
+TEST(BerenbrinkProtocolTest, ClosureStaysWithinDeclaredBound) {
+  for (const int pairs : {1, 2, 3}) {
+    const BerenbrinkProtocol protocol(3, 2, pairs);
+    const Runtime<BerenbrinkProtocol> runtime{protocol};
+    EXPECT_LE(runtime.num_states(), protocol.max_states());
+    EXPECT_GE(runtime.num_states(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace popbean::zoo

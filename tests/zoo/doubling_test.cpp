@@ -1,0 +1,137 @@
+// DoublingProtocol unit properties, checked over the *entire* closed
+// universe rather than hand-picked pairs: weighted-sum conservation,
+// agent-count conservation, rule shape (cancel/absorb/split/merge/flip),
+// and the runtime adapter's dense-id bookkeeping.
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/probe.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/runtime.hpp"
+
+namespace popbean::zoo {
+namespace {
+
+using obs::ReactionKind;
+
+class DoublingRules : public ::testing::Test {
+ protected:
+  DoublingProtocol protocol{3};  // L = 3: weights 8, 4, 2, 1
+  Runtime<DoublingProtocol> runtime{protocol};
+};
+
+TEST_F(DoublingRules, UniverseIsTokensPlusBlanks) {
+  // 2 signs × 4 levels + 2 blank followers.
+  EXPECT_EQ(runtime.num_states(), 10u);
+  std::set<std::string> names;
+  for (State q = 0; q < runtime.num_states(); ++q) {
+    names.insert(runtime.state_name(q));
+  }
+  EXPECT_TRUE(names.count("+0"));
+  EXPECT_TRUE(names.count("-3"));
+  EXPECT_TRUE(names.count("bA"));
+  EXPECT_TRUE(names.count("bB"));
+}
+
+TEST_F(DoublingRules, InitialStatesAndOutputs) {
+  const State a0 = runtime.initial_state(Opinion::A);
+  const State b0 = runtime.initial_state(Opinion::B);
+  EXPECT_EQ(runtime.state_name(a0), "+0");
+  EXPECT_EQ(runtime.state_name(b0), "-0");
+  EXPECT_EQ(runtime.output(a0), 1);
+  EXPECT_EQ(runtime.output(b0), 0);
+  EXPECT_EQ(protocol.weight_code(runtime.code_of(a0)), 8);
+  EXPECT_EQ(protocol.weight_code(runtime.code_of(b0)), -8);
+}
+
+TEST_F(DoublingRules, EveryTransitionConservesWeightAndAgents) {
+  const auto s = static_cast<State>(runtime.num_states());
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition t = runtime.apply(a, b);
+      const std::int64_t before = protocol.weight_code(runtime.code_of(a)) +
+                                  protocol.weight_code(runtime.code_of(b));
+      const std::int64_t after =
+          protocol.weight_code(runtime.code_of(t.initiator)) +
+          protocol.weight_code(runtime.code_of(t.responder));
+      EXPECT_EQ(before, after)
+          << runtime.state_name(a) << " + " << runtime.state_name(b);
+    }
+  }
+}
+
+// Resolves a transition by the pair of resulting names, order-insensitive.
+std::set<std::string> next_names(const Runtime<DoublingProtocol>& runtime,
+                                 const std::string& x, const std::string& y) {
+  State a = 0, b = 0;
+  bool found_a = false, found_b = false;
+  for (State q = 0; q < runtime.num_states(); ++q) {
+    if (runtime.state_name(q) == x) { a = q; found_a = true; }
+    if (runtime.state_name(q) == y) { b = q; found_b = true; }
+  }
+  EXPECT_TRUE(found_a && found_b) << x << " " << y;
+  const Transition t = runtime.apply(a, b);
+  return {runtime.state_name(t.initiator), runtime.state_name(t.responder)};
+}
+
+TEST_F(DoublingRules, RuleShapes) {
+  using Names = std::set<std::string>;
+  // cancel: equal level, opposite signs → two blanks remembering the signs.
+  EXPECT_EQ(next_names(runtime, "+1", "-1"), (Names{"bA", "bB"}));
+  // absorb: adjacent levels, opposite signs → heavier survives one level
+  // down, lighter becomes its blank.
+  EXPECT_EQ(next_names(runtime, "+1", "-2"), (Names{"+2", "bA"}));
+  EXPECT_EQ(next_names(runtime, "-1", "+2"), (Names{"-2", "bB"}));
+  // gap ≥ 2: no conserving rule, null.
+  EXPECT_EQ(next_names(runtime, "+0", "-2"), (Names{"+0", "-2"}));
+  // split: token meets blank below the bottom level → two half tokens.
+  EXPECT_EQ(next_names(runtime, "+1", "bB"), (Names{"+2"}));
+  // merge: same sign, same level ≥ 1 → one token a level up plus a blank.
+  EXPECT_EQ(next_names(runtime, "-2", "-2"), (Names{"-1", "bB"}));
+  // level 0 cannot merge (nothing above it).
+  EXPECT_EQ(next_names(runtime, "+0", "+0"), (Names{"+0"}));
+  // flip: only a bottom-level token converts an opposite blank.
+  EXPECT_EQ(next_names(runtime, "+3", "bB"), (Names{"+3", "bA"}));
+  // blank–blank: null.
+  EXPECT_EQ(next_names(runtime, "bA", "bB"), (Names{"bA", "bB"}));
+}
+
+TEST_F(DoublingRules, ClassificationMatchesRuleFamilies) {
+  const auto kind_of = [&](const std::string& x, const std::string& y) {
+    State a = 0, b = 0;
+    for (State q = 0; q < runtime.num_states(); ++q) {
+      if (runtime.state_name(q) == x) a = q;
+      if (runtime.state_name(q) == y) b = q;
+    }
+    return runtime.classify(a, b);
+  };
+  EXPECT_EQ(kind_of("+1", "-1"), ReactionKind::kNeutralization);  // cancel
+  EXPECT_EQ(kind_of("+1", "-2"), ReactionKind::kAveraging);       // absorb
+  EXPECT_EQ(kind_of("+1", "bB"), ReactionKind::kSignToZero);      // split
+  EXPECT_EQ(kind_of("-2", "-2"), ReactionKind::kShiftToZero);     // merge
+  EXPECT_EQ(kind_of("+3", "bB"), ReactionKind::kOther);           // flip
+  EXPECT_EQ(kind_of("bA", "bB"), ReactionKind::kNull);
+  EXPECT_EQ(kind_of("+0", "-2"), ReactionKind::kNull);            // gap ≥ 2
+}
+
+TEST(DoublingProtocolTest, LevelBoundsAreEnforced) {
+  EXPECT_NO_THROW(DoublingProtocol(1));
+  EXPECT_NO_THROW(DoublingProtocol(31));
+  EXPECT_THROW(DoublingProtocol(0), std::logic_error);
+  EXPECT_THROW(DoublingProtocol(32), std::logic_error);
+}
+
+TEST(DoublingProtocolTest, DeclaredBoundIsTightForTheClosure) {
+  for (const int levels : {1, 2, 4, 8}) {
+    const DoublingProtocol protocol(levels);
+    const Runtime<DoublingProtocol> runtime{protocol};
+    EXPECT_EQ(runtime.num_states(), protocol.max_states()) << levels;
+  }
+}
+
+}  // namespace
+}  // namespace popbean::zoo

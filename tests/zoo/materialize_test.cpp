@@ -1,0 +1,147 @@
+// MaterializedView ≡ programmatic Runtime, bit for bit.
+//
+// Materialization promises that every verdict reached about the frozen
+// table holds verbatim for the programmatic original. These tests pin that
+// promise down to the strongest possible form: identical dense ids, names,
+// outputs, and δ on every pair — and, driven by the *same* RNG stream,
+// identical trajectories on all three engines. Plus the identity-string
+// contract that lets recovery snapshots cross between the two forms.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "population/agent_engine.hpp"
+#include "population/configuration.hpp"
+#include "population/count_engine.hpp"
+#include "population/protocol_identity.hpp"
+#include "population/skip_engine.hpp"
+#include "recovery/snapshot.hpp"
+#include "util/rng.hpp"
+#include "zoo/berenbrink.hpp"
+#include "zoo/doubling.hpp"
+#include "zoo/materialize.hpp"
+#include "zoo/registry.hpp"
+#include "zoo/runtime.hpp"
+
+namespace popbean::zoo {
+namespace {
+
+template <typename RT>
+void expect_same_protocol(const RT& runtime, const MaterializedView& view) {
+  ASSERT_EQ(view.num_states(), runtime.num_states());
+  EXPECT_EQ(view.initial_state(Opinion::A), runtime.initial_state(Opinion::A));
+  EXPECT_EQ(view.initial_state(Opinion::B), runtime.initial_state(Opinion::B));
+  const auto s = static_cast<State>(runtime.num_states());
+  for (State q = 0; q < s; ++q) {
+    EXPECT_EQ(view.output(q), runtime.output(q));
+    EXPECT_EQ(view.state_name(q), runtime.state_name(q));
+  }
+  for (State a = 0; a < s; ++a) {
+    for (State b = 0; b < s; ++b) {
+      const Transition programmatic = runtime.apply(a, b);
+      const Transition frozen = view.apply(a, b);
+      EXPECT_EQ(programmatic.initiator, frozen.initiator);
+      EXPECT_EQ(programmatic.responder, frozen.responder);
+    }
+  }
+}
+
+// Same seed, same stream → the engines must visit identical count vectors
+// at every single step, whichever form of the protocol they host.
+template <template <typename> class Engine, typename RT>
+void expect_lockstep(const RT& runtime, const MaterializedView& view,
+                     std::uint64_t n, int steps) {
+  const Counts initial = majority_instance_with_margin(runtime, n, 2);
+  Engine<RT> programmatic(runtime, initial);
+  Engine<MaterializedView> frozen(view, initial);
+  Xoshiro256ss rng_a(2024, 5);
+  Xoshiro256ss rng_b(2024, 5);
+  for (int i = 0; i < steps; ++i) {
+    programmatic.step(rng_a);
+    frozen.step(rng_b);
+    ASSERT_EQ(programmatic.counts(), frozen.counts()) << "step " << i;
+    ASSERT_EQ(programmatic.steps(), frozen.steps()) << "step " << i;
+  }
+}
+
+template <typename Z>
+void expect_equivalence_everywhere(const Runtime<Z>& runtime) {
+  const MaterializedView view = materialize(runtime);
+  expect_same_protocol(runtime, view);
+  expect_lockstep<AgentEngine>(runtime, view, 60, 3000);
+  expect_lockstep<CountEngine>(runtime, view, 60, 3000);
+  expect_lockstep<SkipEngine>(runtime, view, 60, 800);
+}
+
+TEST(MaterializeTest, DoublingRuntimeAndViewAreBitExactOnAllEngines) {
+  expect_equivalence_everywhere(Runtime<DoublingProtocol>{DoublingProtocol(4)});
+}
+
+TEST(MaterializeTest, BerenbrinkRuntimeAndViewAreBitExactOnAllEngines) {
+  expect_equivalence_everywhere(
+      Runtime<BerenbrinkProtocol>{BerenbrinkProtocol(3, 2, 2)});
+}
+
+TEST(MaterializeTest, IdentityIsSharedAndNamed) {
+  const Runtime<DoublingProtocol> runtime{DoublingProtocol(4)};
+  const MaterializedView view = materialize(runtime);
+  EXPECT_EQ(view.identity(), runtime.identity());
+  EXPECT_EQ(protocol_identity(view), protocol_identity(runtime));
+  EXPECT_EQ(runtime.identity().rfind("zoo:doubling/", 0), 0u)
+      << runtime.identity();
+  EXPECT_EQ(view.zoo_name(), "doubling");
+
+  // Different parameters are different protocols.
+  const Runtime<DoublingProtocol> other{DoublingProtocol(5)};
+  EXPECT_NE(other.identity(), runtime.identity());
+}
+
+TEST(MaterializeTest, SnapshotsCrossBetweenProgrammaticAndFrozen) {
+  // A run snapshotted under the programmatic runtime resumes under the
+  // materialized view (and the trajectory stays bit-identical), because the
+  // view copies the runtime's identity string.
+  const Runtime<DoublingProtocol> runtime{DoublingProtocol(4)};
+  const MaterializedView view = materialize(runtime);
+  const Counts initial = majority_instance_with_margin(runtime, 80, 2);
+
+  CountEngine<Runtime<DoublingProtocol>> original(runtime, initial);
+  Xoshiro256ss rng(77, 1);
+  for (int i = 0; i < 500; ++i) original.step(rng);
+  const std::string payload = recovery::snapshot_engine_bytes(original, rng);
+
+  CountEngine<MaterializedView> resumed(view, initial);
+  Xoshiro256ss resumed_rng(1);
+  recovery::restore_engine_bytes(payload, resumed, resumed_rng);
+  EXPECT_EQ(resumed.counts(), original.counts());
+  for (int i = 0; i < 500; ++i) {
+    original.step(rng);
+    resumed.step(resumed_rng);
+    ASSERT_EQ(resumed.counts(), original.counts()) << "step " << i;
+  }
+
+  // A different zoo member refuses the same snapshot.
+  const Runtime<DoublingProtocol> other{DoublingProtocol(5)};
+  CountEngine<Runtime<DoublingProtocol>> wrong(
+      other, majority_instance_with_margin(other, 80, 2));
+  Xoshiro256ss wrong_rng(1);
+  EXPECT_THROW(recovery::restore_engine_bytes(payload, wrong, wrong_rng),
+               recovery::SnapshotError);
+}
+
+TEST(MaterializeTest, RegistryRuntimesMaterializeWithinEngineCaps) {
+  // Both simulation-default members must stay materializable (TabulatedProtocol
+  // cap) — the zoo-verify CI gate and the .pbp toolchain depend on it.
+  with_zoo_runtime("zoo:doubling", [](const auto& runtime) {
+    const MaterializedView view = materialize(runtime);
+    EXPECT_EQ(view.num_states(), runtime.num_states());
+    return 0;
+  });
+  with_zoo_runtime("zoo:berenbrink", [](const auto& runtime) {
+    const MaterializedView view = materialize(runtime);
+    EXPECT_EQ(view.num_states(), runtime.num_states());
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace popbean::zoo

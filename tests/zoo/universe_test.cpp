@@ -1,0 +1,118 @@
+// Packed bit fields and the lazily-grown state universe: deterministic
+// interning, pairwise closure, and the declared-bound guard.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "zoo/packed_state.hpp"
+#include "zoo/universe.hpp"
+
+namespace popbean::zoo {
+namespace {
+
+TEST(PackedStateTest, FieldsAreDisjointAndRoundTrip) {
+  constexpr auto fields = [] {
+    FieldLayout layout;
+    struct F {
+      BitField flag;
+      BitField level;
+      BitField clock;
+    } f{layout.take(1), layout.take(5), layout.take(6)};
+    return f;
+  }();
+  static_assert(fields.flag.mask() == 0b1u);
+  static_assert(fields.level.mask() == 0b111110u);
+  static_assert(fields.clock.mask() == 0b111111000000u);
+  static_assert((fields.flag.mask() & fields.level.mask()) == 0);
+  static_assert((fields.level.mask() & fields.clock.mask()) == 0);
+
+  std::uint32_t code = 0;
+  code = fields.flag.set(code, 1);
+  code = fields.level.set(code, 19);
+  code = fields.clock.set(code, 44);
+  EXPECT_EQ(fields.flag.get(code), 1u);
+  EXPECT_EQ(fields.level.get(code), 19u);
+  EXPECT_EQ(fields.clock.get(code), 44u);
+
+  // Re-setting one field leaves the others intact.
+  code = fields.level.set(code, 0);
+  EXPECT_EQ(fields.flag.get(code), 1u);
+  EXPECT_EQ(fields.level.get(code), 0u);
+  EXPECT_EQ(fields.clock.get(code), 44u);
+}
+
+TEST(PackedStateTest, SetMasksOversizedValues) {
+  constexpr BitField two_bits{3, 2};
+  EXPECT_EQ(two_bits.max_value(), 3u);
+  // A value wider than the field is truncated, never smeared into
+  // neighbouring bits.
+  EXPECT_EQ(two_bits.set(0, 0xffu), two_bits.mask());
+}
+
+TEST(StateUniverseTest, InternsInFirstSeenOrder) {
+  StateUniverse universe;
+  EXPECT_EQ(universe.intern(70), 0u);
+  EXPECT_EQ(universe.intern(5), 1u);
+  EXPECT_EQ(universe.intern(70), 0u);  // idempotent
+  EXPECT_EQ(universe.intern(9), 2u);
+  EXPECT_EQ(universe.size(), 3u);
+  EXPECT_EQ(universe.code_of(1), 5u);
+  EXPECT_EQ(universe.find(9).value(), 2u);
+  EXPECT_FALSE(universe.find(1234).has_value());
+}
+
+struct RawPair {
+  std::uint32_t initiator;
+  std::uint32_t responder;
+};
+
+TEST(StateUniverseTest, ClosureReachesEveryPairwiseProduct) {
+  // δ(a, b) = (a, min(a + b, 7)): from seed {1} the closure is 1..7.
+  StateUniverse universe;
+  universe.intern(1);
+  close_over_pairs(
+      universe,
+      [](std::uint32_t a, std::uint32_t b) {
+        return RawPair{a, std::min(a + b, 7u)};
+      },
+      16);
+  EXPECT_EQ(universe.size(), 7u);
+  for (std::uint32_t code = 1; code <= 7; ++code) {
+    EXPECT_TRUE(universe.find(code).has_value()) << code;
+  }
+}
+
+TEST(StateUniverseTest, ClosureIsDeterministicAcrossRebuilds) {
+  const auto build = [] {
+    StateUniverse universe;
+    universe.intern(3);
+    universe.intern(1);
+    close_over_pairs(
+        universe,
+        [](std::uint32_t a, std::uint32_t b) {
+          return RawPair{(a * 5 + b) % 23, (b * 7 + a) % 23};
+        },
+        64);
+    return universe;
+  };
+  const StateUniverse first = build();
+  const StateUniverse second = build();
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first.codes(), second.codes());  // same ids for same codes
+}
+
+TEST(StateUniverseTest, ExceedingDeclaredBoundFailsLoudly) {
+  // δ keeps producing fresh codes; the bound must stop it, not the heap.
+  StateUniverse universe;
+  universe.intern(0);
+  EXPECT_THROW(close_over_pairs(
+                   universe,
+                   [](std::uint32_t a, std::uint32_t b) {
+                     return RawPair{a + b + 1, b};
+                   },
+                   10),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace popbean::zoo

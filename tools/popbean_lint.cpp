@@ -19,6 +19,9 @@
 //   --table=FILE[,FILE…]  lint protocol files (skips the built-in suite
 //                         unless --builtin is also given)
 //   --builtin             force the built-in suite
+//   --zoo                 lint only the protocol zoo: each registry member's
+//                         verification-gate parameterization, materialized
+//                         into a table (the built-in suite also covers these)
 //   --m=M --d=D           lint a single AvcProtocol(M, D) instead
 //   --exact               also run the small-n exactness search on files
 //   --infer-invariants    infer the complete linear conserved basis from the
@@ -65,6 +68,9 @@
 #include "util/json.hpp"
 #include "verify/builtin_invariants.hpp"
 #include "verify/verify.hpp"
+#include "zoo/invariants.hpp"
+#include "zoo/materialize.hpp"
+#include "zoo/registry.hpp"
 
 namespace {
 
@@ -182,6 +188,32 @@ bool lint_avc(int m, int d, const LintSettings& settings,
   return lint_protocol(protocol, subject.str(), options, settings, context);
 }
 
+bool lint_zoo_suite(const LintSettings& settings, LintContext& context) {
+  // The zoo members verify through their gate parameterizations (same rule
+  // code as the simulation defaults, smaller level/clock budgets) frozen
+  // into tables, so the exactness search and model checker stay exhaustive.
+  // Both are exact-majority protocols: wrong-stable or livelocked terminal
+  // components are errors, and the weighted-sum conservation law that makes
+  // them exact is declared so inference must confirm it is in the basis.
+  bool ok = true;
+  for (const zoo::ZooEntry& entry : zoo::zoo_members()) {
+    ok = zoo::with_zoo_runtime_gate(entry.spec, [&](const auto& runtime) {
+           const zoo::MaterializedView view = zoo::materialize(runtime);
+           VerifyOptions options;
+           options.invariants.push_back(verify::agent_count_invariant(view));
+           options.invariants.push_back(zoo::weight_invariant(runtime));
+           options.check_exactness = true;
+           options.model_checker.expect_stabilization = true;
+           std::ostringstream subject;
+           subject << entry.spec << " [gate] (s=" << view.num_states() << ")";
+           return lint_protocol(view, subject.str(), options, settings,
+                                context);
+         }) &&
+         ok;
+  }
+  return ok;
+}
+
 bool lint_builtin_suite(const LintSettings& settings, LintContext& context) {
   bool ok = true;
 
@@ -253,6 +285,7 @@ bool lint_builtin_suite(const LintSettings& settings, LintContext& context) {
                        context) &&
          ok;
   }
+  ok = lint_zoo_suite(settings, context) && ok;
   return ok;
 }
 
@@ -318,7 +351,7 @@ std::vector<std::string> split_commas(const std::string& list) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
-    args.check_known({"table", "builtin", "m", "d", "exact",
+    args.check_known({"table", "builtin", "zoo", "m", "d", "exact",
                       "infer-invariants", "model-check", "counterexample-out",
                       "max-n", "max-configs", "json", "describe", "verbose",
                       "quiet", "list-invariants"});
@@ -353,6 +386,10 @@ int main(int argc, char** argv) {
         ok = lint_file(path, args.get_bool("exact"), settings, context) && ok;
         ran_anything = true;
       }
+    }
+    if (args.get_bool("zoo")) {
+      ok = lint_zoo_suite(settings, context) && ok;
+      ran_anything = true;
     }
     if (args.has("m") || args.has("d")) {
       ok = lint_avc(static_cast<int>(args.get_int("m", 1)),
