@@ -1,0 +1,169 @@
+// Self-timed cost of replicated voting (DESIGN.md §12): the same job mix
+// pushed through a JobService at k = 1 (unvoted, the pre-voting fast path),
+// k = 3, and k = 5, reporting jobs/second and the overhead ratio versus
+// k = 1. Voting runs every replica on the worker that owns the job, so the
+// expected overhead is ~k× worker time; this bench records what the full
+// service (queueing, breakers, response plumbing) actually delivers.
+//
+// Results go to stdout (table) and a machine-readable JSON report (default
+// BENCH_vote.json). Rates are a recorded baseline, never a gate — shared
+// runners make thresholds flaky.
+//
+// Flags:
+//   --jobs=J        jobs per replica level (default 200)
+//   --n=N           population size per job (default 300)
+//   --replicates=R  statistical replicates per job (default 2)
+//   --threads=T     service worker threads (default 4)
+//   --seed=S        base RNG seed (default 1)
+//   --json=PATH     JSON report path ("" disables; default BENCH_vote.json)
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace popbean::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace std::chrono_literals;
+
+struct BenchConfig {
+  std::uint64_t jobs = 200;
+  std::uint64_t n = 300;
+  std::uint32_t replicates = 2;
+  std::size_t threads = 4;
+  std::uint64_t seed = 1;
+};
+
+struct CaseResult {
+  std::uint32_t replicas = 1;
+  std::uint64_t done = 0;
+  std::uint64_t voted = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double overhead_vs_unvoted = 1.0;  // wall-time ratio against the k=1 case
+};
+
+CaseResult run_case(const BenchConfig& config, std::uint32_t replicas) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t responded = 0;
+  CaseResult result;
+  result.replicas = replicas;
+
+  ServiceConfig service_config;
+  service_config.threads = config.threads;
+  service_config.admission.capacity = config.jobs + 1;
+  service_config.default_deadline = 60'000ms;
+  service_config.drain_deadline = 120'000ms;
+  service_config.degradation.escalate_after = 60'000ms;
+  service_config.vote_replicas = replicas;
+  JobService service(service_config, [&](const JobResponse& response) {
+    std::lock_guard lock(mutex);
+    ++responded;
+    if (response.outcome == JobOutcome::kDone) ++result.done;
+    if (response.voted) ++result.voted;
+    cv.notify_all();
+  });
+
+  const auto start = Clock::now();
+  for (std::uint64_t j = 0; j < config.jobs; ++j) {
+    JobSpec spec;
+    spec.id = "vote-bench-" + std::to_string(j);
+    spec.protocol = "four-state";
+    spec.n = config.n;
+    spec.epsilon = 0.1;
+    spec.seed = config.seed + j;
+    spec.replicates = config.replicates;
+    POPBEAN_CHECK(service.submit(std::move(spec)));
+  }
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return responded == config.jobs; });
+  }
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.jobs_per_sec =
+      static_cast<double>(config.jobs) / result.seconds;
+  return result;
+}
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.check_known({"jobs", "n", "replicates", "threads", "seed", "json"});
+  BenchConfig config;
+  config.jobs = static_cast<std::uint64_t>(args.get_int("jobs", 200));
+  config.n = static_cast<std::uint64_t>(args.get_int("n", 300));
+  config.replicates =
+      static_cast<std::uint32_t>(args.get_int("replicates", 2));
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 4));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string json_path = args.get_string("json", "BENCH_vote.json");
+
+  std::vector<CaseResult> cases;
+  for (const std::uint32_t k : {1u, 3u, 5u}) {
+    cases.push_back(run_case(config, k));
+  }
+  for (CaseResult& c : cases) {
+    c.overhead_vs_unvoted = c.seconds / cases.front().seconds;
+  }
+
+  std::cout << "replicas  jobs/s      overhead_vs_k1\n";
+  for (const CaseResult& c : cases) {
+    std::cout << c.replicas << "         " << c.jobs_per_sec << "      "
+              << c.overhead_vs_unvoted << "x\n";
+    POPBEAN_CHECK_MSG(c.done == config.jobs,
+                      "vote bench: every job must finish done");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("config");
+    json.begin_object();
+    json.kv("jobs", config.jobs);
+    json.kv("n", config.n);
+    json.kv("replicates", static_cast<std::uint64_t>(config.replicates));
+    json.kv("threads", static_cast<std::uint64_t>(config.threads));
+    json.kv("seed", config.seed);
+    json.end_object();
+    json.key("cases");
+    json.begin_array();
+    for (const CaseResult& c : cases) {
+      json.begin_object();
+      json.kv("replicas", static_cast<std::uint64_t>(c.replicas));
+      json.kv("done", c.done);
+      json.kv("voted", c.voted);
+      json.kv("seconds", c.seconds);
+      json.kv("jobs_per_sec", c.jobs_per_sec);
+      json.kv("overhead_vs_unvoted", c.overhead_vs_unvoted);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::cout << "report: " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace popbean::serve
+
+int main(int argc, char** argv) {
+  try {
+    return popbean::serve::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "vote_overhead: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -40,6 +40,15 @@ struct BreakerConfig {
   std::size_t window = 20;
   std::chrono::milliseconds cooldown{2000};
   std::size_t half_open_probes = 2;
+  // Vote-quarantine overlay (replicated execution, DESIGN.md §12): a family
+  // whose voted runs diverge `quarantine_divergences` times within the last
+  // `quarantine_window` voted outcomes is quarantined — it keeps executing,
+  // but single-replica and labelled "unvoted". After `quarantine_cooldown`
+  // the family enters probation: one clean voted run restores it, another
+  // divergence re-quarantines.
+  std::size_t quarantine_divergences = 3;
+  std::size_t quarantine_window = 20;
+  std::chrono::milliseconds quarantine_cooldown{2000};
 };
 
 class CircuitBreaker {
@@ -48,10 +57,19 @@ class CircuitBreaker {
 
   enum class State { kClosed, kOpen, kHalfOpen };
 
+  // Vote-quarantine overlay state, orthogonal to closed/open/half-open:
+  // the breaker gates *execution*, quarantine gates *voting*. A quarantined
+  // family still runs (single-replica, labelled) — the distinction from a
+  // timeout trip is deliberate: divergence means the family's answers
+  // cannot be trusted under replication, not that it is too slow to run.
+  enum class VoteState { kVoting, kQuarantined, kProbation };
+
   explicit CircuitBreaker(BreakerConfig config) : config_(config) {
     POPBEAN_CHECK(config.failure_threshold > 0);
     POPBEAN_CHECK(config.window > 0);
     POPBEAN_CHECK(config.half_open_probes > 0);
+    POPBEAN_CHECK(config.quarantine_divergences > 0);
+    POPBEAN_CHECK(config.quarantine_window > 0);
   }
 
   // May this job run now? Transitions open → half-open once the cooldown
@@ -79,6 +97,69 @@ class CircuitBreaker {
   void record_success(Clock::time_point now) { record(now, false, false); }
   void record_failure(Clock::time_point now) { record(now, true, false); }
   void record_timeout(Clock::time_point now) { record(now, true, true); }
+
+  // May this family's jobs be voted right now? Quarantined families move to
+  // probation once the quarantine cooldown has elapsed (and are then voted
+  // again — the probe vote is the recovery test).
+  bool vote_allowed(Clock::time_point now) {
+    if (vote_state_ == VoteState::kQuarantined) {
+      if (now - quarantined_at_ < config_.quarantine_cooldown) return false;
+      vote_state_ = VoteState::kProbation;
+      vote_outcomes_.clear();
+    }
+    return true;
+  }
+
+  // A voted attempt disagreed (minority replicas, or no majority at all).
+  // Returns true when this divergence newly quarantines the family.
+  bool record_divergence(Clock::time_point now) {
+    ++divergences_;
+    if (vote_state_ == VoteState::kQuarantined) return false;
+    if (vote_state_ == VoteState::kProbation) {
+      quarantine(now);
+      return true;
+    }
+    vote_outcomes_.push_back(true);
+    if (vote_outcomes_.size() > config_.quarantine_window) {
+      vote_outcomes_.pop_front();
+    }
+    std::size_t divergent = 0;
+    for (const bool was_divergent : vote_outcomes_) {
+      divergent += was_divergent ? 1 : 0;
+    }
+    if (divergent >= config_.quarantine_divergences) {
+      quarantine(now);
+      return true;
+    }
+    return false;
+  }
+
+  // A voted attempt was unanimous-or-majority with no minority. Returns
+  // true when this vote recovers the family from probation.
+  bool record_clean_vote() {
+    if (vote_state_ == VoteState::kProbation) {
+      vote_state_ = VoteState::kVoting;
+      vote_outcomes_.clear();
+      ++quarantine_recoveries_;
+      return true;
+    }
+    if (vote_state_ == VoteState::kVoting) {
+      vote_outcomes_.push_back(false);
+      if (vote_outcomes_.size() > config_.quarantine_window) {
+        vote_outcomes_.pop_front();
+      }
+    }
+    return false;
+  }
+
+  VoteState vote_state() const noexcept { return vote_state_; }
+  std::uint64_t divergences() const noexcept { return divergences_; }
+  std::uint64_t quarantine_entries() const noexcept {
+    return quarantine_entries_;
+  }
+  std::uint64_t quarantine_recoveries() const noexcept {
+    return quarantine_recoveries_;
+  }
 
   State state() const noexcept { return state_; }
   std::uint64_t opens() const noexcept { return opens_; }
@@ -137,6 +218,13 @@ class CircuitBreaker {
     outcomes_.clear();
   }
 
+  void quarantine(Clock::time_point now) {
+    vote_state_ = VoteState::kQuarantined;
+    quarantined_at_ = now;
+    ++quarantine_entries_;
+    vote_outcomes_.clear();
+  }
+
   BreakerConfig config_;
   State state_ = State::kClosed;
   Clock::time_point opened_at_{};
@@ -147,6 +235,12 @@ class CircuitBreaker {
   std::uint64_t opens_ = 0;
   std::uint64_t half_open_transitions_ = 0;
   std::uint64_t closes_ = 0;
+  VoteState vote_state_ = VoteState::kVoting;
+  Clock::time_point quarantined_at_{};
+  std::deque<bool> vote_outcomes_;  // sliding window; true = divergence
+  std::uint64_t divergences_ = 0;
+  std::uint64_t quarantine_entries_ = 0;
+  std::uint64_t quarantine_recoveries_ = 0;
 };
 
 inline const char* to_string(CircuitBreaker::State state) {
@@ -156,6 +250,15 @@ inline const char* to_string(CircuitBreaker::State state) {
     case CircuitBreaker::State::kHalfOpen: return "half-open";
   }
   return "closed";
+}
+
+inline const char* to_string(CircuitBreaker::VoteState state) {
+  switch (state) {
+    case CircuitBreaker::VoteState::kVoting: return "voting";
+    case CircuitBreaker::VoteState::kQuarantined: return "quarantined";
+    case CircuitBreaker::VoteState::kProbation: return "probation";
+  }
+  return "voting";
 }
 
 // One breaker per key (the service keys by protocol name), created lazily
@@ -188,6 +291,40 @@ class BreakerBank {
   std::uint64_t total_closes() const noexcept {
     std::uint64_t total = 0;
     for (const auto& [key, breaker] : breakers_) total += breaker.closes();
+    return total;
+  }
+
+  std::size_t quarantined_count() const noexcept {
+    std::size_t quarantined = 0;
+    for (const auto& [key, breaker] : breakers_) {
+      if (breaker.vote_state() != CircuitBreaker::VoteState::kVoting) {
+        ++quarantined;
+      }
+    }
+    return quarantined;
+  }
+
+  std::uint64_t total_divergences() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [key, breaker] : breakers_) {
+      total += breaker.divergences();
+    }
+    return total;
+  }
+
+  std::uint64_t total_quarantine_entries() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [key, breaker] : breakers_) {
+      total += breaker.quarantine_entries();
+    }
+    return total;
+  }
+
+  std::uint64_t total_quarantine_recoveries() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [key, breaker] : breakers_) {
+      total += breaker.quarantine_recoveries();
+    }
     return total;
   }
 

@@ -57,7 +57,7 @@ JobSpec spec_from_object(const JsonValue& object) {
   for (const auto& [key, value] : object.members()) {
     if (key == "v") {
       const std::uint64_t version = require_u64(value, key);
-      if (version != kProtocolVersion) {
+      if (version < kMinProtocolVersion || version > kProtocolVersion) {
         bad_field(key, "unsupported protocol version " +
                            std::to_string(version));
       }
@@ -99,6 +99,14 @@ JobSpec spec_from_object(const JsonValue& object) {
     } else if (key == "replicates") {
       spec.replicates =
           static_cast<std::uint32_t>(require_u64(value, key, 1, 100000));
+    } else if (key == "replicas") {
+      // Per-job voting replica override (v2). Must be odd: an even replica
+      // set can split its vote with no majority on either side.
+      spec.vote_replicas =
+          static_cast<std::uint32_t>(require_u64(value, key, 1, 101));
+      if (spec.vote_replicas % 2 == 0) {
+        bad_field(key, "must be odd (even replica counts can tie)");
+      }
     } else if (key == "priority") {
       spec.priority = parse_priority(require_string(value, key));
     } else if (key == "deadline_ms") {
@@ -110,7 +118,11 @@ JobSpec spec_from_object(const JsonValue& object) {
       bad_field(key, "unknown field");
     }
   }
-  if (!saw_version) bad_field("v", "missing (this build speaks v1)");
+  if (!saw_version) {
+    bad_field("v", "missing (this build speaks v" +
+                       std::to_string(kMinProtocolVersion) + "–v" +
+                       std::to_string(kProtocolVersion) + ")");
+  }
   if (spec.id.empty()) bad_field("id", "missing");
   return spec;
 }
@@ -140,6 +152,23 @@ ParsedRequest parse_job_request(std::string_view line) {
   }
 }
 
+ParsedRequest RequestReader::next(std::string_view line) {
+  const std::uint64_t line_offset = offset_;
+  offset_ += line.size() + 1;  // '\n' framing
+  ParsedRequest parsed = parse_job_request(line);
+  if (const JobSpec* spec = std::get_if<JobSpec>(&parsed)) {
+    const auto it = first_use_.find(spec->id);
+    if (it != first_use_.end()) {
+      return RequestError{
+          spec->id, "duplicate job id \"" + spec->id + "\": first used at "
+                        "byte " + std::to_string(it->second) +
+                        ", duplicated at byte " + std::to_string(line_offset)};
+    }
+    first_use_.emplace(spec->id, line_offset);
+  }
+  return parsed;
+}
+
 void write_job_response(std::ostream& os, const JobResponse& response) {
   std::ostringstream buffer;
   JsonWriter json(buffer);
@@ -150,6 +179,10 @@ void write_job_response(std::ostream& os, const JobResponse& response) {
   if (!response.error.empty()) json.kv("error", response.error);
   json.kv("attempts", static_cast<std::uint64_t>(response.attempts));
   json.kv("degraded", response.degraded);
+  json.kv("replicas_used", static_cast<std::uint64_t>(response.replicas_used));
+  json.kv("voted", response.voted);
+  json.kv("quarantined", response.quarantined);
+  json.kv("divergent", static_cast<std::uint64_t>(response.divergent));
   json.kv("queue_ms", response.queue_ms);
   json.kv("run_ms", response.run_ms);
   if (response.outcome == JobOutcome::kDone ||

@@ -2,24 +2,31 @@
 //
 // Requests are one JSON object per line:
 //
-//   {"v": 1, "id": "job-7", "protocol": "avc", "n": 10000, "eps": 0.01,
+//   {"v": 2, "id": "job-7", "protocol": "avc", "n": 10000, "eps": 0.01,
 //    "seed": 42, "max_interactions": 5000000, "replicates": 3,
-//    "priority": "high", "deadline_ms": 2000, "client": "alice",
-//    "m": 3, "d": 1}
+//    "replicas": 3, "priority": "high", "deadline_ms": 2000,
+//    "client": "alice", "m": 3, "d": 1}
 //
 // Only "v" and "id" are required; everything else defaults per JobSpec.
 // Unknown fields are an error (a typo'd parameter must not silently run a
 // default experiment — same stance as util/cli). Responses are emitted on
-// util/json.hpp's writer, one line per terminal outcome:
+// util/json.hpp's writer, one line per terminal outcome (schema v2 adds
+// the replication labels):
 //
-//   {"v": 1, "id": "job-7", "outcome": "done", "attempts": 1,
-//    "degraded": false, "queue_ms": 0.4, "run_ms": 83.1,
+//   {"v": 2, "id": "job-7", "outcome": "done", "attempts": 1,
+//    "degraded": false, "replicas_used": 3, "voted": true,
+//    "quarantined": false, "divergent": 0, "queue_ms": 0.4, "run_ms": 83.1,
 //    "result": {"replicates": 3, "converged": 3, "correct": 3, …}}
 //
-// The version field gates forward compatibility: a request with a version
-// this build does not speak is rejected as invalid, never half-parsed.
+// The version field gates forward compatibility: this build speaks request
+// versions kMinProtocolVersion..kProtocolVersion (v1 requests are a strict
+// subset of v2 — "replicas" is the only v2 addition, and it defaults off),
+// and anything newer is rejected as invalid, never half-parsed. Responses
+// are always emitted at kProtocolVersion.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -29,7 +36,8 @@
 
 namespace popbean::serve {
 
-inline constexpr std::uint64_t kProtocolVersion = 1;
+inline constexpr std::uint64_t kProtocolVersion = 2;
+inline constexpr std::uint64_t kMinProtocolVersion = 1;
 
 // A request line parses into either a JobSpec or a rejection message.
 struct RequestError {
@@ -43,6 +51,25 @@ using ParsedRequest = std::variant<JobSpec, RequestError>;
 // defect is folded into RequestError so the caller can answer with an
 // `invalid` response instead of dying on a bad client.
 ParsedRequest parse_job_request(std::string_view line);
+
+// Connection-scoped strict reader: parse_job_request plus the per-
+// connection state a stateless parse cannot enforce — running byte offsets
+// and the set of job ids already seen. A duplicate job id within one
+// connection is a strict-codec error naming the id and both byte offsets
+// (the exactly-one-response contract is per id; a client reusing an id
+// could never tell its two submissions' responses apart). Offsets assume
+// '\n'-terminated lines, matching the NDJSON framing.
+class RequestReader {
+ public:
+  ParsedRequest next(std::string_view line);
+
+  std::uint64_t bytes_consumed() const noexcept { return offset_; }
+  std::size_t ids_seen() const noexcept { return first_use_.size(); }
+
+ private:
+  std::uint64_t offset_ = 0;
+  std::map<std::string, std::uint64_t, std::less<>> first_use_;
+};
 
 // Writes one response line (terminated with '\n'). Thread-unsafe; callers
 // serialize (the service invokes its response callback under a lock).

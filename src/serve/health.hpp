@@ -9,17 +9,52 @@
 //
 //   live        the service object exists and is publishing gauges
 //   ready       accepting new jobs (not draining)
-//   overloaded  the admission queue is above the degradation ladder's high
-//               watermark, or any circuit breaker is open
+//   overloaded  the admission queue has crossed the overload hysteresis
+//               band (entered above the ladder's high watermark, not yet
+//               back below the low watermark), or any breaker is open
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace popbean::serve {
+
+// Two-threshold overload latch. The raw occupancy comparison
+// (occupancy >= high ? 1 : 0) flaps on every poll when load hovers at the
+// boundary — each 1→0→1 edge looks like a fresh overload event to anything
+// watching the health endpoint. The latch enters overload at `enter`, exits
+// only at or below `exit`, and holds its last state in between, so one
+// sustained episode reads as one transition pair.
+class OverloadHysteresis {
+ public:
+  OverloadHysteresis(double enter, double exit) : enter_(enter), exit_(exit) {
+    POPBEAN_CHECK_MSG(exit <= enter,
+                      "overload hysteresis exit threshold must not exceed "
+                      "the enter threshold");
+  }
+
+  bool update(double occupancy) {
+    if (occupancy >= enter_) {
+      overloaded_ = true;
+    } else if (occupancy <= exit_) {
+      overloaded_ = false;
+    }
+    return overloaded_;
+  }
+
+  bool overloaded() const noexcept { return overloaded_; }
+  double enter_threshold() const noexcept { return enter_; }
+  double exit_threshold() const noexcept { return exit_; }
+
+ private:
+  double enter_;
+  double exit_;
+  bool overloaded_ = false;
+};
 
 struct HealthSnapshot {
   bool live = false;
@@ -39,6 +74,14 @@ struct HealthSnapshot {
   std::uint64_t timeouts = 0;
   std::uint64_t retries = 0;
   std::uint64_t shed = 0;        // queued jobs evicted by ladder/policy
+  // Replicated-voting health (DESIGN.md §12).
+  std::uint64_t voted = 0;             // voted attempts (k > 1)
+  std::uint64_t divergences = 0;       // voted attempts with a minority
+  std::uint64_t no_majority = 0;       // voted attempts with no winner
+  std::uint64_t quarantine_entered = 0;
+  std::uint64_t quarantine_recovered = 0;
+  std::uint64_t quarantined_jobs = 0;  // jobs forced unvoted by quarantine
+  std::size_t quarantined_families = 0;
 };
 
 namespace detail {
@@ -90,6 +133,17 @@ inline HealthSnapshot derive_health(const obs::MetricsRegistry& registry) {
   health.timeouts = detail::counter_value(snap, "serve.timeouts");
   health.retries = detail::counter_value(snap, "serve.retries");
   health.shed = detail::counter_value(snap, "serve.shed");
+  health.voted = detail::counter_value(snap, "serve.vote.voted");
+  health.divergences = detail::counter_value(snap, "serve.vote.divergences");
+  health.no_majority = detail::counter_value(snap, "serve.vote.no_majority");
+  health.quarantine_entered =
+      detail::counter_value(snap, "serve.vote.quarantine_entered");
+  health.quarantine_recovered =
+      detail::counter_value(snap, "serve.vote.quarantine_recovered");
+  health.quarantined_jobs =
+      detail::counter_value(snap, "serve.vote.quarantined_jobs");
+  health.quarantined_families = static_cast<std::size_t>(
+      detail::gauge_value(snap, "serve.vote.quarantined_families"));
   return health;
 }
 
@@ -113,6 +167,13 @@ inline void write_health_json(JsonWriter& json, const HealthSnapshot& health) {
   json.kv("timeouts", health.timeouts);
   json.kv("retries", health.retries);
   json.kv("shed", health.shed);
+  json.kv("voted", health.voted);
+  json.kv("divergences", health.divergences);
+  json.kv("no_majority", health.no_majority);
+  json.kv("quarantine_entered", health.quarantine_entered);
+  json.kv("quarantine_recovered", health.quarantine_recovered);
+  json.kv("quarantined_jobs", health.quarantined_jobs);
+  json.kv("quarantined_families", health.quarantined_families);
   json.end_object();
 }
 

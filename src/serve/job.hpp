@@ -45,6 +45,9 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::uint64_t max_interactions = 0;  // 0 = 500·n (a generous default cap)
   std::uint32_t replicates = 1;
+  // Voting replicas for this job: 0 = the service default, otherwise an odd
+  // count (validated at the codec and again by ReplicatedExecutor).
+  std::uint32_t vote_replicas = 0;
   JobPriority priority = JobPriority::kNormal;
   // Wall-clock budget from admission to terminal response; zero means the
   // service default applies.
@@ -85,6 +88,13 @@ struct JobResponse {
   JobResult result;         // meaningful for done/truncated
   std::uint32_t attempts = 0;
   bool degraded = false;    // the ladder shrank replication for this job
+  // Replicated-voting labels (response schema v2): how many voting replicas
+  // actually ran, whether the result is majority-voted, whether the family
+  // was quarantined (forced unvoted), and how many replicas were outvoted.
+  std::uint32_t replicas_used = 1;
+  bool voted = false;
+  bool quarantined = false;
+  std::uint32_t divergent = 0;
   double queue_ms = 0.0;    // admission → first attempt start
   double run_ms = 0.0;      // first attempt start → terminal
 };

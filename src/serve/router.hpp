@@ -1,0 +1,254 @@
+// ShardRouter: N in-process JobService shards, each owning a slice of job
+// families (DESIGN.md §12).
+//
+// Placement is rendezvous (highest-random-weight) hashing on the protocol
+// fingerprint: shard(family) = argmax_i mix_seed(fnv1a64(family), i). Every
+// shard scores every family independently, so adding or removing a shard
+// moves only the families whose top score changed — no modular-bucket
+// avalanche — and two routers with the same shard count always agree, with
+// no coordination state.
+//
+// Each shard is a full JobService: its own admission queue, breaker bank
+// (including vote quarantine), degradation ladder, and metrics registry.
+// A family's breaker state therefore lives exactly where its jobs run.
+//
+// Admission is shard-aware: a job goes to its owner shard first; if the
+// owner rejects (queue full, quota, draining), the router walks the
+// remaining shards in descending rendezvous order (each family has its own
+// deterministic fallback sequence, so spill load spreads instead of piling
+// onto shard 0). Only when every shard rejects does the router emit the
+// single `overloaded` response — the exactly-one-response contract holds
+// across the fleet because rejected-then-redirected submissions use
+// try_submit(), which reports the reason without emitting.
+//
+// Shutdown drains all shards against one shared budget: admission stops
+// everywhere first (no shard can spill into a sibling that is already
+// draining), then each shard drains with whatever budget remains.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/health.hpp"
+#include "serve/service.hpp"
+#include "util/backoff.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace popbean::serve {
+
+struct RouterConfig {
+  std::size_t shards = 1;
+  // Walk sibling shards on owner rejection; false = strict ownership (the
+  // owner's rejection is final).
+  bool reject_to_sibling = true;
+  // Per-shard service template. `metrics` must be null (each shard owns its
+  // registry so per-shard health stays meaningful); `telemetry` may be
+  // shared (the sink is line-granular under its own mutex).
+  ServiceConfig service;
+};
+
+class ShardRouter {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t redirected = 0;    // admitted by a non-owner shard
+    std::uint64_t rejected_all = 0;  // every shard said no
+  };
+
+  ShardRouter(RouterConfig config, JobService::ResponseFn on_response)
+      : config_(std::move(config)),
+        on_response_(std::move(on_response)) {
+    POPBEAN_CHECK_MSG(config_.shards >= 1,
+                      "ShardRouter: at least one shard required");
+    POPBEAN_CHECK_MSG(config_.service.metrics == nullptr,
+                      "ShardRouter: shards own their metrics registries");
+    POPBEAN_CHECK_MSG(on_response_ != nullptr,
+                      "ShardRouter: a response sink is required");
+    shards_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      ServiceConfig shard_config = config_.service;
+      // Decorrelate backoff jitter across shards.
+      shard_config.seed = mix_seed(config_.service.seed, i);
+      shards_.push_back(std::make_unique<JobService>(
+          std::move(shard_config), [this](const JobResponse& response) {
+            std::lock_guard lock(response_mutex_);
+            on_response_(response);
+          }));
+    }
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  JobService& shard(std::size_t i) { return *shards_.at(i); }
+  const JobService& shard(std::size_t i) const { return *shards_.at(i); }
+
+  // Owner shard of a family (top rendezvous score).
+  std::size_t owner_of(std::string_view family) const {
+    return rendezvous_order(family).front();
+  }
+
+  // All shards in descending rendezvous score for a family: the owner
+  // first, then the deterministic spill sequence.
+  std::vector<std::size_t> rendezvous_order(std::string_view family) const {
+    const std::uint64_t fingerprint = fnv1a64(family);
+    std::vector<std::size_t> order(shards_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::vector<std::uint64_t> score(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      score[i] = mix_seed(fingerprint, i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&score](std::size_t a, std::size_t b) {
+                return score[a] != score[b] ? score[a] > score[b] : a < b;
+              });
+    return order;
+  }
+
+  // Routes one job. Returns true when some shard admitted it; false means
+  // the single `overloaded` response was already delivered.
+  bool submit(JobSpec spec) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.submitted;
+    }
+    const std::vector<std::size_t> order = rendezvous_order(spec.protocol);
+    std::string reason;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t i = order[pos];
+      std::optional<std::string> rejected = shards_[i]->try_submit(spec);
+      if (!rejected.has_value()) {
+        if (pos > 0) {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.redirected;
+        }
+        return true;
+      }
+      if (pos == 0) reason = std::move(*rejected);
+      if (!config_.reject_to_sibling) break;
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.rejected_all;
+    }
+    JobResponse response;
+    response.id = std::move(spec.id);
+    response.outcome = JobOutcome::kOverloaded;
+    response.error = config_.reject_to_sibling
+                         ? "all_shards_overloaded"
+                         : std::move(reason);
+    {
+      std::lock_guard lock(response_mutex_);
+      on_response_(response);
+    }
+    return false;
+  }
+
+  // Counted on the owner of nothing — shard 0 keeps the fleet's invalid
+  // total so health sums stay correct.
+  void note_invalid() { shards_.front()->note_invalid(); }
+
+  void begin_drain() {
+    for (const auto& shard : shards_) shard->begin_drain();
+  }
+
+  // Drain-all: stop admission on every shard first, then drain each shard
+  // against the shared absolute deadline. Returns true only if every shard
+  // drained cleanly within the budget.
+  bool drain(std::chrono::milliseconds budget) {
+    begin_drain();
+    const Deadline hard = Deadline::after(budget);
+    bool clean = true;
+    for (const auto& shard : shards_) {
+      std::chrono::milliseconds remaining = budget;
+      if (!hard.is_unlimited()) {
+        remaining = std::max(
+            std::chrono::milliseconds{0},
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                hard.remaining()));
+      }
+      clean = shard->drain(remaining) && clean;
+    }
+    return clean;
+  }
+
+  Stats stats() const {
+    std::lock_guard lock(stats_mutex_);
+    return stats_;
+  }
+
+  // Fleet health: live/ready are conjunctions, overloaded is a disjunction,
+  // counters and depths are sums, degradation level is the max.
+  HealthSnapshot health() const {
+    HealthSnapshot fleet;
+    fleet.live = true;
+    fleet.ready = true;
+    for (const auto& shard : shards_) {
+      const HealthSnapshot h = shard->health();
+      fleet.live = fleet.live && h.live;
+      fleet.ready = fleet.ready && h.ready;
+      fleet.overloaded = fleet.overloaded || h.overloaded;
+      fleet.queue_depth += h.queue_depth;
+      fleet.queue_capacity += h.queue_capacity;
+      fleet.inflight += h.inflight;
+      fleet.degradation_level =
+          std::max(fleet.degradation_level, h.degradation_level);
+      fleet.breakers_open += h.breakers_open;
+      fleet.accepted += h.accepted;
+      fleet.rejected += h.rejected;
+      fleet.invalid += h.invalid;
+      fleet.completed += h.completed;
+      fleet.truncated += h.truncated;
+      fleet.failed += h.failed;
+      fleet.timeouts += h.timeouts;
+      fleet.retries += h.retries;
+      fleet.shed += h.shed;
+      fleet.voted += h.voted;
+      fleet.divergences += h.divergences;
+      fleet.no_majority += h.no_majority;
+      fleet.quarantine_entered += h.quarantine_entered;
+      fleet.quarantine_recovered += h.quarantine_recovered;
+      fleet.quarantined_jobs += h.quarantined_jobs;
+      fleet.quarantined_families += h.quarantined_families;
+    }
+    return fleet;
+  }
+
+  std::vector<HealthSnapshot> shard_health() const {
+    std::vector<HealthSnapshot> all;
+    all.reserve(shards_.size());
+    for (const auto& shard : shards_) all.push_back(shard->health());
+    return all;
+  }
+
+  std::uint64_t total_breaker_opens() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->total_breaker_opens();
+    return total;
+  }
+
+  std::uint64_t total_breaker_closes() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->total_breaker_closes();
+    return total;
+  }
+
+ private:
+  RouterConfig config_;
+  JobService::ResponseFn on_response_;
+  std::mutex response_mutex_;  // serializes the shared sink across shards
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+  std::vector<std::unique_ptr<JobService>> shards_;
+};
+
+}  // namespace popbean::serve

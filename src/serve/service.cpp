@@ -13,7 +13,11 @@
 #include "population/count_engine.hpp"
 #include "protocols/four_state.hpp"
 #include "protocols/three_state.hpp"
+#include "recovery/divergence.hpp"
+#include "serve/replicate.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
+#include "verify/builtin_invariants.hpp"
 #include "zoo/registry.hpp"
 
 namespace popbean::serve {
@@ -24,107 +28,243 @@ using FpMillis = std::chrono::duration<double, std::milli>;
 
 enum class AttemptKind { kOk, kFailed, kTimeout, kShutdown };
 
+// Vote evidence carried out of one attempt (zeroed for unvoted attempts and
+// chaos-failed attempts that never ran replicas).
+struct VoteSummary {
+  bool voted = false;
+  std::uint32_t replicas_run = 0;  // slots the executor was configured with
+  std::uint32_t divergent = 0;
+  std::uint32_t abandoned = 0;
+  bool no_majority = false;
+  bool divergence = false;  // any minority, or no majority at all
+  // First minority replica, for telemetry and replay capture.
+  bool has_minority = false;
+  std::uint32_t minority_replica = 0;
+  std::uint64_t minority_stream = 0;
+  bool minority_corrupt = false;
+  std::string capture_header;  // non-empty when a capture pair was written
+  std::string capture_log;
+};
+
 struct Attempt {
   AttemptKind kind = AttemptKind::kFailed;
   JobResult result;
   std::string error;
+  VoteSummary vote;
 };
 
-// Runs one attempt's replicates on the count engine. Replicate r of
-// attempt a uses rng stream a·1000003 + r, so a retried attempt re-runs an
-// identical trajectory unless chaos interferes (job.hpp's determinism
-// contract).
+// Everything one attempt needs beyond the spec: the ladder-adjusted
+// replication counts, the chaos corruption target, and the capture budget.
+struct AttemptPlan {
+  std::uint32_t replicates = 1;
+  std::uint64_t max_interactions = 0;
+  std::uint32_t vote_replicas = 1;
+  int corrupt_replica = -1;  // -1 none, -2 every replica, else one index
+  double corrupt_rate = 0.0;
+  std::uint64_t attempt_index = 0;
+  std::uint64_t poll_interval = 1024;
+  std::uint64_t sequence = 0;
+  std::string capture_dir;  // empty = captures off
+  bool capture_allowed = false;
+};
+
+// Runs one voting replica: all statistical replicates on their own RNG
+// streams (replicate.hpp's replica_stream — replica 0 reuses the legacy
+// a·1000003 + r layout). Returns nullopt when interrupted (deadline /
+// abandon / cancel), which the vote treats as a non-matching slot.
 template <typename P, typename StopFn>
-Attempt run_attempt(const P& protocol, const JobSpec& spec,
-                    std::uint32_t replicates, std::uint64_t max_interactions,
-                    bool corrupt, double corrupt_rate,
-                    std::uint64_t attempt_index, std::uint64_t poll_interval,
+std::optional<ReplicaPayload> run_replica(
+    const P& protocol, const JobSpec& spec, const Counts& initial,
+    const MajorityInstance& instance, const AttemptPlan& plan, bool corrupt,
+    std::uint32_t replica, const StopFn& should_stop) {
+  ReplicaPayload payload;
+  payload.corrupt = corrupt;
+  double time_sum = 0.0;
+  for (std::uint32_t r = 0; r < plan.replicates; ++r) {
+    const std::uint64_t stream =
+        replica_stream(plan.attempt_index, r, replica);
+    Xoshiro256ss rng(spec.seed, stream);
+    std::optional<RunResult> result;
+    if (corrupt) {
+      auto engine = faults::make_perturbed(
+          CountEngine<P>(protocol, initial),
+          faults::TransientCorruption(plan.corrupt_rate),
+          faults::UniformSchedule{}, rng);
+      result = run_to_convergence_interruptible(
+          engine, rng, plan.max_interactions, should_stop, plan.poll_interval);
+    } else {
+      CountEngine<P> engine(protocol, initial);
+      result = run_to_convergence_interruptible(
+          engine, rng, plan.max_interactions, should_stop, plan.poll_interval);
+    }
+    if (!result) return std::nullopt;
+    payload.streams.push_back(stream);
+    append_decision(payload.bytes, *result);
+    ++payload.result.replicates_run;
+    switch (result->status) {
+      case RunStatus::kConverged:
+        ++payload.result.converged;
+        time_sum += result->parallel_time;
+        if (result->decided == instance.correct_output()) {
+          ++payload.result.correct;
+        } else {
+          ++payload.result.wrong;
+        }
+        break;
+      case RunStatus::kStepLimit:
+        ++payload.result.step_limit;
+        break;
+      case RunStatus::kAbsorbing:
+        ++payload.result.absorbing;
+        break;
+    }
+  }
+  if (payload.result.converged > 0) {
+    payload.result.mean_parallel_time =
+        time_sum / static_cast<double>(payload.result.converged);
+  }
+  return payload;
+}
+
+// Runs one attempt: k voting replicas sequentially, then a vote_memory-
+// style majority over the canonical decision payloads. k = 1 degenerates to
+// exactly the pre-voting single-run path (same streams, same result).
+template <typename P, typename StopFn>
+Attempt run_attempt(const P& protocol,
+                    const verify::LinearInvariant& invariant,
+                    const JobSpec& spec, const AttemptPlan& plan,
                     const StopFn& should_stop,
                     const std::atomic<bool>& cancel) {
   Attempt attempt;
   const MajorityInstance instance = make_instance(spec.n, spec.epsilon);
   const Counts initial = majority_instance_with_margin(
       protocol, instance.n, instance.margin, instance.majority);
-  double time_sum = 0.0;
-  JobResult agg;
-  for (std::uint32_t r = 0; r < replicates; ++r) {
-    Xoshiro256ss rng(spec.seed, attempt_index * 1'000'003 + r);
-    std::optional<RunResult> result;
-    if (corrupt) {
-      auto engine = faults::make_perturbed(
-          CountEngine<P>(protocol, initial),
-          faults::TransientCorruption(corrupt_rate), faults::UniformSchedule{},
-          rng);
-      result = run_to_convergence_interruptible(engine, rng, max_interactions,
-                                                should_stop, poll_interval);
-    } else {
-      CountEngine<P> engine(protocol, initial);
-      result = run_to_convergence_interruptible(engine, rng, max_interactions,
-                                                should_stop, poll_interval);
-    }
-    if (!result) {
+
+  ReplicatedExecutor executor(plan.vote_replicas);
+  std::vector<std::optional<ReplicaPayload>> slots;
+  const VoteOutcome vote = executor.execute(slots, [&](std::uint32_t j) {
+    const bool corrupt =
+        plan.corrupt_replica == -2 ||
+        (plan.corrupt_replica >= 0 &&
+         static_cast<std::uint32_t>(plan.corrupt_replica) == j);
+    return run_replica(protocol, spec, initial, instance, plan, corrupt, j,
+                       should_stop);
+  });
+
+  attempt.vote.voted = vote.voted;
+  attempt.vote.replicas_run = plan.vote_replicas;
+  attempt.vote.divergent = vote.divergent;
+  attempt.vote.abandoned = vote.abandoned;
+
+  if (!vote.majority_found) {
+    if (vote.abandoned > 0) {
+      // Killed replicas, not disagreeing ones — the job ran out of time (or
+      // the service is shutting down); the family is not to blame.
       attempt.kind = cancel.load(std::memory_order_relaxed)
                          ? AttemptKind::kShutdown
                          : AttemptKind::kTimeout;
       return attempt;
     }
-    ++agg.replicates_run;
-    switch (result->status) {
-      case RunStatus::kConverged:
-        ++agg.converged;
-        time_sum += result->parallel_time;
-        if (result->decided == instance.correct_output()) {
-          ++agg.correct;
-        } else {
-          ++agg.wrong;
-        }
-        break;
-      case RunStatus::kStepLimit:
-        ++agg.step_limit;
-        break;
-      case RunStatus::kAbsorbing:
-        ++agg.absorbing;
-        break;
+    // Every replica finished and no payload reached a majority: the
+    // strongest possible divergence evidence.
+    attempt.vote.no_majority = true;
+    attempt.vote.divergence = true;
+    attempt.kind = AttemptKind::kFailed;
+    attempt.error = "no_majority";
+    return attempt;
+  }
+
+  const ReplicaPayload& winner = *slots[vote.winner];
+  if (vote.divergent > 0) {
+    attempt.vote.divergence = true;
+    attempt.vote.has_minority = true;
+    const std::uint32_t loser = vote.minority.front();
+    const ReplicaPayload& minority = *slots[loser];
+    const std::uint32_t group =
+        first_diverging_replicate(winner, minority).value_or(0);
+    const std::size_t idx =
+        std::min<std::size_t>(group, minority.streams.size() - 1);
+    attempt.vote.minority_replica = loser;
+    attempt.vote.minority_stream = minority.streams[idx];
+    attempt.vote.minority_corrupt = minority.corrupt;
+    // Freeze the outvoted run for popbean-replay. Only corrupt replicas are
+    // capturable (§7 recording needs an active fault model); a clean-vs-
+    // clean divergence would be a real service bug, and telemetry still
+    // carries its (seed, stream) pair.
+    if (plan.capture_allowed && minority.corrupt &&
+        !plan.capture_dir.empty()) {
+      recovery::RecordSpec record;
+      record.protocol_name = spec.protocol;
+      record.seed = spec.seed;
+      record.stream = attempt.vote.minority_stream;
+      record.max_interactions = plan.max_interactions;
+      record.rate = plan.corrupt_rate;
+      record.epsilon = spec.epsilon;
+      const std::string tag = "div-" + spec.id + "-seq" +
+                              std::to_string(plan.sequence) + "-a" +
+                              std::to_string(plan.attempt_index) + "-r" +
+                              std::to_string(loser);
+      if (const auto capture = recovery::record_divergent_replica(
+              protocol, invariant, initial, plan.corrupt_rate, record,
+              plan.capture_dir, tag)) {
+        attempt.vote.capture_header = capture->header_path;
+        attempt.vote.capture_log = capture->log_path;
+      }
     }
   }
-  if (agg.converged > 0) {
-    agg.mean_parallel_time = time_sum / static_cast<double>(agg.converged);
-  }
+
   attempt.kind = AttemptKind::kOk;
-  attempt.result = agg;
+  attempt.result = winner.result;
   return attempt;
 }
 
 template <typename StopFn>
-Attempt dispatch_attempt(const JobSpec& spec, std::uint32_t replicates,
-                         std::uint64_t max_interactions, bool corrupt,
-                         double corrupt_rate, std::uint64_t attempt_index,
-                         std::uint64_t poll_interval, const StopFn& should_stop,
+Attempt dispatch_attempt(const JobSpec& spec, const AttemptPlan& plan,
+                         const StopFn& should_stop,
                          const std::atomic<bool>& cancel) {
   if (spec.protocol == "four-state") {
-    return run_attempt(FourStateProtocol{}, spec, replicates, max_interactions,
-                       corrupt, corrupt_rate, attempt_index, poll_interval,
+    return run_attempt(FourStateProtocol{},
+                       verify::four_state_difference_invariant(), spec, plan,
                        should_stop, cancel);
   }
   if (spec.protocol == "three-state") {
-    return run_attempt(ThreeStateProtocol{}, spec, replicates, max_interactions,
-                       corrupt, corrupt_rate, attempt_index, poll_interval,
-                       should_stop, cancel);
+    const ThreeStateProtocol protocol{};
+    return run_attempt(protocol,
+                       recovery::trivial_invariant(protocol.num_states()),
+                       spec, plan, should_stop, cancel);
   }
   if (zoo::is_zoo_spec(spec.protocol)) {
     // Shared immutable runtimes (zoo/registry.hpp) — safe across workers.
     // An unknown member throws; execute() surfaces it as a failed job.
     return zoo::with_zoo_runtime(spec.protocol, [&](const auto& runtime) {
-      return run_attempt(runtime, spec, replicates, max_interactions, corrupt,
-                         corrupt_rate, attempt_index, poll_interval,
-                         should_stop, cancel);
+      return run_attempt(runtime,
+                         recovery::trivial_invariant(runtime.num_states()),
+                         spec, plan, should_stop, cancel);
     });
   }
   POPBEAN_CHECK_MSG(spec.protocol == "avc",
                     "JobService: unknown protocol " + spec.protocol);
-  return run_attempt(avc::AvcProtocol(spec.m, spec.d), spec, replicates,
-                     max_interactions, corrupt, corrupt_rate, attempt_index,
-                     poll_interval, should_stop, cancel);
+  const avc::AvcProtocol protocol(spec.m, spec.d);
+  return run_attempt(protocol, verify::avc_sum_invariant(protocol), spec,
+                     plan, should_stop, cancel);
+}
+
+// Config/sink validation runs while the *first* members initialize, before
+// the thread pool and watchdog threads exist — throwing from the constructor
+// body after those threads start would std::terminate on the joinable
+// std::thread member during unwinding.
+ServiceConfig validated(ServiceConfig config) {
+  POPBEAN_CHECK_MSG(
+      config.vote_replicas >= 1 && config.vote_replicas % 2 == 1,
+      "JobService: vote_replicas must be odd (even replica counts can tie "
+      "and a tie has no majority)");
+  return config;
+}
+
+JobService::ResponseFn validated(JobService::ResponseFn on_response) {
+  POPBEAN_CHECK_MSG(on_response != nullptr,
+                    "JobService: a response sink is required");
+  return on_response;
 }
 
 }  // namespace
@@ -144,6 +284,14 @@ JobService::MetricIds JobService::register_metrics(
   ids.shed = registry.counter("serve.shed");
   ids.circuit_open = registry.counter("serve.circuit_open");
   ids.watchdog_abandons = registry.counter("serve.watchdog_abandons");
+  ids.voted = registry.counter("serve.vote.voted");
+  ids.divergences = registry.counter("serve.vote.divergences");
+  ids.no_majority = registry.counter("serve.vote.no_majority");
+  ids.quarantine_entered = registry.counter("serve.vote.quarantine_entered");
+  ids.quarantine_recovered =
+      registry.counter("serve.vote.quarantine_recovered");
+  ids.quarantined_jobs = registry.counter("serve.vote.quarantined_jobs");
+  ids.captures = registry.counter("serve.vote.captures");
   ids.live = registry.gauge("serve.live");
   ids.draining = registry.gauge("serve.draining");
   ids.queue_depth = registry.gauge("serve.queue_depth");
@@ -152,14 +300,15 @@ JobService::MetricIds JobService::register_metrics(
   ids.degradation_level = registry.gauge("serve.degradation_level");
   ids.breakers_open = registry.gauge("serve.breakers_open");
   ids.overloaded = registry.gauge("serve.overloaded");
+  ids.quarantined_families = registry.gauge("serve.vote.quarantined_families");
   ids.queue_ms = registry.histogram("serve.queue_ms", latency_shape);
   ids.run_ms = registry.histogram("serve.run_ms", latency_shape);
   return ids;
 }
 
 JobService::JobService(ServiceConfig config, ResponseFn on_response)
-    : config_(std::move(config)),
-      on_response_(std::move(on_response)),
+    : config_(validated(std::move(config))),
+      on_response_(validated(std::move(on_response))),
       owned_metrics_(config_.metrics != nullptr
                          ? nullptr
                          : std::make_unique<obs::MetricsRegistry>()),
@@ -168,10 +317,10 @@ JobService::JobService(ServiceConfig config, ResponseFn on_response)
       ids_(register_metrics(metrics_)),
       queue_(config_.admission),
       breakers_(config_.breaker),
+      overload_gauge_(config_.degradation.high_watermark,
+                      config_.degradation.low_watermark),
       pool_(config_.threads),
       watchdog_([this] { watchdog_loop(); }) {
-  POPBEAN_CHECK_MSG(on_response_ != nullptr,
-                    "JobService: a response sink is required");
   // Observer attached before any submit — the pool's attach-then-submit
   // contract (thread_pool.hpp).
   obs::attach_thread_pool(pool_, metrics_);
@@ -207,14 +356,26 @@ JobResponse JobService::overloaded_response(std::string id,
 }
 
 bool JobService::submit(JobSpec spec) {
+  return !submit_internal(std::move(spec), true).has_value();
+}
+
+std::optional<std::string> JobService::try_submit(JobSpec spec) {
+  return submit_internal(std::move(spec), false);
+}
+
+std::optional<std::string> JobService::submit_internal(JobSpec spec,
+                                                       bool emit_rejection) {
   const auto now = Clock::now();
   std::vector<JobResponse> to_emit;
-  bool admitted = false;
+  std::optional<std::string> rejection;
   {
     std::lock_guard lock(mutex_);
     if (draining_) {
       metrics_.add(ids_.rejected);
-      to_emit.push_back(overloaded_response(spec.id, "draining"));
+      rejection = "draining";
+      if (emit_rejection) {
+        to_emit.push_back(overloaded_response(spec.id, *rejection));
+      }
     } else {
       QueuedJob job;
       job.spec = std::move(spec);
@@ -229,9 +390,11 @@ bool JobService::submit(JobSpec spec) {
       AdmitResult result = queue_.push(std::move(job));
       if (!result.admitted) {
         metrics_.add(ids_.rejected);
-        to_emit.push_back(overloaded_response(id, result.reason));
+        rejection = result.reason;
+        if (emit_rejection) {
+          to_emit.push_back(overloaded_response(id, result.reason));
+        }
       } else {
-        admitted = true;
         metrics_.add(ids_.accepted);
         if (result.evicted.has_value()) {
           metrics_.add(ids_.shed);
@@ -249,7 +412,7 @@ bool JobService::submit(JobSpec spec) {
     update_gauges_locked();
   }
   for (JobResponse& response : to_emit) emit(std::move(response));
-  return admitted;
+  return rejection;
 }
 
 void JobService::note_invalid() { metrics_.add(ids_.invalid); }
@@ -304,8 +467,9 @@ void JobService::update_gauges_locked() {
   metrics_.set(ids_.breakers_open,
                static_cast<double>(breakers_.open_count()));
   metrics_.set(ids_.overloaded,
-               queue_.occupancy() >= config_.degradation.high_watermark ? 1.0
-                                                                        : 0.0);
+               overload_gauge_.update(queue_.occupancy()) ? 1.0 : 0.0);
+  metrics_.set(ids_.quarantined_families,
+               static_cast<double>(breakers_.quarantined_count()));
 }
 
 void JobService::run_job(const QueuedJob& job, ActiveJob& ctx) {
@@ -360,19 +524,45 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
     update_gauges_locked();  // allow() may have moved open → half-open
   }
 
-  // Snapshot the degradation ladder for this job.
+  // Snapshot the degradation ladder for this job: voting is the first
+  // rung's sacrifice (k → 3 → 1), then statistical replication, then the
+  // interaction cap.
+  std::uint32_t vote_k = job.spec.vote_replicas != 0 ? job.spec.vote_replicas
+                                                     : config_.vote_replicas;
   std::uint32_t replicates = job.spec.replicates;
   std::uint64_t max_interactions = job.spec.effective_max_interactions();
   {
     std::lock_guard lock(mutex_);
-    if (level_ >= 1 && replicates > 1) {
-      replicates = 1;
-      response.degraded = true;
+    if (level_ >= 1) {
+      if (replicates > 1) {
+        replicates = 1;
+        response.degraded = true;
+      }
+      if (vote_k > 3) {
+        vote_k = 3;
+        response.degraded = true;
+      }
     }
-    if (level_ >= 2 &&
-        config_.degradation.truncate_interactions < max_interactions) {
-      max_interactions = config_.degradation.truncate_interactions;
-      response.degraded = true;
+    if (level_ >= 2) {
+      if (config_.degradation.truncate_interactions < max_interactions) {
+        max_interactions = config_.degradation.truncate_interactions;
+        response.degraded = true;
+      }
+      if (vote_k > 1) {
+        vote_k = 1;
+        response.degraded = true;
+      }
+    }
+    if (vote_k > 1) {
+      CircuitBreaker& breaker = breakers_.for_key(job.spec.protocol);
+      if (!breaker.vote_allowed(start)) {
+        // Quarantined family: execute unvoted, label the response so the
+        // client knows this answer carries no replication guarantee.
+        vote_k = 1;
+        response.quarantined = true;
+        metrics_.add(ids_.quarantined_jobs);
+      }
+      update_gauges_locked();  // vote_allowed may have started probation
     }
   }
   const bool capped = max_interactions < job.spec.effective_max_interactions();
@@ -404,18 +594,91 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
       }
     }
     if (action == ChaosAction::kFail) {
-      attempt = Attempt{AttemptKind::kFailed, JobResult{}, "chaos_fail"};
+      attempt = Attempt{AttemptKind::kFailed, JobResult{}, "chaos_fail", {}};
     } else {
+      AttemptPlan plan;
+      plan.replicates = replicates;
+      plan.max_interactions = max_interactions;
+      plan.vote_replicas = vote_k;
+      if (action == ChaosAction::kCorrupt) {
+        // Under voting, corrupt the last replica only — a minority of one
+        // the vote must outlive; unvoted jobs corrupt their single replica
+        // exactly as the pre-voting service did.
+        plan.corrupt_replica = vote_k > 1 ? static_cast<int>(vote_k - 1) : 0;
+      } else if (action == ChaosAction::kCorruptAll) {
+        plan.corrupt_replica = -2;
+      }
+      plan.corrupt_rate = config_.chaos_corrupt_rate;
+      plan.attempt_index = static_cast<std::uint64_t>(attempt_index);
+      plan.poll_interval = config_.stop_check_interval;
+      plan.sequence = job.sequence;
+      plan.capture_dir = config_.vote_capture_dir;
+      if (!plan.capture_dir.empty()) {
+        std::lock_guard lock(mutex_);
+        // Soft limit: concurrent divergences may overshoot by the worker
+        // count; the point is bounding disk, not exact accounting.
+        plan.capture_allowed =
+            captures_written_ < config_.vote_capture_limit;
+      }
       try {
-        attempt = dispatch_attempt(
-            job.spec, replicates, max_interactions,
-            action == ChaosAction::kCorrupt, config_.chaos_corrupt_rate,
-            static_cast<std::uint64_t>(attempt_index),
-            config_.stop_check_interval, should_stop, cancel_);
+        attempt = dispatch_attempt(job.spec, plan, should_stop, cancel_);
       } catch (const std::exception& e) {
-        attempt = Attempt{AttemptKind::kFailed, JobResult{}, e.what()};
+        attempt = Attempt{AttemptKind::kFailed, JobResult{}, e.what(), {}};
       }
     }
+
+    // Vote bookkeeping per attempt (retried attempts count too — quarantine
+    // evidence must not vanish just because a retry later succeeded).
+    if (attempt.vote.voted) {
+      const auto now = Clock::now();
+      bool entered = false;
+      bool recovered = false;
+      {
+        std::lock_guard lock(mutex_);
+        CircuitBreaker& breaker = breakers_.for_key(job.spec.protocol);
+        metrics_.add(ids_.voted);
+        if (attempt.vote.divergence) {
+          metrics_.add(ids_.divergences);
+          metrics_.add(
+              metrics_.counter("serve.vote.divergence." + job.spec.protocol));
+          if (attempt.vote.no_majority) metrics_.add(ids_.no_majority);
+          entered = breaker.record_divergence(now);
+          if (entered) metrics_.add(ids_.quarantine_entered);
+          if (!attempt.vote.capture_header.empty()) {
+            ++captures_written_;
+            metrics_.add(ids_.captures);
+          }
+        } else if (attempt.vote.abandoned == 0) {
+          recovered = breaker.record_clean_vote();
+          if (recovered) metrics_.add(ids_.quarantine_recovered);
+        }
+        update_gauges_locked();
+      }
+      if (attempt.vote.divergence && config_.telemetry != nullptr) {
+        const VoteSummary& vote = attempt.vote;
+        config_.telemetry->record("vote_divergence", [&](JsonWriter& json) {
+          json.kv("job", job.spec.id);
+          json.kv("family", job.spec.protocol);
+          json.kv("attempt", static_cast<std::uint64_t>(attempt_index));
+          json.kv("replicas", static_cast<std::uint64_t>(vote.replicas_run));
+          json.kv("divergent", static_cast<std::uint64_t>(vote.divergent));
+          json.kv("no_majority", vote.no_majority);
+          json.kv("seed", job.spec.seed);
+          if (vote.has_minority) {
+            json.kv("minority_replica",
+                    static_cast<std::uint64_t>(vote.minority_replica));
+            json.kv("stream", vote.minority_stream);
+            json.kv("minority_corrupt", vote.minority_corrupt);
+          }
+          if (!vote.capture_header.empty()) {
+            json.kv("capture_header", vote.capture_header);
+            json.kv("capture_log", vote.capture_log);
+          }
+          json.kv("quarantined", entered);
+        });
+      }
+    }
+
     if (attempt.kind != AttemptKind::kFailed) break;
     const bool may_retry = attempt_index < config_.max_retries &&
                            !job.deadline.expired() &&
@@ -431,6 +694,10 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
   const auto finish = Clock::now();
   response.run_ms = FpMillis(finish - start).count();
   metrics_.observe(ids_.run_ms, response.run_ms);
+  response.replicas_used =
+      attempt.vote.replicas_run > 0 ? attempt.vote.replicas_run : vote_k;
+  response.voted = attempt.vote.voted;
+  response.divergent = attempt.vote.divergent;
 
   std::lock_guard lock(mutex_);
   CircuitBreaker& breaker = breakers_.for_key(job.spec.protocol);
@@ -576,6 +843,30 @@ std::uint64_t JobService::total_breaker_opens() const {
 std::uint64_t JobService::total_breaker_closes() const {
   std::lock_guard lock(mutex_);
   return breakers_.total_closes();
+}
+
+CircuitBreaker::VoteState JobService::vote_state(
+    const std::string& protocol) const {
+  std::lock_guard lock(mutex_);
+  const auto& bank = breakers_.breakers();
+  const auto it = bank.find(protocol);
+  return it == bank.end() ? CircuitBreaker::VoteState::kVoting
+                          : it->second.vote_state();
+}
+
+std::uint64_t JobService::total_divergences() const {
+  std::lock_guard lock(mutex_);
+  return breakers_.total_divergences();
+}
+
+std::uint64_t JobService::total_quarantine_entries() const {
+  std::lock_guard lock(mutex_);
+  return breakers_.total_quarantine_entries();
+}
+
+std::uint64_t JobService::total_quarantine_recoveries() const {
+  std::lock_guard lock(mutex_);
+  return breakers_.total_quarantine_recoveries();
 }
 
 }  // namespace popbean::serve

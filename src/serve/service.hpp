@@ -15,10 +15,14 @@
 //                exactly one terminal JobResponse via the response sink
 //
 // Overload is answered by a three-rung graceful-degradation ladder driven
-// by queue occupancy with hysteresis (high/low watermarks):
+// by queue occupancy with hysteresis (high/low watermarks). Voting rides
+// the ladder as the first thing sacrificed — redundancy is a luxury an
+// overloaded service sheds before it sheds work:
 //
-//   rung 1  shrink replication to 1 (responses flagged `degraded`)
-//   rung 2  additionally cap interactions (outcome `truncated`)
+//   rung 1  vote replicas k → min(k, 3); statistical replicates → 1
+//           (responses flagged `degraded`)
+//   rung 2  vote replicas → 1 (unvoted); additionally cap interactions
+//           (outcome `truncated`)
 //   rung 3  additionally shed queued lowest-priority jobs (`overloaded`)
 //
 // Shutdown: begin_drain() stops admission; drain(budget) waits for the
@@ -47,6 +51,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/admission.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/health.hpp"
@@ -60,7 +65,11 @@ enum class ChaosAction {
   kNone,     // run the attempt normally
   kFail,     // the attempt fails immediately (retryable worker fault)
   kSlow,     // wedge the worker for chaos_slow, NOT polling the deadline
-  kCorrupt,  // run under faults::TransientCorruption
+  kCorrupt,  // corrupt one replica (all replicates, when voting: only the
+             // last replica — a minority of one that the vote outvotes;
+             // unvoted jobs corrupt their single replica as before)
+  kCorruptAll,  // corrupt every replica — voting cannot recover; exercises
+                // the no_majority path deterministically
 };
 
 struct ChaosContext {
@@ -99,6 +108,18 @@ struct ServiceConfig {
   std::chrono::milliseconds chaos_slow{400};      // length of a kSlow wedge
   double chaos_corrupt_rate = 1e-3;               // kCorrupt fault rate
   ChaosHook chaos;                                // empty = no chaos
+  // Replicated voting (DESIGN.md §12): run each attempt on this many
+  // replicas with independent RNG streams and majority-vote the decision
+  // payload. Must be odd; 1 disables voting and is bit-identical to the
+  // unreplicated service (replica 0 reuses the legacy stream layout).
+  std::uint32_t vote_replicas = 1;
+  // Divergence captures: when a voted attempt's minority replica ran under
+  // chaos corruption, re-record it as a §7 .pbsn capture pair here so
+  // popbean-replay can reproduce the outvoted execution. Empty = off.
+  std::string vote_capture_dir;
+  std::size_t vote_capture_limit = 8;  // max capture pairs per service
+  // Divergence events (JSONL) land here; must outlive the service.
+  obs::TelemetrySink* telemetry = nullptr;
   // External registry (must outlive the service); nullptr = service owns
   // one, readable via metrics().
   obs::MetricsRegistry* metrics = nullptr;
@@ -123,6 +144,13 @@ class JobService {
   // way the job receives exactly one terminal response (an admitted job
   // may still later be shed by the ladder or flushed by drain).
   bool submit(JobSpec spec);
+
+  // Router-facing admission: like submit(), but on rejection returns the
+  // reason *instead of* emitting the overloaded response, so a ShardRouter
+  // can retry the job on a sibling shard while preserving exactly-one-
+  // response (side responses — shed victims — are still emitted here).
+  // Returns std::nullopt when the job was admitted.
+  std::optional<std::string> try_submit(JobSpec spec);
 
   // Counts a request line that never parsed into a job (the NDJSON front
   // ends report these; the service itself only sees valid specs).
@@ -150,6 +178,11 @@ class JobService {
   CircuitBreaker::State breaker_state(const std::string& protocol) const;
   std::uint64_t total_breaker_opens() const;
   std::uint64_t total_breaker_closes() const;
+  // Vote-quarantine state of `protocol`'s family (kVoting if never touched).
+  CircuitBreaker::VoteState vote_state(const std::string& protocol) const;
+  std::uint64_t total_divergences() const;
+  std::uint64_t total_quarantine_entries() const;
+  std::uint64_t total_quarantine_recoveries() const;
 
  private:
   struct ActiveJob {
@@ -160,9 +193,11 @@ class JobService {
 
   struct MetricIds {
     obs::CounterId accepted, rejected, invalid, completed, truncated, failed,
-        timeouts, retries, shed, circuit_open, watchdog_abandons;
+        timeouts, retries, shed, circuit_open, watchdog_abandons, voted,
+        divergences, no_majority, quarantine_entered, quarantine_recovered,
+        quarantined_jobs, captures;
     obs::GaugeId live, draining, queue_depth, queue_capacity, inflight,
-        degradation_level, breakers_open, overloaded;
+        degradation_level, breakers_open, overloaded, quarantined_families;
     obs::HistogramId queue_ms, run_ms;
   };
 
@@ -170,6 +205,8 @@ class JobService {
 
   void emit(JobResponse response);
   JobResponse overloaded_response(std::string id, std::string reason) const;
+  std::optional<std::string> submit_internal(JobSpec spec,
+                                             bool emit_rejection);
   // Pops queued jobs into the pool while workers are available, so the
   // admission queue (not the pool's FIFO) decides execution order.
   void pump_locked();
@@ -197,6 +234,11 @@ class JobService {
   std::uint64_t next_sequence_ = 0;
   int level_ = 0;  // degradation rung, 0 = healthy
   std::optional<Clock::time_point> overload_since_;
+  // Latched overload gauge (health.hpp): enters at the high watermark,
+  // exits at the low one — the raw comparison flapped every poll when
+  // occupancy hovered at the boundary.
+  OverloadHysteresis overload_gauge_;
+  std::size_t captures_written_ = 0;  // against vote_capture_limit
   bool draining_ = false;
   std::atomic<bool> cancel_{false};
 

@@ -149,6 +149,126 @@ TEST(CircuitBreakerTest, DegenerateConfigsAreLogicErrors) {
   config = small_config();
   config.half_open_probes = 0;
   EXPECT_THROW(CircuitBreaker{config}, std::logic_error);
+  config = small_config();
+  config.quarantine_divergences = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::logic_error);
+  config = small_config();
+  config.quarantine_window = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::logic_error);
+}
+
+// --- Vote-quarantine overlay (DESIGN.md §12) -------------------------------
+
+using VoteState = CircuitBreaker::VoteState;
+
+BreakerConfig quarantine_config() {
+  BreakerConfig config = small_config();
+  config.quarantine_divergences = 2;
+  config.quarantine_window = 4;
+  config.quarantine_cooldown = 100ms;
+  return config;
+}
+
+TEST(CircuitBreakerTest, WindowedDivergencesQuarantineTheFamily) {
+  CircuitBreaker breaker(quarantine_config());
+  const auto now = t0();
+  EXPECT_EQ(breaker.vote_state(), VoteState::kVoting);
+  EXPECT_TRUE(breaker.vote_allowed(now));
+  EXPECT_FALSE(breaker.record_divergence(now));  // 1 of 2 in the window
+  EXPECT_EQ(breaker.vote_state(), VoteState::kVoting);
+  EXPECT_TRUE(breaker.record_divergence(now));  // threshold reached
+  EXPECT_EQ(breaker.vote_state(), VoteState::kQuarantined);
+  EXPECT_EQ(breaker.quarantine_entries(), 1u);
+  EXPECT_EQ(breaker.divergences(), 2u);
+  EXPECT_FALSE(breaker.vote_allowed(now + 99ms));  // still cooling down
+}
+
+TEST(CircuitBreakerTest, CleanVotesAgeDivergencesOutOfTheWindow) {
+  CircuitBreaker breaker(quarantine_config());  // 2-of-4 window
+  const auto now = t0();
+  // One divergence followed by four clean votes: the divergence slides out
+  // of the window, so the next divergence is again only 1 of 4.
+  breaker.record_divergence(now);
+  for (int i = 0; i < 4; ++i) breaker.record_clean_vote();
+  EXPECT_FALSE(breaker.record_divergence(now));
+  EXPECT_EQ(breaker.vote_state(), VoteState::kVoting);
+}
+
+TEST(CircuitBreakerTest, QuarantineCooldownLeadsToProbationThenRecovery) {
+  CircuitBreaker breaker(quarantine_config());
+  const auto now = t0();
+  breaker.record_divergence(now);
+  breaker.record_divergence(now);
+  ASSERT_EQ(breaker.vote_state(), VoteState::kQuarantined);
+  // Cooldown elapsed: vote_allowed() flips the family into probation, and
+  // the first clean voted run recovers it.
+  EXPECT_TRUE(breaker.vote_allowed(now + 100ms));
+  EXPECT_EQ(breaker.vote_state(), VoteState::kProbation);
+  EXPECT_TRUE(breaker.record_clean_vote());
+  EXPECT_EQ(breaker.vote_state(), VoteState::kVoting);
+  EXPECT_EQ(breaker.quarantine_recoveries(), 1u);
+  // Recovery cleared the window: one divergence does not re-trip.
+  EXPECT_FALSE(breaker.record_divergence(now + 150ms));
+}
+
+TEST(CircuitBreakerTest, DivergenceDuringProbationRequarantines) {
+  CircuitBreaker breaker(quarantine_config());
+  const auto now = t0();
+  breaker.record_divergence(now);
+  breaker.record_divergence(now);
+  ASSERT_TRUE(breaker.vote_allowed(now + 100ms));  // → probation
+  EXPECT_TRUE(breaker.record_divergence(now + 100ms));
+  EXPECT_EQ(breaker.vote_state(), VoteState::kQuarantined);
+  EXPECT_EQ(breaker.quarantine_entries(), 2u);
+  // The fresh quarantine counts its cooldown from the re-entry.
+  EXPECT_FALSE(breaker.vote_allowed(now + 199ms));
+  EXPECT_TRUE(breaker.vote_allowed(now + 200ms));
+}
+
+TEST(CircuitBreakerTest, StragglerDivergenceWhileQuarantinedIsCounted) {
+  CircuitBreaker breaker(quarantine_config());
+  const auto now = t0();
+  breaker.record_divergence(now);
+  breaker.record_divergence(now);
+  ASSERT_EQ(breaker.vote_state(), VoteState::kQuarantined);
+  // A voted attempt that started before the quarantine finishes divergent:
+  // tallied, but no second quarantine entry.
+  EXPECT_FALSE(breaker.record_divergence(now + 10ms));
+  EXPECT_EQ(breaker.divergences(), 3u);
+  EXPECT_EQ(breaker.quarantine_entries(), 1u);
+}
+
+TEST(CircuitBreakerTest, QuarantineIsOrthogonalToTheExecutionBreaker) {
+  CircuitBreaker breaker(quarantine_config());
+  const auto now = t0();
+  breaker.record_divergence(now);
+  breaker.record_divergence(now);
+  ASSERT_EQ(breaker.vote_state(), VoteState::kQuarantined);
+  // A quarantined family still executes: allow() is untouched.
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.allow(now));
+  // And an open breaker does not disturb the vote overlay.
+  for (int i = 0; i < 3; ++i) breaker.record_failure(now);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.vote_state(), VoteState::kQuarantined);
+}
+
+TEST(CircuitBreakerTest, BankAggregatesQuarantineCounters) {
+  BreakerBank bank(quarantine_config());
+  const auto now = t0();
+  EXPECT_EQ(bank.quarantined_count(), 0u);
+  CircuitBreaker& avc = bank.for_key("avc");
+  avc.record_divergence(now);
+  avc.record_divergence(now);
+  bank.for_key("four-state").record_divergence(now);
+  EXPECT_EQ(bank.quarantined_count(), 1u);  // probation also counts as not-voting
+  EXPECT_EQ(bank.total_divergences(), 3u);
+  EXPECT_EQ(bank.total_quarantine_entries(), 1u);
+  ASSERT_TRUE(avc.vote_allowed(now + 100ms));
+  EXPECT_EQ(bank.quarantined_count(), 1u);  // probation still gated
+  avc.record_clean_vote();
+  EXPECT_EQ(bank.quarantined_count(), 0u);
+  EXPECT_EQ(bank.total_quarantine_recoveries(), 1u);
 }
 
 }  // namespace

@@ -65,7 +65,60 @@ TEST(CodecTest, MissingVersionOrIdIsInvalid) {
             std::string::npos);
   EXPECT_NE(parse_err(R"({"v": 1})").error.find("\"id\""), std::string::npos);
   parse_err(R"({"v": 1, "id": ""})");
-  parse_err(R"({"v": 2, "id": "a"})");  // future version, never half-parsed
+  parse_err(R"({"v": 3, "id": "a"})");  // future version, never half-parsed
+}
+
+TEST(CodecTest, SpeaksVersionOneAndTwo) {
+  // v1 requests remain valid verbatim; v2 adds only "replicas".
+  EXPECT_EQ(parse_ok(R"({"v": 1, "id": "a"})").vote_replicas, 0u);
+  EXPECT_EQ(parse_ok(R"({"v": 2, "id": "a"})").vote_replicas, 0u);
+  EXPECT_EQ(parse_ok(R"({"v": 2, "id": "a", "replicas": 5})").vote_replicas,
+            5u);
+  // "replicas" itself is not version-gated — the field set is the contract.
+  EXPECT_EQ(parse_ok(R"({"v": 1, "id": "a", "replicas": 3})").vote_replicas,
+            3u);
+}
+
+TEST(CodecTest, ReplicaCountMustBeOddAndBounded) {
+  const RequestError even =
+      parse_err(R"({"v": 2, "id": "a", "replicas": 2})");
+  EXPECT_NE(even.error.find("odd"), std::string::npos) << even.error;
+  parse_err(R"({"v": 2, "id": "a", "replicas": 4})");
+  parse_err(R"({"v": 2, "id": "a", "replicas": 0})");
+  parse_err(R"({"v": 2, "id": "a", "replicas": 103})");  // above the cap
+  EXPECT_EQ(parse_ok(R"({"v": 2, "id": "a", "replicas": 101})").vote_replicas,
+            101u);
+}
+
+TEST(CodecTest, RequestReaderRejectsDuplicateJobIds) {
+  RequestReader reader;
+  const std::string first = R"({"v": 2, "id": "job-1"})";
+  const std::string filler = R"({"v": 2, "id": "job-2"})";
+  EXPECT_TRUE(std::holds_alternative<JobSpec>(reader.next(first)));
+  EXPECT_TRUE(std::holds_alternative<JobSpec>(reader.next(filler)));
+  ParsedRequest third = reader.next(first);  // same id again
+  const RequestError* error = std::get_if<RequestError>(&third);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->id, "job-1");
+  // The error names the id and both byte offsets ('\n'-framed lines).
+  EXPECT_NE(error->error.find("duplicate job id \"job-1\""), std::string::npos)
+      << error->error;
+  EXPECT_NE(error->error.find("byte 0"), std::string::npos) << error->error;
+  EXPECT_NE(error->error.find(std::to_string(2 * (first.size() + 1))),
+            std::string::npos)
+      << error->error;
+  EXPECT_EQ(reader.ids_seen(), 2u);
+  EXPECT_EQ(reader.bytes_consumed(), 3 * (first.size() + 1));
+}
+
+TEST(CodecTest, RequestReaderDoesNotChargeIdsFromRejectedLines) {
+  RequestReader reader;
+  // A line that fails validation must not reserve its id: the client can
+  // resubmit a corrected request under the same id.
+  ParsedRequest bad = reader.next(R"({"v": 2, "id": "job-1", "n": 0})");
+  EXPECT_TRUE(std::holds_alternative<RequestError>(bad));
+  ParsedRequest good = reader.next(R"({"v": 2, "id": "job-1"})");
+  EXPECT_TRUE(std::holds_alternative<JobSpec>(good));
 }
 
 TEST(CodecTest, UnknownFieldsAreRejectedNotIgnored) {
@@ -150,6 +203,22 @@ TEST(CodecTest, ResponseLineIsSingleLineAndParsesBack) {
   EXPECT_EQ(result->find("correct")->as_u64(), 2u);
   EXPECT_DOUBLE_EQ(result->find("mean_parallel_time")->as_double(), 12.5);
   EXPECT_EQ(v.find("error"), nullptr);  // omitted when empty
+}
+
+TEST(CodecTest, ResponseCarriesVoteLabels) {
+  JobResponse response;
+  response.id = "job-v";
+  response.outcome = JobOutcome::kDone;
+  response.replicas_used = 3;
+  response.voted = true;
+  response.quarantined = false;
+  response.divergent = 1;
+  const JsonValue v = JsonValue::parse(job_response_line(response));
+  EXPECT_EQ(v.find("v")->as_u64(), 2u);
+  EXPECT_EQ(v.find("replicas_used")->as_u64(), 3u);
+  EXPECT_TRUE(v.find("voted")->as_bool());
+  EXPECT_FALSE(v.find("quarantined")->as_bool());
+  EXPECT_EQ(v.find("divergent")->as_u64(), 1u);
 }
 
 TEST(CodecTest, ResultObjectOnlyForCompletedOutcomes) {

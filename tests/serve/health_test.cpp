@@ -99,5 +99,81 @@ TEST(HealthTest, WriteHealthJsonRoundTripsThroughTheParser) {
   EXPECT_EQ(v.find("failed")->as_u64(), 4u);
 }
 
+TEST(HealthTest, VoteCountersDeriveAndRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.set(registry.gauge("serve.live"), 1.0);
+  registry.add(registry.counter("serve.vote.voted"), 40);
+  registry.add(registry.counter("serve.vote.divergences"), 5);
+  registry.add(registry.counter("serve.vote.no_majority"), 1);
+  registry.add(registry.counter("serve.vote.quarantine_entered"), 2);
+  registry.add(registry.counter("serve.vote.quarantine_recovered"), 1);
+  registry.add(registry.counter("serve.vote.quarantined_jobs"), 7);
+  registry.set(registry.gauge("serve.vote.quarantined_families"), 1.0);
+
+  const HealthSnapshot health = derive_health(registry);
+  EXPECT_EQ(health.voted, 40u);
+  EXPECT_EQ(health.divergences, 5u);
+  EXPECT_EQ(health.no_majority, 1u);
+  EXPECT_EQ(health.quarantine_entered, 2u);
+  EXPECT_EQ(health.quarantine_recovered, 1u);
+  EXPECT_EQ(health.quarantined_jobs, 7u);
+  EXPECT_EQ(health.quarantined_families, 1u);
+
+  std::ostringstream os;
+  JsonWriter json(os);
+  write_health_json(json, health);
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_EQ(v.find("voted")->as_u64(), 40u);
+  EXPECT_EQ(v.find("divergences")->as_u64(), 5u);
+  EXPECT_EQ(v.find("no_majority")->as_u64(), 1u);
+  EXPECT_EQ(v.find("quarantine_entered")->as_u64(), 2u);
+  EXPECT_EQ(v.find("quarantine_recovered")->as_u64(), 1u);
+  EXPECT_EQ(v.find("quarantined_jobs")->as_u64(), 7u);
+  EXPECT_EQ(v.find("quarantined_families")->as_u64(), 1u);
+}
+
+// --- Overload hysteresis (the flapping fix) --------------------------------
+
+TEST(HealthTest, OverloadLatchHoldsBetweenThresholds) {
+  OverloadHysteresis latch(0.75, 0.25);
+  EXPECT_FALSE(latch.overloaded());
+  EXPECT_FALSE(latch.update(0.74));  // below enter: stays calm
+  EXPECT_TRUE(latch.update(0.75));   // at enter: latches
+  EXPECT_TRUE(latch.update(0.50));   // in the band: holds
+  EXPECT_TRUE(latch.update(0.26));   // still above exit: holds
+  EXPECT_FALSE(latch.update(0.25));  // at exit: releases
+  EXPECT_FALSE(latch.update(0.50));  // in the band from below: stays calm
+}
+
+TEST(HealthTest, OccupancyHoveringAtTheBoundaryDoesNotFlap) {
+  // Regression: the raw comparison (occupancy >= high) emitted a fresh
+  // 0→1 edge on every poll while occupancy oscillated around the
+  // watermark. The latch must report one sustained episode.
+  OverloadHysteresis latch(0.75, 0.25);
+  int edges = 0;
+  bool last = latch.overloaded();
+  for (int i = 0; i < 100; ++i) {
+    // Hover: 0.74, 0.76, 0.74, 0.76, … — around the enter threshold.
+    const bool now = latch.update(i % 2 == 0 ? 0.74 : 0.76);
+    if (now != last) ++edges;
+    last = now;
+  }
+  EXPECT_EQ(edges, 1);  // a single 0→1 transition, then latched
+  EXPECT_TRUE(latch.overloaded());
+  // And dropping through the band releases exactly once.
+  EXPECT_TRUE(latch.update(0.30));
+  EXPECT_FALSE(latch.update(0.10));
+}
+
+TEST(HealthTest, InvertedHysteresisBandIsALogicError) {
+  EXPECT_THROW(OverloadHysteresis(0.25, 0.75), std::logic_error);
+  // A degenerate-but-ordered band (enter == exit) is allowed; the enter
+  // comparison wins at the shared boundary.
+  OverloadHysteresis latch(0.5, 0.5);
+  EXPECT_TRUE(latch.update(0.5));
+  EXPECT_TRUE(latch.update(0.5));
+  EXPECT_FALSE(latch.update(0.49));
+}
+
 }  // namespace
 }  // namespace popbean::serve

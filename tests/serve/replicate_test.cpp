@@ -1,0 +1,201 @@
+// Replicated voting core (serve/replicate.hpp): canonical payloads, the
+// vote_memory-style majority comparator, and the replica stream layout.
+#include "serve/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "population/run.hpp"
+
+namespace popbean::serve {
+namespace {
+
+RunResult converged_run(int decision) {
+  RunResult run;
+  run.status = RunStatus::kConverged;
+  run.decided = decision;
+  return run;
+}
+
+RunResult step_limit_run() {
+  RunResult run;
+  run.status = RunStatus::kStepLimit;
+  run.decided = 0;
+  return run;
+}
+
+ReplicaPayload payload_for(const std::vector<RunResult>& runs,
+                           bool corrupt = false) {
+  ReplicaPayload payload;
+  payload.corrupt = corrupt;
+  for (const RunResult& run : runs) append_decision(payload.bytes, run);
+  return payload;
+}
+
+TEST(ReplicateTest, ReplicaZeroReproducesTheLegacyStreamLayout) {
+  // k = 1 bit-exactness rests on this: replica 0's stream for (attempt,
+  // replicate) equals the pre-voting layout attempt * 1'000'003 + r.
+  for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+    for (std::uint32_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(replica_stream(attempt, r, 0), attempt * 1'000'003ULL + r);
+    }
+  }
+  // Non-zero replicas occupy the top 16 bits, disjoint from the legacy
+  // space for any realistic attempt count.
+  EXPECT_EQ(replica_stream(0, 0, 1), 1ULL << 48);
+  EXPECT_NE(replica_stream(2, 3, 1), replica_stream(2, 3, 2));
+}
+
+TEST(ReplicateTest, DecisionPayloadIsTwoBytesPerReplicate) {
+  std::vector<std::uint8_t> bytes;
+  append_decision(bytes, converged_run(1));
+  append_decision(bytes, converged_run(0));
+  append_decision(bytes, step_limit_run());
+  ASSERT_EQ(bytes.size(), 6u);
+  EXPECT_EQ(bytes[0], 0x00);  // RunStatus::kConverged
+  EXPECT_EQ(bytes[1], 0x01);  // decision 1
+  EXPECT_EQ(bytes[2], 0x00);
+  EXPECT_EQ(bytes[3], 0x00);  // decision 0
+  EXPECT_EQ(bytes[4], 0x01);  // RunStatus::kStepLimit
+  EXPECT_EQ(bytes[5], 0xff);  // no decision
+}
+
+TEST(ReplicateTest, UnanimousReplicasTakeTheFastPath) {
+  std::vector<std::optional<ReplicaPayload>> slots;
+  for (int j = 0; j < 3; ++j) {
+    slots.push_back(payload_for({converged_run(1), converged_run(1)}));
+  }
+  const VoteOutcome outcome = vote_payloads(slots);
+  EXPECT_TRUE(outcome.voted);
+  EXPECT_TRUE(outcome.majority_found);
+  EXPECT_EQ(outcome.winner, 0u);
+  EXPECT_EQ(outcome.agreeing, 3u);
+  EXPECT_EQ(outcome.divergent, 0u);
+  EXPECT_EQ(outcome.abandoned, 0u);
+  EXPECT_TRUE(outcome.minority.empty());
+}
+
+TEST(ReplicateTest, SingleReplicaIsAWinnerButNotAVote) {
+  std::vector<std::optional<ReplicaPayload>> slots;
+  slots.push_back(payload_for({converged_run(0)}));
+  const VoteOutcome outcome = vote_payloads(slots);
+  EXPECT_FALSE(outcome.voted);  // k = 1: no real vote happened
+  EXPECT_TRUE(outcome.majority_found);
+  EXPECT_EQ(outcome.winner, 0u);
+}
+
+TEST(ReplicateTest, TwoOfThreeOutvoteACorruptMinority) {
+  std::vector<std::optional<ReplicaPayload>> slots;
+  slots.push_back(payload_for({converged_run(1)}));
+  slots.push_back(payload_for({converged_run(1)}));
+  slots.push_back(payload_for({converged_run(0)}, /*corrupt=*/true));
+  const VoteOutcome outcome = vote_payloads(slots);
+  EXPECT_TRUE(outcome.majority_found);
+  EXPECT_EQ(outcome.winner, 0u);
+  EXPECT_EQ(outcome.agreeing, 2u);
+  EXPECT_EQ(outcome.divergent, 1u);
+  ASSERT_EQ(outcome.minority.size(), 1u);
+  EXPECT_EQ(outcome.minority[0], 2u);
+}
+
+TEST(ReplicateTest, AbandonedReplicasMatchNothingButCountInTheDenominator) {
+  // hailburst vote_memory convention: a NULL slot votes for no candidate,
+  // yet the majority threshold stays (1 + k) / 2 of the *full* slot count.
+  std::vector<std::optional<ReplicaPayload>> slots;
+  slots.push_back(payload_for({converged_run(1)}));
+  slots.push_back(std::nullopt);
+  slots.push_back(payload_for({converged_run(1)}));
+  VoteOutcome outcome = vote_payloads(slots);
+  EXPECT_TRUE(outcome.majority_found);  // 2 of 3 despite the null
+  EXPECT_EQ(outcome.abandoned, 1u);
+  EXPECT_EQ(outcome.agreeing, 2u);
+
+  // With two nulls the lone survivor's single self-match cannot reach the
+  // threshold of 2 — no majority, even though nothing disagreed.
+  slots.clear();
+  slots.push_back(payload_for({converged_run(1)}));
+  slots.push_back(std::nullopt);
+  slots.push_back(std::nullopt);
+  outcome = vote_payloads(slots);
+  EXPECT_FALSE(outcome.majority_found);
+  EXPECT_EQ(outcome.abandoned, 2u);
+}
+
+TEST(ReplicateTest, AllDivergentMeansNoMajority) {
+  std::vector<std::optional<ReplicaPayload>> slots;
+  slots.push_back(payload_for({converged_run(0)}));
+  slots.push_back(payload_for({converged_run(1)}));
+  slots.push_back(payload_for({step_limit_run()}));
+  const VoteOutcome outcome = vote_payloads(slots);
+  EXPECT_FALSE(outcome.majority_found);
+  EXPECT_EQ(outcome.divergent, 3u);  // every live replica is in a minority
+  EXPECT_EQ(outcome.minority.size(), 3u);
+}
+
+TEST(ReplicateTest, StatusBytesDistinguishEqualDecisionBytes) {
+  // A step-limit replica and a converged-to-0 replica both carry 0x00 in
+  // one byte position; the status byte must keep them distinct.
+  std::vector<std::optional<ReplicaPayload>> slots;
+  slots.push_back(payload_for({converged_run(0)}));
+  slots.push_back(payload_for({converged_run(0)}));
+  slots.push_back(payload_for({step_limit_run()}));
+  const VoteOutcome outcome = vote_payloads(slots);
+  EXPECT_TRUE(outcome.majority_found);
+  EXPECT_EQ(outcome.divergent, 1u);
+}
+
+TEST(ReplicateTest, FirstDivergingReplicateNamesTheExactRun) {
+  const ReplicaPayload winner =
+      payload_for({converged_run(1), converged_run(1), converged_run(1)});
+  const ReplicaPayload minority =
+      payload_for({converged_run(1), converged_run(0), converged_run(1)});
+  EXPECT_EQ(first_diverging_replicate(winner, minority), 1u);
+  EXPECT_EQ(first_diverging_replicate(winner, winner), std::nullopt);
+  // A truncated minority diverges at its first missing group.
+  const ReplicaPayload shorter = payload_for({converged_run(1)});
+  EXPECT_EQ(first_diverging_replicate(winner, shorter), 1u);
+}
+
+TEST(ReplicateTest, EvenReplicaCountsAreRejected) {
+  EXPECT_THROW(ReplicatedExecutor{2}, std::logic_error);
+  EXPECT_THROW(ReplicatedExecutor{0}, std::logic_error);
+  EXPECT_EQ(ReplicatedExecutor{1}.replicas(), 1u);
+  EXPECT_EQ(ReplicatedExecutor{3}.replicas(), 3u);
+}
+
+TEST(ReplicateTest, ExecutorStopsOnceAMajorityIsImpossible) {
+  ReplicatedExecutor executor(5);
+  std::vector<std::optional<ReplicaPayload>> slots;
+  int runs = 0;
+  const VoteOutcome outcome =
+      executor.execute(slots, [&](std::uint32_t) -> std::optional<ReplicaPayload> {
+        ++runs;
+        return std::nullopt;  // every replica abandoned (e.g. deadline)
+      });
+  // After 3 of 5 abandonments no candidate can reach 3 matches; the
+  // remaining 2 replicas must not burn worker time. The skipped slots
+  // still count as abandoned in the vote's denominator.
+  EXPECT_EQ(runs, 3);
+  EXPECT_FALSE(outcome.majority_found);
+  EXPECT_EQ(outcome.abandoned, 5u);
+}
+
+TEST(ReplicateTest, ExecutorSurvivesOneKilledReplica) {
+  ReplicatedExecutor executor(3);
+  std::vector<std::optional<ReplicaPayload>> slots;
+  const VoteOutcome outcome =
+      executor.execute(slots, [&](std::uint32_t j) -> std::optional<ReplicaPayload> {
+        if (j == 1) return std::nullopt;
+        return payload_for({converged_run(1)});
+      });
+  EXPECT_TRUE(outcome.majority_found);
+  EXPECT_EQ(outcome.agreeing, 2u);
+  EXPECT_EQ(outcome.abandoned, 1u);
+}
+
+}  // namespace
+}  // namespace popbean::serve

@@ -1,13 +1,21 @@
 // popbean-serve — the resilient job service on NDJSON stdin/stdout.
 //
-// Reads one v1 job request per line (serve/codec.hpp) from stdin or a
-// batch file, runs each through the JobService (admission control,
-// per-job deadlines, retry/backoff, per-protocol circuit breakers,
-// graceful degradation — DESIGN.md §9), and writes exactly one terminal
-// NDJSON response line per request: `done`/`truncated`/`timeout`/`failed`
-// for accepted jobs, `overloaded`/`invalid` for rejections. Lines that
-// never parse still get their `invalid` response (with the request id when
-// one could be salvaged), so a client can always correlate.
+// Reads one job request per line (serve/codec.hpp, protocol v1–v2) from
+// stdin or a batch file, runs each through the JobService (admission
+// control, per-job deadlines, retry/backoff, per-protocol circuit
+// breakers, replicated voting, graceful degradation — DESIGN.md §9, §12),
+// and writes exactly one terminal NDJSON response line per request:
+// `done`/`truncated`/`timeout`/`failed` for accepted jobs,
+// `overloaded`/`invalid` for rejections. Lines that never parse still get
+// their `invalid` response (with the request id when one could be
+// salvaged), so a client can always correlate. Duplicate job ids within
+// one run are a strict-codec error (the exactly-one-response contract is
+// per id).
+//
+// With --shards=N the front end routes through a ShardRouter: N in-process
+// service shards own slices of the protocol-family space via rendezvous
+// hashing, and a job rejected by its owner spills to siblings in the
+// family's deterministic fallback order.
 //
 // Exit status: 0 after a clean drain, 2 on usage errors, 3 when
 // interrupted (SIGINT/SIGTERM stop admission, drain in-flight work under
@@ -16,8 +24,9 @@
 //
 // Flags:
 //   --jobs=PATH            read requests from PATH instead of stdin
-//   --threads=T            worker threads (default: hardware concurrency)
-//   --queue-capacity=K     admission queue bound (default 256)
+//   --threads=T            worker threads per shard (default: hardware)
+//   --shards=N             in-process service shards (default 1)
+//   --queue-capacity=K     admission queue bound per shard (default 256)
 //   --shed=POLICY          reject-newest | deadline-aware | client-quota
 //   --client-quota=K       per-client queued-job cap (client-quota policy)
 //   --max-retries=K        retry budget per job (default 2)
@@ -25,13 +34,22 @@
 //   --drain-deadline-ms=MS    shutdown drain budget (default 5000)
 //   --breaker-failures=K   consecutive failures that open a breaker
 //   --breaker-cooldown-ms=MS  open → half-open cooldown (default 2000)
+//   --replicas=K           vote replicas per attempt (odd; default 1 = off)
+//   --quarantine-divergences=K  windowed divergences that quarantine a
+//                               family's voting (default 3)
+//   --quarantine-cooldown-ms=MS quarantine → probation cooldown (2000)
+//   --capture-dir=DIR      write divergence capture pairs here for
+//                          popbean-replay (default: off)
+//   --capture-limit=K      max capture pairs per run (default 8)
 //   --seed=S               backoff-jitter seed (default 0x5e7)
 //   --chaos=P              per-attempt chaos probability in [0,1] (default 0:
 //                          no injection; faults are fail/slow/corrupt)
 //   --chaos-seed=S         chaos stream seed (default 7)
+//   --corrupt-rate=R       per-interaction rate of kCorrupt faults (1e-3)
 //   --metrics-out=PATH     metrics snapshot JSON after the drain
 //   --health-out=PATH      final HealthSnapshot JSON after the drain
-//   --telemetry-out=PATH   one JSONL event per terminal response
+//   --telemetry-out=PATH   JSONL: one event per terminal response, plus
+//                          vote_divergence events from the service
 
 #include <atomic>
 #include <csignal>
@@ -44,6 +62,7 @@
 
 #include "obs/telemetry.hpp"
 #include "serve/codec.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -68,7 +87,8 @@ ShedPolicy parse_shed_policy(const std::string& text) {
 }
 
 // Deterministic per-(job, attempt) chaos draw: the same request file with
-// the same --chaos-seed injects the same faults.
+// the same --chaos-seed injects the same faults. kCorruptAll is never
+// drawn here — it exists for tests that need a deterministic no-majority.
 ChaosAction draw_chaos(double probability, std::uint64_t chaos_seed,
                        const ChaosContext& ctx) {
   Xoshiro256ss rng(chaos_seed, ctx.sequence * 8191 + ctx.attempt);
@@ -83,11 +103,14 @@ ChaosAction draw_chaos(double probability, std::uint64_t chaos_seed,
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
-    args.check_known({"jobs", "threads", "queue-capacity", "shed",
+    args.check_known({"jobs", "threads", "shards", "queue-capacity", "shed",
                       "client-quota", "max-retries", "default-deadline-ms",
                       "drain-deadline-ms", "breaker-failures",
-                      "breaker-cooldown-ms", "seed", "chaos", "chaos-seed",
-                      "metrics-out", "health-out", "telemetry-out"});
+                      "breaker-cooldown-ms", "replicas",
+                      "quarantine-divergences", "quarantine-cooldown-ms",
+                      "capture-dir", "capture-limit", "seed", "chaos",
+                      "chaos-seed", "corrupt-rate", "metrics-out",
+                      "health-out", "telemetry-out"});
 
     ServiceConfig config;
     config.threads = static_cast<std::size_t>(args.get_uint64("threads", 0));
@@ -107,6 +130,19 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_uint64("breaker-failures", 5));
     config.breaker.cooldown = std::chrono::milliseconds(static_cast<std::int64_t>(
         args.get_uint64("breaker-cooldown-ms", 2000)));
+    config.breaker.quarantine_divergences =
+        static_cast<std::size_t>(args.get_uint64("quarantine-divergences", 3));
+    config.breaker.quarantine_cooldown =
+        std::chrono::milliseconds(static_cast<std::int64_t>(
+            args.get_uint64("quarantine-cooldown-ms", 2000)));
+    config.vote_replicas =
+        static_cast<std::uint32_t>(args.get_uint64("replicas", 1));
+    if (config.vote_replicas % 2 == 0) {
+      throw std::runtime_error("flag --replicas: must be odd");
+    }
+    config.vote_capture_dir = args.get_string("capture-dir", "");
+    config.vote_capture_limit =
+        static_cast<std::size_t>(args.get_uint64("capture-limit", 8));
     config.seed = args.get_uint64("seed", 0x5e7);
     const double chaos = args.get_double("chaos", 0.0);
     if (chaos < 0.0 || chaos > 1.0) {
@@ -118,6 +154,10 @@ int main(int argc, char** argv) {
         return draw_chaos(chaos, chaos_seed, ctx);
       };
     }
+    config.chaos_corrupt_rate = args.get_double("corrupt-rate", 1e-3);
+    const std::size_t shards =
+        static_cast<std::size_t>(args.get_uint64("shards", 1));
+    if (shards < 1) throw std::runtime_error("flag --shards: must be >= 1");
     const std::string jobs_path = args.get_string("jobs", "");
     const std::string metrics_path = args.get_string("metrics-out", "");
     const std::string health_path = args.get_string("health-out", "");
@@ -131,7 +171,10 @@ int main(int argc, char** argv) {
     std::istream& in = jobs_path.empty() ? std::cin : jobs_file;
 
     std::optional<obs::TelemetrySink> telemetry;
-    if (!telemetry_path.empty()) telemetry.emplace(telemetry_path);
+    if (!telemetry_path.empty()) {
+      telemetry.emplace(telemetry_path);
+      config.telemetry = &*telemetry;
+    }
 
     // One mutex serializes every response line (service sink and the
     // invalid/overloaded lines the front end writes directly).
@@ -147,6 +190,8 @@ int main(int argc, char** argv) {
           json.kv("id", response.id);
           json.kv("outcome", to_string(response.outcome));
           json.kv("attempts", static_cast<std::uint64_t>(response.attempts));
+          json.kv("voted", response.voted);
+          json.kv("quarantined", response.quarantined);
         });
       }
     };
@@ -154,15 +199,32 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_drain_signal);
     std::signal(SIGTERM, handle_drain_signal);
 
-    JobService service(config, write_line);
+    // shards == 1 keeps the plain single-service path (bit-identical to
+    // the pre-sharding tool, including the backoff seed); --shards=N wraps
+    // the same config in a ShardRouter.
+    std::optional<JobService> service;
+    std::optional<ShardRouter> router;
+    if (shards == 1) {
+      service.emplace(config, write_line);
+    } else {
+      RouterConfig router_config;
+      router_config.shards = shards;
+      router_config.service = config;
+      router.emplace(std::move(router_config), write_line);
+    }
 
+    RequestReader reader;
     std::string line;
     while (!g_interrupted.load(std::memory_order_relaxed) &&
            std::getline(in, line)) {
       if (line.empty()) continue;
-      ParsedRequest request = parse_job_request(line);
+      ParsedRequest request = reader.next(line);
       if (const auto* error = std::get_if<RequestError>(&request)) {
-        service.note_invalid();
+        if (service.has_value()) {
+          service->note_invalid();
+        } else {
+          router->note_invalid();
+        }
         JobResponse response;
         response.id = error->id;
         response.outcome = JobOutcome::kInvalid;
@@ -170,24 +232,49 @@ int main(int argc, char** argv) {
         write_line(response);
         continue;
       }
-      service.submit(std::move(std::get<JobSpec>(request)));
+      JobSpec spec = std::move(std::get<JobSpec>(request));
+      if (service.has_value()) {
+        service->submit(std::move(spec));
+      } else {
+        router->submit(std::move(spec));
+      }
     }
 
     const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
-    service.drain(config.drain_deadline);
+    if (service.has_value()) {
+      service->drain(config.drain_deadline);
+    } else {
+      router->drain(config.drain_deadline);
+    }
 
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
       if (!out) throw std::runtime_error("cannot open " + metrics_path);
       JsonWriter json(out);
-      service.metrics().write_json(json);
+      if (service.has_value()) {
+        service->metrics().write_json(json);
+      } else {
+        // Sharded runs keep per-shard registries; emit them side by side.
+        json.begin_object();
+        json.key("shards");
+        json.begin_array();
+        for (std::size_t i = 0; i < router->shard_count(); ++i) {
+          router->shard(i).metrics().write_json(json);
+        }
+        json.end_array();
+        json.end_object();
+      }
       out << "\n";
     }
     if (!health_path.empty()) {
       std::ofstream out(health_path);
       if (!out) throw std::runtime_error("cannot open " + health_path);
       JsonWriter json(out);
-      write_health_json(json, service.health());
+      if (service.has_value()) {
+        write_health_json(json, service->health());
+      } else {
+        write_health_json(json, router->health());
+      }
       out << "\n";
     }
     return interrupted ? 3 : 0;
