@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Perf-trajectory gate for the engine microbench (DESIGN.md §8).
+#
+# Runs build/bench/engine_microbench on the committed baseline's grid and
+# compares per-case ns/interaction against BENCH_baseline.json, using the
+# BEST repeat of each case (1e9 / units_per_sec.max): best-of is robust to
+# scheduler noise where the mean is not — a descheduled repeat inflates the
+# mean by 30% but barely moves the best. A case slower than baseline by
+# more than the tolerance fails the job; a case *faster* by more than the
+# tolerance only warns (the baseline is stale — refresh it, don't celebrate
+# silently).
+#
+# The tolerance is deliberately wide (default 25%) because CI runners are
+# shared; the gate exists to catch step-change regressions (an accidental
+# O(n) in the hot loop, a lost fast path), not single-digit drift.
+#
+# Usage: scripts/ci_bench_regress.sh [path/to/engine_microbench]
+#   BENCH_BASELINE=path   baseline report (default BENCH_baseline.json)
+#   TOLERANCE_PCT=N       regression tolerance in percent (default 25)
+#   UPDATE_BASELINE=1     rewrite the baseline from this run instead of
+#                         comparing (use on a quiet machine, then commit)
+set -u -o pipefail
+
+BENCH_BIN="${1:-build/bench/engine_microbench}"
+BASELINE="${BENCH_BASELINE:-BENCH_baseline.json}"
+TOLERANCE_PCT="${TOLERANCE_PCT:-25}"
+
+if [[ ! -x "$BENCH_BIN" ]]; then
+  echo "$BENCH_BIN not found (build it first)" >&2
+  exit 2
+fi
+
+# The baseline records its own grid so the comparison run always matches it.
+if [[ "${UPDATE_BASELINE:-0}" != "1" && ! -f "$BASELINE" ]]; then
+  echo "baseline $BASELINE not found (run with UPDATE_BASELINE=1 first)" >&2
+  exit 2
+fi
+
+if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
+  N=20000; BATCH=500000; SKIP_BATCH=50000; REPEATS=5
+else
+  read -r N BATCH SKIP_BATCH REPEATS < <(python3 - "$BASELINE" <<'EOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+print(base["n"], base["batch"], base["skip_batch"], base["repeats"])
+EOF
+  )
+fi
+
+REPORT="$(mktemp --suffix=.json)"
+trap 'rm -f "$REPORT"' EXIT
+echo "=== engine_microbench (n=$N batch=$BATCH skip_batch=$SKIP_BATCH repeats=$REPEATS) ==="
+"$BENCH_BIN" --n="$N" --batch="$BATCH" --skip-batch="$SKIP_BATCH" \
+  --repeats="$REPEATS" --json="$REPORT" >/dev/null
+
+if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
+  cp "$REPORT" "$BASELINE"
+  echo "baseline refreshed: $BASELINE"
+  exit 0
+fi
+
+echo "=== compare ns/interaction vs $BASELINE (±${TOLERANCE_PCT}%) ==="
+python3 - "$BASELINE" "$REPORT" "$TOLERANCE_PCT" <<'EOF'
+import json, sys
+
+baseline_path, report_path, tolerance_pct = sys.argv[1:4]
+tolerance = float(tolerance_pct) / 100.0
+
+def ns_per_unit(report):
+    cases = {}
+    for case in report["results"]:
+        rate = case["units_per_sec"]["max"]  # best repeat: noise-robust
+        if rate > 0:
+            cases[case["name"]] = 1e9 / rate
+    return cases
+
+base = ns_per_unit(json.load(open(baseline_path)))
+now = ns_per_unit(json.load(open(report_path)))
+
+regressions, improvements, compared = [], [], 0
+for name, base_ns in sorted(base.items()):
+    if name not in now:
+        print(f"SKIP {name}: case missing from this run")
+        continue
+    compared += 1
+    ratio = now[name] / base_ns
+    line = f"{name}: {base_ns:9.3f} -> {now[name]:9.3f} ns/unit ({ratio:5.2f}x)"
+    if ratio > 1.0 + tolerance:
+        regressions.append(line)
+        print("REGRESSION", line)
+    elif ratio < 1.0 - tolerance:
+        improvements.append(line)
+        print("FASTER    ", line)
+    else:
+        print("ok        ", line)
+
+assert compared > 0, "no comparable cases between baseline and this run"
+if improvements:
+    print(f"\nnote: {len(improvements)} case(s) beat the baseline by more "
+          f"than {tolerance_pct}% — refresh BENCH_baseline.json "
+          "(UPDATE_BASELINE=1) so the gate tracks the new floor")
+if regressions:
+    print(f"\n{len(regressions)} case(s) regressed beyond ±{tolerance_pct}%",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: {compared} cases within tolerance")
+EOF

@@ -1,0 +1,89 @@
+// Request-scoped trace context (DESIGN.md §13): the identity a job carries
+// through the whole serve pipeline so every stage it touches — admission,
+// queue, shard, voting replicas, retries, abandonment — lands on one
+// causally-linked span tree.
+//
+// A TraceContext is a 64-bit trace id plus the id of the current span.
+// Trace ids are minted once per request at codec decode (serve/codec.hpp's
+// RequestReader) or, for directly-submitted jobs, at service admission; the
+// id then rides the JobSpec across shard spills and retry attempts
+// unchanged, is used as the Chrome async-event `id` (so Perfetto groups a
+// job's spans on one track), keys histogram exemplars (obs/prom.hpp), and
+// is echoed verbatim as `trace_id` in the NDJSON response — the join key
+// between a response line, a trace file, and a metrics scrape.
+//
+// Minting is a process-global atomic counter fed through splitmix64: ids
+// are unique per process, never zero (zero means "untraced"), and the
+// sequence is deterministic per process run, so tests can assert exact
+// span-tree shapes. Span ids come from a second counter; they only need
+// uniqueness, not unguessability.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace popbean::obs {
+
+// splitmix64 finalizer: bijective on 64-bit, so distinct counters always
+// yield distinct trace ids.
+constexpr std::uint64_t mix_trace_counter(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace detail {
+inline std::atomic<std::uint64_t>& trace_counter() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+inline std::atomic<std::uint64_t>& span_counter() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+}  // namespace detail
+
+// Mints a fresh nonzero trace id. Thread-safe, wait-free.
+inline std::uint64_t mint_trace_id() noexcept {
+  for (;;) {
+    const std::uint64_t id = mix_trace_counter(
+        detail::trace_counter().fetch_add(1, std::memory_order_relaxed) + 1);
+    if (id != 0) return id;  // splitmix64 maps exactly one input to 0
+  }
+}
+
+// Mints a fresh span id (small, monotone — safe to carry in double args).
+inline std::uint64_t mint_span_id() noexcept {
+  return detail::span_counter().fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = untraced
+  std::uint64_t span_id = 0;   // current (parent-to-be) span
+
+  bool valid() const noexcept { return trace_id != 0; }
+
+  // Context for a child span: same trace, fresh span id.
+  TraceContext child() const noexcept {
+    return TraceContext{trace_id, mint_span_id()};
+  }
+};
+
+// Lower-case hex rendering of a trace id, the form used for Chrome async
+// event ids, exemplar labels, and log lines ("0x" prefix included).
+inline std::string trace_id_hex(std::uint64_t trace_id) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  char buffer[16];
+  std::size_t len = 0;
+  do {
+    buffer[len++] = kDigits[trace_id & 0xf];
+    trace_id >>= 4;
+  } while (trace_id != 0);
+  std::string out = "0x";
+  while (len > 0) out.push_back(buffer[--len]);
+  return out;
+}
+
+}  // namespace popbean::obs

@@ -101,11 +101,16 @@ void MetricsRegistry::set(GaugeId id, double value) {
 }
 
 void MetricsRegistry::observe(HistogramId id, double value) {
+  observe(id, value, 0);
+}
+
+void MetricsRegistry::observe(HistogramId id, double value,
+                              std::uint64_t trace_id) {
   Shard& shard = shard_for_this_thread();
   {
     std::lock_guard hist_lock(shard.hist_mutex);
     if (id.index < shard.hists.size() && shard.hists[id.index] != nullptr) {
-      shard.hists[id.index]->add(value);
+      shard.hists[id.index]->add(value, trace_id);
       return;
     }
   }
@@ -122,7 +127,7 @@ void MetricsRegistry::observe(HistogramId id, double value) {
   if (shard.hists[id.index] == nullptr) {
     shard.hists[id.index] = std::move(fresh);
   }
-  shard.hists[id.index]->add(value);
+  shard.hists[id.index]->add(value, trace_id);
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {

@@ -79,6 +79,9 @@ class MetricsRegistry {
   void add(CounterId id, std::uint64_t delta = 1);
   void set(GaugeId id, double value);
   void observe(HistogramId id, double value);
+  // As observe(), and stamps the bucket's exemplar with `trace_id` (0 =
+  // untraced, no exemplar) — see Histogram::Exemplar.
+  void observe(HistogramId id, double value, std::uint64_t trace_id);
 
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;

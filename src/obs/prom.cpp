@@ -1,0 +1,346 @@
+#include "obs/prom.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/context.hpp"
+#include "util/check.hpp"
+
+namespace popbean::obs {
+
+namespace {
+
+bool name_char_ok(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Shortest round-trip-safe rendering; integral values print without a
+// fractional part (Prometheus counters are conventionally integers).
+std::string format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string format_le(double edge) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", edge);
+  return buf;
+}
+
+void write_labels(std::ostream& os, const PromExposition::Labels& labels) {
+  if (labels.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << key << "=\"" << prom_escape_label(value) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string prom_metric_name(std::string_view name) {
+  std::string out = "popbean_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out.push_back(name_char_ok(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Snapshot merge_snapshots(
+    const std::vector<MetricsRegistry::Snapshot>& snaps) {
+  MetricsRegistry::Snapshot out;
+  // First-seen order; shards register the same names in the same order, so
+  // this is simply the registration order of the first shard.
+  for (const MetricsRegistry::Snapshot& snap : snaps) {
+    for (const auto& [name, value] : snap.counters) {
+      bool found = false;
+      for (auto& [out_name, out_value] : out.counters) {
+        if (out_name == name) {
+          out_value += value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.counters.emplace_back(name, value);
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      bool found = false;
+      for (auto& [out_name, out_value] : out.gauges) {
+        if (out_name == name) {
+          out_value = value;  // last snapshot wins; gauges don't sum
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.gauges.emplace_back(name, value);
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+      bool found = false;
+      for (auto& [out_name, out_hist] : out.histograms) {
+        if (out_name == name) {
+          out_hist.merge(hist);
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.histograms.emplace_back(name, hist);
+    }
+  }
+  return out;
+}
+
+PromExposition::Family& PromExposition::family(std::string name,
+                                               std::string_view type) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = std::string(type);
+    order_.push_back(std::move(name));
+  } else {
+    POPBEAN_CHECK_MSG(it->second.type == type,
+                      "PromExposition: one family, two types");
+  }
+  return it->second;
+}
+
+void PromExposition::add(const MetricsRegistry::Snapshot& snap,
+                         Labels labels) {
+  for (const auto& [name, value] : snap.counters) {
+    family(prom_metric_name(name) + "_total", "counter")
+        .series.push_back({labels, static_cast<double>(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    family(prom_metric_name(name), "gauge").series.push_back({labels, value});
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    Family& fam = family(prom_metric_name(name), "histogram");
+    // Histogram families expand at write time: stash cumulative buckets as
+    // series labelled with `le`, then _sum/_count under sentinel labels.
+    std::uint64_t cumulative = 0;
+    for (std::size_t bin = 0; bin < hist.bin_count(); ++bin) {
+      cumulative += hist.count(bin);
+      Labels bucket_labels = labels;
+      bucket_labels.emplace_back("le", format_le(hist.bin_high(bin)));
+      fam.series.push_back({bucket_labels, static_cast<double>(cumulative)});
+      if (const Histogram::Exemplar* ex = hist.exemplar(bin)) {
+        fam.exemplars.push_back(
+            {format_le(hist.bin_high(bin)), labels, ex->value, ex->trace_id});
+      }
+    }
+    Labels inf_labels = labels;
+    inf_labels.emplace_back("le", "+Inf");
+    fam.series.push_back(
+        {inf_labels, static_cast<double>(hist.total())});
+    Labels sum_labels = labels;
+    sum_labels.emplace_back("__suffix", "_sum");
+    fam.series.push_back({sum_labels, hist.sum()});
+    Labels count_labels = labels;
+    count_labels.emplace_back("__suffix", "_count");
+    fam.series.push_back(
+        {count_labels, static_cast<double>(hist.total())});
+  }
+}
+
+void PromExposition::add_counter(std::string_view name, std::uint64_t value,
+                                 Labels labels) {
+  family(prom_metric_name(name) + "_total", "counter")
+      .series.push_back({std::move(labels), static_cast<double>(value)});
+}
+
+void PromExposition::write(std::ostream& os) const {
+  for (const std::string& name : order_) {
+    const Family& fam = families_.at(name);
+    os << "# TYPE " << name << ' ' << fam.type << '\n';
+    for (const Series& series : fam.series) {
+      // Histogram series carry their sample-name suffix as a sentinel
+      // label; buckets (an `le` label) use the _bucket sample name.
+      std::string sample_name = name;
+      Labels labels;
+      labels.reserve(series.labels.size());
+      for (const auto& [key, value] : series.labels) {
+        if (key == "__suffix") {
+          sample_name += value;
+        } else {
+          if (key == "le" && fam.type == "histogram" &&
+              sample_name == name) {
+            sample_name += "_bucket";
+          }
+          labels.push_back({key, value});
+        }
+      }
+      os << sample_name;
+      write_labels(os, labels);
+      os << ' ' << format_value(series.value) << '\n';
+      // Bucket exemplar rides as a comment directly after its bucket line.
+      if (fam.type == "histogram") {
+        for (const BucketExemplar& ex : fam.exemplars) {
+          bool same = !labels.empty() && labels.back().first == "le" &&
+                      labels.back().second == ex.bucket_le;
+          if (same) {
+            Labels base(labels.begin(), labels.end() - 1);
+            same = base == ex.labels;
+          }
+          if (!same) continue;
+          os << "# exemplar " << sample_name;
+          write_labels(os, labels);
+          os << ' ' << format_value(ex.value) << ' '
+             << trace_id_hex(ex.trace_id) << '\n';
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("prometheus parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+// Parses `name{k="v",…}` from `line` starting at 0; returns the position
+// one past the series (start of the value field, after skipping spaces).
+std::size_t parse_series(const std::string& line, std::size_t line_no,
+                         std::string& name,
+                         std::map<std::string, std::string>& labels) {
+  std::size_t pos = 0;
+  while (pos < line.size() && name_char_ok(line[pos])) ++pos;
+  if (pos == 0) parse_fail(line_no, "expected metric name");
+  name = line.substr(0, pos);
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::size_t key_start = pos;
+      while (pos < line.size() && name_char_ok(line[pos])) ++pos;
+      if (pos == key_start || pos >= line.size() || line[pos] != '=') {
+        parse_fail(line_no, "malformed label name");
+      }
+      const std::string key = line.substr(key_start, pos - key_start);
+      ++pos;  // '='
+      if (pos >= line.size() || line[pos] != '"') {
+        parse_fail(line_no, "label value must be quoted");
+      }
+      ++pos;  // opening quote
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        char c = line[pos];
+        if (c == '\\') {
+          ++pos;
+          if (pos >= line.size()) parse_fail(line_no, "dangling escape");
+          switch (line[pos]) {
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            case 'n': c = '\n'; break;
+            default: parse_fail(line_no, "unknown escape in label value");
+          }
+        }
+        value.push_back(c);
+        ++pos;
+      }
+      if (pos >= line.size()) parse_fail(line_no, "unterminated label value");
+      ++pos;  // closing quote
+      labels.emplace(key, value);
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size()) parse_fail(line_no, "unterminated label set");
+    ++pos;  // '}'
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  return pos;
+}
+
+double parse_value(const std::string& token, std::size_t line_no) {
+  if (token == "+Inf") return std::numeric_limits<double>::infinity();
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed != token.size()) parse_fail(line_no, "trailing value bytes");
+    return v;
+  } catch (const std::invalid_argument&) {
+    parse_fail(line_no, "malformed sample value '" + token + "'");
+  } catch (const std::out_of_range&) {
+    parse_fail(line_no, "sample value out of range");
+  }
+}
+
+}  // namespace
+
+PromDocument parse_prometheus(std::string_view text) {
+  PromDocument doc;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string line(text.substr(start, end - start));
+    start = end + 1;
+    if (line.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        if (space == std::string::npos) parse_fail(line_no, "malformed TYPE");
+        doc.types[rest.substr(0, space)] = rest.substr(space + 1);
+      } else if (line.rfind("# exemplar ", 0) == 0) {
+        const std::string rest = line.substr(11);
+        PromExemplar ex;
+        std::size_t pos = parse_series(rest, line_no, ex.name, ex.labels);
+        const std::size_t space = rest.find(' ', pos);
+        if (space == std::string::npos) {
+          parse_fail(line_no, "exemplar missing trace id");
+        }
+        ex.value = parse_value(rest.substr(pos, space - pos), line_no);
+        const std::string hex = rest.substr(space + 1);
+        if (hex.rfind("0x", 0) != 0 || hex.size() <= 2 || hex.size() > 18) {
+          parse_fail(line_no, "malformed exemplar trace id");
+        }
+        ex.trace_id = std::stoull(hex.substr(2), nullptr, 16);
+        doc.exemplars.push_back(std::move(ex));
+      }
+      // Other comments (e.g. # HELP) are skipped per the format spec.
+      continue;
+    }
+
+    PromSample sample;
+    const std::size_t pos = parse_series(line, line_no, sample.name,
+                                         sample.labels);
+    if (pos >= line.size()) parse_fail(line_no, "missing sample value");
+    sample.value = parse_value(line.substr(pos), line_no);
+    doc.samples.push_back(std::move(sample));
+  }
+  return doc;
+}
+
+}  // namespace popbean::obs

@@ -1,0 +1,120 @@
+// Prometheus text-format exposition (version 0.0.4) of MetricsRegistry
+// snapshots (DESIGN.md §13). This is the fleet-facing face of the metrics
+// layer: every serve shard contributes its snapshot under a `shard="i"`
+// label, the merged rollup appears as `shard="fleet"`, and the whole
+// document is what `popbean-serve --prom-out` writes periodically and
+// `popbean-top` tails.
+//
+// Mapping rules:
+//   * names: dots become underscores, a `popbean_` prefix is added, and any
+//     character outside [a-zA-Z0-9_:] is replaced by `_`;
+//   * counters get the conventional `_total` suffix and `# TYPE … counter`;
+//   * gauges map 1:1 with `# TYPE … gauge`;
+//   * histograms expand to cumulative `_bucket{le="…"}` series (including
+//     `le="+Inf"`), plus `_sum` and `_count`, with `# TYPE … histogram`;
+//   * label values escape backslash, double quote, and newline per the
+//     format spec.
+//
+// Bucket exemplars (util/histogram's trace-id exemplars) don't exist in
+// text format 0.0.4, so they ride as `# exemplar` comment lines directly
+// after their bucket — legal for any 0.0.4 parser (comments are skipped)
+// and structured enough for popbean-top and the CI checker to recover the
+// trace id.
+//
+// A small parser (`parse_prometheus`) reads the same dialect back for
+// popbean-top and for round-trip tests; it is not a general Prometheus
+// parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace popbean::obs {
+
+// `serve.jobs.completed` → `popbean_serve_jobs_completed` (no suffix logic;
+// callers append `_total` for counters).
+std::string prom_metric_name(std::string_view name);
+
+// Escapes a label value for use inside double quotes: backslash, quote,
+// newline.
+std::string prom_escape_label(std::string_view value);
+
+// Folds many registry snapshots into one: counters summed, gauges
+// last-wins by snapshot order, histograms merged (same_shape required —
+// all shards register identical shapes by construction).
+MetricsRegistry::Snapshot merge_snapshots(
+    const std::vector<MetricsRegistry::Snapshot>& snaps);
+
+// Accumulates labelled snapshots and writes one grouped exposition.
+class PromExposition {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  // Adds every series of `snap` under `labels` (e.g. {{"shard", "0"}}).
+  void add(const MetricsRegistry::Snapshot& snap, Labels labels);
+
+  // Adds a single extra counter series (e.g. trace_events_dropped, which
+  // lives in the tool-owned TraceCollector rather than a registry).
+  void add_counter(std::string_view name, std::uint64_t value, Labels labels);
+
+  // Writes the exposition: one `# TYPE` line per metric family, then every
+  // labelled series of that family. Content type is
+  // `text/plain; version=0.0.4`.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Series {
+    Labels labels;
+    double value = 0.0;
+  };
+  struct BucketExemplar {
+    std::string bucket_le;
+    Labels labels;
+    double value = 0.0;
+    std::uint64_t trace_id = 0;
+  };
+  struct Family {
+    std::string type;  // "counter" | "gauge" | "histogram"
+    std::vector<Series> series;
+    std::vector<BucketExemplar> exemplars;  // histogram families only
+  };
+
+  Family& family(std::string name, std::string_view type);
+
+  std::vector<std::string> order_;  // first-seen family order
+  std::map<std::string, Family> families_;
+};
+
+// One parsed sample line (`name{label="v",…} value`).
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+// One parsed `# exemplar` comment line.
+struct PromExemplar {
+  std::string name;  // the bucket series name (…_bucket)
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+  std::uint64_t trace_id = 0;
+};
+
+struct PromDocument {
+  std::vector<PromSample> samples;
+  std::vector<PromExemplar> exemplars;
+  std::map<std::string, std::string> types;  // family → declared type
+};
+
+// Parses the dialect written by PromExposition. Throws std::runtime_error
+// with a line number on malformed input — the CI format check relies on
+// this being strict.
+PromDocument parse_prometheus(std::string_view text);
+
+}  // namespace popbean::obs

@@ -1,0 +1,106 @@
+// Bounded slow-request log (DESIGN.md §13): retains the top-k completed
+// jobs by total latency (queue + run) with enough span breakdown to explain
+// the outlier without opening the trace file — and the trace id to open it
+// when that isn't enough.
+//
+// The log is a fixed-capacity min-heap keyed by latency: recording is O(log
+// k) under one mutex and the capacity (default 32) bounds memory no matter
+// how long the server runs. entries() returns a slowest-first copy.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace popbean::obs {
+
+class SlowLog {
+ public:
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    std::string job_id;
+    std::string outcome;
+    std::size_t shard = 0;
+    double queue_ms = 0.0;
+    double run_ms = 0.0;
+    std::uint64_t attempts = 0;
+
+    double total_ms() const noexcept { return queue_ms + run_ms; }
+  };
+
+  explicit SlowLog(std::size_t capacity = 32)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void record(Entry entry) {
+    std::lock_guard lock(mutex_);
+    if (heap_.size() < capacity_) {
+      heap_.push_back(std::move(entry));
+      std::push_heap(heap_.begin(), heap_.end(), faster);
+      return;
+    }
+    // Full: only a request slower than the current fastest keeper displaces.
+    if (entry.total_ms() <= heap_.front().total_ms()) return;
+    std::pop_heap(heap_.begin(), heap_.end(), faster);
+    heap_.back() = std::move(entry);
+    std::push_heap(heap_.begin(), heap_.end(), faster);
+  }
+
+  // Slowest first.
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    {
+      std::lock_guard lock(mutex_);
+      out = heap_;
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.total_ms() > b.total_ms();
+    });
+    return out;
+  }
+
+  // Streams {"capacity": k, "entries": [{trace_id, id, outcome, shard,
+  // queue_ms, run_ms, attempts, total_ms}…]} slowest first.
+  void write_json(JsonWriter& json) const {
+    const std::vector<Entry> sorted = entries();
+    json.begin_object();
+    json.kv("capacity", capacity_);
+    json.key("entries");
+    json.begin_array();
+    for (const Entry& e : sorted) {
+      json.begin_object();
+      json.kv("trace_id", e.trace_id);
+      json.kv("id", e.job_id);
+      json.kv("outcome", e.outcome);
+      json.kv("shard", e.shard);
+      json.kv("queue_ms", e.queue_ms);
+      json.kv("run_ms", e.run_ms);
+      json.kv("attempts", e.attempts);
+      json.kv("total_ms", e.total_ms());
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+ private:
+  // Min-heap comparator: the *fastest* keeper sits at front, ready to be
+  // displaced.
+  static bool faster(const Entry& a, const Entry& b) noexcept {
+    return a.total_ms() > b.total_ms();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace popbean::obs

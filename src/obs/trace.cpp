@@ -1,16 +1,29 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
-#include <sstream>
 
+#include "obs/context.hpp"
 #include "util/json.hpp"
 
 namespace popbean::obs {
 
-void TraceCollector::complete_event(
-    std::string_view name, std::string_view category, Clock::time_point start,
-    Clock::time_point end,
-    std::vector<std::pair<std::string, double>> args) {
+void TraceCollector::push(Event ev) {
+  std::lock_guard lock(mutex_);
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(ev));
+    return;
+  }
+  // Ring saturated: overwrite the oldest slot. head_ marks the logical start
+  // of the window, so the slot it points at is always the oldest event.
+  events_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceCollector::complete_event(std::string_view name,
+                                    std::string_view category,
+                                    Clock::time_point start,
+                                    Clock::time_point end, Args args) {
   Event ev;
   ev.name = std::string(name);
   ev.category = std::string(category);
@@ -19,13 +32,11 @@ void TraceCollector::complete_event(
   ev.dur_us = std::max<std::int64_t>(to_us(end) - ev.ts_us, 0);
   ev.tid = current_thread_index();
   ev.args = std::move(args);
-  std::lock_guard lock(mutex_);
-  events_.push_back(std::move(ev));
+  push(std::move(ev));
 }
 
-void TraceCollector::instant_event(
-    std::string_view name, std::string_view category,
-    std::vector<std::pair<std::string, double>> args) {
+void TraceCollector::instant_event(std::string_view name,
+                                   std::string_view category, Args args) {
   Event ev;
   ev.name = std::string(name);
   ev.category = std::string(category);
@@ -33,13 +44,71 @@ void TraceCollector::instant_event(
   ev.ts_us = to_us(Clock::now());
   ev.tid = current_thread_index();
   ev.args = std::move(args);
-  std::lock_guard lock(mutex_);
-  events_.push_back(std::move(ev));
+  push(std::move(ev));
+}
+
+namespace {
+
+TraceCollector::Event make_async(std::string_view name,
+                                 std::string_view category, char phase,
+                                 std::uint64_t id, std::int64_t ts_us,
+                                 TraceCollector::Args args,
+                                 TraceCollector::StringArgs sargs) {
+  TraceCollector::Event ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = phase;
+  ev.ts_us = ts_us;
+  ev.async_id = id;
+  ev.tid = current_thread_index();
+  ev.args = std::move(args);
+  ev.sargs = std::move(sargs);
+  return ev;
+}
+
+}  // namespace
+
+void TraceCollector::async_begin(std::string_view name,
+                                 std::string_view category, std::uint64_t id,
+                                 Args args, StringArgs sargs) {
+  push(make_async(name, category, 'b', id, to_us(Clock::now()),
+                  std::move(args), std::move(sargs)));
+}
+
+void TraceCollector::async_instant(std::string_view name,
+                                   std::string_view category, std::uint64_t id,
+                                   Args args, StringArgs sargs) {
+  push(make_async(name, category, 'n', id, to_us(Clock::now()),
+                  std::move(args), std::move(sargs)));
+}
+
+void TraceCollector::async_end(std::string_view name,
+                               std::string_view category, std::uint64_t id,
+                               Args args, StringArgs sargs) {
+  push(make_async(name, category, 'e', id, to_us(Clock::now()),
+                  std::move(args), std::move(sargs)));
+}
+
+void TraceCollector::async_span(std::string_view name,
+                                std::string_view category, std::uint64_t id,
+                                Clock::time_point start, Clock::time_point end,
+                                Args args, StringArgs sargs) {
+  const std::int64_t start_us = to_us(start);
+  const std::int64_t end_us = std::max(to_us(end), start_us);
+  // Args ride the begin half; Perfetto shows them on the span itself.
+  push(make_async(name, category, 'b', id, start_us, std::move(args),
+                  std::move(sargs)));
+  push(make_async(name, category, 'e', id, end_us, {}, {}));
 }
 
 std::size_t TraceCollector::event_count() const {
   std::lock_guard lock(mutex_);
   return events_.size();
+}
+
+std::uint64_t TraceCollector::dropped_count() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 void TraceCollector::write_chrome_trace(JsonWriter& json,
@@ -71,6 +140,8 @@ void TraceCollector::write_chrome_trace(JsonWriter& json,
   json.end_object();
 
   for (const Event& ev : events) {
+    const bool is_async =
+        ev.phase == 'b' || ev.phase == 'n' || ev.phase == 'e';
     json.begin_object();
     json.kv("name", ev.name);
     json.kv("cat", ev.category);
@@ -78,12 +149,14 @@ void TraceCollector::write_chrome_trace(JsonWriter& json,
     json.kv("ts", ev.ts_us);
     if (ev.phase == 'X') json.kv("dur", ev.dur_us);
     if (ev.phase == 'i') json.kv("s", "t");  // thread-scoped instant
+    if (is_async) json.kv("id", trace_id_hex(ev.async_id));
     json.kv("pid", 1);
     json.kv("tid", ev.tid);
-    if (!ev.args.empty()) {
+    if (!ev.args.empty() || !ev.sargs.empty()) {
       json.key("args");
       json.begin_object();
       for (const auto& [key, value] : ev.args) json.kv(key, value);
+      for (const auto& [key, value] : ev.sargs) json.kv(key, value);
       json.end_object();
     }
     json.end_object();

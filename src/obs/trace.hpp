@@ -1,4 +1,4 @@
-// Chrome trace_event collection (DESIGN.md §8): timestamped spans and
+// Chrome trace_event collection (DESIGN.md §8, §13): timestamped spans and
 // instants gathered in memory and written as the JSON Object Format that
 // chrome://tracing and Perfetto load directly —
 //
@@ -8,9 +8,27 @@
 //
 // Timestamps are microseconds on the collector's own steady-clock origin
 // (set at construction), so events from all threads share one timeline; tid
-// is obs::current_thread_index(), matching the metrics shard index. Numeric
-// args only — enough for sweep coordinates (point, replicate, attempt) —
-// keeps the recording path allocation-light.
+// is obs::current_thread_index(), matching the metrics shard index.
+//
+// Two recording vocabularies coexist:
+//
+//   * thread-track events ('X' complete / 'i' instant) — a thread's own
+//     timeline, used by the sweep drivers and engine probes since PR 4;
+//   * async-span events ('b' begin / 'n' instant / 'e' end) — request-
+//     scoped causal trees keyed by a 64-bit id (the TraceContext trace id,
+//     obs/context.hpp). Perfetto groups all events sharing one id onto one
+//     async track regardless of which worker thread recorded them, which is
+//     what makes a job's admission → shard → replicas → vote → retry
+//     pipeline readable as one tree even when every stage ran elsewhere.
+//
+// Args carry numeric values (sweep coordinates, replica indices) plus an
+// optional string-arg list for values a double cannot hold losslessly
+// (64-bit RNG stream ids, outcome labels, job ids).
+//
+// Memory is bounded: the collector is a ring buffer of `capacity` events
+// (default 1M, ~100s of MB worst case). When full, the oldest event is
+// overwritten and `dropped_count` grows — under sustained serve load the
+// trace degrades to a sliding window instead of growing without bound.
 #pragma once
 
 #include <chrono>
@@ -33,33 +51,62 @@ namespace popbean::obs {
 class TraceCollector {
  public:
   using Clock = std::chrono::steady_clock;
+  using Args = std::vector<std::pair<std::string, double>>;
+  using StringArgs = std::vector<std::pair<std::string, std::string>>;
+
+  // Default ring capacity: 1M events. A serve-path job emits ~10 events, so
+  // this window holds the last ~100k jobs.
+  static constexpr std::size_t kDefaultCapacity = 1'000'000;
 
   struct Event {
     std::string name;
     std::string category;
-    char phase = 'X';  // 'X' complete, 'i' instant
+    char phase = 'X';  // 'X' complete, 'i' instant, 'b'/'n'/'e' async
     std::int64_t ts_us = 0;
-    std::int64_t dur_us = 0;  // complete events only
+    std::int64_t dur_us = 0;       // complete events only
+    std::uint64_t async_id = 0;    // async events only (trace id)
     std::size_t tid = 0;
-    std::vector<std::pair<std::string, double>> args;
+    Args args;
+    StringArgs sargs;
   };
 
-  TraceCollector() : origin_(Clock::now()) {}
+  explicit TraceCollector(std::size_t capacity = kDefaultCapacity)
+      : origin_(Clock::now()), capacity_(capacity == 0 ? 1 : capacity) {}
   TraceCollector(const TraceCollector&) = delete;
   TraceCollector& operator=(const TraceCollector&) = delete;
 
   Clock::time_point origin() const noexcept { return origin_; }
+  std::size_t capacity() const noexcept { return capacity_; }
 
   // Records a span [start, end) on the calling thread's track.
   void complete_event(std::string_view name, std::string_view category,
                       Clock::time_point start, Clock::time_point end,
-                      std::vector<std::pair<std::string, double>> args = {});
+                      Args args = {});
 
   // Records a point-in-time marker on the calling thread's track.
   void instant_event(std::string_view name, std::string_view category,
-                     std::vector<std::pair<std::string, double>> args = {});
+                     Args args = {});
+
+  // Async-span vocabulary (Chrome phases 'b'/'n'/'e'): all events recorded
+  // with the same nonzero `id` group onto one async track. begin/end pairs
+  // nest by timestamp within the track; `async_span` records both halves of
+  // an already-measured interval in one call (the serve path mostly knows
+  // its durations after the fact).
+  void async_begin(std::string_view name, std::string_view category,
+                   std::uint64_t id, Args args = {}, StringArgs sargs = {});
+  void async_instant(std::string_view name, std::string_view category,
+                     std::uint64_t id, Args args = {}, StringArgs sargs = {});
+  void async_end(std::string_view name, std::string_view category,
+                 std::uint64_t id, Args args = {}, StringArgs sargs = {});
+  void async_span(std::string_view name, std::string_view category,
+                  std::uint64_t id, Clock::time_point start,
+                  Clock::time_point end, Args args = {}, StringArgs sargs = {});
 
   std::size_t event_count() const;
+
+  // Events overwritten because the ring was full (the satellite counter
+  // `trace_events_dropped` in Prometheus expositions).
+  std::uint64_t dropped_count() const;
 
   // Streams the full trace document (events sorted by timestamp, plus
   // process metadata). Safe to call while other threads still record —
@@ -75,9 +122,14 @@ class TraceCollector {
         .count();
   }
 
+  void push(Event ev);
+
   const Clock::time_point origin_;
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  std::vector<Event> events_;  // ring once size reaches capacity_
+  std::size_t head_ = 0;       // next overwrite slot when saturated
+  std::uint64_t dropped_ = 0;
 };
 
 // RAII span: records a complete event on destruction. A null collector makes
@@ -85,8 +137,7 @@ class TraceCollector {
 class TraceSpan {
  public:
   TraceSpan(TraceCollector* collector, std::string_view name,
-            std::string_view category,
-            std::vector<std::pair<std::string, double>> args = {})
+            std::string_view category, TraceCollector::Args args = {})
       : collector_(collector),
         name_(name),
         category_(category),
@@ -109,7 +160,7 @@ class TraceSpan {
   TraceCollector* collector_;
   std::string name_;
   std::string category_;
-  std::vector<std::pair<std::string, double>> args_;
+  TraceCollector::Args args_;
   TraceCollector::Clock::time_point start_;
 };
 

@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/context.hpp"
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 #include "zoo/registry.hpp"
@@ -114,6 +115,10 @@ JobSpec spec_from_object(const JsonValue& object) {
           require_u64(value, key, 0,
                       static_cast<std::uint64_t>(
                           std::numeric_limits<std::int64_t>::max() / 2))));
+    } else if (key == "trace_id") {
+      // Caller-supplied trace id (v2): lets an upstream proxy link its own
+      // trace to ours. 0 (or absent) means "mint one at decode".
+      spec.trace_id = require_u64(value, key);
     } else {
       bad_field(key, "unknown field");
     }
@@ -156,7 +161,7 @@ ParsedRequest RequestReader::next(std::string_view line) {
   const std::uint64_t line_offset = offset_;
   offset_ += line.size() + 1;  // '\n' framing
   ParsedRequest parsed = parse_job_request(line);
-  if (const JobSpec* spec = std::get_if<JobSpec>(&parsed)) {
+  if (JobSpec* spec = std::get_if<JobSpec>(&parsed)) {
     const auto it = first_use_.find(spec->id);
     if (it != first_use_.end()) {
       return RequestError{
@@ -165,6 +170,10 @@ ParsedRequest RequestReader::next(std::string_view line) {
                         ", duplicated at byte " + std::to_string(line_offset)};
     }
     first_use_.emplace(spec->id, line_offset);
+    // Trace minting happens here, at decode (DESIGN.md §13): the id exists
+    // before admission, so even a shed or invalid-deadline rejection is
+    // attributable to a trace.
+    if (spec->trace_id == 0) spec->trace_id = obs::mint_trace_id();
   }
   return parsed;
 }
@@ -185,6 +194,10 @@ void write_job_response(std::ostream& os, const JobResponse& response) {
   json.kv("divergent", static_cast<std::uint64_t>(response.divergent));
   json.kv("queue_ms", response.queue_ms);
   json.kv("run_ms", response.run_ms);
+  // v2 observability labels (additive): the trace id joins this line to the
+  // Chrome trace file; shard attributes the work to a router shard.
+  json.kv("trace_id", response.trace_id);
+  json.kv("shard", response.shard);
   if (response.outcome == JobOutcome::kDone ||
       response.outcome == JobOutcome::kTruncated) {
     json.key("result");

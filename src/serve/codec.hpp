@@ -16,13 +16,17 @@
 //   {"v": 2, "id": "job-7", "outcome": "done", "attempts": 1,
 //    "degraded": false, "replicas_used": 3, "voted": true,
 //    "quarantined": false, "divergent": 0, "queue_ms": 0.4, "run_ms": 83.1,
+//    "trace_id": 16794093..., "shard": 2,
 //    "result": {"replicates": 3, "converged": 3, "correct": 3, …}}
 //
 // The version field gates forward compatibility: this build speaks request
 // versions kMinProtocolVersion..kProtocolVersion (v1 requests are a strict
-// subset of v2 — "replicas" is the only v2 addition, and it defaults off),
-// and anything newer is rejected as invalid, never half-parsed. Responses
-// are always emitted at kProtocolVersion.
+// subset of v2 — "replicas" and the optional caller-supplied "trace_id" are
+// the v2 additions, both defaulting off), and anything newer is rejected as
+// invalid, never half-parsed. Responses are always emitted at
+// kProtocolVersion; "trace_id" echoes the request-scoped trace minted by
+// RequestReader (DESIGN.md §13) and "shard" names the router shard that
+// served the job.
 #pragma once
 
 #include <cstdint>

@@ -52,6 +52,11 @@ struct JobSpec {
   // Wall-clock budget from admission to terminal response; zero means the
   // service default applies.
   std::chrono::milliseconds deadline{0};
+  // Request-scoped trace id (DESIGN.md §13), minted at codec decode (or at
+  // admission for directly-submitted specs) and echoed in the response; 0 =
+  // untraced. Rides the spec unchanged across shard spills and retries so
+  // the whole pipeline lands on one async span tree.
+  std::uint64_t trace_id = 0;
 
   std::uint64_t effective_max_interactions() const noexcept {
     return max_interactions != 0 ? max_interactions : 500 * n;
@@ -97,6 +102,12 @@ struct JobResponse {
   std::uint32_t divergent = 0;
   double queue_ms = 0.0;    // admission → first attempt start
   double run_ms = 0.0;      // first attempt start → terminal
+  // Trace id echoed from the spec (0 = untraced) — the join key between
+  // this response line, the Chrome trace file, and histogram exemplars.
+  std::uint64_t trace_id = 0;
+  // Which router shard served the job (0 for an unsharded JobService); set
+  // by ShardRouter so per-connection ledgers can attribute work.
+  std::size_t shard = 0;
 };
 
 inline const char* to_string(JobPriority priority) {

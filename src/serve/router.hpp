@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/context.hpp"
+#include "obs/prom.hpp"
 #include "serve/health.hpp"
 #include "serve/service.hpp"
 #include "util/backoff.hpp"
@@ -80,6 +82,10 @@ class ShardRouter {
       ServiceConfig shard_config = config_.service;
       // Decorrelate backoff jitter across shards.
       shard_config.seed = mix_seed(config_.service.seed, i);
+      // Responses, spans, and slow-log entries name the shard that served
+      // them (the trace/slow_log pointers are shared across shards — both
+      // serialize internally, and a fleet reads best on one timeline).
+      shard_config.shard_index = i;
       shards_.push_back(std::make_unique<JobService>(
           std::move(shard_config), [this](const JobResponse& response) {
             std::lock_guard lock(response_mutex_);
@@ -121,6 +127,12 @@ class ShardRouter {
       std::lock_guard lock(stats_mutex_);
       ++stats_.submitted;
     }
+    // Mint before the spill walk: try_submit copies the spec per shard, so
+    // minting inside a shard would give every spill attempt a fresh id and
+    // split one job across trace trees.
+    if (config_.service.trace != nullptr && spec.trace_id == 0) {
+      spec.trace_id = obs::mint_trace_id();
+    }
     const std::vector<std::size_t> order = rendezvous_order(spec.protocol);
     std::string reason;
     for (std::size_t pos = 0; pos < order.size(); ++pos) {
@@ -146,6 +158,10 @@ class ShardRouter {
     response.error = config_.reject_to_sibling
                          ? "all_shards_overloaded"
                          : std::move(reason);
+    // Each shard's try_submit recorded its own reject instant; the spec's
+    // trace id (minted at decode) still joins this response to them.
+    response.trace_id = spec.trace_id;
+    response.shard = order.front();  // the owner that should have served it
     {
       std::lock_guard lock(response_mutex_);
       on_response_(response);
@@ -228,6 +244,29 @@ class ShardRouter {
     all.reserve(shards_.size());
     for (const auto& shard : shards_) all.push_back(shard->health());
     return all;
+  }
+
+  // Prometheus text-format exposition (obs/prom.hpp) of the whole fleet:
+  // every registry series once per shard under shard="i", plus the merged
+  // rollup under shard="fleet" (counters/histograms summed, gauges from the
+  // last shard — meaningful fleet gauges live in the per-shard series).
+  void write_prometheus(std::ostream& os) const {
+    std::vector<obs::MetricsRegistry::Snapshot> snaps;
+    snaps.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      snaps.push_back(shard->metrics().snapshot());
+    }
+    obs::PromExposition prom;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      prom.add(snaps[i], {{"shard", std::to_string(i)}});
+    }
+    prom.add(obs::merge_snapshots(snaps), {{"shard", "fleet"}});
+    if (config_.service.trace != nullptr) {
+      prom.add_counter("obs.trace_events_dropped",
+                       config_.service.trace->dropped_count(),
+                       {{"shard", "fleet"}});
+    }
+    prom.write(os);
   }
 
   std::uint64_t total_breaker_opens() const {

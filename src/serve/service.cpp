@@ -9,6 +9,7 @@
 #include "faults/perturbed_engine.hpp"
 #include "faults/schedule_model.hpp"
 #include "harness/experiment.hpp"
+#include "obs/context.hpp"
 #include "obs/pool_obs.hpp"
 #include "population/count_engine.hpp"
 #include "protocols/four_state.hpp"
@@ -66,6 +67,10 @@ struct AttemptPlan {
   std::uint64_t sequence = 0;
   std::string capture_dir;  // empty = captures off
   bool capture_allowed = false;
+  // Request-scoped tracing (nullptr/0 = untraced): replica spans record
+  // onto the job's async track.
+  obs::TraceCollector* trace = nullptr;
+  std::uint64_t trace_id = 0;
 };
 
 // Runs one voting replica: all statistical replicates on their own RNG
@@ -77,6 +82,22 @@ std::optional<ReplicaPayload> run_replica(
     const P& protocol, const JobSpec& spec, const Counts& initial,
     const MajorityInstance& instance, const AttemptPlan& plan, bool corrupt,
     std::uint32_t replica, const StopFn& should_stop) {
+  // Per-replica span on the job's async track: replica index plus the RNG
+  // stream of its first replicate (hex string args — 64-bit streams exceed
+  // double precision). Recorded on every exit, including interruption.
+  const auto replica_start = obs::TraceCollector::Clock::now();
+  const auto record_replica = [&](bool interrupted) {
+    if (plan.trace == nullptr || plan.trace_id == 0) return;
+    plan.trace->async_span(
+        "replica", "serve", plan.trace_id, replica_start,
+        obs::TraceCollector::Clock::now(),
+        {{"replica", static_cast<double>(replica)},
+         {"attempt", static_cast<double>(plan.attempt_index)},
+         {"corrupt", corrupt ? 1.0 : 0.0},
+         {"interrupted", interrupted ? 1.0 : 0.0}},
+        {{"stream0", obs::trace_id_hex(replica_stream(plan.attempt_index, 0,
+                                                      replica))}});
+  };
   ReplicaPayload payload;
   payload.corrupt = corrupt;
   double time_sum = 0.0;
@@ -97,7 +118,10 @@ std::optional<ReplicaPayload> run_replica(
       result = run_to_convergence_interruptible(
           engine, rng, plan.max_interactions, should_stop, plan.poll_interval);
     }
-    if (!result) return std::nullopt;
+    if (!result) {
+      record_replica(true);
+      return std::nullopt;
+    }
     payload.streams.push_back(stream);
     append_decision(payload.bytes, *result);
     ++payload.result.replicates_run;
@@ -123,6 +147,7 @@ std::optional<ReplicaPayload> run_replica(
     payload.result.mean_parallel_time =
         time_sum / static_cast<double>(payload.result.converged);
   }
+  record_replica(false);
   return payload;
 }
 
@@ -342,17 +367,27 @@ JobService::~JobService() {
 }
 
 void JobService::emit(JobResponse response) {
+  response.shard = config_.shard_index;
   std::lock_guard lock(response_mutex_);
   on_response_(response);
 }
 
-JobResponse JobService::overloaded_response(std::string id,
-                                            std::string reason) const {
+JobResponse JobService::overloaded_response(std::string id, std::string reason,
+                                            std::uint64_t trace_id) const {
   JobResponse response;
   response.id = std::move(id);
   response.outcome = JobOutcome::kOverloaded;
   response.error = std::move(reason);
+  response.trace_id = trace_id;
   return response;
+}
+
+void JobService::trace_job_end(std::uint64_t trace_id, const char* outcome,
+                               const char* reason) {
+  if (config_.trace == nullptr || trace_id == 0) return;
+  obs::TraceCollector::StringArgs sargs{{"outcome", outcome}};
+  if (reason != nullptr) sargs.emplace_back("reason", reason);
+  config_.trace->async_end("job", "serve", trace_id, {}, std::move(sargs));
 }
 
 bool JobService::submit(JobSpec spec) {
@@ -366,6 +401,11 @@ std::optional<std::string> JobService::try_submit(JobSpec spec) {
 std::optional<std::string> JobService::submit_internal(JobSpec spec,
                                                        bool emit_rejection) {
   const auto now = Clock::now();
+  // Direct submits (tests, tools skipping the codec) get their trace id
+  // minted here so admission is never the untraced part of the tree.
+  if (config_.trace != nullptr && spec.trace_id == 0) {
+    spec.trace_id = obs::mint_trace_id();
+  }
   std::vector<JobResponse> to_emit;
   std::optional<std::string> rejection;
   {
@@ -373,8 +413,13 @@ std::optional<std::string> JobService::submit_internal(JobSpec spec,
     if (draining_) {
       metrics_.add(ids_.rejected);
       rejection = "draining";
+      if (config_.trace != nullptr && spec.trace_id != 0) {
+        config_.trace->async_instant("reject", "serve", spec.trace_id, {},
+                                     {{"reason", *rejection}});
+      }
       if (emit_rejection) {
-        to_emit.push_back(overloaded_response(spec.id, *rejection));
+        to_emit.push_back(
+            overloaded_response(spec.id, *rejection, spec.trace_id));
       }
     } else {
       QueuedJob job;
@@ -387,24 +432,42 @@ std::optional<std::string> JobService::submit_internal(JobSpec spec,
       job.admitted = now;
       job.sequence = next_sequence_++;
       const std::string id = job.spec.id;  // push moves the job
+      const std::string protocol = job.spec.protocol;
+      const std::uint64_t trace_id = job.spec.trace_id;
       AdmitResult result = queue_.push(std::move(job));
       if (!result.admitted) {
         metrics_.add(ids_.rejected);
         rejection = result.reason;
+        if (config_.trace != nullptr && trace_id != 0) {
+          config_.trace->async_instant("reject", "serve", trace_id, {},
+                                       {{"reason", result.reason}});
+        }
         if (emit_rejection) {
-          to_emit.push_back(overloaded_response(id, result.reason));
+          to_emit.push_back(overloaded_response(id, result.reason, trace_id));
         }
       } else {
         metrics_.add(ids_.accepted);
+        // The root "job" span opens at admission; exactly one terminal site
+        // (run_job, shed, eviction, drain flush) closes it.
+        if (config_.trace != nullptr && trace_id != 0) {
+          config_.trace->async_begin(
+              "job", "serve", trace_id,
+              {{"shard", static_cast<double>(config_.shard_index)}},
+              {{"job", id}, {"protocol", protocol}});
+        }
         if (result.evicted.has_value()) {
           metrics_.add(ids_.shed);
+          trace_job_end(result.evicted->spec.trace_id, "overloaded",
+                        "shed_deadline");
           to_emit.push_back(overloaded_response(result.evicted->spec.id,
-                                                "shed_deadline"));
+                                                "shed_deadline",
+                                                result.evicted->spec.trace_id));
         }
         for (QueuedJob& victim : update_overload_locked(now)) {
           metrics_.add(ids_.shed);
-          to_emit.push_back(
-              overloaded_response(victim.spec.id, "shed_overload"));
+          trace_job_end(victim.spec.trace_id, "overloaded", "shed_overload");
+          to_emit.push_back(overloaded_response(
+              victim.spec.id, "shed_overload", victim.spec.trace_id));
         }
         pump_locked();
       }
@@ -426,6 +489,7 @@ void JobService::pump_locked() {
     auto ctx = std::make_shared<ActiveJob>();
     ctx->deadline = job->deadline;
     ctx->id = job->spec.id;
+    ctx->trace_id = job->spec.trace_id;
     active_.push_back(ctx);
     // Boxed so the lambda stays copyable (std::function requirement).
     auto boxed = std::make_shared<QueuedJob>(std::move(*job));
@@ -473,7 +537,21 @@ void JobService::update_gauges_locked() {
 }
 
 void JobService::run_job(const QueuedJob& job, ActiveJob& ctx) {
-  emit(execute(job, ctx));
+  JobResponse response = execute(job, ctx);
+  trace_job_end(job.spec.trace_id, to_string(response.outcome),
+                response.error.empty() ? nullptr : response.error.c_str());
+  if (config_.slow_log != nullptr) {
+    obs::SlowLog::Entry entry;
+    entry.trace_id = job.spec.trace_id;
+    entry.job_id = job.spec.id;
+    entry.outcome = to_string(response.outcome);
+    entry.shard = config_.shard_index;
+    entry.queue_ms = response.queue_ms;
+    entry.run_ms = response.run_ms;
+    entry.attempts = response.attempts;
+    config_.slow_log->record(std::move(entry));
+  }
+  emit(std::move(response));
   std::vector<JobResponse> to_emit;
   {
     std::lock_guard lock(mutex_);
@@ -486,21 +564,32 @@ void JobService::run_job(const QueuedJob& job, ActiveJob& ctx) {
                   active_.end());
     for (QueuedJob& victim : update_overload_locked(Clock::now())) {
       metrics_.add(ids_.shed);
-      to_emit.push_back(overloaded_response(victim.spec.id, "shed_overload"));
+      trace_job_end(victim.spec.trace_id, "overloaded", "shed_overload");
+      to_emit.push_back(overloaded_response(victim.spec.id, "shed_overload",
+                                            victim.spec.trace_id));
     }
     pump_locked();
     update_gauges_locked();
     if (running_ == 0 && queue_.empty()) idle_cv_.notify_all();
   }
-  for (JobResponse& response : to_emit) emit(std::move(response));
+  for (JobResponse& shed_response : to_emit) emit(std::move(shed_response));
 }
 
 JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
   const auto start = Clock::now();
+  obs::TraceCollector* const trace = config_.trace;
+  const std::uint64_t trace_id = job.spec.trace_id;
+  const bool traced = trace != nullptr && trace_id != 0;
   JobResponse response;
   response.id = job.spec.id;
+  response.trace_id = trace_id;
   response.queue_ms = FpMillis(start - job.admitted).count();
-  metrics_.observe(ids_.queue_ms, response.queue_ms);
+  metrics_.observe(ids_.queue_ms, response.queue_ms, trace_id);
+  // The queue wait is only measurable once the job pops — recorded
+  // retrospectively over [admitted, start].
+  if (traced) {
+    trace->async_span("queue", "serve", trace_id, job.admitted, start);
+  }
 
   if (job.deadline.expired(start)) {
     // Expired while queued: the job never ran, so the breaker learns
@@ -517,6 +606,9 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
       metrics_.add(ids_.circuit_open);
       metrics_.add(ids_.failed);
       update_gauges_locked();
+      if (traced) {
+        trace->async_instant("circuit_open", "serve", trace_id);
+      }
       response.outcome = JobOutcome::kFailed;
       response.error = "circuit_open";
       return response;
@@ -578,6 +670,7 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
   Attempt attempt;
   for (std::size_t attempt_index = 0;; ++attempt_index) {
     ++response.attempts;
+    const auto attempt_start = Clock::now();
     ChaosAction action = ChaosAction::kNone;
     if (config_.chaos) {
       action = config_.chaos(ChaosContext{job.spec, attempt_index,
@@ -612,6 +705,8 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
       plan.attempt_index = static_cast<std::uint64_t>(attempt_index);
       plan.poll_interval = config_.stop_check_interval;
       plan.sequence = job.sequence;
+      plan.trace = trace;
+      plan.trace_id = trace_id;
       plan.capture_dir = config_.vote_capture_dir;
       if (!plan.capture_dir.empty()) {
         std::lock_guard lock(mutex_);
@@ -624,6 +719,25 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
         attempt = dispatch_attempt(job.spec, plan, should_stop, cancel_);
       } catch (const std::exception& e) {
         attempt = Attempt{AttemptKind::kFailed, JobResult{}, e.what(), {}};
+      }
+    }
+
+    if (traced) {
+      trace->async_span(
+          "attempt", "serve", trace_id, attempt_start, Clock::now(),
+          {{"attempt", static_cast<double>(attempt_index)},
+           {"replicas", static_cast<double>(vote_k)}},
+          {{"kind", attempt.kind == AttemptKind::kOk        ? "ok"
+                    : attempt.kind == AttemptKind::kTimeout ? "timeout"
+                    : attempt.kind == AttemptKind::kShutdown
+                        ? "shutdown"
+                        : "failed"}});
+      if (attempt.vote.voted) {
+        trace->async_instant(
+            "vote", "serve", trace_id,
+            {{"replicas", static_cast<double>(attempt.vote.replicas_run)},
+             {"divergent", static_cast<double>(attempt.vote.divergent)},
+             {"no_majority", attempt.vote.no_majority ? 1.0 : 0.0}});
       }
     }
 
@@ -688,12 +802,18 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
     metrics_.add(ids_.retries);
     const auto delay = std::min<Clock::duration>(backoff.next(),
                                                  job.deadline.remaining());
+    const auto backoff_start = Clock::now();
     sleep_interruptible(delay, ctx);
+    if (traced) {
+      trace->async_span("backoff", "serve", trace_id, backoff_start,
+                        Clock::now(),
+                        {{"attempt", static_cast<double>(attempt_index)}});
+    }
   }
 
   const auto finish = Clock::now();
   response.run_ms = FpMillis(finish - start).count();
-  metrics_.observe(ids_.run_ms, response.run_ms);
+  metrics_.observe(ids_.run_ms, response.run_ms, trace_id);
   response.replicas_used =
       attempt.vote.replicas_run > 0 ? attempt.vote.replicas_run : vote_k;
   response.voted = attempt.vote.voted;
@@ -730,6 +850,10 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
       metrics_.add(ids_.failed);
       break;
   }
+  // Per-family outcome counter (register-or-lookup, same pattern as the
+  // divergence counter above) — what popbean-top's family table reads.
+  metrics_.add(metrics_.counter("serve.family." + job.spec.protocol + "." +
+                                to_string(response.outcome)));
   update_gauges_locked();
   return response;
 }
@@ -769,10 +893,12 @@ bool JobService::drain(std::chrono::milliseconds budget) {
       cancel_.store(true, std::memory_order_relaxed);
       while (std::optional<QueuedJob> job = queue_.pop()) {
         metrics_.add(ids_.failed);
+        trace_job_end(job->spec.trace_id, "failed", "shutdown");
         JobResponse response;
         response.id = job->spec.id;
         response.outcome = JobOutcome::kFailed;
         response.error = "shutdown";
+        response.trace_id = job->spec.trace_id;
         to_emit.push_back(std::move(response));
       }
       // Running jobs observe cancel_ within a poll interval (or the
@@ -804,6 +930,9 @@ void JobService::watchdog_loop() {
             now >= ctx->deadline.time() + config_.watchdog_grace) {
           ctx->abandon.store(true, std::memory_order_relaxed);
           metrics_.add(ids_.watchdog_abandons);
+          if (config_.trace != nullptr && ctx->trace_id != 0) {
+            config_.trace->async_instant("abandon", "serve", ctx->trace_id);
+          }
         }
       }
     }

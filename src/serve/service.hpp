@@ -51,7 +51,9 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/health.hpp"
@@ -123,6 +125,18 @@ struct ServiceConfig {
   // External registry (must outlive the service); nullptr = service owns
   // one, readable via metrics().
   obs::MetricsRegistry* metrics = nullptr;
+  // Request-scoped tracing (DESIGN.md §13): every job's async span tree is
+  // recorded here, keyed by the spec's trace id. nullptr = tracing off.
+  // Safe to share across router shards — the collector serializes
+  // internally and a fleet reads best on one timeline. Must outlive the
+  // service.
+  obs::TraceCollector* trace = nullptr;
+  // Bounded top-k slow-request log; nullptr = off. Must outlive the
+  // service; shareable across shards.
+  obs::SlowLog* slow_log = nullptr;
+  // Which router shard this service is (0 for an unsharded service); echoed
+  // in responses, trace spans, and slow-log entries.
+  std::size_t shard_index = 0;
 };
 
 class JobService {
@@ -189,6 +203,7 @@ class JobService {
     Deadline deadline;
     std::atomic<bool> abandon{false};
     std::string id;
+    std::uint64_t trace_id = 0;  // for the watchdog's abandon instant
   };
 
   struct MetricIds {
@@ -204,7 +219,14 @@ class JobService {
   static MetricIds register_metrics(obs::MetricsRegistry& registry);
 
   void emit(JobResponse response);
-  JobResponse overloaded_response(std::string id, std::string reason) const;
+  JobResponse overloaded_response(std::string id, std::string reason,
+                                  std::uint64_t trace_id) const;
+  // Closes the job's async span tree with its terminal outcome; every
+  // admitted job passes through exactly one call (run_job, shed, eviction,
+  // or drain flush) — the trace-side face of the exactly-one-response
+  // contract.
+  void trace_job_end(std::uint64_t trace_id, const char* outcome,
+                     const char* reason = nullptr);
   std::optional<std::string> submit_internal(JobSpec spec,
                                              bool emit_rejection);
   // Pops queued jobs into the pool while workers are available, so the

@@ -1,6 +1,7 @@
 #include "util/histogram.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -8,6 +9,11 @@
 #include "util/json.hpp"
 
 namespace popbean {
+
+namespace {
+// Process-global exemplar recording order; see Histogram::Exemplar::seq.
+std::atomic<std::uint64_t> exemplar_seq{0};
+}  // namespace
 
 Histogram::Histogram(std::vector<double> edges)
     : edges_(std::move(edges)), counts_(edges_.size() - 1, 0) {
@@ -51,6 +57,25 @@ std::size_t Histogram::bin_for(double value) const {
 void Histogram::add(double value) {
   ++counts_[bin_for(value)];
   ++total_;
+  sum_ += value;
+}
+
+void Histogram::add(double value, std::uint64_t trace_id) {
+  const std::size_t bin = bin_for(value);
+  ++counts_[bin];
+  ++total_;
+  sum_ += value;
+  if (trace_id == 0) return;
+  if (exemplars_.empty()) exemplars_.resize(counts_.size());
+  exemplars_[bin] = Exemplar{
+      value, trace_id,
+      exemplar_seq.fetch_add(1, std::memory_order_relaxed) + 1};
+}
+
+const Histogram::Exemplar* Histogram::exemplar(std::size_t bin) const {
+  POPBEAN_CHECK(bin < counts_.size());
+  if (exemplars_.empty() || exemplars_[bin].seq == 0) return nullptr;
+  return &exemplars_[bin];
 }
 
 std::uint64_t Histogram::count(std::size_t bin) const {
@@ -79,6 +104,17 @@ void Histogram::merge(const Histogram& other) {
     counts_[i] += other.counts_[i];
   }
   total_ += other.total_;
+  sum_ += other.sum_;
+  if (!other.exemplars_.empty()) {
+    if (exemplars_.empty()) exemplars_.resize(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      // Most recently recorded wins, by global sequence — merge order
+      // (which thread shard folds first) must not decide the exemplar.
+      if (other.exemplars_[i].seq > exemplars_[i].seq) {
+        exemplars_[i] = other.exemplars_[i];
+      }
+    }
+  }
 }
 
 double Histogram::quantile(double p) const {

@@ -14,6 +14,17 @@ class JsonWriter;
 
 class Histogram {
  public:
+  // The most recent exemplar a bucket has seen: the raw value plus the trace
+  // id of the request that produced it (DESIGN.md §13). `seq` is a process-
+  // global recording order so merging per-thread histograms keeps the most
+  // recently *recorded* exemplar, not the one from whichever shard merged
+  // last.
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t seq = 0;
+  };
+
   // Linear bins covering [low, high); values outside are clamped into the
   // first/last bin.
   static Histogram linear(double low, double high, std::size_t bins);
@@ -24,9 +35,20 @@ class Histogram {
 
   void add(double value);
 
+  // As add(), and — when trace_id != 0 — stamps the bucket's exemplar so a
+  // scrape can link "this bucket is hot" to one replayable trace.
+  void add(double value, std::uint64_t trace_id);
+
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const;
   std::uint64_t total() const noexcept { return total_; }
+  // Sum of all recorded values (exact, unlike the binned mean estimate);
+  // feeds the Prometheus `_sum` series.
+  double sum() const noexcept { return sum_; }
+
+  // The bucket's most recent exemplar, or nullptr if the bucket never saw a
+  // traced value.
+  const Exemplar* exemplar(std::size_t bin) const;
   // Inclusive lower edge of the bin.
   double bin_low(std::size_t bin) const;
   // Exclusive upper edge of the bin.
@@ -64,6 +86,10 @@ class Histogram {
   std::vector<double> edges_;  // size = bins + 1
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  // Lazily sized (empty until the first traced add) — exemplars cost nothing
+  // for the many histograms that never see a trace id.
+  std::vector<Exemplar> exemplars_;
 };
 
 }  // namespace popbean

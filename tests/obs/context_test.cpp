@@ -1,0 +1,185 @@
+// Trace-context minting (obs/context.hpp) and the bounded async trace ring
+// (obs/trace.hpp): id uniqueness across threads, the hex rendering used as
+// Chrome async event ids, ring-buffer eviction with a dropped counter, and
+// the b/n/e async phases grouping on one trace-id track.
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
+#include "util/json_parse.hpp"
+
+namespace popbean::obs {
+namespace {
+
+TEST(TraceContextTest, MintedIdsAreNonzeroAndUnique) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t id = mint_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id";
+  }
+}
+
+TEST(TraceContextTest, MintingIsUniqueAcrossThreads) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 2'000;
+  std::vector<std::vector<std::uint64_t>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t] {
+      minted[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        minted[t].push_back(mint_trace_id());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::set<std::uint64_t> all;
+  for (const auto& ids : minted) all.insert(ids.begin(), ids.end());
+  EXPECT_EQ(all.size(), kThreads * kPerThread);
+  EXPECT_EQ(all.count(0), 0u);
+}
+
+TEST(TraceContextTest, ChildKeepsTraceIdWithFreshSpanId) {
+  TraceContext root{mint_trace_id(), mint_span_id()};
+  ASSERT_TRUE(root.valid());
+  const TraceContext child = root.child();
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_FALSE(TraceContext{}.valid());
+}
+
+TEST(TraceContextTest, HexRenderingIsLowercaseWithPrefix) {
+  EXPECT_EQ(trace_id_hex(0), "0x0");
+  EXPECT_EQ(trace_id_hex(0xff), "0xff");
+  EXPECT_EQ(trace_id_hex(0xDEADBEEFCAFEBABEull), "0xdeadbeefcafebabe");
+  EXPECT_EQ(trace_id_hex(0x10), "0x10");
+}
+
+TEST(TraceRingTest, CapacityBoundsMemoryAndCountsDrops) {
+  TraceCollector trace(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    trace.instant_event("tick", "test");
+  }
+  EXPECT_EQ(trace.event_count(), 8u);
+  EXPECT_EQ(trace.dropped_count(), 12u);
+
+  std::ostringstream os;
+  trace.write_chrome_trace(os, "ring-test");
+  const JsonValue doc = JsonValue::parse(os.str());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 8 retained events + 1 process_name metadata record.
+  EXPECT_EQ(events->size(), 9u);
+}
+
+TEST(TraceRingTest, RingKeepsTheNewestEvents) {
+  TraceCollector trace(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace.instant_event("evt" + std::to_string(i), "test");
+  }
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string text = os.str();
+  // The oldest six were overwritten; the last four survive.
+  EXPECT_EQ(text.find("evt0"), std::string::npos);
+  EXPECT_EQ(text.find("evt5"), std::string::npos);
+  EXPECT_NE(text.find("evt6"), std::string::npos);
+  EXPECT_NE(text.find("evt9"), std::string::npos);
+}
+
+TEST(TraceRingTest, ConcurrentWritersNeverExceedCapacity) {
+  TraceCollector trace(/*capacity=*/64);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        trace.instant_event("spin", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trace.event_count(), 64u);
+  EXPECT_EQ(trace.dropped_count(), kThreads * kPerThread - 64);
+}
+
+TEST(AsyncEventTest, BeginInstantEndShareTheTraceIdTrack) {
+  TraceCollector trace;
+  const std::uint64_t id = mint_trace_id();
+  trace.async_begin("job", "serve", id, {{"shard", 1.0}},
+                    {{"job", "job-7"}});
+  trace.async_instant("vote", "serve", id, {{"replicas", 3.0}});
+  trace.async_end("job", "serve", id, {}, {{"outcome", "done"}});
+
+  std::ostringstream os;
+  trace.write_chrome_trace(os, "async-test");
+  const JsonValue doc = JsonValue::parse(os.str());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  const std::string want_id = trace_id_hex(id);
+  std::size_t begins = 0, instants = 0, ends = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string& phase = ph->as_string();
+    if (phase != "b" && phase != "n" && phase != "e") continue;
+    // Async phases must carry the trace id as the Chrome `id` field — this
+    // is what groups a job's spans onto one Perfetto track.
+    const JsonValue* event_id = event.find("id");
+    ASSERT_NE(event_id, nullptr);
+    EXPECT_EQ(event_id->as_string(), want_id);
+    if (phase == "b") ++begins;
+    if (phase == "n") ++instants;
+    if (phase == "e") ++ends;
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(ends, 1u);
+
+  // Numeric and string args land merged in one args object.
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"job\": \"job-7\""), std::string::npos);
+  EXPECT_NE(text.find("\"outcome\": \"done\""), std::string::npos);
+  EXPECT_NE(text.find("\"shard\": 1"), std::string::npos);
+}
+
+TEST(AsyncEventTest, RetrospectiveSpanEmitsBeginAndEndAtRecordedTimes) {
+  TraceCollector trace;
+  const std::uint64_t id = mint_trace_id();
+  const auto start = TraceCollector::Clock::now();
+  const auto end = start + std::chrono::microseconds(500);
+  trace.async_span("queue", "serve", id, start, end, {{"depth", 3.0}}, {});
+  EXPECT_EQ(trace.event_count(), 2u);  // one 'b' + one 'e'
+
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  double begin_ts = -1.0, end_ts = -1.0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const JsonValue* ph = event.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->as_string() == "b") begin_ts = event.find("ts")->as_double();
+    if (ph->as_string() == "e") end_ts = event.find("ts")->as_double();
+  }
+  ASSERT_GE(begin_ts, 0.0);
+  ASSERT_GE(end_ts, 0.0);
+  EXPECT_NEAR(end_ts - begin_ts, 500.0, 1.0);
+}
+
+}  // namespace
+}  // namespace popbean::obs

@@ -1,0 +1,207 @@
+// Prometheus exposition (obs/prom.hpp): name mapping, label escaping,
+// cumulative-bucket monotonicity, exemplar comment lines, snapshot merging
+// (counters summed, exemplars most-recent-wins), and the strict parser's
+// round trip over everything PromExposition writes.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/prom.hpp"
+#include "util/histogram.hpp"
+
+namespace popbean::obs {
+namespace {
+
+TEST(PromNameTest, MapsDotsAndInvalidCharacters) {
+  EXPECT_EQ(prom_metric_name("serve.run_ms"), "popbean_serve_run_ms");
+  EXPECT_EQ(prom_metric_name("serve.family.four-state.done"),
+            "popbean_serve_family_four_state_done");
+  EXPECT_EQ(prom_metric_name("a.b c%d"), "popbean_a_b_c_d");
+}
+
+TEST(PromNameTest, EscapesLabelValues) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(prom_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prom_escape_label("new\nline"), "new\\nline");
+}
+
+MetricsRegistry::Snapshot sample_snapshot(std::uint64_t completed,
+                                          double depth, double observation,
+                                          std::uint64_t trace_id) {
+  MetricsRegistry registry;
+  const CounterId done = registry.counter("serve.completed");
+  const GaugeId queue = registry.gauge("serve.queue_depth");
+  const HistogramId run =
+      registry.histogram("serve.run_ms", Histogram::logarithmic(0.01, 1e4, 12));
+  registry.add(done, completed);
+  registry.set(queue, depth);
+  registry.observe(run, observation, trace_id);
+  return registry.snapshot();
+}
+
+TEST(PromExpositionTest, WritesParseableDocumentWithTypesAndSuffixes) {
+  PromExposition prom;
+  prom.add(sample_snapshot(7, 3.0, 12.5, 0xabcdef), {{"shard", "0"}});
+  std::ostringstream os;
+  prom.write(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE popbean_serve_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE popbean_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE popbean_serve_run_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("popbean_serve_completed_total{shard=\"0\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("popbean_serve_run_ms_sum"), std::string::npos);
+  EXPECT_NE(text.find("popbean_serve_run_ms_count"), std::string::npos);
+
+  const PromDocument doc = parse_prometheus(text);
+  EXPECT_EQ(doc.types.at("popbean_serve_completed_total"), "counter");
+  EXPECT_EQ(doc.types.at("popbean_serve_run_ms"), "histogram");
+  ASSERT_EQ(doc.exemplars.size(), 1u);
+  EXPECT_EQ(doc.exemplars[0].trace_id, 0xabcdefull);
+  EXPECT_DOUBLE_EQ(doc.exemplars[0].value, 12.5);
+}
+
+TEST(PromExpositionTest, CumulativeBucketsAreMonotoneAndSumToCount) {
+  MetricsRegistry registry;
+  const HistogramId run =
+      registry.histogram("serve.run_ms", Histogram::logarithmic(0.01, 1e4, 12));
+  for (int i = 1; i <= 50; ++i) {
+    registry.observe(run, 0.02 * i * i, static_cast<std::uint64_t>(i));
+  }
+  PromExposition prom;
+  prom.add(registry.snapshot(), {{"shard", "0"}});
+  std::ostringstream os;
+  prom.write(os);
+  const PromDocument doc = parse_prometheus(os.str());
+
+  std::vector<std::pair<double, double>> buckets;
+  double count = -1.0;
+  for (const PromSample& sample : doc.samples) {
+    if (sample.name == "popbean_serve_run_ms_bucket") {
+      const std::string& le = sample.labels.at("le");
+      buckets.emplace_back(le == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::stod(le),
+                           sample.value);
+    } else if (sample.name == "popbean_serve_run_ms_count") {
+      count = sample.value;
+    }
+  }
+  ASSERT_GE(buckets.size(), 2u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1].first, buckets[i].first);
+    EXPECT_LE(buckets[i - 1].second, buckets[i].second)
+        << "cumulative bucket counts must be monotone";
+  }
+  EXPECT_TRUE(std::isinf(buckets.back().first));
+  EXPECT_DOUBLE_EQ(buckets.back().second, count);
+  EXPECT_DOUBLE_EQ(count, 50.0);
+}
+
+TEST(PromExpositionTest, EscapedLabelsRoundTripThroughTheParser) {
+  PromExposition prom;
+  prom.add_counter("obs.weird", 3,
+                   {{"path", "a\\b"}, {"note", "say \"hi\"\nbye"}});
+  std::ostringstream os;
+  prom.write(os);
+  const PromDocument doc = parse_prometheus(os.str());
+  ASSERT_EQ(doc.samples.size(), 1u);
+  EXPECT_EQ(doc.samples[0].labels.at("path"), "a\\b");
+  EXPECT_EQ(doc.samples[0].labels.at("note"), "say \"hi\"\nbye");
+}
+
+TEST(PromParserTest, RejectsMalformedInputWithLineNumbers) {
+  EXPECT_THROW(parse_prometheus("metric{unterminated 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_prometheus("metric_no_value{a=\"b\"}\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_prometheus("metric nan_is_fine_but_this_is_not\n"),
+               std::runtime_error);
+}
+
+TEST(MergeSnapshotsTest, SumsCountersAndMergesHistograms) {
+  std::vector<MetricsRegistry::Snapshot> snaps;
+  snaps.push_back(sample_snapshot(3, 1.0, 5.0, 0x11));
+  snaps.push_back(sample_snapshot(4, 2.0, 700.0, 0x22));
+  const MetricsRegistry::Snapshot merged = merge_snapshots(snaps);
+
+  ASSERT_EQ(merged.counters.size(), 1u);
+  EXPECT_EQ(merged.counters[0].first, "serve.completed");
+  EXPECT_EQ(merged.counters[0].second, 7u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].second, 2.0);  // last snapshot wins
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].second.total(), 2u);
+  EXPECT_DOUBLE_EQ(merged.histograms[0].second.sum(), 705.0);
+}
+
+TEST(MergeSnapshotsTest, ExemplarsKeepTheMostRecentObservationPerBucket) {
+  // Two "shards" observe into the SAME bucket; the exemplar sequence
+  // number (process-global) must make the later observation win the merge
+  // regardless of snapshot order.
+  MetricsRegistry first;
+  MetricsRegistry second;
+  const Histogram shape = Histogram::logarithmic(0.01, 1e4, 12);
+  const HistogramId a = first.histogram("serve.run_ms", shape);
+  const HistogramId b = second.histogram("serve.run_ms", shape);
+  first.observe(a, 50.0, 0xaaaa);   // earlier
+  second.observe(b, 51.0, 0xbbbb);  // later, same log bucket
+
+  for (const bool reversed : {false, true}) {
+    std::vector<MetricsRegistry::Snapshot> snaps;
+    if (reversed) {
+      snaps.push_back(second.snapshot());
+      snaps.push_back(first.snapshot());
+    } else {
+      snaps.push_back(first.snapshot());
+      snaps.push_back(second.snapshot());
+    }
+    const MetricsRegistry::Snapshot merged = merge_snapshots(snaps);
+    ASSERT_EQ(merged.histograms.size(), 1u);
+    const Histogram& hist = merged.histograms[0].second;
+    bool found = false;
+    for (std::size_t bin = 0; bin < hist.bin_count(); ++bin) {
+      if (const Histogram::Exemplar* exemplar = hist.exemplar(bin)) {
+        EXPECT_EQ(exemplar->trace_id, 0xbbbbull)
+            << "merge must keep the most recently recorded exemplar";
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(HistogramExemplarTest, UntracedObservationsLeaveNoExemplar) {
+  Histogram hist = Histogram::logarithmic(0.01, 1e4, 12);
+  hist.add(3.0);  // untraced — the pre-exemplar call signature still works
+  hist.add(4.0, 0);
+  for (std::size_t bin = 0; bin < hist.bin_count(); ++bin) {
+    EXPECT_EQ(hist.exemplar(bin), nullptr);
+  }
+  hist.add(5.0, 0x77);
+  bool found = false;
+  for (std::size_t bin = 0; bin < hist.bin_count(); ++bin) {
+    if (const Histogram::Exemplar* exemplar = hist.exemplar(bin)) {
+      EXPECT_EQ(exemplar->trace_id, 0x77ull);
+      EXPECT_DOUBLE_EQ(exemplar->value, 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace popbean::obs

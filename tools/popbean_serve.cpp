@@ -50,17 +50,36 @@
 //   --health-out=PATH      final HealthSnapshot JSON after the drain
 //   --telemetry-out=PATH   JSONL: one event per terminal response, plus
 //                          vote_divergence events from the service
+//   --trace-out=PATH       Chrome trace JSON of per-job async span trees
+//                          (DESIGN.md §13), written after the drain and on
+//                          SIGUSR1
+//   --trace-cap=K          trace ring-buffer capacity in events (default
+//                          1000000); older events drop once exceeded
+//   --prom-out=PATH        Prometheus text-format exposition, rewritten
+//                          every --prom-interval-ms and on SIGUSR1
+//   --prom-interval-ms=MS  prom rewrite period (default 1000)
+//   --slow-out=PATH        top-k slow-request log JSON, written after the
+//                          drain and on SIGUSR1
+//
+// SIGUSR1 dumps the current trace/prom/slow files immediately without
+// stopping the service — the live-inspection hook popbean-top leans on.
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "obs/prom.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "serve/codec.hpp"
 #include "serve/router.hpp"
 #include "serve/service.hpp"
@@ -74,9 +93,16 @@ using namespace popbean;
 using namespace popbean::serve;
 
 std::atomic<bool> g_interrupted{false};
+std::atomic<bool> g_dump_requested{false};
 
 extern "C" void handle_drain_signal(int) {
   g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+// SIGUSR1: only sets a flag (the observability writer thread does the file
+// IO — none of it is async-signal-safe).
+extern "C" void handle_dump_signal(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
 }
 
 ShedPolicy parse_shed_policy(const std::string& text) {
@@ -110,7 +136,8 @@ int main(int argc, char** argv) {
                       "quarantine-divergences", "quarantine-cooldown-ms",
                       "capture-dir", "capture-limit", "seed", "chaos",
                       "chaos-seed", "corrupt-rate", "metrics-out",
-                      "health-out", "telemetry-out"});
+                      "health-out", "telemetry-out", "trace-out", "trace-cap",
+                      "prom-out", "prom-interval-ms", "slow-out"});
 
     ServiceConfig config;
     config.threads = static_cast<std::size_t>(args.get_uint64("threads", 0));
@@ -162,6 +189,13 @@ int main(int argc, char** argv) {
     const std::string metrics_path = args.get_string("metrics-out", "");
     const std::string health_path = args.get_string("health-out", "");
     const std::string telemetry_path = args.get_string("telemetry-out", "");
+    const std::string trace_path = args.get_string("trace-out", "");
+    const std::size_t trace_cap = static_cast<std::size_t>(args.get_uint64(
+        "trace-cap", obs::TraceCollector::kDefaultCapacity));
+    const std::string prom_path = args.get_string("prom-out", "");
+    const auto prom_interval = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("prom-interval-ms", 1000)));
+    const std::string slow_path = args.get_string("slow-out", "");
 
     std::ifstream jobs_file;
     if (!jobs_path.empty()) {
@@ -174,6 +208,16 @@ int main(int argc, char** argv) {
     if (!telemetry_path.empty()) {
       telemetry.emplace(telemetry_path);
       config.telemetry = &*telemetry;
+    }
+    std::optional<obs::TraceCollector> trace;
+    if (!trace_path.empty()) {
+      trace.emplace(trace_cap);
+      config.trace = &*trace;
+    }
+    std::optional<obs::SlowLog> slow_log;
+    if (!slow_path.empty()) {
+      slow_log.emplace();
+      config.slow_log = &*slow_log;
     }
 
     // One mutex serializes every response line (service sink and the
@@ -198,6 +242,7 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_drain_signal);
     std::signal(SIGTERM, handle_drain_signal);
+    std::signal(SIGUSR1, handle_dump_signal);
 
     // shards == 1 keeps the plain single-service path (bit-identical to
     // the pre-sharding tool, including the backoff seed); --shards=N wraps
@@ -211,6 +256,77 @@ int main(int argc, char** argv) {
       router_config.shards = shards;
       router_config.service = config;
       router.emplace(std::move(router_config), write_line);
+    }
+
+    // Observability dumps: each file is written to PATH.tmp then renamed so
+    // a tailing popbean-top never reads a half-written snapshot. All are
+    // callable while the service runs (snapshot()/write_chrome_trace copy
+    // under their own locks).
+    const auto atomic_write = [](const std::string& path, auto&& body) {
+      const std::string tmp = path + ".tmp";
+      {
+        std::ofstream out(tmp);
+        if (!out) throw std::runtime_error("cannot open " + tmp);
+        body(out);
+      }
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        throw std::runtime_error("cannot rename " + tmp);
+      }
+    };
+    const auto dump_prom = [&] {
+      if (prom_path.empty()) return;
+      atomic_write(prom_path, [&](std::ostream& out) {
+        if (router.has_value()) {
+          router->write_prometheus(out);
+          return;
+        }
+        obs::PromExposition prom;
+        const obs::MetricsRegistry::Snapshot snap =
+            service->metrics().snapshot();
+        prom.add(snap, {{"shard", "0"}});
+        prom.add(snap, {{"shard", "fleet"}});
+        if (trace.has_value()) {
+          prom.add_counter("obs.trace_events_dropped", trace->dropped_count(),
+                           {{"shard", "fleet"}});
+        }
+        prom.write(out);
+      });
+    };
+    const auto dump_trace = [&] {
+      if (trace_path.empty()) return;
+      atomic_write(trace_path, [&](std::ostream& out) {
+        trace->write_chrome_trace(out, "popbean-serve");
+      });
+    };
+    const auto dump_slow = [&] {
+      if (slow_path.empty()) return;
+      atomic_write(slow_path, [&](std::ostream& out) {
+        JsonWriter json(out);
+        slow_log->write_json(json);
+        out << "\n";
+      });
+    };
+
+    // Periodic prom writer + SIGUSR1 servicing, off the request loop.
+    std::atomic<bool> obs_stop{false};
+    std::thread obs_writer;
+    if (!prom_path.empty() || !trace_path.empty() || !slow_path.empty()) {
+      obs_writer = std::thread([&] {
+        auto next_prom = std::chrono::steady_clock::now() + prom_interval;
+        while (!obs_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+            dump_prom();
+            dump_trace();
+            dump_slow();
+          }
+          if (!prom_path.empty() &&
+              std::chrono::steady_clock::now() >= next_prom) {
+            dump_prom();
+            next_prom += prom_interval;
+          }
+        }
+      });
     }
 
     RequestReader reader;
@@ -246,6 +362,15 @@ int main(int argc, char** argv) {
     } else {
       router->drain(config.drain_deadline);
     }
+
+    if (obs_writer.joinable()) {
+      obs_stop.store(true, std::memory_order_relaxed);
+      obs_writer.join();
+    }
+    // Final snapshots reflect the fully-drained service.
+    dump_prom();
+    dump_trace();
+    dump_slow();
 
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
