@@ -1,0 +1,112 @@
+// LineFramer: incremental NDJSON framing over a TCP byte stream
+// (DESIGN.md §14).
+//
+// TCP delivers bytes, not lines: a frame may arrive split at any byte
+// boundary, several frames may land in one read, and a hostile or broken
+// client may never send the terminating '\n' at all. The framer owns that
+// reassembly so the server's per-connection loop only ever sees whole
+// frames, each stamped with its exact wire offset and wire size — the
+// strict codec's diagnostics (RequestReader byte offsets, torn-frame
+// reports) stay byte-accurate even for CRLF clients.
+//
+// Memory is bounded by max_line_bytes: once a frame exceeds the cap
+// without a terminator, the framer emits a single oversized Frame (content
+// dropped, offset preserved), then discards bytes until the next '\n'
+// before resynchronizing. The server's policy is to reject and doom the
+// connection on oversize, but the framer never trusts the policy to save
+// its memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace popbean::net {
+
+class LineFramer {
+ public:
+  struct Frame {
+    std::string line;             // terminators stripped ('\n', and a '\r'
+                                  // immediately before it); empty when
+                                  // oversized
+    std::uint64_t offset = 0;     // stream offset of the frame's first byte
+    std::uint64_t wire_size = 0;  // bytes consumed on the wire (terminator
+                                  // included; for an oversized frame, the
+                                  // bytes seen before giving up)
+    bool oversized = false;       // exceeded max_line_bytes unterminated
+  };
+
+  explicit LineFramer(std::size_t max_line_bytes)
+      : max_line_(max_line_bytes) {}
+
+  // Appends received bytes. While resynchronizing after an oversized
+  // frame, bytes up to and including the next '\n' are discarded.
+  void feed(std::string_view bytes) {
+    if (discarding_) {
+      const std::size_t nl = bytes.find('\n');
+      if (nl == std::string_view::npos) {
+        consumed_ += bytes.size();
+        return;
+      }
+      consumed_ += nl + 1;
+      discarding_ = false;
+      bytes.remove_prefix(nl + 1);
+    }
+    buffer_.append(bytes);
+  }
+
+  // Extracts the next complete (or oversized) frame; nullopt when the
+  // buffered bytes hold no terminator and are still under the cap.
+  std::optional<Frame> next() {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) {
+      if (buffer_.size() <= max_line_) return std::nullopt;
+      Frame frame;
+      frame.oversized = true;
+      frame.offset = consumed_;
+      frame.wire_size = buffer_.size();
+      consumed_ += buffer_.size();
+      buffer_.clear();
+      discarding_ = true;
+      return frame;
+    }
+    Frame frame;
+    frame.offset = consumed_;
+    frame.wire_size = nl + 1;
+    if (nl > max_line_) {
+      // Terminated, but past the cap: same oversized rejection, and the
+      // stream resynchronizes at the terminator we already found.
+      frame.oversized = true;
+    } else {
+      frame.line = buffer_.substr(0, nl);
+      if (!frame.line.empty() && frame.line.back() == '\r') {
+        frame.line.pop_back();
+      }
+    }
+    buffer_.erase(0, nl + 1);
+    consumed_ += nl + 1;
+    return frame;
+  }
+
+  // A torn frame: bytes buffered (or being discarded) past the last
+  // complete frame. The offset names where the torn frame began.
+  bool has_partial() const noexcept {
+    return !buffer_.empty() || discarding_;
+  }
+  std::uint64_t partial_offset() const noexcept { return consumed_; }
+  std::size_t partial_size() const noexcept { return buffer_.size(); }
+
+  // Total stream bytes accounted for (framed, discarded, or buffered).
+  std::uint64_t bytes_seen() const noexcept {
+    return consumed_ + buffer_.size();
+  }
+
+ private:
+  std::size_t max_line_;
+  std::string buffer_;
+  std::uint64_t consumed_ = 0;  // stream offset of buffer_[0]
+  bool discarding_ = false;     // dropping until the next '\n'
+};
+
+}  // namespace popbean::net

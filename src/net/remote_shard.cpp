@@ -1,0 +1,317 @@
+#include "net/remote_shard.hpp"
+
+#include <sys/socket.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/framer.hpp"
+#include "serve/codec.hpp"
+#include "util/check.hpp"
+#include "util/net_io.hpp"
+#include "util/rng.hpp"
+
+namespace popbean::net {
+
+RemoteShard::RemoteShard(RemoteShardConfig config,
+                         serve::JobService::ResponseFn emit)
+    : config_(std::move(config)),
+      emit_(std::move(emit)),
+      breaker_(config_.breaker),
+      backoff_(config_.backoff, Xoshiro256ss(config_.seed)) {
+  POPBEAN_CHECK_MSG(emit_ != nullptr, "RemoteShard: response sink required");
+  POPBEAN_CHECK_MSG(config_.max_inflight >= 1,
+                    "RemoteShard: max_inflight must be >= 1");
+  POPBEAN_CHECK_MSG(config_.max_attempts >= 1,
+                    "RemoteShard: max_attempts must be >= 1");
+  netio::ignore_sigpipe();
+}
+
+RemoteShard::~RemoteShard() {
+  std::vector<serve::JobResponse> flushed;
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+    sever_link_locked();
+  }
+  if (reader_.joinable()) reader_.join();
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [wire_id, pending] : inflight_) {
+      serve::JobResponse response;
+      response.id = pending.id;
+      response.outcome = serve::JobOutcome::kFailed;
+      response.error = "shutdown";
+      response.trace_id = pending.trace_id;
+      response.origin = pending.origin;
+      response.shard = config_.slot;
+      flushed.push_back(std::move(response));
+    }
+    stats_.shutdown_flushed += inflight_.size();
+    inflight_.clear();
+  }
+  for (const serve::JobResponse& response : flushed) emit_(response);
+}
+
+void RemoteShard::sever_link_locked() {
+  if (fd_ >= 0) {
+    // The reader owns close(2); shutdown unblocks its read and makes the
+    // fd useless to concurrent writers without racing fd reuse.
+    ::shutdown(fd_, SHUT_RDWR);
+    fd_ = -1;
+  }
+}
+
+bool RemoteShard::ensure_link(std::unique_lock<std::mutex>& lock,
+                              std::string* why) {
+  if (fd_ >= 0) return true;
+  if (reader_.joinable()) {
+    if (!reader_done_.load(std::memory_order_acquire)) {
+      // The previous reader is still failing its in-flight jobs; do not
+      // stack a second link on top of an unsettled one.
+      *why = "remote_unreachable";
+      return false;
+    }
+    // Steal joinability under the lock so a racing submit cannot join the
+    // same thread object twice.
+    std::thread dead = std::move(reader_);
+    lock.unlock();
+    dead.join();
+    lock.lock();
+    if (draining_) {
+      *why = "draining";
+      return false;
+    }
+    if (fd_ >= 0) return true;  // a racing submit reconnected for us
+  }
+  std::string error;
+  const int fd =
+      netio::connect_tcp(config_.target, config_.connect_timeout, &error);
+  if (fd < 0) {
+    ++stats_.connect_failures;
+    breaker_.record_failure(Clock::now());
+    *why = "remote_unreachable";
+    return false;
+  }
+  ++stats_.connects;
+  fd_ = fd;
+  ++generation_;
+  reader_done_.store(false, std::memory_order_release);
+  reader_ = std::thread([this, fd, generation = generation_] {
+    reader_loop(fd, generation);
+  });
+  return true;
+}
+
+std::optional<std::string> RemoteShard::try_submit(serve::JobSpec spec) {
+  std::unique_lock lock(mutex_);
+  if (draining_) return "draining";
+  if (!breaker_.allow(Clock::now())) return "remote_open";
+  if (inflight_.size() >= config_.max_inflight) {
+    return "remote_inflight_full";
+  }
+  const std::uint64_t seq = next_seq_++;
+  std::string wire_id = "s";
+  wire_id += std::to_string(seq);
+  wire_id += '!';
+  wire_id += spec.id;
+  Pending pending;
+  pending.id = spec.id;
+  pending.origin = spec.origin;
+  pending.trace_id = spec.trace_id;
+
+  serve::JobSpec wire = std::move(spec);
+  wire.id = wire_id;
+  const std::string line = serve::job_request_line(wire) + "\n";
+
+  // Registered before the write: the response can race back before
+  // write_all even returns.
+  inflight_.emplace(wire_id, std::move(pending));
+
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.write_retries;
+      const auto sleep = backoff_.next();
+      lock.unlock();
+      std::this_thread::sleep_for(sleep);
+      lock.lock();
+      // A dying reader may have flushed our entry as remote_lost while
+      // the lock was down — a response was emitted, so the job was taken.
+      if (inflight_.find(wire_id) == inflight_.end()) return std::nullopt;
+      if (draining_) {
+        inflight_.erase(wire_id);
+        return "draining";
+      }
+    }
+    std::string why;
+    if (!ensure_link(lock, &why)) {
+      if (inflight_.find(wire_id) == inflight_.end()) return std::nullopt;
+      if (why == "draining") {
+        inflight_.erase(wire_id);
+        return why;
+      }
+      continue;  // retry the connect under backoff
+    }
+    // ensure_link may have dropped the lock to join a dead reader; if that
+    // reader flushed our entry, do not write a line nobody is waiting for.
+    if (inflight_.find(wire_id) == inflight_.end()) return std::nullopt;
+    const netio::IoResult sent = netio::write_all(fd_, line);
+    if (sent.ok()) {
+      ++stats_.forwarded;
+      backoff_.reset();
+      return std::nullopt;
+    }
+    // The line never completed on the wire, so the remote never admitted
+    // it: severing and rewriting on a fresh link cannot duplicate the job.
+    breaker_.record_failure(Clock::now());
+    sever_link_locked();
+    if (inflight_.find(wire_id) == inflight_.end()) {
+      // The dying reader already failed this entry as remote_lost; its
+      // response is on its way out, so the submission counts as taken.
+      return std::nullopt;
+    }
+  }
+  // If a dying reader already flushed the entry, its remote_lost response
+  // stands and the job counts as taken.
+  if (inflight_.erase(wire_id) == 0) return std::nullopt;
+  return "remote_unreachable";
+}
+
+void RemoteShard::handle_line(std::string_view line) {
+  std::string error;
+  std::optional<serve::JobResponse> parsed =
+      serve::parse_job_response(line, &error);
+  serve::JobResponse response;
+  bool deliver = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!parsed.has_value()) {
+      ++stats_.malformed;
+      return;
+    }
+    auto it = inflight_.find(parsed->id);
+    if (it == inflight_.end()) {
+      // The remote's own synthesized lines (admission rejects with empty
+      // ids) and responses flushed locally after a drain land here.
+      ++stats_.stray;
+      return;
+    }
+    response = std::move(*parsed);
+    response.id = it->second.id;
+    response.origin = it->second.origin;
+    response.shard = config_.slot;
+    inflight_.erase(it);
+    ++stats_.responses;
+    breaker_.record_success(Clock::now());
+    deliver = true;
+    if (draining_ && inflight_.empty()) drain_cv_.notify_all();
+  }
+  if (deliver) emit_(response);
+}
+
+void RemoteShard::reader_loop(int fd, std::uint64_t generation) {
+  LineFramer framer(config_.max_response_line);
+  char buffer[65536];
+  for (;;) {
+    const netio::IoResult result =
+        netio::read_some(fd, buffer, sizeof buffer);
+    if (result.status != netio::IoStatus::kOk) break;
+    framer.feed(std::string_view(buffer, result.bytes));
+    while (std::optional<LineFramer::Frame> frame = framer.next()) {
+      if (frame->oversized) {
+        std::lock_guard lock(mutex_);
+        ++stats_.malformed;
+        continue;
+      }
+      handle_line(frame->line);
+    }
+  }
+  std::vector<serve::JobResponse> lost;
+  {
+    std::lock_guard lock(mutex_);
+    netio::close_fd(fd);
+    if (generation == generation_) {
+      const bool current = fd_ >= 0;
+      fd_ = -1;
+      if (!draining_ && (current || !inflight_.empty())) {
+        breaker_.record_failure(Clock::now());
+      }
+      for (auto& [wire_id, pending] : inflight_) {
+        serve::JobResponse response;
+        response.id = pending.id;
+        response.outcome = serve::JobOutcome::kFailed;
+        response.error = "remote_lost";
+        response.trace_id = pending.trace_id;
+        response.origin = pending.origin;
+        response.shard = config_.slot;
+        lost.push_back(std::move(response));
+      }
+      stats_.remote_lost += inflight_.size();
+      inflight_.clear();
+      if (draining_) drain_cv_.notify_all();
+    }
+  }
+  for (const serve::JobResponse& response : lost) emit_(response);
+  reader_done_.store(true, std::memory_order_release);
+}
+
+void RemoteShard::begin_drain() {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+}
+
+bool RemoteShard::drain(std::chrono::milliseconds budget) {
+  std::vector<serve::JobResponse> flushed;
+  bool clean = false;
+  {
+    std::unique_lock lock(mutex_);
+    draining_ = true;
+    drain_cv_.wait_for(lock, budget, [this] { return inflight_.empty(); });
+    clean = inflight_.empty();
+    if (!clean) {
+      for (auto& [wire_id, pending] : inflight_) {
+        serve::JobResponse response;
+        response.id = pending.id;
+        response.outcome = serve::JobOutcome::kFailed;
+        response.error = "shutdown";
+        response.trace_id = pending.trace_id;
+        response.origin = pending.origin;
+        response.shard = config_.slot;
+        flushed.push_back(std::move(response));
+      }
+      stats_.shutdown_flushed += inflight_.size();
+      inflight_.clear();
+    }
+    sever_link_locked();
+  }
+  for (const serve::JobResponse& response : flushed) emit_(response);
+  return clean;
+}
+
+RemoteShard::Stats RemoteShard::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t RemoteShard::inflight() const {
+  std::lock_guard lock(mutex_);
+  return inflight_.size();
+}
+
+serve::CircuitBreaker::State RemoteShard::breaker_state() const {
+  std::lock_guard lock(mutex_);
+  return breaker_.state();
+}
+
+std::uint64_t RemoteShard::breaker_opens() const {
+  std::lock_guard lock(mutex_);
+  return breaker_.opens();
+}
+
+std::uint64_t RemoteShard::breaker_closes() const {
+  std::lock_guard lock(mutex_);
+  return breaker_.closes();
+}
+
+}  // namespace popbean::net

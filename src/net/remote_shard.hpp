@@ -1,0 +1,142 @@
+// RemoteShard: a serve::ShardProxy that forwards jobs to a popbean-serve
+// process over TCP (DESIGN.md §14).
+//
+// The router's spill walk treats a remote process exactly like a local
+// shard: try_submit either takes the job (and owes exactly one response
+// through the shared sink) or names a reason and the walk continues. The
+// wire is the same strict NDJSON v2 the stdin front end speaks —
+// serve::job_request_line out, serve::parse_job_response back — with the
+// spec's trace_id riding along so the remote's span tree joins the local
+// one on a single trace id.
+//
+// Wire-id prefixing: one RemoteShard multiplexes jobs from MANY client
+// connections over ONE TCP connection, but the remote's RequestReader
+// enforces per-connection id uniqueness. Every forwarded job therefore
+// travels as "s<seq>!<original-id>" (seq strictly monotonic per link);
+// the original id and origin token are restored from the in-flight table
+// before the response is emitted, and the response's shard index is
+// rewritten to this proxy's router slot.
+//
+// Failure containment:
+//   * a CircuitBreaker guards the LINK (not the jobs): connect failures
+//     and lost connections record failures, delivered responses record
+//     successes regardless of the job's own outcome. A dead remote trips
+//     the breaker after failure_threshold rejections, and the cooldown →
+//     half-open probe → close cycle is what CI observes as "breaker trip
+//     + recovery" when the remote returns.
+//   * connect/write retries use DecorrelatedJitterBackoff and are safe
+//     against duplicates by construction: the remote admits only COMPLETE
+//     lines, so a frame that never finished writing never ran. Once
+//     write_all reports the full line out, the submission is final
+//     (at-most-once from then on).
+//   * a lost connection fails every in-flight job as failed("remote_lost")
+//     — the exactly-one-response contract survives the remote's death.
+//   * an inflight cap bounds both memory and the bytes ever outstanding
+//     on the socket (so bounded, lock-held writes cannot stall: the cap
+//     keeps outstanding data far below the kernel send buffer).
+//
+// Threading: try_submit serializes under one mutex (bounded work: at most
+// max_attempts × (connect_timeout + backoff cap)); a reader thread owns
+// the receive side and the fd's close. The response sink is called with
+// no RemoteShard lock held and must outlive this object.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/circuit_breaker.hpp"
+#include "serve/router.hpp"
+#include "serve/service.hpp"
+#include "util/backoff.hpp"
+#include "util/cli.hpp"
+
+namespace popbean::net {
+
+struct RemoteShardConfig {
+  HostPort target;
+  std::size_t slot = 0;  // router slot index stamped into responses
+  std::size_t max_inflight = 256;
+  std::chrono::milliseconds connect_timeout{250};
+  std::size_t max_attempts = 3;  // connect+write attempts per submission
+  BackoffPolicy backoff{std::chrono::milliseconds{20},
+                        std::chrono::milliseconds{200}};
+  serve::BreakerConfig breaker;
+  std::uint64_t seed = 0x9e3;
+  std::size_t max_response_line = 1 << 20;
+};
+
+class RemoteShard : public serve::ShardProxy {
+ public:
+  struct Stats {
+    std::uint64_t connects = 0;       // successful link (re)establishments
+    std::uint64_t connect_failures = 0;
+    std::uint64_t forwarded = 0;      // complete lines written
+    std::uint64_t write_retries = 0;  // reconnect-and-rewrite attempts
+    std::uint64_t responses = 0;      // responses restored and emitted
+    std::uint64_t remote_lost = 0;    // in-flight jobs failed by link loss
+    std::uint64_t stray = 0;          // responses with no in-flight entry
+    std::uint64_t malformed = 0;      // lines that failed strict parsing
+    std::uint64_t shutdown_flushed = 0;
+  };
+
+  // `emit` receives every terminal response this proxy owes (restored
+  // remote responses, remote_lost/shutdown failures); it must be
+  // thread-safe and outlive the proxy.
+  RemoteShard(RemoteShardConfig config, serve::JobService::ResponseFn emit);
+  ~RemoteShard() override;
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  std::optional<std::string> try_submit(serve::JobSpec spec) override;
+  void begin_drain() override;
+  bool drain(std::chrono::milliseconds budget) override;
+
+  Stats stats() const;
+  std::size_t inflight() const;
+  serve::CircuitBreaker::State breaker_state() const;
+  std::uint64_t breaker_opens() const;
+  std::uint64_t breaker_closes() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::string id;            // original client id
+    std::uint64_t origin = 0;  // original front-end token
+    std::uint64_t trace_id = 0;
+  };
+
+  // Ensures a live link, joining a finished reader first. Returns false
+  // with *why set when the link cannot be (re)established now.
+  bool ensure_link(std::unique_lock<std::mutex>& lock, std::string* why);
+  void sever_link_locked();  // shutdown(2); the reader closes and clears
+  void reader_loop(int fd, std::uint64_t generation);
+  void handle_line(std::string_view line);
+
+  RemoteShardConfig config_;
+  serve::JobService::ResponseFn emit_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drain_cv_;
+  int fd_ = -1;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::string, Pending, std::less<>> inflight_;
+  serve::CircuitBreaker breaker_;
+  DecorrelatedJitterBackoff backoff_;
+  Stats stats_;
+  bool draining_ = false;
+
+  std::thread reader_;
+  std::atomic<bool> reader_done_{false};
+};
+
+}  // namespace popbean::net

@@ -45,6 +45,22 @@ const std::string& require_string(const JsonValue& v, const std::string& name) {
   return v.as_string();
 }
 
+bool require_bool(const JsonValue& v, const std::string& name) {
+  if (!v.is_bool()) bad_field(name, "expected a boolean");
+  return v.as_bool();
+}
+
+bool outcome_from_string(const std::string& text, JobOutcome* out) {
+  if (text == "done") *out = JobOutcome::kDone;
+  else if (text == "truncated") *out = JobOutcome::kTruncated;
+  else if (text == "timeout") *out = JobOutcome::kTimeout;
+  else if (text == "failed") *out = JobOutcome::kFailed;
+  else if (text == "overloaded") *out = JobOutcome::kOverloaded;
+  else if (text == "invalid") *out = JobOutcome::kInvalid;
+  else return false;
+  return true;
+}
+
 JobPriority parse_priority(const std::string& text) {
   if (text == "low") return JobPriority::kLow;
   if (text == "normal") return JobPriority::kNormal;
@@ -157,9 +173,147 @@ ParsedRequest parse_job_request(std::string_view line) {
   }
 }
 
-ParsedRequest RequestReader::next(std::string_view line) {
+std::string job_request_line(const JobSpec& spec) {
+  std::ostringstream buffer;
+  JsonWriter json(buffer);
+  json.begin_object();
+  json.kv("v", kProtocolVersion);
+  json.kv("id", spec.id);
+  if (!spec.client.empty()) json.kv("client", spec.client);
+  if (spec.protocol != "avc") json.kv("protocol", spec.protocol);
+  if (spec.m != 3) json.kv("m", static_cast<std::uint64_t>(spec.m));
+  if (spec.d != 1) json.kv("d", static_cast<std::uint64_t>(spec.d));
+  json.kv("n", spec.n);
+  json.kv("eps", spec.epsilon);
+  json.kv("seed", spec.seed);
+  if (spec.max_interactions != 0) {
+    json.kv("max_interactions", spec.max_interactions);
+  }
+  if (spec.replicates != 1) {
+    json.kv("replicates", static_cast<std::uint64_t>(spec.replicates));
+  }
+  if (spec.vote_replicas != 0) {
+    json.kv("replicas", static_cast<std::uint64_t>(spec.vote_replicas));
+  }
+  if (spec.priority != JobPriority::kNormal) {
+    json.kv("priority", to_string(spec.priority));
+  }
+  if (spec.deadline.count() != 0) {
+    json.kv("deadline_ms", static_cast<std::uint64_t>(spec.deadline.count()));
+  }
+  if (spec.trace_id != 0) json.kv("trace_id", spec.trace_id);
+  json.end_object();
+  return json_single_line(buffer.str());
+}
+
+std::optional<JobResponse> parse_job_response(std::string_view line,
+                                              std::string* error) {
+  const auto fail = [error](std::string why) -> std::optional<JobResponse> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+  JsonValue root;
+  try {
+    root = JsonValue::parse(line);
+  } catch (const JsonParseError& e) {
+    return fail(std::string("malformed JSON: ") + e.what());
+  }
+  if (!root.is_object()) return fail("response must be a JSON object");
+  JobResponse response;
+  bool saw_version = false;
+  bool saw_id = false;
+  bool saw_outcome = false;
+  try {
+    for (const auto& [key, value] : root.members()) {
+      if (key == "v") {
+        const std::uint64_t version = require_u64(value, key);
+        if (version < kMinProtocolVersion || version > kProtocolVersion) {
+          bad_field(key, "unsupported protocol version " +
+                             std::to_string(version));
+        }
+        saw_version = true;
+      } else if (key == "id") {
+        // Unlike requests, an EMPTY id is legal here: server-synthesized
+        // rejections (garbage frames, admission refusals) are not
+        // attributable to any job and ship with id "".
+        response.id = require_string(value, key);
+        saw_id = true;
+      } else if (key == "outcome") {
+        const std::string& text = require_string(value, key);
+        if (!outcome_from_string(text, &response.outcome)) {
+          bad_field(key, "unknown outcome \"" + text + "\"");
+        }
+        saw_outcome = true;
+      } else if (key == "error") {
+        response.error = require_string(value, key);
+      } else if (key == "attempts") {
+        response.attempts = static_cast<std::uint32_t>(
+            require_u64(value, key, 0, 1'000'000));
+      } else if (key == "degraded") {
+        response.degraded = require_bool(value, key);
+      } else if (key == "replicas_used") {
+        response.replicas_used = static_cast<std::uint32_t>(
+            require_u64(value, key, 0, 1'000'000));
+      } else if (key == "voted") {
+        response.voted = require_bool(value, key);
+      } else if (key == "quarantined") {
+        response.quarantined = require_bool(value, key);
+      } else if (key == "divergent") {
+        response.divergent = static_cast<std::uint32_t>(
+            require_u64(value, key, 0, 1'000'000));
+      } else if (key == "queue_ms") {
+        response.queue_ms = require_double(value, key);
+      } else if (key == "run_ms") {
+        response.run_ms = require_double(value, key);
+      } else if (key == "trace_id") {
+        response.trace_id = require_u64(value, key);
+      } else if (key == "shard") {
+        response.shard =
+            static_cast<std::size_t>(require_u64(value, key));
+      } else if (key == "result") {
+        if (!value.is_object()) bad_field(key, "expected an object");
+        for (const auto& [rkey, rvalue] : value.members()) {
+          if (rkey == "replicates") {
+            response.result.replicates_run =
+                static_cast<std::uint32_t>(require_u64(rvalue, rkey));
+          } else if (rkey == "converged") {
+            response.result.converged =
+                static_cast<std::uint32_t>(require_u64(rvalue, rkey));
+          } else if (rkey == "correct") {
+            response.result.correct =
+                static_cast<std::uint32_t>(require_u64(rvalue, rkey));
+          } else if (rkey == "wrong") {
+            response.result.wrong =
+                static_cast<std::uint32_t>(require_u64(rvalue, rkey));
+          } else if (rkey == "step_limit") {
+            response.result.step_limit =
+                static_cast<std::uint32_t>(require_u64(rvalue, rkey));
+          } else if (rkey == "absorbing") {
+            response.result.absorbing =
+                static_cast<std::uint32_t>(require_u64(rvalue, rkey));
+          } else if (rkey == "mean_parallel_time") {
+            response.result.mean_parallel_time = require_double(rvalue, rkey);
+          } else {
+            bad_field("result." + rkey, "unknown field");
+          }
+        }
+      } else {
+        bad_field(key, "unknown field");
+      }
+    }
+  } catch (const FieldError& e) {
+    return fail(e.what());
+  }
+  if (!saw_version) return fail("field \"v\": missing");
+  if (!saw_id) return fail("field \"id\": missing");
+  if (!saw_outcome) return fail("field \"outcome\": missing");
+  return response;
+}
+
+ParsedRequest RequestReader::next(std::string_view line,
+                                  std::uint64_t framed_size) {
   const std::uint64_t line_offset = offset_;
-  offset_ += line.size() + 1;  // '\n' framing
+  offset_ += framed_size;
   ParsedRequest parsed = parse_job_request(line);
   if (JobSpec* spec = std::get_if<JobSpec>(&parsed)) {
     const auto it = first_use_.find(spec->id);

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -56,16 +57,39 @@ using ParsedRequest = std::variant<JobSpec, RequestError>;
 // `invalid` response instead of dying on a bad client.
 ParsedRequest parse_job_request(std::string_view line);
 
+// Serializes a spec back to one v2 request line (no trailing '\n') that
+// parse_job_request round-trips: fields at their JobSpec defaults are
+// omitted, so a forwarded spec is accepted by any peer speaking v2. This
+// is the remote-spill wire format (DESIGN.md §14) — the spec's trace_id
+// rides along, which is how span trees stay causally linked across
+// process boundaries; the origin token does NOT (it is meaningful only
+// inside the process that minted it).
+std::string job_request_line(const JobSpec& spec);
+
+// Parses one response line (the inverse of write_job_response), for the
+// remote-spill client and the TCP stress clients. Strict like the request
+// parser: unknown fields, wrong types, and unsupported versions are
+// errors — but an EMPTY id is accepted (unlike requests), because
+// server-synthesized rejections attributable to no job legitimately ship
+// with id "". Returns the error text via *error (when non-null), nullopt.
+std::optional<JobResponse> parse_job_response(std::string_view line,
+                                              std::string* error = nullptr);
+
 // Connection-scoped strict reader: parse_job_request plus the per-
 // connection state a stateless parse cannot enforce — running byte offsets
 // and the set of job ids already seen. A duplicate job id within one
 // connection is a strict-codec error naming the id and both byte offsets
 // (the exactly-one-response contract is per id; a client reusing an id
-// could never tell its two submissions' responses apart). Offsets assume
-// '\n'-terminated lines, matching the NDJSON framing.
+// could never tell its two submissions' responses apart). The one-argument
+// overload assumes '\n'-terminated lines; the TCP front end passes the
+// frame's true wire size instead, so offsets in diagnostics stay exact
+// even for CRLF-framed clients.
 class RequestReader {
  public:
-  ParsedRequest next(std::string_view line);
+  ParsedRequest next(std::string_view line) {
+    return next(line, line.size() + 1);
+  }
+  ParsedRequest next(std::string_view line, std::uint64_t framed_size);
 
   std::uint64_t bytes_consumed() const noexcept { return offset_; }
   std::size_t ids_seen() const noexcept { return first_use_.size(); }

@@ -57,6 +57,13 @@ struct JobSpec {
   // untraced. Rides the spec unchanged across shard spills and retries so
   // the whole pipeline lands on one async span tree.
   std::uint64_t trace_id = 0;
+  // Opaque front-end routing token (DESIGN.md §14): the TCP server stamps
+  // the submitting connection's id here, and every terminal-response site
+  // echoes it back unchanged so the response can be steered to the right
+  // socket. Never serialized by the codec — it is meaningful only inside
+  // the process that minted it (a remote shard re-stamps its own). 0 =
+  // no front end (stdin, tests, direct submits).
+  std::uint64_t origin = 0;
 
   std::uint64_t effective_max_interactions() const noexcept {
     return max_interactions != 0 ? max_interactions : 500 * n;
@@ -108,6 +115,9 @@ struct JobResponse {
   // Which router shard served the job (0 for an unsharded JobService); set
   // by ShardRouter so per-connection ledgers can attribute work.
   std::size_t shard = 0;
+  // Echo of JobSpec::origin — the connection token the TCP front end uses
+  // to route this response back to its socket. Not part of the wire schema.
+  std::uint64_t origin = 0;
 };
 
 inline const char* to_string(JobPriority priority) {

@@ -21,6 +21,14 @@
 // across the fleet because rejected-then-redirected submissions use
 // try_submit(), which reports the reason without emitting.
 //
+// Remote shards (DESIGN.md §14) extend the slot space past the local
+// services: a ShardProxy occupies rendezvous slots L..L+R-1 after the L
+// local shards and competes in the same HRW scoring, so a family's owner
+// may live in another process and the spill walk crosses process
+// boundaries without the router knowing anything about sockets. Proxies
+// deliver their responses through their own transport; the router only
+// ever sees admit/reject.
+//
 // Shutdown drains all shards against one shared budget: admission stops
 // everywhere first (no shard can spill into a sibling that is already
 // draining), then each shard drains with whatever budget remains.
@@ -29,6 +37,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -49,6 +58,28 @@
 
 namespace popbean::serve {
 
+// A shard the router reaches through a narrow admission/drain interface
+// instead of owning in-process. net/remote_shard.hpp implements it over
+// TCP; tests stub it. An implementation that admits a job (try_submit →
+// nullopt) takes over the exactly-one-response contract for that job and
+// delivers the terminal response through its own path — the router never
+// hears about it again.
+class ShardProxy {
+ public:
+  virtual ~ShardProxy() = default;
+  // Like JobService::try_submit: nullopt = admitted, otherwise the
+  // rejection reason (breaker open, link down, inflight cap, draining)
+  // and the job was NOT taken, so the router keeps walking the spill
+  // order. Must be thread-safe; must not block on the network beyond a
+  // bounded connect/write.
+  virtual std::optional<std::string> try_submit(JobSpec spec) = 0;
+  // Stops admitting; in-flight jobs keep their response path.
+  virtual void begin_drain() = 0;
+  // Waits up to `budget` for in-flight jobs to reach their terminal
+  // response (flushing them as failed past the budget). True = clean.
+  virtual bool drain(std::chrono::milliseconds budget) = 0;
+};
+
 struct RouterConfig {
   std::size_t shards = 1;
   // Walk sibling shards on owner rejection; false = strict ownership (the
@@ -58,14 +89,20 @@ struct RouterConfig {
   // registry so per-shard health stays meaningful); `telemetry` may be
   // shared (the sink is line-granular under its own mutex).
   ServiceConfig service;
+  // Remote shards: slot i of `remotes` occupies rendezvous slot shards+i.
+  // Shared because the transport that feeds a proxy its responses usually
+  // co-owns it. Health/metrics of a remote shard live in its own process
+  // (health() here covers local shards only).
+  std::vector<std::shared_ptr<ShardProxy>> remotes;
 };
 
 class ShardRouter {
  public:
   struct Stats {
     std::uint64_t submitted = 0;
-    std::uint64_t redirected = 0;    // admitted by a non-owner shard
-    std::uint64_t rejected_all = 0;  // every shard said no
+    std::uint64_t redirected = 0;    // admitted by a non-owner slot
+    std::uint64_t rejected_all = 0;  // every slot said no
+    std::uint64_t remote = 0;        // admitted by a remote shard proxy
   };
 
   ShardRouter(RouterConfig config, JobService::ResponseFn on_response)
@@ -73,6 +110,10 @@ class ShardRouter {
         on_response_(std::move(on_response)) {
     POPBEAN_CHECK_MSG(config_.shards >= 1,
                       "ShardRouter: at least one shard required");
+    for (const auto& remote : config_.remotes) {
+      POPBEAN_CHECK_MSG(remote != nullptr,
+                        "ShardRouter: null remote shard proxy");
+    }
     POPBEAN_CHECK_MSG(config_.service.metrics == nullptr,
                       "ShardRouter: shards own their metrics registries");
     POPBEAN_CHECK_MSG(on_response_ != nullptr,
@@ -95,22 +136,26 @@ class ShardRouter {
   }
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  // Local shards plus remote proxy slots — the rendezvous slot space.
+  std::size_t slot_count() const noexcept {
+    return shards_.size() + config_.remotes.size();
+  }
   JobService& shard(std::size_t i) { return *shards_.at(i); }
   const JobService& shard(std::size_t i) const { return *shards_.at(i); }
 
-  // Owner shard of a family (top rendezvous score).
+  // Owner slot of a family (top rendezvous score); may name a remote.
   std::size_t owner_of(std::string_view family) const {
     return rendezvous_order(family).front();
   }
 
-  // All shards in descending rendezvous score for a family: the owner
+  // All slots in descending rendezvous score for a family: the owner
   // first, then the deterministic spill sequence.
   std::vector<std::size_t> rendezvous_order(std::string_view family) const {
     const std::uint64_t fingerprint = fnv1a64(family);
-    std::vector<std::size_t> order(shards_.size());
+    std::vector<std::size_t> order(slot_count());
     std::iota(order.begin(), order.end(), std::size_t{0});
-    std::vector<std::uint64_t> score(shards_.size());
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::vector<std::uint64_t> score(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
       score[i] = mix_seed(fingerprint, i);
     }
     std::sort(order.begin(), order.end(),
@@ -137,11 +182,15 @@ class ShardRouter {
     std::string reason;
     for (std::size_t pos = 0; pos < order.size(); ++pos) {
       const std::size_t i = order[pos];
-      std::optional<std::string> rejected = shards_[i]->try_submit(spec);
+      const bool is_remote = i >= shards_.size();
+      std::optional<std::string> rejected =
+          is_remote ? config_.remotes[i - shards_.size()]->try_submit(spec)
+                    : shards_[i]->try_submit(spec);
       if (!rejected.has_value()) {
-        if (pos > 0) {
+        if (pos > 0 || is_remote) {
           std::lock_guard lock(stats_mutex_);
-          ++stats_.redirected;
+          if (pos > 0) ++stats_.redirected;
+          if (is_remote) ++stats_.remote;
         }
         return true;
       }
@@ -153,6 +202,7 @@ class ShardRouter {
       ++stats_.rejected_all;
     }
     JobResponse response;
+    response.origin = spec.origin;
     response.id = std::move(spec.id);
     response.outcome = JobOutcome::kOverloaded;
     response.error = config_.reject_to_sibling
@@ -175,24 +225,27 @@ class ShardRouter {
 
   void begin_drain() {
     for (const auto& shard : shards_) shard->begin_drain();
+    for (const auto& remote : config_.remotes) remote->begin_drain();
   }
 
-  // Drain-all: stop admission on every shard first, then drain each shard
-  // against the shared absolute deadline. Returns true only if every shard
-  // drained cleanly within the budget.
+  // Drain-all: stop admission on every slot first, then drain each local
+  // shard, then each remote proxy, against the shared absolute deadline.
+  // Returns true only if every slot drained cleanly within the budget.
   bool drain(std::chrono::milliseconds budget) {
     begin_drain();
     const Deadline hard = Deadline::after(budget);
+    const auto remaining_budget = [&hard, budget] {
+      if (hard.is_unlimited()) return budget;
+      return std::max(std::chrono::milliseconds{0},
+                      std::chrono::duration_cast<std::chrono::milliseconds>(
+                          hard.remaining()));
+    };
     bool clean = true;
     for (const auto& shard : shards_) {
-      std::chrono::milliseconds remaining = budget;
-      if (!hard.is_unlimited()) {
-        remaining = std::max(
-            std::chrono::milliseconds{0},
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                hard.remaining()));
-      }
-      clean = shard->drain(remaining) && clean;
+      clean = shard->drain(remaining_budget()) && clean;
+    }
+    for (const auto& remote : config_.remotes) {
+      clean = remote->drain(remaining_budget()) && clean;
     }
     return clean;
   }
@@ -249,8 +302,15 @@ class ShardRouter {
   // Prometheus text-format exposition (obs/prom.hpp) of the whole fleet:
   // every registry series once per shard under shard="i", plus the merged
   // rollup under shard="fleet" (counters/histograms summed, gauges from the
-  // last shard — meaningful fleet gauges live in the per-shard series).
-  void write_prometheus(std::ostream& os) const {
+  // last shard — meaningful fleet gauges live in the per-shard series) and
+  // the router's own spill counters. `enrich` lets a front end append
+  // series the router cannot see (the TCP server's connection counters)
+  // into the same exposition before it is written, so one scrape covers
+  // the whole process. Remote shards expose themselves in their own
+  // process; this exposition covers local slots only.
+  void write_prometheus(
+      std::ostream& os,
+      const std::function<void(obs::PromExposition&)>& enrich = {}) const {
     std::vector<obs::MetricsRegistry::Snapshot> snaps;
     snaps.reserve(shards_.size());
     for (const auto& shard : shards_) {
@@ -266,6 +326,14 @@ class ShardRouter {
                        config_.service.trace->dropped_count(),
                        {{"shard", "fleet"}});
     }
+    const Stats s = stats();
+    prom.add_counter("router.submitted", s.submitted, {{"shard", "fleet"}});
+    prom.add_counter("router.redirected", s.redirected, {{"shard", "fleet"}});
+    prom.add_counter("router.rejected_all", s.rejected_all,
+                     {{"shard", "fleet"}});
+    prom.add_counter("router.remote_admitted", s.remote,
+                     {{"shard", "fleet"}});
+    if (enrich) enrich(prom);
     prom.write(os);
   }
 

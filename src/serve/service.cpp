@@ -373,12 +373,14 @@ void JobService::emit(JobResponse response) {
 }
 
 JobResponse JobService::overloaded_response(std::string id, std::string reason,
-                                            std::uint64_t trace_id) const {
+                                            std::uint64_t trace_id,
+                                            std::uint64_t origin) const {
   JobResponse response;
   response.id = std::move(id);
   response.outcome = JobOutcome::kOverloaded;
   response.error = std::move(reason);
   response.trace_id = trace_id;
+  response.origin = origin;
   return response;
 }
 
@@ -418,8 +420,8 @@ std::optional<std::string> JobService::submit_internal(JobSpec spec,
                                      {{"reason", *rejection}});
       }
       if (emit_rejection) {
-        to_emit.push_back(
-            overloaded_response(spec.id, *rejection, spec.trace_id));
+        to_emit.push_back(overloaded_response(spec.id, *rejection,
+                                              spec.trace_id, spec.origin));
       }
     } else {
       QueuedJob job;
@@ -434,6 +436,7 @@ std::optional<std::string> JobService::submit_internal(JobSpec spec,
       const std::string id = job.spec.id;  // push moves the job
       const std::string protocol = job.spec.protocol;
       const std::uint64_t trace_id = job.spec.trace_id;
+      const std::uint64_t origin = job.spec.origin;
       AdmitResult result = queue_.push(std::move(job));
       if (!result.admitted) {
         metrics_.add(ids_.rejected);
@@ -443,7 +446,8 @@ std::optional<std::string> JobService::submit_internal(JobSpec spec,
                                        {{"reason", result.reason}});
         }
         if (emit_rejection) {
-          to_emit.push_back(overloaded_response(id, result.reason, trace_id));
+          to_emit.push_back(
+              overloaded_response(id, result.reason, trace_id, origin));
         }
       } else {
         metrics_.add(ids_.accepted);
@@ -461,13 +465,16 @@ std::optional<std::string> JobService::submit_internal(JobSpec spec,
                         "shed_deadline");
           to_emit.push_back(overloaded_response(result.evicted->spec.id,
                                                 "shed_deadline",
-                                                result.evicted->spec.trace_id));
+                                                result.evicted->spec.trace_id,
+                                                result.evicted->spec.origin));
         }
         for (QueuedJob& victim : update_overload_locked(now)) {
           metrics_.add(ids_.shed);
           trace_job_end(victim.spec.trace_id, "overloaded", "shed_overload");
-          to_emit.push_back(overloaded_response(
-              victim.spec.id, "shed_overload", victim.spec.trace_id));
+          to_emit.push_back(overloaded_response(victim.spec.id,
+                                                "shed_overload",
+                                                victim.spec.trace_id,
+                                                victim.spec.origin));
         }
         pump_locked();
       }
@@ -566,7 +573,8 @@ void JobService::run_job(const QueuedJob& job, ActiveJob& ctx) {
       metrics_.add(ids_.shed);
       trace_job_end(victim.spec.trace_id, "overloaded", "shed_overload");
       to_emit.push_back(overloaded_response(victim.spec.id, "shed_overload",
-                                            victim.spec.trace_id));
+                                            victim.spec.trace_id,
+                                            victim.spec.origin));
     }
     pump_locked();
     update_gauges_locked();
@@ -583,6 +591,7 @@ JobResponse JobService::execute(const QueuedJob& job, ActiveJob& ctx) {
   JobResponse response;
   response.id = job.spec.id;
   response.trace_id = trace_id;
+  response.origin = job.spec.origin;
   response.queue_ms = FpMillis(start - job.admitted).count();
   metrics_.observe(ids_.queue_ms, response.queue_ms, trace_id);
   // The queue wait is only measurable once the job pops — recorded
@@ -899,6 +908,7 @@ bool JobService::drain(std::chrono::milliseconds budget) {
         response.outcome = JobOutcome::kFailed;
         response.error = "shutdown";
         response.trace_id = job->spec.trace_id;
+        response.origin = job->spec.origin;
         to_emit.push_back(std::move(response));
       }
       // Running jobs observe cancel_ within a poll interval (or the

@@ -220,7 +220,8 @@ class JobService {
 
   void emit(JobResponse response);
   JobResponse overloaded_response(std::string id, std::string reason,
-                                  std::uint64_t trace_id) const;
+                                  std::uint64_t trace_id,
+                                  std::uint64_t origin) const;
   // Closes the job's async span tree with its terminal outcome; every
   // admitted job passes through exactly one call (run_job, shed, eviction,
   // or drain flush) — the trace-side face of the exactly-one-response

@@ -51,6 +51,57 @@ std::vector<std::string> split_list(const std::string& text) {
 
 }  // namespace
 
+std::string HostPort::to_string() const {
+  if (host.find(':') != std::string::npos) {
+    return "[" + host + "]:" + std::to_string(port);
+  }
+  return host + ":" + std::to_string(port);
+}
+
+HostPort parse_host_port(const std::string& flag_name,
+                         const std::string& text, bool allow_port_zero) {
+  const auto bad = [&flag_name, &text,
+                    allow_port_zero](const char* why) -> HostPort {
+    throw std::runtime_error(
+        "flag --" + flag_name + ": " + why + " in \"" + text +
+        "\" (expected host:port or [v6]:port with port in " +
+        (allow_port_zero ? "0-65535)" : "1-65535)"));
+  };
+  HostPort out;
+  std::string port_text;
+  if (!text.empty() && text.front() == '[') {
+    const std::size_t close = text.find(']');
+    if (close == std::string::npos) return bad("unbalanced '['");
+    out.host = text.substr(1, close - 1);
+    if (close + 1 >= text.size() || text[close + 1] != ':') {
+      return bad("missing ':port' after ']'");
+    }
+    port_text = text.substr(close + 2);
+  } else {
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos) return bad("missing ':port'");
+    if (text.find(':', colon + 1) != std::string::npos) {
+      return bad("bare IPv6 literal (bracket it: [::1]:port)");
+    }
+    out.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  if (out.host.empty()) return bad("empty host");
+  if (port_text.empty()) return bad("empty port");
+  std::uint32_t port = 0;
+  const char* const first = port_text.data();
+  const char* const last = port_text.data() + port_text.size();
+  const auto result = std::from_chars(first, last, port);
+  if (result.ec != std::errc() || result.ptr != last) {
+    return bad("malformed port");
+  }
+  if ((port == 0 && !allow_port_zero) || port > 65535) {
+    return bad("port out of range");
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +164,27 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
   return *v == "true" || *v == "1" || *v == "yes";
+}
+
+std::optional<HostPort> CliArgs::get_host_port(const std::string& name,
+                                               bool allow_port_zero) const {
+  const auto v = get(name);
+  if (!v) return std::nullopt;
+  return parse_host_port(name, *v, allow_port_zero);
+}
+
+std::vector<HostPort> CliArgs::get_host_port_list(
+    const std::string& name) const {
+  const auto v = get(name);
+  if (!v) return {};
+  const std::vector<std::string> parts = split_list(*v);
+  if (parts.empty()) {
+    throw std::runtime_error("flag --" + name + ": empty endpoint list");
+  }
+  std::vector<HostPort> out;
+  out.reserve(parts.size());
+  for (const auto& part : parts) out.push_back(parse_host_port(name, part));
+  return out;
 }
 
 std::vector<double> CliArgs::get_double_list(

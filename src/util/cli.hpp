@@ -13,6 +13,33 @@
 
 namespace popbean {
 
+// A parsed, validated "host:port" endpoint (--listen, --shard-remote,
+// popbean-stress --connect). `host` is never empty and `port` is always in
+// [1, 65535] — or [0, 65535] for listen addresses parsed with
+// allow_port_zero; construction goes through parse_host_port, which
+// rejects everything else.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+
+  // Renders back to the accepted syntax: bare "host:port", or
+  // "[host]:port" when the host itself contains ':' (IPv6 literals).
+  std::string to_string() const;
+};
+
+// Strict "host:port" parse, same stance as the numeric flag parsers: the
+// whole text must be one well-formed endpoint. Accepted forms are
+// "host:port" (host without ':') and "[v6-literal]:port". Rejected with a
+// std::runtime_error naming `flag_name`: empty host, missing/empty port,
+// port 0, port > 65535, trailing garbage after the port ("host:80x"),
+// unbalanced brackets, and bytes after a closing bracket other than
+// ":port". `allow_port_zero` relaxes only the port-0 rule, for LISTEN
+// addresses where 0 means "kernel-assigned ephemeral port"; connect
+// targets stay strict.
+HostPort parse_host_port(const std::string& flag_name,
+                         const std::string& text,
+                         bool allow_port_zero = false);
+
 class CliArgs {
  public:
   CliArgs(int argc, const char* const* argv);
@@ -35,6 +62,14 @@ class CliArgs {
                            std::uint64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
+
+  // "host:port" flag value, validated by parse_host_port; nullopt when the
+  // flag is absent.
+  std::optional<HostPort> get_host_port(const std::string& name,
+                                        bool allow_port_zero = false) const;
+  // Comma-separated list of endpoints, e.g.
+  // --shard-remote=10.0.0.1:9000,10.0.0.2:9000
+  std::vector<HostPort> get_host_port_list(const std::string& name) const;
 
   // Comma-separated list of doubles, e.g. --eps=0.1,0.01,0.001
   std::vector<double> get_double_list(const std::string& name,

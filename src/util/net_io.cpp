@@ -1,0 +1,266 @@
+#include "util/net_io.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace popbean::netio {
+
+namespace {
+
+bool would_block(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK;
+}
+
+IoResult from_errno() {
+  IoResult result;
+  result.error = errno;
+  result.status = would_block(errno) ? IoStatus::kWouldBlock : IoStatus::kError;
+  return result;
+}
+
+// getaddrinfo resolution shared by listen/connect. Numeric-first so the
+// common cases (127.0.0.1, 0.0.0.0, ::1) never touch a resolver.
+struct Resolved {
+  sockaddr_storage addr{};
+  socklen_t len = 0;
+  int family = AF_UNSPEC;
+};
+
+bool resolve(const HostPort& endpoint, bool passive, Resolved* out,
+             std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICHOST | (passive ? AI_PASSIVE : 0);
+  const std::string port = std::to_string(endpoint.port);
+  addrinfo* list = nullptr;
+  int rc = ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &list);
+  if (rc == EAI_NONAME) {
+    hints.ai_flags &= ~AI_NUMERICHOST;
+    rc = ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &list);
+  }
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "cannot resolve " + endpoint.to_string() + ": " +
+               ::gai_strerror(rc);
+    }
+    return false;
+  }
+  std::memcpy(&out->addr, list->ai_addr, list->ai_addrlen);
+  out->len = static_cast<socklen_t>(list->ai_addrlen);
+  out->family = list->ai_family;
+  ::freeaddrinfo(list);
+  return true;
+}
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+bool set_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+IoResult read_some(int fd, char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, capacity);
+    if (n > 0) {
+      return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+    }
+    if (n == 0) return IoResult{IoStatus::kClosed, 0, 0};
+    if (errno == EINTR) continue;
+    return from_errno();
+  }
+}
+
+IoResult write_some(int fd, const char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+    }
+    if (errno == EINTR) continue;
+    return from_errno();
+  }
+}
+
+IoResult write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const IoResult chunk =
+        write_some(fd, data.data() + sent, data.size() - sent);
+    if (chunk.status == IoStatus::kWouldBlock) {
+      // Blocking-fd contract: wait for space rather than spin. poll() is
+      // EINTR-prone too.
+      pollfd pfd{fd, POLLOUT, 0};
+      while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+      }
+      continue;
+    }
+    if (!chunk.ok()) {
+      return IoResult{chunk.status, sent, chunk.error};
+    }
+    sent += chunk.bytes;
+  }
+  return IoResult{IoStatus::kOk, sent, 0};
+}
+
+IoResult accept_client(int listen_fd, int* client_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      *client_fd = fd;
+      return IoResult{IoStatus::kOk, 0, 0};
+    }
+    if (errno == EINTR) continue;
+    // A connection that died in the accept queue is not our error; report
+    // it as a dry accept so the loop simply tries again on the next event.
+    if (errno == ECONNABORTED) return IoResult{IoStatus::kWouldBlock, 0, 0};
+    return from_errno();
+  }
+}
+
+int listen_tcp(const HostPort& at, int backlog, std::string* error,
+               std::uint16_t* bound_port) {
+  Resolved target;
+  if (!resolve(at, /*passive=*/true, &target, error)) return -1;
+  const int fd = ::socket(target.family,
+                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&target.addr),
+             target.len) != 0) {
+    if (error != nullptr) {
+      *error = errno_text(("bind " + at.to_string()).c_str());
+    }
+    close_fd(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    if (error != nullptr) *error = errno_text("listen");
+    close_fd(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_storage local{};
+    socklen_t len = sizeof(local);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &len) == 0) {
+      if (local.ss_family == AF_INET) {
+        *bound_port = ntohs(reinterpret_cast<sockaddr_in*>(&local)->sin_port);
+      } else if (local.ss_family == AF_INET6) {
+        *bound_port =
+            ntohs(reinterpret_cast<sockaddr_in6*>(&local)->sin6_port);
+      }
+    }
+  }
+  return fd;
+}
+
+int connect_tcp(const HostPort& to, std::chrono::milliseconds timeout,
+                std::string* error) {
+  Resolved target;
+  if (!resolve(to, /*passive=*/false, &target, error)) return -1;
+  const int fd = ::socket(target.family,
+                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("socket");
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&target.addr),
+                   target.len);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno == EINPROGRESS) {
+    // Nonblocking connect: wait for writability, then read the outcome
+    // from SO_ERROR (the only portable way to learn an async connect's
+    // fate).
+    pollfd pfd{fd, POLLOUT, 0};
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        if (error != nullptr) {
+          *error = "connect " + to.to_string() + ": timed out";
+        }
+        close_fd(fd);
+        return -1;
+      }
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) {
+        if (error != nullptr) {
+          *error = "connect " + to.to_string() + ": timed out";
+        }
+        close_fd(fd);
+        return -1;
+      }
+      break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      if (error != nullptr) {
+        *error = "connect " + to.to_string() + ": " +
+                 std::strerror(so_error != 0 ? so_error : errno);
+      }
+      close_fd(fd);
+      return -1;
+    }
+  } else if (rc != 0) {
+    if (error != nullptr) {
+      *error = "connect " + to.to_string() + ": " + std::strerror(errno);
+    }
+    close_fd(fd);
+    return -1;
+  }
+  // The caller gets a *blocking* socket: the remote-spill client and the
+  // stress clients use thread-per-connection IO, where blocking writes +
+  // write_all keep the at-most-once reasoning simple.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  set_nodelay(fd);
+  return fd;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace popbean::netio

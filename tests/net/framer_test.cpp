@@ -1,0 +1,166 @@
+// LineFramer: NDJSON framing over an adversarial byte stream — splits at
+// every byte boundary, CRLF vs LF, oversized frames (terminated and not),
+// resynchronization, and byte-exact offsets (DESIGN.md §14).
+#include "net/framer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace popbean::net {
+namespace {
+
+std::vector<LineFramer::Frame> drain(LineFramer& framer) {
+  std::vector<LineFramer::Frame> frames;
+  while (std::optional<LineFramer::Frame> frame = framer.next()) {
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+TEST(LineFramerTest, SingleLineSingleFeed) {
+  LineFramer framer(1024);
+  framer.feed("{\"v\":2}\n");
+  const auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].line, "{\"v\":2}");
+  EXPECT_EQ(frames[0].offset, 0u);
+  EXPECT_EQ(frames[0].wire_size, 8u);
+  EXPECT_FALSE(frames[0].oversized);
+  EXPECT_FALSE(framer.has_partial());
+}
+
+TEST(LineFramerTest, EveryByteBoundarySplit) {
+  // Two frames, fed one byte at a time in every possible chunking: the
+  // reassembly must be byte-boundary independent.
+  const std::string stream = "alpha\nbeta-longer\n";
+  for (std::size_t split = 1; split < stream.size(); ++split) {
+    LineFramer framer(64);
+    std::vector<LineFramer::Frame> frames;
+    framer.feed(std::string_view(stream).substr(0, split));
+    for (auto& f : drain(framer)) frames.push_back(std::move(f));
+    framer.feed(std::string_view(stream).substr(split));
+    for (auto& f : drain(framer)) frames.push_back(std::move(f));
+    ASSERT_EQ(frames.size(), 2u) << "split at " << split;
+    EXPECT_EQ(frames[0].line, "alpha");
+    EXPECT_EQ(frames[0].offset, 0u);
+    EXPECT_EQ(frames[0].wire_size, 6u);
+    EXPECT_EQ(frames[1].line, "beta-longer");
+    EXPECT_EQ(frames[1].offset, 6u);
+    EXPECT_EQ(frames[1].wire_size, 12u);
+    EXPECT_FALSE(framer.has_partial());
+  }
+}
+
+TEST(LineFramerTest, ByteAtATime) {
+  const std::string stream = "one\ntwo\nthree\n";
+  LineFramer framer(16);
+  std::vector<LineFramer::Frame> frames;
+  for (const char byte : stream) {
+    framer.feed(std::string_view(&byte, 1));
+    for (auto& f : drain(framer)) frames.push_back(std::move(f));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].line, "one");
+  EXPECT_EQ(frames[1].line, "two");
+  EXPECT_EQ(frames[2].line, "three");
+  EXPECT_EQ(frames[2].offset, 8u);
+  EXPECT_EQ(framer.bytes_seen(), stream.size());
+}
+
+TEST(LineFramerTest, CrlfStrippedButCountedOnWire) {
+  LineFramer framer(64);
+  framer.feed("first\r\nsecond\n");
+  const auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].line, "first");       // '\r' stripped from content...
+  EXPECT_EQ(frames[0].wire_size, 7u);       // ...but counted on the wire
+  EXPECT_EQ(frames[1].line, "second");
+  EXPECT_EQ(frames[1].offset, 7u);          // offsets stay byte-exact
+}
+
+TEST(LineFramerTest, BareCarriageReturnInsideLineSurvives) {
+  LineFramer framer(64);
+  framer.feed("a\rb\n");
+  const auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].line, "a\rb");  // only a '\r' adjacent to '\n' strips
+}
+
+TEST(LineFramerTest, EmptyLines) {
+  LineFramer framer(64);
+  framer.feed("\n\r\nx\n");
+  const auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].line, "");
+  EXPECT_EQ(frames[1].line, "");
+  EXPECT_EQ(frames[2].line, "x");
+  EXPECT_EQ(frames[2].offset, 3u);
+}
+
+TEST(LineFramerTest, OversizedUnterminatedEmitsOnceThenResyncs) {
+  LineFramer framer(8);
+  framer.feed("0123456789abcdef");  // 16 bytes, no terminator
+  auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[0].offset, 0u);
+  EXPECT_EQ(frames[0].wire_size, 16u);
+  // Still discarding: more bytes of the same runaway frame emit nothing.
+  framer.feed("ghijklmnop");
+  EXPECT_TRUE(drain(framer).empty());
+  EXPECT_TRUE(framer.has_partial());  // the discard state is a torn frame
+  // The terminator resynchronizes; the next frame is clean with a correct
+  // stream offset.
+  framer.feed("\nok\n");
+  frames = drain(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].line, "ok");
+  EXPECT_EQ(frames[0].offset, 27u);  // 16 + 10 + '\n'
+  EXPECT_FALSE(framer.has_partial());
+}
+
+TEST(LineFramerTest, OversizedTerminatedRejectsContentButResyncsInline) {
+  LineFramer framer(4);
+  framer.feed("toolongline\nok\n");
+  const auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_TRUE(frames[0].line.empty());  // content dropped
+  EXPECT_EQ(frames[0].wire_size, 12u);
+  EXPECT_EQ(frames[1].line, "ok");
+  EXPECT_EQ(frames[1].offset, 12u);
+}
+
+TEST(LineFramerTest, PartialTracking) {
+  LineFramer framer(64);
+  framer.feed("complete\npart");
+  const auto frames = drain(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(framer.has_partial());
+  EXPECT_EQ(framer.partial_offset(), 9u);
+  EXPECT_EQ(framer.partial_size(), 4u);
+  EXPECT_EQ(framer.bytes_seen(), 13u);
+}
+
+TEST(LineFramerTest, ExactCapBoundary) {
+  // A line of exactly max bytes (content, excluding terminator) passes; one
+  // byte more is oversized.
+  LineFramer at_cap(4);
+  at_cap.feed("abcd\n");
+  auto frames = drain(at_cap);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(frames[0].oversized);
+  EXPECT_EQ(frames[0].line, "abcd");
+
+  LineFramer over_cap(4);
+  over_cap.feed("abcde\n");
+  frames = drain(over_cap);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].oversized);
+}
+
+}  // namespace
+}  // namespace popbean::net

@@ -1,0 +1,312 @@
+// RemoteShard (net/remote_shard.hpp): forwarding over a real loopback
+// TcpServer, wire-id multiplexing, id/origin/slot restoration, link-level
+// breaker behavior against a dead remote, remote_lost flushing when the
+// link dies mid-flight, and drain's shutdown flush (DESIGN.md §14).
+#include "net/remote_shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "serve/job.hpp"
+
+namespace popbean::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A loopback popbean-serve stand-in: a real TcpServer whose submit sink
+// either echoes done responses synchronously or holds the specs (so tests
+// can kill the link with jobs still in flight).
+class Backend {
+ public:
+  explicit Backend(bool hold_jobs) : hold_jobs_(hold_jobs) {
+    TcpServerConfig config;
+    config.listen.host = "127.0.0.1";
+    config.listen.port = 0;
+    server_.emplace(
+        std::move(config),
+        [this](serve::JobSpec&& spec) {
+          {
+            std::lock_guard lock(mutex_);
+            specs_.push_back(spec);
+            cv_.notify_all();
+          }
+          if (!hold_jobs_) {
+            serve::JobResponse response;
+            response.id = spec.id;
+            response.origin = spec.origin;
+            response.trace_id = spec.trace_id;
+            response.outcome = serve::JobOutcome::kDone;
+            server_->deliver(response);
+          }
+        },
+        [](const serve::JobResponse&) {});
+    std::string error;
+    started_ = server_->start(&error);
+    EXPECT_TRUE(started_) << error;
+  }
+
+  bool started() const { return started_; }
+  std::uint16_t port() const { return server_->port(); }
+  void kill() { server_->stop(); }
+
+  std::vector<serve::JobSpec> await_specs(std::size_t count) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, 5s, [&] { return specs_.size() >= count; });
+    return specs_;
+  }
+
+ private:
+  bool hold_jobs_;
+  bool started_ = false;
+  std::optional<TcpServer> server_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<serve::JobSpec> specs_;
+};
+
+class Sink {
+ public:
+  void operator()(const serve::JobResponse& response) {
+    std::lock_guard lock(mutex_);
+    responses_.push_back(response);
+    cv_.notify_all();
+  }
+
+  std::optional<serve::JobResponse> await(const std::string& id,
+                                          std::chrono::milliseconds timeout =
+                                              5000ms) {
+    std::unique_lock lock(mutex_);
+    const serve::JobResponse* found = nullptr;
+    cv_.wait_for(lock, timeout, [&] {
+      for (const serve::JobResponse& r : responses_) {
+        if (r.id == id) {
+          found = &r;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (found == nullptr) return std::nullopt;
+    return *found;
+  }
+
+  std::size_t count(const std::string& id) {
+    std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    for (const serve::JobResponse& r : responses_) {
+      if (r.id == id) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<serve::JobResponse> responses_;
+};
+
+serve::JobSpec job(const std::string& id, std::uint64_t origin,
+                   std::uint64_t trace_id = 0) {
+  serve::JobSpec spec;
+  spec.id = id;
+  spec.n = 64;
+  spec.epsilon = 0.25;
+  spec.seed = 5;
+  spec.origin = origin;
+  spec.trace_id = trace_id;
+  return spec;
+}
+
+RemoteShardConfig config_for(std::uint16_t port, std::size_t slot = 2) {
+  RemoteShardConfig config;
+  config.target.host = "127.0.0.1";
+  config.target.port = port;
+  config.slot = slot;
+  config.max_attempts = 2;
+  config.backoff = BackoffPolicy{1ms, 5ms};
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown = 100ms;
+  config.breaker.half_open_probes = 1;
+  return config;
+}
+
+TEST(RemoteShardTest, ForwardsAndRestoresIdOriginSlotAndTrace) {
+  Backend backend(/*hold_jobs=*/false);
+  ASSERT_TRUE(backend.started());
+  Sink sink;
+  RemoteShard remote(config_for(backend.port()),
+                     [&sink](const serve::JobResponse& r) { sink(r); });
+
+  EXPECT_EQ(remote.try_submit(job("job-1", /*origin=*/42, /*trace=*/77)),
+            std::nullopt);
+  const auto response = sink.await("job-1");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->outcome, serve::JobOutcome::kDone);
+  EXPECT_EQ(response->origin, 42u);
+  EXPECT_EQ(response->trace_id, 77u);
+  EXPECT_EQ(response->shard, 2u);  // rewritten to the proxy's router slot
+
+  // On the wire the job traveled under the multiplexing prefix, with the
+  // trace id riding along and the origin NOT forwarded (the remote stamps
+  // its own connection id).
+  const auto specs = backend.await_specs(1);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].id, "s0!job-1");
+  EXPECT_EQ(specs[0].trace_id, 77u);
+  EXPECT_NE(specs[0].origin, 42u);
+
+  const RemoteShard::Stats stats = remote.stats();
+  EXPECT_EQ(stats.connects, 1u);
+  EXPECT_EQ(stats.forwarded, 1u);
+  EXPECT_EQ(stats.responses, 1u);
+  EXPECT_EQ(stats.remote_lost, 0u);
+}
+
+TEST(RemoteShardTest, MultiplexesSameClientIdFromDifferentOrigins) {
+  Backend backend(/*hold_jobs=*/false);
+  Sink sink;
+  RemoteShard remote(config_for(backend.port()),
+                     [&sink](const serve::JobResponse& r) { sink(r); });
+
+  // Two front-end connections may both use id "x"; the wire prefix keeps
+  // the remote's per-connection duplicate-id rejection out of the way.
+  EXPECT_EQ(remote.try_submit(job("x", 1)), std::nullopt);
+  EXPECT_EQ(remote.try_submit(job("x", 2)), std::nullopt);
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (sink.count("x") < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(sink.count("x"), 2u);
+  EXPECT_EQ(remote.stats().responses, 2u);
+}
+
+TEST(RemoteShardTest, DeadRemoteTripsTheBreaker) {
+  // Bind-then-kill to get a port with nothing behind it.
+  Backend backend(/*hold_jobs=*/false);
+  const std::uint16_t port = backend.port();
+  backend.kill();
+
+  Sink sink;
+  RemoteShardConfig config = config_for(port);
+  config.connect_timeout = 100ms;
+  RemoteShard remote(config,
+                     [&sink](const serve::JobResponse& r) { sink(r); });
+
+  // Each attempt's connect failure feeds the link breaker; with
+  // failure_threshold=2 one exhausted submission trips it.
+  EXPECT_EQ(remote.try_submit(job("doomed", 1)),
+            std::optional<std::string>("remote_unreachable"));
+  EXPECT_EQ(remote.breaker_state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(remote.breaker_opens(), 1u);
+  EXPECT_GE(remote.stats().connect_failures, 2u);
+
+  // Open breaker rejects immediately, without touching the network.
+  EXPECT_EQ(remote.try_submit(job("fast-reject", 1)),
+            std::optional<std::string>("remote_open"));
+  // No responses were ever owed: both submissions were rejections.
+  EXPECT_EQ(remote.stats().forwarded, 0u);
+}
+
+TEST(RemoteShardTest, BreakerRecoversWhenTheRemoteReturns) {
+  Backend first(/*hold_jobs=*/false);
+  const std::uint16_t port = first.port();
+  first.kill();
+
+  Sink sink;
+  RemoteShardConfig config = config_for(port);
+  config.connect_timeout = 100ms;
+  RemoteShard remote(config,
+                     [&sink](const serve::JobResponse& r) { sink(r); });
+  ASSERT_EQ(remote.try_submit(job("trip", 1)),
+            std::optional<std::string>("remote_unreachable"));
+  ASSERT_EQ(remote.breaker_state(), serve::CircuitBreaker::State::kOpen);
+
+  // Resurrect the remote on the same port (SO_REUSEADDR makes the rebind
+  // reliable), wait out the cooldown, and let the half-open probe through.
+  TcpServerConfig revived_config;
+  revived_config.listen.host = "127.0.0.1";
+  revived_config.listen.port = port;
+  std::optional<TcpServer> revived;
+  revived.emplace(
+      std::move(revived_config),
+      [&revived](serve::JobSpec&& spec) {
+        serve::JobResponse response;
+        response.id = spec.id;
+        response.origin = spec.origin;
+        response.outcome = serve::JobOutcome::kDone;
+        revived->deliver(response);
+      },
+      [](const serve::JobResponse&) {});
+  std::string error;
+  ASSERT_TRUE(revived->start(&error)) << error;
+
+  std::this_thread::sleep_for(150ms);  // past the 100ms breaker cooldown
+  EXPECT_EQ(remote.try_submit(job("probe", 1)), std::nullopt);
+  const auto response = sink.await("probe");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->outcome, serve::JobOutcome::kDone);
+  // One successful probe closes the breaker (half_open_probes=1).
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (remote.breaker_closes() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(remote.breaker_closes(), 1u);
+  EXPECT_EQ(remote.breaker_state(), serve::CircuitBreaker::State::kClosed);
+}
+
+TEST(RemoteShardTest, LinkDeathFailsInflightAsRemoteLost) {
+  auto backend = std::make_unique<Backend>(/*hold_jobs=*/true);
+  Sink sink;
+  RemoteShard remote(config_for(backend->port()),
+                     [&sink](const serve::JobResponse& r) { sink(r); });
+
+  EXPECT_EQ(remote.try_submit(job("stranded", 9, 31)), std::nullopt);
+  ASSERT_EQ(backend->await_specs(1).size(), 1u);
+  backend->kill();  // EOF on the link with one job in flight
+
+  const auto response = sink.await("stranded");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->outcome, serve::JobOutcome::kFailed);
+  EXPECT_EQ(response->error, "remote_lost");
+  EXPECT_EQ(response->origin, 9u);
+  EXPECT_EQ(response->trace_id, 31u);
+  EXPECT_EQ(sink.count("stranded"), 1u) << "exactly one response per job";
+  EXPECT_EQ(remote.stats().remote_lost, 1u);
+  EXPECT_EQ(remote.inflight(), 0u);
+}
+
+TEST(RemoteShardTest, DrainFlushesStragglersAsShutdown) {
+  Backend backend(/*hold_jobs=*/true);
+  Sink sink;
+  RemoteShard remote(config_for(backend.port()),
+                     [&sink](const serve::JobResponse& r) { sink(r); });
+
+  EXPECT_EQ(remote.try_submit(job("straggler", 4)), std::nullopt);
+  ASSERT_EQ(backend.await_specs(1).size(), 1u);
+
+  remote.begin_drain();
+  EXPECT_EQ(remote.try_submit(job("rejected", 4)),
+            std::optional<std::string>("draining"));
+  // The backend holds the job forever, so the budget expires and the
+  // proxy keeps the exactly-one-response contract by failing it.
+  EXPECT_FALSE(remote.drain(100ms));
+  const auto response = sink.await("straggler");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->outcome, serve::JobOutcome::kFailed);
+  EXPECT_EQ(response->error, "shutdown");
+  EXPECT_EQ(remote.stats().shutdown_flushed, 1u);
+}
+
+}  // namespace
+}  // namespace popbean::net

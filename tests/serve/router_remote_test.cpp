@@ -1,0 +1,226 @@
+// ShardRouter + ShardProxy (serve/router.hpp): remote slots join the
+// rendezvous slot space, spill crosses the local/remote boundary, an
+// admitting proxy owns the response contract, and drain covers every slot
+// (DESIGN.md §14).
+#include "serve/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace popbean::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+class StubProxy : public ShardProxy {
+ public:
+  explicit StubProxy(std::optional<std::string> reject = std::nullopt)
+      : reject_(std::move(reject)) {}
+
+  std::optional<std::string> try_submit(JobSpec spec) override {
+    std::lock_guard lock(mutex_);
+    ++offered_;
+    if (reject_.has_value()) return reject_;
+    admitted_.push_back(std::move(spec));
+    return std::nullopt;
+  }
+
+  void begin_drain() override {
+    std::lock_guard lock(mutex_);
+    begin_drain_calls_ += 1;
+  }
+
+  bool drain(std::chrono::milliseconds) override {
+    std::lock_guard lock(mutex_);
+    drain_calls_ += 1;
+    return true;
+  }
+
+  std::size_t offered() const {
+    std::lock_guard lock(mutex_);
+    return offered_;
+  }
+  std::vector<JobSpec> admitted() const {
+    std::lock_guard lock(mutex_);
+    return admitted_;
+  }
+  int begin_drain_calls() const {
+    std::lock_guard lock(mutex_);
+    return begin_drain_calls_;
+  }
+  int drain_calls() const {
+    std::lock_guard lock(mutex_);
+    return drain_calls_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::optional<std::string> reject_;
+  std::size_t offered_ = 0;
+  std::vector<JobSpec> admitted_;
+  int begin_drain_calls_ = 0;
+  int drain_calls_ = 0;
+};
+
+class Collector {
+ public:
+  void operator()(const JobResponse& response) {
+    std::lock_guard lock(mutex_);
+    responses_.push_back(response);
+  }
+
+  std::vector<JobResponse> all() const {
+    std::lock_guard lock(mutex_);
+    return responses_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<JobResponse> responses_;
+};
+
+RouterConfig base_config(std::size_t shards) {
+  RouterConfig config;
+  config.shards = shards;
+  config.service.threads = 1;
+  config.service.admission.capacity = 16;
+  config.service.backoff = BackoffPolicy{1ms, 4ms};
+  config.service.default_deadline = 10'000ms;
+  config.service.drain_deadline = 20'000ms;
+  return config;
+}
+
+JobSpec quick_job(std::string id, const std::string& protocol) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.protocol = protocol;
+  spec.n = 60;
+  spec.epsilon = 0.2;
+  spec.seed = 7;
+  return spec;
+}
+
+// A protocol name whose rendezvous owner is the given slot.
+std::string family_owned_by(const ShardRouter& router, std::size_t slot) {
+  for (int i = 0; i < 4096; ++i) {
+    std::string family = "zoo:family-";
+    family += std::to_string(i);
+    if (router.owner_of(family) == slot) return family;
+  }
+  ADD_FAILURE() << "no family found with owner slot " << slot;
+  return "zoo:family-0";
+}
+
+TEST(RouterRemoteTest, SlotSpaceCoversLocalsAndRemotes) {
+  Collector collector;
+  RouterConfig config = base_config(2);
+  config.remotes.push_back(std::make_shared<StubProxy>());
+  config.remotes.push_back(std::make_shared<StubProxy>());
+  ShardRouter router(std::move(config),
+                     [&](const JobResponse& r) { collector(r); });
+  EXPECT_EQ(router.shard_count(), 2u);
+  EXPECT_EQ(router.slot_count(), 4u);
+  // Remote slots win some families: the rendezvous space is shared.
+  bool remote_owner = false;
+  for (int i = 0; i < 64 && !remote_owner; ++i) {
+    std::string family = "f";
+    family += std::to_string(i);
+    remote_owner = router.owner_of(family) >= 2;
+  }
+  EXPECT_TRUE(remote_owner);
+}
+
+TEST(RouterRemoteTest, RemoteOwnerAdmitsAndOwnsTheResponse) {
+  Collector collector;
+  auto proxy = std::make_shared<StubProxy>();
+  RouterConfig config = base_config(1);
+  config.remotes.push_back(proxy);
+  ShardRouter router(std::move(config),
+                     [&](const JobResponse& r) { collector(r); });
+  const std::string family = family_owned_by(router, 1);
+
+  JobSpec spec = quick_job("remote-owned", family);
+  spec.origin = 7;
+  EXPECT_TRUE(router.submit(std::move(spec)));
+
+  const auto admitted = proxy->admitted();
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0].id, "remote-owned");
+  EXPECT_EQ(admitted[0].origin, 7u);
+  EXPECT_EQ(router.stats().remote, 1u);
+  EXPECT_EQ(router.stats().redirected, 0u);  // the owner took it
+  // The proxy owns the response path; the router must not emit anything.
+  EXPECT_TRUE(collector.all().empty());
+  router.drain(1000ms);
+}
+
+TEST(RouterRemoteTest, LocalRejectionSpillsToRemote) {
+  Collector collector;
+  auto proxy = std::make_shared<StubProxy>();
+  RouterConfig config = base_config(1);
+  config.remotes.push_back(proxy);
+  ShardRouter router(std::move(config),
+                     [&](const JobResponse& r) { collector(r); });
+  const std::string family = family_owned_by(router, 0);
+
+  // The local owner refuses (draining); the walk crosses the process
+  // boundary and the remote slot admits.
+  router.shard(0).begin_drain();
+  EXPECT_TRUE(router.submit(quick_job("spilled", family)));
+  ASSERT_EQ(proxy->admitted().size(), 1u);
+  EXPECT_EQ(proxy->admitted()[0].id, "spilled");
+  const ShardRouter::Stats stats = router.stats();
+  EXPECT_EQ(stats.remote, 1u);
+  EXPECT_EQ(stats.redirected, 1u);
+  EXPECT_EQ(stats.rejected_all, 0u);
+  router.drain(1000ms);
+}
+
+TEST(RouterRemoteTest, AllSlotsRejectingEmitsOneOverloadedWithOrigin) {
+  Collector collector;
+  auto proxy = std::make_shared<StubProxy>(std::optional<std::string>(
+      "remote_open"));
+  RouterConfig config = base_config(1);
+  config.remotes.push_back(proxy);
+  ShardRouter router(std::move(config),
+                     [&](const JobResponse& r) { collector(r); });
+
+  router.shard(0).begin_drain();
+  JobSpec spec = quick_job("nowhere", "avc");
+  spec.origin = 42;
+  EXPECT_FALSE(router.submit(std::move(spec)));
+
+  EXPECT_EQ(proxy->offered(), 1u);  // the walk did reach the remote slot
+  const auto responses = collector.all();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].id, "nowhere");
+  EXPECT_EQ(responses[0].outcome, JobOutcome::kOverloaded);
+  EXPECT_EQ(responses[0].error, "all_shards_overloaded");
+  EXPECT_EQ(responses[0].origin, 42u);
+  EXPECT_EQ(router.stats().rejected_all, 1u);
+  router.drain(1000ms);
+}
+
+TEST(RouterRemoteTest, DrainCoversRemoteSlots) {
+  Collector collector;
+  auto proxy = std::make_shared<StubProxy>();
+  RouterConfig config = base_config(2);
+  config.remotes.push_back(proxy);
+  ShardRouter router(std::move(config),
+                     [&](const JobResponse& r) { collector(r); });
+
+  EXPECT_TRUE(router.drain(1000ms));
+  // Admission stops on every slot before any shard drains, then each slot
+  // drains against the shared budget — the proxy must see both calls.
+  EXPECT_GE(proxy->begin_drain_calls(), 1);
+  EXPECT_EQ(proxy->drain_calls(), 1);
+}
+
+}  // namespace
+}  // namespace popbean::serve

@@ -139,5 +139,62 @@ TEST(CliTest, RejectsGarbageInsideLists) {
                std::runtime_error);
 }
 
+TEST(CliTest, HostPortParsesBareForm) {
+  const HostPort endpoint = parse_host_port("connect", "127.0.0.1:8080");
+  EXPECT_EQ(endpoint.host, "127.0.0.1");
+  EXPECT_EQ(endpoint.port, 8080);
+  EXPECT_EQ(endpoint.to_string(), "127.0.0.1:8080");
+}
+
+TEST(CliTest, HostPortParsesBracketedV6) {
+  const HostPort endpoint = parse_host_port("connect", "[::1]:9");
+  EXPECT_EQ(endpoint.host, "::1");
+  EXPECT_EQ(endpoint.port, 9);
+  // Renders back bracketed because the host itself contains ':'.
+  EXPECT_EQ(endpoint.to_string(), "[::1]:9");
+}
+
+TEST(CliTest, HostPortPortZeroOnlyForListenAddresses) {
+  EXPECT_THROW(parse_host_port("connect", "h:0"), std::runtime_error);
+  const HostPort listen =
+      parse_host_port("listen", "h:0", /*allow_port_zero=*/true);
+  EXPECT_EQ(listen.host, "h");
+  EXPECT_EQ(listen.port, 0);
+}
+
+TEST(CliTest, HostPortRejectsMalformedEndpoints) {
+  for (const char* bad :
+       {"", "noport", ":80", "h:", "h:80x", "h:70000", "h:-1", "h:8 0",
+        "::1:80", "[::1]", "[::1]80", "[::1:80", "[]:80"}) {
+    EXPECT_THROW(parse_host_port("connect", bad), std::runtime_error)
+        << "accepted \"" << bad << '"';
+  }
+}
+
+TEST(CliTest, HostPortErrorNamesTheFlag) {
+  try {
+    parse_host_port("shard-remote", "h:70000");
+    FAIL() << "port 70000 accepted";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--shard-remote"), std::string::npos) << what;
+    EXPECT_NE(what.find("h:70000"), std::string::npos) << what;
+  }
+}
+
+TEST(CliTest, GetHostPortAndLists) {
+  const auto args =
+      parse({"--listen=0.0.0.0:0", "--shard-remote=a:1,b:2"});
+  EXPECT_FALSE(parse({}).get_host_port("listen").has_value());
+  EXPECT_THROW(args.get_host_port("listen"), std::runtime_error);
+  const auto listen = args.get_host_port("listen", /*allow_port_zero=*/true);
+  ASSERT_TRUE(listen.has_value());
+  EXPECT_EQ(listen->port, 0);
+  const auto remotes = args.get_host_port_list("shard-remote");
+  ASSERT_EQ(remotes.size(), 2u);
+  EXPECT_EQ(remotes[0].to_string(), "a:1");
+  EXPECT_EQ(remotes[1].to_string(), "b:2");
+}
+
 }  // namespace
 }  // namespace popbean

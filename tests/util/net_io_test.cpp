@@ -1,0 +1,190 @@
+// netio (util/net_io.hpp): loopback listen/connect/read/write round trips,
+// the SIGPIPE-free write contract, nonblocking normalization, and failure
+// reporting (DESIGN.md §14).
+#include "util/net_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <poll.h>
+#include <string>
+#include <thread>
+
+#include "util/cli.hpp"
+
+namespace popbean::netio {
+namespace {
+
+using namespace std::chrono_literals;
+
+HostPort loopback(std::uint16_t port) {
+  HostPort at;
+  at.host = "127.0.0.1";
+  at.port = port;
+  return at;
+}
+
+// Accepts one client from a nonblocking listener, polling up to 2s.
+int accept_one(int listen_fd) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    int client = -1;
+    const IoResult r = accept_client(listen_fd, &client);
+    if (r.ok()) return client;
+    if (r.status != IoStatus::kWouldBlock) {
+      ADD_FAILURE() << "accept failed: errno=" << r.error;
+      return -1;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+  }
+  ADD_FAILURE() << "no client within deadline";
+  return -1;
+}
+
+// Reads until `want` bytes arrive on a (possibly nonblocking) fd.
+std::string read_exactly(int fd, std::size_t want) {
+  std::string out;
+  char buffer[256];
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (out.size() < want && std::chrono::steady_clock::now() < deadline) {
+    const IoResult r = read_some(fd, buffer, sizeof buffer);
+    if (r.ok()) {
+      out.append(buffer, r.bytes);
+    } else if (r.status == IoStatus::kWouldBlock) {
+      pollfd pfd{fd, POLLIN, 0};
+      ::poll(&pfd, 1, 50);
+    } else {
+      break;  // kClosed / kError — let the caller's size check report it
+    }
+  }
+  return out;
+}
+
+TEST(NetIoTest, EphemeralListenConnectRoundTrip) {
+  std::string error;
+  std::uint16_t port = 0;
+  const int listener = listen_tcp(loopback(0), 8, &error, &port);
+  ASSERT_GE(listener, 0) << error;
+  EXPECT_GT(port, 0) << "ephemeral bind must report the real port";
+
+  const int client = connect_tcp(loopback(port), 1000ms, &error);
+  ASSERT_GE(client, 0) << error;
+  const int server = accept_one(listener);
+  ASSERT_GE(server, 0);
+
+  // Client→server (blocking fd, write_all), then echo back.
+  const std::string payload = "{\"v\":2,\"id\":\"ping\"}\n";
+  IoResult sent = write_all(client, payload);
+  EXPECT_TRUE(sent.ok());
+  EXPECT_EQ(sent.bytes, payload.size());
+  EXPECT_EQ(read_exactly(server, payload.size()), payload);
+
+  sent = write_all(server, payload);
+  EXPECT_TRUE(sent.ok());
+  EXPECT_EQ(read_exactly(client, payload.size()), payload);
+
+  close_fd(client);
+  close_fd(server);
+  close_fd(listener);
+}
+
+TEST(NetIoTest, DryReadOnNonblockingFdReportsWouldBlock) {
+  std::string error;
+  std::uint16_t port = 0;
+  const int listener = listen_tcp(loopback(0), 8, &error, &port);
+  ASSERT_GE(listener, 0) << error;
+  const int client = connect_tcp(loopback(port), 1000ms, &error);
+  ASSERT_GE(client, 0) << error;
+  const int server = accept_one(listener);  // accepted fds are nonblocking
+  ASSERT_GE(server, 0);
+
+  char buffer[16];
+  const IoResult r = read_some(server, buffer, sizeof buffer);
+  EXPECT_EQ(r.status, IoStatus::kWouldBlock);
+
+  close_fd(client);
+  close_fd(server);
+  close_fd(listener);
+}
+
+TEST(NetIoTest, ReadReportsOrderlyEofAsClosed) {
+  std::string error;
+  std::uint16_t port = 0;
+  const int listener = listen_tcp(loopback(0), 8, &error, &port);
+  ASSERT_GE(listener, 0) << error;
+  const int client = connect_tcp(loopback(port), 1000ms, &error);
+  ASSERT_GE(client, 0) << error;
+  const int server = accept_one(listener);
+  ASSERT_GE(server, 0);
+
+  close_fd(client);
+  char buffer[16];
+  IoResult r;
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  do {  // the FIN may still be in flight right after close
+    r = read_some(server, buffer, sizeof buffer);
+    if (r.status == IoStatus::kWouldBlock) std::this_thread::sleep_for(10ms);
+  } while (r.status == IoStatus::kWouldBlock &&
+           std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(r.status, IoStatus::kClosed);
+
+  close_fd(server);
+  close_fd(listener);
+}
+
+TEST(NetIoTest, WriteToVanishedPeerReportsErrorNotSignal) {
+  ignore_sigpipe();
+  std::string error;
+  std::uint16_t port = 0;
+  const int listener = listen_tcp(loopback(0), 8, &error, &port);
+  ASSERT_GE(listener, 0) << error;
+  const int client = connect_tcp(loopback(port), 1000ms, &error);
+  ASSERT_GE(client, 0) << error;
+  const int server = accept_one(listener);
+  ASSERT_GE(server, 0);
+  close_fd(server);
+  close_fd(listener);
+
+  // The first write after the peer's close may still land in the kernel
+  // buffer; keep writing until the RST surfaces. If SIGPIPE fired this
+  // whole test binary would die instead of reaching the EXPECT.
+  const std::string chunk(4096, 'x');
+  IoResult r;
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  do {
+    r = write_all(client, chunk);
+    if (!r.ok()) break;
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(r.status, IoStatus::kError);
+  EXPECT_TRUE(r.error == EPIPE || r.error == ECONNRESET)
+      << "errno=" << r.error;
+
+  close_fd(client);
+}
+
+TEST(NetIoTest, ConnectToDeadPortFails) {
+  // Bind-then-close to find a port with nothing listening on it.
+  std::string error;
+  std::uint16_t port = 0;
+  const int listener = listen_tcp(loopback(0), 1, &error, &port);
+  ASSERT_GE(listener, 0) << error;
+  close_fd(listener);
+
+  const int fd = connect_tcp(loopback(port), 500ms, &error);
+  EXPECT_LT(fd, 0);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetIoTest, ListenOnUnresolvableHostFails) {
+  std::string error;
+  HostPort at;
+  at.host = "host.invalid";
+  at.port = 1;
+  EXPECT_LT(listen_tcp(at, 1, &error), 0);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace popbean::netio

@@ -1,29 +1,55 @@
-// popbean-serve — the resilient job service on NDJSON stdin/stdout.
+// popbean-serve — the resilient job service on NDJSON stdin/stdout or TCP.
 //
 // Reads one job request per line (serve/codec.hpp, protocol v1–v2) from
-// stdin or a batch file, runs each through the JobService (admission
-// control, per-job deadlines, retry/backoff, per-protocol circuit
-// breakers, replicated voting, graceful degradation — DESIGN.md §9, §12),
-// and writes exactly one terminal NDJSON response line per request:
+// stdin, a batch file, or — with --listen — any number of concurrent TCP
+// connections, runs each through the JobService (admission control,
+// per-job deadlines, retry/backoff, per-protocol circuit breakers,
+// replicated voting, graceful degradation — DESIGN.md §9, §12), and
+// writes exactly one terminal NDJSON response line per request:
 // `done`/`truncated`/`timeout`/`failed` for accepted jobs,
 // `overloaded`/`invalid` for rejections. Lines that never parse still get
 // their `invalid` response (with the request id when one could be
 // salvaged), so a client can always correlate. Duplicate job ids within
-// one run are a strict-codec error (the exactly-one-response contract is
-// per id).
+// one run (stdin) or one connection (TCP) are a strict-codec error (the
+// exactly-one-response contract is per id).
 //
 // With --shards=N the front end routes through a ShardRouter: N in-process
 // service shards own slices of the protocol-family space via rendezvous
 // hashing, and a job rejected by its owner spills to siblings in the
-// family's deterministic fallback order.
+// family's deterministic fallback order. --shard-remote=HOST:PORT[,...]
+// stretches that walk across processes (DESIGN.md §14): each remote
+// popbean-serve occupies a rendezvous slot after the local shards, jobs
+// spill to it over TCP with bounded retries under decorrelated-jitter
+// backoff, a circuit breaker guards each link, and the request's trace id
+// rides the wire so span trees stay causally linked across processes.
 //
 // Exit status: 0 after a clean drain, 2 on usage errors, 3 when
 // interrupted (SIGINT/SIGTERM stop admission, drain in-flight work under
 // the drain deadline, and flush whatever remains as failed("shutdown") —
-// the same convention as popbean-faults).
+// the same convention as popbean-faults). Final observability files
+// (--prom-out, --metrics-out, ...) are written on EVERY exit path, each
+// individually guarded, so a wedged worker or one bad sink can never cost
+// the others their last snapshot.
 //
 // Flags:
 //   --jobs=PATH            read requests from PATH instead of stdin
+//   --listen=HOST:PORT     serve NDJSON over TCP instead of stdin (port 0
+//                          picks an ephemeral port; see --port-file)
+//   --port-file=PATH       write the bound TCP port to PATH after bind
+//   --shard-remote=H:P[,H:P...]  remote shard processes joining the
+//                          rendezvous slot space after the local shards
+//   --responses-out=PATH   server-side response ledger: every terminal
+//                          response line, including ones whose client
+//                          connection died first
+//   --max-connections=K    TCP admission hard cap (default 256)
+//   --max-line-bytes=B     oversized-frame cutoff (default 1 MiB)
+//   --max-write-buffer=B   per-connection write buffer cap; slow readers
+//                          past it are shed (default 4 MiB)
+//   --idle-timeout-ms=MS   reap idle connections (default 30000)
+//   --read-deadline-ms=MS  torn-frame cutoff (default 10000)
+//   --write-deadline-ms=MS write-stall cutoff before a slow-client shed
+//   --force-poll           use the poll(2) event loop even where epoll
+//                          exists (portability testing)
 //   --threads=T            worker threads per shard (default: hardware)
 //   --shards=N             in-process service shards (default 1)
 //   --queue-capacity=K     admission queue bound per shard (default 256)
@@ -56,7 +82,8 @@
 //   --trace-cap=K          trace ring-buffer capacity in events (default
 //                          1000000); older events drop once exceeded
 //   --prom-out=PATH        Prometheus text-format exposition, rewritten
-//                          every --prom-interval-ms and on SIGUSR1
+//                          every --prom-interval-ms and on SIGUSR1; in TCP
+//                          mode enriched with net.* connection counters
 //   --prom-interval-ms=MS  prom rewrite period (default 1000)
 //   --slow-out=PATH        top-k slow-request log JSON, written after the
 //                          drain and on SIGUSR1
@@ -70,12 +97,16 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "net/remote_shard.hpp"
+#include "net/server.hpp"
 #include "obs/prom.hpp"
 #include "obs/slow_log.hpp"
 #include "obs/telemetry.hpp"
@@ -85,6 +116,7 @@
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/net_io.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -129,7 +161,11 @@ ChaosAction draw_chaos(double probability, std::uint64_t chaos_seed,
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
-    args.check_known({"jobs", "threads", "shards", "queue-capacity", "shed",
+    args.check_known({"jobs", "listen", "port-file", "shard-remote",
+                      "responses-out", "max-connections", "max-line-bytes",
+                      "max-write-buffer", "idle-timeout-ms",
+                      "read-deadline-ms", "write-deadline-ms", "force-poll",
+                      "threads", "shards", "queue-capacity", "shed",
                       "client-quota", "max-retries", "default-deadline-ms",
                       "drain-deadline-ms", "breaker-failures",
                       "breaker-cooldown-ms", "replicas",
@@ -185,7 +221,18 @@ int main(int argc, char** argv) {
     const std::size_t shards =
         static_cast<std::size_t>(args.get_uint64("shards", 1));
     if (shards < 1) throw std::runtime_error("flag --shards: must be >= 1");
+    const std::optional<HostPort> listen =
+        args.get_host_port("listen", /*allow_port_zero=*/true);
+    const std::string port_file = args.get_string("port-file", "");
+    std::vector<HostPort> remote_targets;
+    if (args.has("shard-remote")) {
+      remote_targets = args.get_host_port_list("shard-remote");
+    }
+    const std::string responses_path = args.get_string("responses-out", "");
     const std::string jobs_path = args.get_string("jobs", "");
+    if (listen.has_value() && !jobs_path.empty()) {
+      throw std::runtime_error("--listen and --jobs are mutually exclusive");
+    }
     const std::string metrics_path = args.get_string("metrics-out", "");
     const std::string health_path = args.get_string("health-out", "");
     const std::string telemetry_path = args.get_string("telemetry-out", "");
@@ -196,6 +243,22 @@ int main(int argc, char** argv) {
     const auto prom_interval = std::chrono::milliseconds(
         static_cast<std::int64_t>(args.get_uint64("prom-interval-ms", 1000)));
     const std::string slow_path = args.get_string("slow-out", "");
+
+    net::TcpServerConfig tcp_config;
+    if (listen.has_value()) tcp_config.listen = *listen;
+    tcp_config.max_connections =
+        static_cast<std::size_t>(args.get_uint64("max-connections", 256));
+    tcp_config.max_line_bytes =
+        static_cast<std::size_t>(args.get_uint64("max-line-bytes", 1 << 20));
+    tcp_config.max_write_buffer = static_cast<std::size_t>(
+        args.get_uint64("max-write-buffer", 4u << 20));
+    tcp_config.idle_timeout = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("idle-timeout-ms", 30000)));
+    tcp_config.read_deadline = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("read-deadline-ms", 10000)));
+    tcp_config.write_deadline = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.get_uint64("write-deadline-ms", 10000)));
+    tcp_config.force_poll = args.get_bool("force-poll", false);
 
     std::ifstream jobs_file;
     if (!jobs_path.empty()) {
@@ -219,15 +282,41 @@ int main(int argc, char** argv) {
       slow_log.emplace();
       config.slow_log = &*slow_log;
     }
+    std::optional<std::ofstream> responses_out;
+    if (!responses_path.empty()) {
+      responses_out.emplace(responses_path);
+      if (!*responses_out) {
+        throw std::runtime_error("cannot open " + responses_path);
+      }
+    }
 
-    // One mutex serializes every response line (service sink and the
-    // invalid/overloaded lines the front end writes directly).
+    // stdout writes after a downstream pipe dies must not kill the server.
+    netio::ignore_sigpipe();
+
+    // Constructed after the service so the sink can route to it; the sink
+    // only dereferences it for responses whose origin a TCP connection
+    // stamped, which cannot exist before the server starts.
+    std::optional<net::TcpServer> server;
+
+    // One mutex serializes every response line (service sink, remote-shard
+    // deliveries, and the invalid/overloaded lines the front ends write).
+    // The ledger hears each response BEFORE the transport does, so a
+    // response is never lost between the service and a dying socket.
     std::mutex out_mutex;
-    const auto write_line = [&](const JobResponse& response) {
+    const auto emit = [&](const JobResponse& response) {
       {
         std::lock_guard lock(out_mutex);
-        write_job_response(std::cout, response);
-        std::cout.flush();
+        if (responses_out.has_value()) {
+          *responses_out << job_response_line(response);
+          responses_out->flush();
+        }
+        if (response.origin == 0) {
+          write_job_response(std::cout, response);
+          std::cout.flush();
+        }
+      }
+      if (response.origin != 0 && server.has_value()) {
+        server->deliver(response);
       }
       if (telemetry.has_value()) {
         telemetry->record("response", [&response](JsonWriter& json) {
@@ -244,18 +333,84 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_drain_signal);
     std::signal(SIGUSR1, handle_dump_signal);
 
-    // shards == 1 keeps the plain single-service path (bit-identical to
-    // the pre-sharding tool, including the backoff seed); --shards=N wraps
-    // the same config in a ShardRouter.
+    // shards == 1 with no remotes keeps the plain single-service path
+    // (bit-identical to the pre-sharding tool, including the backoff
+    // seed); --shards=N or --shard-remote wraps the same config in a
+    // ShardRouter whose slot space covers locals then remotes.
+    std::vector<std::shared_ptr<net::RemoteShard>> remote_shards;
     std::optional<JobService> service;
     std::optional<ShardRouter> router;
-    if (shards == 1) {
-      service.emplace(config, write_line);
+    if (shards == 1 && remote_targets.empty()) {
+      service.emplace(config, emit);
     } else {
       RouterConfig router_config;
       router_config.shards = shards;
       router_config.service = config;
-      router.emplace(std::move(router_config), write_line);
+      for (std::size_t i = 0; i < remote_targets.size(); ++i) {
+        net::RemoteShardConfig remote;
+        remote.target = remote_targets[i];
+        remote.slot = shards + i;
+        remote.breaker = config.breaker;
+        remote.seed = mix_seed(config.seed, 0xbead + i);
+        remote_shards.push_back(
+            std::make_shared<net::RemoteShard>(remote, emit));
+        router_config.remotes.push_back(remote_shards.back());
+      }
+      router.emplace(std::move(router_config), emit);
+    }
+
+    const auto submit = [&](JobSpec&& spec) {
+      if (service.has_value()) {
+        service->submit(std::move(spec));
+      } else {
+        router->submit(std::move(spec));
+      }
+    };
+    const auto note_invalid = [&] {
+      if (service.has_value()) {
+        service->note_invalid();
+      } else {
+        router->note_invalid();
+      }
+    };
+
+    if (listen.has_value()) {
+      server.emplace(
+          tcp_config, [&submit](JobSpec&& spec) { submit(std::move(spec)); },
+          [&](const JobResponse& response) {
+            // Server-synthesized responses (invalid frames, torn/oversized
+            // rejections, slow-client sheds): the server already wrote
+            // them to the socket; ledger and count them here.
+            if (response.outcome == JobOutcome::kInvalid) note_invalid();
+            {
+              std::lock_guard lock(out_mutex);
+              if (responses_out.has_value()) {
+                *responses_out << job_response_line(response);
+                responses_out->flush();
+              }
+            }
+            if (telemetry.has_value()) {
+              telemetry->record("response", [&response](JsonWriter& json) {
+                json.kv("id", response.id);
+                json.kv("outcome", to_string(response.outcome));
+                json.kv("attempts",
+                        static_cast<std::uint64_t>(response.attempts));
+                json.kv("voted", response.voted);
+                json.kv("quarantined", response.quarantined);
+              });
+            }
+          });
+      std::string error;
+      if (!server->start(&error)) {
+        throw std::runtime_error("cannot listen: " + error);
+      }
+      if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        if (!out) throw std::runtime_error("cannot open " + port_file);
+        out << server->port() << "\n";
+      }
+      std::cerr << "popbean-serve: listening on " << listen->host << ":"
+                << server->port() << "\n";
     }
 
     // Observability dumps: each file is written to PATH.tmp then renamed so
@@ -273,11 +428,49 @@ int main(int argc, char** argv) {
         throw std::runtime_error("cannot rename " + tmp);
       }
     };
+    // TCP front-end counters join the router's exposition under
+    // shard="net", so one scrape covers sockets and services alike.
+    const auto add_net_counters = [&](obs::PromExposition& prom) {
+      if (!server.has_value()) return;
+      const net::TcpServer::Stats net = server->stats();
+      const obs::PromExposition::Labels labels{{"shard", "net"}};
+      prom.add_counter("net.accepted", net.accepted, labels);
+      prom.add_counter("net.admission_rejected", net.admission_rejected,
+                       labels);
+      prom.add_counter("net.frames", net.frames, labels);
+      prom.add_counter("net.invalid_frames", net.invalid_frames, labels);
+      prom.add_counter("net.oversized_frames", net.oversized_frames, labels);
+      prom.add_counter("net.torn_frames", net.torn_frames, labels);
+      prom.add_counter("net.slow_client_sheds", net.slow_client_sheds,
+                       labels);
+      prom.add_counter("net.idle_reaped", net.idle_reaped, labels);
+      prom.add_counter("net.half_closed", net.half_closed, labels);
+      prom.add_counter("net.responses_delivered", net.responses_delivered,
+                       labels);
+      prom.add_counter("net.responses_dropped", net.responses_dropped,
+                       labels);
+      prom.add_counter("net.closed", net.closed, labels);
+      prom.add_counter("net.bytes_read", net.bytes_read, labels);
+      prom.add_counter("net.bytes_written", net.bytes_written, labels);
+      for (std::size_t i = 0; i < remote_shards.size(); ++i) {
+        const net::RemoteShard::Stats rs = remote_shards[i]->stats();
+        const obs::PromExposition::Labels remote_labels{
+            {"shard", std::to_string(shards + i)}, {"remote", "1"}};
+        prom.add_counter("remote.forwarded", rs.forwarded, remote_labels);
+        prom.add_counter("remote.responses", rs.responses, remote_labels);
+        prom.add_counter("remote.lost", rs.remote_lost, remote_labels);
+        prom.add_counter("remote.connects", rs.connects, remote_labels);
+        prom.add_counter("remote.breaker_opens",
+                         remote_shards[i]->breaker_opens(), remote_labels);
+        prom.add_counter("remote.breaker_closes",
+                         remote_shards[i]->breaker_closes(), remote_labels);
+      }
+    };
     const auto dump_prom = [&] {
       if (prom_path.empty()) return;
       atomic_write(prom_path, [&](std::ostream& out) {
         if (router.has_value()) {
-          router->write_prometheus(out);
+          router->write_prometheus(out, add_net_counters);
           return;
         }
         obs::PromExposition prom;
@@ -289,6 +482,7 @@ int main(int argc, char** argv) {
           prom.add_counter("obs.trace_events_dropped", trace->dropped_count(),
                            {{"shard", "fleet"}});
         }
+        add_net_counters(prom);
         prom.write(out);
       });
     };
@@ -305,6 +499,56 @@ int main(int argc, char** argv) {
         slow_log->write_json(json);
         out << "\n";
       });
+    };
+    const auto write_metrics = [&] {
+      if (metrics_path.empty()) return;
+      std::ofstream out(metrics_path);
+      if (!out) throw std::runtime_error("cannot open " + metrics_path);
+      JsonWriter json(out);
+      if (service.has_value()) {
+        service->metrics().write_json(json);
+      } else {
+        // Sharded runs keep per-shard registries; emit them side by side.
+        json.begin_object();
+        json.key("shards");
+        json.begin_array();
+        for (std::size_t i = 0; i < router->shard_count(); ++i) {
+          router->shard(i).metrics().write_json(json);
+        }
+        json.end_array();
+        json.end_object();
+      }
+      out << "\n";
+    };
+    const auto write_health = [&] {
+      if (health_path.empty()) return;
+      std::ofstream out(health_path);
+      if (!out) throw std::runtime_error("cannot open " + health_path);
+      JsonWriter json(out);
+      if (service.has_value()) {
+        write_health_json(json, service->health());
+      } else {
+        write_health_json(json, router->health());
+      }
+      out << "\n";
+    };
+    // The final-snapshot contract (DESIGN.md §14): every exposition file
+    // is written on every exit path, and each write is guarded on its own
+    // — a drain that had to abandon a wedged worker, or one unwritable
+    // sink, must never cost the other files their final flush.
+    const auto final_flush = [&] {
+      const auto guarded = [](const char* what, const auto& body) {
+        try {
+          body();
+        } catch (const std::exception& e) {
+          std::cerr << "popbean-serve: " << what << ": " << e.what() << "\n";
+        }
+      };
+      guarded("prom-out", dump_prom);
+      guarded("trace-out", dump_trace);
+      guarded("slow-out", dump_slow);
+      guarded("metrics-out", write_metrics);
+      guarded("health-out", write_health);
     };
 
     // Periodic prom writer + SIGUSR1 servicing, off the request loop.
@@ -329,38 +573,57 @@ int main(int argc, char** argv) {
       });
     }
 
-    RequestReader reader;
-    std::string line;
-    while (!g_interrupted.load(std::memory_order_relaxed) &&
-           std::getline(in, line)) {
-      if (line.empty()) continue;
-      ParsedRequest request = reader.next(line);
-      if (const auto* error = std::get_if<RequestError>(&request)) {
-        if (service.has_value()) {
-          service->note_invalid();
-        } else {
-          router->note_invalid();
+    bool interrupted = false;
+    try {
+      if (listen.has_value()) {
+        // TCP front end: requests arrive on sockets; the event loop and
+        // the workers do everything. The main thread just awaits the
+        // drain signal.
+        while (!g_interrupted.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
         }
-        JobResponse response;
-        response.id = error->id;
-        response.outcome = JobOutcome::kInvalid;
-        response.error = error->error;
-        write_line(response);
-        continue;
-      }
-      JobSpec spec = std::move(std::get<JobSpec>(request));
-      if (service.has_value()) {
-        service->submit(std::move(spec));
       } else {
-        router->submit(std::move(spec));
+        RequestReader reader;
+        std::string line;
+        while (!g_interrupted.load(std::memory_order_relaxed) &&
+               std::getline(in, line)) {
+          if (line.empty()) continue;
+          ParsedRequest request = reader.next(line);
+          if (const auto* error = std::get_if<RequestError>(&request)) {
+            note_invalid();
+            JobResponse response;
+            response.id = error->id;
+            response.outcome = JobOutcome::kInvalid;
+            response.error = error->error;
+            emit(response);
+            continue;
+          }
+          submit(std::move(std::get<JobSpec>(request)));
+        }
       }
-    }
 
-    const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
-    if (service.has_value()) {
-      service->drain(config.drain_deadline);
-    } else {
-      router->drain(config.drain_deadline);
+      interrupted = g_interrupted.load(std::memory_order_relaxed);
+      // Drain order: sockets stop accepting/reading first (no new work),
+      // then the service fleet flushes every admitted job through the
+      // exactly-one-response contract (the event loop keeps delivering
+      // while that happens), then the server flushes the last bytes out.
+      if (server.has_value()) server->begin_drain();
+      if (service.has_value()) {
+        service->drain(config.drain_deadline);
+      } else {
+        router->drain(config.drain_deadline);
+      }
+      if (server.has_value()) {
+        server->drain(config.drain_deadline);
+        server->stop();
+      }
+    } catch (...) {
+      if (obs_writer.joinable()) {
+        obs_stop.store(true, std::memory_order_relaxed);
+        obs_writer.join();
+      }
+      final_flush();
+      throw;
     }
 
     if (obs_writer.joinable()) {
@@ -368,40 +631,7 @@ int main(int argc, char** argv) {
       obs_writer.join();
     }
     // Final snapshots reflect the fully-drained service.
-    dump_prom();
-    dump_trace();
-    dump_slow();
-
-    if (!metrics_path.empty()) {
-      std::ofstream out(metrics_path);
-      if (!out) throw std::runtime_error("cannot open " + metrics_path);
-      JsonWriter json(out);
-      if (service.has_value()) {
-        service->metrics().write_json(json);
-      } else {
-        // Sharded runs keep per-shard registries; emit them side by side.
-        json.begin_object();
-        json.key("shards");
-        json.begin_array();
-        for (std::size_t i = 0; i < router->shard_count(); ++i) {
-          router->shard(i).metrics().write_json(json);
-        }
-        json.end_array();
-        json.end_object();
-      }
-      out << "\n";
-    }
-    if (!health_path.empty()) {
-      std::ofstream out(health_path);
-      if (!out) throw std::runtime_error("cannot open " + health_path);
-      JsonWriter json(out);
-      if (service.has_value()) {
-        write_health_json(json, service->health());
-      } else {
-        write_health_json(json, router->health());
-      }
-      out << "\n";
-    }
+    final_flush();
     return interrupted ? 3 : 0;
   } catch (const std::exception& e) {
     std::cerr << "popbean-serve: " << e.what() << "\n";
